@@ -1,0 +1,36 @@
+# ampsched — build, test and reproduce targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments experiments-paper fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (minutes).
+experiments:
+	$(GO) run ./cmd/ampexperiments -v
+
+# Publication-scale parameters (hours of CPU).
+experiments-paper:
+	$(GO) run ./cmd/ampexperiments -paper -v
+
+fuzz:
+	$(GO) test ./internal/trace -fuzz FuzzRead -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

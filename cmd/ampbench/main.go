@@ -1,0 +1,73 @@
+// Command ampbench lists the 37-benchmark pool: suite, flavor, phase
+// structure and average instruction mix of each synthetic workload
+// model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ampsched/internal/isa"
+	"ampsched/internal/report"
+	"ampsched/internal/workload"
+)
+
+func main() {
+	var (
+		detail = flag.String("detail", "", "print the per-phase detail of one benchmark")
+	)
+	flag.Parse()
+
+	if *detail != "" {
+		b, err := workload.ByName(*detail)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ampbench:", err)
+			os.Exit(1)
+		}
+		printDetail(b)
+		return
+	}
+
+	t := &report.Table{
+		Title:   "benchmark pool (37 workload models)",
+		Headers: []string{"name", "suite", "flavor", "phases", "%INT", "%FP", "%MEM", "code"},
+	}
+	for _, b := range workload.All() {
+		m := b.AverageMix()
+		t.AddRow(b.Name, b.Suite, b.Flavor(), fmt.Sprint(len(b.Phases)),
+			fmt.Sprintf("%.0f", 100*m.IntFrac()),
+			fmt.Sprintf("%.0f", 100*m.FPFrac()),
+			fmt.Sprintf("%.0f", 100*m.MemFrac()),
+			fmt.Sprintf("%dK", b.EffectiveCodeFootprint()>>10))
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ampbench:", err)
+		os.Exit(1)
+	}
+}
+
+func printDetail(b *workload.Benchmark) {
+	if b.Notes != "" {
+		fmt.Printf("%s\n\n", b.Notes)
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("%s (%s, code footprint %d B)", b.Name, b.Suite, b.EffectiveCodeFootprint()),
+		Headers: []string{"phase", "length", "ILP", "brpred", "workingset", "seq%",
+			"IntALU", "IntMul", "IntDiv", "FPALU", "FPMul", "FPDiv", "Load", "Store", "Branch"},
+	}
+	for i := range b.Phases {
+		p := &b.Phases[i]
+		row := []string{p.Name, fmt.Sprint(p.Length), fmt.Sprintf("%.1f", p.MeanDepDist),
+			fmt.Sprintf("%.2f", p.BranchPredictability),
+			fmt.Sprintf("%dK", p.WorkingSet>>10), fmt.Sprintf("%.0f", 100*p.SeqFrac)}
+		for c := isa.Class(0); c < isa.NumClasses; c++ {
+			row = append(row, fmt.Sprintf("%.1f", 100*p.Mix[c]))
+		}
+		t.AddRow(row...)
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ampbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+// Command ampexperiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ampexperiments [-run fig7,fig9] [-pairs 80] [-limit 1500000] [-v]
+//
+// With no -run flag every experiment runs in paper order. The -paper
+// flag switches to the publication-scale parameters (hours of CPU).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ampsched/internal/experiments"
+)
+
+func main() {
+	var (
+		runList   = flag.String("run", "all", "comma-separated experiment names, or 'all' (see -list)")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		pairs     = flag.Int("pairs", 0, "override number of random workload pairs")
+		limit     = flag.Uint64("limit", 0, "override per-run instruction limit")
+		ctxSwitch = flag.Uint64("contextswitch", 0, "override coarse decision interval (cycles)")
+		overhead  = flag.Uint64("overhead", 0, "override swap overhead (cycles)")
+		seed      = flag.Uint64("seed", 0, "override RNG seed")
+		paper     = flag.Bool("paper", false, "use publication-scale parameters (slow)")
+		verbose   = flag.Bool("v", false, "print progress lines to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	opt := experiments.DefaultOptions()
+	if *paper {
+		opt = experiments.PaperScaleOptions()
+	}
+	if *pairs > 0 {
+		opt.Pairs = *pairs
+	}
+	if *limit > 0 {
+		opt.InstrLimit = *limit
+	}
+	if *ctxSwitch > 0 {
+		opt.ContextSwitch = *ctxSwitch
+	}
+	if *overhead > 0 {
+		opt.SwapOverhead = *overhead
+	}
+	if *seed > 0 {
+		opt.Seed = *seed
+	}
+
+	r, err := experiments.NewRunner(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ampexperiments:", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+	}
+
+	var selected []experiments.Experiment
+	if *runList == "all" {
+		selected = experiments.All()
+	} else {
+		for _, name := range strings.Split(*runList, ",") {
+			e, err := experiments.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ampexperiments:", err)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("# ampsched experiment harness (pairs=%d limit=%d ctxswitch=%d overhead=%d seed=%d)\n\n",
+		opt.Pairs, opt.InstrLimit, opt.ContextSwitch, opt.SwapOverhead, opt.Seed)
+	start := time.Now()
+	for _, e := range selected {
+		t0 := time.Now()
+		if err := e.Run(r, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ampexperiments: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "  [%s done in %v]\n", e.Name, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	fmt.Printf("# total elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,53 @@
+// Command ampprofile regenerates the offline profiling artifacts of
+// §V and §VI-A: the IPC/Watt ratio matrix (Fig. 3), the regression
+// surface (Fig. 4) and the derived swapping-rule thresholds (Fig. 5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ampsched/internal/experiments"
+)
+
+func main() {
+	var (
+		limit     = flag.Uint64("limit", 2_500_000, "instructions per profiling run")
+		ctxSwitch = flag.Uint64("contextswitch", 400_000, "sampling interval in cycles")
+		rulePairs = flag.Int("rulepairs", 50, "random pairs for the rule derivation")
+		window    = flag.Uint64("window", 1000, "committed-instruction window for rule derivation")
+		seed      = flag.Uint64("seed", 7, "workload seed")
+		verbose   = flag.Bool("v", false, "print progress")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.ProfileInstrLimit = *limit
+	opt.ContextSwitch = *ctxSwitch
+	opt.RulePairs = *rulePairs
+	opt.RuleWindow = *window
+	opt.Seed = *seed
+
+	r, err := experiments.NewRunner(opt)
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+	}
+	for _, name := range []string{"fig3", "fig4", "rules"} {
+		e, err := experiments.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		if err := e.Run(r, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ampprofile:", err)
+	os.Exit(1)
+}

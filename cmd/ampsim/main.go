@@ -1,0 +1,146 @@
+// Command ampsim runs one two-thread workload on the asymmetric
+// dual-core under a chosen scheduler and prints per-thread metrics.
+//
+// Usage:
+//
+//	ampsim -a gcc -b fpstress -sched proposed [-limit 1500000]
+//
+// Schedulers: proposed, hpe-matrix, hpe-regression, rr, rr2, static.
+// The HPE variants first run the §V profiling pass to build their
+// estimator (add -profilelimit to trade accuracy for speed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/experiments"
+	"ampsched/internal/report"
+	"ampsched/internal/sched"
+	"ampsched/internal/workload"
+)
+
+func main() {
+	var (
+		benchA       = flag.String("a", "gcc", "benchmark for thread 0 (starts on the INT core)")
+		benchB       = flag.String("b", "fpstress", "benchmark for thread 1 (starts on the FP core)")
+		schedName    = flag.String("sched", "proposed", "scheduler: proposed|proposed-ext|morphing|sampling|hpe-matrix|hpe-regression|rr|rr2|static")
+		limit        = flag.Uint64("limit", 1_500_000, "stop when either thread commits this many instructions")
+		ctxSwitch    = flag.Uint64("contextswitch", 400_000, "coarse decision interval in cycles")
+		overhead     = flag.Uint64("overhead", amp.DefaultSwapOverheadCycles, "swap overhead in cycles")
+		seed         = flag.Uint64("seed", 7, "workload seed")
+		profileLimit = flag.Uint64("profilelimit", 2_000_000, "instructions per profiling run (HPE schedulers)")
+		timeline     = flag.Uint64("timeline", 0, "record and print a timeline point every N cycles (0 = off)")
+	)
+	flag.Parse()
+
+	a, err := workload.ByName(*benchA)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := workload.ByName(*benchB)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := experiments.DefaultOptions()
+	opt.InstrLimit = *limit
+	opt.ContextSwitch = *ctxSwitch
+	opt.SwapOverhead = *overhead
+	opt.Seed = *seed
+	opt.ProfileInstrLimit = *profileLimit
+	runner, err := experiments.NewRunner(opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	var factory experiments.SchedFactory
+	switch *schedName {
+	case "proposed":
+		factory = runner.ProposedFactory()
+	case "proposed-ext":
+		factory = runner.ProposedExtFactory()
+	case "morphing":
+		factory = runner.MorphingFactory()
+	case "sampling":
+		factory = runner.SamplingFactory()
+	case "hpe-matrix":
+		m, err := runner.Matrix()
+		if err != nil {
+			fatal(err)
+		}
+		factory = runner.HPEFactory(m)
+	case "hpe-regression":
+		s, err := runner.Surface()
+		if err != nil {
+			fatal(err)
+		}
+		factory = runner.HPEFactory(s)
+	case "rr":
+		factory = runner.RRFactory(1)
+	case "rr2":
+		factory = runner.RRFactory(2)
+	case "static":
+		factory = func() amp.Scheduler { return sched.Static{} }
+	default:
+		fatal(fmt.Errorf("unknown scheduler %q", *schedName))
+	}
+
+	t0 := amp.NewThread(0, a, *seed*1_000_003, 0)
+	t1 := amp.NewThread(1, b, *seed*1_000_003+1, 1<<40)
+	var schedInst amp.Scheduler
+	if factory != nil {
+		schedInst = factory()
+	}
+	sys := amp.NewSystem([2]*cpu.Config{runner.IntCfg, runner.FPCfg},
+		[2]*amp.Thread{t0, t1}, schedInst, amp.Config{SwapOverheadCycles: *overhead})
+	if *timeline > 0 {
+		sys.EnableTimeline(*timeline)
+	}
+	res := sys.Run(*limit)
+
+	t := &report.Table{
+		Title: fmt.Sprintf("%s + %s under %s (cycles=%d, swaps=%d, morphs=%d)",
+			a.Name, b.Name, res.Scheduler, res.Cycles, res.Swaps, res.Morphs),
+		Headers: []string{"thread", "benchmark", "committed", "IPC", "watts", "IPC/Watt", "%INT", "%FP"},
+	}
+	for i, tr := range res.Threads {
+		t.AddRow(fmt.Sprint(i), tr.Name, fmt.Sprint(tr.Committed),
+			report.F3(tr.IPC), report.F3(tr.Watts), report.F4(tr.IPCPerWatt),
+			fmt.Sprintf("%.1f", tr.IntPct), fmt.Sprintf("%.1f", tr.FPPct))
+	}
+	if res.Sched.DecisionPoints > 0 {
+		t.Note = fmt.Sprintf("scheduler evaluated %d decision points, requested %d swaps",
+			res.Sched.DecisionPoints, res.Sched.SwapRequests)
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if *timeline > 0 {
+		tt := &report.Table{
+			Title: "timeline (one row per interval)",
+			Headers: []string{"end cycle", "sw/mo",
+				"t0 core", "t0 ipc", "t0 %INT", "t0 %FP",
+				"t1 core", "t1 ipc", "t1 %INT", "t1 %FP"},
+		}
+		for _, p := range sys.Timeline() {
+			tt.AddRow(fmt.Sprint(p.EndCycle), fmt.Sprintf("%d/%d", p.Swaps, p.Morphs),
+				fmt.Sprint(p.Threads[0].Core), report.F3(p.Threads[0].IPC),
+				fmt.Sprintf("%.0f", p.Threads[0].IntPct), fmt.Sprintf("%.0f", p.Threads[0].FPPct),
+				fmt.Sprint(p.Threads[1].Core), report.F3(p.Threads[1].IPC),
+				fmt.Sprintf("%.0f", p.Threads[1].IntPct), fmt.Sprintf("%.0f", p.Threads[1].FPPct))
+		}
+		if err := tt.Fprint(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ampsim:", err)
+	os.Exit(1)
+}

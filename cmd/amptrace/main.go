@@ -1,0 +1,173 @@
+// Command amptrace records, inspects and replays binary instruction
+// traces (internal/trace format).
+//
+// Usage:
+//
+//	amptrace record -bench gcc -n 1000000 -o gcc.ampt [-seed 7]
+//	amptrace info gcc.ampt
+//	amptrace replay -core INT gcc.ampt [-limit 500000]
+//
+// Replay runs the trace through a single core and prints IPC, power
+// and IPC/Watt — the way a user would characterize a captured
+// workload before scheduling it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/isa"
+	"ampsched/internal/power"
+	"ampsched/internal/trace"
+	"ampsched/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: amptrace record|info|replay [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "amptrace:", err)
+	os.Exit(1)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	bench := fs.String("bench", "gcc", "benchmark to capture")
+	n := fs.Uint64("n", 1_000_000, "instructions to record")
+	out := fs.String("o", "", "output file (required)")
+	seed := fs.Uint64("seed", 7, "workload seed")
+	_ = fs.Parse(args)
+	if *out == "" {
+		fatal(fmt.Errorf("record: -o is required"))
+	}
+	b, err := workload.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	gen := workload.NewGenerator(b, *seed, 0)
+	if err := trace.RecordBenchmark(f, b.Name, b.EffectiveCodeFootprint(), *n, gen.Next); err != nil {
+		fatal(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %d instructions of %s to %s (%d bytes, %.2f B/instr)\n",
+		*n, b.Name, *out, st.Size(), float64(st.Size())/float64(*n))
+}
+
+func openTrace(path string) *trace.Source {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	src, err := trace.Load(f)
+	if err != nil {
+		fatal(err)
+	}
+	return src
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("info: expected one trace file"))
+	}
+	src := openTrace(fs.Arg(0))
+	hdr := src.Header()
+	fmt.Printf("trace   %s\nname    %s\ncode    %d bytes\ncount   %d instructions\n",
+		fs.Arg(0), hdr.Name, hdr.CodeFootprint, hdr.Count)
+
+	// Class histogram over one pass.
+	var counts [isa.NumClasses]uint64
+	var in isa.Instruction
+	for i := uint64(0); i < hdr.Count; i++ {
+		src.Next(&in)
+		counts[in.Class]++
+	}
+	var intN, fpN, memN uint64
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		fmt.Printf("  %-8s %6.2f%%\n", c, 100*float64(counts[c])/float64(hdr.Count))
+		switch {
+		case c.IsInt():
+			intN += counts[c]
+		case c.IsFP():
+			fpN += counts[c]
+		case c.IsMem():
+			memN += counts[c]
+		}
+	}
+	fmt.Printf("mix     %%INT %.1f  %%FP %.1f  %%MEM %.1f\n",
+		100*float64(intN)/float64(hdr.Count),
+		100*float64(fpN)/float64(hdr.Count),
+		100*float64(memN)/float64(hdr.Count))
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	coreName := fs.String("core", "INT", "core to replay on: INT or FP")
+	limit := fs.Uint64("limit", 0, "instruction budget (default: one pass over the trace)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("replay: expected one trace file"))
+	}
+	src := openTrace(fs.Arg(0))
+
+	var cfg *cpu.Config
+	switch *coreName {
+	case "INT":
+		cfg = cpu.IntCoreConfig()
+	case "FP":
+		cfg = cpu.FPCoreConfig()
+	default:
+		fatal(fmt.Errorf("replay: unknown core %q", *coreName))
+	}
+	budget := *limit
+	if budget == 0 {
+		budget = src.Header().Count
+	}
+
+	core := cpu.NewCore(cfg)
+	model := power.NewModel(cfg)
+	arch := &cpu.ThreadArch{CodeBase: 1 << 36, CodeSize: src.Header().CodeFootprint}
+	core.Bind(src, arch)
+	var cycle uint64
+	for arch.Committed < budget {
+		core.Step(cycle)
+		cycle++
+	}
+	energy := model.EnergyNJ(core.Activity(), power.SnapshotCaches(core))
+	watts := model.Watts(energy, cycle)
+	ipc := float64(arch.Committed) / float64(cycle)
+	fmt.Printf("replayed %s on %s core: %d instructions in %d cycles\n",
+		src.Header().Name, cfg.Name, arch.Committed, cycle)
+	fmt.Printf("IPC %.3f   %.2f W   IPC/Watt %.4f   %%INT %.1f   %%FP %.1f\n",
+		ipc, watts, ipc/watts, arch.IntPct(), arch.FPPct())
+}

@@ -1,0 +1,18 @@
+// Package ampsched is a from-scratch reproduction of "Dynamic Thread
+// Scheduling in Asymmetric Multicores to Maximize Performance-per-
+// Watt" (Annamalai, Rodrigues, Koren, Kundu — IPPS 2012).
+//
+// The repository contains the full substrate the paper depends on —
+// a cycle-level out-of-order dual-core simulator with the paper's two
+// core personalities (internal/cpu), a Wattch-style power model
+// (internal/power), a 37-benchmark synthetic workload suite
+// (internal/workload) — plus the paper's contribution and baselines
+// (internal/sched: the proposed fine-grained scheme, the HPE
+// estimation scheme and Round Robin) and a harness that regenerates
+// every table and figure of the evaluation (internal/experiments,
+// driven by cmd/ampexperiments).
+//
+// Start with README.md, run the examples under examples/, and see
+// DESIGN.md for the paper-to-code map and EXPERIMENTS.md for measured
+// results.
+package ampsched

@@ -1,0 +1,64 @@
+// morphing demonstrates the §III design question: this paper studies
+// swap-only scheduling to avoid the core-morphing hardware of the
+// authors' prior work [5]. Here both are available, so you can watch
+// what morphing buys — the system fuses the FP core's strong
+// floating-point datapath into the INT core when one thread's utility
+// collapses, giving the surviving thread a core that is strong on all
+// fronts.
+//
+//	go run ./examples/morphing [-a memstress] [-b mixstress]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/sched"
+	"ampsched/internal/workload"
+)
+
+func main() {
+	benchA := flag.String("a", "memstress", "thread 0 (starts on the INT core)")
+	benchB := flag.String("b", "mixstress", "thread 1 (starts on the FP core)")
+	limit := flag.Uint64("limit", 1_000_000, "instruction budget")
+	flag.Parse()
+
+	a, err := workload.ByName(*benchA)
+	check(err)
+	b, err := workload.ByName(*benchB)
+	check(err)
+
+	run := func(label string, s amp.Scheduler) amp.Result {
+		t0 := amp.NewThread(0, a, 1, 0)
+		t1 := amp.NewThread(1, b, 2, 1<<40)
+		sys := amp.NewSystem(
+			[2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
+			[2]*amp.Thread{t0, t1}, s, amp.Config{})
+		res := sys.Run(*limit)
+		geo := math.Sqrt(res.Threads[0].IPCPerWatt * res.Threads[1].IPCPerWatt)
+		fmt.Printf("%-22s swaps=%-3d morphs=%-3d geomean IPC/Watt=%.4f", label, res.Swaps, res.Morphs, geo)
+		for i, tr := range res.Threads {
+			fmt.Printf("  [t%d %s: ipc=%.2f ipcw=%.4f]", i, tr.Name, tr.IPC, tr.IPCPerWatt)
+		}
+		fmt.Println()
+		return res
+	}
+
+	fmt.Printf("pair: %s (INT core) + %s (FP core)\n\n", a.Name, b.Name)
+	run("swap-only (paper)", sched.NewProposed(sched.DefaultProposedConfig()))
+	run("swap+morph ([5])", sched.NewMorphing(sched.DefaultMorphConfig()))
+
+	fmt.Println("\nmorphing pays when one thread stalls while its partner mixes INT and FP work;")
+	fmt.Println("on balanced pairs the policy abstains and both rows should match")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "morphing:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+// phasetracking demonstrates the paper's core argument: a workload
+// whose flavor changes on a scale shorter than the 2 ms context
+// switch (mixstress flips INT<->FP every ~37k instructions) is tracked
+// by the fine-grained proposed scheduler but missed by coarse-grained
+// schemes.
+//
+// The program runs mixstress against a steady FP workload under the
+// proposed scheduler and under HPE, printing a timeline of swaps and
+// the final IPC/Watt comparison.
+//
+//	go run ./examples/phasetracking
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/experiments"
+	"ampsched/internal/sched"
+	"ampsched/internal/workload"
+)
+
+// tracer wraps a scheduler and records the cycle of every swap.
+type tracer struct {
+	inner amp.Scheduler
+	swaps []uint64
+}
+
+func (t *tracer) Name() string     { return t.inner.Name() }
+func (t *tracer) Reset(v amp.View) { t.inner.Reset(v) }
+func (t *tracer) Tick(v amp.View) bool {
+	if t.inner.Tick(v) {
+		t.swaps = append(t.swaps, v.Cycle())
+		return true
+	}
+	return false
+}
+
+func main() {
+	const limit = 1_200_000
+	const ctxSwitch = 400_000
+
+	opt := experiments.DefaultOptions()
+	opt.InstrLimit = limit
+	opt.ContextSwitch = ctxSwitch
+	runner, err := experiments.NewRunner(opt)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "building HPE estimator...")
+	matrix, err := runner.Matrix()
+	if err != nil {
+		fail(err)
+	}
+
+	run := func(name string, mk func() amp.Scheduler) (amp.Result, *tracer) {
+		tr := &tracer{inner: mk()}
+		t0 := amp.NewThread(0, workload.MustByName("mixstress"), 1, 0)
+		t1 := amp.NewThread(1, workload.MustByName("equake"), 2, 1<<40)
+		sys := amp.NewSystem(
+			[2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
+			[2]*amp.Thread{t0, t1}, tr, amp.Config{})
+		res := sys.Run(limit)
+		fmt.Printf("\n%s: %d swaps over %d cycles\n", name, res.Swaps, res.Cycles)
+		for i, c := range tr.swaps {
+			if i >= 12 {
+				fmt.Printf("  ... and %d more\n", len(tr.swaps)-12)
+				break
+			}
+			fmt.Printf("  swap %2d at cycle %8d\n", i+1, c)
+		}
+		for i, t := range res.Threads {
+			fmt.Printf("  thread %d (%s): IPC/Watt %.4f\n", i, t.Name, t.IPCPerWatt)
+		}
+		return res, tr
+	}
+
+	resProp, _ := run("proposed (window=1000, history=5)", func() amp.Scheduler {
+		cfg := sched.DefaultProposedConfig()
+		cfg.ForceInterval = ctxSwitch
+		return sched.NewProposed(cfg)
+	})
+	resHPE, _ := run(fmt.Sprintf("HPE (decides every %d cycles)", ctxSwitch), func() amp.Scheduler {
+		cfg := sched.DefaultHPEConfig()
+		cfg.Interval = ctxSwitch
+		return sched.NewHPE(cfg, matrix)
+	})
+
+	g := func(r amp.Result) float64 {
+		return r.Threads[0].IPCPerWatt * r.Threads[1].IPCPerWatt
+	}
+	fmt.Println()
+	switch {
+	case g(resProp) > g(resHPE):
+		fmt.Println("=> the fine-grained scheduler tracked the intra-interval phase changes better")
+	default:
+		fmt.Println("=> on this seed HPE kept up; try other pairs (mixstress vs an INT workload)")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "phasetracking:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// schedulercompare reruns one multiprogrammed pair under every
+// scheduling scheme of the paper — both static assignments, Round
+// Robin, HPE and the proposed fine-grained scheme — and prints a
+// comparison table, the §VII experiment in miniature.
+//
+//	go run ./examples/schedulercompare [-a gcc] [-b equake]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/experiments"
+	"ampsched/internal/report"
+	"ampsched/internal/sched"
+	"ampsched/internal/workload"
+)
+
+func main() {
+	benchA := flag.String("a", "mixstress", "benchmark for thread 0 (starts on INT core)")
+	benchB := flag.String("b", "gcc", "benchmark for thread 1 (starts on FP core)")
+	flag.Parse()
+
+	a, err := workload.ByName(*benchA)
+	check(err)
+	b, err := workload.ByName(*benchB)
+	check(err)
+
+	opt := experiments.DefaultOptions()
+	opt.InstrLimit = 1_000_000
+	runner, err := experiments.NewRunner(opt)
+	check(err)
+	fmt.Fprintln(os.Stderr, "profiling for the HPE estimator (one-time)...")
+	matrix, err := runner.Matrix()
+	check(err)
+
+	pair := experiments.Pair{A: a, B: b}
+	schemes := []struct {
+		name    string
+		factory experiments.SchedFactory
+	}{
+		{"static (as placed)", func() amp.Scheduler { return sched.Static{} }},
+		{"roundrobin", runner.RRFactory(1)},
+		{"hpe-matrix", runner.HPEFactory(matrix)},
+		{"hpe-regression", nil}, // filled below
+		{"proposed", runner.ProposedFactory()},
+	}
+	surface, err := runner.Surface()
+	check(err)
+	schemes[3].factory = runner.HPEFactory(surface)
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("scheduling %s + %s (limit %d instructions)", a.Name, b.Name, opt.InstrLimit),
+		Headers: []string{"scheme", "swaps", "IPCW(" + a.Name + ")", "IPCW(" + b.Name + ")", "geomean"},
+	}
+	for _, s := range schemes {
+		res := runner.RunPair(0, pair, s.factory)
+		geo := math.Sqrt(res.Threads[0].IPCPerWatt * res.Threads[1].IPCPerWatt)
+		t.AddRow(s.name, fmt.Sprint(res.Swaps),
+			report.F4(res.Threads[0].IPCPerWatt), report.F4(res.Threads[1].IPCPerWatt),
+			report.F4(geo))
+	}
+	t.Note = "proposed should match or beat the best alternative; HPE reacts only at coarse intervals"
+	check(t.Fprint(os.Stdout))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedulercompare:", err)
+		os.Exit(1)
+	}
+}

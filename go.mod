@@ -1,0 +1,3 @@
+module ampsched
+
+go 1.22

@@ -1,0 +1,198 @@
+package ampsched
+
+import (
+	"testing"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/experiments"
+	"ampsched/internal/metrics"
+	"ampsched/internal/sched"
+	"ampsched/internal/stats"
+	"ampsched/internal/workload"
+)
+
+// integrationOptions are sized so the whole file runs in tens of
+// seconds while giving every scheduler several decision points.
+func integrationOptions() experiments.Options {
+	return experiments.Options{
+		Pairs:             8,
+		InstrLimit:        500_000,
+		ContextSwitch:     150_000,
+		SwapOverhead:      1000,
+		ProfileInstrLimit: 500_000,
+		RuleWindow:        1000,
+		RulePairs:         10,
+		SensitivityPairs:  3,
+		Seed:              13,
+	}
+}
+
+// TestProposedFixesMisplacedThreads is the paper's elevator pitch as a
+// test: start an FP-heavy thread on the INT core and an INT-heavy
+// thread on the FP core; the proposed scheduler must swap them and end
+// up near the oracle (correct static) placement, far above the
+// misplaced static baseline.
+func TestProposedFixesMisplacedThreads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cores := [2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()}
+	run := func(a, b string, s amp.Scheduler) amp.Result {
+		t0 := amp.NewThread(0, workload.MustByName(a), 21, 0)
+		t1 := amp.NewThread(1, workload.MustByName(b), 22, 1<<40)
+		return amp.NewSystem(cores, [2]*amp.Thread{t0, t1}, s, amp.Config{}).Run(400_000)
+	}
+
+	// Misplaced static: fpstress on INT, intstress on FP.
+	misplaced := run("fpstress", "intstress", sched.Static{})
+	// Oracle static: swap the thread order.
+	oracle := run("intstress", "fpstress", sched.Static{})
+	// Proposed, starting misplaced.
+	dynamic := run("fpstress", "intstress", sched.NewProposed(sched.DefaultProposedConfig()))
+
+	if dynamic.Swaps == 0 {
+		t.Fatal("proposed never swapped the misplaced threads")
+	}
+	geo := func(r amp.Result) float64 {
+		return r.Threads[0].IPCPerWatt * r.Threads[1].IPCPerWatt
+	}
+	if geo(dynamic) <= geo(misplaced)*1.1 {
+		t.Fatalf("proposed (%.5f) not clearly above misplaced static (%.5f)",
+			geo(dynamic), geo(misplaced))
+	}
+	// Within striking distance of the oracle (swap overhead + initial
+	// misplacement cost allowed).
+	if geo(dynamic) < geo(oracle)*0.80 {
+		t.Fatalf("proposed (%.5f) too far below oracle static (%.5f)",
+			geo(dynamic), geo(oracle))
+	}
+}
+
+// TestHeadlineShape asserts the §VII ordering at reduced scale: on
+// average over random pairs, proposed >= HPE (small margin) and
+// proposed > Round Robin (larger margin), with only a minority of
+// pairs degrading.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r, err := experiments.NewRunner(integrationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := r.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsHPE := stats.Mean(sw.WeightedVsHPE())
+	vsRR := stats.Mean(sw.WeightedVsRR())
+	t.Logf("mean weighted improvement: vs HPE %+.2f%%, vs RR %+.2f%%", vsHPE, vsRR)
+
+	if vsHPE < -1.0 {
+		t.Errorf("proposed clearly loses to HPE on average: %+.2f%%", vsHPE)
+	}
+	if vsRR < 2.0 {
+		t.Errorf("proposed does not clearly beat Round Robin: %+.2f%%", vsRR)
+	}
+	if vsRR < vsHPE {
+		t.Errorf("RR (%+.2f%%) should be the weaker baseline than HPE (%+.2f%%)", vsRR, vsHPE)
+	}
+
+	degraded := 0
+	for _, v := range sw.WeightedVsRR() {
+		if v < 0 {
+			degraded++
+		}
+	}
+	if degraded*2 >= len(sw.Outcomes) {
+		t.Errorf("%d/%d pairs degraded vs RR; paper reports a small minority",
+			degraded, len(sw.Outcomes))
+	}
+}
+
+// TestSwapFractionTiny asserts the §VI-D property: swaps happen at far
+// fewer than 1% of the proposed scheme's decision points.
+func TestSwapFractionTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r, err := experiments.NewRunner(integrationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := experiments.RandomPairs(6, 17)
+	var points, swaps uint64
+	for i, p := range pairs {
+		res := r.RunPair(i, p, r.ProposedFactory())
+		points += res.Sched.DecisionPoints
+		swaps += res.Swaps
+	}
+	if points == 0 {
+		t.Fatal("no decision points")
+	}
+	frac := float64(swaps) / float64(points)
+	t.Logf("swap fraction: %.4f%% (%d/%d)", 100*frac, swaps, points)
+	if frac > 0.01 {
+		t.Errorf("swap fraction %.3f%% exceeds 1%%", 100*frac)
+	}
+}
+
+// TestReproducibleSweep asserts whole-experiment determinism: two
+// runners with the same options produce identical improvement lists.
+func TestReproducibleSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := integrationOptions()
+	opt.Pairs = 2
+	opt.InstrLimit = 250_000
+	mk := func() []float64 {
+		r, err := experiments.NewRunner(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := r.Sweep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(sw.WeightedVsHPE(), sw.WeightedVsRR()...)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sweep nondeterministic at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCompareAgainstBothEstimators checks that HPE behaves sanely with
+// both the matrix and the regression estimator on a real pair.
+func TestCompareAgainstBothEstimators(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r, err := experiments.NewRunner(integrationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.Surface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := experiments.Pair{A: workload.MustByName("gcc"), B: workload.MustByName("equake")}
+	rm := r.RunPair(0, pair, r.HPEFactory(m))
+	rs := r.RunPair(0, pair, r.HPEFactory(s))
+	cmp, err := metrics.Compare(rm, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two estimators may disagree slightly but not wildly.
+	if cmp.WeightedPct > 25 || cmp.WeightedPct < -25 {
+		t.Errorf("matrix vs regression HPE differ by %+.1f%%", cmp.WeightedPct)
+	}
+}

@@ -1,0 +1,362 @@
+// Package amp assembles the asymmetric dual-core system of the paper:
+// two cpu.Cores of different flavors, two threads, a pluggable
+// scheduler that may swap the threads between the cores at run time,
+// and per-thread energy attribution for the IPC/Watt metric.
+//
+// Swapping is modeled the way §VI-C describes it: both pipelines are
+// squashed, both cores freeze for a configurable overhead (default
+// 1000 cycles, sweepable 100..1,000,000), and the migrated threads
+// find cold caches and untrained branch predictors on their new cores
+// — the caches and predictor tables belong to the core, not the
+// thread.
+package amp
+
+import (
+	"fmt"
+
+	"ampsched/internal/cache"
+	"ampsched/internal/cpu"
+	"ampsched/internal/power"
+	"ampsched/internal/workload"
+)
+
+// DefaultSwapOverheadCycles is the reconfiguration cost used in §VII.
+const DefaultSwapOverheadCycles = 1000
+
+// ContextSwitchCycles is the 2 ms Linux scheduler quantum expressed in
+// cycles at 2 GHz — the decision interval of the HPE and Round Robin
+// schemes and of the proposed scheme's forced fairness swap.
+const ContextSwitchCycles = 4_000_000
+
+// Thread is one software thread: a workload generator plus the
+// architectural state that migrates with it.
+type Thread struct {
+	ID   int
+	Name string
+	Gen  *workload.Generator
+	Arch cpu.ThreadArch
+
+	// EnergyNJ is the energy attributed to this thread so far: the
+	// full (dynamic + static) energy of whichever core it occupied,
+	// for as long as it occupied it.
+	EnergyNJ float64
+}
+
+// NewThread builds a thread running bench. addrBase must differ
+// between the two threads of a system.
+func NewThread(id int, bench *workload.Benchmark, seed, addrBase uint64) *Thread {
+	t := &Thread{
+		ID:   id,
+		Name: bench.Name,
+		Gen:  workload.NewGenerator(bench, seed, addrBase),
+	}
+	t.Arch.CodeBase = addrBase + (1 << 36) // code lives away from data
+	t.Arch.CodeSize = bench.EffectiveCodeFootprint()
+	return t
+}
+
+// View is the read-only interface a Scheduler uses to observe the
+// system. It is implemented by *System.
+type View interface {
+	// Cycle returns the current global cycle.
+	Cycle() uint64
+	// ThreadOnCore returns the thread index bound to the core.
+	ThreadOnCore(core int) int
+	// CoreOfThread returns the core index the thread is bound to.
+	CoreOfThread(thread int) int
+	// Arch returns the thread's architectural state, including the
+	// committed-per-class counters the hardware monitors expose.
+	Arch(thread int) *cpu.ThreadArch
+	// ThreadEnergyNJ returns the energy attributed to the thread so
+	// far (flushing core-level accounting first).
+	ThreadEnergyNJ(thread int) float64
+	// LastSwapCycle returns the cycle of the most recent swap (0 if
+	// none has happened).
+	LastSwapCycle() uint64
+	// CoreConfig returns the configuration of a core; schedulers use
+	// Name to identify the INT and FP flavors.
+	CoreConfig(core int) *cpu.Config
+	// L2Stats returns the monotonic last-level-cache counters of a
+	// core. Since each core runs exactly one thread, interval deltas
+	// attribute cleanly to the occupant — the LLC miss-rate signal
+	// the paper's §VII extension folds into the swapping conditions.
+	L2Stats(core int) cache.Stats
+	// FreqGHz returns the (common) core clock.
+	FreqGHz() float64
+}
+
+// Scheduler decides when the two threads exchange cores. Tick is
+// called once per non-stalled cycle and returns true to request an
+// immediate swap. Implementations must be cheap in the common case.
+type Scheduler interface {
+	Name() string
+	// Reset prepares the scheduler for a new run over v.
+	Reset(v View)
+	// Tick observes the system and returns true to swap now.
+	Tick(v View) bool
+}
+
+// SchedulerStats are optional bookkeeping counters a scheduler can
+// expose (decision points evaluated, swaps it requested, rule
+// triggers vetoed by a guard).
+type SchedulerStats struct {
+	DecisionPoints uint64
+	SwapRequests   uint64
+	Vetoes         uint64
+}
+
+// StatsReporter is implemented by schedulers that count decisions.
+type StatsReporter interface {
+	SchedStats() SchedulerStats
+}
+
+// Config holds the system-level knobs.
+type Config struct {
+	// SwapOverheadCycles freezes both cores for this long on a swap.
+	SwapOverheadCycles uint64
+	// MorphOverheadCycles freezes both cores for this long on a core
+	// morph (defaults to SwapOverheadCycles: both are drain + rewire
+	// operations).
+	MorphOverheadCycles uint64
+}
+
+// System is the dual-core AMP.
+type System struct {
+	cores   [2]*cpu.Core
+	models  [2]*power.Model
+	threads [2]*Thread
+	binding [2]int // binding[core] = thread index
+	sched   Scheduler
+	cfg     Config
+
+	cycle         uint64
+	swaps         uint64
+	morphs        uint64
+	morphed       bool
+	lastSwapCycle uint64
+	stallUntil    uint64
+
+	lastAct   [2]cpu.Activity
+	lastCache [2]power.CacheStats
+
+	timeline *timelineState
+}
+
+// NewSystem wires two cores, two threads and a scheduler together.
+// Thread i starts on core i. sched may be nil (static assignment).
+func NewSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg Config) *System {
+	if threads[0] == nil || threads[1] == nil {
+		panic("amp: NewSystem needs two threads")
+	}
+	if cfg.SwapOverheadCycles == 0 {
+		cfg.SwapOverheadCycles = DefaultSwapOverheadCycles
+	}
+	if cfg.MorphOverheadCycles == 0 {
+		cfg.MorphOverheadCycles = cfg.SwapOverheadCycles
+	}
+	s := &System{
+		threads: threads,
+		binding: [2]int{0, 1},
+		sched:   sched,
+		cfg:     cfg,
+	}
+	for i := 0; i < 2; i++ {
+		s.cores[i] = cpu.NewCore(coreCfgs[i])
+		s.models[i] = power.NewModel(coreCfgs[i])
+		s.cores[i].Bind(threads[i].Gen, &threads[i].Arch)
+	}
+	if sched != nil {
+		sched.Reset(s)
+	}
+	return s
+}
+
+// --- View implementation -------------------------------------------
+
+// Cycle implements View.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// ThreadOnCore implements View.
+func (s *System) ThreadOnCore(core int) int { return s.binding[core] }
+
+// CoreOfThread implements View.
+func (s *System) CoreOfThread(thread int) int {
+	if s.binding[0] == thread {
+		return 0
+	}
+	return 1
+}
+
+// Arch implements View.
+func (s *System) Arch(thread int) *cpu.ThreadArch { return &s.threads[thread].Arch }
+
+// ThreadEnergyNJ implements View.
+func (s *System) ThreadEnergyNJ(thread int) float64 {
+	s.flushEnergy()
+	return s.threads[thread].EnergyNJ
+}
+
+// LastSwapCycle implements View.
+func (s *System) LastSwapCycle() uint64 { return s.lastSwapCycle }
+
+// CoreConfig implements View.
+func (s *System) CoreConfig(core int) *cpu.Config { return s.cores[core].Config() }
+
+// L2Stats implements View.
+func (s *System) L2Stats(core int) cache.Stats { return s.cores[core].Hierarchy().L2.Stats() }
+
+// FreqGHz implements View.
+func (s *System) FreqGHz() float64 { return s.cores[0].Config().FreqGHz }
+
+// --------------------------------------------------------------------
+
+// Swaps returns the number of swaps performed so far.
+func (s *System) Swaps() uint64 { return s.swaps }
+
+// Core exposes a core (tests and power accounting).
+func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
+
+// Thread exposes a thread.
+func (s *System) Thread(i int) *Thread { return s.threads[i] }
+
+// flushEnergy attributes each core's un-attributed energy to its
+// current occupant thread.
+func (s *System) flushEnergy() {
+	for c := 0; c < 2; c++ {
+		act := s.cores[c].Activity()
+		cs := power.SnapshotCaches(s.cores[c])
+		dAct := act.Sub(s.lastAct[c])
+		dCS := cs.Sub(s.lastCache[c])
+		e := s.models[c].EnergyNJ(dAct, dCS)
+		s.threads[s.binding[c]].EnergyNJ += e
+		s.lastAct[c] = act
+		s.lastCache[c] = cs
+	}
+}
+
+// swap exchanges the two threads between the cores, paying the
+// configured overhead.
+func (s *System) swap() {
+	s.flushEnergy() // attribute up to now under the old binding
+	s.cores[0].Unbind()
+	s.cores[1].Unbind()
+	s.binding[0], s.binding[1] = s.binding[1], s.binding[0]
+	s.cores[0].Bind(s.threads[s.binding[0]].Gen, &s.threads[s.binding[0]].Arch)
+	s.cores[1].Bind(s.threads[s.binding[1]].Gen, &s.threads[s.binding[1]].Arch)
+	s.swaps++
+	// The swap lands at the end of cycle s.cycle (which already
+	// executed), so the frozen window is [cycle+1, cycle+overhead].
+	s.stallUntil = s.cycle + 1 + s.cfg.SwapOverheadCycles
+	// Swaps are dated from their completion: interval-based rules
+	// (forced fairness swaps, in particular) measure execution time
+	// since the threads actually started running on their new cores,
+	// so an overhead larger than the interval cannot re-trigger an
+	// immediate swap storm.
+	s.lastSwapCycle = s.stallUntil
+}
+
+// watchdogWindow is the progress-check period; a system that commits
+// nothing for this long is wedged and panics with a state dump.
+const watchdogWindow = 8_000_000
+
+// ThreadResult summarizes one thread after a run.
+type ThreadResult struct {
+	Name       string
+	Committed  uint64
+	EnergyNJ   float64
+	IPC        float64
+	Watts      float64
+	IPCPerWatt float64
+	IntPct     float64
+	FPPct      float64
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Scheduler string
+	Cycles    uint64
+	Swaps     uint64
+	Morphs    uint64
+	Threads   [2]ThreadResult
+	Sched     SchedulerStats
+}
+
+// Run advances the system until either thread has committed limit
+// instructions, then returns the per-thread metrics.
+func (s *System) Run(limit uint64) Result {
+	lastProgressCycle := s.cycle
+	lastCommitted := s.threads[0].Arch.Committed + s.threads[1].Arch.Committed
+
+	for s.threads[0].Arch.Committed < limit && s.threads[1].Arch.Committed < limit {
+		if s.cycle < s.stallUntil {
+			s.cores[0].StallCycle()
+			s.cores[1].StallCycle()
+		} else {
+			s.cores[0].Step(s.cycle)
+			s.cores[1].Step(s.cycle)
+			if s.sched != nil {
+				if s.sched.Tick(s) {
+					s.swap()
+				} else if mp, ok := s.sched.(MorphPolicy); ok {
+					switch act, strong := mp.MorphTick(s); {
+					case act == MorphOn && !s.morphed:
+						s.morph(true, strong)
+					case act == MorphOff && s.morphed:
+						s.morph(false, -1)
+					}
+				}
+			}
+		}
+		s.cycle++
+		if s.timeline != nil && s.cycle >= s.timeline.next {
+			s.recordTimeline()
+		}
+
+		if s.cycle-lastProgressCycle >= watchdogWindow {
+			total := s.threads[0].Arch.Committed + s.threads[1].Arch.Committed
+			if total == lastCommitted {
+				panic(fmt.Sprintf(
+					"amp: no commit progress for %d cycles at cycle %d (t0=%d t1=%d inflight=%d/%d)",
+					watchdogWindow, s.cycle,
+					s.threads[0].Arch.Committed, s.threads[1].Arch.Committed,
+					s.cores[0].InFlight(), s.cores[1].InFlight()))
+			}
+			lastCommitted = total
+			lastProgressCycle = s.cycle
+		}
+	}
+
+	s.flushEnergy()
+	res := Result{Cycles: s.cycle, Swaps: s.swaps, Morphs: s.morphs}
+	if s.sched != nil {
+		res.Scheduler = s.sched.Name()
+		if sr, ok := s.sched.(StatsReporter); ok {
+			res.Sched = sr.SchedStats()
+		}
+	} else {
+		res.Scheduler = "static"
+	}
+	freq := s.FreqGHz()
+	seconds := float64(s.cycle) / (freq * 1e9)
+	for i := 0; i < 2; i++ {
+		th := s.threads[i]
+		tr := ThreadResult{
+			Name:      th.Name,
+			Committed: th.Arch.Committed,
+			EnergyNJ:  th.EnergyNJ,
+			IntPct:    th.Arch.IntPct(),
+			FPPct:     th.Arch.FPPct(),
+		}
+		if s.cycle > 0 {
+			tr.IPC = float64(th.Arch.Committed) / float64(s.cycle)
+		}
+		if seconds > 0 {
+			tr.Watts = th.EnergyNJ * 1e-9 / seconds
+		}
+		if tr.Watts > 0 {
+			tr.IPCPerWatt = tr.IPC / tr.Watts
+		}
+		res.Threads[i] = tr
+	}
+	return res
+}

@@ -1,0 +1,227 @@
+package amp
+
+import (
+	"testing"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/power"
+	"ampsched/internal/workload"
+)
+
+func newPair(t *testing.T, a, b string, seed uint64) [2]*Thread {
+	t.Helper()
+	ba, err := workload.ByName(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := workload.ByName(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return [2]*Thread{
+		NewThread(0, ba, seed, 0),
+		NewThread(1, bb, seed+1, 1<<40),
+	}
+}
+
+func coreCfgs() [2]*cpu.Config {
+	return [2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()}
+}
+
+// swapEvery is a test scheduler that swaps at a fixed cycle period.
+type swapEvery struct {
+	period uint64
+	next   uint64
+}
+
+func (s *swapEvery) Name() string { return "swapEvery" }
+func (s *swapEvery) Reset(v View) { s.next = v.Cycle() + s.period }
+func (s *swapEvery) Tick(v View) bool {
+	if v.Cycle() < s.next {
+		return false
+	}
+	s.next = v.Cycle() + s.period
+	return true
+}
+
+func TestRunReachesLimit(t *testing.T) {
+	sys := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 1), nil, Config{})
+	res := sys.Run(20_000)
+	if res.Threads[0].Committed < 20_000 && res.Threads[1].Committed < 20_000 {
+		t.Fatalf("neither thread reached the limit: %+v", res)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	if res.Scheduler != "static" {
+		t.Fatalf("nil scheduler reported as %q", res.Scheduler)
+	}
+}
+
+func TestResultMetricsPositive(t *testing.T) {
+	sys := NewSystem(coreCfgs(), newPair(t, "bitcount", "fpstress", 2), nil, Config{})
+	res := sys.Run(20_000)
+	for i, tr := range res.Threads {
+		if tr.IPC <= 0 || tr.Watts <= 0 || tr.IPCPerWatt <= 0 || tr.EnergyNJ <= 0 {
+			t.Fatalf("thread %d metrics: %+v", i, tr)
+		}
+	}
+	if res.Threads[0].IntPct < 30 {
+		t.Fatalf("bitcount IntPct %.1f too low", res.Threads[0].IntPct)
+	}
+	if res.Threads[1].FPPct < 30 {
+		t.Fatalf("fpstress FPPct %.1f too low", res.Threads[1].FPPct)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	r1 := NewSystem(coreCfgs(), newPair(t, "gcc", "ammp", 3), &swapEvery{period: 5000}, Config{}).Run(15_000)
+	r2 := NewSystem(coreCfgs(), newPair(t, "gcc", "ammp", 3), &swapEvery{period: 5000}, Config{}).Run(15_000)
+	if r1.Cycles != r2.Cycles || r1.Swaps != r2.Swaps {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d cycles/swaps", r1.Cycles, r1.Swaps, r2.Cycles, r2.Swaps)
+	}
+	for i := 0; i < 2; i++ {
+		if r1.Threads[i].Committed != r2.Threads[i].Committed ||
+			r1.Threads[i].EnergyNJ != r2.Threads[i].EnergyNJ {
+			t.Fatalf("thread %d differs", i)
+		}
+	}
+}
+
+func TestSwapExchangesBinding(t *testing.T) {
+	threads := newPair(t, "gcc", "equake", 4)
+	s := &swapEvery{period: 3000}
+	sys := NewSystem(coreCfgs(), threads, s, Config{})
+	if sys.ThreadOnCore(0) != 0 || sys.ThreadOnCore(1) != 1 {
+		t.Fatal("initial binding wrong")
+	}
+	res := sys.Run(10_000)
+	if res.Swaps == 0 {
+		t.Fatal("no swaps happened")
+	}
+	if res.Swaps%2 == 1 {
+		if sys.ThreadOnCore(0) != 1 || sys.ThreadOnCore(1) != 0 {
+			t.Fatal("odd swap count but binding not exchanged")
+		}
+	}
+	if sys.CoreOfThread(sys.ThreadOnCore(0)) != 0 {
+		t.Fatal("CoreOfThread inconsistent with ThreadOnCore")
+	}
+}
+
+func TestSwapOverheadStalls(t *testing.T) {
+	// More swaps with a big overhead must burn more cycles for the
+	// same work.
+	mk := func(overhead uint64) Result {
+		return NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 5),
+			&swapEvery{period: 4000}, Config{SwapOverheadCycles: overhead}).Run(15_000)
+	}
+	cheap := mk(1)
+	costly := mk(2000)
+	if costly.Cycles <= cheap.Cycles {
+		t.Fatalf("overhead did not slow the run: %d vs %d cycles", costly.Cycles, cheap.Cycles)
+	}
+	if cheap.Swaps == 0 {
+		t.Fatal("no swaps in baseline")
+	}
+}
+
+func TestStallCyclesRecorded(t *testing.T) {
+	sys := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 6),
+		&swapEvery{period: 4000}, Config{SwapOverheadCycles: 1000})
+	res := sys.Run(12_000)
+	if res.Swaps == 0 {
+		t.Skip("no swaps, nothing to verify")
+	}
+	act := sys.Core(0).Activity()
+	// The final swap's stall window may be truncated by the end of
+	// the run, so allow one partial window.
+	if act.StallCycles < (res.Swaps-1)*1000 {
+		t.Fatalf("stall cycles %d < (swaps-1) %d * overhead", act.StallCycles, res.Swaps-1)
+	}
+}
+
+func TestEnergyAttributionSums(t *testing.T) {
+	// Total thread energy must equal total core energy (nothing is
+	// lost or double counted by migration accounting).
+	threads := newPair(t, "apsi", "gzip", 7)
+	s := &swapEvery{period: 3000}
+	sys := NewSystem(coreCfgs(), threads, s, Config{})
+	res := sys.Run(15_000)
+	_ = res
+	var coreTotal float64
+	for c := 0; c < 2; c++ {
+		// Recompute each core's total energy from scratch.
+		coreTotal += sys.models[c].EnergyNJ(sys.cores[c].Activity(), power.SnapshotCaches(sys.cores[c]))
+	}
+	threadTotal := threads[0].EnergyNJ + threads[1].EnergyNJ
+	rel := (threadTotal - coreTotal) / coreTotal
+	if rel > 1e-9 || rel < -1e-9 {
+		t.Fatalf("energy mismatch: threads %.3f vs cores %.3f nJ", threadTotal, coreTotal)
+	}
+}
+
+func TestViewAccessors(t *testing.T) {
+	threads := newPair(t, "gcc", "equake", 8)
+	sys := NewSystem(coreCfgs(), threads, nil, Config{})
+	if sys.CoreConfig(0).Name != "INT" || sys.CoreConfig(1).Name != "FP" {
+		t.Fatal("core configs misplaced")
+	}
+	if sys.FreqGHz() != 2.0 {
+		t.Fatal("frequency wrong")
+	}
+	if sys.Arch(0) != &threads[0].Arch {
+		t.Fatal("Arch accessor wrong")
+	}
+	if sys.LastSwapCycle() != 0 {
+		t.Fatal("LastSwapCycle nonzero before any swap")
+	}
+	sys.Run(3000)
+	if e := sys.ThreadEnergyNJ(0); e <= 0 {
+		t.Fatal("thread energy not flushed")
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil thread accepted")
+		}
+	}()
+	NewSystem(coreCfgs(), [2]*Thread{nil, nil}, nil, Config{})
+}
+
+func TestDefaultSwapOverheadApplied(t *testing.T) {
+	sys := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 9), nil, Config{})
+	if sys.cfg.SwapOverheadCycles != DefaultSwapOverheadCycles {
+		t.Fatalf("default overhead = %d", sys.cfg.SwapOverheadCycles)
+	}
+}
+
+func TestNewThreadGeometry(t *testing.T) {
+	b := workload.MustByName("gcc")
+	th := NewThread(1, b, 42, 1<<40)
+	if th.Arch.CodeSize != b.EffectiveCodeFootprint() {
+		t.Fatal("code size not set")
+	}
+	if th.Arch.CodeBase <= 1<<40 {
+		t.Fatal("code base not offset from data base")
+	}
+	if th.Name != "gcc" {
+		t.Fatal("thread name wrong")
+	}
+}
+
+func TestSwapCountsMatchScheduler(t *testing.T) {
+	s := &swapEvery{period: 2500}
+	sys := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 10), s, Config{SwapOverheadCycles: 100})
+	res := sys.Run(12_000)
+	// Roughly cycles/period swaps, modulo stall windows.
+	if res.Swaps == 0 {
+		t.Fatal("scheduler requests ignored")
+	}
+	maxExpected := res.Cycles/2500 + 1
+	if res.Swaps > maxExpected {
+		t.Fatalf("swaps %d exceed request rate bound %d", res.Swaps, maxExpected)
+	}
+}

@@ -1,0 +1,94 @@
+package amp
+
+import (
+	"fmt"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/power"
+)
+
+// Core morphing support (§III / [5]): the system can reconfigure the
+// two cores into a strong+weak pair — the INT core absorbs the FP
+// core's strong floating-point datapath — and back. Morphing uses the
+// same drain-squash-stall protocol as a thread swap and is requested
+// by schedulers implementing MorphPolicy.
+
+// MorphAction is a morph policy's per-tick decision.
+type MorphAction int
+
+// Morph actions.
+const (
+	MorphNone MorphAction = iota
+	MorphOn               // reconfigure to strong+weak; strongThread gets the strong core
+	MorphOff              // restore the baseline INT/FP asymmetric pair
+)
+
+// MorphPolicy is implemented by schedulers that also manage morphing.
+// MorphTick is polled once per non-stalled cycle after the regular
+// swap Tick; returning MorphOn with a thread index asks the system to
+// morph and place that thread on the strong core.
+type MorphPolicy interface {
+	MorphTick(v View) (MorphAction, int)
+}
+
+// Morphed reports whether the system currently runs in the morphed
+// (strong+weak) configuration. It is part of the scheduler-visible
+// state (exposed alongside View).
+func (s *System) Morphed() bool { return s.morphed }
+
+// Morphs returns the number of morph reconfigurations performed (in
+// either direction).
+func (s *System) Morphs() uint64 { return s.morphs }
+
+// intCoreIndex locates the INT-flavored core by configuration name,
+// defaulting to 0.
+func (s *System) intCoreIndex() int {
+	for c := 0; c < 2; c++ {
+		if s.cores[c].Config().Name == "INT" {
+			return c
+		}
+	}
+	return 0
+}
+
+// morph reconfigures the cores. With on=true, strongThread is placed
+// on the (morphed) strong core; with on=false the baseline unit sets
+// are restored and the current thread placement is kept.
+func (s *System) morph(on bool, strongThread int) {
+	s.flushEnergy()
+	s.cores[0].Unbind()
+	s.cores[1].Unbind()
+
+	intC := s.intCoreIndex()
+	fpC := 1 - intC
+	var err error
+	if on {
+		if err = s.cores[intC].Reconfigure(cpu.MorphStrongUnits()); err == nil {
+			err = s.cores[fpC].Reconfigure(cpu.MorphWeakUnits())
+		}
+		s.models[intC] = power.NewModel(cpu.MorphedStrongConfig())
+		s.models[fpC] = power.NewModel(cpu.MorphedWeakConfig())
+		// Place the favored thread on the strong core.
+		if s.binding[intC] != strongThread {
+			s.binding[0], s.binding[1] = s.binding[1], s.binding[0]
+		}
+	} else {
+		if err = s.cores[intC].Reconfigure(cpu.IntCoreConfig().Units); err == nil {
+			err = s.cores[fpC].Reconfigure(cpu.FPCoreConfig().Units)
+		}
+		s.models[intC] = power.NewModel(s.cores[intC].Config())
+		s.models[fpC] = power.NewModel(s.cores[fpC].Config())
+	}
+	if err != nil {
+		// Reconfigure only fails on invalid unit sets, which are
+		// static program data here — treat as a programming error.
+		panic(fmt.Sprintf("amp: morph reconfiguration failed: %v", err))
+	}
+
+	s.cores[0].Bind(s.threads[s.binding[0]].Gen, &s.threads[s.binding[0]].Arch)
+	s.cores[1].Bind(s.threads[s.binding[1]].Gen, &s.threads[s.binding[1]].Arch)
+	s.morphed = on
+	s.morphs++
+	s.stallUntil = s.cycle + 1 + s.cfg.MorphOverheadCycles
+	s.lastSwapCycle = s.stallUntil // reconfigurations reset interval timers
+}

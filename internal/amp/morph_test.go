@@ -1,0 +1,116 @@
+package amp
+
+import (
+	"testing"
+
+	"ampsched/internal/cpu"
+)
+
+// scriptedMorph is a test policy: morph on at a given cycle, off at a
+// later one, always favoring thread strong.
+type scriptedMorph struct {
+	onAt, offAt uint64
+	strong      int
+}
+
+func (p *scriptedMorph) Name() string   { return "scriptedMorph" }
+func (p *scriptedMorph) Reset(View)     {}
+func (p *scriptedMorph) Tick(View) bool { return false }
+func (p *scriptedMorph) MorphTick(v View) (MorphAction, int) {
+	switch {
+	case v.Cycle() >= p.offAt:
+		return MorphOff, 0
+	case v.Cycle() >= p.onAt:
+		return MorphOn, p.strong
+	}
+	return MorphNone, 0
+}
+
+func TestMorphMechanics(t *testing.T) {
+	threads := newPair(t, "fpstress", "mcf", 41)
+	pol := &scriptedMorph{onAt: 10_000, offAt: 60_000, strong: 0}
+	sys := NewSystem(coreCfgs(), threads, pol, Config{SwapOverheadCycles: 500})
+	res := sys.Run(120_000)
+
+	if res.Morphs < 2 {
+		t.Fatalf("expected morph on+off, got %d morphs", res.Morphs)
+	}
+	// After the final MorphOff the system is unmorphed with baseline
+	// units restored.
+	if sys.Morphed() {
+		t.Fatal("system still morphed at end")
+	}
+	intC := sys.intCoreIndex()
+	if sys.Core(intC).EffectiveUnits() != cpu.IntCoreConfig().Units {
+		t.Fatal("INT core units not restored")
+	}
+	if sys.Core(1-intC).EffectiveUnits() != cpu.FPCoreConfig().Units {
+		t.Fatal("FP core units not restored")
+	}
+}
+
+func TestMorphPlacesStrongThread(t *testing.T) {
+	threads := newPair(t, "fpstress", "mcf", 42)
+	// Favor thread 1 (starts on the FP core) — the morph must also
+	// exchange the binding so thread 1 lands on the strong (INT) core.
+	pol := &scriptedMorph{onAt: 10_000, offAt: 1 << 62, strong: 1}
+	sys := NewSystem(coreCfgs(), threads, pol, Config{SwapOverheadCycles: 500})
+	sys.Run(60_000)
+
+	if !sys.Morphed() {
+		t.Fatal("system did not morph")
+	}
+	intC := sys.intCoreIndex()
+	if sys.ThreadOnCore(intC) != 1 {
+		t.Fatal("strong thread not placed on the strong core")
+	}
+	if sys.Core(intC).EffectiveUnits() != cpu.MorphStrongUnits() {
+		t.Fatal("strong units not installed")
+	}
+	if sys.Core(1-intC).EffectiveUnits() != cpu.MorphWeakUnits() {
+		t.Fatal("weak units not installed")
+	}
+}
+
+func TestMorphOverheadStalls(t *testing.T) {
+	threads := newPair(t, "gcc", "equake", 43)
+	pol := &scriptedMorph{onAt: 5_000, offAt: 1 << 62, strong: 0}
+	sys := NewSystem(coreCfgs(), threads, pol,
+		Config{SwapOverheadCycles: 100, MorphOverheadCycles: 5_000})
+	res := sys.Run(40_000)
+	if res.Morphs == 0 {
+		t.Fatal("no morph happened")
+	}
+	if sys.Core(0).Activity().StallCycles < 5_000 {
+		t.Fatalf("morph overhead not charged: %d stall cycles",
+			sys.Core(0).Activity().StallCycles)
+	}
+}
+
+func TestMorphDefaultsToSwapOverhead(t *testing.T) {
+	sys := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 44), nil,
+		Config{SwapOverheadCycles: 777})
+	if sys.cfg.MorphOverheadCycles != 777 {
+		t.Fatalf("morph overhead default = %d", sys.cfg.MorphOverheadCycles)
+	}
+}
+
+func TestMorphMixedWorkloadGainsThroughput(t *testing.T) {
+	// The morphing sweet spot of [5]: a thread that alternates INT
+	// and FP phases (mixstress) is fast in only half its phases on
+	// either baseline core, but fast in all of them on the morphed
+	// strong core. Throughput (IPC) must rise clearly; whether
+	// IPC/Watt rises too depends on the added leakage — that tradeoff
+	// is exactly what the swap-vs-morph experiment measures.
+	run := func(pol Scheduler) Result {
+		threads := newPair(t, "memstress", "mixstress", 45)
+		sys := NewSystem(coreCfgs(), threads, pol, Config{SwapOverheadCycles: 500})
+		return sys.Run(250_000)
+	}
+	unmorphed := run(nil)
+	morphed := run(&scriptedMorph{onAt: 5_000, offAt: 1 << 62, strong: 1})
+	if morphed.Threads[1].IPC <= unmorphed.Threads[1].IPC*1.1 {
+		t.Fatalf("strong core did not speed up mixstress: IPC %.3f vs %.3f",
+			morphed.Threads[1].IPC, unmorphed.Threads[1].IPC)
+	}
+}

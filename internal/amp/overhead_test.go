@@ -1,0 +1,65 @@
+package amp_test
+
+import (
+	"testing"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/sched"
+	"ampsched/internal/workload"
+)
+
+// TestNoForcedSwapStorm guards the §VI-C interaction fixed in
+// System.swap: when the swap overhead exceeds the forced-fairness
+// interval, the elapsed-time-since-swap rule must not re-trigger
+// immediately after every stall window. Swaps are dated from stall
+// completion, so a same-flavor pair swaps at the fairness rate, not
+// once per window.
+func TestNoForcedSwapStorm(t *testing.T) {
+	cfg := sched.DefaultProposedConfig()
+	cfg.ForceInterval = 50_000
+	s := sched.NewProposed(cfg)
+
+	// Two INT-heavy threads: only the forced fairness swap can fire.
+	t0 := amp.NewThread(0, workload.MustByName("bitcount"), 1, 0)
+	t1 := amp.NewThread(1, workload.MustByName("sha"), 2, 1<<40)
+	sys := amp.NewSystem(
+		[2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
+		[2]*amp.Thread{t0, t1}, s,
+		amp.Config{SwapOverheadCycles: 200_000}, // 4x the interval
+	)
+	res := sys.Run(150_000)
+
+	// Each swap costs 200k stall + >=50k execution before the next
+	// can fire, so the bound is cycles / 250k (+1 slack).
+	maxSwaps := res.Cycles/250_000 + 1
+	if res.Swaps > maxSwaps {
+		t.Fatalf("swap storm: %d swaps in %d cycles (bound %d)", res.Swaps, res.Cycles, maxSwaps)
+	}
+	if res.Swaps == 0 {
+		t.Fatal("fairness swap never fired for a same-flavor pair")
+	}
+}
+
+// TestOverheadMonotoneCost checks that, holding the scheduler fixed,
+// a larger swap overhead cannot make the same workload finish in
+// fewer cycles.
+func TestOverheadMonotoneCost(t *testing.T) {
+	run := func(overhead uint64) amp.Result {
+		t0 := amp.NewThread(0, workload.MustByName("fpstress"), 3, 0)
+		t1 := amp.NewThread(1, workload.MustByName("intstress"), 4, 1<<40)
+		s := sched.NewProposed(sched.DefaultProposedConfig())
+		sys := amp.NewSystem(
+			[2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
+			[2]*amp.Thread{t0, t1}, s, amp.Config{SwapOverheadCycles: overhead})
+		return sys.Run(200_000)
+	}
+	cheap := run(100)
+	costly := run(100_000)
+	if cheap.Swaps == 0 {
+		t.Skip("no swaps; nothing to compare")
+	}
+	if costly.Cycles < cheap.Cycles {
+		t.Fatalf("higher overhead finished faster: %d vs %d cycles", costly.Cycles, cheap.Cycles)
+	}
+}

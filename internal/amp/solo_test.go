@@ -1,0 +1,132 @@
+package amp
+
+import (
+	"testing"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/workload"
+)
+
+func TestSoloRunBasics(t *testing.T) {
+	b := workload.MustByName("bitcount")
+	res := SoloRun(cpu.IntCoreConfig(), b, 1, 10_000, 0)
+	if res.Committed < 10_000 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+	if res.IPC <= 0 || res.Watts <= 0 || res.IPCPerWatt <= 0 {
+		t.Fatalf("metrics: %+v", res)
+	}
+	if res.Core != "INT" || res.Bench != "bitcount" {
+		t.Fatalf("identity: %s %s", res.Core, res.Bench)
+	}
+	// No periodic sampling: exactly one closing sample.
+	if len(res.Samples) != 1 {
+		t.Fatalf("samples = %d", len(res.Samples))
+	}
+}
+
+func TestSoloRunCycleSampling(t *testing.T) {
+	b := workload.MustByName("gcc")
+	res := SoloRun(cpu.IntCoreConfig(), b, 2, 30_000, 10_000)
+	if len(res.Samples) < 3 {
+		t.Fatalf("too few samples: %d", len(res.Samples))
+	}
+	var total uint64
+	for _, s := range res.Samples {
+		total += s.Committed
+		if s.IntPct < 0 || s.IntPct > 100 || s.FPPct < 0 || s.FPPct > 100 {
+			t.Fatalf("bad composition: %+v", s)
+		}
+	}
+	if total != res.Committed {
+		t.Fatalf("samples cover %d commits, run committed %d", total, res.Committed)
+	}
+}
+
+func TestSoloRunWindowSampling(t *testing.T) {
+	b := workload.MustByName("apsi")
+	res := SoloRunWindows(cpu.FPCoreConfig(), b, 3, 20_000, 1000)
+	if len(res.Samples) < 19 {
+		t.Fatalf("expected ~20 window samples, got %d", len(res.Samples))
+	}
+	// Window edges land within a commit-width of the nominal size, so
+	// deltas wobble by a few instructions around 1000.
+	for i, s := range res.Samples[:len(res.Samples)-1] {
+		if s.Committed < 990 || s.Committed > 1010 {
+			t.Fatalf("sample %d covers %d instructions, want ~1000", i, s.Committed)
+		}
+	}
+}
+
+func TestSoloRunWindowsAlignAcrossCores(t *testing.T) {
+	// The same benchmark and seed must produce (nearly) identical
+	// window boundaries on both cores, so per-window comparisons in
+	// the rule derivation are meaningful.
+	b := workload.MustByName("ffti")
+	ri := SoloRunWindows(cpu.IntCoreConfig(), b, 4, 15_000, 1000)
+	rf := SoloRunWindows(cpu.FPCoreConfig(), b, 4, 15_000, 1000)
+	n := len(ri.Samples)
+	if len(rf.Samples) < n {
+		n = len(rf.Samples)
+	}
+	if n < 10 {
+		t.Fatalf("too few aligned windows: %d", n)
+	}
+	for w := 0; w < n-1; w++ {
+		di := ri.Samples[w].IntPct - rf.Samples[w].IntPct
+		if di > 12 || di < -12 {
+			t.Fatalf("window %d composition misaligned: %.1f vs %.1f",
+				w, ri.Samples[w].IntPct, rf.Samples[w].IntPct)
+		}
+	}
+}
+
+func TestSoloRunWindowsZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window accepted")
+		}
+	}()
+	SoloRunWindows(cpu.IntCoreConfig(), workload.MustByName("pi"), 1, 100, 0)
+}
+
+func TestSoloDeterminism(t *testing.T) {
+	b := workload.MustByName("mcf")
+	r1 := SoloRun(cpu.IntCoreConfig(), b, 5, 5_000, 0)
+	r2 := SoloRun(cpu.IntCoreConfig(), b, 5, 5_000, 0)
+	if r1.Cycles != r2.Cycles || r1.EnergyNJ != r2.EnergyNJ {
+		t.Fatalf("solo runs nondeterministic: %d/%.3f vs %d/%.3f",
+			r1.Cycles, r1.EnergyNJ, r2.Cycles, r2.EnergyNJ)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	// The motivating observation of the paper: FP-heavy workloads
+	// achieve better IPC/Watt on the FP core, INT-heavy on the INT
+	// core.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	intCfg, fpCfg := cpu.IntCoreConfig(), cpu.FPCoreConfig()
+	ratio := func(name string) float64 {
+		b := workload.MustByName(name)
+		ri := SoloRun(intCfg, b, 7, 100_000, 0)
+		rf := SoloRun(fpCfg, b, 7, 100_000, 0)
+		return ri.IPCPerWatt / rf.IPCPerWatt
+	}
+	if r := ratio("intstress"); r < 1.2 {
+		t.Errorf("intstress INT/FP IPC-per-watt ratio %.2f, want > 1.2", r)
+	}
+	if r := ratio("CRC32"); r < 1.1 {
+		t.Errorf("CRC32 ratio %.2f, want > 1.1", r)
+	}
+	if r := ratio("fpstress"); r > 0.85 {
+		t.Errorf("fpstress ratio %.2f, want < 0.85", r)
+	}
+	if r := ratio("equake"); r > 0.95 {
+		t.Errorf("equake ratio %.2f, want < 0.95", r)
+	}
+	if r := ratio("mcf"); r < 0.9 || r > 1.25 {
+		t.Errorf("mcf ratio %.2f, want near parity", r)
+	}
+}

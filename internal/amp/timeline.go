@@ -1,0 +1,116 @@
+package amp
+
+import (
+	"ampsched/internal/isa"
+)
+
+// TimelineThread is one thread's view of a timeline interval.
+type TimelineThread struct {
+	Core       int
+	Committed  uint64
+	IPC        float64
+	IPCPerWatt float64
+	IntPct     float64
+	FPPct      float64
+}
+
+// TimelinePoint is one recorded interval of a run: where each thread
+// sat, what it achieved, and whether the interval contained a swap or
+// a morph. Timelines are the debugging/visualization view of a
+// scheduling run — the data behind plots like the paper's per-phase
+// discussions.
+type TimelinePoint struct {
+	EndCycle uint64
+	Threads  [2]TimelineThread
+	Swaps    uint64 // swaps during the interval
+	Morphs   uint64
+	Morphed  bool // state at the end of the interval
+}
+
+// timelineState is the recorder's incremental bookkeeping.
+type timelineState struct {
+	interval uint64
+	next     uint64
+	points   []TimelinePoint
+
+	lastCommit [2]uint64
+	lastClass  [2][isa.NumClasses]uint64
+	lastEnergy [2]float64
+	lastCycle  uint64
+	lastSwaps  uint64
+	lastMorphs uint64
+}
+
+// EnableTimeline turns on per-interval recording. Call before Run.
+// Interval is in cycles.
+func (s *System) EnableTimeline(interval uint64) {
+	if interval == 0 {
+		panic("amp: EnableTimeline with zero interval")
+	}
+	s.timeline = &timelineState{interval: interval, next: s.cycle + interval}
+	for t := 0; t < 2; t++ {
+		s.timeline.lastCommit[t] = s.threads[t].Arch.Committed
+		s.timeline.lastClass[t] = s.threads[t].Arch.CommittedByClass
+		s.timeline.lastEnergy[t] = s.threads[t].EnergyNJ
+	}
+	s.timeline.lastCycle = s.cycle
+}
+
+// Timeline returns the recorded points (nil unless EnableTimeline was
+// called).
+func (s *System) Timeline() []TimelinePoint {
+	if s.timeline == nil {
+		return nil
+	}
+	return s.timeline.points
+}
+
+// recordTimeline closes one interval; called from Run when the
+// recorder is armed and the boundary passed.
+func (s *System) recordTimeline() {
+	tl := s.timeline
+	s.flushEnergy()
+	cycles := s.cycle - tl.lastCycle
+	pt := TimelinePoint{
+		EndCycle: s.cycle,
+		Swaps:    s.swaps - tl.lastSwaps,
+		Morphs:   s.morphs - tl.lastMorphs,
+		Morphed:  s.morphed,
+	}
+	seconds := float64(cycles) / (s.FreqGHz() * 1e9)
+	for t := 0; t < 2; t++ {
+		th := s.threads[t]
+		committed := th.Arch.Committed - tl.lastCommit[t]
+		var intN, fpN uint64
+		for c := isa.Class(0); c < isa.NumClasses; c++ {
+			d := th.Arch.CommittedByClass[c] - tl.lastClass[t][c]
+			if c.IsInt() {
+				intN += d
+			} else if c.IsFP() {
+				fpN += d
+			}
+		}
+		tt := TimelineThread{Core: s.CoreOfThread(t), Committed: committed}
+		if committed > 0 {
+			tt.IntPct = 100 * float64(intN) / float64(committed)
+			tt.FPPct = 100 * float64(fpN) / float64(committed)
+		}
+		if cycles > 0 {
+			tt.IPC = float64(committed) / float64(cycles)
+			energy := th.EnergyNJ - tl.lastEnergy[t]
+			if seconds > 0 && energy > 0 {
+				watts := energy * 1e-9 / seconds
+				tt.IPCPerWatt = tt.IPC / watts
+			}
+		}
+		pt.Threads[t] = tt
+		tl.lastCommit[t] = th.Arch.Committed
+		tl.lastClass[t] = th.Arch.CommittedByClass
+		tl.lastEnergy[t] = th.EnergyNJ
+	}
+	tl.lastCycle = s.cycle
+	tl.lastSwaps = s.swaps
+	tl.lastMorphs = s.morphs
+	tl.points = append(tl.points, pt)
+	tl.next = s.cycle + tl.interval
+}

@@ -1,0 +1,87 @@
+package amp
+
+import (
+	"testing"
+)
+
+func TestTimelineRecords(t *testing.T) {
+	threads := newPair(t, "gcc", "equake", 91)
+	s := &swapEvery{period: 30_000}
+	sys := NewSystem(coreCfgs(), threads, s, Config{SwapOverheadCycles: 100})
+	sys.EnableTimeline(20_000)
+	res := sys.Run(60_000)
+
+	pts := sys.Timeline()
+	if len(pts) < 3 {
+		t.Fatalf("timeline has %d points", len(pts))
+	}
+	var committed [2]uint64
+	var swaps uint64
+	for i, p := range pts {
+		if i > 0 && p.EndCycle <= pts[i-1].EndCycle {
+			t.Fatalf("timeline not monotonic at %d", i)
+		}
+		for th := 0; th < 2; th++ {
+			committed[th] += p.Threads[th].Committed
+			if p.Threads[th].Core != 0 && p.Threads[th].Core != 1 {
+				t.Fatalf("bad core index %d", p.Threads[th].Core)
+			}
+			if p.Threads[th].IntPct < 0 || p.Threads[th].IntPct > 100 {
+				t.Fatalf("bad IntPct %g", p.Threads[th].IntPct)
+			}
+		}
+		if p.Threads[0].Core == p.Threads[1].Core {
+			t.Fatal("both threads on the same core")
+		}
+		swaps += p.Swaps
+	}
+	// Timeline covers (almost) the whole run: the final partial
+	// interval is not recorded.
+	for th := 0; th < 2; th++ {
+		if committed[th] > res.Threads[th].Committed {
+			t.Fatalf("timeline commits exceed run commits for thread %d", th)
+		}
+		if committed[th] == 0 {
+			t.Fatalf("timeline recorded no commits for thread %d", th)
+		}
+	}
+	if swaps == 0 || swaps > res.Swaps {
+		t.Fatalf("timeline swaps %d vs run swaps %d", swaps, res.Swaps)
+	}
+}
+
+func TestTimelineDisabledByDefault(t *testing.T) {
+	sys := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 92), nil, Config{})
+	sys.Run(5_000)
+	if sys.Timeline() != nil {
+		t.Fatal("timeline recorded without EnableTimeline")
+	}
+}
+
+func TestTimelineZeroIntervalPanics(t *testing.T) {
+	sys := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 93), nil, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval accepted")
+		}
+	}()
+	sys.EnableTimeline(0)
+}
+
+func TestTimelineTracksBindingChanges(t *testing.T) {
+	threads := newPair(t, "gcc", "equake", 94)
+	s := &swapEvery{period: 25_000}
+	sys := NewSystem(coreCfgs(), threads, s, Config{SwapOverheadCycles: 100})
+	sys.EnableTimeline(25_000)
+	sys.Run(80_000)
+	pts := sys.Timeline()
+	changed := false
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Threads[0].Core != pts[i-1].Threads[0].Core {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("timeline never observed a binding change despite periodic swaps")
+	}
+}

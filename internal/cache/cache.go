@@ -1,0 +1,311 @@
+// Package cache models the on-chip memory hierarchy of each core: a
+// 4 KB instruction L1, a 4 KB data L1 and a 128 KB unified L2 backed
+// by a fixed-latency main memory (paper Table I).
+//
+// Each cache is set-associative with true-LRU replacement and a
+// write-allocate, write-back policy. The model is functional at line
+// granularity — it tracks which lines are resident, so thread swaps
+// naturally pay cold-start misses on the destination core (§VI-C's
+// "warming the caches" overhead) without any special-case modeling.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	LineBytes  int
+	Ways       int
+	HitLatency int // cycles for a hit at this level
+}
+
+// Validate reports the first problem with the configuration.
+func (c *Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry %+v", c.Name, *c)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by line*ways %d",
+			c.Name, c.SizeBytes, c.LineBytes*c.Ways)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	if c.HitLatency <= 0 {
+		return fmt.Errorf("cache %s: non-positive hit latency %d", c.Name, c.HitLatency)
+	}
+	return nil
+}
+
+// Stats are monotonic access counters; callers snapshot and diff them
+// for per-interval accounting.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Sub returns s - o component-wise (for interval deltas).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Accesses:   s.Accesses - o.Accesses,
+		Misses:     s.Misses - o.Misses,
+		Writebacks: s.Writebacks - o.Writebacks,
+	}
+}
+
+type line struct {
+	tag   uint64
+	lru   uint64 // last-use stamp
+	valid bool
+	dirty bool
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg       Config
+	sets      int
+	ways      int
+	lineShift uint
+	setMask   uint64
+	lines     []line // sets*ways, way-major within a set
+	stamp     uint64
+	stats     Stats
+}
+
+// New constructs a cache from cfg, panicking on invalid geometry
+// (configurations are static program data, not user input).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		ways:      cfg.Ways,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		lines:     make([]line, sets*cfg.Ways),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the monotonic counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Access looks up addr, allocating the line on a miss. It returns
+// true on a hit. write marks the line dirty; evicting a dirty line
+// counts a writeback.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.stats.Accesses++
+	c.stamp++
+	lineAddr := addr >> c.lineShift
+	set := int(lineAddr & c.setMask)
+	tag := lineAddr >> 0 // full line address as tag (simple, exact)
+	base := set * c.ways
+
+	victim := base
+	oldest := ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		l := &c.lines[i]
+		if l.valid && l.tag == tag {
+			l.lru = c.stamp
+			if write {
+				l.dirty = true
+			}
+			return true
+		}
+		if !l.valid {
+			victim = i
+			oldest = 0
+		} else if l.lru < oldest {
+			victim = i
+			oldest = l.lru
+		}
+	}
+
+	c.stats.Misses++
+	v := &c.lines[victim]
+	if v.valid && v.dirty {
+		c.stats.Writebacks++
+	}
+	*v = line{tag: tag, lru: c.stamp, valid: true, dirty: write}
+	return false
+}
+
+// Install brings addr's line into the cache without touching the
+// demand statistics — the prefetch fill path. It returns true if the
+// line was already resident. LRU state is updated (a prefetched line
+// is "recently used").
+func (c *Cache) Install(addr uint64) bool {
+	c.stamp++
+	lineAddr := addr >> c.lineShift
+	set := int(lineAddr & c.setMask)
+	base := set * c.ways
+
+	victim := base
+	oldest := ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		l := &c.lines[i]
+		if l.valid && l.tag == lineAddr {
+			l.lru = c.stamp
+			return true
+		}
+		if !l.valid {
+			victim = i
+			oldest = 0
+		} else if l.lru < oldest {
+			victim = i
+			oldest = l.lru
+		}
+	}
+	v := &c.lines[victim]
+	if v.valid && v.dirty {
+		c.stats.Writebacks++
+	}
+	*v = line{tag: lineAddr, lru: c.stamp, valid: true}
+	return false
+}
+
+// Contains reports whether addr's line is resident without affecting
+// LRU state or statistics. Intended for tests and invariant checks.
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr >> c.lineShift
+	set := int(lineAddr & c.setMask)
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate clears all lines (and forgets dirtiness) without touching
+// the statistics counters.
+func (c *Cache) Invalidate() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// Hierarchy is a core-private IL1/DL1 + unified L2 backed by memory.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+
+	// MemLatency is the flat main-memory access latency in cycles.
+	MemLatency int
+
+	// NextLinePrefetch, when enabled, pulls the sequentially next
+	// line into the L2 on every demand L2 access triggered by a data
+	// read (a simple one-block-lookahead prefetcher; SESC-era
+	// hierarchies offered the same knob). Prefetches are counted in
+	// PrefetchIssued and do not affect the demand access's latency.
+	NextLinePrefetch bool
+	// PrefetchIssued counts prefetches sent to the L2.
+	PrefetchIssued uint64
+}
+
+// HierarchyConfig bundles the per-level configurations.
+type HierarchyConfig struct {
+	L1I, L1D, L2 Config
+	MemLatency   int
+	// NextLinePrefetch enables the L2 one-block-lookahead prefetcher.
+	NextLinePrefetch bool
+}
+
+// NewHierarchy builds the three levels.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		L1I:              New(cfg.L1I),
+		L1D:              New(cfg.L1D),
+		L2:               New(cfg.L2),
+		MemLatency:       cfg.MemLatency,
+		NextLinePrefetch: cfg.NextLinePrefetch,
+	}
+}
+
+// ReadData returns the load-to-use latency for a data read at addr,
+// walking L1D -> L2 -> memory.
+func (h *Hierarchy) ReadData(addr uint64) int {
+	lat := h.L1D.Config().HitLatency
+	if h.L1D.Access(addr, false) {
+		return lat
+	}
+	lat += h.L2.Config().HitLatency
+	hit := h.L2.Access(addr, false)
+	if h.NextLinePrefetch {
+		// Fill the next line through the stats-neutral path so demand
+		// miss rates stay meaningful.
+		if !h.L2.Install(addr + uint64(h.L2.Config().LineBytes)) {
+			h.PrefetchIssued++
+		}
+	}
+	if hit {
+		return lat
+	}
+	return lat + h.MemLatency
+}
+
+// WriteData performs a data write at addr and returns the latency the
+// store pipeline observes (stores retire from a write buffer, so the
+// returned latency is only used for occupancy/energy accounting).
+func (h *Hierarchy) WriteData(addr uint64) int {
+	lat := h.L1D.Config().HitLatency
+	if h.L1D.Access(addr, true) {
+		return lat
+	}
+	lat += h.L2.Config().HitLatency
+	if h.L2.Access(addr, true) {
+		return lat
+	}
+	return lat + h.MemLatency
+}
+
+// FetchInstr returns the latency of an instruction fetch at pc,
+// walking L1I -> L2 -> memory.
+func (h *Hierarchy) FetchInstr(pc uint64) int {
+	lat := h.L1I.Config().HitLatency
+	if h.L1I.Access(pc, false) {
+		return lat
+	}
+	lat += h.L2.Config().HitLatency
+	if h.L2.Access(pc, false) {
+		return lat
+	}
+	return lat + h.MemLatency
+}
+
+// InvalidateAll clears every level (used by tests; thread swaps do NOT
+// invalidate — the whole point is that a migrated thread finds cold
+// caches on the destination core while its old lines decay naturally).
+func (h *Hierarchy) InvalidateAll() {
+	h.L1I.Invalidate()
+	h.L1D.Invalidate()
+	h.L2.Invalidate()
+}

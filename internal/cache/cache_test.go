@@ -1,0 +1,291 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampsched/internal/rng"
+)
+
+func smallConfig() Config {
+	return Config{Name: "t", SizeBytes: 1024, LineBytes: 32, Ways: 2, HitLatency: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := smallConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.SizeBytes = 0 },
+		func(c *Config) { c.LineBytes = 0 },
+		func(c *Config) { c.Ways = 0 },
+		func(c *Config) { c.HitLatency = 0 },
+		func(c *Config) { c.LineBytes = 48 },             // not power of two
+		func(c *Config) { c.SizeBytes = 1000 },           // not divisible
+		func(c *Config) { c.SizeBytes = 96; c.Ways = 1 }, // sets=3 not pow2
+	}
+	for i, mutate := range cases {
+		c := smallConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(Config{Name: "bad"})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(smallConfig())
+	if c.Access(0x100, false) {
+		t.Fatal("first access hit")
+	}
+	if !c.Access(0x100, false) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x11f, false) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x120, false) {
+		t.Fatal("next-line access hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way cache: fill one set with 2 lines, touch the first, insert
+	// a third; the second (least recently used) must be evicted.
+	c := New(smallConfig())
+	sets := uint64(c.Sets())
+	line := uint64(32)
+	stride := sets * line // same set, different tags
+	a, b, d := uint64(0), stride, 2*stride
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is now MRU
+	c.Access(d, false) // evicts b
+	if !c.Contains(a) {
+		t.Fatal("a evicted despite being MRU")
+	}
+	if c.Contains(b) {
+		t.Fatal("b survived despite being LRU")
+	}
+	if !c.Contains(d) {
+		t.Fatal("d not inserted")
+	}
+}
+
+func TestWritebackCounting(t *testing.T) {
+	c := New(smallConfig())
+	sets := uint64(c.Sets())
+	stride := sets * 32
+	c.Access(0, true)        // dirty
+	c.Access(stride, false)  // clean
+	c.Access(2*stride, true) // evicts the dirty line 0 (LRU)
+	st := c.Stats()
+	if st.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", st.Writebacks)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(smallConfig())
+	c.Access(0x40, false)
+	if !c.Contains(0x40) {
+		t.Fatal("line not resident")
+	}
+	c.Invalidate()
+	if c.Contains(0x40) {
+		t.Fatal("line survived Invalidate")
+	}
+	if c.Stats().Accesses != 1 {
+		t.Fatal("Invalidate disturbed statistics")
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := New(smallConfig())
+	c.Access(0x40, false)
+	before := c.Stats()
+	for i := 0; i < 10; i++ {
+		c.Contains(0x40)
+		c.Contains(0x9999)
+	}
+	if c.Stats() != before {
+		t.Fatal("Contains changed statistics")
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Accesses: 10, Misses: 4, Writebacks: 2}
+	b := Stats{Accesses: 6, Misses: 1, Writebacks: 1}
+	got := a.Sub(b)
+	if got != (Stats{Accesses: 4, Misses: 3, Writebacks: 1}) {
+		t.Fatalf("Sub = %+v", got)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	if (Stats{}).MissRate() != 0 {
+		t.Fatal("empty miss rate not 0")
+	}
+	if (Stats{Accesses: 4, Misses: 1}).MissRate() != 0.25 {
+		t.Fatal("miss rate wrong")
+	}
+}
+
+func TestWorkingSetResidency(t *testing.T) {
+	// A working set half the cache size must stop missing after one
+	// pass (compulsory misses only).
+	c := New(Config{Name: "t", SizeBytes: 4096, LineBytes: 32, Ways: 2, HitLatency: 1})
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < 2048; a += 32 {
+			c.Access(a, false)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 2048/32 {
+		t.Fatalf("misses = %d, want %d compulsory misses", st.Misses, 2048/32)
+	}
+}
+
+func TestThrashingWorkingSet(t *testing.T) {
+	// A working set much larger than the cache streams: every new
+	// line misses on every pass.
+	c := New(Config{Name: "t", SizeBytes: 1024, LineBytes: 32, Ways: 2, HitLatency: 1})
+	lines := uint64(256)
+	for pass := 0; pass < 2; pass++ {
+		for i := uint64(0); i < lines; i++ {
+			c.Access(i*32, false)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 2*lines {
+		t.Fatalf("misses = %d, want %d", st.Misses, 2*lines)
+	}
+}
+
+func defaultHier() *Hierarchy {
+	return NewHierarchy(HierarchyConfig{
+		L1I:        Config{Name: "IL1", SizeBytes: 4 << 10, LineBytes: 32, Ways: 2, HitLatency: 1},
+		L1D:        Config{Name: "DL1", SizeBytes: 4 << 10, LineBytes: 32, Ways: 2, HitLatency: 1},
+		L2:         Config{Name: "L2", SizeBytes: 128 << 10, LineBytes: 64, Ways: 8, HitLatency: 10},
+		MemLatency: 100,
+	})
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := defaultHier()
+	// Cold: L1 miss + L2 miss + memory.
+	if lat := h.ReadData(0x1000); lat != 1+10+100 {
+		t.Fatalf("cold read latency = %d", lat)
+	}
+	// Warm L1.
+	if lat := h.ReadData(0x1000); lat != 1 {
+		t.Fatalf("warm read latency = %d", lat)
+	}
+	// L1 eviction but L2 hit: stream enough lines through L1.
+	for a := uint64(0x10000); a < 0x10000+8<<10; a += 32 {
+		h.ReadData(a)
+	}
+	if lat := h.ReadData(0x1000); lat != 1+10 {
+		t.Fatalf("L2-hit latency = %d", lat)
+	}
+}
+
+func TestHierarchyFetchInstr(t *testing.T) {
+	h := defaultHier()
+	if lat := h.FetchInstr(0x4000); lat != 111 {
+		t.Fatalf("cold fetch latency = %d", lat)
+	}
+	if lat := h.FetchInstr(0x4000); lat != 1 {
+		t.Fatalf("warm fetch latency = %d", lat)
+	}
+	// Instruction fetches must not touch the data L1.
+	if h.L1D.Stats().Accesses != 0 {
+		t.Fatal("FetchInstr touched DL1")
+	}
+}
+
+func TestHierarchyWrite(t *testing.T) {
+	h := defaultHier()
+	h.WriteData(0x2000)
+	if h.L1D.Stats().Accesses != 1 {
+		t.Fatal("write did not access DL1")
+	}
+	if lat := h.WriteData(0x2000); lat != 1 {
+		t.Fatalf("warm write latency = %d", lat)
+	}
+}
+
+func TestHierarchyInvalidateAll(t *testing.T) {
+	h := defaultHier()
+	h.ReadData(0x3000)
+	h.InvalidateAll()
+	if h.L1D.Contains(0x3000) || h.L2.Contains(0x3000) {
+		t.Fatal("InvalidateAll left lines")
+	}
+}
+
+func TestQuickAccessThenContains(t *testing.T) {
+	c := New(smallConfig())
+	f := func(addr uint64) bool {
+		c.Access(addr, false)
+		return c.Contains(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMissesNeverExceedAccesses(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		c := New(smallConfig())
+		r := rng.New(seed)
+		for i := 0; i < int(n); i++ {
+			c.Access(r.Uint64n(1<<20), r.Bool(0.3))
+		}
+		st := c.Stats()
+		return st.Misses <= st.Accesses && st.Writebacks <= st.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOccupancyBounded(t *testing.T) {
+	// The number of resident lines can never exceed the capacity.
+	cfg := smallConfig()
+	capacity := cfg.SizeBytes / cfg.LineBytes
+	f := func(seed uint64) bool {
+		c := New(cfg)
+		r := rng.New(seed)
+		addrs := map[uint64]bool{}
+		for i := 0; i < 500; i++ {
+			a := r.Uint64n(1 << 16)
+			c.Access(a, false)
+			addrs[a&^31] = true
+		}
+		resident := 0
+		for a := range addrs {
+			if c.Contains(a) {
+				resident++
+			}
+		}
+		return resident <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

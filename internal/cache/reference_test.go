@@ -1,0 +1,129 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampsched/internal/rng"
+)
+
+// refCache is an executable specification of a set-associative LRU
+// cache, written with maps and linear scans for obviousness rather
+// than speed. The production Cache must agree with it exactly.
+type refCache struct {
+	lineBytes uint64
+	sets      uint64
+	ways      int
+	// per set: slice of line addresses in LRU order (front = LRU).
+	data  map[uint64][]uint64
+	dirty map[uint64]bool
+}
+
+func newRefCache(cfg Config) *refCache {
+	return &refCache{
+		lineBytes: uint64(cfg.LineBytes),
+		sets:      uint64(cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)),
+		ways:      cfg.Ways,
+		data:      map[uint64][]uint64{},
+		dirty:     map[uint64]bool{},
+	}
+}
+
+func (r *refCache) access(addr uint64, write bool) (hit, writeback bool) {
+	lineAddr := addr / r.lineBytes
+	set := lineAddr % r.sets
+	lines := r.data[set]
+	for i, l := range lines {
+		if l == lineAddr {
+			// Move to MRU position.
+			lines = append(append(append([]uint64{}, lines[:i]...), lines[i+1:]...), lineAddr)
+			r.data[set] = lines
+			if write {
+				r.dirty[lineAddr] = true
+			}
+			return true, false
+		}
+	}
+	// Miss: evict LRU if full.
+	if len(lines) == r.ways {
+		victim := lines[0]
+		lines = lines[1:]
+		if r.dirty[victim] {
+			writeback = true
+		}
+		delete(r.dirty, victim)
+	}
+	lines = append(lines, lineAddr)
+	r.data[set] = lines
+	if write {
+		r.dirty[lineAddr] = true
+	}
+	return false, writeback
+}
+
+// TestCacheMatchesReferenceModel drives random access sequences
+// through the production cache and the executable specification and
+// demands identical hit/miss/writeback behavior on every access.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	cfgs := []Config{
+		{Name: "a", SizeBytes: 1024, LineBytes: 32, Ways: 2, HitLatency: 1},
+		{Name: "b", SizeBytes: 4096, LineBytes: 64, Ways: 4, HitLatency: 1},
+		{Name: "c", SizeBytes: 512, LineBytes: 16, Ways: 1, HitLatency: 1}, // direct-mapped
+		{Name: "d", SizeBytes: 2048, LineBytes: 32, Ways: 8, HitLatency: 1},
+	}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		cfg := cfgs[r.Intn(len(cfgs))]
+		c := New(cfg)
+		ref := newRefCache(cfg)
+		// Skewed address distribution so hits actually happen.
+		hot := r.Uint64n(1 << 14)
+		for i := 0; i < 3000; i++ {
+			var addr uint64
+			if r.Bool(0.5) {
+				addr = hot + r.Uint64n(512)
+			} else {
+				addr = r.Uint64n(1 << 16)
+			}
+			write := r.Bool(0.3)
+			wbBefore := c.Stats().Writebacks
+			hit := c.Access(addr, write)
+			gotWB := c.Stats().Writebacks - wbBefore
+			wantHit, wantWB := ref.access(addr, write)
+			if hit != wantHit {
+				t.Logf("seed %d access %d addr %#x: hit %v want %v", seed, i, addr, hit, wantHit)
+				return false
+			}
+			if (gotWB == 1) != wantWB {
+				t.Logf("seed %d access %d addr %#x: writeback %d want %v", seed, i, addr, gotWB, wantWB)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInstallMatchesReferenceResidency checks the prefetch-fill path
+// against the reference: after Install, the line is resident and MRU.
+func TestInstallMatchesReferenceResidency(t *testing.T) {
+	cfg := Config{Name: "i", SizeBytes: 1024, LineBytes: 32, Ways: 2, HitLatency: 1}
+	c := New(cfg)
+	ref := newRefCache(cfg)
+	r := rng.New(9)
+	for i := 0; i < 2000; i++ {
+		addr := r.Uint64n(1 << 13)
+		if r.Bool(0.3) {
+			c.Install(addr)
+			ref.access(addr, false) // Install behaves like a clean read fill
+		} else {
+			hit := c.Access(addr, false)
+			wantHit, _ := ref.access(addr, false)
+			if hit != wantHit {
+				t.Fatalf("step %d addr %#x: hit %v want %v", i, addr, hit, wantHit)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package cpu
+
+// Activity is the ledger of microarchitectural events a core performs.
+// All counters are monotonic; interval accounting takes deltas with
+// Sub. The power model (internal/power) assigns a per-event energy to
+// each counter, Wattch-style.
+type Activity struct {
+	// Cycles the core was stepped with a thread bound (active cycles).
+	Cycles uint64
+	// StallCycles the core spent frozen during a swap.
+	StallCycles uint64
+
+	FetchGroups uint64 // instruction-cache access groups
+	FetchedOps  uint64 // instructions delivered by fetch
+	BPredOps    uint64 // predictor lookup+update pairs
+
+	Renames   uint64 // rename-table writes (one per dispatched op)
+	ROBWrites uint64 // ROB allocations
+	ROBReads  uint64 // ROB commit reads
+
+	IntISQWrites uint64 // integer issue-queue insertions
+	FPISQWrites  uint64
+	IntISQIssues uint64 // wakeup+select operations
+	FPISQIssues  uint64
+
+	IntRegReads  uint64
+	IntRegWrites uint64
+	FPRegReads   uint64
+	FPRegWrites  uint64
+
+	LSQWrites   uint64 // load/store queue insertions
+	LSQSearches uint64 // disambiguation searches at issue
+
+	UnitOps [NumUnitKinds]uint64 // operations executed per unit kind
+
+	Squashed uint64 // in-flight ops discarded by pipeline squashes
+}
+
+// Sub returns a - b component-wise. Panics are impossible: all fields
+// are unsigned and monotonic when b is an earlier snapshot of a.
+func (a Activity) Sub(b Activity) Activity {
+	out := Activity{
+		Cycles:       a.Cycles - b.Cycles,
+		StallCycles:  a.StallCycles - b.StallCycles,
+		FetchGroups:  a.FetchGroups - b.FetchGroups,
+		FetchedOps:   a.FetchedOps - b.FetchedOps,
+		BPredOps:     a.BPredOps - b.BPredOps,
+		Renames:      a.Renames - b.Renames,
+		ROBWrites:    a.ROBWrites - b.ROBWrites,
+		ROBReads:     a.ROBReads - b.ROBReads,
+		IntISQWrites: a.IntISQWrites - b.IntISQWrites,
+		FPISQWrites:  a.FPISQWrites - b.FPISQWrites,
+		IntISQIssues: a.IntISQIssues - b.IntISQIssues,
+		FPISQIssues:  a.FPISQIssues - b.FPISQIssues,
+		IntRegReads:  a.IntRegReads - b.IntRegReads,
+		IntRegWrites: a.IntRegWrites - b.IntRegWrites,
+		FPRegReads:   a.FPRegReads - b.FPRegReads,
+		FPRegWrites:  a.FPRegWrites - b.FPRegWrites,
+		LSQWrites:    a.LSQWrites - b.LSQWrites,
+		LSQSearches:  a.LSQSearches - b.LSQSearches,
+		Squashed:     a.Squashed - b.Squashed,
+	}
+	for k := range out.UnitOps {
+		out.UnitOps[k] = a.UnitOps[k] - b.UnitOps[k]
+	}
+	return out
+}
+
+// TotalOps returns the total functional-unit operations executed.
+func (a Activity) TotalOps() uint64 {
+	var n uint64
+	for _, v := range a.UnitOps {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,136 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampsched/internal/isa"
+	"ampsched/internal/rng"
+)
+
+// randomScript builds an arbitrary-but-valid instruction script from a
+// seed, exercising every class, dependency shape and address pattern.
+func randomScript(seed uint64, n int) []isa.Instruction {
+	r := rng.New(seed)
+	script := make([]isa.Instruction, n)
+	for i := range script {
+		in := &script[i]
+		in.Class = isa.Class(r.Intn(int(isa.NumClasses)))
+		if r.Bool(0.7) {
+			in.Dep1 = int32(r.Intn(40) + 1)
+		}
+		if r.Bool(0.4) {
+			in.Dep2 = int32(r.Intn(80) + 1)
+		}
+		switch {
+		case in.Class.IsMem():
+			in.Addr = r.Uint64n(1 << 22)
+		case in.Class == isa.Branch:
+			in.Addr = 0x400000 + r.Uint64n(256)*4
+			in.Taken = r.Bool(0.5)
+		}
+	}
+	return script
+}
+
+// TestQuickPipelineNeverWedges drives random instruction mixes through
+// both paper cores and checks the global invariants: forward progress,
+// bounded in-flight state, class counters summing to the commit count,
+// and activity consistency.
+func TestQuickPipelineNeverWedges(t *testing.T) {
+	cfgs := []*Config{IntCoreConfig(), FPCoreConfig()}
+	f := func(seed uint64) bool {
+		for _, cfg := range cfgs {
+			src := &scriptSource{script: randomScript(seed, 257)}
+			core := NewCore(cfg)
+			arch := &ThreadArch{CodeSize: 2048}
+			core.Bind(src, arch)
+			const target = 3000
+			var cycle uint64
+			for arch.Committed < target {
+				core.Step(cycle)
+				cycle++
+				if cycle > 2_000_000 {
+					t.Logf("seed %d on %s: wedged at %d commits", seed, cfg.Name, arch.Committed)
+					return false
+				}
+				if core.InFlight() > cfg.ROBSize+2*cfg.FetchWidth {
+					t.Logf("seed %d on %s: in-flight overflow", seed, cfg.Name)
+					return false
+				}
+			}
+			var sum uint64
+			for _, v := range arch.CommittedByClass {
+				sum += v
+			}
+			if sum != arch.Committed {
+				t.Logf("seed %d on %s: class counters inconsistent", seed, cfg.Name)
+				return false
+			}
+			act := core.Activity()
+			if act.ROBReads != arch.Committed || act.Renames != act.ROBWrites {
+				t.Logf("seed %d on %s: activity inconsistent", seed, cfg.Name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSquashAnywhereIsSafe unbinds at arbitrary points and checks
+// the core is reusable with all resources restored.
+func TestQuickSquashAnywhereIsSafe(t *testing.T) {
+	cfg := IntCoreConfig()
+	f := func(seed uint64, when uint16) bool {
+		src := &scriptSource{script: randomScript(seed, 131)}
+		core := NewCore(cfg)
+		arch := &ThreadArch{CodeSize: 1024}
+		core.Bind(src, arch)
+		for cycle := uint64(0); cycle < uint64(when)%5000; cycle++ {
+			core.Step(cycle)
+		}
+		core.Unbind()
+		if core.InFlight() != 0 {
+			return false
+		}
+		// Rebind and require forward progress.
+		arch2 := &ThreadArch{NextSeq: arch.NextSeq, CodeSize: 1024}
+		core.Bind(src, arch2)
+		for cycle := uint64(10_000); cycle < 200_000; cycle++ {
+			core.Step(cycle)
+			if arch2.Committed > 50 {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCachesStayWithCore pins down the migration cost model: lines a
+// thread warmed on a core remain resident there after Unbind (the next
+// occupant inherits them; the departing thread finds cold caches
+// elsewhere).
+func TestCachesStayWithCore(t *testing.T) {
+	cfg := IntCoreConfig()
+	core := NewCore(cfg)
+	script := []isa.Instruction{{Class: isa.Load, Addr: 0x3000}}
+	src := &scriptSource{script: script}
+	arch := &ThreadArch{CodeSize: 64}
+	core.Bind(src, arch)
+	for cycle := uint64(0); arch.Committed < 50; cycle++ {
+		core.Step(cycle)
+	}
+	if !core.Hierarchy().L1D.Contains(0x3000) {
+		t.Fatal("hot line not resident before unbind")
+	}
+	core.Unbind()
+	if !core.Hierarchy().L1D.Contains(0x3000) {
+		t.Fatal("Unbind evicted the previous thread's lines; caches must stay with the core")
+	}
+}

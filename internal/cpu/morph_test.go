@@ -1,0 +1,148 @@
+package cpu
+
+import (
+	"testing"
+
+	"ampsched/internal/workload"
+)
+
+func TestMorphUnitSets(t *testing.T) {
+	strong := MorphStrongUnits()
+	weak := MorphWeakUnits()
+	intU := IntCoreConfig().Units
+	fpU := FPCoreConfig().Units
+
+	// Strong = strong int + strong fp.
+	for _, k := range []UnitKind{UIntALU, UIntMul, UIntDiv} {
+		if strong[k] != intU[k] {
+			t.Errorf("strong %s != INT core's", k)
+		}
+		if weak[k] != fpU[k] {
+			t.Errorf("weak %s != FP core's weak int", k)
+		}
+	}
+	for _, k := range []UnitKind{UFPALU, UFPMul, UFPDiv} {
+		if strong[k] != fpU[k] {
+			t.Errorf("strong %s != FP core's", k)
+		}
+		if weak[k] != intU[k] {
+			t.Errorf("weak %s != INT core's weak fp", k)
+		}
+	}
+	// Every strong unit is pipelined; every weak one is not.
+	for k := UIntALU; k <= UFPDiv; k++ {
+		if !strong[k].Pipelined {
+			t.Errorf("strong %s not pipelined", k)
+		}
+		if weak[k].Pipelined {
+			t.Errorf("weak %s pipelined", k)
+		}
+	}
+}
+
+func TestMorphedConfigsValid(t *testing.T) {
+	if err := MorphedStrongConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := MorphedWeakConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if MorphedStrongConfig().Name == MorphedWeakConfig().Name {
+		t.Fatal("morphed configs share a name")
+	}
+}
+
+func TestReconfigureRequiresDrained(t *testing.T) {
+	core := NewCore(IntCoreConfig())
+	b := workload.MustByName("pi")
+	gen := workload.NewGenerator(b, 1, 0)
+	core.Bind(gen, &ThreadArch{CodeSize: 1024})
+	if err := core.Reconfigure(MorphStrongUnits()); err == nil {
+		t.Fatal("Reconfigure accepted with a bound thread")
+	}
+	core.Unbind()
+	if err := core.Reconfigure(MorphStrongUnits()); err != nil {
+		t.Fatal(err)
+	}
+	if core.EffectiveUnits() != MorphStrongUnits() {
+		t.Fatal("units not installed")
+	}
+}
+
+func TestReconfigureRejectsInvalidUnits(t *testing.T) {
+	core := NewCore(IntCoreConfig())
+	bad := MorphStrongUnits()
+	bad[UFPALU].Count = 0
+	if err := core.Reconfigure(bad); err == nil {
+		t.Fatal("invalid unit set accepted")
+	}
+}
+
+func TestMorphedStrongCoreFasterOnFP(t *testing.T) {
+	// The INT core with morphed-in strong FP units must run an FP
+	// workload much faster than in its baseline shape.
+	run := func(morph bool) uint64 {
+		core := NewCore(IntCoreConfig())
+		if morph {
+			if err := core.Reconfigure(MorphStrongUnits()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b := workload.MustByName("fpstress")
+		gen := workload.NewGenerator(b, 3, 0)
+		arch := &ThreadArch{CodeSize: b.EffectiveCodeFootprint()}
+		core.Bind(gen, arch)
+		var cycle uint64
+		for arch.Committed < 40_000 {
+			core.Step(cycle)
+			cycle++
+		}
+		return cycle
+	}
+	base := run(false)
+	morphed := run(true)
+	if morphed >= base*8/10 {
+		t.Fatalf("morphed strong core not clearly faster on FP: %d vs %d cycles", morphed, base)
+	}
+}
+
+func TestMorphPreservesCaches(t *testing.T) {
+	core := NewCore(IntCoreConfig())
+	core.Hierarchy().ReadData(0x7000)
+	if err := core.Reconfigure(MorphStrongUnits()); err != nil {
+		t.Fatal(err)
+	}
+	if !core.Hierarchy().L1D.Contains(0x7000) {
+		t.Fatal("Reconfigure disturbed the caches; morphing only rewires datapaths")
+	}
+}
+
+func TestMorphRoundTrip(t *testing.T) {
+	core := NewCore(IntCoreConfig())
+	orig := core.EffectiveUnits()
+	if err := core.Reconfigure(MorphStrongUnits()); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Reconfigure(orig); err != nil {
+		t.Fatal(err)
+	}
+	if core.EffectiveUnits() != IntCoreConfig().Units {
+		t.Fatal("round trip did not restore baseline units")
+	}
+}
+
+func TestPrefetcherImprovesStreaming(t *testing.T) {
+	// The substrate ablation behind BenchmarkAblationPrefetcher: the
+	// L2 next-line prefetcher must speed up a streaming workload.
+	run := func(prefetch bool) uint64 {
+		cfg := IntCoreConfig()
+		cfg.Caches.NextLinePrefetch = prefetch
+		_, _, cycles := runSolo(t, cfg, "swim", 8, 40_000)
+		return cycles
+	}
+	off := run(false)
+	on := run(true)
+	if on >= off {
+		t.Fatalf("prefetch did not speed up swim: %d vs %d cycles", on, off)
+	}
+}

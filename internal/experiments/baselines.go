@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/report"
+	"ampsched/internal/sched"
+)
+
+// SamplingFactory builds the related-work sampling scheduler scaled to
+// the runner's coarse decision interval.
+func (r *Runner) SamplingFactory() SchedFactory {
+	return func() amp.Scheduler {
+		cfg := sched.DefaultSamplingConfig()
+		cfg.Interval = r.Opt.ContextSwitch
+		cfg.SampleLen = r.Opt.ContextSwitch / 16
+		if cfg.SampleLen == 0 {
+			cfg.SampleLen = 1
+		}
+		return sched.NewSampling(cfg)
+	}
+}
+
+// geoIPCW is the pair-level geometric-mean IPC/Watt.
+func geoIPCW(res amp.Result) float64 {
+	return math.Sqrt(res.Threads[0].IPCPerWatt * res.Threads[1].IPCPerWatt)
+}
+
+// RunBaselines compares every scheduling policy in the repository on a
+// common pair set: both static assignments (and their per-pair best,
+// an oracle placement), Round Robin, sampling (related work §II), HPE
+// with both estimators, the proposed scheme and its §VII extension.
+// Scores are geometric-mean IPC/Watt normalized to the best static
+// assignment.
+func RunBaselines(r *Runner, w io.Writer) error {
+	matrix, err := r.Matrix()
+	if err != nil {
+		return err
+	}
+	surface, err := r.Surface()
+	if err != nil {
+		return err
+	}
+	pairs := RandomPairs(r.Opt.SensitivityPairs, r.Opt.Seed+4)
+
+	type scheme struct {
+		name    string
+		factory SchedFactory
+	}
+	schemes := []scheme{
+		{"roundrobin", r.RRFactory(1)},
+		{"sampling", r.SamplingFactory()},
+		{"hpe-matrix", r.HPEFactory(matrix)},
+		{"hpe-regression", r.HPEFactory(surface)},
+		{"proposed", r.ProposedFactory()},
+		{"proposed-ext", r.ProposedExtFactory()},
+	}
+
+	t := &report.Table{
+		Title: "scheduling policies vs the best static assignment (geomean IPC/Watt, normalized)",
+		Headers: append([]string{"pair", "best-static"}, func() []string {
+			var h []string
+			for _, s := range schemes {
+				h = append(h, s.name)
+			}
+			return h
+		}()...),
+		Note: "1.000 = the better of the two static placements; dynamic schemes can exceed it on phase-changing pairs",
+	}
+
+	sums := make([]float64, len(schemes))
+	var bestStaticWins int
+	for i, p := range pairs {
+		r.progress("baselines: pair %d/%d %s", i+1, len(pairs), p.Label())
+		// Both static assignments; the better one is the oracle
+		// placement reference.
+		asGiven := r.RunPair(i+50_000, p, func() amp.Scheduler { return sched.Static{} })
+		flipped := r.RunPair(i+50_000, Pair{A: p.B, B: p.A}, func() amp.Scheduler { return sched.Static{} })
+		best := geoIPCW(asGiven)
+		if g := geoIPCW(flipped); g > best {
+			best = g
+		}
+		row := []string{p.Label(), "1.000"}
+		anyBeatsStatic := false
+		for si, s := range schemes {
+			res := r.RunPair(i+50_000, p, s.factory)
+			norm := geoIPCW(res) / best
+			sums[si] += norm
+			if norm > 1 {
+				anyBeatsStatic = true
+			}
+			row = append(row, fmt.Sprintf("%.3f", norm))
+		}
+		if !anyBeatsStatic {
+			bestStaticWins++
+		}
+		t.AddRow(row...)
+	}
+	means := []string{"MEAN", "1.000"}
+	for _, s := range sums {
+		means = append(means, fmt.Sprintf("%.3f", s/float64(len(pairs))))
+	}
+	t.AddRow(means...)
+	t.Note += fmt.Sprintf("; best-static unbeaten on %d/%d pairs", bestStaticWins, len(pairs))
+	return t.Fprint(w)
+}

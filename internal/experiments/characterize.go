@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/report"
+	"ampsched/internal/workload"
+)
+
+// RunCharacterize is the appendix table behind Fig. 1: every one of
+// the 37 workload models run solo on both cores, with IPC, watts,
+// IPC/Watt and the resulting core preference. Runs execute on a
+// worker pool (each solo run is independent).
+func RunCharacterize(r *Runner, w io.Writer) error {
+	pool := workload.All()
+	limit := r.Opt.ProfileInstrLimit / 4
+	if limit < 100_000 {
+		limit = 100_000
+	}
+
+	type row struct {
+		name            string
+		flavor          string
+		ipcInt, ipcFP   float64
+		wInt, wFP       float64
+		ipcwInt, ipcwFP float64
+	}
+	rows := make([]row, len(pool))
+
+	workers := r.Opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pool) {
+		workers = len(pool)
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pool) {
+					return
+				}
+				b := pool[i]
+				ri := amp.SoloRun(r.IntCfg, b, r.Opt.Seed, limit, 0)
+				rf := amp.SoloRun(r.FPCfg, b, r.Opt.Seed, limit, 0)
+				rows[i] = row{
+					name: b.Name, flavor: b.Flavor(),
+					ipcInt: ri.IPC, ipcFP: rf.IPC,
+					wInt: ri.Watts, wFP: rf.Watts,
+					ipcwInt: ri.IPCPerWatt, ipcwFP: rf.IPCPerWatt,
+				}
+				r.progress("characterize: %s done", b.Name)
+			}
+		}()
+	}
+	wg.Wait()
+
+	t := &report.Table{
+		Title: fmt.Sprintf("full-suite characterization (%d instructions solo per core)", limit),
+		Headers: []string{"benchmark", "flavor", "IPC(INT)", "IPC(FP)",
+			"IPC/W(INT)", "IPC/W(FP)", "ratio INT/FP", "prefers"},
+	}
+	agree, total := 0, 0
+	for _, rw := range rows {
+		ratio := 0.0
+		if rw.ipcwFP > 0 {
+			ratio = rw.ipcwInt / rw.ipcwFP
+		}
+		prefers := "~either"
+		if ratio > 1.05 {
+			prefers = "INT"
+		} else if ratio < 0.95 {
+			prefers = "FP"
+		}
+		// Does the measured preference agree with the declared flavor?
+		if rw.flavor == "INT" || rw.flavor == "FP" {
+			total++
+			if prefers == rw.flavor || prefers == "~either" {
+				agree++
+			}
+		}
+		t.AddRow(rw.name, rw.flavor,
+			report.F3(rw.ipcInt), report.F3(rw.ipcFP),
+			report.F4(rw.ipcwInt), report.F4(rw.ipcwFP),
+			fmt.Sprintf("%.2f", ratio), prefers)
+	}
+	t.Note = fmt.Sprintf("measured preference consistent with declared flavor for %d/%d flavored benchmarks", agree, total)
+	return t.Fprint(w)
+}

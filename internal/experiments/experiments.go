@@ -1,0 +1,399 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§VII and the methodology sections it depends
+// on). Each experiment is registered by the paper's figure/table name
+// and renders report.Tables; cmd/ampexperiments drives them.
+//
+// Scale note: the paper runs 500M instructions per workload with a
+// 2 ms (4M cycle) context-switch interval. To keep the harness
+// laptop-fast while preserving every qualitative relationship, the
+// default Options scale run lengths down and scale the coarse-grain
+// decision interval with them (the fine:coarse decision-rate ratio
+// stays >100x). Paper-scale settings are a flag away; see DESIGN.md §7.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/metrics"
+	"ampsched/internal/profilegen"
+	"ampsched/internal/rng"
+	"ampsched/internal/sched"
+	"ampsched/internal/workload"
+)
+
+// Options control the scale of every experiment.
+type Options struct {
+	// Pairs is the number of random two-benchmark combinations for
+	// the main comparison (paper: 80).
+	Pairs int
+	// InstrLimit ends a pair run when either thread commits this
+	// many instructions (paper: 500M; default scaled down).
+	InstrLimit uint64
+	// ContextSwitch is the coarse-grain decision interval in cycles:
+	// the HPE and Round Robin period and the proposed scheme's forced
+	// fairness-swap interval (paper: 4M cycles = 2 ms @ 2 GHz;
+	// default scaled down with InstrLimit).
+	ContextSwitch uint64
+	// SwapOverhead is the reconfiguration cost in cycles (§VI-C).
+	SwapOverhead uint64
+	// ProfileInstrLimit bounds each profiling solo run (§V step 2).
+	ProfileInstrLimit uint64
+	// RuleWindow is the §VI-A committed-instruction window.
+	RuleWindow uint64
+	// RulePairs is the §VI-A random-combination count (paper: 50).
+	RulePairs int
+	// SensitivityPairs is the per-configuration pair count for the
+	// Fig. 6 sweep and the §VI-C overhead sweep.
+	SensitivityPairs int
+	// Seed makes everything deterministic.
+	Seed uint64
+	// Parallelism caps the worker pool for the main pair sweep. Each
+	// pair's three runs are independent simulations, so parallel
+	// execution is deterministic (results are keyed by pair index).
+	// 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// DefaultOptions returns the scaled-down defaults.
+func DefaultOptions() Options {
+	return Options{
+		Pairs:             80,
+		InstrLimit:        1_500_000,
+		ContextSwitch:     400_000,
+		SwapOverhead:      amp.DefaultSwapOverheadCycles,
+		ProfileInstrLimit: 2_500_000,
+		RuleWindow:        1000,
+		RulePairs:         50,
+		SensitivityPairs:  10,
+		Seed:              7,
+	}
+}
+
+// PaperScaleOptions returns the paper's full-size parameters (hours of
+// CPU time).
+func PaperScaleOptions() Options {
+	o := DefaultOptions()
+	o.InstrLimit = 500_000_000
+	o.ContextSwitch = amp.ContextSwitchCycles
+	o.ProfileInstrLimit = 50_000_000
+	return o
+}
+
+// Validate reports the first problem with the options.
+func (o *Options) Validate() error {
+	if o.Pairs <= 0 {
+		return fmt.Errorf("experiments: Pairs must be positive")
+	}
+	if o.InstrLimit == 0 || o.ProfileInstrLimit == 0 {
+		return fmt.Errorf("experiments: instruction limits must be positive")
+	}
+	if o.ContextSwitch == 0 {
+		return fmt.Errorf("experiments: ContextSwitch must be positive")
+	}
+	if o.SwapOverhead == 0 {
+		return fmt.Errorf("experiments: SwapOverhead must be positive")
+	}
+	if o.RuleWindow == 0 || o.RulePairs <= 0 || o.SensitivityPairs <= 0 {
+		return fmt.Errorf("experiments: rule/sensitivity parameters must be positive")
+	}
+	return nil
+}
+
+// Pair is one two-benchmark combination.
+type Pair struct {
+	A, B *workload.Benchmark
+}
+
+// Label renders "benchA+benchB".
+func (p Pair) Label() string { return p.A.Name + "+" + p.B.Name }
+
+// RandomPairs draws n distinct unordered pairs from the full pool,
+// deterministically from seed.
+func RandomPairs(n int, seed uint64) []Pair {
+	pool := workload.All()
+	r := rng.New(seed)
+	seen := make(map[[2]int]bool)
+	var pairs []Pair
+	maxPairs := len(pool) * (len(pool) - 1) / 2
+	if n > maxPairs {
+		n = maxPairs
+	}
+	for len(pairs) < n {
+		a := r.Intn(len(pool))
+		b := r.Intn(len(pool) - 1)
+		if b >= a {
+			b++
+		}
+		key := [2]int{min(a, b), max(a, b)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pairs = append(pairs, Pair{A: pool[key[0]], B: pool[key[1]]})
+	}
+	return pairs
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SchedFactory builds a fresh scheduler instance for one run.
+type SchedFactory func() amp.Scheduler
+
+// Runner caches the expensive shared state (profiling, estimators,
+// the main pair sweep) across experiments.
+type Runner struct {
+	Opt    Options
+	IntCfg *cpu.Config
+	FPCfg  *cpu.Config
+
+	profile *profilegen.Profile
+	matrix  *profilegen.RatioMatrix
+	surface *profilegen.Surface
+	sweep   *SweepResult
+
+	// Progress, if non-nil, receives one-line status updates.
+	Progress func(string)
+}
+
+// NewRunner builds a Runner over the paper's two cores.
+func NewRunner(opt Options) (*Runner, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{
+		Opt:    opt,
+		IntCfg: cpu.IntCoreConfig(),
+		FPCfg:  cpu.FPCoreConfig(),
+	}, nil
+}
+
+func (r *Runner) progress(format string, args ...interface{}) {
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Profile runs (or returns the cached) §V profiling pass over the nine
+// representative benchmarks.
+func (r *Runner) Profile() *profilegen.Profile {
+	if r.profile == nil {
+		r.progress("profiling 9 representative benchmarks on both cores...")
+		r.profile = profilegen.Collect(r.IntCfg, r.FPCfg, workload.Representative(),
+			profilegen.ProfileConfig{
+				InstrLimit:   r.Opt.ProfileInstrLimit,
+				SampleCycles: r.Opt.ContextSwitch,
+				Seed:         r.Opt.Seed,
+			})
+	}
+	return r.profile
+}
+
+// Matrix returns the cached ratio-matrix estimator (Fig. 3).
+func (r *Runner) Matrix() (*profilegen.RatioMatrix, error) {
+	if r.matrix == nil {
+		m, err := profilegen.BuildRatioMatrix(r.Profile())
+		if err != nil {
+			return nil, err
+		}
+		r.matrix = m
+	}
+	return r.matrix, nil
+}
+
+// Surface returns the cached regression estimator (Fig. 4).
+func (r *Runner) Surface() (*profilegen.Surface, error) {
+	if r.surface == nil {
+		s, err := profilegen.FitSurface(r.Profile(), 2)
+		if err != nil {
+			return nil, err
+		}
+		r.surface = s
+	}
+	return r.surface, nil
+}
+
+// pairSeed derives the workload seeds for pair index i so that the
+// same pair sees identical instruction streams under every scheduler.
+func (r *Runner) pairSeed(i, thread int) uint64 {
+	return r.Opt.Seed*1_000_003 + uint64(i)*64 + uint64(thread)
+}
+
+// RunPair executes one pair under the scheduler made by factory.
+func (r *Runner) RunPair(i int, p Pair, factory SchedFactory) amp.Result {
+	return r.RunPairOverhead(i, p, factory, r.Opt.SwapOverhead)
+}
+
+// RunPairOverhead is RunPair with an explicit swap overhead (§VI-C).
+func (r *Runner) RunPairOverhead(i int, p Pair, factory SchedFactory, overhead uint64) amp.Result {
+	t0 := amp.NewThread(0, p.A, r.pairSeed(i, 0), 0)
+	t1 := amp.NewThread(1, p.B, r.pairSeed(i, 1), 1<<40)
+	var s amp.Scheduler
+	if factory != nil {
+		s = factory()
+	}
+	sys := amp.NewSystem([2]*cpu.Config{r.IntCfg, r.FPCfg}, [2]*amp.Thread{t0, t1}, s,
+		amp.Config{SwapOverheadCycles: overhead})
+	return sys.Run(r.Opt.InstrLimit)
+}
+
+// ProposedFactory builds the paper's default proposed scheduler with
+// the runner's (possibly scaled) forced-swap interval.
+func (r *Runner) ProposedFactory() SchedFactory {
+	return func() amp.Scheduler {
+		cfg := sched.DefaultProposedConfig()
+		cfg.ForceInterval = r.Opt.ContextSwitch
+		return sched.NewProposed(cfg)
+	}
+}
+
+// HPEFactory builds the HPE reference scheduler with the given
+// estimator.
+func (r *Runner) HPEFactory(est sched.Estimator) SchedFactory {
+	return func() amp.Scheduler {
+		cfg := sched.DefaultHPEConfig()
+		cfg.Interval = r.Opt.ContextSwitch
+		return sched.NewHPE(cfg, est)
+	}
+}
+
+// RRFactory builds a Round Robin scheduler swapping every multiple
+// context-switch intervals.
+func (r *Runner) RRFactory(multiple int) SchedFactory {
+	return func() amp.Scheduler {
+		return sched.NewRoundRobinInterval(uint64(multiple) * r.Opt.ContextSwitch)
+	}
+}
+
+// PairOutcome bundles one pair's results under the three schemes.
+type PairOutcome struct {
+	Pair     Pair
+	Proposed amp.Result
+	HPE      amp.Result
+	RR       amp.Result
+
+	VsHPE metrics.PairComparison
+	VsRR  metrics.PairComparison
+}
+
+// SweepResult is the main §VII dataset.
+type SweepResult struct {
+	Outcomes []PairOutcome
+}
+
+// Sweep runs (or returns the cached) main comparison: every random
+// pair under proposed, HPE(matrix) and Round Robin. Pairs execute on
+// a worker pool (Options.Parallelism); every simulation is
+// independent and seeded per pair, so the result is identical to a
+// sequential sweep.
+func (r *Runner) Sweep() (*SweepResult, error) {
+	if r.sweep != nil {
+		return r.sweep, nil
+	}
+	matrix, err := r.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	pairs := RandomPairs(r.Opt.Pairs, r.Opt.Seed)
+	out := &SweepResult{Outcomes: make([]PairOutcome, len(pairs))}
+
+	workers := r.Opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		done     atomic.Int64
+		firstErr atomic.Value
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) || firstErr.Load() != nil {
+					return
+				}
+				p := pairs[i]
+				po := PairOutcome{Pair: p}
+				po.Proposed = r.RunPair(i, p, r.ProposedFactory())
+				po.HPE = r.RunPair(i, p, r.HPEFactory(matrix))
+				po.RR = r.RunPair(i, p, r.RRFactory(1))
+				var err error
+				po.VsHPE, err = metrics.Compare(po.Proposed, po.HPE)
+				if err == nil {
+					po.VsRR, err = metrics.Compare(po.Proposed, po.RR)
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("pair %s: %w", p.Label(), err))
+					return
+				}
+				out.Outcomes[i] = po
+				r.progress("pair %d/%d done (%s)", done.Add(1), len(pairs), p.Label())
+			}
+		}()
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return nil, e.(error)
+	}
+	r.sweep = out
+	return out, nil
+}
+
+// WeightedVsHPE extracts the per-pair weighted improvements over HPE.
+func (s *SweepResult) WeightedVsHPE() []float64 {
+	out := make([]float64, len(s.Outcomes))
+	for i := range s.Outcomes {
+		out[i] = s.Outcomes[i].VsHPE.WeightedPct
+	}
+	return out
+}
+
+// WeightedVsRR extracts the per-pair weighted improvements over RR.
+func (s *SweepResult) WeightedVsRR() []float64 {
+	out := make([]float64, len(s.Outcomes))
+	for i := range s.Outcomes {
+		out[i] = s.Outcomes[i].VsRR.WeightedPct
+	}
+	return out
+}
+
+// sortedByWeighted returns outcome indexes ascending by the chosen
+// weighted improvement.
+func (s *SweepResult) sortedByWeighted(vsRR bool) []int {
+	idx := make([]int, len(s.Outcomes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := s.Outcomes[idx[a]].VsHPE.WeightedPct, s.Outcomes[idx[b]].VsHPE.WeightedPct
+		if vsRR {
+			va, vb = s.Outcomes[idx[a]].VsRR.WeightedPct, s.Outcomes[idx[b]].VsRR.WeightedPct
+		}
+		return va < vb
+	})
+	return idx
+}

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ampsched/internal/sched"
+)
+
+// tinyOptions keeps end-to-end tests fast while still exercising every
+// code path.
+func tinyOptions() Options {
+	return Options{
+		Pairs:             3,
+		InstrLimit:        200_000,
+		ContextSwitch:     60_000,
+		SwapOverhead:      500,
+		ProfileInstrLimit: 250_000,
+		RuleWindow:        1000,
+		RulePairs:         5,
+		SensitivityPairs:  2,
+		Seed:              11,
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	def := DefaultOptions()
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	paper := PaperScaleOptions()
+	if err := paper.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*Options){
+		func(o *Options) { o.Pairs = 0 },
+		func(o *Options) { o.InstrLimit = 0 },
+		func(o *Options) { o.ContextSwitch = 0 },
+		func(o *Options) { o.SwapOverhead = 0 },
+		func(o *Options) { o.RuleWindow = 0 },
+		func(o *Options) { o.RulePairs = 0 },
+		func(o *Options) { o.SensitivityPairs = 0 },
+	}
+	for i, mutate := range bads {
+		o := DefaultOptions()
+		mutate(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRandomPairsDistinctDeterministic(t *testing.T) {
+	a := RandomPairs(20, 5)
+	b := RandomPairs(20, 5)
+	if len(a) != 20 {
+		t.Fatalf("got %d pairs", len(a))
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i].Label() != b[i].Label() {
+			t.Fatal("pair selection nondeterministic")
+		}
+		if a[i].A.Name == a[i].B.Name {
+			t.Fatalf("self-pair %s", a[i].Label())
+		}
+		if seen[a[i].Label()] {
+			t.Fatalf("duplicate pair %s", a[i].Label())
+		}
+		seen[a[i].Label()] = true
+	}
+	c := RandomPairs(20, 6)
+	diff := 0
+	for i := range c {
+		if c[i].Label() != a[i].Label() {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical pair lists")
+	}
+}
+
+func TestRandomPairsClamped(t *testing.T) {
+	p := RandomPairs(1_000_000, 1)
+	if len(p) != 37*36/2 {
+		t.Fatalf("got %d pairs, want all %d", len(p), 37*36/2)
+	}
+}
+
+func TestByNameAndAll(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range All() {
+		if names[e.Name] {
+			t.Fatalf("duplicate experiment %s", e.Name)
+		}
+		names[e.Name] = true
+		if e.Run == nil || e.Desc == "" {
+			t.Fatalf("experiment %s incomplete", e.Name)
+		}
+	}
+	for _, want := range []string{"tables", "fig1", "fig3", "fig4", "rules",
+		"fig6", "fig7", "fig8", "fig9", "overhead", "decisions", "rrinterval", "extension"} {
+		if !names[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestNewRunnerValidates(t *testing.T) {
+	bad := DefaultOptions()
+	bad.Pairs = 0
+	if _, err := NewRunner(bad); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestRunTables(t *testing.T) {
+	r, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RunTables(r, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table I", "Table II", "ROB", "FPALU", "INT", "FP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables output missing %q", want)
+		}
+	}
+}
+
+func TestProfileCachedAndEstimators(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := r.Profile()
+	p2 := r.Profile()
+	if p1 != p2 {
+		t.Fatal("profile not cached")
+	}
+	m, err := r.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.Surface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ sched.Estimator = m
+	var _ sched.Estimator = s
+	// Qualitative agreement between the two estimators.
+	if m.RatioIntOverFP(90, 2) < 1 {
+		t.Errorf("matrix INT-heavy ratio %.2f < 1", m.RatioIntOverFP(90, 2))
+	}
+	if s.RatioIntOverFP(2, 80) > s.RatioIntOverFP(90, 2) {
+		t.Error("surface shape inverted")
+	}
+}
+
+func TestSweepAndFigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := r.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Outcomes) != 3 {
+		t.Fatalf("outcomes = %d", len(sw.Outcomes))
+	}
+	sw2, err := r.Sweep()
+	if err != nil || sw2 != sw {
+		t.Fatal("sweep not cached")
+	}
+	for _, o := range sw.Outcomes {
+		for i := 0; i < 2; i++ {
+			if o.Proposed.Threads[i].IPCPerWatt <= 0 ||
+				o.HPE.Threads[i].IPCPerWatt <= 0 ||
+				o.RR.Threads[i].IPCPerWatt <= 0 {
+				t.Fatalf("non-positive IPC/Watt in pair %s", o.Pair.Label())
+			}
+		}
+	}
+	// Render all the sweep-based figures.
+	for _, name := range []string{"fig7", "fig8", "fig9", "decisions"} {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := e.Run(r, &sb); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(sb.String()) < 50 {
+			t.Fatalf("%s output suspiciously short", name)
+		}
+	}
+}
+
+func TestFig1Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := tinyOptions()
+	opt.ProfileInstrLimit = 120_000
+	r, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RunFig1(r, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range fig1Workloads {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("fig1 missing %s", name)
+		}
+	}
+}
+
+func TestRunPairDeterministic(t *testing.T) {
+	r, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := RandomPairs(1, 3)
+	res1 := r.RunPair(0, pairs[0], r.RRFactory(1))
+	res2 := r.RunPair(0, pairs[0], r.RRFactory(1))
+	if res1.Cycles != res2.Cycles || res1.Swaps != res2.Swaps {
+		t.Fatal("RunPair nondeterministic")
+	}
+	if res1.Threads[0].Name != pairs[0].A.Name {
+		t.Fatal("thread identity wrong")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	r, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	r.Progress = func(s string) { lines = append(lines, s) }
+	r.progress("hello %d", 42)
+	if len(lines) != 1 || lines[0] != "hello 42" {
+		t.Fatalf("progress lines: %v", lines)
+	}
+}
+
+func TestPairLabel(t *testing.T) {
+	p := RandomPairs(1, 9)[0]
+	if !strings.Contains(p.Label(), "+") {
+		t.Fatalf("label %q", p.Label())
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAnalysisExperimentsRun smoke-tests the non-figure experiments
+// (extension, morph, baselines, power) end to end at tiny scale.
+func TestAnalysisExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := tinyOptions()
+	opt.SensitivityPairs = 2
+	opt.InstrLimit = 150_000
+	r, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"power", "extension", "morph"} {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := e.Run(r, &sb); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(sb.String()) < 80 {
+			t.Fatalf("%s output suspiciously short:\n%s", name, sb.String())
+		}
+	}
+}
+
+func TestBaselinesExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := tinyOptions()
+	opt.SensitivityPairs = 1
+	opt.InstrLimit = 150_000
+	r, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RunBaselines(r, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"best-static", "proposed", "sampling", "MEAN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("baselines output missing %q", want)
+		}
+	}
+}
+
+func TestExtensionPairsWellFormed(t *testing.T) {
+	pairs := extensionPairs()
+	if len(pairs) < 6 {
+		t.Fatalf("too few extension pairs: %d", len(pairs))
+	}
+	for _, p := range pairs {
+		if err := p.A.Validate(); err != nil {
+			t.Errorf("%s: %v", p.A.Name, err)
+		}
+		if err := p.B.Validate(); err != nil {
+			t.Errorf("%s: %v", p.B.Name, err)
+		}
+	}
+}
+
+func TestMorphPairsWellFormed(t *testing.T) {
+	pairs := morphPairs()
+	if len(pairs) < 6 {
+		t.Fatalf("too few morph pairs: %d", len(pairs))
+	}
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		if seen[p.Label()] {
+			t.Errorf("duplicate morph pair %s", p.Label())
+		}
+		seen[p.Label()] = true
+	}
+}
+
+func TestMemIntStressIsAdversarial(t *testing.T) {
+	// The §VII adversarial workload must look INT-hungry to the
+	// Fig. 5 rules (>= IntHigh) while being memory-dominated.
+	m := memIntStress.AverageMix()
+	if 100*m.IntFrac() < 55 {
+		t.Fatalf("memintstress %%INT %.1f below the IntHigh threshold", 100*m.IntFrac())
+	}
+	if m.MemFrac() < 0.25 {
+		t.Fatalf("memintstress mem fraction %.2f too small to be memory-bound", m.MemFrac())
+	}
+	if memIntStress.Phases[0].WorkingSet <= 128<<10 {
+		t.Fatal("memintstress working set fits in L2")
+	}
+}
+
+func TestManycoreExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := tinyOptions()
+	opt.InstrLimit = 120_000
+	r, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RunManycore(r, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"rank", "rotate", "static", "MEAN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("manycore output missing %q", want)
+		}
+	}
+}
+
+func TestPhasesExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RunPhases(r, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "purity") {
+		t.Error("phases output missing purity column")
+	}
+}
+
+func TestCharacterizeExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := tinyOptions()
+	opt.ProfileInstrLimit = 400_000 // /4 floor inside
+	r, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RunCharacterize(r, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"intstress", "fpstress", "prefers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("characterize output missing %q", want)
+		}
+	}
+}
+
+func TestOracleExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := tinyOptions()
+	opt.SensitivityPairs = 1
+	opt.InstrLimit = 120_000
+	r, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RunOracle(r, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "clairvoyant") {
+		t.Error("oracle output missing clairvoyant label")
+	}
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/profilegen"
+	"ampsched/internal/report"
+	"ampsched/internal/workload"
+)
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	Name string // paper reference: "fig1", "fig7", "tables", ...
+	Desc string
+	Run  func(r *Runner, w io.Writer) error
+}
+
+// All returns the experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"tables", "Tables I & II: core configurations", RunTables},
+		{"fig1", "Fig. 1: performance/watt of representative workloads on each core", RunFig1},
+		{"fig3", "Fig. 3: HPE IPC/Watt ratio matrix", RunFig3},
+		{"fig4", "Fig. 4: regression surface for the performance/watt ratio", RunFig4},
+		{"rules", "Fig. 5 / §VI-A: derived swapping-rule thresholds", RunRules},
+		{"fig6", "Fig. 6: window-size / history-depth sensitivity", RunFig6},
+		{"fig7", "Fig. 7: IPC/Watt improvement over HPE per workload pair", RunFig7},
+		{"fig8", "Fig. 8: IPC/Watt improvement over Round Robin per workload pair", RunFig8},
+		{"fig9", "Fig. 9: worst/average/best IPC/Watt improvements", RunFig9},
+		{"overhead", "§VI-C: swap-overhead sensitivity", RunOverhead},
+		{"decisions", "§VI-D: decision points vs actual swaps", RunDecisions},
+		{"rrinterval", "§VII: Round Robin decision-interval ablation", RunRRInterval},
+		{"extension", "§VII future work: IPC + LLC-miss-rate guard on the swapping rules", RunExtension},
+		{"baselines", "all policies vs the best static assignment (incl. related-work sampling)", RunBaselines},
+		{"power", "analysis: Wattch-style per-structure energy breakdown on both cores", RunPowerBreakdown},
+		{"morph", "§III: swap-only (this paper) vs swap+morph ([5])", RunMorph},
+		{"manycore", "§VIII: quad-core generalization (rank-and-place vs rotate vs static)", RunManycore},
+		{"phases", "analysis: online phase classification ([6]) vs generator ground truth", RunPhases},
+		{"oracle", "analysis: online schemes vs a clairvoyant (cost-blind) profile scheduler", RunOracle},
+		{"characterize", "appendix: all 37 benchmarks solo on both cores", RunCharacterize},
+	}
+}
+
+// ByName finds an experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", name)
+}
+
+// RunTables prints the two core configurations (paper Tables I, II).
+func RunTables(r *Runner, w io.Writer) error {
+	t1 := &report.Table{
+		Title:   "Table I: selected core configurations",
+		Headers: []string{"Parameter", "FP core", "INT core"},
+	}
+	add := func(name string, f func(*cpu.Config) string) {
+		t1.AddRow(name, f(r.FPCfg), f(r.IntCfg))
+	}
+	add("DL1", func(c *cpu.Config) string { return fmt.Sprintf("%dK", c.Caches.L1D.SizeBytes>>10) })
+	add("IL1", func(c *cpu.Config) string { return fmt.Sprintf("%dK", c.Caches.L1I.SizeBytes>>10) })
+	add("L2", func(c *cpu.Config) string { return fmt.Sprintf("%dK", c.Caches.L2.SizeBytes>>10) })
+	add("LSQ (LD/SD)", func(c *cpu.Config) string { return fmt.Sprintf("%d/%d", c.LSQLoads, c.LSQStores) })
+	add("ROB", func(c *cpu.Config) string { return fmt.Sprint(c.ROBSize) })
+	add("INTREG", func(c *cpu.Config) string { return fmt.Sprint(c.IntRegs) })
+	add("FPREG", func(c *cpu.Config) string { return fmt.Sprint(c.FPRegs) })
+	add("INTISQ", func(c *cpu.Config) string { return fmt.Sprint(c.IntISQ) })
+	add("FPISQ", func(c *cpu.Config) string { return fmt.Sprint(c.FPISQ) })
+	add("Width (F/D/I/C)", func(c *cpu.Config) string {
+		return fmt.Sprintf("%d/%d/%d/%d", c.FetchWidth, c.DispatchWidth, c.IssueWidth, c.CommitWidth)
+	})
+	add("Freq", func(c *cpu.Config) string { return fmt.Sprintf("%.0f GHz", c.FreqGHz) })
+	if err := t1.Fprint(w); err != nil {
+		return err
+	}
+
+	t2 := &report.Table{
+		Title:   "Table II: execution unit specifications (cyc=latency, P/NP=pipelined)",
+		Headers: []string{"Core", "Unit", "Count", "Latency", "Pipelined"},
+	}
+	for _, c := range []*cpu.Config{r.FPCfg, r.IntCfg} {
+		for k := cpu.UnitKind(0); k < cpu.NumUnitKinds; k++ {
+			u := c.Units[k]
+			p := "NP"
+			if u.Pipelined {
+				p = "P"
+			}
+			t2.AddRow(c.Name, k.String(), fmt.Sprint(u.Count), fmt.Sprintf("%d cyc", u.Latency), p)
+		}
+	}
+	return t2.Fprint(w)
+}
+
+// fig1Workloads are the six workloads of the motivating Fig. 1.
+var fig1Workloads = []string{"equake", "fpstress", "gcc", "mcf", "CRC32", "intstress"}
+
+// RunFig1 reproduces Fig. 1: IPC/Watt of each workload run solo on
+// each core. Core A is the FP core and core B the INT core.
+func RunFig1(r *Runner, w io.Writer) error {
+	t := &report.Table{
+		Title: "Fig. 1: performance-per-watt by core type",
+		Headers: []string{"Workload", "IPC(FP)", "W(FP)", "IPC/W core A (FP)",
+			"IPC(INT)", "W(INT)", "IPC/W core B (INT)", "better"},
+		Note: "expected shape: equake/fpstress prefer core A, CRC32/intstress prefer core B, gcc/mcf near parity",
+	}
+	for _, name := range fig1Workloads {
+		b, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		r.progress("fig1: %s", name)
+		rf := amp.SoloRun(r.FPCfg, b, r.Opt.Seed, r.Opt.ProfileInstrLimit, 0)
+		ri := amp.SoloRun(r.IntCfg, b, r.Opt.Seed, r.Opt.ProfileInstrLimit, 0)
+		better := "A (FP)"
+		if ri.IPCPerWatt > rf.IPCPerWatt {
+			better = "B (INT)"
+		}
+		if ratio := ri.IPCPerWatt / rf.IPCPerWatt; ratio > 0.95 && ratio < 1.05 {
+			better = "~equal"
+		}
+		t.AddRow(name,
+			report.F3(rf.IPC), report.F3(rf.Watts), report.F4(rf.IPCPerWatt),
+			report.F3(ri.IPC), report.F3(ri.Watts), report.F4(ri.IPCPerWatt),
+			better)
+	}
+	return t.Fprint(w)
+}
+
+// RunFig3 reproduces the example ratio matrix of Fig. 3.
+func RunFig3(r *Runner, w io.Writer) error {
+	m, err := r.Matrix()
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title: "Fig. 3: IPC/Watt ratio matrix (INT core / FP core), rows=%INT bins, cols=%FP bins",
+		Note:  "cells marked * are nearest-neighbor filled (no profile samples landed there)",
+	}
+	t.Headers = append(t.Headers, "INT\\FP")
+	for f := 0; f < profilegen.Bins; f++ {
+		t.Headers = append(t.Headers, profilegen.BinLabel(f))
+	}
+	for i := 0; i < profilegen.Bins; i++ {
+		row := []string{profilegen.BinLabel(i)}
+		for f := 0; f < profilegen.Bins; f++ {
+			cell := fmt.Sprintf("%.2f", m.Ratio[i][f])
+			if !m.Filled[i][f] {
+				cell += "*"
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t.Fprint(w)
+}
+
+// RunFig4 reproduces Fig. 4: the fitted regression surface evaluated
+// on a grid, plus its fit quality against the populated matrix cells.
+func RunFig4(r *Runner, w io.Writer) error {
+	s, err := r.Surface()
+	if err != nil {
+		return err
+	}
+	m, err := r.Matrix()
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title: "Fig. 4: regression surface ratio(%INT, %FP) = IPC/Watt(INT)/IPC/Watt(FP)",
+	}
+	t.Headers = append(t.Headers, "%INT\\%FP")
+	grid := []float64{0, 20, 40, 60, 80, 100}
+	for _, f := range grid {
+		t.Headers = append(t.Headers, fmt.Sprintf("%.0f", f))
+	}
+	for _, i := range grid {
+		row := []string{fmt.Sprintf("%.0f", i)}
+		for _, f := range grid {
+			if i+f > 100 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f", s.RatioIntOverFP(i, f)))
+		}
+		t.AddRow(row...)
+	}
+	// Fit quality on populated matrix cells.
+	var sse, n float64
+	for i := 0; i < profilegen.Bins; i++ {
+		for f := 0; f < profilegen.Bins; f++ {
+			if !m.Filled[i][f] {
+				continue
+			}
+			ci, cf := float64(i)*20+10, float64(f)*20+10
+			d := s.RatioIntOverFP(ci, cf) - m.Ratio[i][f]
+			sse += d * d
+			n++
+		}
+	}
+	if n > 0 {
+		t.Note = fmt.Sprintf("RMS error vs %0.f populated matrix cells: %.3f", n, rms(sse, n))
+	}
+	return t.Fprint(w)
+}
+
+func rms(sse, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sse / n)
+}

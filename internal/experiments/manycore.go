@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/manycore"
+	"ampsched/internal/report"
+	"ampsched/internal/stats"
+	"ampsched/internal/workload"
+)
+
+// quadSets are 4-thread workload mixes for the 2-INT + 2-FP quad-core
+// generalization of §VIII.
+var quadSets = [][4]string{
+	{"fpstress", "equake", "intstress", "bitcount"}, // fully inverted start
+	{"intstress", "fpstress", "sha", "swim"},        // half inverted
+	{"gcc", "apsi", "CRC32", "ammp"},                // mixed flavors
+	{"mixstress", "mcf", "fft", "blowfish"},         // phases + memory-bound
+	{"bitcount", "sha", "CRC32", "blowfish"},        // all-INT (nothing to fix)
+}
+
+// RunManycore evaluates the §VIII generalization: a quad-core
+// (2 INT + 2 FP) AMP under the scalable rank-and-place scheduler vs
+// rotation and static assignment. Scores are geomean IPC/Watt over the
+// four threads, normalized to static.
+func RunManycore(r *Runner, w io.Writer) error {
+	cfgs := []*cpu.Config{
+		cpu.IntCoreConfig(), cpu.IntCoreConfig(),
+		cpu.FPCoreConfig(), cpu.FPCoreConfig(),
+	}
+	t := &report.Table{
+		Title:   "§VIII generalization: quad-core (2 INT + 2 FP), geomean IPC/Watt normalized to static",
+		Headers: []string{"threads", "static", "rotate", "rank", "rank reassigns"},
+		Note:    "rank-and-place scales the composition rules beyond two cores without sampling",
+	}
+	limit := r.Opt.InstrLimit / 2
+	if limit == 0 {
+		limit = 200_000
+	}
+	var rankScores, rotScores []float64
+	for i, set := range quadSets {
+		r.progress("manycore: set %d/%d %v", i+1, len(quadSets), set)
+		benches := make([]*workload.Benchmark, 4)
+		for j, n := range set {
+			b, err := workload.ByName(n)
+			if err != nil {
+				return err
+			}
+			benches[j] = b
+		}
+		seeds := []uint64{r.Opt.Seed*4096 + uint64(i*8), r.Opt.Seed*4096 + uint64(i*8+1),
+			r.Opt.Seed*4096 + uint64(i*8+2), r.Opt.Seed*4096 + uint64(i*8+3)}
+
+		run := func(s manycore.Scheduler) manycore.Result {
+			sys, err := manycore.NewSystem(cfgs, benches, seeds, s, manycore.Config{
+				ReassignOverheadCycles: r.Opt.SwapOverhead,
+			})
+			if err != nil {
+				panic(err) // static inputs; programming error only
+			}
+			return sys.Run(limit)
+		}
+		static := run(manycore.Static{})
+		rotate := run(manycore.NewRotate(r.Opt.ContextSwitch))
+		rank := run(manycore.NewRank(manycore.DefaultRankConfig()))
+
+		base := static.GeomeanIPCW()
+		rankScores = append(rankScores, rank.GeomeanIPCW()/base)
+		rotScores = append(rotScores, rotate.GeomeanIPCW()/base)
+		t.AddRow(fmt.Sprintf("%v", set), "1.000",
+			fmt.Sprintf("%.3f", rotate.GeomeanIPCW()/base),
+			fmt.Sprintf("%.3f", rank.GeomeanIPCW()/base),
+			fmt.Sprint(rank.Reassigns))
+	}
+	t.AddRow("MEAN", "1.000",
+		fmt.Sprintf("%.3f", stats.Mean(rotScores)),
+		fmt.Sprintf("%.3f", stats.Mean(rankScores)), "")
+	return t.Fprint(w)
+}

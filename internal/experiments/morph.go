@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/metrics"
+	"ampsched/internal/report"
+	"ampsched/internal/sched"
+	"ampsched/internal/stats"
+	"ampsched/internal/workload"
+)
+
+// MorphingFactory builds the [5]-style morphing scheduler with the
+// runner's forced-swap interval.
+func (r *Runner) MorphingFactory() SchedFactory {
+	return func() amp.Scheduler {
+		cfg := sched.DefaultMorphConfig()
+		cfg.Base.ForceInterval = r.Opt.ContextSwitch
+		return sched.NewMorphing(cfg)
+	}
+}
+
+// morphPairs mixes the morphing sweet spot (one collapsed thread, one
+// hot thread) with ordinary pairs where morphing should stay out of
+// the way.
+func morphPairs() []Pair {
+	combos := [][2]string{
+		{"memstress", "fpstress"}, // collapsed + hot FP
+		{"memstress", "intstress"},
+		{"mcf", "fpstress"},
+		{"mcf", "mixstress"},
+		{"memstress", "mixstress"},
+		{"art", "bitcount"},
+		{"fpstress", "intstress"}, // both hot: morphing must abstain
+		{"gcc", "equake"},
+	}
+	var pairs []Pair
+	for _, c := range combos {
+		pairs = append(pairs, Pair{A: workload.MustByName(c[0]), B: workload.MustByName(c[1])})
+	}
+	return pairs
+}
+
+// RunMorph evaluates the §III design question: how much does the
+// morphing hardware of [5] add over the paper's swap-only scheme?
+// Positive deltas argue for morphing; near-zero deltas support the
+// paper's choice to drop the morphing hardware.
+func RunMorph(r *Runner, w io.Writer) error {
+	pairs := morphPairs()
+	t := &report.Table{
+		Title: "§III: swap-only (this paper) vs swap+morph ([5])",
+		Headers: []string{"pair", "swaps (swap-only)", "swaps+morphs (morph)",
+			"morph weighted vs swap-only", "morph geometric vs swap-only"},
+	}
+	var wImp, gImp []float64
+	for i, p := range pairs {
+		r.progress("morph: pair %d/%d %s", i+1, len(pairs), p.Label())
+		swapOnly := r.RunPair(i+60_000, p, r.ProposedFactory())
+		morph := r.RunPair(i+60_000, p, r.MorphingFactory())
+		cmp, err := metrics.Compare(morph, swapOnly)
+		if err != nil {
+			return err
+		}
+		wImp = append(wImp, cmp.WeightedPct)
+		gImp = append(gImp, cmp.GeoPct)
+		t.AddRow(p.Label(),
+			fmt.Sprint(swapOnly.Swaps),
+			fmt.Sprintf("%d+%d", morph.Swaps, morph.Morphs),
+			report.Pct(cmp.WeightedPct), report.Pct(cmp.GeoPct))
+	}
+	t.Note = "mean: weighted " + report.Pct(stats.Mean(wImp)) +
+		", geometric " + report.Pct(stats.Mean(gImp)) +
+		"; the paper drops morphing to avoid its hardware cost — this measures what that choice leaves on the table"
+	return t.Fprint(w)
+}

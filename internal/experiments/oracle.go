@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/metrics"
+	"ampsched/internal/report"
+	"ampsched/internal/sched"
+	"ampsched/internal/stats"
+)
+
+// RunOracle compares the online schemes against a clairvoyant
+// profile-driven scheduler (exhaustive per-window solo profiles, no
+// knowledge of migration costs). Negative numbers mean the online
+// scheme left headroom; positive numbers mean the clairvoyant's
+// cost-blind swapping hurt it — evidence that fine-grained online
+// monitoring plus hysteresis (the paper's design) is hard to beat
+// even with perfect foresight of workload behavior.
+func RunOracle(r *Runner, w io.Writer) error {
+	matrix, err := r.Matrix()
+	if err != nil {
+		return err
+	}
+	pairs := RandomPairs(r.Opt.SensitivityPairs, r.Opt.Seed+5)
+	t := &report.Table{
+		Title:   "clairvoyant comparison: profile-driven best-mapping scheduler (cost-blind)",
+		Headers: []string{"pair", "clairvoyant swaps", "proposed vs clairvoyant", "hpe vs clairvoyant"},
+		Note:    "negative = headroom the online scheme left; positive = the clairvoyant's cost-blind swaps backfired",
+	}
+	var propGap, hpeGap []float64
+	for i, p := range pairs {
+		r.progress("oracle: pair %d/%d %s", i+1, len(pairs), p.Label())
+		oracle, err := sched.OracleProfile(r.IntCfg, r.FPCfg, p.A, p.B,
+			r.pairSeed(i+70_000, 0), r.pairSeed(i+70_000, 1),
+			r.Opt.InstrLimit, r.Opt.RuleWindow*10)
+		if err != nil {
+			return err
+		}
+		resO := r.RunPair(i+70_000, p, func() amp.Scheduler { return oracle })
+		resP := r.RunPair(i+70_000, p, r.ProposedFactory())
+		resH := r.RunPair(i+70_000, p, r.HPEFactory(matrix))
+
+		cmpP, err := metrics.Compare(resP, resO)
+		if err != nil {
+			return err
+		}
+		cmpH, err := metrics.Compare(resH, resO)
+		if err != nil {
+			return err
+		}
+		propGap = append(propGap, cmpP.WeightedPct)
+		hpeGap = append(hpeGap, cmpH.WeightedPct)
+		t.AddRow(p.Label(), fmt.Sprint(resO.Swaps),
+			report.Pct(cmpP.WeightedPct), report.Pct(cmpH.WeightedPct))
+	}
+	t.Note += fmt.Sprintf("; mean: proposed %s, hpe %s vs clairvoyant",
+		report.Pct(stats.Mean(propGap)), report.Pct(stats.Mean(hpeGap)))
+	return t.Fprint(w)
+}

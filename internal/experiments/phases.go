@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/phase"
+	"ampsched/internal/report"
+	"ampsched/internal/workload"
+)
+
+// RunPhases is an analysis experiment for the paper's foundational
+// assumption (§I, [6]): programs move through detectable phases, some
+// shorter than the 2 ms scheduling quantum. It runs benchmarks
+// through a core with the online Sherwood-style classifier attached
+// to the commit stage and scores the classification against the
+// workload generator's ground-truth phase index.
+func RunPhases(r *Runner, w io.Writer) error {
+	names := []string{"mixstress", "apsi", "gcc", "ffti", "sha", "swim"}
+	t := &report.Table{
+		Title: "phase detection (Sherwood-style online classifier at commit)",
+		Headers: []string{"workload", "true phases", "detected", "transitions",
+			"intervals", "purity"},
+		Note: "purity = fraction of intervals whose detected phase maps to the correct ground-truth phase",
+	}
+
+	limit := r.Opt.InstrLimit / 2
+	if limit < 200_000 {
+		limit = 200_000
+	}
+	cfg := phase.DefaultConfig()
+
+	for _, name := range names {
+		b, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		r.progress("phases: %s", name)
+		det := phase.NewDetector(cfg)
+		core := cpu.NewCore(cpu.IntCoreConfig())
+		core.SetCommitHook(det.Hook())
+		gen := workload.NewGenerator(b, r.Opt.Seed, 0)
+		arch := &cpu.ThreadArch{CodeBase: 1 << 36, CodeSize: b.EffectiveCodeFootprint()}
+		core.Bind(gen, arch)
+
+		// Ground truth: the generator's phase index sampled when each
+		// detector interval closes (the in-flight skew of ~ROB size is
+		// negligible at 10k-instruction intervals).
+		var truth []int
+		seen := uint64(0)
+		for cycle := uint64(0); arch.Committed < limit; cycle++ {
+			core.Step(cycle)
+			for seen < det.Intervals() {
+				truth = append(truth, gen.PhaseIndex())
+				seen++
+			}
+		}
+
+		hist := det.History()
+		n := len(hist)
+		if len(truth) < n {
+			n = len(truth)
+		}
+		// Majority-vote mapping detected-id -> true phase.
+		counts := map[int]map[int]int{}
+		for i := 0; i < n; i++ {
+			m := counts[hist[i].Phase]
+			if m == nil {
+				m = map[int]int{}
+				counts[hist[i].Phase] = m
+			}
+			m[truth[i]]++
+		}
+		mapping := map[int]int{}
+		for id, m := range counts {
+			best, bestN := -1, -1
+			for tp, c := range m {
+				if c > bestN {
+					best, bestN = tp, c
+				}
+			}
+			mapping[id] = best
+		}
+		correct := 0
+		for i := 0; i < n; i++ {
+			if mapping[hist[i].Phase] == truth[i] {
+				correct++
+			}
+		}
+		purity := 0.0
+		if n > 0 {
+			purity = float64(correct) / float64(n)
+		}
+
+		t.AddRow(name, fmt.Sprint(len(b.Phases)), fmt.Sprint(det.Phases()),
+			fmt.Sprint(det.Changes()), fmt.Sprint(det.Intervals()),
+			fmt.Sprintf("%.2f", purity))
+	}
+	return t.Fprint(w)
+}

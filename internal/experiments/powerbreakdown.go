@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/power"
+	"ampsched/internal/report"
+	"ampsched/internal/workload"
+)
+
+// RunPowerBreakdown is an analysis table not present in the paper but
+// implied by its Wattch methodology: where each core's energy goes for
+// representative workloads. It makes the IPC/Watt asymmetry of Fig. 1
+// legible — e.g. fpstress on the INT core wastes static+clock energy
+// while its FP ops trickle through the weak units.
+func RunPowerBreakdown(r *Runner, w io.Writer) error {
+	names := []string{"intstress", "fpstress", "gcc", "mcf"}
+	headers := []string{"workload", "core", "total nJ/instr"}
+	for c := power.Category(0); c < power.NumCategories; c++ {
+		headers = append(headers, c.String())
+	}
+	t := &report.Table{
+		Title:   "energy breakdown per core and workload (% of total energy)",
+		Headers: headers,
+		Note:    "Wattch-style accounting; shares sum to 100%",
+	}
+
+	run := func(cfg *cpu.Config, bench *workload.Benchmark) error {
+		core := cpu.NewCore(cfg)
+		model := power.NewModel(cfg)
+		gen := workload.NewGenerator(bench, r.Opt.Seed, 0)
+		arch := &cpu.ThreadArch{CodeBase: 1 << 36, CodeSize: bench.EffectiveCodeFootprint()}
+		core.Bind(gen, arch)
+		limit := r.Opt.ProfileInstrLimit / 4
+		if limit == 0 {
+			limit = 100_000
+		}
+		for cycle := uint64(0); arch.Committed < limit; cycle++ {
+			core.Step(cycle)
+		}
+		bd := model.BreakdownFor(core.Activity(), power.SnapshotCaches(core))
+		row := []string{bench.Name, cfg.Name,
+			fmt.Sprintf("%.2f", bd.Total()/float64(arch.Committed))}
+		for c := power.Category(0); c < power.NumCategories; c++ {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*bd.Share(c)))
+		}
+		t.AddRow(row...)
+		return nil
+	}
+
+	for _, name := range names {
+		b, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		r.progress("power breakdown: %s", name)
+		for _, cfg := range []*cpu.Config{r.IntCfg, r.FPCfg} {
+			if err := run(cfg, b); err != nil {
+				return err
+			}
+		}
+	}
+	return t.Fprint(w)
+}

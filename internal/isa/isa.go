@@ -1,0 +1,132 @@
+// Package isa defines the dynamic-instruction vocabulary shared by the
+// workload generators, the core pipeline model and the schedulers.
+//
+// The simulator is trace driven: a workload generator emits a stream
+// of Instruction values that carry everything the microarchitecture
+// model needs — the operation class (which selects the functional
+// unit, latency and energy), the dependency distances to the producer
+// instructions, the effective address for memory operations and the
+// outcome for branches. This mirrors how microarchitecture-independent
+// workload characterization is done in the paper: the scheduler only
+// ever observes the committed composition of this stream.
+package isa
+
+import "fmt"
+
+// Class identifies the operation class of a dynamic instruction.
+type Class uint8
+
+// Operation classes. The split mirrors the paper's Table II: three
+// integer classes, three floating-point classes, the two memory
+// classes and branches.
+const (
+	IntALU Class = iota // integer add/sub/logic/shift/compare
+	IntMul              // integer multiply
+	IntDiv              // integer divide / modulo
+	FPALU               // floating-point add/sub/compare/convert
+	FPMul               // floating-point multiply
+	FPDiv               // floating-point divide / sqrt
+	Load                // memory read
+	Store               // memory write
+	Branch              // conditional/unconditional control transfer
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"IntALU", "IntMul", "IntDiv", "FPALU", "FPMul", "FPDiv",
+	"Load", "Store", "Branch",
+}
+
+// String returns the conventional mnemonic for the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// IsInt reports whether the class counts as an "INT instruction" for
+// the paper's %INT monitors. Loads, stores and branches are counted as
+// neither INT nor FP, exactly as the instruction-composition counters
+// in §VI-A treat them, so %INT + %FP <= 100.
+func (c Class) IsInt() bool { return c == IntALU || c == IntMul || c == IntDiv }
+
+// IsFP reports whether the class counts as an "FP instruction" for the
+// paper's %FP monitors.
+func (c Class) IsFP() bool { return c == FPALU || c == FPMul || c == FPDiv }
+
+// IsMem reports whether the class accesses the data cache.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// UsesIntPipe reports whether the instruction issues to the integer
+// issue queue. Memory address generation and branch resolution use the
+// integer pipe, as in most OoO designs (and SESC).
+func (c Class) UsesIntPipe() bool { return !c.IsFP() }
+
+// Instruction is one dynamic instruction of a synthesized trace.
+//
+// Dep1 and Dep2 are the distances, in dynamic instructions, to the two
+// producer instructions of this instruction's source operands; zero
+// means "no dependence" (or a producer so old it is architecturally
+// visible). Addr is the effective byte address for Load/Store and the
+// (synthetic) program counter for Branch. Taken is the branch outcome.
+type Instruction struct {
+	Addr  uint64
+	Dep1  int32
+	Dep2  int32
+	Class Class
+	Taken bool
+}
+
+// Reset clears the instruction to an IntALU with no dependences. The
+// generator reuses one Instruction value per slot to avoid allocation.
+func (in *Instruction) Reset() {
+	*in = Instruction{}
+}
+
+// Mix is a probability distribution over instruction classes. The
+// entries need not be normalized when constructing; call Normalize
+// before sampling.
+type Mix [NumClasses]float64
+
+// Normalize scales the mix so its entries sum to 1. A zero mix
+// becomes 100% IntALU (a defined, harmless fallback).
+func (m *Mix) Normalize() {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	if sum <= 0 {
+		*m = Mix{}
+		m[IntALU] = 1
+		return
+	}
+	for i := range m {
+		m[i] /= sum
+	}
+}
+
+// IntFrac returns the fraction of INT-class instructions in the mix.
+func (m *Mix) IntFrac() float64 { return m[IntALU] + m[IntMul] + m[IntDiv] }
+
+// FPFrac returns the fraction of FP-class instructions in the mix.
+func (m *Mix) FPFrac() float64 { return m[FPALU] + m[FPMul] + m[FPDiv] }
+
+// MemFrac returns the fraction of memory instructions in the mix.
+func (m *Mix) MemFrac() float64 { return m[Load] + m[Store] }
+
+// Validate reports an error if the mix has a negative entry or does
+// not sum to approximately 1.
+func (m *Mix) Validate() error {
+	var sum float64
+	for c, v := range m {
+		if v < 0 {
+			return fmt.Errorf("isa: mix entry %s is negative (%g)", Class(c), v)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("isa: mix sums to %g, want 1", sum)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassPredicatesPartition(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		n := 0
+		if c.IsInt() {
+			n++
+		}
+		if c.IsFP() {
+			n++
+		}
+		if c.IsMem() {
+			n++
+		}
+		if c == Branch {
+			n++
+		}
+		if n != 1 {
+			t.Errorf("class %s matches %d predicate groups, want exactly 1", c, n)
+		}
+	}
+}
+
+func TestIntClasses(t *testing.T) {
+	for _, c := range []Class{IntALU, IntMul, IntDiv} {
+		if !c.IsInt() || c.IsFP() {
+			t.Errorf("%s misclassified", c)
+		}
+	}
+}
+
+func TestFPClasses(t *testing.T) {
+	for _, c := range []Class{FPALU, FPMul, FPDiv} {
+		if !c.IsFP() || c.IsInt() {
+			t.Errorf("%s misclassified", c)
+		}
+	}
+}
+
+func TestMemClasses(t *testing.T) {
+	for _, c := range []Class{Load, Store} {
+		if !c.IsMem() || c.IsInt() || c.IsFP() {
+			t.Errorf("%s misclassified", c)
+		}
+	}
+}
+
+func TestUsesIntPipe(t *testing.T) {
+	intPipe := []Class{IntALU, IntMul, IntDiv, Load, Store, Branch}
+	for _, c := range intPipe {
+		if !c.UsesIntPipe() {
+			t.Errorf("%s should use int pipe", c)
+		}
+	}
+	for _, c := range []Class{FPALU, FPMul, FPDiv} {
+		if c.UsesIntPipe() {
+			t.Errorf("%s should not use int pipe", c)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if IntALU.String() != "IntALU" || FPDiv.String() != "FPDiv" {
+		t.Fatalf("unexpected names: %s %s", IntALU, FPDiv)
+	}
+	if !strings.Contains(Class(200).String(), "200") {
+		t.Fatalf("out-of-range class string: %s", Class(200))
+	}
+}
+
+func TestMixNormalize(t *testing.T) {
+	m := Mix{2, 0, 0, 0, 0, 0, 1, 1, 0}
+	m.Normalize()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m[IntALU] != 0.5 || m[Load] != 0.25 || m[Store] != 0.25 {
+		t.Fatalf("bad normalization: %v", m)
+	}
+}
+
+func TestMixNormalizeZero(t *testing.T) {
+	var m Mix
+	m.Normalize()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m[IntALU] != 1 {
+		t.Fatalf("zero mix did not default to IntALU: %v", m)
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	m := Mix{0.2, 0.1, 0.0, 0.15, 0.1, 0.05, 0.2, 0.1, 0.1}
+	approx := func(got, want float64) bool { return got > want-1e-9 && got < want+1e-9 }
+	if got := m.IntFrac(); !approx(got, 0.3) {
+		t.Errorf("IntFrac = %g", got)
+	}
+	if got := m.FPFrac(); !approx(got, 0.3) {
+		t.Errorf("FPFrac = %g", got)
+	}
+	if got := m.MemFrac(); !approx(got, 0.3) {
+		t.Errorf("MemFrac = %g", got)
+	}
+}
+
+func TestMixValidateErrors(t *testing.T) {
+	m := Mix{-0.1, 1.1, 0, 0, 0, 0, 0, 0, 0}
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative entry accepted")
+	}
+	m2 := Mix{0.5, 0, 0, 0, 0, 0, 0, 0, 0}
+	if err := m2.Validate(); err == nil {
+		t.Fatal("non-normalized mix accepted")
+	}
+}
+
+func TestInstructionReset(t *testing.T) {
+	in := Instruction{Addr: 42, Dep1: 3, Dep2: 9, Class: FPMul, Taken: true}
+	in.Reset()
+	if in != (Instruction{}) {
+		t.Fatalf("Reset left state: %+v", in)
+	}
+}
+
+func TestQuickNormalizeAlwaysValid(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i, j float64) bool {
+		abs := func(x float64) float64 {
+			if x < 0 {
+				return -x
+			}
+			return x
+		}
+		m := Mix{abs(a), abs(b), abs(c), abs(d), abs(e), abs(g), abs(h), abs(i), abs(j)}
+		// Guard against non-finite quick inputs.
+		for _, v := range m {
+			if v != v || v > 1e300 {
+				return true
+			}
+		}
+		m.Normalize()
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFractionsSumBelowOne(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i, j uint16) bool {
+		m := Mix{float64(a), float64(b), float64(c), float64(d), float64(e),
+			float64(g), float64(h), float64(i), float64(j)}
+		m.Normalize()
+		s := m.IntFrac() + m.FPFrac() + m.MemFrac() + m[Branch]
+		return s > 0.999 && s < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,294 @@
+// Package manycore generalizes the paper's dual-core system to N
+// asymmetric cores and N threads (§VIII: "The methodology described
+// here for an INT and FP cores can be followed for other types of
+// asymmetric cores"; §II criticizes sampling-based schedulers as "not
+// scalable to an AMP with many different cores").
+//
+// The package reuses the core model, power model and workloads of the
+// dual-core reproduction; only the assignment machinery generalizes:
+// a scheduler observes all threads' committed-window compositions and
+// proposes a new thread-to-core permutation, which the system applies
+// with the usual squash-and-stall reconfiguration cost.
+package manycore
+
+import (
+	"fmt"
+	"math"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/power"
+	"ampsched/internal/workload"
+)
+
+// View is the read-only system state a Scheduler observes.
+type View interface {
+	NumCores() int
+	Cycle() uint64
+	ThreadOnCore(core int) int
+	CoreOfThread(thread int) int
+	Arch(thread int) *cpu.ThreadArch
+	CoreConfig(core int) *cpu.Config
+	// LastReassignCycle returns when the last reassignment's stall
+	// window ended (0 if none).
+	LastReassignCycle() uint64
+}
+
+// Scheduler proposes thread-to-core assignments. Tick returns nil for
+// "no change" or a full permutation newBinding[core] = thread.
+type Scheduler interface {
+	Name() string
+	Reset(v View)
+	Tick(v View) []int
+}
+
+// Config holds system-level knobs.
+type Config struct {
+	// ReassignOverheadCycles freezes all cores while an assignment
+	// change is applied (pipeline squash + state transfer).
+	ReassignOverheadCycles uint64
+}
+
+// System is an N-core, N-thread asymmetric multicore.
+type System struct {
+	cores   []*cpu.Core
+	models  []*power.Model
+	threads []*amp.Thread
+	binding []int // binding[core] = thread
+	sched   Scheduler
+	cfg     Config
+
+	cycle        uint64
+	reassigns    uint64
+	lastReassign uint64
+	stallUntil   uint64
+
+	lastAct   []cpu.Activity
+	lastCache []power.CacheStats
+}
+
+// NewSystem builds an N-core system; thread i starts on core i.
+func NewSystem(coreCfgs []*cpu.Config, benches []*workload.Benchmark, seeds []uint64,
+	sched Scheduler, cfg Config) (*System, error) {
+	n := len(coreCfgs)
+	if n < 2 {
+		return nil, fmt.Errorf("manycore: need at least 2 cores, got %d", n)
+	}
+	if len(benches) != n || len(seeds) != n {
+		return nil, fmt.Errorf("manycore: %d cores but %d benchmarks / %d seeds",
+			n, len(benches), len(seeds))
+	}
+	if cfg.ReassignOverheadCycles == 0 {
+		cfg.ReassignOverheadCycles = amp.DefaultSwapOverheadCycles
+	}
+	s := &System{
+		cores:     make([]*cpu.Core, n),
+		models:    make([]*power.Model, n),
+		threads:   make([]*amp.Thread, n),
+		binding:   make([]int, n),
+		sched:     sched,
+		cfg:       cfg,
+		lastAct:   make([]cpu.Activity, n),
+		lastCache: make([]power.CacheStats, n),
+	}
+	for i := 0; i < n; i++ {
+		s.cores[i] = cpu.NewCore(coreCfgs[i])
+		s.models[i] = power.NewModel(coreCfgs[i])
+		// Spread each thread's address space far apart.
+		s.threads[i] = amp.NewThread(i, benches[i], seeds[i], uint64(i)<<41)
+		s.binding[i] = i
+		s.cores[i].Bind(s.threads[i].Gen, &s.threads[i].Arch)
+	}
+	if sched != nil {
+		sched.Reset(s)
+	}
+	return s, nil
+}
+
+// --- View -----------------------------------------------------------
+
+// NumCores implements View.
+func (s *System) NumCores() int { return len(s.cores) }
+
+// Cycle implements View.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// ThreadOnCore implements View.
+func (s *System) ThreadOnCore(core int) int { return s.binding[core] }
+
+// CoreOfThread implements View.
+func (s *System) CoreOfThread(thread int) int {
+	for c, t := range s.binding {
+		if t == thread {
+			return c
+		}
+	}
+	return -1
+}
+
+// Arch implements View.
+func (s *System) Arch(thread int) *cpu.ThreadArch { return &s.threads[thread].Arch }
+
+// CoreConfig implements View.
+func (s *System) CoreConfig(core int) *cpu.Config { return s.cores[core].Config() }
+
+// LastReassignCycle implements View.
+func (s *System) LastReassignCycle() uint64 { return s.lastReassign }
+
+// ---------------------------------------------------------------------
+
+// Reassigns returns the number of assignment changes applied.
+func (s *System) Reassigns() uint64 { return s.reassigns }
+
+// Core exposes a core for tests.
+func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
+
+// validPermutation checks that newBinding is a permutation of threads.
+func (s *System) validPermutation(newBinding []int) bool {
+	if len(newBinding) != len(s.binding) {
+		return false
+	}
+	seen := make([]bool, len(s.binding))
+	for _, t := range newBinding {
+		if t < 0 || t >= len(seen) || seen[t] {
+			return false
+		}
+		seen[t] = true
+	}
+	return true
+}
+
+func (s *System) flushEnergy() {
+	for c := range s.cores {
+		act := s.cores[c].Activity()
+		cs := power.SnapshotCaches(s.cores[c])
+		e := s.models[c].EnergyNJ(act.Sub(s.lastAct[c]), cs.Sub(s.lastCache[c]))
+		s.threads[s.binding[c]].EnergyNJ += e
+		s.lastAct[c] = act
+		s.lastCache[c] = cs
+	}
+}
+
+// reassign applies a new permutation with the configured overhead.
+func (s *System) reassign(newBinding []int) {
+	s.flushEnergy()
+	for c := range s.cores {
+		s.cores[c].Unbind()
+	}
+	copy(s.binding, newBinding)
+	for c := range s.cores {
+		t := s.threads[s.binding[c]]
+		s.cores[c].Bind(t.Gen, &t.Arch)
+	}
+	s.reassigns++
+	s.stallUntil = s.cycle + 1 + s.cfg.ReassignOverheadCycles
+	s.lastReassign = s.stallUntil
+}
+
+// ThreadResult mirrors amp.ThreadResult for N threads.
+type ThreadResult struct {
+	Name       string
+	Committed  uint64
+	EnergyNJ   float64
+	IPC        float64
+	Watts      float64
+	IPCPerWatt float64
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Scheduler string
+	Cycles    uint64
+	Reassigns uint64
+	Threads   []ThreadResult
+}
+
+// GeomeanIPCW returns the geometric mean of per-thread IPC/Watt.
+func (r *Result) GeomeanIPCW() float64 {
+	prod := 1.0
+	for _, t := range r.Threads {
+		if t.IPCPerWatt <= 0 {
+			return 0
+		}
+		prod *= t.IPCPerWatt
+	}
+	// n-th root.
+	n := float64(len(r.Threads))
+	return math.Pow(prod, 1/n)
+}
+
+// Run advances until any thread commits limit instructions.
+func (s *System) Run(limit uint64) Result {
+	watchLast := uint64(0)
+	watchCycle := s.cycle
+	for {
+		finished := false
+		for _, t := range s.threads {
+			if t.Arch.Committed >= limit {
+				finished = true
+				break
+			}
+		}
+		if finished {
+			break
+		}
+		if s.cycle < s.stallUntil {
+			for _, c := range s.cores {
+				c.StallCycle()
+			}
+		} else {
+			for _, c := range s.cores {
+				c.Step(s.cycle)
+			}
+			if s.sched != nil {
+				if nb := s.sched.Tick(s); nb != nil && s.validPermutation(nb) && !samePerm(nb, s.binding) {
+					s.reassign(nb)
+				}
+			}
+		}
+		s.cycle++
+
+		if s.cycle-watchCycle >= 8_000_000 {
+			var total uint64
+			for _, t := range s.threads {
+				total += t.Arch.Committed
+			}
+			if total == watchLast {
+				panic(fmt.Sprintf("manycore: wedged at cycle %d", s.cycle))
+			}
+			watchLast = total
+			watchCycle = s.cycle
+		}
+	}
+
+	s.flushEnergy()
+	res := Result{Cycles: s.cycle, Reassigns: s.reassigns, Scheduler: "static"}
+	if s.sched != nil {
+		res.Scheduler = s.sched.Name()
+	}
+	freq := s.cores[0].Config().FreqGHz
+	seconds := float64(s.cycle) / (freq * 1e9)
+	for _, t := range s.threads {
+		tr := ThreadResult{Name: t.Name, Committed: t.Arch.Committed, EnergyNJ: t.EnergyNJ}
+		if s.cycle > 0 {
+			tr.IPC = float64(t.Arch.Committed) / float64(s.cycle)
+		}
+		if seconds > 0 {
+			tr.Watts = t.EnergyNJ * 1e-9 / seconds
+		}
+		if tr.Watts > 0 {
+			tr.IPCPerWatt = tr.IPC / tr.Watts
+		}
+		res.Threads = append(res.Threads, tr)
+	}
+	return res
+}
+
+func samePerm(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,251 @@
+package manycore
+
+import (
+	"testing"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/workload"
+)
+
+// quad returns a 2-INT + 2-FP core set.
+func quad() []*cpu.Config {
+	return []*cpu.Config{
+		cpu.IntCoreConfig(), cpu.IntCoreConfig(),
+		cpu.FPCoreConfig(), cpu.FPCoreConfig(),
+	}
+}
+
+func benches(t *testing.T, names ...string) []*workload.Benchmark {
+	t.Helper()
+	out := make([]*workload.Benchmark, len(names))
+	for i, n := range names {
+		b, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func seeds(n int, base uint64) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = base + uint64(i)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(quad()[:1], nil, nil, nil, Config{}); err == nil {
+		t.Fatal("single core accepted")
+	}
+	if _, err := NewSystem(quad(), benches(t, "gcc"), seeds(4, 1), nil, Config{}); err == nil {
+		t.Fatal("mismatched benchmark count accepted")
+	}
+}
+
+func TestStaticRun(t *testing.T) {
+	sys, err := NewSystem(quad(),
+		benches(t, "intstress", "gcc", "fpstress", "equake"), seeds(4, 10),
+		Static{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(60_000)
+	if res.Reassigns != 0 {
+		t.Fatalf("static reassigned %d times", res.Reassigns)
+	}
+	if len(res.Threads) != 4 {
+		t.Fatalf("thread results: %d", len(res.Threads))
+	}
+	for i, tr := range res.Threads {
+		if tr.IPCPerWatt <= 0 {
+			t.Fatalf("thread %d IPC/Watt %g", i, tr.IPCPerWatt)
+		}
+	}
+	if res.GeomeanIPCW() <= 0 {
+		t.Fatal("geomean non-positive")
+	}
+}
+
+func TestRotatePermutes(t *testing.T) {
+	sys, err := NewSystem(quad(),
+		benches(t, "intstress", "gcc", "fpstress", "equake"), seeds(4, 20),
+		NewRotate(20_000), Config{ReassignOverheadCycles: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(80_000)
+	if res.Reassigns == 0 {
+		t.Fatal("rotate never fired")
+	}
+	// The binding is always a valid permutation.
+	seen := map[int]bool{}
+	for c := 0; c < sys.NumCores(); c++ {
+		th := sys.ThreadOnCore(c)
+		if seen[th] {
+			t.Fatalf("thread %d bound twice", th)
+		}
+		seen[th] = true
+		if sys.CoreOfThread(th) != c {
+			t.Fatal("CoreOfThread inconsistent")
+		}
+	}
+}
+
+func TestRotateZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval accepted")
+		}
+	}()
+	NewRotate(0)
+}
+
+func TestRankConfigValidation(t *testing.T) {
+	good := DefaultRankConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultRankConfig()
+	bad.WindowSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	bad = DefaultRankConfig()
+	bad.HistoryDepth = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+	bad = DefaultRankConfig()
+	bad.MinScoreGap = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative gap accepted")
+	}
+}
+
+func TestRankFixesMisplacedQuad(t *testing.T) {
+	// Deliberately inverted placement: FP-heavy threads on the INT
+	// cores and INT-heavy on the FP cores. Rank must reassign so the
+	// INT cores run the INT-heavy threads.
+	rank := NewRank(DefaultRankConfig())
+	sys, err := NewSystem(quad(),
+		benches(t, "fpstress", "equake", "intstress", "bitcount"), seeds(4, 30),
+		rank, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(150_000)
+	if res.Reassigns == 0 {
+		t.Fatal("rank never reassigned a fully inverted placement")
+	}
+	// Threads 2 (intstress) and 3 (bitcount) must own cores 0 and 1.
+	onInt := map[int]bool{sys.ThreadOnCore(0): true, sys.ThreadOnCore(1): true}
+	if !onInt[2] || !onInt[3] {
+		t.Fatalf("INT cores run threads %v, want {2,3}", onInt)
+	}
+}
+
+func TestRankStableWhenWellPlaced(t *testing.T) {
+	rank := NewRank(DefaultRankConfig())
+	sys, err := NewSystem(quad(),
+		benches(t, "intstress", "bitcount", "fpstress", "equake"), seeds(4, 40),
+		rank, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(150_000)
+	if res.Reassigns != 0 {
+		t.Fatalf("rank churned %d times on a well-placed quad", res.Reassigns)
+	}
+}
+
+func TestRankBeatsStaticOnInvertedQuad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	names := []string{"fpstress", "equake", "intstress", "bitcount"}
+	run := func(s Scheduler) Result {
+		sys, err := NewSystem(quad(), benches(t, names...), seeds(4, 50), s, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run(250_000)
+	}
+	static := run(Static{})
+	rank := run(NewRank(DefaultRankConfig()))
+	if rank.GeomeanIPCW() <= static.GeomeanIPCW()*1.05 {
+		t.Fatalf("rank (%.4f) not clearly above misplaced static (%.4f)",
+			rank.GeomeanIPCW(), static.GeomeanIPCW())
+	}
+}
+
+func TestRankRejectsInvalidPermutationGracefully(t *testing.T) {
+	// A scheduler returning garbage must be ignored, not crash.
+	bad := schedulerFunc(func(v View) []int { return []int{0, 0, 1, 2} })
+	sys, err := NewSystem(quad(),
+		benches(t, "gcc", "mcf", "equake", "apsi"), seeds(4, 60),
+		bad, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(30_000)
+	if res.Reassigns != 0 {
+		t.Fatal("invalid permutation applied")
+	}
+}
+
+// schedulerFunc adapts a func to Scheduler.
+type schedulerFunc func(v View) []int
+
+func (schedulerFunc) Name() string        { return "func" }
+func (schedulerFunc) Reset(View)          {}
+func (f schedulerFunc) Tick(v View) []int { return f(v) }
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() Result {
+		sys, err := NewSystem(quad(),
+			benches(t, "gcc", "apsi", "fpstress", "CRC32"), seeds(4, 70),
+			NewRank(DefaultRankConfig()), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run(80_000)
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Reassigns != b.Reassigns {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d", a.Cycles, a.Reassigns, b.Cycles, b.Reassigns)
+	}
+	for i := range a.Threads {
+		if a.Threads[i].EnergyNJ != b.Threads[i].EnergyNJ {
+			t.Fatalf("thread %d energy differs", i)
+		}
+	}
+}
+
+func TestEightCoreScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfgs := []*cpu.Config{
+		cpu.IntCoreConfig(), cpu.IntCoreConfig(), cpu.IntCoreConfig(), cpu.IntCoreConfig(),
+		cpu.FPCoreConfig(), cpu.FPCoreConfig(), cpu.FPCoreConfig(), cpu.FPCoreConfig(),
+	}
+	names := []string{"fpstress", "equake", "swim", "ammp", "intstress", "bitcount", "sha", "CRC32"}
+	rank := NewRank(DefaultRankConfig())
+	sys, err := NewSystem(cfgs, benches(t, names...), seeds(8, 80), rank, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(100_000)
+	if res.Reassigns == 0 {
+		t.Fatal("rank never reassigned an 8-core inverted placement")
+	}
+	// All four INT cores must hold INT-flavored threads (4..7).
+	for c := 0; c < 4; c++ {
+		if sys.ThreadOnCore(c) < 4 {
+			t.Fatalf("INT core %d still runs FP thread %d", c, sys.ThreadOnCore(c))
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package monitor_test
+
+import (
+	"fmt"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/isa"
+	"ampsched/internal/monitor"
+)
+
+// Example demonstrates the paper's two hardware monitors: the
+// committed-window composition tracker and the majority history voter
+// (§VI-A, §VI-B).
+func Example() {
+	arch := &cpu.ThreadArch{}
+	tracker := monitor.NewWindowTracker(1000)
+	tracker.Reset(arch)
+	voter := monitor.NewVoter(5)
+
+	// The thread commits 5 windows that are 60% integer.
+	for w := 0; w < 5; w++ {
+		arch.Committed += 1000
+		arch.CommittedByClass[isa.IntALU] += 600
+		arch.CommittedByClass[isa.Load] += 400
+		if s, ok := tracker.Observe(arch); ok {
+			voter.Push(s.IntPct >= 55) // a Fig. 5 style tentative vote
+		}
+	}
+	fmt.Printf("majority says swap: %v\n", voter.Majority())
+	// Output:
+	// majority says swap: true
+}

@@ -1,0 +1,216 @@
+package monitor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/isa"
+)
+
+func TestWindowTrackerBasics(t *testing.T) {
+	w := NewWindowTracker(1000)
+	if w.Window() != 1000 {
+		t.Fatal("window size wrong")
+	}
+	arch := &cpu.ThreadArch{}
+	w.Reset(arch)
+	if _, ok := w.Observe(arch); ok {
+		t.Fatal("observed a window with no commits")
+	}
+	// 999 commits: still no window.
+	arch.Committed = 999
+	arch.CommittedByClass[isa.IntALU] = 999
+	if _, ok := w.Observe(arch); ok {
+		t.Fatal("window closed early")
+	}
+	// Cross the edge.
+	arch.Committed = 1001
+	arch.CommittedByClass[isa.IntALU] = 1000
+	arch.CommittedByClass[isa.FPALU] = 1
+	s, ok := w.Observe(arch)
+	if !ok {
+		t.Fatal("window did not close")
+	}
+	if s.WindowEnd != 1001 {
+		t.Fatalf("window end %d", s.WindowEnd)
+	}
+	if s.IntPct < 99 || s.IntPct > 100 {
+		t.Fatalf("IntPct %.2f", s.IntPct)
+	}
+}
+
+func TestWindowTrackerComposition(t *testing.T) {
+	w := NewWindowTracker(100)
+	arch := &cpu.ThreadArch{}
+	w.Reset(arch)
+	arch.Committed = 100
+	arch.CommittedByClass[isa.IntALU] = 30
+	arch.CommittedByClass[isa.FPMul] = 20
+	arch.CommittedByClass[isa.Load] = 50
+	s, ok := w.Observe(arch)
+	if !ok {
+		t.Fatal("no window")
+	}
+	if s.IntPct != 30 || s.FPPct != 20 {
+		t.Fatalf("composition: int %.1f fp %.1f", s.IntPct, s.FPPct)
+	}
+	// Second window measures only the delta.
+	arch.Committed = 200
+	arch.CommittedByClass[isa.FPALU] += 100
+	s, ok = w.Observe(arch)
+	if !ok {
+		t.Fatal("no second window")
+	}
+	if s.IntPct != 0 || s.FPPct != 100 {
+		t.Fatalf("delta composition: int %.1f fp %.1f", s.IntPct, s.FPPct)
+	}
+}
+
+func TestWindowTrackerLatest(t *testing.T) {
+	w := NewWindowTracker(10)
+	arch := &cpu.ThreadArch{}
+	w.Reset(arch)
+	if _, ok := w.Latest(); ok {
+		t.Fatal("latest before any window")
+	}
+	arch.Committed = 10
+	arch.CommittedByClass[isa.IntALU] = 10
+	w.Observe(arch)
+	s, ok := w.Latest()
+	if !ok || s.IntPct != 100 {
+		t.Fatalf("latest = %+v, %v", s, ok)
+	}
+}
+
+func TestWindowTrackerResetMidStream(t *testing.T) {
+	w := NewWindowTracker(10)
+	arch := &cpu.ThreadArch{Committed: 55}
+	arch.CommittedByClass[isa.IntALU] = 55
+	w.Reset(arch)
+	arch.Committed = 60
+	if _, ok := w.Observe(arch); ok {
+		t.Fatal("window closed before a full window post-reset")
+	}
+	arch.Committed = 65
+	arch.CommittedByClass[isa.IntALU] = 65
+	if _, ok := w.Observe(arch); !ok {
+		t.Fatal("window did not close after reset+10")
+	}
+}
+
+func TestWindowTrackerCollapsesMissedWindows(t *testing.T) {
+	w := NewWindowTracker(10)
+	arch := &cpu.ThreadArch{}
+	w.Reset(arch)
+	arch.Committed = 100 // ten windows elapsed
+	arch.CommittedByClass[isa.FPALU] = 100
+	s, ok := w.Observe(arch)
+	if !ok {
+		t.Fatal("no window")
+	}
+	if s.FPPct != 100 {
+		t.Fatalf("collapsed sample fp %.1f", s.FPPct)
+	}
+	// Only one sample for the whole gap.
+	if _, ok := w.Observe(arch); ok {
+		t.Fatal("spurious second sample")
+	}
+}
+
+func TestNewWindowTrackerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window accepted")
+		}
+	}()
+	NewWindowTracker(0)
+}
+
+func TestVoterMajority(t *testing.T) {
+	v := NewVoter(5)
+	if v.Majority() {
+		t.Fatal("empty voter has majority")
+	}
+	for _, b := range []bool{true, true, false, true} {
+		v.Push(b)
+	}
+	if v.Majority() {
+		t.Fatal("majority before history is full")
+	}
+	v.Push(false) // 3 true / 2 false
+	if !v.Majority() {
+		t.Fatal("3/5 true is a majority")
+	}
+	v.Push(false) // ring now t,t,f,t→f... oldest evicted
+	// Votes now: t, f, t, f, f -> 2 true: no majority.
+	if v.Majority() {
+		t.Fatal("2/5 true is not a majority")
+	}
+}
+
+func TestVoterExactHalfEven(t *testing.T) {
+	v := NewVoter(4)
+	for _, b := range []bool{true, true, false, false} {
+		v.Push(b)
+	}
+	if v.Majority() {
+		t.Fatal("2/4 is not a strict majority")
+	}
+	v.Push(true) // t,f,f -> t: now t,t,f,... wait ring: replaced oldest
+	// Ring: true(new), true, false, false -> still 2? No: oldest true
+	// evicted: [true(new), true, false, false] = 2 true.
+	if v.Majority() {
+		t.Fatal("still 2/4")
+	}
+}
+
+func TestVoterClear(t *testing.T) {
+	v := NewVoter(3)
+	v.Push(true)
+	v.Push(true)
+	v.Push(true)
+	if !v.Majority() {
+		t.Fatal("3/3 not majority")
+	}
+	v.Clear()
+	if v.Len() != 0 || v.Majority() {
+		t.Fatal("Clear did not reset")
+	}
+}
+
+func TestVoterDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero depth accepted")
+		}
+	}()
+	NewVoter(0)
+}
+
+func TestQuickVoterMatchesCount(t *testing.T) {
+	f := func(votes []bool) bool {
+		if len(votes) == 0 {
+			return true
+		}
+		depth := 5
+		v := NewVoter(depth)
+		for _, b := range votes {
+			v.Push(b)
+		}
+		if len(votes) < depth {
+			return !v.Majority()
+		}
+		// Count the last `depth` votes.
+		c := 0
+		for _, b := range votes[len(votes)-depth:] {
+			if b {
+				c++
+			}
+		}
+		return v.Majority() == (2*c > depth)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+package phase
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/isa"
+	"ampsched/internal/rng"
+	"ampsched/internal/workload"
+)
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.IntervalLen = 0 },
+		func(c *Config) { c.Threshold = 0 },
+		func(c *Config) { c.Threshold = 2.5 },
+		func(c *Config) { c.MaxPhases = 0 },
+	}
+	for i, mutate := range bads {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNewDetectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	NewDetector(Config{})
+}
+
+func TestSignatureDistance(t *testing.T) {
+	var a, b Signature
+	if a.Distance(&b) != 0 {
+		t.Fatal("zero signatures not at distance 0")
+	}
+	a[0] = 1
+	b[1] = 1
+	if d := a.Distance(&b); d != 2 {
+		t.Fatalf("disjoint unit signatures at distance %g, want 2", d)
+	}
+	if d := a.Distance(&a); d != 0 {
+		t.Fatalf("self distance %g", d)
+	}
+}
+
+func TestQuickDistanceMetricProperties(t *testing.T) {
+	mk := func(seed uint64) Signature {
+		r := rng.New(seed)
+		var s Signature
+		sum := 0.0
+		for i := range s {
+			s[i] = r.Float64()
+			sum += s[i]
+		}
+		for i := range s {
+			s[i] /= sum
+		}
+		return s
+	}
+	f := func(s1, s2, s3 uint64) bool {
+		a, b, c := mk(s1), mk(s2), mk(s3)
+		// Symmetry, non-negativity, triangle inequality, bound.
+		if a.Distance(&b) != b.Distance(&a) {
+			return false
+		}
+		if a.Distance(&b) < 0 || a.Distance(&b) > 2 {
+			return false
+		}
+		return a.Distance(&c) <= a.Distance(&b)+b.Distance(&c)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// feed pushes n synthetic committed instructions with branches drawn
+// from the given site set.
+func feed(d *Detector, r *rng.Source, n int, sites []uint64) {
+	for i := 0; i < n; i++ {
+		if r.Bool(0.2) {
+			d.Note(isa.Branch, sites[r.Intn(len(sites))])
+		} else {
+			d.Note(isa.IntALU, 0)
+		}
+	}
+}
+
+func TestDetectorStablePhase(t *testing.T) {
+	d := NewDetector(Config{IntervalLen: 1000, Threshold: 0.5, MaxPhases: 8})
+	r := rng.New(1)
+	sites := []uint64{0x100, 0x200, 0x300, 0x400}
+	feed(d, r, 50_000, sites)
+	if d.Phases() != 1 {
+		t.Fatalf("stable stream produced %d phases, want 1", d.Phases())
+	}
+	if d.Changes() != 1 {
+		t.Fatalf("stable stream changed phase %d times, want 1 (the initial)", d.Changes())
+	}
+	if d.Intervals() != 50 {
+		t.Fatalf("intervals = %d", d.Intervals())
+	}
+}
+
+func TestDetectorSeparatesDistinctPhases(t *testing.T) {
+	d := NewDetector(Config{IntervalLen: 1000, Threshold: 0.5, MaxPhases: 8})
+	r := rng.New(2)
+	a := []uint64{0x1000, 0x1004, 0x1008, 0x100c}
+	b := []uint64{0x9000, 0x9abc, 0x9def, 0x9fff}
+	for rep := 0; rep < 5; rep++ {
+		feed(d, r, 10_000, a)
+		feed(d, r, 10_000, b)
+	}
+	if d.Phases() != 2 {
+		t.Fatalf("alternating streams produced %d phases, want 2", d.Phases())
+	}
+	// Revisits classify to the same ids: changes ~ 10 boundaries.
+	if d.Changes() < 9 || d.Changes() > 11 {
+		t.Fatalf("changes = %d, want ~10", d.Changes())
+	}
+}
+
+func TestDetectorMaxPhasesClamped(t *testing.T) {
+	d := NewDetector(Config{IntervalLen: 500, Threshold: 0.01, MaxPhases: 3})
+	r := rng.New(3)
+	// Every interval uses fresh branch sites: unbounded novelty.
+	for i := 0; i < 20; i++ {
+		sites := []uint64{uint64(i) * 0x1111, uint64(i)*0x1111 + 4}
+		feed(d, r, 500, sites)
+	}
+	if d.Phases() > 3 {
+		t.Fatalf("phase table grew to %d, cap 3", d.Phases())
+	}
+}
+
+func TestDetectorHistory(t *testing.T) {
+	d := NewDetector(Config{IntervalLen: 100, Threshold: 0.5, MaxPhases: 4})
+	r := rng.New(4)
+	feed(d, r, 1000, []uint64{0x40})
+	h := d.History()
+	if len(h) != 10 {
+		t.Fatalf("history length %d", len(h))
+	}
+	for i, tr := range h {
+		if tr.EndInstr != uint64(i+1)*100 {
+			t.Fatalf("history %d EndInstr %d", i, tr.EndInstr)
+		}
+	}
+}
+
+func TestDetectorOnCore(t *testing.T) {
+	// End to end: the detector as a commit hook on a real core must
+	// see mixstress's two alternating phases.
+	b := workload.MustByName("mixstress")
+	d := NewDetector(Config{IntervalLen: 5_000, Threshold: 0.5, MaxPhases: 16})
+	core := cpu.NewCore(cpu.IntCoreConfig())
+	core.SetCommitHook(d.Hook())
+	gen := workload.NewGenerator(b, 5, 0)
+	arch := &cpu.ThreadArch{CodeSize: b.EffectiveCodeFootprint()}
+	core.Bind(gen, arch)
+	for cycle := uint64(0); arch.Committed < 200_000; cycle++ {
+		core.Step(cycle)
+	}
+	if d.Phases() < 2 {
+		t.Fatalf("detected %d phases in mixstress, want >= 2", d.Phases())
+	}
+	if d.Changes() < 3 {
+		t.Fatalf("only %d phase changes across multiple mixstress flips", d.Changes())
+	}
+	// And a single-phase benchmark stays put.
+	d2 := NewDetector(Config{IntervalLen: 5_000, Threshold: 0.5, MaxPhases: 16})
+	core2 := cpu.NewCore(cpu.IntCoreConfig())
+	core2.SetCommitHook(d2.Hook())
+	b2 := workload.MustByName("sha")
+	gen2 := workload.NewGenerator(b2, 5, 0)
+	arch2 := &cpu.ThreadArch{CodeSize: b2.EffectiveCodeFootprint()}
+	core2.Bind(gen2, arch2)
+	for cycle := uint64(0); arch2.Committed < 100_000; cycle++ {
+		core2.Step(cycle)
+	}
+	if d2.Phases() != 1 {
+		t.Fatalf("sha produced %d phases, want 1", d2.Phases())
+	}
+}
+
+func TestHookCountsAllClasses(t *testing.T) {
+	d := NewDetector(Config{IntervalLen: 10, Threshold: 0.5, MaxPhases: 2})
+	h := d.Hook()
+	for i := 0; i < 25; i++ {
+		h(isa.Load, 0x99)
+	}
+	if d.Intervals() != 2 {
+		t.Fatalf("intervals = %d, want 2 (25 instrs / 10)", d.Intervals())
+	}
+}

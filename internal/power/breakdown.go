@@ -1,0 +1,90 @@
+package power
+
+import "ampsched/internal/cpu"
+
+// Category labels one slice of a core's energy in a Breakdown.
+type Category int
+
+// Energy categories, Wattch-style.
+const (
+	CatFrontEnd Category = iota // fetch groups + branch predictor
+	CatRenameROB
+	CatIssueQueues
+	CatRegFiles
+	CatLSQ
+	CatIntUnits
+	CatFPUnits
+	CatMemPorts
+	CatL1Caches
+	CatL2Cache
+	CatMemory
+	CatClock
+	CatStatic
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{
+	"frontend", "rename+rob", "issue-queues", "regfiles", "lsq",
+	"int-units", "fp-units", "mem-ports", "l1-caches", "l2-cache",
+	"memory", "clock", "static",
+}
+
+// String returns the category's report label.
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return "unknown"
+}
+
+// Breakdown is a core's energy split by category, in nanojoules.
+type Breakdown [NumCategories]float64
+
+// Total returns the summed energy.
+func (b *Breakdown) Total() float64 {
+	t := 0.0
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Share returns category c's fraction of the total (0 if empty).
+func (b *Breakdown) Share(c Category) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b[c] / t
+}
+
+// BreakdownFor splits an interval's energy by category. The sum of
+// the categories equals EnergyNJ for the same inputs exactly (both
+// walk the same terms).
+func (m *Model) BreakdownFor(act cpu.Activity, cs CacheStats) Breakdown {
+	p := m.params
+	var b Breakdown
+	b[CatFrontEnd] = float64(act.FetchGroups)*p.Fetch + float64(act.BPredOps)*p.BPred
+	b[CatRenameROB] = float64(act.Renames)*p.Rename +
+		float64(act.ROBWrites)*p.ROBWrite + float64(act.ROBReads)*p.ROBRead
+	b[CatIssueQueues] = float64(act.IntISQWrites+act.IntISQIssues)*p.IntISQOp +
+		float64(act.FPISQWrites+act.FPISQIssues)*p.FPISQOp
+	b[CatRegFiles] = float64(act.IntRegReads)*p.IntRegRead +
+		float64(act.IntRegWrites)*p.IntRegWr +
+		float64(act.FPRegReads)*p.FPRegRead +
+		float64(act.FPRegWrites)*p.FPRegWr
+	b[CatLSQ] = float64(act.LSQWrites+act.LSQSearches) * p.LSQOp
+	for k := cpu.UIntALU; k <= cpu.UIntDiv; k++ {
+		b[CatIntUnits] += float64(act.UnitOps[k]) * p.UnitOp[k]
+	}
+	for k := cpu.UFPALU; k <= cpu.UFPDiv; k++ {
+		b[CatFPUnits] += float64(act.UnitOps[k]) * p.UnitOp[k]
+	}
+	b[CatMemPorts] = float64(act.UnitOps[cpu.UMemPort]) * p.UnitOp[cpu.UMemPort]
+	b[CatL1Caches] = float64(cs.L1I.Accesses+cs.L1D.Accesses) * p.L1Access
+	b[CatL2Cache] = float64(cs.L2.Accesses) * p.L2Access
+	b[CatMemory] = float64(cs.L2.Misses+cs.L2.Writebacks) * p.MemAccess
+	b[CatClock] = float64(act.Cycles) * p.ClockPerCycle
+	b[CatStatic] = m.StaticEnergyNJ(act.Cycles + act.StallCycles)
+	return b
+}

@@ -1,0 +1,124 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampsched/internal/cache"
+	"ampsched/internal/cpu"
+	"ampsched/internal/rng"
+	"ampsched/internal/workload"
+)
+
+func randomActivity(seed uint64) (cpu.Activity, CacheStats) {
+	r := rng.New(seed)
+	var a cpu.Activity
+	a.Cycles = r.Uint64n(100_000)
+	a.StallCycles = r.Uint64n(10_000)
+	a.FetchGroups = r.Uint64n(50_000)
+	a.BPredOps = r.Uint64n(20_000)
+	a.Renames = r.Uint64n(100_000)
+	a.ROBWrites = a.Renames
+	a.ROBReads = r.Uint64n(100_000)
+	a.IntISQWrites = r.Uint64n(50_000)
+	a.FPISQWrites = r.Uint64n(50_000)
+	a.IntISQIssues = r.Uint64n(50_000)
+	a.FPISQIssues = r.Uint64n(50_000)
+	a.IntRegReads = r.Uint64n(100_000)
+	a.IntRegWrites = r.Uint64n(50_000)
+	a.FPRegReads = r.Uint64n(100_000)
+	a.FPRegWrites = r.Uint64n(50_000)
+	a.LSQWrites = r.Uint64n(30_000)
+	a.LSQSearches = r.Uint64n(30_000)
+	for k := range a.UnitOps {
+		a.UnitOps[k] = r.Uint64n(40_000)
+	}
+	cs := CacheStats{
+		L1I: cache.Stats{Accesses: r.Uint64n(50_000), Misses: r.Uint64n(5_000)},
+		L1D: cache.Stats{Accesses: r.Uint64n(50_000), Misses: r.Uint64n(5_000)},
+		L2:  cache.Stats{Accesses: r.Uint64n(10_000), Misses: r.Uint64n(2_000), Writebacks: r.Uint64n(1_000)},
+	}
+	return a, cs
+}
+
+func TestBreakdownSumsToEnergy(t *testing.T) {
+	for _, cfg := range []*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()} {
+		m := NewModel(cfg)
+		f := func(seed uint64) bool {
+			a, cs := randomActivity(seed)
+			bd := m.BreakdownFor(a, cs)
+			total := m.EnergyNJ(a, cs)
+			diff := bd.Total() - total
+			return diff < 1e-6 && diff > -1e-6
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestBreakdownSharesSumToOne(t *testing.T) {
+	m := NewModel(cpu.IntCoreConfig())
+	a, cs := randomActivity(7)
+	bd := m.BreakdownFor(a, cs)
+	sum := 0.0
+	for c := Category(0); c < NumCategories; c++ {
+		s := bd.Share(c)
+		if s < 0 || s > 1 {
+			t.Fatalf("share %s = %g", c, s)
+		}
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %g", sum)
+	}
+}
+
+func TestBreakdownEmptyIsZero(t *testing.T) {
+	var bd Breakdown
+	if bd.Total() != 0 || bd.Share(CatClock) != 0 {
+		t.Fatal("empty breakdown nonzero")
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Category(0); c < NumCategories; c++ {
+		n := c.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("bad category name %q", n)
+		}
+		seen[n] = true
+	}
+	if Category(99).String() != "unknown" {
+		t.Fatal("out-of-range category name")
+	}
+}
+
+func TestBreakdownFPWorkloadUsesFPUnits(t *testing.T) {
+	// A real FP-heavy run on the FP core must spend visibly more in
+	// the FP units than an INT-heavy run does.
+	cfg := cpu.FPCoreConfig()
+	m := NewModel(cfg)
+	run := func(bench string) Breakdown {
+		b := workload.MustByName(bench)
+		core := cpu.NewCore(cfg)
+		gen := workload.NewGenerator(b, 1, 0)
+		arch := &cpu.ThreadArch{CodeSize: b.EffectiveCodeFootprint()}
+		core.Bind(gen, arch)
+		for cycle := uint64(0); arch.Committed < 30_000; cycle++ {
+			core.Step(cycle)
+		}
+		return m.BreakdownFor(core.Activity(), SnapshotCaches(core))
+	}
+	fp := run("fpstress")
+	in := run("intstress")
+	if fp.Share(CatFPUnits) <= in.Share(CatFPUnits) {
+		t.Fatalf("fpstress FP-unit share %.3f <= intstress %.3f",
+			fp.Share(CatFPUnits), in.Share(CatFPUnits))
+	}
+	if in.Share(CatIntUnits) <= fp.Share(CatIntUnits) {
+		t.Fatalf("intstress int-unit share %.3f <= fpstress %.3f",
+			in.Share(CatIntUnits), fp.Share(CatIntUnits))
+	}
+}

@@ -1,0 +1,205 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampsched/internal/cache"
+	"ampsched/internal/cpu"
+)
+
+func TestDefaultParamsPositive(t *testing.T) {
+	for _, cfg := range []*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()} {
+		p := DefaultParams(cfg)
+		checks := map[string]float64{
+			"Fetch": p.Fetch, "BPred": p.BPred, "Rename": p.Rename,
+			"ROBWrite": p.ROBWrite, "ROBRead": p.ROBRead,
+			"IntISQOp": p.IntISQOp, "FPISQOp": p.FPISQOp,
+			"IntRegRead": p.IntRegRead, "FPRegWr": p.FPRegWr,
+			"LSQOp": p.LSQOp, "L1Access": p.L1Access, "L2Access": p.L2Access,
+			"MemAccess": p.MemAccess, "ClockPerCycle": p.ClockPerCycle,
+			"StaticWatts": p.StaticWatts,
+		}
+		for name, v := range checks {
+			if v <= 0 {
+				t.Errorf("%s: %s = %g, want positive", cfg.Name, name, v)
+			}
+		}
+		for k := cpu.UnitKind(0); k < cpu.NumUnitKinds; k++ {
+			if p.UnitOp[k] <= 0 {
+				t.Errorf("%s: unit %s energy %g", cfg.Name, k, p.UnitOp[k])
+			}
+		}
+	}
+}
+
+func TestSizeAsymmetry(t *testing.T) {
+	pInt := DefaultParams(cpu.IntCoreConfig())
+	pFP := DefaultParams(cpu.FPCoreConfig())
+	// The INT core's bigger integer register file costs more per
+	// access; the FP core's bigger FP register file likewise.
+	if pInt.IntRegRead <= pFP.IntRegRead {
+		t.Error("INT core int-reg energy should exceed FP core's")
+	}
+	if pFP.FPRegRead <= pInt.FPRegRead {
+		t.Error("FP core fp-reg energy should exceed INT core's")
+	}
+	// Strong (pipelined) FP units burn more per op than weak ones.
+	if pFP.UnitOp[cpu.UFPALU] <= pInt.UnitOp[cpu.UFPALU] {
+		t.Error("strong FPALU should cost more energy per op")
+	}
+	if pInt.UnitOp[cpu.UIntALU] <= pFP.UnitOp[cpu.UIntALU] {
+		t.Error("strong IntALU should cost more energy per op")
+	}
+}
+
+func TestDynamicEnergyMonotonic(t *testing.T) {
+	m := NewModel(cpu.IntCoreConfig())
+	var a cpu.Activity
+	a.Renames = 100
+	a.UnitOps[cpu.UIntALU] = 80
+	base := m.DynamicEnergyNJ(a, CacheStats{})
+	a.UnitOps[cpu.UFPMul] = 10
+	more := m.DynamicEnergyNJ(a, CacheStats{})
+	if more <= base {
+		t.Fatal("adding ops did not increase energy")
+	}
+	withCaches := m.DynamicEnergyNJ(a, CacheStats{L1D: cache.Stats{Accesses: 50}})
+	if withCaches <= more {
+		t.Fatal("cache accesses did not increase energy")
+	}
+}
+
+func TestStaticEnergyScalesWithCycles(t *testing.T) {
+	m := NewModel(cpu.IntCoreConfig())
+	e1 := m.StaticEnergyNJ(1000)
+	e2 := m.StaticEnergyNJ(2000)
+	if e1 <= 0 || e2 != 2*e1 {
+		t.Fatalf("static energy not linear: %g, %g", e1, e2)
+	}
+}
+
+func TestWattsRoundTrip(t *testing.T) {
+	cfg := cpu.IntCoreConfig()
+	m := NewModel(cfg)
+	// StaticWatts over N cycles must convert back to StaticWatts.
+	cycles := uint64(1_000_000)
+	e := m.StaticEnergyNJ(cycles)
+	w := m.Watts(e, cycles)
+	if diff := w - m.Params().StaticWatts; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("watts round trip: %g vs %g", w, m.Params().StaticWatts)
+	}
+	if m.Watts(100, 0) != 0 {
+		t.Fatal("zero-cycle watts not 0")
+	}
+}
+
+func TestIPCPerWatt(t *testing.T) {
+	m := NewModel(cpu.IntCoreConfig())
+	v, err := m.IPCPerWatt(1000, 2000, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Fatalf("IPC/Watt = %g", v)
+	}
+	if _, err := m.IPCPerWatt(10, 0, 100); err == nil {
+		t.Fatal("zero cycles accepted")
+	}
+	if _, err := m.IPCPerWatt(10, 100, 0); err == nil {
+		t.Fatal("zero energy accepted")
+	}
+}
+
+func TestEnergyIncludesStatic(t *testing.T) {
+	m := NewModel(cpu.IntCoreConfig())
+	act := cpu.Activity{Cycles: 500, StallCycles: 500}
+	total := m.EnergyNJ(act, CacheStats{})
+	static := m.StaticEnergyNJ(1000)
+	if total < static {
+		t.Fatalf("total %g < static %g", total, static)
+	}
+}
+
+func TestStalledCoreBurnsLeakageOnly(t *testing.T) {
+	m := NewModel(cpu.IntCoreConfig())
+	stalled := m.EnergyNJ(cpu.Activity{StallCycles: 1000}, CacheStats{})
+	active := m.EnergyNJ(cpu.Activity{Cycles: 1000}, CacheStats{})
+	if stalled >= active {
+		t.Fatal("stalled cycles should be cheaper than active cycles (no clock energy)")
+	}
+	if stalled <= 0 {
+		t.Fatal("stalled core must still leak")
+	}
+}
+
+func TestSnapshotCaches(t *testing.T) {
+	core := cpu.NewCore(cpu.IntCoreConfig())
+	cs := SnapshotCaches(core)
+	if cs.L1I.Accesses != 0 || cs.L1D.Accesses != 0 || cs.L2.Accesses != 0 {
+		t.Fatal("fresh core has cache accesses")
+	}
+	core.Hierarchy().ReadData(0x1000)
+	cs2 := SnapshotCaches(core)
+	if cs2.L1D.Accesses != 1 {
+		t.Fatal("snapshot missed access")
+	}
+	d := cs2.Sub(cs)
+	if d.L1D.Accesses != 1 {
+		t.Fatal("CacheStats.Sub wrong")
+	}
+}
+
+func TestNewModelWithParamsNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil params accepted")
+		}
+	}()
+	NewModelWithParams(cpu.IntCoreConfig(), nil)
+}
+
+func TestCustomParamsRespected(t *testing.T) {
+	cfg := cpu.IntCoreConfig()
+	p := DefaultParams(cfg)
+	p.StaticWatts = 123
+	m := NewModelWithParams(cfg, p)
+	if m.Params().StaticWatts != 123 {
+		t.Fatal("custom params ignored")
+	}
+}
+
+func TestQuickDynamicEnergyNonNegative(t *testing.T) {
+	m := NewModel(cpu.FPCoreConfig())
+	f := func(renames, alu, l2 uint32) bool {
+		var a cpu.Activity
+		a.Renames = uint64(renames)
+		a.UnitOps[cpu.UIntALU] = uint64(alu)
+		cs := CacheStats{L2: cache.Stats{Accesses: uint64(l2)}}
+		return m.DynamicEnergyNJ(a, cs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEnergyAdditive(t *testing.T) {
+	// Energy of the sum of two activity deltas equals the sum of the
+	// energies (the model is linear in events).
+	m := NewModel(cpu.IntCoreConfig())
+	f := func(r1, r2, o1, o2 uint16) bool {
+		a1 := cpu.Activity{Renames: uint64(r1)}
+		a1.UnitOps[cpu.UFPMul] = uint64(o1)
+		a2 := cpu.Activity{Renames: uint64(r2)}
+		a2.UnitOps[cpu.UFPMul] = uint64(o2)
+		sum := cpu.Activity{Renames: uint64(r1) + uint64(r2)}
+		sum.UnitOps[cpu.UFPMul] = uint64(o1) + uint64(o2)
+		e := m.DynamicEnergyNJ(a1, CacheStats{}) + m.DynamicEnergyNJ(a2, CacheStats{})
+		es := m.DynamicEnergyNJ(sum, CacheStats{})
+		diff := e - es
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package profilegen performs the offline profiling of §V and §VI-A:
+// it runs the nine representative benchmarks on both core types,
+// builds the binned IPC/Watt ratio matrix (paper Fig. 3), fits the
+// regression surface (paper Fig. 4), and derives the threshold
+// swapping rules (paper Fig. 5) from per-window best-mapping analysis.
+package profilegen
+
+import (
+	"fmt"
+	"math"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/regress"
+	"ampsched/internal/rng"
+	"ampsched/internal/stats"
+	"ampsched/internal/workload"
+)
+
+// Bins is the number of bins per axis of the ratio matrix: 5 bins of
+// 20 percentage points each, as in Fig. 3.
+const Bins = 5
+
+// binOf maps a percentage in [0, 100] to its bin index.
+func binOf(pct float64) int {
+	if pct < 0 {
+		pct = 0
+	}
+	b := int(pct / (100.0 / Bins))
+	if b >= Bins {
+		b = Bins - 1
+	}
+	return b
+}
+
+// BinLabel renders a bin's range like ">20% - 40%".
+func BinLabel(b int) string {
+	lo := b * (100 / Bins)
+	hi := lo + 100/Bins
+	if b == 0 {
+		return fmt.Sprintf("%d%% - %d%%", lo, hi)
+	}
+	return fmt.Sprintf(">%d%% - %d%%", lo, hi)
+}
+
+// ProfileConfig controls the profiling runs.
+type ProfileConfig struct {
+	// InstrLimit per solo run (per benchmark per core).
+	InstrLimit uint64
+	// SampleCycles between observations (2 ms context switch).
+	SampleCycles uint64
+	// Seed for workload synthesis.
+	Seed uint64
+}
+
+// DefaultProfileConfig returns a profile run sized to produce several
+// samples per benchmark at the 2 ms interval.
+func DefaultProfileConfig() ProfileConfig {
+	return ProfileConfig{
+		InstrLimit:   3_000_000,
+		SampleCycles: amp.ContextSwitchCycles / 8,
+		Seed:         42,
+	}
+}
+
+// Observation is one profiled (composition -> IPC/Watt) point on one
+// core.
+type Observation struct {
+	Bench      string
+	IntPct     float64
+	FPPct      float64
+	IPCPerWatt float64
+}
+
+// Profile is the raw profiling dataset: observations per core type.
+type Profile struct {
+	IntObs []Observation
+	FPObs  []Observation
+}
+
+// Collect runs each benchmark solo on both core configurations,
+// sampling composition and IPC/Watt every SampleCycles (§V step 2).
+func Collect(intCfg, fpCfg *cpu.Config, benches []*workload.Benchmark, cfg ProfileConfig) *Profile {
+	p := &Profile{}
+	for _, b := range benches {
+		ri := amp.SoloRun(intCfg, b, cfg.Seed, cfg.InstrLimit, cfg.SampleCycles)
+		rf := amp.SoloRun(fpCfg, b, cfg.Seed, cfg.InstrLimit, cfg.SampleCycles)
+		for _, s := range ri.Samples {
+			if s.Committed > 0 && s.IPCPerWatt > 0 {
+				p.IntObs = append(p.IntObs, Observation{b.Name, s.IntPct, s.FPPct, s.IPCPerWatt})
+			}
+		}
+		for _, s := range rf.Samples {
+			if s.Committed > 0 && s.IPCPerWatt > 0 {
+				p.FPObs = append(p.FPObs, Observation{b.Name, s.IntPct, s.FPPct, s.IPCPerWatt})
+			}
+		}
+	}
+	return p
+}
+
+// RatioMatrix is the §V step-3 estimator: per (%INT, %FP) bin, the
+// ratio of the IPC/Watt achieved on the INT core to the IPC/Watt
+// achieved on the FP core. Empty bins are filled from the nearest
+// populated bin. It implements sched.Estimator.
+type RatioMatrix struct {
+	Ratio  [Bins][Bins]float64 // [intBin][fpBin]
+	Filled [Bins][Bins]bool    // true where real data existed
+}
+
+// modeStep quantizes IPC/Watt observations for the per-bin statistical
+// mode (the paper reports mode ~= mean at the 2 ms granularity).
+const modeStep = 0.005
+
+// BuildRatioMatrix aggregates a profile into the binned ratio matrix.
+// Bins observed on only one core, or never observed, are filled by
+// nearest-neighbor propagation so the estimator is total.
+func BuildRatioMatrix(p *Profile) (*RatioMatrix, error) {
+	var intBins, fpBins [Bins][Bins][]float64
+	for _, o := range p.IntObs {
+		bi, bf := binOf(o.IntPct), binOf(o.FPPct)
+		intBins[bi][bf] = append(intBins[bi][bf], o.IPCPerWatt)
+	}
+	for _, o := range p.FPObs {
+		bi, bf := binOf(o.IntPct), binOf(o.FPPct)
+		fpBins[bi][bf] = append(fpBins[bi][bf], o.IPCPerWatt)
+	}
+
+	m := &RatioMatrix{}
+	any := false
+	for i := 0; i < Bins; i++ {
+		for f := 0; f < Bins; f++ {
+			if len(intBins[i][f]) == 0 || len(fpBins[i][f]) == 0 {
+				continue
+			}
+			num, err := stats.Mode(intBins[i][f], modeStep)
+			if err != nil {
+				return nil, err
+			}
+			den, err := stats.Mode(fpBins[i][f], modeStep)
+			if err != nil {
+				return nil, err
+			}
+			if den <= 0 || num <= 0 {
+				continue
+			}
+			m.Ratio[i][f] = num / den
+			m.Filled[i][f] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil, fmt.Errorf("profilegen: no bin had observations on both cores")
+	}
+	m.fillGaps()
+	return m, nil
+}
+
+// fillGaps assigns every empty bin the ratio of its nearest populated
+// bin (Manhattan distance; deterministic scan order breaks ties).
+func (m *RatioMatrix) fillGaps() {
+	for i := 0; i < Bins; i++ {
+		for f := 0; f < Bins; f++ {
+			if m.Filled[i][f] {
+				continue
+			}
+			best := math.MaxInt32
+			val := 1.0
+			for si := 0; si < Bins; si++ {
+				for sf := 0; sf < Bins; sf++ {
+					if !m.Filled[si][sf] {
+						continue
+					}
+					d := abs(si-i) + abs(sf-f)
+					if d < best {
+						best = d
+						val = m.Ratio[si][sf]
+					}
+				}
+			}
+			m.Ratio[i][f] = val
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Name implements sched.Estimator.
+func (m *RatioMatrix) Name() string { return "matrix" }
+
+// RatioIntOverFP implements sched.Estimator.
+func (m *RatioMatrix) RatioIntOverFP(intPct, fpPct float64) float64 {
+	return m.Ratio[binOf(intPct)][binOf(fpPct)]
+}
+
+// Surface is the §V curve-fitting alternative: a polynomial surface
+// over (%INT, %FP) fitted to log-ratios so the estimate is always
+// positive (paper Fig. 4). Evaluations are clamped to the range of
+// ratios actually observed during profiling — a low-degree polynomial
+// extrapolates wildly in grid corners no workload ever visits. It
+// implements sched.Estimator.
+type Surface struct {
+	Poly     *regress.Poly2D
+	MinRatio float64
+	MaxRatio float64
+}
+
+// FitSurface fits the regression estimator to the profile. Degree 2
+// is the paper-plausible choice; the fit happens in log space.
+func FitSurface(p *Profile, degree int) (*Surface, error) {
+	m, err := BuildRatioMatrix(p)
+	if err != nil {
+		return nil, err
+	}
+	// Train on bin centers (real bins only), like fitting "all the
+	// collected results" after binning.
+	var x1, x2, y []float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < Bins; i++ {
+		for f := 0; f < Bins; f++ {
+			if !m.Filled[i][f] {
+				continue
+			}
+			x1 = append(x1, float64(i)*20+10)
+			x2 = append(x2, float64(f)*20+10)
+			y = append(y, math.Log(m.Ratio[i][f]))
+			if m.Ratio[i][f] < lo {
+				lo = m.Ratio[i][f]
+			}
+			if m.Ratio[i][f] > hi {
+				hi = m.Ratio[i][f]
+			}
+		}
+	}
+	if len(y) < regress.NumTerms(degree) {
+		// Not enough populated bins for the requested degree; back
+		// off until the system is determined.
+		for degree > 1 && len(y) < regress.NumTerms(degree) {
+			degree--
+		}
+	}
+	poly, err := regress.Fit(x1, x2, y, degree)
+	if err != nil {
+		return nil, fmt.Errorf("profilegen: surface fit: %w", err)
+	}
+	return &Surface{Poly: poly, MinRatio: lo, MaxRatio: hi}, nil
+}
+
+// Name implements sched.Estimator.
+func (s *Surface) Name() string { return "regression" }
+
+// RatioIntOverFP implements sched.Estimator.
+func (s *Surface) RatioIntOverFP(intPct, fpPct float64) float64 {
+	r := math.Exp(s.Poly.Eval(intPct, fpPct))
+	if s.MinRatio > 0 && r < s.MinRatio {
+		return s.MinRatio
+	}
+	if s.MaxRatio > 0 && r > s.MaxRatio {
+		return s.MaxRatio
+	}
+	return r
+}
+
+// DerivedRules is the outcome of the §VI-A threshold derivation.
+type DerivedRules struct {
+	// IntHigh: average %INT of threads best placed on the INT core.
+	IntHigh float64
+	// IntLow: average %INT of threads best placed on the FP core.
+	IntLow float64
+	// FPHigh: average %FP of threads best placed on the FP core.
+	FPHigh float64
+	// FPLow: average %FP of threads best placed on the INT core.
+	FPLow float64
+	// Pairs is the number of random two-thread combinations used.
+	Pairs int
+	// Windows is the total number of per-window decisions examined.
+	Windows int
+}
+
+// windowProfile holds the per-instruction-window samples of one
+// benchmark on both cores.
+type windowProfile struct {
+	name string
+	intC []amp.SoloSample
+	fpC  []amp.SoloSample
+}
+
+// DeriveRules replays the §VI-A experiment: per-window best
+// thread-to-core mapping over random pairs of the profiled
+// benchmarks, averaged into the four Fig. 5 thresholds.
+func DeriveRules(intCfg, fpCfg *cpu.Config, benches []*workload.Benchmark,
+	instrLimit, windowInstr uint64, pairs int, seed uint64) (DerivedRules, error) {
+
+	if len(benches) < 2 {
+		return DerivedRules{}, fmt.Errorf("profilegen: need at least two benchmarks")
+	}
+	profiles := make([]windowProfile, len(benches))
+	for i, b := range benches {
+		ri := amp.SoloRunWindows(intCfg, b, seed, instrLimit, windowInstr)
+		rf := amp.SoloRunWindows(fpCfg, b, seed, instrLimit, windowInstr)
+		profiles[i] = windowProfile{name: b.Name, intC: ri.Samples, fpC: rf.Samples}
+	}
+
+	r := rng.New(seed ^ 0x5eed)
+	var intHigh, intLow, fpHigh, fpLow []float64
+	windows := 0
+	for p := 0; p < pairs; p++ {
+		a := r.Intn(len(benches))
+		b := r.Intn(len(benches) - 1)
+		if b >= a {
+			b++
+		}
+		pa, pb := &profiles[a], &profiles[b]
+		n := min4(len(pa.intC), len(pa.fpC), len(pb.intC), len(pb.fpC))
+		for w := 0; w < n; w++ {
+			// Mapping 1: A on INT, B on FP. Mapping 2: the swap.
+			m1 := pa.intC[w].IPCPerWatt + pb.fpC[w].IPCPerWatt
+			m2 := pa.fpC[w].IPCPerWatt + pb.intC[w].IPCPerWatt
+			windows++
+			var onInt, onFP *amp.SoloSample
+			if m1 >= m2 {
+				onInt, onFP = &pa.intC[w], &pb.fpC[w]
+			} else {
+				onInt, onFP = &pb.intC[w], &pa.fpC[w]
+			}
+			intHigh = append(intHigh, onInt.IntPct)
+			fpLow = append(fpLow, onInt.FPPct)
+			fpHigh = append(fpHigh, onFP.FPPct)
+			intLow = append(intLow, onFP.IntPct)
+		}
+	}
+	if windows == 0 {
+		return DerivedRules{}, fmt.Errorf("profilegen: no aligned windows to analyze")
+	}
+	return DerivedRules{
+		IntHigh: stats.Mean(intHigh),
+		IntLow:  stats.Mean(intLow),
+		FPHigh:  stats.Mean(fpHigh),
+		FPLow:   stats.Mean(fpLow),
+		Pairs:   pairs,
+		Windows: windows,
+	}, nil
+}
+
+func min4(a, b, c, d int) int {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	if d < m {
+		m = d
+	}
+	return m
+}

@@ -1,0 +1,213 @@
+package profilegen
+
+import (
+	"testing"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/workload"
+)
+
+func TestBinOf(t *testing.T) {
+	cases := map[float64]int{
+		-5: 0, 0: 0, 19.9: 0, 20: 1, 39.9: 1, 40: 2, 60: 3, 80: 4, 99: 4, 100: 4, 150: 4,
+	}
+	for pct, want := range cases {
+		if got := binOf(pct); got != want {
+			t.Errorf("binOf(%g) = %d, want %d", pct, got, want)
+		}
+	}
+}
+
+func TestBinLabel(t *testing.T) {
+	if BinLabel(0) != "0% - 20%" {
+		t.Fatalf("label 0: %q", BinLabel(0))
+	}
+	if BinLabel(4) != ">80% - 100%" {
+		t.Fatalf("label 4: %q", BinLabel(4))
+	}
+}
+
+// syntheticProfile builds a profile where INT-heavy compositions do
+// better on the INT core and FP-heavy ones on the FP core.
+func syntheticProfile() *Profile {
+	p := &Profile{}
+	for i := 0.0; i <= 100; i += 10 {
+		for f := 0.0; f+i <= 100; f += 10 {
+			intSide := 0.1 + 0.002*i - 0.001*f
+			fpSide := 0.1 - 0.001*i + 0.002*f
+			p.IntObs = append(p.IntObs, Observation{"syn", i, f, intSide})
+			p.FPObs = append(p.FPObs, Observation{"syn", i, f, fpSide})
+		}
+	}
+	return p
+}
+
+func TestBuildRatioMatrix(t *testing.T) {
+	m, err := BuildRatioMatrix(syntheticProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// INT-heavy bin must favor the INT core, FP-heavy the FP core.
+	if m.RatioIntOverFP(90, 5) <= 1 {
+		t.Errorf("INT-heavy ratio %.2f <= 1", m.RatioIntOverFP(90, 5))
+	}
+	if m.RatioIntOverFP(5, 90) >= 1 {
+		t.Errorf("FP-heavy ratio %.2f >= 1", m.RatioIntOverFP(5, 90))
+	}
+	// Every cell is populated after gap filling.
+	for i := 0; i < Bins; i++ {
+		for f := 0; f < Bins; f++ {
+			if m.Ratio[i][f] <= 0 {
+				t.Errorf("cell [%d][%d] = %g", i, f, m.Ratio[i][f])
+			}
+		}
+	}
+	if m.Name() != "matrix" {
+		t.Fatal("estimator name wrong")
+	}
+}
+
+func TestBuildRatioMatrixEmpty(t *testing.T) {
+	if _, err := BuildRatioMatrix(&Profile{}); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+}
+
+func TestBuildRatioMatrixOneSided(t *testing.T) {
+	// Observations on only one core cannot produce ratios.
+	p := &Profile{IntObs: []Observation{{"x", 50, 10, 0.2}}}
+	if _, err := BuildRatioMatrix(p); err == nil {
+		t.Fatal("one-sided profile accepted")
+	}
+}
+
+func TestFillGapsNearest(t *testing.T) {
+	m := &RatioMatrix{}
+	m.Ratio[0][0] = 0.5
+	m.Filled[0][0] = true
+	m.Ratio[4][0] = 2.0
+	m.Filled[4][0] = true
+	m.fillGaps()
+	if m.Ratio[1][0] != 0.5 {
+		t.Errorf("near cell filled with %g, want 0.5", m.Ratio[1][0])
+	}
+	if m.Ratio[3][0] != 2.0 {
+		t.Errorf("near cell filled with %g, want 2.0", m.Ratio[3][0])
+	}
+}
+
+func TestFitSurface(t *testing.T) {
+	s, err := FitSurface(syntheticProfile(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "regression" {
+		t.Fatal("estimator name wrong")
+	}
+	// Positivity everywhere (fit in log space).
+	for i := 0.0; i <= 100; i += 25 {
+		for f := 0.0; f <= 100; f += 25 {
+			if s.RatioIntOverFP(i, f) <= 0 {
+				t.Fatalf("surface non-positive at (%g, %g)", i, f)
+			}
+		}
+	}
+	// Same qualitative shape as the matrix.
+	if s.RatioIntOverFP(90, 5) <= s.RatioIntOverFP(5, 90) {
+		t.Fatal("surface does not separate INT-heavy from FP-heavy")
+	}
+}
+
+func TestCollectProducesObservations(t *testing.T) {
+	benches := []*workload.Benchmark{
+		workload.MustByName("intstress"),
+		workload.MustByName("fpstress"),
+	}
+	p := Collect(cpu.IntCoreConfig(), cpu.FPCoreConfig(), benches, ProfileConfig{
+		InstrLimit:   60_000,
+		SampleCycles: 20_000,
+		Seed:         1,
+	})
+	if len(p.IntObs) < 4 || len(p.FPObs) < 4 {
+		t.Fatalf("too few observations: %d / %d", len(p.IntObs), len(p.FPObs))
+	}
+	for _, o := range append(append([]Observation{}, p.IntObs...), p.FPObs...) {
+		if o.IPCPerWatt <= 0 || o.IntPct < 0 || o.IntPct > 100 || o.FPPct < 0 || o.FPPct > 100 {
+			t.Fatalf("bad observation: %+v", o)
+		}
+	}
+}
+
+func TestEndToEndMatrixFromSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	benches := []*workload.Benchmark{
+		workload.MustByName("intstress"),
+		workload.MustByName("fpstress"),
+		workload.MustByName("pi"),
+	}
+	p := Collect(cpu.IntCoreConfig(), cpu.FPCoreConfig(), benches, ProfileConfig{
+		InstrLimit:   150_000,
+		SampleCycles: 30_000,
+		Seed:         2,
+	})
+	m, err := BuildRatioMatrix(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The simulated cores must make intstress-like mixes prefer the
+	// INT core and fpstress-like mixes the FP core.
+	if m.RatioIntOverFP(85, 0) <= 1.1 {
+		t.Errorf("INT-heavy measured ratio %.2f", m.RatioIntOverFP(85, 0))
+	}
+	if m.RatioIntOverFP(3, 75) >= 0.95 {
+		t.Errorf("FP-heavy measured ratio %.2f", m.RatioIntOverFP(3, 75))
+	}
+}
+
+func TestDeriveRulesOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	benches := []*workload.Benchmark{
+		workload.MustByName("intstress"),
+		workload.MustByName("fpstress"),
+		workload.MustByName("bitcount"),
+		workload.MustByName("equake"),
+	}
+	rules, err := DeriveRules(cpu.IntCoreConfig(), cpu.FPCoreConfig(), benches,
+		100_000, 1000, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules.Windows == 0 || rules.Pairs != 10 {
+		t.Fatalf("rules metadata: %+v", rules)
+	}
+	// Threads best placed on the INT core must show more INT than
+	// those placed on the FP core, and vice versa for FP.
+	if rules.IntHigh <= rules.IntLow {
+		t.Errorf("IntHigh %.1f <= IntLow %.1f", rules.IntHigh, rules.IntLow)
+	}
+	if rules.FPHigh <= rules.FPLow {
+		t.Errorf("FPHigh %.1f <= FPLow %.1f", rules.FPHigh, rules.FPLow)
+	}
+}
+
+func TestDeriveRulesErrors(t *testing.T) {
+	if _, err := DeriveRules(cpu.IntCoreConfig(), cpu.FPCoreConfig(),
+		[]*workload.Benchmark{workload.MustByName("pi")}, 1000, 100, 1, 1); err == nil {
+		t.Fatal("single benchmark accepted")
+	}
+}
+
+func TestDefaultProfileConfig(t *testing.T) {
+	c := DefaultProfileConfig()
+	if c.InstrLimit == 0 || c.SampleCycles == 0 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.SampleCycles > amp.ContextSwitchCycles {
+		t.Fatal("sampling coarser than a context switch")
+	}
+}

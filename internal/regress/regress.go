@@ -1,0 +1,96 @@
+// Package regress implements the non-linear regression step of §V: a
+// 2-D polynomial surface fitted by least squares to the profiled
+// (%INT, %FP) -> performance/watt-ratio observations, producing the
+// closed-form estimator visualized in the paper's Fig. 4.
+package regress
+
+import (
+	"fmt"
+	"math"
+
+	"ampsched/internal/linalg"
+)
+
+// Poly2D is a bivariate polynomial sum_{i+j<=Degree} c[i,j] x1^i x2^j.
+type Poly2D struct {
+	Degree int
+	Coeffs []float64 // ordered by terms() enumeration
+}
+
+// terms enumerates the exponent pairs (i, j) with i+j <= degree in a
+// fixed order shared by fitting and evaluation.
+func terms(degree int) [][2]int {
+	var t [][2]int
+	for total := 0; total <= degree; total++ {
+		for i := total; i >= 0; i-- {
+			t = append(t, [2]int{i, total - i})
+		}
+	}
+	return t
+}
+
+// NumTerms returns the number of coefficients of a degree-d Poly2D.
+func NumTerms(degree int) int { return len(terms(degree)) }
+
+// Eval evaluates the polynomial at (x1, x2).
+func (p *Poly2D) Eval(x1, x2 float64) float64 {
+	s := 0.0
+	for k, e := range terms(p.Degree) {
+		s += p.Coeffs[k] * math.Pow(x1, float64(e[0])) * math.Pow(x2, float64(e[1]))
+	}
+	return s
+}
+
+// Fit fits a degree-d polynomial surface to observations (x1, x2, y)
+// by ordinary least squares.
+func Fit(x1, x2, y []float64, degree int) (*Poly2D, error) {
+	if degree < 1 || degree > 6 {
+		return nil, fmt.Errorf("regress: unsupported degree %d", degree)
+	}
+	n := len(y)
+	if len(x1) != n || len(x2) != n {
+		return nil, fmt.Errorf("regress: length mismatch (%d, %d, %d)", len(x1), len(x2), n)
+	}
+	tms := terms(degree)
+	if n < len(tms) {
+		return nil, fmt.Errorf("regress: %d observations for %d terms", n, len(tms))
+	}
+	design := linalg.NewMatrix(n, len(tms))
+	for r := 0; r < n; r++ {
+		for c, e := range tms {
+			design.Set(r, c, math.Pow(x1[r], float64(e[0]))*math.Pow(x2[r], float64(e[1])))
+		}
+	}
+	coeffs, err := linalg.LeastSquares(design, y)
+	if err != nil {
+		return nil, fmt.Errorf("regress: %w", err)
+	}
+	return &Poly2D{Degree: degree, Coeffs: coeffs}, nil
+}
+
+// R2 computes the coefficient of determination of the fit on the
+// given observations.
+func (p *Poly2D) R2(x1, x2, y []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		d := y[i] - p.Eval(x1[i], x2[i])
+		ssRes += d * d
+		t := y[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,108 @@
+package regress
+
+import (
+	"math"
+	"testing"
+
+	"ampsched/internal/rng"
+)
+
+func TestNumTerms(t *testing.T) {
+	// degree 1: 1, x1, x2 -> 3; degree 2: +x1^2, x1x2, x2^2 -> 6.
+	if NumTerms(1) != 3 || NumTerms(2) != 6 || NumTerms(3) != 10 {
+		t.Fatalf("NumTerms: %d %d %d", NumTerms(1), NumTerms(2), NumTerms(3))
+	}
+}
+
+func TestFitRecoversKnownPolynomial(t *testing.T) {
+	// y = 2 + 0.5 x1 - 0.25 x2 + 0.01 x1 x2
+	truth := func(x1, x2 float64) float64 { return 2 + 0.5*x1 - 0.25*x2 + 0.01*x1*x2 }
+	var xs1, xs2, ys []float64
+	for i := 0.0; i <= 100; i += 10 {
+		for f := 0.0; f <= 100; f += 10 {
+			xs1 = append(xs1, i)
+			xs2 = append(xs2, f)
+			ys = append(ys, truth(i, f))
+		}
+	}
+	p, err := Fit(xs1, xs2, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range [][2]float64{{0, 0}, {50, 50}, {100, 0}, {33, 66}} {
+		got := p.Eval(pt[0], pt[1])
+		want := truth(pt[0], pt[1])
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("Eval(%v) = %g, want %g", pt, got, want)
+		}
+	}
+	if r2 := p.R2(xs1, xs2, ys); r2 < 0.999999 {
+		t.Fatalf("R2 = %g for exact data", r2)
+	}
+}
+
+func TestFitNoisy(t *testing.T) {
+	r := rng.New(5)
+	truth := func(x1, x2 float64) float64 { return 1 + 0.02*x1 - 0.015*x2 }
+	var xs1, xs2, ys []float64
+	for i := 0; i < 300; i++ {
+		a, b := r.Float64()*100, r.Float64()*100
+		xs1 = append(xs1, a)
+		xs2 = append(xs2, b)
+		ys = append(ys, truth(a, b)+(r.Float64()-0.5)*0.02)
+	}
+	p, err := Fit(xs1, xs2, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 := p.R2(xs1, xs2, ys); r2 < 0.95 {
+		t.Fatalf("R2 = %g on low-noise data", r2)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{1}, []float64{1}, 0); err == nil {
+		t.Fatal("degree 0 accepted")
+	}
+	if _, err := Fit([]float64{1}, []float64{1}, []float64{1}, 7); err == nil {
+		t.Fatal("degree 7 accepted")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1, 2}, []float64{1, 2}, 2); err == nil {
+		t.Fatal("underdetermined fit accepted")
+	}
+}
+
+func TestR2Degenerate(t *testing.T) {
+	p := &Poly2D{Degree: 1, Coeffs: []float64{5, 0, 0}}
+	// Constant target matched exactly: R2 = 1 by convention.
+	if r2 := p.R2([]float64{1, 2}, []float64{3, 4}, []float64{5, 5}); r2 != 1 {
+		t.Fatalf("constant exact fit R2 = %g", r2)
+	}
+	// Constant target mismatched: R2 = 0 by convention.
+	if r2 := p.R2([]float64{1, 2}, []float64{3, 4}, []float64{7, 7}); r2 != 0 {
+		t.Fatalf("constant miss R2 = %g", r2)
+	}
+	if (&Poly2D{Degree: 1, Coeffs: []float64{0, 0, 0}}).R2(nil, nil, nil) != 0 {
+		t.Fatal("empty R2 not 0")
+	}
+}
+
+func TestEvalTermOrderMatchesFit(t *testing.T) {
+	// Fit y = x1^2 exactly and check a fresh evaluation point.
+	var xs1, xs2, ys []float64
+	for i := 0.0; i < 12; i++ {
+		xs1 = append(xs1, i)
+		xs2 = append(xs2, math.Mod(i*7, 11))
+		ys = append(ys, i*i)
+	}
+	p, err := Fit(xs1, xs2, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Eval(20, 3); math.Abs(got-400) > 1e-5 {
+		t.Fatalf("extrapolated Eval = %g, want 400", got)
+	}
+}

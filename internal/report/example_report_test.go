@@ -1,0 +1,25 @@
+package report_test
+
+import (
+	"os"
+
+	"ampsched/internal/report"
+)
+
+// ExampleTable_Fprint renders a small aligned table the way every
+// experiment in this repository reports its results.
+func ExampleTable_Fprint() {
+	t := &report.Table{
+		Title:   "demo",
+		Headers: []string{"scheme", "IPC/Watt"},
+	}
+	t.AddRow("proposed", report.F4(0.2104))
+	t.AddRow("roundrobin", report.F4(0.1713))
+	_ = t.Fprint(os.Stdout)
+	// Output:
+	// == demo ==
+	// scheme      IPC/Watt
+	// ----------------------
+	// proposed    0.2104
+	// roundrobin  0.1713
+}

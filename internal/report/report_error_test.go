@@ -1,0 +1,65 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failAfter errors after n writes, exercising the error paths.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestFprintPropagatesErrors(t *testing.T) {
+	tab := sample()
+	for budget := 0; budget < 6; budget++ {
+		if err := tab.Fprint(&failAfter{n: budget}); err == nil {
+			t.Errorf("budget %d: error swallowed", budget)
+		}
+	}
+	// A large budget succeeds.
+	if err := tab.Fprint(&failAfter{n: 100}); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestFprintCSVPropagatesErrors(t *testing.T) {
+	tab := sample()
+	if err := tab.FprintCSV(&failAfter{n: 0}); err == nil {
+		t.Fatal("header write error swallowed")
+	}
+	if err := tab.FprintCSV(&failAfter{n: 1}); err == nil {
+		t.Fatal("row write error swallowed")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := &Table{Headers: []string{"a"}}
+	var sb strings.Builder
+	if err := tab.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "a") {
+		t.Fatal("header missing")
+	}
+}
+
+func TestNoTitleNoNote(t *testing.T) {
+	tab := &Table{Headers: []string{"x"}}
+	tab.AddRow("1")
+	var sb strings.Builder
+	if err := tab.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "==") || strings.Contains(out, "note:") {
+		t.Fatalf("unexpected decorations: %q", out)
+	}
+}

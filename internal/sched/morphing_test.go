@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"testing"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/workload"
+)
+
+func TestMorphConfigValidation(t *testing.T) {
+	good := DefaultMorphConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*MorphConfig){
+		func(c *MorphConfig) { c.LowIPC = 0 },
+		func(c *MorphConfig) { c.HighIPC = c.LowIPC },
+		func(c *MorphConfig) { c.ConsecWindows = 0 },
+		func(c *MorphConfig) { c.RecoveryFactor = 1 },
+		func(c *MorphConfig) { c.Base.WindowSize = 0 },
+	}
+	for i, mutate := range bads {
+		c := DefaultMorphConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNewMorphingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	NewMorphing(MorphConfig{})
+}
+
+// driveMorph advances the fake view with fixed per-window IPCs and
+// returns the first non-None action.
+func driveMorph(m *Morphing, v *fakeView, windows int, ipc0, ipc1 float64) (amp.MorphAction, int) {
+	for i := 0; i < windows; i++ {
+		// Advance exactly one window for each thread: thread t
+		// commits WindowSize instructions over WindowSize/ipc cycles.
+		// Use thread 0's cycle advance as the global clock.
+		v.cycle += uint64(float64(m.cfg.Base.WindowSize) / ipc0)
+		v.commit(0, m.cfg.Base.WindowSize, 50, 0)
+		v.commit(1, uint64(float64(m.cfg.Base.WindowSize)/ipc0*ipc1), 50, 0)
+		m.Tick(v)
+		if act, strong := m.MorphTick(v); act != amp.MorphNone {
+			return act, strong
+		}
+	}
+	return amp.MorphNone, 0
+}
+
+func TestMorphingTriggersOnAsymmetricUtility(t *testing.T) {
+	v := newFakeView()
+	cfg := DefaultMorphConfig()
+	cfg.Base.DisableForcedSwap = true
+	m := NewMorphing(cfg)
+	m.Reset(v)
+	// Thread 0 runs hot (IPC 1.0), thread 1 is collapsed (IPC 0.05).
+	act, strong := driveMorph(m, v, 20, 1.0, 0.05)
+	if act != amp.MorphOn {
+		t.Fatal("morph never triggered")
+	}
+	if strong != 0 {
+		t.Fatalf("wrong strong thread: %d", strong)
+	}
+	if m.MorphCount() != 1 {
+		t.Fatalf("morph count %d", m.MorphCount())
+	}
+}
+
+func TestMorphingNoTriggerWhenBothActive(t *testing.T) {
+	v := newFakeView()
+	cfg := DefaultMorphConfig()
+	cfg.Base.DisableForcedSwap = true
+	m := NewMorphing(cfg)
+	m.Reset(v)
+	if act, _ := driveMorph(m, v, 40, 0.8, 0.7); act != amp.MorphNone {
+		t.Fatal("morphed with both threads active")
+	}
+	if act, _ := driveMorph(m, v, 40, 0.05, 0.06); act != amp.MorphNone {
+		t.Fatal("morphed with both threads stalled")
+	}
+}
+
+func TestMorphingUnmorphsOnRecovery(t *testing.T) {
+	v := newFakeView()
+	cfg := DefaultMorphConfig()
+	cfg.Base.DisableForcedSwap = true
+	cfg.MinMorphCycles = 1
+	m := NewMorphing(cfg)
+	m.Reset(v)
+	if act, _ := driveMorph(m, v, 20, 1.0, 0.05); act != amp.MorphOn {
+		t.Fatal("setup: no morph")
+	}
+	// Parked thread recovers.
+	act, _ := driveMorph(m, v, 20, 1.0, 0.9)
+	if act != amp.MorphOff {
+		t.Fatal("never unmorphed after recovery")
+	}
+}
+
+func TestMorphingSuppressesSwapRulesWhileMorphed(t *testing.T) {
+	v := newFakeView()
+	cfg := DefaultMorphConfig()
+	cfg.Base.DisableForcedSwap = true
+	cfg.MinMorphCycles = 1 << 62
+	m := NewMorphing(cfg)
+	m.Reset(v)
+	if act, _ := driveMorph(m, v, 20, 1.0, 0.05); act != amp.MorphOn {
+		t.Fatal("setup: no morph")
+	}
+	// Feed compositions that would normally fire rule 2; while
+	// morphed, Tick must stay quiet.
+	for i := 0; i < 20; i++ {
+		v.cycle += 1000
+		v.commit(0, 1000, 10, 60)
+		v.commit(1, 1000, 70, 0)
+		if m.Tick(v) {
+			t.Fatal("swap rule fired while morphed")
+		}
+	}
+}
+
+func TestMorphingEndToEnd(t *testing.T) {
+	// memstress (collapsed IPC) + fpstress (hot): the policy should
+	// morph and give fpstress the strong core, and the run completes
+	// with sane metrics.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultMorphConfig()
+	m := NewMorphing(cfg)
+	t0 := amp.NewThread(0, workload.MustByName("memstress"), 51, 0)
+	t1 := amp.NewThread(1, workload.MustByName("fpstress"), 52, 1<<40)
+	sys := amp.NewSystem(
+		[2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
+		[2]*amp.Thread{t0, t1}, m, amp.Config{})
+	res := sys.Run(400_000)
+	if res.Morphs == 0 {
+		t.Fatal("policy never morphed on a collapsed+hot pair")
+	}
+	for i, tr := range res.Threads {
+		if tr.IPCPerWatt <= 0 {
+			t.Fatalf("thread %d IPC/Watt %g", i, tr.IPCPerWatt)
+		}
+	}
+}

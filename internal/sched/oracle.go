@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"fmt"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/workload"
+)
+
+// Oracle is a clairvoyant profile-driven scheduler: it knows, from
+// exhaustive offline profiling, each thread's solo IPC/Watt on each
+// core for every committed-instruction window, and at window
+// boundaries places the pair in the mapping those profiles favor.
+//
+// Because the two cores of the paper's AMP share nothing (private L1s
+// and L2s, no bandwidth contention in the model), solo profiles are
+// exact co-run predictions for steady-state execution. What the
+// clairvoyant does NOT know is migration cost — swap stalls, cold
+// caches, predictor retraining — so on phase-flipping pairs it can
+// over-swap and end up BELOW a cost-aware online scheme. That outcome
+// is itself the §VI-C lesson: profile knowledge without cost modeling
+// is not an upper bound.
+type Oracle struct {
+	window uint64
+	// ipcw[thread][core][windowIdx]
+	ipcw [2][2][]float64
+	// hysteresis keeps the oracle from thrashing at near-ties.
+	minGain float64
+
+	lastDecision uint64
+	stats        amp.SchedulerStats
+	intCore      int
+	fpCore       int
+}
+
+// OracleProfile runs the four solo profiling passes and builds the
+// oracle. window is the decision granularity in committed
+// instructions; limit bounds each profiling run.
+func OracleProfile(intCfg, fpCfg *cpu.Config, benchA, benchB *workload.Benchmark,
+	seedA, seedB, limit, window uint64) (*Oracle, error) {
+	if window == 0 || limit == 0 {
+		return nil, fmt.Errorf("sched: oracle: zero window or limit")
+	}
+	o := &Oracle{window: window, minGain: 1.10}
+	cfgs := [2]*cpu.Config{intCfg, fpCfg}
+	benches := [2]*workload.Benchmark{benchA, benchB}
+	seeds := [2]uint64{seedA, seedB}
+	for t := 0; t < 2; t++ {
+		for c := 0; c < 2; c++ {
+			res := amp.SoloRunWindows(cfgs[c], benches[t], seeds[t], limit, window)
+			for _, s := range res.Samples {
+				o.ipcw[t][c] = append(o.ipcw[t][c], s.IPCPerWatt)
+			}
+			if len(o.ipcw[t][c]) == 0 {
+				return nil, fmt.Errorf("sched: oracle: no profile windows for %s on %s",
+					benches[t].Name, cfgs[c].Name)
+			}
+		}
+	}
+	return o, nil
+}
+
+// Name implements amp.Scheduler.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Reset implements amp.Scheduler.
+func (o *Oracle) Reset(v amp.View) {
+	o.intCore, o.fpCore = coreIndexes(v)
+	o.lastDecision = 0
+	o.stats = amp.SchedulerStats{}
+}
+
+// SchedStats implements amp.StatsReporter.
+func (o *Oracle) SchedStats() amp.SchedulerStats { return o.stats }
+
+// lookup returns thread t's profiled IPC/Watt on core flavor c (0 =
+// INT, 1 = FP) at window w, clamping past the profile's end (the
+// profile is one pass; runs wrap the workload the same way).
+func (o *Oracle) lookup(t, c int, w uint64) float64 {
+	prof := o.ipcw[t][c]
+	return prof[int(w)%len(prof)]
+}
+
+// Tick implements amp.Scheduler. One decision per committed window of
+// the faster thread.
+func (o *Oracle) Tick(v amp.View) bool {
+	// Decision epoch: the max of the two threads' window indexes.
+	w0 := v.Arch(0).Committed / o.window
+	w1 := v.Arch(1).Committed / o.window
+	epoch := w0
+	if w1 > epoch {
+		epoch = w1
+	}
+	if epoch == o.lastDecision {
+		return false
+	}
+	o.lastDecision = epoch
+	o.stats.DecisionPoints++
+
+	// Value of the current mapping vs the swapped one.
+	t0OnInt := v.CoreOfThread(0) == o.intCore
+	var cur, alt float64
+	if t0OnInt {
+		cur = o.lookup(0, 0, w0) + o.lookup(1, 1, w1)
+		alt = o.lookup(0, 1, w0) + o.lookup(1, 0, w1)
+	} else {
+		cur = o.lookup(0, 1, w0) + o.lookup(1, 0, w1)
+		alt = o.lookup(0, 0, w0) + o.lookup(1, 1, w1)
+	}
+	if cur <= 0 {
+		return false
+	}
+	if alt/cur >= o.minGain {
+		o.stats.SwapRequests++
+		return true
+	}
+	return false
+}
+
+var _ amp.Scheduler = (*Oracle)(nil)
+var _ amp.StatsReporter = (*Oracle)(nil)

@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"testing"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/workload"
+)
+
+func TestOracleProfileValidation(t *testing.T) {
+	intC, fpC := cpu.IntCoreConfig(), cpu.FPCoreConfig()
+	a := workload.MustByName("pi")
+	if _, err := OracleProfile(intC, fpC, a, a, 1, 2, 0, 100); err == nil {
+		t.Fatal("zero limit accepted")
+	}
+	if _, err := OracleProfile(intC, fpC, a, a, 1, 2, 1000, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestOracleSwapsMisplacedPair(t *testing.T) {
+	intC, fpC := cpu.IntCoreConfig(), cpu.FPCoreConfig()
+	// fpstress starts on the INT core (thread 0): the profiles say
+	// the swapped mapping is far better, so the oracle swaps once and
+	// settles.
+	o, err := OracleProfile(intC, fpC,
+		workload.MustByName("fpstress"), workload.MustByName("intstress"),
+		31, 32, 100_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runRealPairLimit(t, "fpstress", "intstress", o, 200_000)
+	if res.Swaps == 0 {
+		t.Fatal("oracle never swapped a misplaced pair")
+	}
+	if res.Swaps > 2 {
+		t.Fatalf("oracle thrashed: %d swaps on a stationary pair", res.Swaps)
+	}
+	st := o.SchedStats()
+	if st.DecisionPoints == 0 {
+		t.Fatal("no decision points recorded")
+	}
+}
+
+func TestOracleStableWhenWellPlaced(t *testing.T) {
+	intC, fpC := cpu.IntCoreConfig(), cpu.FPCoreConfig()
+	o, err := OracleProfile(intC, fpC,
+		workload.MustByName("intstress"), workload.MustByName("fpstress"),
+		31, 32, 100_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runRealPairLimit(t, "intstress", "fpstress", o, 200_000)
+	if res.Swaps != 0 {
+		t.Fatalf("oracle swapped %d times on a correctly placed pair", res.Swaps)
+	}
+}
+
+func TestOracleLookupWraps(t *testing.T) {
+	o := &Oracle{window: 100, minGain: 1.1}
+	o.ipcw[0][0] = []float64{1, 2, 3}
+	if o.lookup(0, 0, 0) != 1 || o.lookup(0, 0, 4) != 2 {
+		t.Fatalf("lookup wrap wrong: %g %g", o.lookup(0, 0, 0), o.lookup(0, 0, 4))
+	}
+}

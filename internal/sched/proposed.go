@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"fmt"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/monitor"
+)
+
+// ProposedConfig parameterizes the proposed dynamic thread scheduling
+// scheme. The zero value is invalid; use DefaultProposedConfig for the
+// paper's operating point (window 1000, history 5, thresholds of
+// Fig. 5, forced swap every 2 ms).
+type ProposedConfig struct {
+	// WindowSize is the commit-window length in instructions over
+	// which composition is measured (§VI-B sweeps 500/1000/2000).
+	WindowSize uint64
+	// HistoryDepth is the number of recent tentative decisions that
+	// vote on a reconfiguration (§VI-B sweeps 5/10).
+	HistoryDepth int
+	// ForceInterval is the fairness-swap period of Fig. 5 step 3.
+	ForceInterval uint64
+	// Thresholds of Fig. 5 (percentages).
+	IntHigh float64 // %INT on FP core at/above which it wants the INT core
+	IntLow  float64 // %INT on INT core at/below which it can give it up
+	FPHigh  float64 // %FP on INT core at/above which it wants the FP core
+	FPLow   float64 // %FP on FP core at/below which it can give it up
+	// DisableForcedSwap turns off Fig. 5 step 3 (ablation).
+	DisableForcedSwap bool
+}
+
+// DefaultProposedConfig returns the paper's chosen operating point.
+func DefaultProposedConfig() ProposedConfig {
+	return ProposedConfig{
+		WindowSize:    1000,
+		HistoryDepth:  5,
+		ForceInterval: amp.ContextSwitchCycles,
+		IntHigh:       55,
+		IntLow:        35,
+		FPHigh:        20,
+		FPLow:         7,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c *ProposedConfig) Validate() error {
+	if c.WindowSize == 0 {
+		return fmt.Errorf("sched: proposed: zero WindowSize")
+	}
+	if c.HistoryDepth <= 0 {
+		return fmt.Errorf("sched: proposed: non-positive HistoryDepth %d", c.HistoryDepth)
+	}
+	if c.ForceInterval == 0 && !c.DisableForcedSwap {
+		return fmt.Errorf("sched: proposed: zero ForceInterval with forced swap enabled")
+	}
+	for _, th := range []struct {
+		name string
+		v    float64
+	}{{"IntHigh", c.IntHigh}, {"IntLow", c.IntLow}, {"FPHigh", c.FPHigh}, {"FPLow", c.FPLow}} {
+		if th.v < 0 || th.v > 100 {
+			return fmt.Errorf("sched: proposed: threshold %s=%g outside [0,100]", th.name, th.v)
+		}
+	}
+	return nil
+}
+
+// Proposed is the paper's dynamic thread scheduling scheme: an online
+// monitor (per-thread commit-window composition trackers) plus a
+// performance predictor (threshold rules + majority history vote).
+type Proposed struct {
+	cfg      ProposedConfig
+	trackers [2]*monitor.WindowTracker // indexed by thread
+	voter    *monitor.Voter
+	stats    amp.SchedulerStats
+	intCore  int
+	fpCore   int
+}
+
+// NewProposed builds the scheduler; cfg is validated.
+func NewProposed(cfg ProposedConfig) *Proposed {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Proposed{cfg: cfg}
+}
+
+// Name implements amp.Scheduler.
+func (p *Proposed) Name() string { return "proposed" }
+
+// Config returns the scheduler's configuration.
+func (p *Proposed) Config() ProposedConfig { return p.cfg }
+
+// Reset implements amp.Scheduler.
+func (p *Proposed) Reset(v amp.View) {
+	p.intCore, p.fpCore = coreIndexes(v)
+	for t := 0; t < 2; t++ {
+		p.trackers[t] = monitor.NewWindowTracker(p.cfg.WindowSize)
+		p.trackers[t].Reset(v.Arch(t))
+	}
+	p.voter = monitor.NewVoter(p.cfg.HistoryDepth)
+	p.stats = amp.SchedulerStats{}
+}
+
+// SchedStats implements amp.StatsReporter.
+func (p *Proposed) SchedStats() amp.SchedulerStats { return p.stats }
+
+// Tick implements amp.Scheduler. A tentative decision is made at the
+// end of every committed-instruction window; the reconfiguration
+// fires on a strict majority of the last HistoryDepth tentative
+// decisions, or through the forced fairness swap of Fig. 5 step 3.
+func (p *Proposed) Tick(v amp.View) bool {
+	closed := false
+	for t := 0; t < 2; t++ {
+		if _, ok := p.trackers[t].Observe(v.Arch(t)); ok {
+			closed = true
+		}
+	}
+	if !closed {
+		return false
+	}
+
+	sFP, okFP := p.trackers[v.ThreadOnCore(p.fpCore)].Latest()
+	sINT, okINT := p.trackers[v.ThreadOnCore(p.intCore)].Latest()
+	if !okFP || !okINT {
+		return false // need one full window from each thread first
+	}
+	p.stats.DecisionPoints++
+
+	// Fig. 5 step 2: swap helps both threads.
+	tentative := (sFP.IntPct >= p.cfg.IntHigh && sINT.IntPct <= p.cfg.IntLow) ||
+		(sINT.FPPct >= p.cfg.FPHigh && sFP.FPPct <= p.cfg.FPLow)
+	p.voter.Push(tentative)
+	if p.voter.Majority() {
+		p.requestSwap()
+		return true
+	}
+
+	// Fig. 5 step 3: fairness swap when both threads share a flavor
+	// and no swap has happened for a context-switch interval.
+	if !p.cfg.DisableForcedSwap && v.Cycle()-v.LastSwapCycle() >= p.cfg.ForceInterval {
+		forced := (sFP.IntPct >= p.cfg.IntHigh && sINT.IntPct >= p.cfg.IntHigh) ||
+			(sINT.FPPct >= p.cfg.FPHigh && sFP.FPPct >= p.cfg.FPHigh)
+		if forced {
+			p.requestSwap()
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Proposed) requestSwap() {
+	p.stats.SwapRequests++
+	p.voter.Clear()
+}

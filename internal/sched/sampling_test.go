@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"testing"
+
+	"ampsched/internal/amp"
+)
+
+func TestSamplingConfigValidation(t *testing.T) {
+	good := DefaultSamplingConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*SamplingConfig){
+		func(c *SamplingConfig) { c.Interval = 0 },
+		func(c *SamplingConfig) { c.SampleLen = 0 },
+		func(c *SamplingConfig) { c.SampleLen = c.Interval }, // samples don't fit
+		func(c *SamplingConfig) { c.KeepThreshold = 0 },
+	}
+	for i, mutate := range bads {
+		c := DefaultSamplingConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNewSamplingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	NewSampling(SamplingConfig{})
+}
+
+// driveSampling advances the fake view with per-thread (commits,
+// energy) rates per 1000 cycles and returns the cycles at which the
+// scheduler requested swaps.
+func driveSampling(s *Sampling, v *fakeView, cycles uint64,
+	rate func(thread int, onCore int) (commits uint64, energy float64)) []uint64 {
+	var swaps []uint64
+	end := v.cycle + cycles
+	for v.cycle < end {
+		v.cycle += 1000
+		for th := 0; th < 2; th++ {
+			c, e := rate(th, v.CoreOfThread(th))
+			v.commit(th, c, 50, 0)
+			v.energy[th] += e
+		}
+		if s.Tick(v) {
+			swaps = append(swaps, v.cycle)
+			v.swapBinding()
+		}
+	}
+	return swaps
+}
+
+func TestSamplingTriesAlternativeEveryEpisode(t *testing.T) {
+	v := newFakeView()
+	cfg := SamplingConfig{Interval: 100_000, SampleLen: 10_000, KeepThreshold: 1.02}
+	s := NewSampling(cfg)
+	s.Reset(v)
+	// Symmetric rates: the swapped configuration is never better, so
+	// every episode costs two swaps (try + revert).
+	swaps := driveSampling(s, v, 500_000, func(int, int) (uint64, float64) {
+		return 500, 1000
+	})
+	// ~4-5 episodes in 500k cycles, 2 swaps each.
+	if len(swaps) < 6 || len(swaps) > 12 {
+		t.Fatalf("got %d swaps, want ~8-10 (try+revert per episode)", len(swaps))
+	}
+}
+
+func TestSamplingKeepsBetterAssignment(t *testing.T) {
+	v := newFakeView()
+	cfg := SamplingConfig{Interval: 100_000, SampleLen: 10_000, KeepThreshold: 1.02}
+	s := NewSampling(cfg)
+	s.Reset(v)
+	// Thread 0 is far better on core 1 and vice versa: once swapped,
+	// the measured metric doubles and the swap is kept (one swap per
+	// episode until stable... and once in the good assignment, trying
+	// the bad one reverts, costing two swaps per later episode).
+	rate := func(th, core int) (uint64, float64) {
+		if (th == 0 && core == 1) || (th == 1 && core == 0) {
+			return 1000, 1000 // good placement: 1 commit/nJ
+		}
+		return 400, 1000 // bad placement
+	}
+	swaps := driveSampling(s, v, 120_000, rate)
+	if len(swaps) != 1 {
+		t.Fatalf("first episode should keep the better assignment with exactly 1 swap, got %d", len(swaps))
+	}
+	// The system must now be in the good assignment.
+	if v.CoreOfThread(0) != 1 {
+		t.Fatal("better assignment not kept")
+	}
+}
+
+func TestSamplingRevertsWorseAssignment(t *testing.T) {
+	v := newFakeView()
+	cfg := SamplingConfig{Interval: 100_000, SampleLen: 10_000, KeepThreshold: 1.02}
+	s := NewSampling(cfg)
+	s.Reset(v)
+	rate := func(th, core int) (uint64, float64) {
+		if th == core { // initial placement is already the good one
+			return 1000, 1000
+		}
+		return 400, 1000
+	}
+	swaps := driveSampling(s, v, 120_000, rate)
+	if len(swaps) != 2 {
+		t.Fatalf("episode over a good incumbent should try and revert (2 swaps), got %d", len(swaps))
+	}
+	if v.CoreOfThread(0) != 0 {
+		t.Fatal("did not revert to the good assignment")
+	}
+}
+
+func TestSamplingStatsCount(t *testing.T) {
+	v := newFakeView()
+	cfg := SamplingConfig{Interval: 50_000, SampleLen: 5_000, KeepThreshold: 1.02}
+	s := NewSampling(cfg)
+	s.Reset(v)
+	driveSampling(s, v, 300_000, func(int, int) (uint64, float64) { return 500, 1000 })
+	st := s.SchedStats()
+	if st.DecisionPoints == 0 || st.SwapRequests == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	if st.SwapRequests > st.DecisionPoints {
+		t.Fatalf("more swaps than decisions: %+v", st)
+	}
+}
+
+func TestSamplingOnRealSystem(t *testing.T) {
+	// End-to-end sanity on the real simulator: sampling converges to
+	// the right assignment for a strongly-flavored pair.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := SamplingConfig{Interval: 120_000, SampleLen: 15_000, KeepThreshold: 1.0}
+	s := NewSampling(cfg)
+	res := runRealPair(t, "fpstress", "intstress", s) // fpstress starts on INT core
+	if res.Swaps == 0 {
+		t.Fatal("sampling never swapped a misplaced pair")
+	}
+	// Both threads should end up with healthy IPC/Watt.
+	for i, tr := range res.Threads {
+		if tr.IPCPerWatt <= 0 {
+			t.Fatalf("thread %d IPC/Watt %g", i, tr.IPCPerWatt)
+		}
+	}
+}
+
+// runRealPair is a helper shared by scheduler system tests.
+func runRealPair(t *testing.T, a, b string, s amp.Scheduler) amp.Result {
+	t.Helper()
+	return runRealPairLimit(t, a, b, s, 400_000)
+}

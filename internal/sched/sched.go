@@ -1,0 +1,52 @@
+// Package sched implements the thread-to-core scheduling policies
+// compared in the paper:
+//
+//   - Proposed: the fine-grained hardware scheme of §VI — composition
+//     monitors over 1000-instruction commit windows, the Fig. 5
+//     threshold rules, a 5-deep majority history vote, and a forced
+//     fairness swap every 2 ms when both threads share a flavor.
+//   - HPE: the coarse-grained estimation scheme of §V (Srinivasan et
+//     al.), deciding once per 2 ms context switch from a profiled
+//     IPC/Watt ratio matrix or regression surface.
+//   - RoundRobin: unconditional swap every context-switch interval.
+//   - Static: never swap (the baseline thread-to-core assignment).
+//
+// All schedulers implement amp.Scheduler and are driven by the AMP
+// system's per-cycle Tick.
+package sched
+
+import "ampsched/internal/amp"
+
+// coreIndexes returns (intCore, fpCore) by configuration name,
+// defaulting to (0, 1) if the names are not the canonical "INT"/"FP".
+func coreIndexes(v amp.View) (intCore, fpCore int) {
+	intCore, fpCore = 0, 1
+	for c := 0; c < 2; c++ {
+		switch v.CoreConfig(c).Name {
+		case "INT":
+			intCore = c
+		case "FP":
+			fpCore = c
+		}
+	}
+	if intCore == fpCore {
+		// Degenerate naming; fall back to positional convention.
+		intCore, fpCore = 0, 1
+	}
+	return intCore, fpCore
+}
+
+// Static is the no-op scheduler: the initial OS assignment is kept for
+// the whole run.
+type Static struct{}
+
+// Name implements amp.Scheduler.
+func (Static) Name() string { return "static" }
+
+// Reset implements amp.Scheduler.
+func (Static) Reset(amp.View) {}
+
+// Tick implements amp.Scheduler.
+func (Static) Tick(amp.View) bool { return false }
+
+var _ amp.Scheduler = Static{}

@@ -1,0 +1,27 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"ampsched/internal/stats"
+)
+
+// ExampleMean demonstrates the basic aggregations used throughout the
+// evaluation harness.
+func ExampleMean() {
+	ratios := []float64{1.10, 0.95, 1.30}
+	g, _ := stats.GeoMean(ratios)
+	fmt.Printf("weighted %.3f geometric %.3f\n", stats.Mean(ratios), g)
+	// Output:
+	// weighted 1.117 geometric 1.108
+}
+
+// ExampleMode shows the binned statistical mode the HPE ratio matrix
+// uses (§V step 3).
+func ExampleMode() {
+	samples := []float64{1.31, 1.33, 1.30, 0.62, 0.65}
+	m, _ := stats.Mode(samples, 0.1)
+	fmt.Printf("%.2f\n", m)
+	// Output:
+	// 1.31
+}

@@ -1,0 +1,29 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"ampsched/internal/trace"
+	"ampsched/internal/workload"
+)
+
+// Example records a workload into the binary trace format and replays
+// it — the bridge between the synthetic suite and external traces.
+func Example() {
+	b := workload.MustByName("pi")
+	gen := workload.NewGenerator(b, 7, 0)
+
+	var buf bytes.Buffer
+	if err := trace.RecordBenchmark(&buf, b.Name, b.EffectiveCodeFootprint(), 50_000, gen.Next); err != nil {
+		panic(err)
+	}
+	src, err := trace.Load(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("trace %q: %d instructions, compact: %v\n",
+		src.Header().Name, src.Header().Count, buf.Len() < 50_000*8)
+	// Output:
+	// trace "pi": 50000 instructions, compact: true
+}

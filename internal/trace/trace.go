@@ -1,0 +1,303 @@
+// Package trace records and replays dynamic instruction streams in a
+// compact binary format.
+//
+// The simulator normally synthesizes instructions (internal/workload),
+// but a trace file decouples workload generation from simulation: a
+// stream can be captured once (from the synthetic generator here, or
+// converted from an external pin/qemu-style trace) and replayed
+// bit-identically into any core configuration. The format is
+// self-describing, versioned, and varint-packed — a typical record is
+// 3-6 bytes.
+//
+// Layout:
+//
+//	magic "AMPT" | version u8 | name len u8 | name | codeFootprint uvarint | count uvarint
+//	count records:
+//	  class u8 | flags u8 | [dep1 uvarint] [dep2 uvarint] [addr uvarint] [takenBit in flags]
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ampsched/internal/isa"
+)
+
+// Magic identifies a trace stream.
+var Magic = [4]byte{'A', 'M', 'P', 'T'}
+
+// Version of the on-disk format.
+const Version = 1
+
+// record flags.
+const (
+	flagDep1  = 1 << 0
+	flagDep2  = 1 << 1
+	flagAddr  = 1 << 2
+	flagTaken = 1 << 3
+)
+
+// Header describes a trace.
+type Header struct {
+	Name          string
+	CodeFootprint uint64
+	Count         uint64
+}
+
+// Writer streams instructions to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	max   uint64
+	buf   [2 + 3*binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes the header for a trace of exactly hdr.Count
+// instructions and returns a Writer. Close must be called to flush.
+func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
+	if hdr.Count == 0 {
+		return nil, fmt.Errorf("trace: zero-length trace")
+	}
+	if len(hdr.Name) > 255 {
+		return nil, fmt.Errorf("trace: name too long (%d bytes)", len(hdr.Name))
+	}
+	if hdr.CodeFootprint == 0 {
+		return nil, fmt.Errorf("trace: zero code footprint")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(Version); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(byte(len(hdr.Name))); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(hdr.Name); err != nil {
+		return nil, err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], hdr.CodeFootprint)
+	if _, err := bw.Write(tmp[:n]); err != nil {
+		return nil, err
+	}
+	n = binary.PutUvarint(tmp[:], hdr.Count)
+	if _, err := bw.Write(tmp[:n]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, max: hdr.Count}, nil
+}
+
+// Write appends one instruction. It errors once the declared count is
+// exceeded.
+func (t *Writer) Write(in *isa.Instruction) error {
+	if t.count >= t.max {
+		return fmt.Errorf("trace: writing beyond the declared count %d", t.max)
+	}
+	var flags byte
+	if in.Dep1 > 0 {
+		flags |= flagDep1
+	}
+	if in.Dep2 > 0 {
+		flags |= flagDep2
+	}
+	if in.Addr != 0 {
+		flags |= flagAddr
+	}
+	if in.Taken {
+		flags |= flagTaken
+	}
+	b := t.buf[:0]
+	b = append(b, byte(in.Class), flags)
+	var tmp [binary.MaxVarintLen64]byte
+	if flags&flagDep1 != 0 {
+		n := binary.PutUvarint(tmp[:], uint64(in.Dep1))
+		b = append(b, tmp[:n]...)
+	}
+	if flags&flagDep2 != 0 {
+		n := binary.PutUvarint(tmp[:], uint64(in.Dep2))
+		b = append(b, tmp[:n]...)
+	}
+	if flags&flagAddr != 0 {
+		n := binary.PutUvarint(tmp[:], in.Addr)
+		b = append(b, tmp[:n]...)
+	}
+	if _, err := t.w.Write(b); err != nil {
+		return err
+	}
+	t.count++
+	return nil
+}
+
+// Close flushes; it errors if fewer instructions than declared were
+// written.
+func (t *Writer) Close() error {
+	if t.count != t.max {
+		return fmt.Errorf("trace: wrote %d of %d declared instructions", t.count, t.max)
+	}
+	return t.w.Flush()
+}
+
+// Read loads a whole trace into memory.
+func Read(r io.Reader) (Header, []isa.Instruction, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return Header{}, nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return Header{}, nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if ver != Version {
+		return Header{}, nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	nameLen, err := br.ReadByte()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return Header{}, nil, err
+	}
+	foot, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if foot == 0 {
+		return Header{}, nil, fmt.Errorf("trace: zero code footprint")
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if count == 0 {
+		return Header{}, nil, fmt.Errorf("trace: zero-length trace")
+	}
+	const sanityMax = 1 << 32
+	if count > sanityMax {
+		return Header{}, nil, fmt.Errorf("trace: implausible count %d", count)
+	}
+
+	hdr := Header{Name: string(name), CodeFootprint: foot, Count: count}
+	// Never trust the declared count for allocation: a forged header
+	// could demand gigabytes. Grow while the stream actually delivers
+	// records; a short stream fails with an EOF error below.
+	capHint := count
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	instrs := make([]isa.Instruction, 0, capHint)
+	for i := uint64(0); i < count; i++ {
+		instrs = append(instrs, isa.Instruction{})
+		in := &instrs[len(instrs)-1]
+		cls, err := br.ReadByte()
+		if err != nil {
+			return Header{}, nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		if cls >= byte(isa.NumClasses) {
+			return Header{}, nil, fmt.Errorf("trace: record %d: invalid class %d", i, cls)
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return Header{}, nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		in.Class = isa.Class(cls)
+		in.Taken = flags&flagTaken != 0
+		if flags&flagDep1 != 0 {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return Header{}, nil, fmt.Errorf("trace: record %d dep1: %w", i, err)
+			}
+			if v > 1<<31 {
+				return Header{}, nil, fmt.Errorf("trace: record %d: dep1 %d overflows", i, v)
+			}
+			in.Dep1 = int32(v)
+		}
+		if flags&flagDep2 != 0 {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return Header{}, nil, fmt.Errorf("trace: record %d dep2: %w", i, err)
+			}
+			if v > 1<<31 {
+				return Header{}, nil, fmt.Errorf("trace: record %d: dep2 %d overflows", i, v)
+			}
+			in.Dep2 = int32(v)
+		}
+		if flags&flagAddr != 0 {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return Header{}, nil, fmt.Errorf("trace: record %d addr: %w", i, err)
+			}
+			in.Addr = v
+		}
+	}
+	return hdr, instrs, nil
+}
+
+// Source replays an in-memory trace as a cpu.InstrSource, wrapping
+// around at the end (runs are bounded by instruction budgets, not
+// trace length).
+type Source struct {
+	hdr     Header
+	instrs  []isa.Instruction
+	pos     int
+	emitted uint64
+}
+
+// NewSource wraps a loaded trace.
+func NewSource(hdr Header, instrs []isa.Instruction) *Source {
+	if len(instrs) == 0 {
+		panic("trace: empty source")
+	}
+	return &Source{hdr: hdr, instrs: instrs}
+}
+
+// Load reads a trace from r and returns a replay source.
+func Load(r io.Reader) (*Source, error) {
+	hdr, instrs, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewSource(hdr, instrs), nil
+}
+
+// Header returns the trace metadata.
+func (s *Source) Header() Header { return s.hdr }
+
+// Emitted returns the number of instructions replayed so far.
+func (s *Source) Emitted() uint64 { return s.emitted }
+
+// Next implements cpu.InstrSource.
+func (s *Source) Next(in *isa.Instruction) {
+	*in = s.instrs[s.pos]
+	s.pos++
+	if s.pos == len(s.instrs) {
+		s.pos = 0
+	}
+	s.emitted++
+}
+
+// RecordBenchmark captures n instructions of a workload generator into
+// w: the bridge from the synthetic suite to the trace world.
+func RecordBenchmark(w io.Writer, name string, codeFootprint uint64, n uint64,
+	next func(*isa.Instruction)) error {
+	tw, err := NewWriter(w, Header{Name: name, CodeFootprint: codeFootprint, Count: n})
+	if err != nil {
+		return err
+	}
+	var in isa.Instruction
+	for i := uint64(0); i < n; i++ {
+		next(&in)
+		if err := tw.Write(&in); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}

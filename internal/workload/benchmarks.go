@@ -1,0 +1,442 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"ampsched/internal/isa"
+)
+
+// mix builds a normalized instruction mix from per-class weights in
+// the order IntALU, IntMul, IntDiv, FPALU, FPMul, FPDiv, Load, Store,
+// Branch.
+func mix(ia, im, id, fa, fm, fd, ld, st, br float64) isa.Mix {
+	m := isa.Mix{ia, im, id, fa, fm, fd, ld, st, br}
+	m.Normalize()
+	return m
+}
+
+// Working-set size shorthand. DL1 is 4 KB and L2 is 128 KB, so:
+// wsTiny fits DL1, wsSmall mostly fits DL1, wsMed fits L2, wsLarge and
+// wsHuge spill past L2 into memory.
+const (
+	wsTiny  = 2 << 10
+	wsSmall = 8 << 10
+	wsMed   = 96 << 10
+	wsLarge = 512 << 10
+	wsHuge  = 4 << 20
+)
+
+// suite is the 37-benchmark pool of §IV: 15 SPEC-like, 14 MiBench-like,
+// 1 MediaBench-like and 7 synthetic kernels. Each named model follows
+// the documented character of the original program (INT vs FP
+// intensity, memory-boundedness, branchiness, phase behaviour); see
+// DESIGN.md §2 for why this substitution preserves the scheduling
+// behaviour under study.
+var suite = []*Benchmark{
+	// ------------------------------------------------- SPEC-like (15)
+	{
+		Name: "gcc", CodeFootprint: 48 << 10, Suite: "SPEC",
+		Notes: "GNU C compiler (SPEC 176.gcc): pointer-rich integer code, large static code footprint, branchy front end; phases follow parse -> RTL optimization -> register allocation, with working sets growing past the L2 in the RTL pass.",
+		Phases: []Phase{
+			{Name: "parse", Mix: mix(38, 2, 0.5, 0, 0, 0, 22, 12, 25.5), Length: 150_000,
+				MeanDepDist: 4, BranchPredictability: 0.88, WorkingSet: wsMed, SeqFrac: 0.35},
+			{Name: "rtl", Mix: mix(42, 3, 0.5, 0, 0, 0, 20, 12, 22.5), Length: 125_000,
+				MeanDepDist: 5, BranchPredictability: 0.90, WorkingSet: wsLarge, SeqFrac: 0.30},
+			{Name: "regalloc", Mix: mix(40, 2, 0, 0, 0, 0, 24, 14, 20), Length: 100_000,
+				MeanDepDist: 4, BranchPredictability: 0.86, WorkingSet: wsMed, SeqFrac: 0.25},
+		},
+	},
+	{
+		Name: "mcf", Suite: "SPEC",
+		Notes: "SPEC 181.mcf network-simplex solver: the canonical memory-bound integer code — pointer chasing over multi-megabyte arc arrays, minimal ILP, near-random access; neither core flavor helps it much (Fig. 1).",
+		Phases: []Phase{
+			{Name: "simplex", Mix: mix(30, 1, 0.5, 0, 0, 0, 34, 10, 24.5), Length: 225_000,
+				MeanDepDist: 3, BranchPredictability: 0.90, WorkingSet: wsHuge, SeqFrac: 0.05},
+			{Name: "refresh", Mix: mix(28, 1, 0, 0, 0, 0, 38, 12, 21), Length: 150_000,
+				MeanDepDist: 3, BranchPredictability: 0.88, WorkingSet: wsHuge, SeqFrac: 0.10},
+		},
+	},
+	{
+		Name: "equake", Suite: "SPEC",
+		Notes: "SPEC 183.equake seismic wave simulation: sparse matrix-vector FP kernels with moderate ILP; modeled FP-dominant with enough datapath pressure to expose the FP core's pipelined units.",
+		Phases: []Phase{
+			{Name: "smvp", Mix: mix(8, 1, 0, 28, 25, 1, 22, 9, 6), Length: 200_000,
+				MeanDepDist: 11, BranchPredictability: 0.97, WorkingSet: wsSmall, SeqFrac: 0.75},
+			{Name: "time_step", Mix: mix(10, 1, 0, 28, 22, 2, 22, 10, 6), Length: 125_000,
+				MeanDepDist: 10, BranchPredictability: 0.96, WorkingSet: wsMed, SeqFrac: 0.80},
+		},
+	},
+	{
+		Name: "ammp", Suite: "SPEC",
+		Notes: "SPEC 188.ammp molecular dynamics: FP force computation (mmfv) alternating with integer-ish neighbor-list rebuilds over a large footprint.",
+		Phases: []Phase{
+			{Name: "mmfv", Mix: mix(10, 1, 0, 28, 24, 3, 22, 7, 5), Length: 175_000,
+				MeanDepDist: 9, BranchPredictability: 0.95, WorkingSet: wsMed, SeqFrac: 0.55},
+			{Name: "neighbor", Mix: mix(22, 2, 0, 12, 8, 1, 30, 10, 15), Length: 75_000,
+				MeanDepDist: 5, BranchPredictability: 0.92, WorkingSet: wsHuge, SeqFrac: 0.20},
+		},
+	},
+	{
+		// apsi alternates INT-ish setup with FP kernels on a scale
+		// shorter than the 2 ms interval — a "reasonable mix" program
+		// in the paper's taxonomy.
+		Name: "apsi", Suite: "SPEC",
+		Notes: "SPEC 301.apsi meteorology code: a classic phase program — integer setup, FFT-based FP solver and advection alternate on sub-quantum scales; one of the paper's 'reasonable mix' profiling nine.",
+		Phases: []Phase{
+			{Name: "setup", Mix: mix(38, 3, 1, 6, 4, 0, 22, 12, 14), Length: 87_500,
+				MeanDepDist: 5, BranchPredictability: 0.92, WorkingSet: wsMed, SeqFrac: 0.50},
+			{Name: "fft_z", Mix: mix(10, 1, 0, 24, 22, 2, 26, 9, 6), Length: 112_500,
+				MeanDepDist: 9, BranchPredictability: 0.97, WorkingSet: wsMed, SeqFrac: 0.75},
+			{Name: "advect", Mix: mix(16, 2, 0, 20, 16, 1, 26, 11, 8), Length: 87_500,
+				MeanDepDist: 7, BranchPredictability: 0.95, WorkingSet: wsLarge, SeqFrac: 0.60},
+		},
+	},
+	{
+		Name: "swim", Suite: "SPEC",
+		Notes: "SPEC 171.swim shallow-water stencils: long streaming FP loops, near-perfect branches, working set far beyond the L2 — bandwidth-shaped, so its core preference is muted.",
+		Phases: []Phase{
+			{Name: "calc1", Mix: mix(6, 1, 0, 26, 24, 1, 28, 10, 4), Length: 225_000,
+				MeanDepDist: 12, BranchPredictability: 0.99, WorkingSet: wsHuge, SeqFrac: 0.90},
+			{Name: "calc2", Mix: mix(6, 1, 0, 28, 22, 1, 28, 10, 4), Length: 225_000,
+				MeanDepDist: 12, BranchPredictability: 0.99, WorkingSet: wsHuge, SeqFrac: 0.90},
+		},
+	},
+	{
+		Name: "art", Suite: "SPEC",
+		Notes: "SPEC 179.art neural-network image recognition: FP match/train passes over large arrays with mediocre locality.",
+		Phases: []Phase{
+			{Name: "match", Mix: mix(10, 1, 0, 24, 18, 1, 32, 8, 6), Length: 175_000,
+				MeanDepDist: 6, BranchPredictability: 0.95, WorkingSet: wsHuge, SeqFrac: 0.55},
+			{Name: "train", Mix: mix(12, 1, 0, 22, 16, 2, 32, 9, 6), Length: 125_000,
+				MeanDepDist: 6, BranchPredictability: 0.94, WorkingSet: wsHuge, SeqFrac: 0.50},
+		},
+	},
+	{
+		Name: "bzip2", CodeFootprint: 8 << 10, Suite: "SPEC",
+		Notes: "SPEC 256.bzip2: integer compression with branchy Huffman coding and a block-sort phase with poor locality.",
+		Phases: []Phase{
+			{Name: "compress", Mix: mix(42, 2, 0.5, 0, 0, 0, 22, 12, 21.5), Length: 175_000,
+				MeanDepDist: 4, BranchPredictability: 0.89, WorkingSet: wsLarge, SeqFrac: 0.40},
+			{Name: "sort", Mix: mix(38, 1, 0, 0, 0, 0, 26, 12, 23), Length: 125_000,
+				MeanDepDist: 3.5, BranchPredictability: 0.85, WorkingSet: wsLarge, SeqFrac: 0.20},
+		},
+	},
+	{
+		Name: "gzip", Suite: "SPEC",
+		Notes: "SPEC 164.gzip: LZ77 deflate with hash-chain lookups (small working set) and a branchier Huffman stage.",
+		Phases: []Phase{
+			{Name: "deflate", Mix: mix(44, 1, 0, 0, 0, 0, 24, 11, 20), Length: 150_000,
+				MeanDepDist: 4, BranchPredictability: 0.90, WorkingSet: wsMed, SeqFrac: 0.55},
+			{Name: "huffman", Mix: mix(40, 1, 0, 0, 0, 0, 24, 10, 25), Length: 100_000,
+				MeanDepDist: 3.5, BranchPredictability: 0.87, WorkingSet: wsSmall, SeqFrac: 0.45},
+		},
+	},
+	{
+		Name: "vpr", CodeFootprint: 16 << 10, Suite: "SPEC",
+		Notes: "SPEC 175.vpr FPGA place & route: integer with a sprinkle of FP cost functions, low ILP, large netlist footprint.",
+		Phases: []Phase{
+			{Name: "place", Mix: mix(34, 3, 1, 6, 4, 1, 24, 10, 17), Length: 150_000,
+				MeanDepDist: 4.5, BranchPredictability: 0.88, WorkingSet: wsLarge, SeqFrac: 0.25},
+			{Name: "route", Mix: mix(36, 2, 0.5, 3, 2, 0.5, 26, 10, 20), Length: 125_000,
+				MeanDepDist: 4, BranchPredictability: 0.86, WorkingSet: wsLarge, SeqFrac: 0.20},
+		},
+	},
+	{
+		Name: "parser", CodeFootprint: 16 << 10, Suite: "SPEC",
+		Notes: "SPEC 197.parser link-grammar English parser: dictionary lookups and linked structures, branchy and pointer-bound.",
+		Phases: []Phase{
+			{Name: "tokenize", Mix: mix(40, 1, 0, 0, 0, 0, 24, 10, 25), Length: 100_000,
+				MeanDepDist: 3.5, BranchPredictability: 0.87, WorkingSet: wsMed, SeqFrac: 0.40},
+			{Name: "link", Mix: mix(36, 1, 0.5, 0, 0, 0, 28, 11, 23.5), Length: 150_000,
+				MeanDepDist: 3.5, BranchPredictability: 0.85, WorkingSet: wsLarge, SeqFrac: 0.15},
+		},
+	},
+	{
+		Name: "twolf", CodeFootprint: 16 << 10, Suite: "SPEC",
+		Notes: "SPEC 300.twolf standard-cell placement via simulated annealing: a single long integer phase with random-ish accesses and occasional FP cost math.",
+		Phases: []Phase{
+			{Name: "anneal", Mix: mix(36, 4, 1, 4, 3, 1, 26, 9, 16), Length: 200_000,
+				MeanDepDist: 4, BranchPredictability: 0.88, WorkingSet: wsLarge, SeqFrac: 0.20},
+		},
+	},
+	{
+		Name: "applu", Suite: "SPEC",
+		Notes: "SPEC 173.applu LU solver on structured grids: high-ILP streaming FP (jacld/blts sweeps) over a huge footprint.",
+		Phases: []Phase{
+			{Name: "jacld", Mix: mix(8, 1, 0, 26, 22, 3, 26, 10, 4), Length: 200_000,
+				MeanDepDist: 11, BranchPredictability: 0.99, WorkingSet: wsHuge, SeqFrac: 0.85},
+			{Name: "blts", Mix: mix(8, 1, 0, 28, 20, 4, 26, 9, 4), Length: 175_000,
+				MeanDepDist: 10, BranchPredictability: 0.98, WorkingSet: wsHuge, SeqFrac: 0.80},
+		},
+	},
+	{
+		Name: "mgrid", Suite: "SPEC",
+		Notes: "SPEC 172.mgrid multigrid solver: the most regular FP streaming code in the suite; one long resid phase.",
+		Phases: []Phase{
+			{Name: "resid", Mix: mix(6, 1, 0, 30, 24, 1, 26, 8, 4), Length: 250_000,
+				MeanDepDist: 13, BranchPredictability: 0.99, WorkingSet: wsHuge, SeqFrac: 0.92},
+		},
+	},
+	{
+		Name: "mesa", CodeFootprint: 24 << 10, Suite: "SPEC",
+		Notes: "SPEC 177.mesa software OpenGL: mixed vertex-transform FP and integer rasterization with a large code footprint.",
+		Phases: []Phase{
+			{Name: "vertex", Mix: mix(18, 3, 0, 18, 16, 2, 22, 12, 9), Length: 112_500,
+				MeanDepDist: 7, BranchPredictability: 0.94, WorkingSet: wsMed, SeqFrac: 0.60},
+			{Name: "raster", Mix: mix(28, 4, 0, 10, 8, 1, 24, 14, 11), Length: 112_500,
+				MeanDepDist: 6, BranchPredictability: 0.92, WorkingSet: wsMed, SeqFrac: 0.70},
+		},
+	},
+
+	// ---------------------------------------------- MiBench-like (14)
+	{
+		Name: "bitcount", Suite: "MiBench",
+		Notes: "MiBench bitcount: tiny-footprint integer ALU kernel (bit tricks over an array); the paper's INT-intensive profiling representative.",
+		Phases: []Phase{
+			{Name: "count", Mix: mix(66, 2, 0, 0, 0, 0, 12, 4, 16), Length: 125_000,
+				MeanDepDist: 5, BranchPredictability: 0.95, WorkingSet: wsTiny, SeqFrac: 0.80},
+		},
+	},
+	{
+		Name: "sha", Suite: "MiBench",
+		Notes: "MiBench SHA-1: serial integer rounds with perfectly predictable loop control; dependence-bound.",
+		Phases: []Phase{
+			{Name: "rounds", Mix: mix(62, 3, 0, 0, 0, 0, 16, 9, 10), Length: 150_000,
+				MeanDepDist: 3, BranchPredictability: 0.98, WorkingSet: wsTiny, SeqFrac: 0.85},
+		},
+	},
+	{
+		Name: "CRC32", Suite: "MiBench",
+		Notes: "MiBench CRC32: byte-at-a-time table CRC — a tight predictable integer loop streaming its input; a Fig. 1 INT-core workload.",
+		Phases: []Phase{
+			{Name: "crc", Mix: mix(58, 0, 0, 0, 0, 0, 26, 2, 14), Length: 175_000,
+				MeanDepDist: 2.5, BranchPredictability: 0.99, WorkingSet: wsSmall, SeqFrac: 0.95},
+		},
+	},
+	{
+		Name: "adpcm_enc", Suite: "MiBench",
+		Notes: "MiBench ADPCM encoder: fixed-point DSP with short dependence chains and a small state footprint.",
+		Phases: []Phase{
+			{Name: "encode", Mix: mix(52, 4, 1, 0, 0, 0, 18, 10, 15), Length: 125_000,
+				MeanDepDist: 3, BranchPredictability: 0.91, WorkingSet: wsTiny, SeqFrac: 0.95},
+		},
+	},
+	{
+		Name: "adpcm_dec", Suite: "MiBench",
+		Notes: "MiBench ADPCM decoder: like the encoder, slightly lighter control.",
+		Phases: []Phase{
+			{Name: "decode", Mix: mix(54, 3, 0.5, 0, 0, 0, 17, 11, 14.5), Length: 125_000,
+				MeanDepDist: 3, BranchPredictability: 0.92, WorkingSet: wsTiny, SeqFrac: 0.95},
+		},
+	},
+	{
+		Name: "dijkstra", Suite: "MiBench",
+		Notes: "MiBench dijkstra: adjacency-matrix shortest paths — integer, pointer-ish access with poor locality at our cache sizes.",
+		Phases: []Phase{
+			{Name: "relax", Mix: mix(38, 1, 0, 0, 0, 0, 30, 8, 23), Length: 125_000,
+				MeanDepDist: 3, BranchPredictability: 0.88, WorkingSet: wsMed, SeqFrac: 0.15},
+		},
+	},
+	{
+		Name: "patricia", Suite: "MiBench",
+		Notes: "MiBench patricia trie routing-table lookups: pointer chasing with unpredictable branches.",
+		Phases: []Phase{
+			{Name: "lookup", Mix: mix(36, 0, 0, 0, 0, 0, 32, 8, 24), Length: 112_500,
+				MeanDepDist: 2.5, BranchPredictability: 0.84, WorkingSet: wsMed, SeqFrac: 0.10},
+		},
+	},
+	{
+		Name: "qsort", Suite: "MiBench",
+		Notes: "MiBench qsort: comparison sort — very branchy (50/50 compares modeled at 0.80 predictability) with partition-local access.",
+		Phases: []Phase{
+			{Name: "partition", Mix: mix(36, 1, 0, 2, 1, 0, 28, 10, 22), Length: 125_000,
+				MeanDepDist: 3.5, BranchPredictability: 0.80, WorkingSet: wsMed, SeqFrac: 0.30},
+		},
+	},
+	{
+		Name: "susan", Suite: "MiBench",
+		Notes: "MiBench susan image smoothing/corners: integer multiply-heavy pixel kernels with row-sequential access.",
+		Phases: []Phase{
+			{Name: "edges", Mix: mix(40, 8, 1, 3, 2, 0, 26, 8, 12), Length: 125_000,
+				MeanDepDist: 6, BranchPredictability: 0.93, WorkingSet: wsMed, SeqFrac: 0.75},
+			{Name: "corners", Mix: mix(44, 6, 0, 2, 1, 0, 26, 8, 13), Length: 87_500,
+				MeanDepDist: 5, BranchPredictability: 0.92, WorkingSet: wsMed, SeqFrac: 0.70},
+		},
+	},
+	{
+		Name: "blowfish", Suite: "MiBench",
+		Notes: "MiBench blowfish: Feistel cipher — serial integer rounds over tiny S-box state, perfectly predictable.",
+		Phases: []Phase{
+			{Name: "feistel", Mix: mix(58, 2, 0, 0, 0, 0, 22, 8, 10), Length: 150_000,
+				MeanDepDist: 2.8, BranchPredictability: 0.99, WorkingSet: wsTiny, SeqFrac: 0.60},
+		},
+	},
+	{
+		Name: "rijndael", Suite: "MiBench",
+		Notes: "MiBench rijndael (AES): table-lookup rounds; slightly bigger working set than blowfish, same character.",
+		Phases: []Phase{
+			{Name: "rounds", Mix: mix(54, 2, 0, 0, 0, 0, 28, 8, 8), Length: 150_000,
+				MeanDepDist: 3.2, BranchPredictability: 0.99, WorkingSet: wsSmall, SeqFrac: 0.40},
+		},
+	},
+	{
+		Name: "stringsearch", Suite: "MiBench",
+		Notes: "MiBench stringsearch: Boyer-Moore-ish scanning — branchy, load-heavy, tiny compute.",
+		Phases: []Phase{
+			{Name: "search", Mix: mix(40, 0, 0, 0, 0, 0, 28, 4, 28), Length: 100_000,
+				MeanDepDist: 3, BranchPredictability: 0.82, WorkingSet: wsSmall, SeqFrac: 0.65},
+		},
+	},
+	{
+		Name: "fft", Suite: "MiBench",
+		Notes: "MiBench FFT: radix-2 butterflies — balanced FP add/multiply with strided access; the forward transform.",
+		Phases: []Phase{
+			{Name: "butterfly", Mix: mix(14, 2, 0, 22, 24, 1, 22, 10, 5), Length: 125_000,
+				MeanDepDist: 8, BranchPredictability: 0.97, WorkingSet: wsMed, SeqFrac: 0.55},
+		},
+	},
+	{
+		// ffti interleaves bit-reversal/index bookkeeping (INT) with
+		// inverse-butterfly FP kernels — a "reasonable mix" program.
+		Name: "ffti", Suite: "MiBench",
+		Notes: "MiBench inverse FFT: bit-reversal bookkeeping (integer) alternating with inverse butterflies (FP) — a 'reasonable mix' profiling representative whose flavor flips inside a 2 ms quantum.",
+		Phases: []Phase{
+			{Name: "bitrev", Mix: mix(46, 4, 0, 2, 2, 0, 24, 10, 12), Length: 62_500,
+				MeanDepDist: 4, BranchPredictability: 0.92, WorkingSet: wsMed, SeqFrac: 0.30},
+			{Name: "ibutterfly", Mix: mix(12, 2, 0, 24, 22, 1, 22, 11, 6), Length: 100_000,
+				MeanDepDist: 8, BranchPredictability: 0.97, WorkingSet: wsMed, SeqFrac: 0.55},
+		},
+	},
+
+	// -------------------------------------------- MediaBench-like (1)
+	{
+		Name: "mpeg2_dec", CodeFootprint: 12 << 10, Suite: "MediaBench",
+		Notes: "MediaBench MPEG-2 decoder: IDCT blocks (integer/FP multiply mix) alternating with motion compensation (integer, memory-heavy).",
+		Phases: []Phase{
+			{Name: "idct", Mix: mix(26, 10, 0, 10, 12, 0, 22, 12, 8), Length: 87_500,
+				MeanDepDist: 6, BranchPredictability: 0.95, WorkingSet: wsMed, SeqFrac: 0.70},
+			{Name: "motion", Mix: mix(38, 6, 0, 2, 2, 0, 26, 14, 12), Length: 112_500,
+				MeanDepDist: 5, BranchPredictability: 0.93, WorkingSet: wsLarge, SeqFrac: 0.60},
+		},
+	},
+
+	// ------------------------------------------------- Synthetic (7)
+	{
+		Name: "intstress", Suite: "Synthetic",
+		Notes: "Synthetic: near-pure integer ALU/multiply pressure with high ILP and a tiny footprint — the Fig. 1 INT extreme.",
+		Phases: []Phase{
+			{Name: "alu", Mix: mix(72, 8, 2, 0, 0, 0, 8, 4, 6), Length: 125_000,
+				MeanDepDist: 6, BranchPredictability: 0.98, WorkingSet: wsTiny, SeqFrac: 0.90},
+		},
+	},
+	{
+		Name: "fpstress", Suite: "Synthetic",
+		Notes: "Synthetic: near-pure FP add/multiply/divide pressure with high ILP — the Fig. 1 FP extreme.",
+		Phases: []Phase{
+			{Name: "fpu", Mix: mix(2, 0, 0, 38, 34, 6, 10, 4, 6), Length: 125_000,
+				MeanDepDist: 12, BranchPredictability: 0.98, WorkingSet: wsTiny, SeqFrac: 0.90},
+		},
+	},
+	{
+		// pi: arctan series — FP div/mul bound inner loop with integer
+		// loop control; a classic mixed kernel.
+		Name: "pi", Suite: "Synthetic",
+		Notes: "Synthetic arctan-series pi: FP divide-bound inner loop under integer loop control; a mixed-profile representative.",
+		Phases: []Phase{
+			{Name: "series", Mix: mix(28, 4, 1, 18, 14, 8, 14, 6, 7), Length: 100_000,
+				MeanDepDist: 4, BranchPredictability: 0.99, WorkingSet: wsTiny, SeqFrac: 0.95},
+		},
+	},
+	{
+		Name: "memstress", Suite: "Synthetic",
+		Notes: "Synthetic pointer-chase over 4 MB with serial dependences: collapses IPC on any core; the morphing/guard experiments' 'parked thread'.",
+		Phases: []Phase{
+			{Name: "chase", Mix: mix(20, 0, 0, 0, 0, 0, 46, 22, 12), Length: 125_000,
+				MeanDepDist: 2, BranchPredictability: 0.97, WorkingSet: wsHuge, SeqFrac: 0.05},
+		},
+	},
+	{
+		Name: "branchstress", Suite: "Synthetic",
+		Notes: "Synthetic: 37% branches at 0.70 predictability — a front-end stress test for the misprediction path.",
+		Phases: []Phase{
+			{Name: "twisty", Mix: mix(40, 1, 0, 0, 0, 0, 16, 6, 37), Length: 100_000,
+				MeanDepDist: 3, BranchPredictability: 0.70, WorkingSet: wsSmall, SeqFrac: 0.50},
+		},
+	},
+	{
+		// mixstress flips flavor every 150k instructions — well inside
+		// a 2 ms interval. It is the adversarial case for coarse-grain
+		// scheduling and the showcase for the proposed scheme.
+		Name: "mixstress", Suite: "Synthetic",
+		Notes: "Synthetic phase flipper: INT-heavy and FP-heavy bursts alternating every ~37k instructions — far inside the 2 ms quantum; the showcase for fine-grained scheduling and the adversary for coarse schemes.",
+		Phases: []Phase{
+			{Name: "intburst", Mix: mix(64, 8, 1, 1, 1, 0, 10, 5, 10), Length: 37_500,
+				MeanDepDist: 5, BranchPredictability: 0.96, WorkingSet: wsTiny, SeqFrac: 0.85},
+			{Name: "fpburst", Mix: mix(5, 1, 0, 34, 30, 4, 12, 6, 8), Length: 37_500,
+				MeanDepDist: 8, BranchPredictability: 0.97, WorkingSet: wsTiny, SeqFrac: 0.85},
+		},
+	},
+	{
+		Name: "dotstress", Suite: "Synthetic",
+		Notes: "Synthetic dot-product streams: high-ILP FP multiply-add over a large sequential footprint; bandwidth-friendly due to stride-8 reuse within lines.",
+		Phases: []Phase{
+			{Name: "dot", Mix: mix(8, 1, 0, 28, 30, 0, 24, 4, 5), Length: 150_000,
+				MeanDepDist: 14, BranchPredictability: 0.99, WorkingSet: wsLarge, SeqFrac: 0.98},
+		},
+	},
+}
+
+var byName = func() map[string]*Benchmark {
+	m := make(map[string]*Benchmark, len(suite))
+	for _, b := range suite {
+		if _, dup := m[b.Name]; dup {
+			panic("workload: duplicate benchmark name " + b.Name)
+		}
+		m[b.Name] = b
+	}
+	return m
+}()
+
+// All returns the full 37-benchmark pool, sorted by name for
+// deterministic iteration.
+func All() []*Benchmark {
+	out := make([]*Benchmark, len(suite))
+	copy(out, suite)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the named benchmark or an error listing the problem.
+func ByName(name string) (*Benchmark, error) {
+	b, ok := byName[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+// MustByName is ByName for static names; it panics on unknown names.
+func MustByName(name string) *Benchmark {
+	b, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Representative returns the nine profiling benchmarks of §V/§VI-A:
+// three INT-intensive, three FP-intensive and three with a reasonable
+// mix of both.
+func Representative() []*Benchmark {
+	names := []string{
+		"bitcount", "sha", "intstress", // INT intensive
+		"fpstress", "equake", "ammp", // FP intensive
+		"apsi", "ffti", "pi", // mixed
+	}
+	out := make([]*Benchmark, len(names))
+	for i, n := range names {
+		out[i] = MustByName(n)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+
+	"ampsched/internal/isa"
+)
+
+// TestNonPowerOfTwoWorkingSet verifies addresses stay inside a working
+// set that is not a power of two (the generator masks to the next
+// power of two and then clamps).
+func TestNonPowerOfTwoWorkingSet(t *testing.T) {
+	b := &Benchmark{
+		Name:  "odd-ws",
+		Suite: "Synthetic",
+		Phases: []Phase{{
+			Name: "p", Mix: mix(20, 0, 0, 0, 0, 0, 50, 20, 10),
+			Length: 10_000, MeanDepDist: 3, BranchPredictability: 0.9,
+			WorkingSet: 96 << 10, // 96 KB: not a power of two
+			SeqFrac:    0.5,
+		}},
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(b, 1, 0)
+	var in isa.Instruction
+	for i := 0; i < 50_000; i++ {
+		g.Next(&in)
+		if in.Class.IsMem() && in.Addr >= 96<<10 {
+			t.Fatalf("address %#x outside 96K working set", in.Addr)
+		}
+	}
+}
+
+// TestStrideOverride verifies a custom stride drives the sequential
+// pointer.
+func TestStrideOverride(t *testing.T) {
+	b := &Benchmark{
+		Name:  "strided",
+		Suite: "Synthetic",
+		Phases: []Phase{{
+			Name: "p", Mix: mix(0, 0, 0, 0, 0, 0, 100, 0, 0),
+			Length: 1000, MeanDepDist: 1, BranchPredictability: 0.9,
+			WorkingSet: 1 << 16, SeqFrac: 1.0, Stride: 64,
+		}},
+	}
+	g := NewGenerator(b, 2, 0)
+	var in isa.Instruction
+	var prev uint64
+	sawStride := 0
+	for i := 0; i < 200; i++ {
+		g.Next(&in)
+		if i > 0 && in.Addr == prev+64 {
+			sawStride++
+		}
+		prev = in.Addr
+	}
+	if sawStride < 150 {
+		t.Fatalf("only %d/199 accesses advanced by the 64-byte stride", sawStride)
+	}
+}
+
+// TestTinyWorkingSetWraps ensures the sequential pointer wraps inside
+// very small working sets without escaping.
+func TestTinyWorkingSetWraps(t *testing.T) {
+	b := &Benchmark{
+		Name:  "tiny-ws",
+		Suite: "Synthetic",
+		Phases: []Phase{{
+			Name: "p", Mix: mix(0, 0, 0, 0, 0, 0, 100, 0, 0),
+			Length: 1000, MeanDepDist: 1, BranchPredictability: 0.9,
+			WorkingSet: 100, SeqFrac: 1.0, Stride: 16,
+		}},
+	}
+	g := NewGenerator(b, 3, 0)
+	var in isa.Instruction
+	for i := 0; i < 5_000; i++ {
+		g.Next(&in)
+		if in.Addr >= 100 {
+			t.Fatalf("address %d escaped the 100-byte working set", in.Addr)
+		}
+	}
+}
+
+// TestBranchPCStableWithinPhase confirms branch sites repeat (so real
+// predictors can learn them) and change across phases.
+func TestBranchPCStableWithinPhase(t *testing.T) {
+	b := MustByName("mixstress")
+	g := NewGenerator(b, 4, 0)
+	var in isa.Instruction
+	phase0Sites := map[uint64]bool{}
+	for g.PhaseIndex() == 0 {
+		g.Next(&in)
+		if in.Class == isa.Branch {
+			phase0Sites[in.Addr] = true
+		}
+	}
+	if len(phase0Sites) == 0 || len(phase0Sites) > branchSites {
+		t.Fatalf("phase 0 used %d branch sites, want 1..%d", len(phase0Sites), branchSites)
+	}
+	phase1New := 0
+	for g.PhaseIndex() == 1 {
+		g.Next(&in)
+		if in.Class == isa.Branch && !phase0Sites[in.Addr] {
+			phase1New++
+		}
+	}
+	if phase1New == 0 {
+		t.Fatal("phase 1 reused all of phase 0's branch sites; phases should have distinct code")
+	}
+}

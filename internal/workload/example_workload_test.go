@@ -1,0 +1,37 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"ampsched/internal/isa"
+	"ampsched/internal/workload"
+)
+
+// ExampleByName shows how to look up a benchmark model and inspect
+// its declared character.
+func ExampleByName() {
+	b, err := workload.ByName("mixstress")
+	if err != nil {
+		panic(err)
+	}
+	m := b.AverageMix()
+	fmt.Printf("%s (%s): flavor %s, %d phases\n", b.Name, b.Suite, b.Flavor(), len(b.Phases))
+	fmt.Printf("mixed: %v\n", m.IntFrac() > 0.25 && m.FPFrac() > 0.15)
+	// Output:
+	// mixstress (Synthetic): flavor MIX, 2 phases
+	// mixed: true
+}
+
+// ExampleNewGenerator streams a benchmark's instructions.
+func ExampleNewGenerator() {
+	g := workload.NewGenerator(workload.MustByName("sha"), 42, 0)
+	var in isa.Instruction
+	classes := map[isa.Class]int{}
+	for i := 0; i < 10_000; i++ {
+		g.Next(&in)
+		classes[in.Class]++
+	}
+	fmt.Printf("sha is integer-dominated: %v\n", classes[isa.IntALU] > 5_000)
+	// Output:
+	// sha is integer-dominated: true
+}

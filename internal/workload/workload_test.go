@@ -1,0 +1,364 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ampsched/internal/isa"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	all := All()
+	if len(all) != 37 {
+		t.Fatalf("pool has %d benchmarks, want 37", len(all))
+	}
+	counts := map[string]int{}
+	for _, b := range all {
+		counts[b.Suite]++
+	}
+	want := map[string]int{"SPEC": 15, "MiBench": 14, "MediaBench": 1, "Synthetic": 7}
+	for suite, n := range want {
+		if counts[suite] != n {
+			t.Errorf("suite %s has %d benchmarks, want %d", suite, counts[suite], n)
+		}
+	}
+}
+
+func TestAllValidate(t *testing.T) {
+	for _, b := range All() {
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestAllHaveProvenanceNotes(t *testing.T) {
+	for _, b := range All() {
+		if len(b.Notes) < 40 {
+			t.Errorf("%s: missing or too-short provenance notes", b.Name)
+		}
+	}
+}
+
+func TestAllSortedAndUnique(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Fatalf("All() not strictly sorted at %d: %s >= %s", i, all[i-1].Name, all[i].Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("gcc")
+	if err != nil || b.Name != "gcc" {
+		t.Fatalf("ByName(gcc) = %v, %v", b, err)
+	}
+	if _, err := ByName("no-such-benchmark"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByName did not panic")
+		}
+	}()
+	MustByName("nope")
+}
+
+func TestRepresentativeNine(t *testing.T) {
+	reps := Representative()
+	if len(reps) != 9 {
+		t.Fatalf("got %d representative benchmarks, want 9", len(reps))
+	}
+	flavors := map[string]int{}
+	for _, b := range reps {
+		flavors[b.Flavor()]++
+	}
+	if flavors["INT"] < 3 {
+		t.Errorf("want >=3 INT-flavored representatives, got %d", flavors["INT"])
+	}
+	if flavors["FP"]+flavors["MIX"] < 4 {
+		t.Errorf("want FP and mixed representatives, got %v", flavors)
+	}
+}
+
+func TestAverageMixSumsToOne(t *testing.T) {
+	for _, b := range All() {
+		m := b.AverageMix()
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s average mix: %v", b.Name, err)
+		}
+	}
+}
+
+func TestFlavorExamples(t *testing.T) {
+	cases := map[string]string{
+		"intstress": "INT",
+		"bitcount":  "INT",
+		"CRC32":     "INT",
+		"fpstress":  "FP",
+		"equake":    "FP",
+		"swim":      "FP",
+	}
+	for name, want := range cases {
+		if got := MustByName(name).Flavor(); got != want {
+			t.Errorf("%s flavor = %s, want %s", name, got, want)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	b := MustByName("gcc")
+	g1 := NewGenerator(b, 5, 0)
+	g2 := NewGenerator(b, 5, 0)
+	var i1, i2 isa.Instruction
+	for n := 0; n < 20000; n++ {
+		g1.Next(&i1)
+		g2.Next(&i2)
+		if i1 != i2 {
+			t.Fatalf("generators diverged at %d: %+v vs %+v", n, i1, i2)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	b := MustByName("gcc")
+	g1 := NewGenerator(b, 5, 0)
+	g2 := NewGenerator(b, 6, 0)
+	var i1, i2 isa.Instruction
+	same := 0
+	for n := 0; n < 1000; n++ {
+		g1.Next(&i1)
+		g2.Next(&i2)
+		if i1 == i2 {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("different seeds produced %d/1000 identical instructions", same)
+	}
+}
+
+func TestGeneratorMixConvergence(t *testing.T) {
+	// Single-phase benchmark: empirical class distribution must
+	// converge to the declared mix.
+	b := MustByName("intstress")
+	g := NewGenerator(b, 9, 0)
+	var in isa.Instruction
+	counts := [isa.NumClasses]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		g.Next(&in)
+		counts[in.Class]++
+	}
+	want := b.Phases[0].Mix
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		got := float64(counts[c]) / n
+		if math.Abs(got-want[c]) > 0.01 {
+			t.Errorf("class %s frequency %.3f, declared %.3f", c, got, want[c])
+		}
+	}
+}
+
+func TestGeneratorAddressesInWorkingSet(t *testing.T) {
+	const base = 1 << 40
+	b := MustByName("CRC32")
+	ws := b.Phases[0].WorkingSet
+	g := NewGenerator(b, 3, base)
+	var in isa.Instruction
+	for i := 0; i < 50000; i++ {
+		g.Next(&in)
+		if in.Class.IsMem() {
+			if in.Addr < base || in.Addr >= base+ws {
+				t.Fatalf("memory address %#x outside [%#x, %#x)", in.Addr, base, base+ws)
+			}
+		}
+	}
+}
+
+func TestGeneratorPhaseAdvance(t *testing.T) {
+	b := MustByName("mixstress") // two phases
+	g := NewGenerator(b, 1, 0)
+	var in isa.Instruction
+	if g.PhaseIndex() != 0 {
+		t.Fatalf("initial phase %d", g.PhaseIndex())
+	}
+	for i := uint64(0); i <= b.Phases[0].Length; i++ {
+		g.Next(&in)
+	}
+	if g.PhaseIndex() != 1 {
+		t.Fatalf("after phase 0 length, phase index %d", g.PhaseIndex())
+	}
+	// Wraps back to phase 0.
+	for i := uint64(0); i <= b.Phases[1].Length; i++ {
+		g.Next(&in)
+	}
+	if g.PhaseIndex() != 0 {
+		t.Fatalf("after full pass, phase index %d", g.PhaseIndex())
+	}
+}
+
+func TestGeneratorPhaseMixShift(t *testing.T) {
+	b := MustByName("mixstress")
+	g := NewGenerator(b, 2, 0)
+	var in isa.Instruction
+	countFP := func(n uint64) float64 {
+		fp := 0
+		for i := uint64(0); i < n; i++ {
+			g.Next(&in)
+			if in.Class.IsFP() {
+				fp++
+			}
+		}
+		return float64(fp) / float64(n)
+	}
+	intPhaseFP := countFP(b.Phases[0].Length)
+	fpPhaseFP := countFP(b.Phases[1].Length)
+	if intPhaseFP > 0.1 {
+		t.Errorf("int phase emitted %.2f FP fraction", intPhaseFP)
+	}
+	if fpPhaseFP < 0.5 {
+		t.Errorf("fp phase emitted only %.2f FP fraction", fpPhaseFP)
+	}
+}
+
+func TestGeneratorBranchBias(t *testing.T) {
+	b := MustByName("CRC32") // predictability 0.99
+	g := NewGenerator(b, 4, 0)
+	var in isa.Instruction
+	perSite := map[uint64][2]int{}
+	for i := 0; i < 200000; i++ {
+		g.Next(&in)
+		if in.Class == isa.Branch {
+			c := perSite[in.Addr]
+			if in.Taken {
+				c[0]++
+			}
+			c[1]++
+			perSite[in.Addr] = c
+		}
+	}
+	if len(perSite) == 0 {
+		t.Fatal("no branches generated")
+	}
+	for site, c := range perSite {
+		if c[1] < 50 {
+			continue
+		}
+		rate := float64(c[0]) / float64(c[1])
+		if rate > 0.05 && rate < 0.95 {
+			t.Errorf("site %#x taken rate %.2f; want strongly biased", site, rate)
+		}
+	}
+}
+
+func TestGeneratorDepDistances(t *testing.T) {
+	b := MustByName("gcc")
+	g := NewGenerator(b, 8, 0)
+	var in isa.Instruction
+	var sum, n float64
+	for i := 0; i < 100000; i++ {
+		g.Next(&in)
+		if in.Dep1 > 0 {
+			sum += float64(in.Dep1)
+			n++
+		}
+		if in.Dep1 < 0 || in.Dep2 < 0 {
+			t.Fatalf("negative dependency distance: %+v", in)
+		}
+	}
+	if n == 0 {
+		t.Fatal("no dependencies generated")
+	}
+	mean := sum / n
+	if mean < 2 || mean > 10 {
+		t.Errorf("mean dep distance %.1f outside plausible range for gcc", mean)
+	}
+}
+
+func TestValidateCatchesBadPhases(t *testing.T) {
+	good := Phase{
+		Name: "p", Mix: func() isa.Mix { m := isa.Mix{1}; m.Normalize(); return m }(),
+		Length: 100, MeanDepDist: 2, BranchPredictability: 0.9, WorkingSet: 1024, SeqFrac: 0.5,
+	}
+	cases := []func(*Phase){
+		func(p *Phase) { p.Length = 0 },
+		func(p *Phase) { p.BranchPredictability = 0.3 },
+		func(p *Phase) { p.BranchPredictability = 1.2 },
+		func(p *Phase) { p.WorkingSet = 0 },
+		func(p *Phase) { p.SeqFrac = -0.1 },
+		func(p *Phase) { p.SeqFrac = 1.5 },
+		func(p *Phase) { p.MeanDepDist = 0.5 },
+		func(p *Phase) { p.Mix = isa.Mix{0.5} },
+	}
+	for i, mutate := range cases {
+		p := good
+		mutate(&p)
+		b := &Benchmark{Name: "x", Suite: "Synthetic", Phases: []Phase{p}}
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid phase accepted", i)
+		}
+	}
+	if err := (&Benchmark{Name: "", Phases: []Phase{good}}).Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := (&Benchmark{Name: "x", Phases: nil}).Validate(); err == nil {
+		t.Error("no phases accepted")
+	}
+}
+
+func TestEffectiveCodeFootprint(t *testing.T) {
+	if got := MustByName("bitcount").EffectiveCodeFootprint(); got != DefaultCodeFootprint {
+		t.Errorf("default footprint = %d", got)
+	}
+	if got := MustByName("gcc").EffectiveCodeFootprint(); got != 48<<10 {
+		t.Errorf("gcc footprint = %d", got)
+	}
+}
+
+func TestTotalPhaseLength(t *testing.T) {
+	b := MustByName("mixstress")
+	var want uint64
+	for i := range b.Phases {
+		want += b.Phases[i].Length
+	}
+	if got := b.TotalPhaseLength(); got != want {
+		t.Fatalf("TotalPhaseLength = %d, want %d", got, want)
+	}
+}
+
+func TestQuickGeneratorAddressAligned(t *testing.T) {
+	b := MustByName("mcf")
+	f := func(seed uint64) bool {
+		g := NewGenerator(b, seed, 0)
+		var in isa.Instruction
+		for i := 0; i < 500; i++ {
+			g.Next(&in)
+			if in.Class.IsMem() && in.Addr%8 != 0 && in.Addr%uint64(b.Phases[0].Stride|8) != 0 {
+				// sequential pointers move by stride (default 8);
+				// random addresses are 8-aligned.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmittedCounts(t *testing.T) {
+	b := MustByName("pi")
+	g := NewGenerator(b, 1, 0)
+	var in isa.Instruction
+	for i := 0; i < 1234; i++ {
+		g.Next(&in)
+	}
+	if g.Emitted() != 1234 {
+		t.Fatalf("Emitted = %d", g.Emitted())
+	}
+}
