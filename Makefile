@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments experiments-paper fuzz clean
+.PHONY: all build vet test test-short test-race bench experiments experiments-paper fuzz fuzz-fault clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,10 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detect the short suite (exercises the parallel pair sweep).
+test-race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -31,6 +35,10 @@ experiments-paper:
 
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzRead -fuzztime 30s
+
+# Fuzz the fault plan's determinism invariant (same seed, same faults).
+fuzz-fault:
+	$(GO) test ./internal/fault -fuzz FuzzFaultPlan -fuzztime 30s
 
 clean:
 	$(GO) clean ./...

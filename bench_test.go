@@ -183,13 +183,19 @@ func BenchmarkAblationFairnessSwap(b *testing.B) {
 	}
 	var delta float64
 	for i := 0; i < b.N; i++ {
-		with := r.RunPair(0, pair, r.ProposedFactory())
-		without := r.RunPair(0, pair, func() amp.Scheduler {
+		with, err := r.RunPair(0, pair, r.ProposedFactory())
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err := r.RunPair(0, pair, func() amp.Scheduler {
 			cfg := sched.DefaultProposedConfig()
 			cfg.ForceInterval = opt.ContextSwitch
 			cfg.DisableForcedSwap = true
 			return sched.NewProposed(cfg)
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		cmp, err := metrics.Compare(with, without)
 		if err != nil {
 			b.Fatal(err)
@@ -214,8 +220,14 @@ func BenchmarkAblationHPEEstimator(b *testing.B) {
 	pair := experiments.RandomPairs(1, 3)[0]
 	var delta float64
 	for i := 0; i < b.N; i++ {
-		rm := r.RunPair(0, pair, r.HPEFactory(m))
-		rs := r.RunPair(0, pair, r.HPEFactory(s))
+		rm, err := r.RunPair(0, pair, r.HPEFactory(m))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, err := r.RunPair(0, pair, r.HPEFactory(s))
+		if err != nil {
+			b.Fatal(err)
+		}
 		cmp, err := metrics.Compare(rm, rs)
 		if err != nil {
 			b.Fatal(err)
@@ -266,14 +278,14 @@ func BenchmarkCoreSimulation(b *testing.B) {
 func BenchmarkDualCoreSystem(b *testing.B) {
 	t0 := amp.NewThread(0, workload.MustByName("gcc"), 1, 0)
 	t1 := amp.NewThread(1, workload.MustByName("equake"), 2, 1<<40)
-	sys := amp.NewSystem(
+	sys := amp.MustSystem(
 		[2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
 		[2]*amp.Thread{t0, t1},
 		sched.NewProposed(sched.DefaultProposedConfig()), amp.Config{})
 	b.ResetTimer()
 	chunk := uint64(10_000)
 	for i := 0; i < b.N; i++ {
-		sys.Run(uint64(i+1) * chunk / 10)
+		sys.MustRun(uint64(i+1) * chunk / 10)
 	}
 }
 

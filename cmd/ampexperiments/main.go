@@ -28,6 +28,9 @@ func main() {
 		overhead  = flag.Uint64("overhead", 0, "override swap overhead (cycles)")
 		seed      = flag.Uint64("seed", 0, "override RNG seed")
 		paper     = flag.Bool("paper", false, "use publication-scale parameters (slow)")
+		faultRate = flag.Float64("faultrate", 0, "inject monitor/swap faults at this uniform rate into every pair run (0 = off)")
+		faultSeed = flag.Uint64("faultseed", 1, "fault-plan seed (deterministic with -seed and -faultrate)")
+		budget    = flag.Uint64("cyclebudget", 0, "per-run cycle budget; an exhausted run is reported wedged (0 = off)")
 		verbose   = flag.Bool("v", false, "print progress lines to stderr")
 	)
 	flag.Parse()
@@ -58,6 +61,9 @@ func main() {
 	if *seed > 0 {
 		opt.Seed = *seed
 	}
+	opt.FaultRate = *faultRate
+	opt.FaultSeed = *faultSeed
+	opt.CycleBudget = *budget
 
 	r, err := experiments.NewRunner(opt)
 	if err != nil {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,8 @@ import (
 	"ampsched/internal/amp"
 	"ampsched/internal/cpu"
 	"ampsched/internal/experiments"
+	"ampsched/internal/fault"
+	"ampsched/internal/monitor"
 	"ampsched/internal/report"
 	"ampsched/internal/sched"
 	"ampsched/internal/workload"
@@ -34,6 +37,8 @@ func main() {
 		seed         = flag.Uint64("seed", 7, "workload seed")
 		profileLimit = flag.Uint64("profilelimit", 2_000_000, "instructions per profiling run (HPE schedulers)")
 		timeline     = flag.Uint64("timeline", 0, "record and print a timeline point every N cycles (0 = off)")
+		faultRate    = flag.Float64("faultrate", 0, "uniform fault-injection rate in [0,1]: monitor drop/stale/noise plus swap fail/delay (0 = off)")
+		faultSeed    = flag.Uint64("faultseed", 1, "fault-plan seed; runs are deterministic in (seed, faultseed, faultrate)")
 	)
 	flag.Parse()
 
@@ -95,17 +100,52 @@ func main() {
 	if factory != nil {
 		schedInst = factory()
 	}
-	sys := amp.NewSystem([2]*cpu.Config{runner.IntCfg, runner.FPCfg},
-		[2]*amp.Thread{t0, t1}, schedInst, amp.Config{SwapOverheadCycles: *overhead})
+	cfg := amp.Config{SwapOverheadCycles: *overhead}
+	var plan *fault.Plan
+	if *faultRate > 0 {
+		plan, err = fault.New(fault.Uniform(*faultRate, *faultSeed))
+		if err != nil {
+			fatal(err)
+		}
+		cfg.SwapInjector = plan
+		if inj, ok := schedInst.(sched.ObserverInjectable); ok {
+			var tag uint64
+			inj.SetObserver(func(window uint64) monitor.Observer {
+				tag++
+				return plan.Observer(monitor.NewWindowTracker(window), tag)
+			})
+		}
+	}
+	sys, err := amp.NewSystem([2]*cpu.Config{runner.IntCfg, runner.FPCfg},
+		[2]*amp.Thread{t0, t1}, schedInst, cfg)
+	if err != nil {
+		fatal(err)
+	}
 	if *timeline > 0 {
 		sys.EnableTimeline(*timeline)
 	}
-	res := sys.Run(*limit)
+	res, runErr := sys.Run(*limit)
+	if runErr != nil && !errors.Is(runErr, amp.ErrWedged) {
+		fatal(runErr)
+	}
 
 	t := &report.Table{
 		Title: fmt.Sprintf("%s + %s under %s (cycles=%d, swaps=%d, morphs=%d)",
 			a.Name, b.Name, res.Scheduler, res.Cycles, res.Swaps, res.Morphs),
 		Headers: []string{"thread", "benchmark", "committed", "IPC", "watts", "IPC/Watt", "%INT", "%FP"},
+	}
+	if runErr != nil {
+		t.Note = fmt.Sprintf("RUN WEDGED (partial results): %v", runErr)
+	}
+	if plan != nil {
+		st := plan.Stats()
+		note := fmt.Sprintf("faults injected: %d dropped / %d stale / %d noised samples, %d failed / %d delayed swaps",
+			st.SamplesDropped, st.SamplesStale, st.SamplesNoised, st.SwapsFailed, st.SwapsDelayed)
+		if t.Note != "" {
+			t.Note += "; " + note
+		} else {
+			t.Note = note
+		}
 	}
 	for i, tr := range res.Threads {
 		t.AddRow(fmt.Sprint(i), tr.Name, fmt.Sprint(tr.Committed),
@@ -113,8 +153,16 @@ func main() {
 			fmt.Sprintf("%.1f", tr.IntPct), fmt.Sprintf("%.1f", tr.FPPct))
 	}
 	if res.Sched.DecisionPoints > 0 {
-		t.Note = fmt.Sprintf("scheduler evaluated %d decision points, requested %d swaps",
+		note := fmt.Sprintf("scheduler evaluated %d decision points, requested %d swaps",
 			res.Sched.DecisionPoints, res.Sched.SwapRequests)
+		if res.FailedSwaps > 0 {
+			note += fmt.Sprintf(" (%d failed)", res.FailedSwaps)
+		}
+		if t.Note != "" {
+			t.Note += "; " + note
+		} else {
+			t.Note = note
+		}
 	}
 	if err := t.Fprint(os.Stdout); err != nil {
 		fatal(err)

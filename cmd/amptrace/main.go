@@ -81,12 +81,23 @@ func record(args []string) {
 		*n, b.Name, *out, st.Size(), float64(st.Size())/float64(*n))
 }
 
-func openTrace(path string) *trace.Source {
+func openTrace(path string, recover bool) *trace.Source {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
+	if recover {
+		src, st, err := trace.LoadRecover(f)
+		if err != nil {
+			fatal(err)
+		}
+		if st.Degraded() {
+			fmt.Fprintf(os.Stderr, "amptrace: recovered %d frames, dropped %d (%d records lost, %d bytes skipped)\n",
+				st.FramesOK, st.FramesDropped, st.RecordsLost, st.BytesSkipped)
+		}
+		return src
+	}
 	src, err := trace.Load(f)
 	if err != nil {
 		fatal(err)
@@ -96,11 +107,12 @@ func openTrace(path string) *trace.Source {
 
 func info(args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	rec := fs.Bool("recover", false, "skip damaged frames instead of failing on corruption")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		fatal(fmt.Errorf("info: expected one trace file"))
 	}
-	src := openTrace(fs.Arg(0))
+	src := openTrace(fs.Arg(0), *rec)
 	hdr := src.Header()
 	fmt.Printf("trace   %s\nname    %s\ncode    %d bytes\ncount   %d instructions\n",
 		fs.Arg(0), hdr.Name, hdr.CodeFootprint, hdr.Count)
@@ -134,11 +146,12 @@ func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	coreName := fs.String("core", "INT", "core to replay on: INT or FP")
 	limit := fs.Uint64("limit", 0, "instruction budget (default: one pass over the trace)")
+	rec := fs.Bool("recover", false, "skip damaged frames instead of failing on corruption")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		fatal(fmt.Errorf("replay: expected one trace file"))
 	}
-	src := openTrace(fs.Arg(0))
+	src := openTrace(fs.Arg(0), *rec)
 
 	var cfg *cpu.Config
 	switch *coreName {

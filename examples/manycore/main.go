@@ -39,7 +39,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "manycore:", err)
 			os.Exit(1)
 		}
-		res := sys.Run(400_000)
+		res := sys.MustRun(400_000)
 		fmt.Printf("%-8s reassigns=%-3d geomean IPC/Watt=%.4f  placement:", label, res.Reassigns, res.GeomeanIPCW())
 		for c := 0; c < sys.NumCores(); c++ {
 			fmt.Printf(" core%d(%s)=%s", c, sys.CoreConfig(c).Name, benches[sys.ThreadOnCore(c)].Name)

@@ -35,10 +35,10 @@ func main() {
 	run := func(label string, s amp.Scheduler) amp.Result {
 		t0 := amp.NewThread(0, a, 1, 0)
 		t1 := amp.NewThread(1, b, 2, 1<<40)
-		sys := amp.NewSystem(
+		sys := amp.MustSystem(
 			[2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
 			[2]*amp.Thread{t0, t1}, s, amp.Config{})
-		res := sys.Run(*limit)
+		res := sys.MustRun(*limit)
 		geo := math.Sqrt(res.Threads[0].IPCPerWatt * res.Threads[1].IPCPerWatt)
 		fmt.Printf("%-22s swaps=%-3d morphs=%-3d geomean IPC/Watt=%.4f", label, res.Swaps, res.Morphs, geo)
 		for i, tr := range res.Threads {

@@ -59,10 +59,10 @@ func main() {
 		tr := &tracer{inner: mk()}
 		t0 := amp.NewThread(0, workload.MustByName("mixstress"), 1, 0)
 		t1 := amp.NewThread(1, workload.MustByName("equake"), 2, 1<<40)
-		sys := amp.NewSystem(
+		sys := amp.MustSystem(
 			[2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
 			[2]*amp.Thread{t0, t1}, tr, amp.Config{})
-		res := sys.Run(limit)
+		res := sys.MustRun(limit)
 		fmt.Printf("\n%s: %d swaps over %d cycles\n", name, res.Swaps, res.Cycles)
 		for i, c := range tr.swaps {
 			if i >= 12 {

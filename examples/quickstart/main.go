@@ -28,8 +28,8 @@ func main() {
 	// instruction windows, history depth 5, Fig. 5 thresholds.
 	scheduler := sched.NewProposed(sched.DefaultProposedConfig())
 
-	system := amp.NewSystem(cores, [2]*amp.Thread{t0, t1}, scheduler, amp.Config{})
-	result := system.Run(500_000) // stop when either thread commits 500k
+	system := amp.MustSystem(cores, [2]*amp.Thread{t0, t1}, scheduler, amp.Config{})
+	result := system.MustRun(500_000) // stop when either thread commits 500k
 
 	fmt.Printf("ran %d cycles, %d thread swaps\n\n", result.Cycles, result.Swaps)
 	for i, tr := range result.Threads {

@@ -57,7 +57,8 @@ func main() {
 		Headers: []string{"scheme", "swaps", "IPCW(" + a.Name + ")", "IPCW(" + b.Name + ")", "geomean"},
 	}
 	for _, s := range schemes {
-		res := runner.RunPair(0, pair, s.factory)
+		res, err := runner.RunPair(0, pair, s.factory)
+		check(err)
 		geo := math.Sqrt(res.Threads[0].IPCPerWatt * res.Threads[1].IPCPerWatt)
 		t.AddRow(s.name, fmt.Sprint(res.Swaps),
 			report.F4(res.Threads[0].IPCPerWatt), report.F4(res.Threads[1].IPCPerWatt),

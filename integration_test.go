@@ -41,7 +41,7 @@ func TestProposedFixesMisplacedThreads(t *testing.T) {
 	run := func(a, b string, s amp.Scheduler) amp.Result {
 		t0 := amp.NewThread(0, workload.MustByName(a), 21, 0)
 		t1 := amp.NewThread(1, workload.MustByName(b), 22, 1<<40)
-		return amp.NewSystem(cores, [2]*amp.Thread{t0, t1}, s, amp.Config{}).Run(400_000)
+		return amp.MustSystem(cores, [2]*amp.Thread{t0, t1}, s, amp.Config{}).MustRun(400_000)
 	}
 
 	// Misplaced static: fpstress on INT, intstress on FP.
@@ -124,7 +124,10 @@ func TestSwapFractionTiny(t *testing.T) {
 	pairs := experiments.RandomPairs(6, 17)
 	var points, swaps uint64
 	for i, p := range pairs {
-		res := r.RunPair(i, p, r.ProposedFactory())
+		res, err := r.RunPair(i, p, r.ProposedFactory())
+		if err != nil {
+			t.Fatal(err)
+		}
 		points += res.Sched.DecisionPoints
 		swaps += res.Swaps
 	}
@@ -185,8 +188,14 @@ func TestCompareAgainstBothEstimators(t *testing.T) {
 		t.Fatal(err)
 	}
 	pair := experiments.Pair{A: workload.MustByName("gcc"), B: workload.MustByName("equake")}
-	rm := r.RunPair(0, pair, r.HPEFactory(m))
-	rs := r.RunPair(0, pair, r.HPEFactory(s))
+	rm, err := r.RunPair(0, pair, r.HPEFactory(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := r.RunPair(0, pair, r.HPEFactory(s))
+	if err != nil {
+		t.Fatal(err)
+	}
 	cmp, err := metrics.Compare(rm, rs)
 	if err != nil {
 		t.Fatal(err)

@@ -12,6 +12,7 @@
 package amp
 
 import (
+	"errors"
 	"fmt"
 
 	"ampsched/internal/cache"
@@ -22,6 +23,42 @@ import (
 
 // DefaultSwapOverheadCycles is the reconfiguration cost used in §VII.
 const DefaultSwapOverheadCycles = 1000
+
+// MaxOverheadCycles bounds the configurable reconfiguration overheads.
+// The paper sweeps swap overheads up to 1M cycles; anything beyond
+// this bound is a configuration mistake, not an experiment.
+const MaxOverheadCycles = 1 << 30
+
+// ErrWedged is the sentinel matched (via errors.Is) by every run
+// abort: a system that stops committing instructions, or one that
+// exhausts its cycle budget. The concrete error is a *WedgedError
+// carrying the state dump.
+var ErrWedged = errors.New("amp: wedged")
+
+// WedgedError reports a run that was aborted by the watchdog (no
+// commit progress) or by the cycle budget. It wraps ErrWedged.
+type WedgedError struct {
+	// Cycle is the global cycle at which the run was aborted.
+	Cycle uint64
+	// Window is the watchdog period (progress aborts) or the budget
+	// (budget aborts) in cycles.
+	Window uint64
+	// Reason distinguishes "no commit progress" from "cycle budget
+	// exhausted".
+	Reason string
+	// Detail is a free-form state dump (per-thread commit counts,
+	// in-flight instructions).
+	Detail string
+}
+
+// Error implements error.
+func (e *WedgedError) Error() string {
+	return fmt.Sprintf("amp: %s after %d cycles at cycle %d (%s)",
+		e.Reason, e.Window, e.Cycle, e.Detail)
+}
+
+// Unwrap makes errors.Is(err, ErrWedged) match.
+func (e *WedgedError) Unwrap() error { return ErrWedged }
 
 // ContextSwitchCycles is the 2 ms Linux scheduler quantum expressed in
 // cycles at 2 GHz — the decision interval of the HPE and Round Robin
@@ -73,6 +110,12 @@ type View interface {
 	// LastSwapCycle returns the cycle of the most recent swap (0 if
 	// none has happened).
 	LastSwapCycle() uint64
+	// SwapFailures returns the number of requested swaps the
+	// reconfiguration controller dropped (fault injection). A
+	// scheduler that requested a swap and sees this counter advance
+	// without LastSwapCycle moving must treat the request as lost and
+	// retry with backoff rather than assuming the new binding.
+	SwapFailures() uint64
 	// CoreConfig returns the configuration of a core; schedulers use
 	// Name to identify the INT and FP flavors.
 	CoreConfig(core int) *cpu.Config
@@ -103,6 +146,9 @@ type SchedulerStats struct {
 	DecisionPoints uint64
 	SwapRequests   uint64
 	Vetoes         uint64
+	// FailedRequests counts swap requests the scheduler observed to be
+	// dropped by the reconfiguration controller (fault injection).
+	FailedRequests uint64
 }
 
 // StatsReporter is implemented by schedulers that count decisions.
@@ -110,14 +156,84 @@ type StatsReporter interface {
 	SchedStats() SchedulerStats
 }
 
+// SwapOutcome is a fault injector's verdict on one swap request.
+type SwapOutcome struct {
+	// Fail drops the request: no rebinding happens and the system's
+	// SwapFailures counter advances.
+	Fail bool
+	// OverheadFactor multiplies the configured swap overhead for this
+	// swap (a delayed reconfiguration). Values <= 0 mean 1.
+	OverheadFactor float64
+}
+
+// SwapInjector decides the fate of each requested swap. A nil injector
+// means every swap succeeds at the configured overhead. Implemented by
+// fault.Plan for deterministic fault injection.
+type SwapInjector interface {
+	SwapOutcome(cycle uint64) SwapOutcome
+}
+
+// DefaultWatchdogCycles is the default progress-check period: a system
+// that commits nothing for this long is declared wedged.
+const DefaultWatchdogCycles = 8_000_000
+
 // Config holds the system-level knobs.
 type Config struct {
 	// SwapOverheadCycles freezes both cores for this long on a swap.
+	// 0 means DefaultSwapOverheadCycles.
 	SwapOverheadCycles uint64
 	// MorphOverheadCycles freezes both cores for this long on a core
 	// morph (defaults to SwapOverheadCycles: both are drain + rewire
 	// operations).
 	MorphOverheadCycles uint64
+	// WatchdogCycles is the progress-check period: Run returns a
+	// *WedgedError if no instruction commits for this long. 0 means
+	// DefaultWatchdogCycles.
+	WatchdogCycles uint64
+	// CycleBudget bounds one Run call's total cycles (0 = unlimited).
+	// A run that exceeds it returns a *WedgedError with the partial
+	// Result, so batch layers can report the pair as degraded instead
+	// of spinning forever.
+	CycleBudget uint64
+	// SwapInjector, when non-nil, is consulted on every swap request
+	// (fault injection: failed or delayed reconfigurations).
+	SwapInjector SwapInjector
+}
+
+// withDefaults resolves the zero-value knobs.
+func (c Config) withDefaults() Config {
+	if c.SwapOverheadCycles == 0 {
+		c.SwapOverheadCycles = DefaultSwapOverheadCycles
+	}
+	if c.MorphOverheadCycles == 0 {
+		c.MorphOverheadCycles = c.SwapOverheadCycles
+	}
+	if c.WatchdogCycles == 0 {
+		c.WatchdogCycles = DefaultWatchdogCycles
+	}
+	return c
+}
+
+// Validate reports the first nonsensical knob combination. It is
+// called on the defaults-resolved config by NewSystem.
+func (c *Config) Validate() error {
+	if c.SwapOverheadCycles > MaxOverheadCycles {
+		return fmt.Errorf("amp: swap overhead %d exceeds the maximum %d cycles",
+			c.SwapOverheadCycles, uint64(MaxOverheadCycles))
+	}
+	if c.MorphOverheadCycles > MaxOverheadCycles {
+		return fmt.Errorf("amp: morph overhead %d exceeds the maximum %d cycles",
+			c.MorphOverheadCycles, uint64(MaxOverheadCycles))
+	}
+	if c.CycleBudget > 0 && c.SwapOverheadCycles >= c.CycleBudget {
+		return fmt.Errorf("amp: swap overhead %d cycles does not fit the cycle budget %d",
+			c.SwapOverheadCycles, c.CycleBudget)
+	}
+	if c.CycleBudget > 0 && c.MorphOverheadCycles >= c.CycleBudget {
+		return fmt.Errorf("amp: morph overhead %d cycles does not fit the cycle budget %d",
+			c.MorphOverheadCycles, c.CycleBudget)
+	}
+	return nil
 }
 
 // System is the dual-core AMP.
@@ -131,6 +247,7 @@ type System struct {
 
 	cycle         uint64
 	swaps         uint64
+	swapFailures  uint64
 	morphs        uint64
 	morphed       bool
 	lastSwapCycle uint64
@@ -144,15 +261,18 @@ type System struct {
 
 // NewSystem wires two cores, two threads and a scheduler together.
 // Thread i starts on core i. sched may be nil (static assignment).
-func NewSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg Config) *System {
+// Zero-valued Config knobs take their documented defaults; nonsensical
+// combinations (see Config.Validate) are rejected with an error.
+func NewSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg Config) (*System, error) {
 	if threads[0] == nil || threads[1] == nil {
-		panic("amp: NewSystem needs two threads")
+		return nil, fmt.Errorf("amp: NewSystem needs two threads")
 	}
-	if cfg.SwapOverheadCycles == 0 {
-		cfg.SwapOverheadCycles = DefaultSwapOverheadCycles
+	if coreCfgs[0] == nil || coreCfgs[1] == nil {
+		return nil, fmt.Errorf("amp: NewSystem needs two core configurations")
 	}
-	if cfg.MorphOverheadCycles == 0 {
-		cfg.MorphOverheadCycles = cfg.SwapOverheadCycles
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	s := &System{
 		threads: threads,
@@ -167,6 +287,16 @@ func NewSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg
 	}
 	if sched != nil {
 		sched.Reset(s)
+	}
+	return s, nil
+}
+
+// MustSystem is NewSystem panicking on error: for examples, benchmarks
+// and tests where the configuration is statically known to be valid.
+func MustSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg Config) *System {
+	s, err := NewSystem(coreCfgs, threads, sched, cfg)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
@@ -198,6 +328,9 @@ func (s *System) ThreadEnergyNJ(thread int) float64 {
 
 // LastSwapCycle implements View.
 func (s *System) LastSwapCycle() uint64 { return s.lastSwapCycle }
+
+// SwapFailures implements View.
+func (s *System) SwapFailures() uint64 { return s.swapFailures }
 
 // CoreConfig implements View.
 func (s *System) CoreConfig(core int) *cpu.Config { return s.cores[core].Config() }
@@ -234,9 +367,27 @@ func (s *System) flushEnergy() {
 	}
 }
 
+// requestSwap routes a scheduler's swap request through the fault
+// injector (if any): the request may be dropped (SwapFailures
+// advances, nothing else happens) or delayed (overhead multiplied).
+func (s *System) requestSwap() {
+	factor := 1.0
+	if s.cfg.SwapInjector != nil {
+		out := s.cfg.SwapInjector.SwapOutcome(s.cycle)
+		if out.Fail {
+			s.swapFailures++
+			return
+		}
+		if out.OverheadFactor > 0 {
+			factor = out.OverheadFactor
+		}
+	}
+	s.swap(factor)
+}
+
 // swap exchanges the two threads between the cores, paying the
-// configured overhead.
-func (s *System) swap() {
+// configured overhead times factor (a delayed reconfiguration).
+func (s *System) swap(factor float64) {
 	s.flushEnergy() // attribute up to now under the old binding
 	s.cores[0].Unbind()
 	s.cores[1].Unbind()
@@ -244,9 +395,13 @@ func (s *System) swap() {
 	s.cores[0].Bind(s.threads[s.binding[0]].Gen, &s.threads[s.binding[0]].Arch)
 	s.cores[1].Bind(s.threads[s.binding[1]].Gen, &s.threads[s.binding[1]].Arch)
 	s.swaps++
+	overhead := s.cfg.SwapOverheadCycles
+	if factor != 1 {
+		overhead = uint64(float64(overhead) * factor)
+	}
 	// The swap lands at the end of cycle s.cycle (which already
 	// executed), so the frozen window is [cycle+1, cycle+overhead].
-	s.stallUntil = s.cycle + 1 + s.cfg.SwapOverheadCycles
+	s.stallUntil = s.cycle + 1 + overhead
 	// Swaps are dated from their completion: interval-based rules
 	// (forced fairness swaps, in particular) measure execution time
 	// since the threads actually started running on their new cores,
@@ -255,9 +410,8 @@ func (s *System) swap() {
 	s.lastSwapCycle = s.stallUntil
 }
 
-// watchdogWindow is the progress-check period; a system that commits
-// nothing for this long is wedged and panics with a state dump.
-const watchdogWindow = 8_000_000
+// watchdogWindow is the progress-check period used by solo runs.
+const watchdogWindow = DefaultWatchdogCycles
 
 // ThreadResult summarizes one thread after a run.
 type ThreadResult struct {
@@ -276,14 +430,28 @@ type Result struct {
 	Scheduler string
 	Cycles    uint64
 	Swaps     uint64
-	Morphs    uint64
-	Threads   [2]ThreadResult
-	Sched     SchedulerStats
+	// FailedSwaps counts requested swaps the injector dropped.
+	FailedSwaps uint64
+	Morphs      uint64
+	Threads     [2]ThreadResult
+	Sched       SchedulerStats
+}
+
+// stateDump renders the wedge-relevant state for WedgedError.Detail.
+func (s *System) stateDump() string {
+	return fmt.Sprintf("t0=%d t1=%d inflight=%d/%d",
+		s.threads[0].Arch.Committed, s.threads[1].Arch.Committed,
+		s.cores[0].InFlight(), s.cores[1].InFlight())
 }
 
 // Run advances the system until either thread has committed limit
-// instructions, then returns the per-thread metrics.
-func (s *System) Run(limit uint64) Result {
+// instructions, then returns the per-thread metrics. A system that
+// stops committing instructions for Config.WatchdogCycles, or runs
+// past Config.CycleBudget, aborts with a *WedgedError (matched by
+// errors.Is(err, ErrWedged)) alongside the partial Result, so callers
+// can report the run as degraded instead of hanging.
+func (s *System) Run(limit uint64) (Result, error) {
+	startCycle := s.cycle
 	lastProgressCycle := s.cycle
 	lastCommitted := s.threads[0].Arch.Committed + s.threads[1].Arch.Committed
 
@@ -296,7 +464,7 @@ func (s *System) Run(limit uint64) Result {
 			s.cores[1].Step(s.cycle)
 			if s.sched != nil {
 				if s.sched.Tick(s) {
-					s.swap()
+					s.requestSwap()
 				} else if mp, ok := s.sched.(MorphPolicy); ok {
 					switch act, strong := mp.MorphTick(s); {
 					case act == MorphOn && !s.morphed:
@@ -312,22 +480,42 @@ func (s *System) Run(limit uint64) Result {
 			s.recordTimeline()
 		}
 
-		if s.cycle-lastProgressCycle >= watchdogWindow {
+		if s.cfg.CycleBudget > 0 && s.cycle-startCycle >= s.cfg.CycleBudget {
+			return s.result(), &WedgedError{
+				Cycle: s.cycle, Window: s.cfg.CycleBudget,
+				Reason: "cycle budget exhausted", Detail: s.stateDump(),
+			}
+		}
+		if s.cycle-lastProgressCycle >= s.cfg.WatchdogCycles {
 			total := s.threads[0].Arch.Committed + s.threads[1].Arch.Committed
 			if total == lastCommitted {
-				panic(fmt.Sprintf(
-					"amp: no commit progress for %d cycles at cycle %d (t0=%d t1=%d inflight=%d/%d)",
-					watchdogWindow, s.cycle,
-					s.threads[0].Arch.Committed, s.threads[1].Arch.Committed,
-					s.cores[0].InFlight(), s.cores[1].InFlight()))
+				return s.result(), &WedgedError{
+					Cycle: s.cycle, Window: s.cfg.WatchdogCycles,
+					Reason: "no commit progress", Detail: s.stateDump(),
+				}
 			}
 			lastCommitted = total
 			lastProgressCycle = s.cycle
 		}
 	}
 
+	return s.result(), nil
+}
+
+// MustRun is Run panicking on a wedge: for examples, benchmarks and
+// tests where the workload is statically known to make progress.
+func (s *System) MustRun(limit uint64) Result {
+	res, err := s.Run(limit)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// result snapshots the per-thread metrics at the current cycle.
+func (s *System) result() Result {
 	s.flushEnergy()
-	res := Result{Cycles: s.cycle, Swaps: s.swaps, Morphs: s.morphs}
+	res := Result{Cycles: s.cycle, Swaps: s.swaps, FailedSwaps: s.swapFailures, Morphs: s.morphs}
 	if s.sched != nil {
 		res.Scheduler = s.sched.Name()
 		if sr, ok := s.sched.(StatsReporter); ok {

@@ -1,6 +1,7 @@
 package amp
 
 import (
+	"errors"
 	"testing"
 
 	"ampsched/internal/cpu"
@@ -45,8 +46,8 @@ func (s *swapEvery) Tick(v View) bool {
 }
 
 func TestRunReachesLimit(t *testing.T) {
-	sys := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 1), nil, Config{})
-	res := sys.Run(20_000)
+	sys := MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 1), nil, Config{})
+	res := sys.MustRun(20_000)
 	if res.Threads[0].Committed < 20_000 && res.Threads[1].Committed < 20_000 {
 		t.Fatalf("neither thread reached the limit: %+v", res)
 	}
@@ -59,8 +60,8 @@ func TestRunReachesLimit(t *testing.T) {
 }
 
 func TestResultMetricsPositive(t *testing.T) {
-	sys := NewSystem(coreCfgs(), newPair(t, "bitcount", "fpstress", 2), nil, Config{})
-	res := sys.Run(20_000)
+	sys := MustSystem(coreCfgs(), newPair(t, "bitcount", "fpstress", 2), nil, Config{})
+	res := sys.MustRun(20_000)
 	for i, tr := range res.Threads {
 		if tr.IPC <= 0 || tr.Watts <= 0 || tr.IPCPerWatt <= 0 || tr.EnergyNJ <= 0 {
 			t.Fatalf("thread %d metrics: %+v", i, tr)
@@ -75,8 +76,8 @@ func TestResultMetricsPositive(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
-	r1 := NewSystem(coreCfgs(), newPair(t, "gcc", "ammp", 3), &swapEvery{period: 5000}, Config{}).Run(15_000)
-	r2 := NewSystem(coreCfgs(), newPair(t, "gcc", "ammp", 3), &swapEvery{period: 5000}, Config{}).Run(15_000)
+	r1 := MustSystem(coreCfgs(), newPair(t, "gcc", "ammp", 3), &swapEvery{period: 5000}, Config{}).MustRun(15_000)
+	r2 := MustSystem(coreCfgs(), newPair(t, "gcc", "ammp", 3), &swapEvery{period: 5000}, Config{}).MustRun(15_000)
 	if r1.Cycles != r2.Cycles || r1.Swaps != r2.Swaps {
 		t.Fatalf("nondeterministic: %d/%d vs %d/%d cycles/swaps", r1.Cycles, r1.Swaps, r2.Cycles, r2.Swaps)
 	}
@@ -91,11 +92,11 @@ func TestDeterministicRuns(t *testing.T) {
 func TestSwapExchangesBinding(t *testing.T) {
 	threads := newPair(t, "gcc", "equake", 4)
 	s := &swapEvery{period: 3000}
-	sys := NewSystem(coreCfgs(), threads, s, Config{})
+	sys := MustSystem(coreCfgs(), threads, s, Config{})
 	if sys.ThreadOnCore(0) != 0 || sys.ThreadOnCore(1) != 1 {
 		t.Fatal("initial binding wrong")
 	}
-	res := sys.Run(10_000)
+	res := sys.MustRun(10_000)
 	if res.Swaps == 0 {
 		t.Fatal("no swaps happened")
 	}
@@ -113,8 +114,8 @@ func TestSwapOverheadStalls(t *testing.T) {
 	// More swaps with a big overhead must burn more cycles for the
 	// same work.
 	mk := func(overhead uint64) Result {
-		return NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 5),
-			&swapEvery{period: 4000}, Config{SwapOverheadCycles: overhead}).Run(15_000)
+		return MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 5),
+			&swapEvery{period: 4000}, Config{SwapOverheadCycles: overhead}).MustRun(15_000)
 	}
 	cheap := mk(1)
 	costly := mk(2000)
@@ -127,9 +128,9 @@ func TestSwapOverheadStalls(t *testing.T) {
 }
 
 func TestStallCyclesRecorded(t *testing.T) {
-	sys := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 6),
+	sys := MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 6),
 		&swapEvery{period: 4000}, Config{SwapOverheadCycles: 1000})
-	res := sys.Run(12_000)
+	res := sys.MustRun(12_000)
 	if res.Swaps == 0 {
 		t.Skip("no swaps, nothing to verify")
 	}
@@ -146,8 +147,8 @@ func TestEnergyAttributionSums(t *testing.T) {
 	// lost or double counted by migration accounting).
 	threads := newPair(t, "apsi", "gzip", 7)
 	s := &swapEvery{period: 3000}
-	sys := NewSystem(coreCfgs(), threads, s, Config{})
-	res := sys.Run(15_000)
+	sys := MustSystem(coreCfgs(), threads, s, Config{})
+	res := sys.MustRun(15_000)
 	_ = res
 	var coreTotal float64
 	for c := 0; c < 2; c++ {
@@ -163,7 +164,7 @@ func TestEnergyAttributionSums(t *testing.T) {
 
 func TestViewAccessors(t *testing.T) {
 	threads := newPair(t, "gcc", "equake", 8)
-	sys := NewSystem(coreCfgs(), threads, nil, Config{})
+	sys := MustSystem(coreCfgs(), threads, nil, Config{})
 	if sys.CoreConfig(0).Name != "INT" || sys.CoreConfig(1).Name != "FP" {
 		t.Fatal("core configs misplaced")
 	}
@@ -176,23 +177,131 @@ func TestViewAccessors(t *testing.T) {
 	if sys.LastSwapCycle() != 0 {
 		t.Fatal("LastSwapCycle nonzero before any swap")
 	}
-	sys.Run(3000)
+	sys.MustRun(3000)
 	if e := sys.ThreadEnergyNJ(0); e <= 0 {
 		t.Fatal("thread energy not flushed")
 	}
 }
 
 func TestNewSystemValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("nil thread accepted")
+	if _, err := NewSystem(coreCfgs(), [2]*Thread{nil, nil}, nil, Config{}); err == nil {
+		t.Fatal("nil threads accepted")
+	}
+	if _, err := NewSystem([2]*cpu.Config{nil, nil}, newPair(t, "gcc", "equake", 8), nil, Config{}); err == nil {
+		t.Fatal("nil core configs accepted")
+	}
+	bad := []Config{
+		{SwapOverheadCycles: MaxOverheadCycles + 1},
+		{MorphOverheadCycles: MaxOverheadCycles + 1},
+		{SwapOverheadCycles: 5000, CycleBudget: 5000},
+		{CycleBudget: 500}, // default overhead 1000 exceeds the budget
+	}
+	for i, cfg := range bad {
+		if _, err := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 8), nil, cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
 		}
-	}()
-	NewSystem(coreCfgs(), [2]*Thread{nil, nil}, nil, Config{})
+	}
+}
+
+// failEvery drops every nth swap request (counting from the first);
+// n == 0 never drops.
+type failEvery struct {
+	n     uint64
+	seen  uint64
+	delay float64 // OverheadFactor applied to surviving swaps
+}
+
+func (f *failEvery) SwapOutcome(cycle uint64) SwapOutcome {
+	f.seen++
+	if f.n > 0 && f.seen%f.n == 1 {
+		return SwapOutcome{Fail: true}
+	}
+	return SwapOutcome{OverheadFactor: f.delay}
+}
+
+func TestSwapInjectorDropsRequests(t *testing.T) {
+	inj := &failEvery{n: 2}
+	s := &swapEvery{period: 2500}
+	sys := MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 11), s,
+		Config{SwapOverheadCycles: 100, SwapInjector: inj})
+	res := sys.MustRun(12_000)
+	if res.FailedSwaps == 0 {
+		t.Fatal("injector never dropped a swap")
+	}
+	if res.Swaps == 0 {
+		t.Fatal("every swap dropped despite 50% fail rate")
+	}
+	if res.FailedSwaps != sys.SwapFailures() {
+		t.Fatalf("Result.FailedSwaps %d != View.SwapFailures %d",
+			res.FailedSwaps, sys.SwapFailures())
+	}
+	if res.Swaps+res.FailedSwaps != inj.seen {
+		t.Fatalf("swaps %d + failures %d != requests %d",
+			res.Swaps, res.FailedSwaps, inj.seen)
+	}
+}
+
+func TestSwapInjectorDelayMultipliesOverhead(t *testing.T) {
+	mk := func(delay float64) Result {
+		return MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 12),
+			&swapEvery{period: 4000},
+			Config{SwapOverheadCycles: 500,
+				SwapInjector: &failEvery{delay: delay}}).MustRun(15_000)
+	}
+	prompt := mk(1)
+	delayed := mk(4) // 2000-cycle stalls, still below the 4000-cycle period
+	if prompt.Swaps == 0 {
+		t.Fatal("no swaps in baseline")
+	}
+	if delayed.Cycles <= prompt.Cycles {
+		t.Fatalf("delayed reconfiguration did not slow the run: %d vs %d cycles",
+			delayed.Cycles, prompt.Cycles)
+	}
+}
+
+func TestCycleBudgetReturnsWedged(t *testing.T) {
+	sys := MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 13), nil,
+		Config{SwapOverheadCycles: 1, CycleBudget: 2000})
+	res, err := sys.Run(1 << 40) // far beyond the budget
+	if err == nil {
+		t.Fatal("budget overrun not reported")
+	}
+	if !errors.Is(err, ErrWedged) {
+		t.Fatalf("error %v does not match ErrWedged", err)
+	}
+	var we *WedgedError
+	if !errors.As(err, &we) {
+		t.Fatalf("error %T is not a *WedgedError", err)
+	}
+	if we.Reason != "cycle budget exhausted" || we.Window != 2000 {
+		t.Fatalf("unexpected wedge: %+v", we)
+	}
+	if res.Cycles < 2000 || res.Threads[0].Committed == 0 {
+		t.Fatalf("partial result missing: %+v", res)
+	}
+}
+
+func TestWatchdogReturnsWedged(t *testing.T) {
+	// An injector-free system with a swap overhead that keeps the cores
+	// frozen cannot be built (overhead validated against the budget),
+	// so wedge via an injector whose delay stretches one swap past the
+	// watchdog window.
+	sys := MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 14),
+		&swapEvery{period: 1000},
+		Config{SwapOverheadCycles: 10, WatchdogCycles: 5_000,
+			SwapInjector: &failEvery{delay: 100_000}})
+	_, err := sys.Run(1 << 40)
+	if !errors.Is(err, ErrWedged) {
+		t.Fatalf("watchdog did not fire: %v", err)
+	}
+	var we *WedgedError
+	if !errors.As(err, &we) || we.Reason != "no commit progress" {
+		t.Fatalf("unexpected wedge: %v", err)
+	}
 }
 
 func TestDefaultSwapOverheadApplied(t *testing.T) {
-	sys := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 9), nil, Config{})
+	sys := MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 9), nil, Config{})
 	if sys.cfg.SwapOverheadCycles != DefaultSwapOverheadCycles {
 		t.Fatalf("default overhead = %d", sys.cfg.SwapOverheadCycles)
 	}
@@ -214,8 +323,8 @@ func TestNewThreadGeometry(t *testing.T) {
 
 func TestSwapCountsMatchScheduler(t *testing.T) {
 	s := &swapEvery{period: 2500}
-	sys := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 10), s, Config{SwapOverheadCycles: 100})
-	res := sys.Run(12_000)
+	sys := MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 10), s, Config{SwapOverheadCycles: 100})
+	res := sys.MustRun(12_000)
 	// Roughly cycles/period swaps, modulo stall windows.
 	if res.Swaps == 0 {
 		t.Fatal("scheduler requests ignored")

@@ -29,8 +29,8 @@ func (p *scriptedMorph) MorphTick(v View) (MorphAction, int) {
 func TestMorphMechanics(t *testing.T) {
 	threads := newPair(t, "fpstress", "mcf", 41)
 	pol := &scriptedMorph{onAt: 10_000, offAt: 60_000, strong: 0}
-	sys := NewSystem(coreCfgs(), threads, pol, Config{SwapOverheadCycles: 500})
-	res := sys.Run(120_000)
+	sys := MustSystem(coreCfgs(), threads, pol, Config{SwapOverheadCycles: 500})
+	res := sys.MustRun(120_000)
 
 	if res.Morphs < 2 {
 		t.Fatalf("expected morph on+off, got %d morphs", res.Morphs)
@@ -54,8 +54,8 @@ func TestMorphPlacesStrongThread(t *testing.T) {
 	// Favor thread 1 (starts on the FP core) — the morph must also
 	// exchange the binding so thread 1 lands on the strong (INT) core.
 	pol := &scriptedMorph{onAt: 10_000, offAt: 1 << 62, strong: 1}
-	sys := NewSystem(coreCfgs(), threads, pol, Config{SwapOverheadCycles: 500})
-	sys.Run(60_000)
+	sys := MustSystem(coreCfgs(), threads, pol, Config{SwapOverheadCycles: 500})
+	sys.MustRun(60_000)
 
 	if !sys.Morphed() {
 		t.Fatal("system did not morph")
@@ -75,9 +75,9 @@ func TestMorphPlacesStrongThread(t *testing.T) {
 func TestMorphOverheadStalls(t *testing.T) {
 	threads := newPair(t, "gcc", "equake", 43)
 	pol := &scriptedMorph{onAt: 5_000, offAt: 1 << 62, strong: 0}
-	sys := NewSystem(coreCfgs(), threads, pol,
+	sys := MustSystem(coreCfgs(), threads, pol,
 		Config{SwapOverheadCycles: 100, MorphOverheadCycles: 5_000})
-	res := sys.Run(40_000)
+	res := sys.MustRun(40_000)
 	if res.Morphs == 0 {
 		t.Fatal("no morph happened")
 	}
@@ -88,7 +88,7 @@ func TestMorphOverheadStalls(t *testing.T) {
 }
 
 func TestMorphDefaultsToSwapOverhead(t *testing.T) {
-	sys := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 44), nil,
+	sys := MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 44), nil,
 		Config{SwapOverheadCycles: 777})
 	if sys.cfg.MorphOverheadCycles != 777 {
 		t.Fatalf("morph overhead default = %d", sys.cfg.MorphOverheadCycles)
@@ -104,8 +104,8 @@ func TestMorphMixedWorkloadGainsThroughput(t *testing.T) {
 	// is exactly what the swap-vs-morph experiment measures.
 	run := func(pol Scheduler) Result {
 		threads := newPair(t, "memstress", "mixstress", 45)
-		sys := NewSystem(coreCfgs(), threads, pol, Config{SwapOverheadCycles: 500})
-		return sys.Run(250_000)
+		sys := MustSystem(coreCfgs(), threads, pol, Config{SwapOverheadCycles: 500})
+		return sys.MustRun(250_000)
 	}
 	unmorphed := run(nil)
 	morphed := run(&scriptedMorph{onAt: 5_000, offAt: 1 << 62, strong: 1})

@@ -23,12 +23,12 @@ func TestNoForcedSwapStorm(t *testing.T) {
 	// Two INT-heavy threads: only the forced fairness swap can fire.
 	t0 := amp.NewThread(0, workload.MustByName("bitcount"), 1, 0)
 	t1 := amp.NewThread(1, workload.MustByName("sha"), 2, 1<<40)
-	sys := amp.NewSystem(
+	sys := amp.MustSystem(
 		[2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
 		[2]*amp.Thread{t0, t1}, s,
 		amp.Config{SwapOverheadCycles: 200_000}, // 4x the interval
 	)
-	res := sys.Run(150_000)
+	res := sys.MustRun(150_000)
 
 	// Each swap costs 200k stall + >=50k execution before the next
 	// can fire, so the bound is cycles / 250k (+1 slack).
@@ -49,10 +49,10 @@ func TestOverheadMonotoneCost(t *testing.T) {
 		t0 := amp.NewThread(0, workload.MustByName("fpstress"), 3, 0)
 		t1 := amp.NewThread(1, workload.MustByName("intstress"), 4, 1<<40)
 		s := sched.NewProposed(sched.DefaultProposedConfig())
-		sys := amp.NewSystem(
+		sys := amp.MustSystem(
 			[2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
 			[2]*amp.Thread{t0, t1}, s, amp.Config{SwapOverheadCycles: overhead})
-		return sys.Run(200_000)
+		return sys.MustRun(200_000)
 	}
 	cheap := run(100)
 	costly := run(100_000)

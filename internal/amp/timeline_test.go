@@ -7,9 +7,9 @@ import (
 func TestTimelineRecords(t *testing.T) {
 	threads := newPair(t, "gcc", "equake", 91)
 	s := &swapEvery{period: 30_000}
-	sys := NewSystem(coreCfgs(), threads, s, Config{SwapOverheadCycles: 100})
+	sys := MustSystem(coreCfgs(), threads, s, Config{SwapOverheadCycles: 100})
 	sys.EnableTimeline(20_000)
-	res := sys.Run(60_000)
+	res := sys.MustRun(60_000)
 
 	pts := sys.Timeline()
 	if len(pts) < 3 {
@@ -51,15 +51,15 @@ func TestTimelineRecords(t *testing.T) {
 }
 
 func TestTimelineDisabledByDefault(t *testing.T) {
-	sys := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 92), nil, Config{})
-	sys.Run(5_000)
+	sys := MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 92), nil, Config{})
+	sys.MustRun(5_000)
 	if sys.Timeline() != nil {
 		t.Fatal("timeline recorded without EnableTimeline")
 	}
 }
 
 func TestTimelineZeroIntervalPanics(t *testing.T) {
-	sys := NewSystem(coreCfgs(), newPair(t, "gcc", "equake", 93), nil, Config{})
+	sys := MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 93), nil, Config{})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("zero interval accepted")
@@ -71,9 +71,9 @@ func TestTimelineZeroIntervalPanics(t *testing.T) {
 func TestTimelineTracksBindingChanges(t *testing.T) {
 	threads := newPair(t, "gcc", "equake", 94)
 	s := &swapEvery{period: 25_000}
-	sys := NewSystem(coreCfgs(), threads, s, Config{SwapOverheadCycles: 100})
+	sys := MustSystem(coreCfgs(), threads, s, Config{SwapOverheadCycles: 100})
 	sys.EnableTimeline(25_000)
-	sys.Run(80_000)
+	sys.MustRun(80_000)
 	pts := sys.Timeline()
 	changed := false
 	for i := 1; i < len(pts); i++ {

@@ -77,8 +77,14 @@ func RunBaselines(r *Runner, w io.Writer) error {
 		r.progress("baselines: pair %d/%d %s", i+1, len(pairs), p.Label())
 		// Both static assignments; the better one is the oracle
 		// placement reference.
-		asGiven := r.RunPair(i+50_000, p, func() amp.Scheduler { return sched.Static{} })
-		flipped := r.RunPair(i+50_000, Pair{A: p.B, B: p.A}, func() amp.Scheduler { return sched.Static{} })
+		asGiven, err := r.RunPair(i+50_000, p, func() amp.Scheduler { return sched.Static{} })
+		if err != nil {
+			return err
+		}
+		flipped, err := r.RunPair(i+50_000, Pair{A: p.B, B: p.A}, func() amp.Scheduler { return sched.Static{} })
+		if err != nil {
+			return err
+		}
 		best := geoIPCW(asGiven)
 		if g := geoIPCW(flipped); g > best {
 			best = g
@@ -86,7 +92,10 @@ func RunBaselines(r *Runner, w io.Writer) error {
 		row := []string{p.Label(), "1.000"}
 		anyBeatsStatic := false
 		for si, s := range schemes {
-			res := r.RunPair(i+50_000, p, s.factory)
+			res, err := r.RunPair(i+50_000, p, s.factory)
+			if err != nil {
+				return err
+			}
 			norm := geoIPCW(res) / best
 			sums[si] += norm
 			if norm > 1 {

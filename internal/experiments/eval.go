@@ -56,7 +56,10 @@ func RunFig6(r *Runner, w io.Writer) error {
 	hpeRes := make([]amp.Result, len(pairs))
 	for i, p := range pairs {
 		r.progress("fig6: HPE reference %d/%d %s", i+1, len(pairs), p.Label())
-		hpeRes[i] = r.RunPair(i+10_000, p, r.HPEFactory(matrix))
+		hpeRes[i], err = r.RunPair(i+10_000, p, r.HPEFactory(matrix))
+		if err != nil {
+			return err
+		}
 	}
 
 	t := &report.Table{
@@ -81,7 +84,10 @@ func RunFig6(r *Runner, w io.Writer) error {
 					cfg.ForceInterval = r.Opt.ContextSwitch
 					return sched.NewProposed(cfg)
 				}
-				res := r.RunPair(i+10_000, p, factory)
+				res, err := r.RunPair(i+10_000, p, factory)
+				if err != nil {
+					return err
+				}
 				cmp, err := metrics.Compare(res, hpeRes[i])
 				if err != nil {
 					return err
@@ -158,6 +164,9 @@ func writePairTable(w io.Writer, title string, s *SweepResult, vsRR bool) error 
 	var wAll, gAll []float64
 	degraded := 0
 	for i := range s.Outcomes {
+		if s.Outcomes[i].Failed {
+			continue
+		}
 		c := pick(i)
 		wAll = append(wAll, c.WeightedPct)
 		gAll = append(gAll, c.GeoPct)
@@ -167,7 +176,15 @@ func writePairTable(w io.Writer, title string, s *SweepResult, vsRR bool) error 
 	}
 	t.Note = fmt.Sprintf("overall mean: weighted %s, geometric %s; %d/%d pairs degraded (%.1f%%)",
 		report.Pct(stats.Mean(wAll)), report.Pct(stats.Mean(gAll)),
-		degraded, len(s.Outcomes), 100*float64(degraded)/float64(len(s.Outcomes)))
+		degraded, len(wAll), 100*float64(degraded)/float64(len(wAll)))
+	if failed := s.Failed(); failed > 0 {
+		t.Note += fmt.Sprintf("; %d pair(s) FAILED and excluded:", failed)
+		for i := range s.Outcomes {
+			if s.Outcomes[i].Failed {
+				t.Note += fmt.Sprintf(" %s (%s)", s.Outcomes[i].Pair.Label(), s.Outcomes[i].Err)
+			}
+		}
+	}
 	return t.Fprint(w)
 }
 
@@ -213,11 +230,13 @@ func RunFig9(r *Runner, w io.Writer) error {
 		report.Pct(stats.Mean(stats.TopK(vsRR, 5))))
 
 	// Geometric means too (the paper quotes both).
-	gHPE := make([]float64, len(s.Outcomes))
-	gRR := make([]float64, len(s.Outcomes))
+	var gHPE, gRR []float64
 	for i := range s.Outcomes {
-		gHPE[i] = s.Outcomes[i].VsHPE.GeoPct
-		gRR[i] = s.Outcomes[i].VsRR.GeoPct
+		if s.Outcomes[i].Failed {
+			continue
+		}
+		gHPE = append(gHPE, s.Outcomes[i].VsHPE.GeoPct)
+		gRR = append(gRR, s.Outcomes[i].VsRR.GeoPct)
 	}
 	t.AddRow("average (geometric)", report.Pct(stats.Mean(gHPE)), report.Pct(stats.Mean(gRR)))
 
@@ -253,15 +272,25 @@ func RunOverhead(r *Runner, w io.Writer) error {
 	refs := make([]amp.Result, len(pairs))
 	for i, p := range pairs {
 		r.progress("overhead ref: pair %d/%d", i+1, len(pairs))
-		refs[i] = r.RunPairOverhead(i+20_000, p, r.ProposedFactory(), 1_000)
+		var err error
+		refs[i], err = r.RunPairOverhead(i+20_000, p, r.ProposedFactory(), 1_000)
+		if err != nil {
+			return err
+		}
 	}
 	for _, oh := range overheads {
 		var imps, selfs []float64
 		var swP, swH uint64
 		for i, p := range pairs {
 			r.progress("overhead %d: pair %d/%d", oh, i+1, len(pairs))
-			resP := r.RunPairOverhead(i+20_000, p, r.ProposedFactory(), oh)
-			resH := r.RunPairOverhead(i+20_000, p, r.HPEFactory(matrix), oh)
+			resP, err := r.RunPairOverhead(i+20_000, p, r.ProposedFactory(), oh)
+			if err != nil {
+				return err
+			}
+			resH, err := r.RunPairOverhead(i+20_000, p, r.HPEFactory(matrix), oh)
+			if err != nil {
+				return err
+			}
 			cmp, err := metrics.Compare(resP, resH)
 			if err != nil {
 				return err
@@ -293,6 +322,9 @@ func RunDecisions(r *Runner, w io.Writer) error {
 	}
 	var points, swaps uint64
 	for i := range s.Outcomes {
+		if s.Outcomes[i].Failed {
+			continue
+		}
 		points += s.Outcomes[i].Proposed.Sched.DecisionPoints
 		swaps += s.Outcomes[i].Proposed.Swaps
 	}
@@ -321,8 +353,14 @@ func RunRRInterval(r *Runner, w io.Writer) error {
 	var imps []float64
 	for i, p := range pairs {
 		r.progress("rrinterval: pair %d/%d %s", i+1, len(pairs), p.Label())
-		r1 := r.RunPair(i+30_000, p, r.RRFactory(1))
-		r2 := r.RunPair(i+30_000, p, r.RRFactory(2))
+		r1, err := r.RunPair(i+30_000, p, r.RRFactory(1))
+		if err != nil {
+			return err
+		}
+		r2, err := r.RunPair(i+30_000, p, r.RRFactory(2))
+		if err != nil {
+			return err
+		}
 		cmp, err := metrics.Compare(r1, r2)
 		if err != nil {
 			return err

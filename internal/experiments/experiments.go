@@ -20,7 +20,9 @@ import (
 
 	"ampsched/internal/amp"
 	"ampsched/internal/cpu"
+	"ampsched/internal/fault"
 	"ampsched/internal/metrics"
+	"ampsched/internal/monitor"
 	"ampsched/internal/profilegen"
 	"ampsched/internal/rng"
 	"ampsched/internal/sched"
@@ -58,6 +60,15 @@ type Options struct {
 	// execution is deterministic (results are keyed by pair index).
 	// 0 means GOMAXPROCS.
 	Parallelism int
+	// FaultRate, when positive, injects monitor and swap faults at
+	// this uniform rate into every pair run (see internal/fault).
+	FaultRate float64
+	// FaultSeed seeds the fault plans; runs are deterministic in
+	// (Seed, FaultSeed, FaultRate).
+	FaultSeed uint64
+	// CycleBudget, when positive, bounds every pair run's cycle count;
+	// a run that exhausts it is reported wedged instead of spinning.
+	CycleBudget uint64
 }
 
 // DefaultOptions returns the scaled-down defaults.
@@ -101,6 +112,9 @@ func (o *Options) Validate() error {
 	}
 	if o.RuleWindow == 0 || o.RulePairs <= 0 || o.SensitivityPairs <= 0 {
 		return fmt.Errorf("experiments: rule/sensitivity parameters must be positive")
+	}
+	if o.FaultRate < 0 || o.FaultRate > 1 {
+		return fmt.Errorf("experiments: FaultRate %g outside [0,1]", o.FaultRate)
 	}
 	return nil
 }
@@ -235,22 +249,56 @@ func (r *Runner) pairSeed(i, thread int) uint64 {
 	return r.Opt.Seed*1_000_003 + uint64(i)*64 + uint64(thread)
 }
 
-// RunPair executes one pair under the scheduler made by factory.
-func (r *Runner) RunPair(i int, p Pair, factory SchedFactory) amp.Result {
+// faultSeed derives a per-run fault-plan seed so the same pair index
+// always draws the same fault sequence.
+func (r *Runner) faultSeed(i int) uint64 {
+	return r.Opt.FaultSeed ^ (uint64(i)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
+}
+
+// RunPair executes one pair under the scheduler made by factory. A
+// wedged run (watchdog or cycle budget) or a panicking scheduler comes
+// back as an error, never as a crash.
+func (r *Runner) RunPair(i int, p Pair, factory SchedFactory) (amp.Result, error) {
 	return r.RunPairOverhead(i, p, factory, r.Opt.SwapOverhead)
 }
 
 // RunPairOverhead is RunPair with an explicit swap overhead (§VI-C).
-func (r *Runner) RunPairOverhead(i int, p Pair, factory SchedFactory, overhead uint64) amp.Result {
+func (r *Runner) RunPairOverhead(i int, p Pair, factory SchedFactory, overhead uint64) (res amp.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("experiments: pair %s panicked: %v", p.Label(), rec)
+		}
+	}()
 	t0 := amp.NewThread(0, p.A, r.pairSeed(i, 0), 0)
 	t1 := amp.NewThread(1, p.B, r.pairSeed(i, 1), 1<<40)
 	var s amp.Scheduler
 	if factory != nil {
 		s = factory()
 	}
-	sys := amp.NewSystem([2]*cpu.Config{r.IntCfg, r.FPCfg}, [2]*amp.Thread{t0, t1}, s,
-		amp.Config{SwapOverheadCycles: overhead})
-	return sys.Run(r.Opt.InstrLimit)
+	cfg := amp.Config{
+		SwapOverheadCycles: overhead,
+		CycleBudget:        r.Opt.CycleBudget,
+	}
+	if r.Opt.FaultRate > 0 {
+		plan := fault.MustNew(fault.Uniform(r.Opt.FaultRate, r.faultSeed(i)))
+		cfg.SwapInjector = plan
+		if inj, ok := s.(sched.ObserverInjectable); ok {
+			var tag uint64
+			inj.SetObserver(func(window uint64) monitor.Observer {
+				tag++
+				return plan.Observer(monitor.NewWindowTracker(window), tag)
+			})
+		}
+	}
+	sys, err := amp.NewSystem([2]*cpu.Config{r.IntCfg, r.FPCfg}, [2]*amp.Thread{t0, t1}, s, cfg)
+	if err != nil {
+		return amp.Result{}, fmt.Errorf("experiments: pair %s: %w", p.Label(), err)
+	}
+	res, err = sys.Run(r.Opt.InstrLimit)
+	if err != nil {
+		return res, fmt.Errorf("experiments: pair %s: %w", p.Label(), err)
+	}
+	return res, nil
 }
 
 // ProposedFactory builds the paper's default proposed scheduler with
@@ -281,7 +329,10 @@ func (r *Runner) RRFactory(multiple int) SchedFactory {
 	}
 }
 
-// PairOutcome bundles one pair's results under the three schemes.
+// PairOutcome bundles one pair's results under the three schemes. A
+// pair whose simulation wedged or panicked is flagged Failed with the
+// reason in Err; its numeric fields are whatever was salvaged and must
+// not enter aggregates.
 type PairOutcome struct {
 	Pair     Pair
 	Proposed amp.Result
@@ -290,6 +341,9 @@ type PairOutcome struct {
 
 	VsHPE metrics.PairComparison
 	VsRR  metrics.PairComparison
+
+	Failed bool
+	Err    string
 }
 
 // SweepResult is the main §VII dataset.
@@ -297,11 +351,35 @@ type SweepResult struct {
 	Outcomes []PairOutcome
 }
 
+// Failed counts the degraded (excluded) outcomes.
+func (s *SweepResult) Failed() int {
+	n := 0
+	for i := range s.Outcomes {
+		if s.Outcomes[i].Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// Completed returns the outcomes that finished cleanly, in pair order.
+func (s *SweepResult) Completed() []PairOutcome {
+	out := make([]PairOutcome, 0, len(s.Outcomes))
+	for i := range s.Outcomes {
+		if !s.Outcomes[i].Failed {
+			out = append(out, s.Outcomes[i])
+		}
+	}
+	return out
+}
+
 // Sweep runs (or returns the cached) main comparison: every random
 // pair under proposed, HPE(matrix) and Round Robin. Pairs execute on
 // a worker pool (Options.Parallelism); every simulation is
 // independent and seeded per pair, so the result is identical to a
-// sequential sweep.
+// sequential sweep. A pair whose run wedges or panics becomes a
+// degraded outcome (Failed set, reason in Err) — the remaining pairs
+// still complete, and Sweep only errors when every pair failed.
 func (r *Runner) Sweep() (*SweepResult, error) {
 	if r.sweep != nil {
 		return r.sweep, nil
@@ -322,10 +400,9 @@ func (r *Runner) Sweep() (*SweepResult, error) {
 	}
 
 	var (
-		wg       sync.WaitGroup
-		next     atomic.Int64
-		done     atomic.Int64
-		firstErr atomic.Value
+		wg   sync.WaitGroup
+		next atomic.Int64
+		done atomic.Int64
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -333,60 +410,87 @@ func (r *Runner) Sweep() (*SweepResult, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(pairs) || firstErr.Load() != nil {
+				if i >= len(pairs) {
 					return
 				}
 				p := pairs[i]
-				po := PairOutcome{Pair: p}
-				po.Proposed = r.RunPair(i, p, r.ProposedFactory())
-				po.HPE = r.RunPair(i, p, r.HPEFactory(matrix))
-				po.RR = r.RunPair(i, p, r.RRFactory(1))
-				var err error
-				po.VsHPE, err = metrics.Compare(po.Proposed, po.HPE)
-				if err == nil {
-					po.VsRR, err = metrics.Compare(po.Proposed, po.RR)
+				out.Outcomes[i] = r.runOutcome(i, p, matrix)
+				if e := out.Outcomes[i].Err; e != "" {
+					r.progress("pair %d/%d DEGRADED (%s): %s", done.Add(1), len(pairs), p.Label(), e)
+				} else {
+					r.progress("pair %d/%d done (%s)", done.Add(1), len(pairs), p.Label())
 				}
-				if err != nil {
-					firstErr.CompareAndSwap(nil, fmt.Errorf("pair %s: %w", p.Label(), err))
-					return
-				}
-				out.Outcomes[i] = po
-				r.progress("pair %d/%d done (%s)", done.Add(1), len(pairs), p.Label())
 			}
 		}()
 	}
 	wg.Wait()
-	if e := firstErr.Load(); e != nil {
-		return nil, e.(error)
+	if n := out.Failed(); n == len(pairs) {
+		return nil, fmt.Errorf("experiments: all %d pairs failed; first: %s", n, out.Outcomes[0].Err)
 	}
 	r.sweep = out
 	return out, nil
 }
 
-// WeightedVsHPE extracts the per-pair weighted improvements over HPE.
+// runOutcome executes one pair under the three schemes, downgrading
+// any failure to a flagged outcome.
+func (r *Runner) runOutcome(i int, p Pair, matrix *profilegen.RatioMatrix) PairOutcome {
+	po := PairOutcome{Pair: p}
+	fail := func(err error) PairOutcome {
+		po.Failed = true
+		po.Err = err.Error()
+		return po
+	}
+	var err error
+	if po.Proposed, err = r.RunPair(i, p, r.ProposedFactory()); err != nil {
+		return fail(err)
+	}
+	if po.HPE, err = r.RunPair(i, p, r.HPEFactory(matrix)); err != nil {
+		return fail(err)
+	}
+	if po.RR, err = r.RunPair(i, p, r.RRFactory(1)); err != nil {
+		return fail(err)
+	}
+	if po.VsHPE, err = metrics.Compare(po.Proposed, po.HPE); err != nil {
+		return fail(err)
+	}
+	if po.VsRR, err = metrics.Compare(po.Proposed, po.RR); err != nil {
+		return fail(err)
+	}
+	return po
+}
+
+// WeightedVsHPE extracts the per-pair weighted improvements over HPE,
+// excluding degraded pairs.
 func (s *SweepResult) WeightedVsHPE() []float64 {
-	out := make([]float64, len(s.Outcomes))
+	out := make([]float64, 0, len(s.Outcomes))
 	for i := range s.Outcomes {
-		out[i] = s.Outcomes[i].VsHPE.WeightedPct
+		if !s.Outcomes[i].Failed {
+			out = append(out, s.Outcomes[i].VsHPE.WeightedPct)
+		}
 	}
 	return out
 }
 
-// WeightedVsRR extracts the per-pair weighted improvements over RR.
+// WeightedVsRR extracts the per-pair weighted improvements over RR,
+// excluding degraded pairs.
 func (s *SweepResult) WeightedVsRR() []float64 {
-	out := make([]float64, len(s.Outcomes))
+	out := make([]float64, 0, len(s.Outcomes))
 	for i := range s.Outcomes {
-		out[i] = s.Outcomes[i].VsRR.WeightedPct
+		if !s.Outcomes[i].Failed {
+			out = append(out, s.Outcomes[i].VsRR.WeightedPct)
+		}
 	}
 	return out
 }
 
-// sortedByWeighted returns outcome indexes ascending by the chosen
-// weighted improvement.
+// sortedByWeighted returns completed-outcome indexes ascending by the
+// chosen weighted improvement; degraded pairs are excluded.
 func (s *SweepResult) sortedByWeighted(vsRR bool) []int {
-	idx := make([]int, len(s.Outcomes))
-	for i := range idx {
-		idx[i] = i
+	idx := make([]int, 0, len(s.Outcomes))
+	for i := range s.Outcomes {
+		if !s.Outcomes[i].Failed {
+			idx = append(idx, i)
+		}
 	}
 	sort.Slice(idx, func(a, b int) bool {
 		va, vb := s.Outcomes[idx[a]].VsHPE.WeightedPct, s.Outcomes[idx[b]].VsHPE.WeightedPct

@@ -238,8 +238,14 @@ func TestRunPairDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	pairs := RandomPairs(1, 3)
-	res1 := r.RunPair(0, pairs[0], r.RRFactory(1))
-	res2 := r.RunPair(0, pairs[0], r.RRFactory(1))
+	res1, err := r.RunPair(0, pairs[0], r.RRFactory(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := r.RunPair(0, pairs[0], r.RRFactory(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res1.Cycles != res2.Cycles || res1.Swaps != res2.Swaps {
 		t.Fatal("RunPair nondeterministic")
 	}

@@ -80,8 +80,14 @@ func RunExtension(r *Runner, w io.Writer) error {
 	var wImp, gImp []float64
 	for i, p := range pairs {
 		r.progress("extension: pair %d/%d %s", i+1, len(pairs), p.Label())
-		base := r.RunPair(i+40_000, p, r.ProposedFactory())
-		ext := r.RunPair(i+40_000, p, r.ProposedExtFactory())
+		base, err := r.RunPair(i+40_000, p, r.ProposedFactory())
+		if err != nil {
+			return err
+		}
+		ext, err := r.RunPair(i+40_000, p, r.ProposedExtFactory())
+		if err != nil {
+			return err
+		}
 		cmp, err := metrics.Compare(ext, base)
 		if err != nil {
 			return err

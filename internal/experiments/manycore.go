@@ -53,18 +53,27 @@ func RunManycore(r *Runner, w io.Writer) error {
 		seeds := []uint64{r.Opt.Seed*4096 + uint64(i*8), r.Opt.Seed*4096 + uint64(i*8+1),
 			r.Opt.Seed*4096 + uint64(i*8+2), r.Opt.Seed*4096 + uint64(i*8+3)}
 
-		run := func(s manycore.Scheduler) manycore.Result {
+		run := func(s manycore.Scheduler) (manycore.Result, error) {
 			sys, err := manycore.NewSystem(cfgs, benches, seeds, s, manycore.Config{
 				ReassignOverheadCycles: r.Opt.SwapOverhead,
 			})
 			if err != nil {
-				panic(err) // static inputs; programming error only
+				return manycore.Result{}, err
 			}
 			return sys.Run(limit)
 		}
-		static := run(manycore.Static{})
-		rotate := run(manycore.NewRotate(r.Opt.ContextSwitch))
-		rank := run(manycore.NewRank(manycore.DefaultRankConfig()))
+		static, err := run(manycore.Static{})
+		if err != nil {
+			return fmt.Errorf("manycore set %v static: %w", set, err)
+		}
+		rotate, err := run(manycore.NewRotate(r.Opt.ContextSwitch))
+		if err != nil {
+			return fmt.Errorf("manycore set %v rotate: %w", set, err)
+		}
+		rank, err := run(manycore.NewRank(manycore.DefaultRankConfig()))
+		if err != nil {
+			return fmt.Errorf("manycore set %v rank: %w", set, err)
+		}
 
 		base := static.GeomeanIPCW()
 		rankScores = append(rankScores, rank.GeomeanIPCW()/base)

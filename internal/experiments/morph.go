@@ -57,8 +57,14 @@ func RunMorph(r *Runner, w io.Writer) error {
 	var wImp, gImp []float64
 	for i, p := range pairs {
 		r.progress("morph: pair %d/%d %s", i+1, len(pairs), p.Label())
-		swapOnly := r.RunPair(i+60_000, p, r.ProposedFactory())
-		morph := r.RunPair(i+60_000, p, r.MorphingFactory())
+		swapOnly, err := r.RunPair(i+60_000, p, r.ProposedFactory())
+		if err != nil {
+			return err
+		}
+		morph, err := r.RunPair(i+60_000, p, r.MorphingFactory())
+		if err != nil {
+			return err
+		}
 		cmp, err := metrics.Compare(morph, swapOnly)
 		if err != nil {
 			return err

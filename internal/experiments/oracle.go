@@ -38,9 +38,18 @@ func RunOracle(r *Runner, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		resO := r.RunPair(i+70_000, p, func() amp.Scheduler { return oracle })
-		resP := r.RunPair(i+70_000, p, r.ProposedFactory())
-		resH := r.RunPair(i+70_000, p, r.HPEFactory(matrix))
+		resO, err := r.RunPair(i+70_000, p, func() amp.Scheduler { return oracle })
+		if err != nil {
+			return err
+		}
+		resP, err := r.RunPair(i+70_000, p, r.ProposedFactory())
+		if err != nil {
+			return err
+		}
+		resH, err := r.RunPair(i+70_000, p, r.HPEFactory(matrix))
+		if err != nil {
+			return err
+		}
 
 		cmpP, err := metrics.Compare(resP, resO)
 		if err != nil {

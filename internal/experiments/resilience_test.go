@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"ampsched/internal/amp"
+)
+
+// panicSched blows up on its first decision, simulating a buggy
+// scheduler plugin.
+type panicSched struct{}
+
+func (panicSched) Name() string         { return "panic" }
+func (panicSched) Reset(v amp.View)     {}
+func (panicSched) Tick(v amp.View) bool { panic("scheduler bug") }
+
+func TestRunPairRecoversPanic(t *testing.T) {
+	r, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RandomPairs(1, 3)[0]
+	_, err = r.RunPair(0, p, func() amp.Scheduler { return panicSched{} })
+	if err == nil {
+		t.Fatal("panicking scheduler did not surface as an error")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestRunPairCycleBudgetWedges(t *testing.T) {
+	opt := tinyOptions()
+	opt.CycleBudget = 10_000 // far below what 200k instructions need
+	r, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RandomPairs(1, 3)[0]
+	_, err = r.RunPair(0, p, r.RRFactory(1))
+	if err == nil {
+		t.Fatal("budget-starved run did not error")
+	}
+	var we *amp.WedgedError
+	if !errors.As(err, &we) {
+		t.Fatalf("error is not a WedgedError: %v", err)
+	}
+}
+
+// TestSweepDegradedPairStillCompletes drives one pair of the sweep
+// into the cycle-budget watchdog and checks the others still finish
+// with the wedged pair flagged, not the whole sweep aborted.
+func TestSweepDegradedPairStillCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r1, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := r1.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-pair worst-case cycle count over the three schemes.
+	need := make([]uint64, len(clean.Outcomes))
+	for i, o := range clean.Outcomes {
+		for _, res := range []amp.Result{o.Proposed, o.HPE, o.RR} {
+			if res.Cycles > need[i] {
+				need[i] = res.Cycles
+			}
+		}
+	}
+	sorted := append([]uint64{}, need...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if lo == hi {
+		t.Skip("all pairs need identical cycle counts; cannot split with a budget")
+	}
+	opt := tinyOptions()
+	opt.CycleBudget = (lo + hi) / 2
+
+	r2, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := r2.Sweep()
+	if err != nil {
+		t.Fatalf("sweep aborted instead of degrading: %v", err)
+	}
+	failed := sw.Failed()
+	if failed == 0 || failed == len(sw.Outcomes) {
+		t.Fatalf("expected a partial failure, got %d/%d", failed, len(sw.Outcomes))
+	}
+	for _, o := range sw.Outcomes {
+		if o.Failed && o.Err == "" {
+			t.Fatal("degraded outcome missing its reason")
+		}
+	}
+	if got := len(sw.Completed()); got != len(sw.Outcomes)-failed {
+		t.Fatalf("Completed() = %d, want %d", got, len(sw.Outcomes)-failed)
+	}
+	// Aggregation helpers must exclude the degraded pairs.
+	if len(sw.WeightedVsHPE()) != len(sw.Outcomes)-failed {
+		t.Fatal("WeightedVsHPE includes degraded pairs")
+	}
+}
+
+// TestResilienceDeterministic renders the resilience table twice and
+// requires byte-identical output: the whole fault-injection stack is
+// a pure function of (Seed, FaultSeed).
+func TestResilienceDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := tinyOptions()
+	opt.SensitivityPairs = 2
+	opt.InstrLimit = 120_000
+	opt.FaultSeed = 99
+	r, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := RunResilience(r, &b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunResilience(r, &b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.Len() == 0 {
+		t.Fatal("empty table")
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("resilience table not deterministic:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+}

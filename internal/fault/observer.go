@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"ampsched/internal/cpu"
+	"ampsched/internal/monitor"
+	"ampsched/internal/rng"
+)
+
+// FaultyObserver perturbs the samples of an inner monitor.Observer
+// before a scheduler sees them: whole windows may be dropped (the
+// counter read missed its deadline), replaced by the previous window's
+// values (a stale snapshot), or delivered with skewed composition
+// percentages (counter noise).
+//
+// The draw order per closed inner window is fixed — drop, then stale,
+// then two noise offsets — so the fault sequence is a pure function of
+// the stream seed and the sequence of closed windows.
+type FaultyObserver struct {
+	inner monitor.Observer
+	cfg   Config
+	rng   *rng.Source
+	stats *Stats
+
+	latest monitor.Sample // what the scheduler last saw
+	have   bool
+	prev   monitor.Sample // previous delivered sample, served when stale
+	hadOne bool
+}
+
+var _ monitor.Observer = (*FaultyObserver)(nil)
+
+// Window implements monitor.Observer.
+func (f *FaultyObserver) Window() uint64 { return f.inner.Window() }
+
+// Reset implements monitor.Observer. The fault stream is deliberately
+// NOT re-seeded: a mid-run Reset continues the plan's sequence.
+func (f *FaultyObserver) Reset(arch *cpu.ThreadArch) {
+	f.inner.Reset(arch)
+	f.latest, f.have = monitor.Sample{}, false
+	f.prev, f.hadOne = monitor.Sample{}, false
+}
+
+// Latest implements monitor.Observer: the most recent sample actually
+// delivered (post-fault), not the tracker's ground truth.
+func (f *FaultyObserver) Latest() (monitor.Sample, bool) { return f.latest, f.have }
+
+// Observe implements monitor.Observer.
+func (f *FaultyObserver) Observe(arch *cpu.ThreadArch) (monitor.Sample, bool) {
+	s, ok := f.inner.Observe(arch)
+	if !ok {
+		return monitor.Sample{}, false
+	}
+	if f.cfg.SampleDropRate > 0 && f.rng.Bool(f.cfg.SampleDropRate) {
+		f.stats.SamplesDropped++
+		return monitor.Sample{}, false
+	}
+	if f.cfg.SampleStaleRate > 0 && f.rng.Bool(f.cfg.SampleStaleRate) && f.hadOne {
+		f.stats.SamplesStale++
+		s = f.prev
+		s.WindowEnd = arch.Committed // the timestamp still advances
+	} else if f.cfg.SampleNoisePct > 0 {
+		s.IntPct = clampPct(s.IntPct + (f.rng.Float64()*2-1)*f.cfg.SampleNoisePct)
+		s.FPPct = clampPct(s.FPPct + (f.rng.Float64()*2-1)*f.cfg.SampleNoisePct)
+		f.stats.SamplesNoised++
+	}
+	f.prev, f.hadOne = s, true
+	f.latest, f.have = s, true
+	return s, true
+}
+
+func clampPct(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}

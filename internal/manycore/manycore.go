@@ -217,8 +217,11 @@ func (r *Result) GeomeanIPCW() float64 {
 	return math.Pow(prod, 1/n)
 }
 
-// Run advances until any thread commits limit instructions.
-func (s *System) Run(limit uint64) Result {
+// Run advances until any thread commits limit instructions. When no
+// thread makes commit progress for a full watchdog window the system
+// is wedged: Run returns the state so far plus a *amp.WedgedError
+// (match with errors.Is(err, amp.ErrWedged)).
+func (s *System) Run(limit uint64) (Result, error) {
 	watchLast := uint64(0)
 	watchCycle := s.cycle
 	for {
@@ -248,19 +251,36 @@ func (s *System) Run(limit uint64) Result {
 		}
 		s.cycle++
 
-		if s.cycle-watchCycle >= 8_000_000 {
+		if s.cycle-watchCycle >= amp.DefaultWatchdogCycles {
 			var total uint64
 			for _, t := range s.threads {
 				total += t.Arch.Committed
 			}
 			if total == watchLast {
-				panic(fmt.Sprintf("manycore: wedged at cycle %d", s.cycle))
+				return s.result(), &amp.WedgedError{
+					Cycle:  s.cycle,
+					Reason: "no commit progress",
+					Detail: fmt.Sprintf("manycore: %d threads, total committed %d", len(s.threads), total),
+				}
 			}
 			watchLast = total
 			watchCycle = s.cycle
 		}
 	}
+	return s.result(), nil
+}
 
+// MustRun is Run for callers that treat a wedged system as a bug.
+func (s *System) MustRun(limit uint64) Result {
+	res, err := s.Run(limit)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// result snapshots the run's outcome at the current cycle.
+func (s *System) result() Result {
 	s.flushEnergy()
 	res := Result{Cycles: s.cycle, Reassigns: s.reassigns, Scheduler: "static"}
 	if s.sched != nil {

@@ -52,7 +52,7 @@ func TestStaticRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sys.Run(60_000)
+	res := sys.MustRun(60_000)
 	if res.Reassigns != 0 {
 		t.Fatalf("static reassigned %d times", res.Reassigns)
 	}
@@ -76,7 +76,7 @@ func TestRotatePermutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sys.Run(80_000)
+	res := sys.MustRun(80_000)
 	if res.Reassigns == 0 {
 		t.Fatal("rotate never fired")
 	}
@@ -136,7 +136,7 @@ func TestRankFixesMisplacedQuad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sys.Run(150_000)
+	res := sys.MustRun(150_000)
 	if res.Reassigns == 0 {
 		t.Fatal("rank never reassigned a fully inverted placement")
 	}
@@ -155,7 +155,7 @@ func TestRankStableWhenWellPlaced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sys.Run(150_000)
+	res := sys.MustRun(150_000)
 	if res.Reassigns != 0 {
 		t.Fatalf("rank churned %d times on a well-placed quad", res.Reassigns)
 	}
@@ -171,7 +171,7 @@ func TestRankBeatsStaticOnInvertedQuad(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return sys.Run(250_000)
+		return sys.MustRun(250_000)
 	}
 	static := run(Static{})
 	rank := run(NewRank(DefaultRankConfig()))
@@ -190,7 +190,7 @@ func TestRankRejectsInvalidPermutationGracefully(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sys.Run(30_000)
+	res := sys.MustRun(30_000)
 	if res.Reassigns != 0 {
 		t.Fatal("invalid permutation applied")
 	}
@@ -211,7 +211,7 @@ func TestDeterministicRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return sys.Run(80_000)
+		return sys.MustRun(80_000)
 	}
 	a, b := run(), run()
 	if a.Cycles != b.Cycles || a.Reassigns != b.Reassigns {
@@ -238,7 +238,7 @@ func TestEightCoreScales(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sys.Run(100_000)
+	res := sys.MustRun(100_000)
 	if res.Reassigns == 0 {
 		t.Fatal("rank never reassigned an 8-core inverted placement")
 	}

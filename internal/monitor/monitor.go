@@ -21,6 +21,23 @@ type Sample struct {
 	FPPct     float64
 }
 
+// Observer is the sampling interface schedulers poll: a WindowTracker,
+// or a fault-injection wrapper around one (fault.FaultyObserver) that
+// perturbs the samples before the scheduler sees them.
+type Observer interface {
+	// Window returns the configured window size in committed
+	// instructions.
+	Window() uint64
+	// Reset re-arms the observer against a thread's current counters.
+	Reset(arch *cpu.ThreadArch)
+	// Observe polls the thread's counters and reports a closed window's
+	// sample, if any.
+	Observe(arch *cpu.ThreadArch) (Sample, bool)
+	// Latest returns the most recently reported sample and whether any
+	// has been reported yet.
+	Latest() (Sample, bool)
+}
+
 // WindowTracker watches one thread's committed-instruction counters
 // and reports a Sample each time a full window of committed
 // instructions has elapsed. The tracker is a pure observer: it reads
@@ -46,6 +63,8 @@ func NewWindowTracker(window uint64) *WindowTracker {
 
 // Window returns the configured window size.
 func (w *WindowTracker) Window() uint64 { return w.window }
+
+var _ Observer = (*WindowTracker)(nil)
 
 // Reset re-arms the tracker against a thread's current counters.
 func (w *WindowTracker) Reset(arch *cpu.ThreadArch) {

@@ -214,3 +214,96 @@ func TestQuickVoterMatchesCount(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- degraded-input coverage -----------------------------------------
+
+func TestWindowTrackerArchRollback(t *testing.T) {
+	// A counter that appears to move backwards (stale snapshot, or
+	// migration racing the read) must not close a window or wedge the
+	// tracker; the next forward progress past the edge recovers it.
+	w := NewWindowTracker(100)
+	arch := &cpu.ThreadArch{}
+	w.Reset(arch)
+	arch.Committed = 150
+	arch.CommittedByClass[isa.IntALU] = 150
+	if _, ok := w.Observe(arch); !ok {
+		t.Fatal("first window did not close")
+	}
+	// Rollback below the last total.
+	arch.Committed = 120
+	if _, ok := w.Observe(arch); ok {
+		t.Fatal("window closed on a rolled-back counter")
+	}
+	// Forward again past the next edge (150+100).
+	arch.Committed = 260
+	arch.CommittedByClass[isa.IntALU] = 260
+	if s, ok := w.Observe(arch); !ok || s.WindowEnd != 260 {
+		t.Fatalf("tracker did not recover: %+v ok=%v", s, ok)
+	}
+}
+
+func TestWindowTrackerEmptyCompositionWindow(t *testing.T) {
+	// A window whose class deltas are all zero (counters cleared by a
+	// migration) reports 0/0 composition rather than NaN.
+	w := NewWindowTracker(100)
+	arch := &cpu.ThreadArch{}
+	w.Reset(arch)
+	arch.Committed = 100 // no per-class attribution at all
+	s, ok := w.Observe(arch)
+	if !ok {
+		t.Fatal("window did not close")
+	}
+	if s.IntPct != 0 || s.FPPct != 0 {
+		t.Fatalf("empty window composition: %+v", s)
+	}
+	if s.IntPct != s.IntPct || s.FPPct != s.FPPct { // NaN check
+		t.Fatalf("NaN composition: %+v", s)
+	}
+}
+
+func TestVoterClearMidHistory(t *testing.T) {
+	// Clear in the middle of accumulating history must fully restart
+	// the vote: stale ring slots from before the Clear may never count
+	// toward a later majority.
+	v := NewVoter(5)
+	for i := 0; i < 4; i++ {
+		v.Push(true)
+	}
+	v.Clear()
+	if v.Len() != 0 {
+		t.Fatalf("Len %d after Clear", v.Len())
+	}
+	// Two fresh swap votes plus three stay votes fill the history; the
+	// pre-Clear true votes must not resurrect a majority.
+	v.Push(true)
+	v.Push(true)
+	v.Push(false)
+	v.Push(false)
+	v.Push(false)
+	if v.Majority() {
+		t.Fatal("stale pre-Clear votes counted toward majority")
+	}
+	// And a real majority still works after the Clear.
+	v.Push(true) // ring now holds true,false,false,false->true... fill fresh
+	v.Clear()
+	for i := 0; i < 5; i++ {
+		v.Push(i%2 == 0) // t,f,t,f,t = 3 true of 5
+	}
+	if !v.Majority() {
+		t.Fatal("majority lost after mid-history Clear")
+	}
+}
+
+func TestVoterAllDropoutWindows(t *testing.T) {
+	// When every window is dropped upstream the voter never fills and
+	// must keep answering "no majority" indefinitely without panicking.
+	v := NewVoter(5)
+	for i := 0; i < 1000; i++ {
+		if v.Majority() {
+			t.Fatal("majority from an empty history")
+		}
+	}
+	if v.Len() != 0 {
+		t.Fatalf("Len %d with no pushes", v.Len())
+	}
+}

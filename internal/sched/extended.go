@@ -64,14 +64,16 @@ type threadMemState struct {
 // ProposedExt is the proposed scheduler extended with the memory-
 // boundedness guard of §VII.
 type ProposedExt struct {
-	cfg      ExtendedConfig
-	trackers [2]*monitor.WindowTracker
-	voter    *monitor.Voter
-	mem      [2]threadMemState
-	stats    amp.SchedulerStats
-	vetoes   uint64
-	intCore  int
-	fpCore   int
+	cfg        ExtendedConfig
+	obsFactory func(window uint64) monitor.Observer
+	trackers   [2]monitor.Observer
+	voter      *monitor.Voter
+	mem        [2]threadMemState
+	stats      amp.SchedulerStats
+	retry      retryState
+	vetoes     uint64
+	intCore    int
+	fpCore     int
 }
 
 // NewProposedExt builds the extended scheduler.
@@ -92,11 +94,20 @@ func (p *ProposedExt) Config() ExtendedConfig { return p.cfg }
 // converted to stay votes.
 func (p *ProposedExt) Vetoes() uint64 { return p.vetoes }
 
+// SetObserver implements ObserverInjectable.
+func (p *ProposedExt) SetObserver(factory func(window uint64) monitor.Observer) {
+	p.obsFactory = factory
+}
+
 // Reset implements amp.Scheduler.
 func (p *ProposedExt) Reset(v amp.View) {
 	p.intCore, p.fpCore = coreIndexes(v)
 	for t := 0; t < 2; t++ {
-		p.trackers[t] = monitor.NewWindowTracker(p.cfg.Base.WindowSize)
+		if p.obsFactory != nil {
+			p.trackers[t] = p.obsFactory(p.cfg.Base.WindowSize)
+		} else {
+			p.trackers[t] = monitor.NewWindowTracker(p.cfg.Base.WindowSize)
+		}
 		p.trackers[t].Reset(v.Arch(t))
 		core := v.CoreOfThread(t)
 		p.mem[t] = threadMemState{
@@ -108,6 +119,7 @@ func (p *ProposedExt) Reset(v amp.View) {
 	}
 	p.voter = monitor.NewVoter(p.cfg.Base.HistoryDepth)
 	p.stats = amp.SchedulerStats{}
+	p.retry.reset(p.cfg.Base.RetryBackoffCycles, p.cfg.Base.ForceInterval, v)
 	p.vetoes = 0
 }
 
@@ -115,6 +127,7 @@ func (p *ProposedExt) Reset(v amp.View) {
 func (p *ProposedExt) SchedStats() amp.SchedulerStats {
 	st := p.stats
 	st.Vetoes = p.vetoes
+	st.FailedRequests = p.retry.failed
 	return st
 }
 
@@ -179,6 +192,7 @@ func (p *ProposedExt) Tick(v amp.View) bool {
 		return false
 	}
 	p.stats.DecisionPoints++
+	p.retry.observe(v)
 
 	base := &p.cfg.Base
 	// Rule 2(i): the thread on the FP core surged in INT work. The
@@ -199,10 +213,13 @@ func (p *ProposedExt) Tick(v amp.View) bool {
 		p.vetoes++
 	}
 	p.voter.Push(intSurge || fpSurge)
-	if p.voter.Majority() {
+	if p.voter.Majority() && !p.retry.holdoff(v.Cycle()) {
 		p.stats.SwapRequests++
 		p.voter.Clear()
 		return true
+	}
+	if p.retry.holdoff(v.Cycle()) {
+		return false
 	}
 
 	if !base.DisableForcedSwap && v.Cycle()-v.LastSwapCycle() >= base.ForceInterval {
@@ -219,3 +236,4 @@ func (p *ProposedExt) Tick(v amp.View) bool {
 
 var _ amp.Scheduler = (*ProposedExt)(nil)
 var _ amp.StatsReporter = (*ProposedExt)(nil)
+var _ ObserverInjectable = (*ProposedExt)(nil)

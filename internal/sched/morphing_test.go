@@ -139,10 +139,10 @@ func TestMorphingEndToEnd(t *testing.T) {
 	m := NewMorphing(cfg)
 	t0 := amp.NewThread(0, workload.MustByName("memstress"), 51, 0)
 	t1 := amp.NewThread(1, workload.MustByName("fpstress"), 52, 1<<40)
-	sys := amp.NewSystem(
+	sys := amp.MustSystem(
 		[2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
 		[2]*amp.Thread{t0, t1}, m, amp.Config{})
-	res := sys.Run(400_000)
+	res := sys.MustRun(400_000)
 	if res.Morphs == 0 {
 		t.Fatal("policy never morphed on a collapsed+hot pair")
 	}

@@ -27,6 +27,11 @@ type ProposedConfig struct {
 	FPLow   float64 // %FP on FP core at/below which it can give it up
 	// DisableForcedSwap turns off Fig. 5 step 3 (ablation).
 	DisableForcedSwap bool
+	// RetryBackoffCycles is the initial hold-off after an observed
+	// swap-request failure (fault injection); it doubles per
+	// consecutive failure up to ForceInterval. 0 means
+	// DefaultRetryBackoffCycles.
+	RetryBackoffCycles uint64
 }
 
 // DefaultProposedConfig returns the paper's chosen operating point.
@@ -68,12 +73,14 @@ func (c *ProposedConfig) Validate() error {
 // monitor (per-thread commit-window composition trackers) plus a
 // performance predictor (threshold rules + majority history vote).
 type Proposed struct {
-	cfg      ProposedConfig
-	trackers [2]*monitor.WindowTracker // indexed by thread
-	voter    *monitor.Voter
-	stats    amp.SchedulerStats
-	intCore  int
-	fpCore   int
+	cfg        ProposedConfig
+	obsFactory func(window uint64) monitor.Observer
+	trackers   [2]monitor.Observer // indexed by thread
+	voter      *monitor.Voter
+	stats      amp.SchedulerStats
+	retry      retryState
+	intCore    int
+	fpCore     int
 }
 
 // NewProposed builds the scheduler; cfg is validated.
@@ -90,19 +97,33 @@ func (p *Proposed) Name() string { return "proposed" }
 // Config returns the scheduler's configuration.
 func (p *Proposed) Config() ProposedConfig { return p.cfg }
 
+// SetObserver implements ObserverInjectable.
+func (p *Proposed) SetObserver(factory func(window uint64) monitor.Observer) {
+	p.obsFactory = factory
+}
+
 // Reset implements amp.Scheduler.
 func (p *Proposed) Reset(v amp.View) {
 	p.intCore, p.fpCore = coreIndexes(v)
 	for t := 0; t < 2; t++ {
-		p.trackers[t] = monitor.NewWindowTracker(p.cfg.WindowSize)
+		if p.obsFactory != nil {
+			p.trackers[t] = p.obsFactory(p.cfg.WindowSize)
+		} else {
+			p.trackers[t] = monitor.NewWindowTracker(p.cfg.WindowSize)
+		}
 		p.trackers[t].Reset(v.Arch(t))
 	}
 	p.voter = monitor.NewVoter(p.cfg.HistoryDepth)
 	p.stats = amp.SchedulerStats{}
+	p.retry.reset(p.cfg.RetryBackoffCycles, p.cfg.ForceInterval, v)
 }
 
 // SchedStats implements amp.StatsReporter.
-func (p *Proposed) SchedStats() amp.SchedulerStats { return p.stats }
+func (p *Proposed) SchedStats() amp.SchedulerStats {
+	st := p.stats
+	st.FailedRequests = p.retry.failed
+	return st
+}
 
 // Tick implements amp.Scheduler. A tentative decision is made at the
 // end of every committed-instruction window; the reconfiguration
@@ -125,14 +146,20 @@ func (p *Proposed) Tick(v amp.View) bool {
 		return false // need one full window from each thread first
 	}
 	p.stats.DecisionPoints++
+	p.retry.observe(v)
 
-	// Fig. 5 step 2: swap helps both threads.
+	// Fig. 5 step 2: swap helps both threads. The majority vote keeps
+	// accumulating during a failure hold-off, so the request re-fires
+	// as soon as the backoff expires (retry, not abandonment).
 	tentative := (sFP.IntPct >= p.cfg.IntHigh && sINT.IntPct <= p.cfg.IntLow) ||
 		(sINT.FPPct >= p.cfg.FPHigh && sFP.FPPct <= p.cfg.FPLow)
 	p.voter.Push(tentative)
-	if p.voter.Majority() {
+	if p.voter.Majority() && !p.retry.holdoff(v.Cycle()) {
 		p.requestSwap()
 		return true
+	}
+	if p.retry.holdoff(v.Cycle()) {
+		return false
 	}
 
 	// Fig. 5 step 3: fairness swap when both threads share a flavor
@@ -152,3 +179,6 @@ func (p *Proposed) requestSwap() {
 	p.stats.SwapRequests++
 	p.voter.Clear()
 }
+
+var _ amp.Scheduler = (*Proposed)(nil)
+var _ ObserverInjectable = (*Proposed)(nil)

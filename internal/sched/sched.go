@@ -15,7 +15,78 @@
 // system's per-cycle Tick.
 package sched
 
-import "ampsched/internal/amp"
+import (
+	"ampsched/internal/amp"
+	"ampsched/internal/monitor"
+)
+
+// ObserverInjectable is implemented by schedulers whose hardware
+// monitors can be replaced — typically wrapped by a fault.Plan so the
+// scheduler sees noisy, dropped or stale samples. SetObserver must be
+// called before the scheduler's Reset (i.e. before amp.NewSystem); the
+// factory is invoked once per thread, in thread order.
+type ObserverInjectable interface {
+	SetObserver(factory func(window uint64) monitor.Observer)
+}
+
+// DefaultRetryBackoffCycles is the initial hold-off after a scheduler
+// observes its swap request dropped by the reconfiguration controller.
+const DefaultRetryBackoffCycles = 25_000
+
+// retryState implements the retry-with-backoff contract of
+// amp.View.SwapFailures: when the failure counter advances, the
+// scheduler holds off further swap requests for an exponentially
+// growing window (reset by the first successful swap) instead of
+// hammering a controller that is refusing reconfigurations.
+type retryState struct {
+	base    uint64
+	max     uint64
+	backoff uint64 // current hold-off width; 0 when healthy
+	until   uint64 // no requests before this cycle
+
+	seenFailures uint64
+	seenSwap     uint64
+	failed       uint64 // total dropped requests observed
+}
+
+// reset arms the state against the view's current counters.
+func (r *retryState) reset(base, max uint64, v amp.View) {
+	if base == 0 {
+		base = DefaultRetryBackoffCycles
+	}
+	if max < base {
+		max = base * 64
+	}
+	*r = retryState{base: base, max: max,
+		seenFailures: v.SwapFailures(), seenSwap: v.LastSwapCycle()}
+}
+
+// observe folds in the view's swap counters; call once per decision
+// point, before consulting holdoff.
+func (r *retryState) observe(v amp.View) {
+	if sc := v.LastSwapCycle(); sc != r.seenSwap {
+		// A swap went through: the controller is healthy again.
+		r.seenSwap = sc
+		r.backoff = 0
+		r.until = 0
+	}
+	if f := v.SwapFailures(); f != r.seenFailures {
+		r.failed += f - r.seenFailures
+		r.seenFailures = f
+		if r.backoff == 0 {
+			r.backoff = r.base
+		} else if r.backoff < r.max {
+			r.backoff *= 2
+			if r.backoff > r.max {
+				r.backoff = r.max
+			}
+		}
+		r.until = v.Cycle() + r.backoff
+	}
+}
+
+// holdoff reports whether swap requests are currently suppressed.
+func (r *retryState) holdoff(cycle uint64) bool { return cycle < r.until }
 
 // coreIndexes returns (intCore, fpCore) by configuration name,
 // defaulting to (0, 1) if the names are not the canonical "INT"/"FP".

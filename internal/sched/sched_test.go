@@ -7,6 +7,7 @@ import (
 	"ampsched/internal/cache"
 	"ampsched/internal/cpu"
 	"ampsched/internal/isa"
+	"ampsched/internal/monitor"
 )
 
 // fakeView is a scriptable amp.View for driving schedulers directly.
@@ -16,6 +17,7 @@ type fakeView struct {
 	arch     [2]cpu.ThreadArch
 	energy   [2]float64
 	lastSwap uint64
+	failures uint64
 	cfgs     [2]*cpu.Config
 	l2       [2]cache.Stats
 }
@@ -38,6 +40,7 @@ func (f *fakeView) CoreOfThread(thread int) int {
 func (f *fakeView) Arch(thread int) *cpu.ThreadArch   { return &f.arch[thread] }
 func (f *fakeView) ThreadEnergyNJ(thread int) float64 { return f.energy[thread] }
 func (f *fakeView) LastSwapCycle() uint64             { return f.lastSwap }
+func (f *fakeView) SwapFailures() uint64              { return f.failures }
 func (f *fakeView) CoreConfig(core int) *cpu.Config   { return f.cfgs[core] }
 func (f *fakeView) L2Stats(core int) cache.Stats      { return f.l2[core] }
 func (f *fakeView) FreqGHz() float64                  { return 2.0 }
@@ -431,3 +434,120 @@ func TestRoundRobinIntervalPanics(t *testing.T) {
 	}()
 	NewRoundRobinInterval(0)
 }
+
+// failingView is a fakeView whose swap requests always fail: the
+// caller bumps failures instead of swapping the binding.
+func (f *fakeView) failSwap() { f.failures++ }
+
+func TestProposedRetriesWithBackoffAfterSwapFailure(t *testing.T) {
+	v := newFakeView()
+	cfg := DefaultProposedConfig()
+	cfg.DisableForcedSwap = true
+	cfg.RetryBackoffCycles = 10_000
+	p := NewProposed(cfg)
+	p.Reset(v)
+
+	// Misplaced pair: rule 2(i) fires after the 5-window majority.
+	if !driveProposed(p, v, 8, 20, 50, 70, 0) {
+		t.Fatal("initial swap request never fired")
+	}
+	v.failSwap() // the controller drops it
+
+	// Within the backoff window the scheduler must not re-request,
+	// even though the pair is still misplaced.
+	requests := 0
+	for i := 0; i < 9; i++ { // 9 windows * 1000 cycles < 10k backoff
+		v.cycle += 1000
+		v.commit(0, 1000, 20, 0)
+		v.commit(1, 1000, 70, 0)
+		if p.Tick(v) {
+			requests++
+		}
+	}
+	if requests != 0 {
+		t.Fatalf("%d re-requests inside the backoff window", requests)
+	}
+
+	// Once the backoff expires the request must come back (retry, not
+	// abandonment).
+	if !driveProposed(p, v, 20, 20, 50, 70, 0) {
+		t.Fatal("no retry after backoff expired")
+	}
+	if st := p.SchedStats(); st.FailedRequests != 1 {
+		t.Fatalf("FailedRequests = %d", st.FailedRequests)
+	}
+}
+
+func TestProposedBackoffDoublesAndResetsOnSuccess(t *testing.T) {
+	v := newFakeView()
+	var r retryState
+	r.reset(1000, 64_000, v)
+
+	v.cycle = 10_000
+	v.failSwap()
+	r.observe(v)
+	if !r.holdoff(10_500) || r.holdoff(11_000) {
+		t.Fatalf("first backoff window wrong: until=%d", r.until)
+	}
+	v.cycle = 11_000
+	v.failSwap()
+	r.observe(v)
+	if !r.holdoff(12_500) || r.holdoff(13_000) {
+		t.Fatalf("second backoff did not double: until=%d", r.until)
+	}
+	// A successful swap clears the backoff entirely.
+	v.cycle = 12_000
+	v.swapBinding()
+	r.observe(v)
+	if r.holdoff(12_000) || r.backoff != 0 {
+		t.Fatalf("backoff survived a successful swap: %+v", r)
+	}
+	if r.failed != 2 {
+		t.Fatalf("failed = %d", r.failed)
+	}
+}
+
+func TestRetryBackoffCaps(t *testing.T) {
+	v := newFakeView()
+	var r retryState
+	r.reset(1000, 4000, v)
+	for i := 0; i < 10; i++ {
+		v.cycle += 100
+		v.failSwap()
+		r.observe(v)
+	}
+	if r.backoff > 4000 {
+		t.Fatalf("backoff %d exceeds cap", r.backoff)
+	}
+}
+
+func TestProposedObserverInjection(t *testing.T) {
+	// A factory that drops every sample starves the scheduler: no
+	// decision points, no swaps, but also no wedge or panic.
+	v := newFakeView()
+	cfg := DefaultProposedConfig()
+	p := NewProposed(cfg)
+	var built int
+	p.SetObserver(func(window uint64) monitor.Observer {
+		built++
+		return dropAll{window: window}
+	})
+	p.Reset(v)
+	if built != 2 {
+		t.Fatalf("factory built %d observers", built)
+	}
+	if driveProposed(p, v, 20, 20, 50, 70, 0) {
+		t.Fatal("swap requested with all samples dropped")
+	}
+	if st := p.SchedStats(); st.DecisionPoints != 0 {
+		t.Fatalf("decision points %d despite total sample loss", st.DecisionPoints)
+	}
+}
+
+// dropAll is a monitor.Observer that never delivers a sample.
+type dropAll struct{ window uint64 }
+
+func (d dropAll) Window() uint64                                 { return d.window }
+func (d dropAll) Reset(*cpu.ThreadArch)                          {}
+func (d dropAll) Observe(*cpu.ThreadArch) (monitor.Sample, bool) { return monitor.Sample{}, false }
+func (d dropAll) Latest() (monitor.Sample, bool)                 { return monitor.Sample{}, false }

@@ -22,10 +22,10 @@ func runRealPairLimit(t *testing.T, a, b string, s amp.Scheduler, limit uint64) 
 	}
 	t0 := amp.NewThread(0, ba, 31, 0)
 	t1 := amp.NewThread(1, bb, 32, 1<<40)
-	sys := amp.NewSystem(
+	sys := amp.MustSystem(
 		[2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
 		[2]*amp.Thread{t0, t1}, s, amp.Config{})
-	return sys.Run(limit)
+	return sys.MustRun(limit)
 }
 
 func TestProposedOnRealSystemSwapsMisplacedPair(t *testing.T) {

@@ -9,17 +9,29 @@
 // self-describing, versioned, and varint-packed — a typical record is
 // 3-6 bytes.
 //
-// Layout:
+// Version 2 layout:
 //
 //	magic "AMPT" | version u8 | name len u8 | name | codeFootprint uvarint | count uvarint
-//	count records:
+//	frames until count records are delivered:
+//	  sync 0xF7 0x3C | nrec uvarint | payloadLen uvarint | crc32c u32 LE | payload
+//	payload is nrec packed records:
 //	  class u8 | flags u8 | [dep1 uvarint] [dep2 uvarint] [addr uvarint] [takenBit in flags]
+//
+// Each frame (at most 1024 records) carries a CRC32-Castagnoli over
+// its payload, so corruption is detected at frame granularity: the
+// strict Read rejects a damaged stream outright, while ReadRecover
+// skips the damaged frame, scans forward for the next sync marker,
+// and returns every intact record with loss statistics — capture
+// hardware glitches cost a window of records, not the whole trace.
+// Version 1 streams (unframed records, no checksums) remain readable.
 package trace
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"ampsched/internal/isa"
@@ -28,8 +40,32 @@ import (
 // Magic identifies a trace stream.
 var Magic = [4]byte{'A', 'M', 'P', 'T'}
 
-// Version of the on-disk format.
-const Version = 1
+// Version of the on-disk format written by NewWriter.
+const Version = 2
+
+// versionLegacy is the unframed, checksum-free v1 format; still
+// readable for traces captured by older builds.
+const versionLegacy = 1
+
+// Frame geometry.
+const (
+	syncA = 0xF7
+	syncB = 0x3C
+	// FrameRecords is the maximum records per frame — the corruption
+	// blast radius of ReadRecover.
+	FrameRecords = 1024
+	// maxFramePayload bounds a declared payload length; larger values
+	// mark a forged or corrupted frame header. Generous: the widest
+	// record is 2 + 3 varints ≤ 32 bytes.
+	maxFramePayload = FrameRecords * 32
+)
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on
+// amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrEmptyTrace is returned when a trace holds no replayable records.
+var ErrEmptyTrace = errors.New("trace: empty source")
 
 // record flags.
 const (
@@ -46,12 +82,14 @@ type Header struct {
 	Count         uint64
 }
 
-// Writer streams instructions to an io.Writer.
+// Writer streams instructions to an io.Writer, framing them with
+// CRC32C checksums.
 type Writer struct {
-	w     *bufio.Writer
-	count uint64
-	max   uint64
-	buf   [2 + 3*binary.MaxVarintLen64]byte
+	w         *bufio.Writer
+	count     uint64
+	max       uint64
+	frame     []byte // packed records of the open frame
+	frameRecs int
 }
 
 // NewWriter writes the header for a trace of exactly hdr.Count
@@ -91,12 +129,8 @@ func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
 	return &Writer{w: bw, max: hdr.Count}, nil
 }
 
-// Write appends one instruction. It errors once the declared count is
-// exceeded.
-func (t *Writer) Write(in *isa.Instruction) error {
-	if t.count >= t.max {
-		return fmt.Errorf("trace: writing beyond the declared count %d", t.max)
-	}
+// appendRecord packs one instruction onto b.
+func appendRecord(b []byte, in *isa.Instruction) []byte {
 	var flags byte
 	if in.Dep1 > 0 {
 		flags |= flagDep1
@@ -110,7 +144,6 @@ func (t *Writer) Write(in *isa.Instruction) error {
 	if in.Taken {
 		flags |= flagTaken
 	}
-	b := t.buf[:0]
 	b = append(b, byte(in.Class), flags)
 	var tmp [binary.MaxVarintLen64]byte
 	if flags&flagDep1 != 0 {
@@ -125,10 +158,45 @@ func (t *Writer) Write(in *isa.Instruction) error {
 		n := binary.PutUvarint(tmp[:], in.Addr)
 		b = append(b, tmp[:n]...)
 	}
-	if _, err := t.w.Write(b); err != nil {
+	return b
+}
+
+// Write appends one instruction. It errors once the declared count is
+// exceeded.
+func (t *Writer) Write(in *isa.Instruction) error {
+	if t.count >= t.max {
+		return fmt.Errorf("trace: writing beyond the declared count %d", t.max)
+	}
+	t.frame = appendRecord(t.frame, in)
+	t.frameRecs++
+	t.count++
+	if t.frameRecs >= FrameRecords {
+		return t.flushFrame()
+	}
+	return nil
+}
+
+// flushFrame emits the open frame: sync marker, record count, payload
+// length, CRC32C, payload.
+func (t *Writer) flushFrame() error {
+	if t.frameRecs == 0 {
+		return nil
+	}
+	var hdr [2 + 2*binary.MaxVarintLen64 + 4]byte
+	hdr[0], hdr[1] = syncA, syncB
+	n := 2
+	n += binary.PutUvarint(hdr[n:], uint64(t.frameRecs))
+	n += binary.PutUvarint(hdr[n:], uint64(len(t.frame)))
+	binary.LittleEndian.PutUint32(hdr[n:], crc32.Checksum(t.frame, crcTable))
+	n += 4
+	if _, err := t.w.Write(hdr[:n]); err != nil {
 		return err
 	}
-	t.count++
+	if _, err := t.w.Write(t.frame); err != nil {
+		return err
+	}
+	t.frame = t.frame[:0]
+	t.frameRecs = 0
 	return nil
 }
 
@@ -138,107 +206,347 @@ func (t *Writer) Close() error {
 	if t.count != t.max {
 		return fmt.Errorf("trace: wrote %d of %d declared instructions", t.count, t.max)
 	}
+	if err := t.flushFrame(); err != nil {
+		return err
+	}
 	return t.w.Flush()
 }
 
-// Read loads a whole trace into memory.
-func Read(r io.Reader) (Header, []isa.Instruction, error) {
-	br := bufio.NewReader(r)
+// readHeader parses the stream header and returns it with the format
+// version.
+func readHeader(br *bufio.Reader) (Header, byte, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return Header{}, nil, fmt.Errorf("trace: reading magic: %w", err)
+		return Header{}, 0, fmt.Errorf("trace: reading magic: %w", err)
 	}
 	if magic != Magic {
-		return Header{}, nil, fmt.Errorf("trace: bad magic %q", magic[:])
+		return Header{}, 0, fmt.Errorf("trace: bad magic %q", magic[:])
 	}
 	ver, err := br.ReadByte()
 	if err != nil {
-		return Header{}, nil, err
+		return Header{}, 0, err
 	}
-	if ver != Version {
-		return Header{}, nil, fmt.Errorf("trace: unsupported version %d", ver)
+	if ver != Version && ver != versionLegacy {
+		return Header{}, 0, fmt.Errorf("trace: unsupported version %d", ver)
 	}
 	nameLen, err := br.ReadByte()
 	if err != nil {
-		return Header{}, nil, err
+		return Header{}, 0, err
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
-		return Header{}, nil, err
+		return Header{}, 0, err
 	}
 	foot, err := binary.ReadUvarint(br)
 	if err != nil {
-		return Header{}, nil, err
+		return Header{}, 0, err
 	}
 	if foot == 0 {
-		return Header{}, nil, fmt.Errorf("trace: zero code footprint")
+		return Header{}, 0, fmt.Errorf("trace: zero code footprint")
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return Header{}, nil, err
+		return Header{}, 0, err
 	}
 	if count == 0 {
-		return Header{}, nil, fmt.Errorf("trace: zero-length trace")
+		return Header{}, 0, fmt.Errorf("trace: zero-length trace")
 	}
 	const sanityMax = 1 << 32
 	if count > sanityMax {
-		return Header{}, nil, fmt.Errorf("trace: implausible count %d", count)
+		return Header{}, 0, fmt.Errorf("trace: implausible count %d", count)
+	}
+	return Header{Name: string(name), CodeFootprint: foot, Count: count}, ver, nil
+}
+
+// capHint bounds the initial allocation for a declared record count:
+// never trust a forged header to demand gigabytes up front.
+func capHint(count uint64) uint64 {
+	if count > 1<<20 {
+		return 1 << 20
+	}
+	return count
+}
+
+// decodeRecord unpacks one record from data, returning the bytes
+// consumed.
+func decodeRecord(data []byte, in *isa.Instruction) (int, error) {
+	if len(data) < 2 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	cls := data[0]
+	if cls >= byte(isa.NumClasses) {
+		return 0, fmt.Errorf("trace: invalid class %d", cls)
+	}
+	flags := data[1]
+	*in = isa.Instruction{Class: isa.Class(cls), Taken: flags&flagTaken != 0}
+	pos := 2
+	if flags&flagDep1 != 0 {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("trace: dep1: truncated varint")
+		}
+		if v > 1<<31 {
+			return 0, fmt.Errorf("trace: dep1 %d overflows", v)
+		}
+		in.Dep1 = int32(v)
+		pos += n
+	}
+	if flags&flagDep2 != 0 {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("trace: dep2: truncated varint")
+		}
+		if v > 1<<31 {
+			return 0, fmt.Errorf("trace: dep2 %d overflows", v)
+		}
+		in.Dep2 = int32(v)
+		pos += n
+	}
+	if flags&flagAddr != 0 {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("trace: addr: truncated varint")
+		}
+		in.Addr = v
+		pos += n
+	}
+	return pos, nil
+}
+
+// decodeFramePayload appends exactly nrec records from payload.
+func decodeFramePayload(instrs []isa.Instruction, payload []byte, nrec uint64) ([]isa.Instruction, error) {
+	pos := 0
+	for i := uint64(0); i < nrec; i++ {
+		var in isa.Instruction
+		n, err := decodeRecord(payload[pos:], &in)
+		if err != nil {
+			return instrs, fmt.Errorf("trace: frame record %d: %w", i, err)
+		}
+		pos += n
+		instrs = append(instrs, in)
+	}
+	if pos != len(payload) {
+		return instrs, fmt.Errorf("trace: frame has %d trailing bytes", len(payload)-pos)
+	}
+	return instrs, nil
+}
+
+// readFrameHeader parses the fixed frame prologue after the caller has
+// consumed the sync marker.
+func readFrameHeader(br *bufio.Reader) (nrec, payloadLen uint64, crc uint32, err error) {
+	nrec, err = binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if nrec == 0 || nrec > FrameRecords {
+		return 0, 0, 0, fmt.Errorf("trace: implausible frame record count %d", nrec)
+	}
+	payloadLen, err = binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if payloadLen < 2*nrec || payloadLen > maxFramePayload {
+		return 0, 0, 0, fmt.Errorf("trace: implausible frame payload length %d", payloadLen)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return 0, 0, 0, err
+	}
+	return nrec, payloadLen, binary.LittleEndian.Uint32(crcBuf[:]), nil
+}
+
+// Read loads a whole trace into memory, verifying every frame
+// checksum. Any corruption is a fatal error; use ReadRecover to skip
+// damaged frames instead.
+func Read(r io.Reader) (Header, []isa.Instruction, error) {
+	br := bufio.NewReader(r)
+	hdr, ver, err := readHeader(br)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if ver == versionLegacy {
+		instrs, err := readBodyV1(br, hdr.Count)
+		if err != nil {
+			return Header{}, nil, err
+		}
+		return hdr, instrs, nil
 	}
 
-	hdr := Header{Name: string(name), CodeFootprint: foot, Count: count}
-	// Never trust the declared count for allocation: a forged header
-	// could demand gigabytes. Grow while the stream actually delivers
-	// records; a short stream fails with an EOF error below.
-	capHint := count
-	if capHint > 1<<20 {
-		capHint = 1 << 20
+	instrs := make([]isa.Instruction, 0, capHint(hdr.Count))
+	for uint64(len(instrs)) < hdr.Count {
+		var sync [2]byte
+		if _, err := io.ReadFull(br, sync[:]); err != nil {
+			return Header{}, nil, fmt.Errorf("trace: frame sync: %w", err)
+		}
+		if sync[0] != syncA || sync[1] != syncB {
+			return Header{}, nil, fmt.Errorf("trace: bad frame sync %x%x", sync[0], sync[1])
+		}
+		nrec, payloadLen, crc, err := readFrameHeader(br)
+		if err != nil {
+			return Header{}, nil, err
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return Header{}, nil, fmt.Errorf("trace: frame payload: %w", err)
+		}
+		if got := crc32.Checksum(payload, crcTable); got != crc {
+			return Header{}, nil, fmt.Errorf("trace: frame checksum mismatch %08x != %08x", got, crc)
+		}
+		if instrs, err = decodeFramePayload(instrs, payload, nrec); err != nil {
+			return Header{}, nil, err
+		}
 	}
-	instrs := make([]isa.Instruction, 0, capHint)
+	if uint64(len(instrs)) != hdr.Count {
+		return Header{}, nil, fmt.Errorf("trace: frames deliver %d of %d declared records",
+			len(instrs), hdr.Count)
+	}
+	return hdr, instrs, nil
+}
+
+// readBodyV1 parses the unframed v1 record stream.
+func readBodyV1(br *bufio.Reader, count uint64) ([]isa.Instruction, error) {
+	instrs := make([]isa.Instruction, 0, capHint(count))
 	for i := uint64(0); i < count; i++ {
 		instrs = append(instrs, isa.Instruction{})
 		in := &instrs[len(instrs)-1]
 		cls, err := br.ReadByte()
 		if err != nil {
-			return Header{}, nil, fmt.Errorf("trace: record %d: %w", i, err)
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
 		}
 		if cls >= byte(isa.NumClasses) {
-			return Header{}, nil, fmt.Errorf("trace: record %d: invalid class %d", i, cls)
+			return nil, fmt.Errorf("trace: record %d: invalid class %d", i, cls)
 		}
 		flags, err := br.ReadByte()
 		if err != nil {
-			return Header{}, nil, fmt.Errorf("trace: record %d: %w", i, err)
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
 		}
 		in.Class = isa.Class(cls)
 		in.Taken = flags&flagTaken != 0
 		if flags&flagDep1 != 0 {
 			v, err := binary.ReadUvarint(br)
 			if err != nil {
-				return Header{}, nil, fmt.Errorf("trace: record %d dep1: %w", i, err)
+				return nil, fmt.Errorf("trace: record %d dep1: %w", i, err)
 			}
 			if v > 1<<31 {
-				return Header{}, nil, fmt.Errorf("trace: record %d: dep1 %d overflows", i, v)
+				return nil, fmt.Errorf("trace: record %d: dep1 %d overflows", i, v)
 			}
 			in.Dep1 = int32(v)
 		}
 		if flags&flagDep2 != 0 {
 			v, err := binary.ReadUvarint(br)
 			if err != nil {
-				return Header{}, nil, fmt.Errorf("trace: record %d dep2: %w", i, err)
+				return nil, fmt.Errorf("trace: record %d dep2: %w", i, err)
 			}
 			if v > 1<<31 {
-				return Header{}, nil, fmt.Errorf("trace: record %d: dep2 %d overflows", i, v)
+				return nil, fmt.Errorf("trace: record %d: dep2 %d overflows", i, v)
 			}
 			in.Dep2 = int32(v)
 		}
 		if flags&flagAddr != 0 {
 			v, err := binary.ReadUvarint(br)
 			if err != nil {
-				return Header{}, nil, fmt.Errorf("trace: record %d addr: %w", i, err)
+				return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
 			}
 			in.Addr = v
 		}
 	}
-	return hdr, instrs, nil
+	return instrs, nil
+}
+
+// RecoverStats reports what ReadRecover salvaged and lost.
+type RecoverStats struct {
+	FramesOK      uint64
+	FramesDropped uint64
+	BytesSkipped  uint64
+	// RecordsLost is the shortfall against the declared count.
+	RecordsLost uint64
+}
+
+// Degraded reports whether anything was lost.
+func (s RecoverStats) Degraded() bool {
+	return s.FramesDropped > 0 || s.BytesSkipped > 0 || s.RecordsLost > 0
+}
+
+// ReadRecover loads a trace, skipping damaged v2 frames instead of
+// failing: on a checksum or structure error it scans forward for the
+// next sync marker and resumes there. It errors only when the header
+// is unreadable or no intact frame survives. Legacy v1 streams have
+// no frame structure to resync on, so they are read strictly.
+func ReadRecover(r io.Reader) (Header, []isa.Instruction, RecoverStats, error) {
+	br := bufio.NewReader(r)
+	hdr, ver, err := readHeader(br)
+	if err != nil {
+		return Header{}, nil, RecoverStats{}, err
+	}
+	if ver == versionLegacy {
+		instrs, err := readBodyV1(br, hdr.Count)
+		if err != nil {
+			return Header{}, nil, RecoverStats{}, err
+		}
+		return hdr, instrs, RecoverStats{}, nil
+	}
+
+	body, err := io.ReadAll(br)
+	if err != nil {
+		return Header{}, nil, RecoverStats{}, fmt.Errorf("trace: reading body: %w", err)
+	}
+	var stats RecoverStats
+	instrs := make([]isa.Instruction, 0, capHint(hdr.Count))
+	pos := 0
+	for pos < len(body) && uint64(len(instrs)) < hdr.Count {
+		if body[pos] != syncA || pos+1 >= len(body) || body[pos+1] != syncB {
+			pos++
+			stats.BytesSkipped++
+			continue
+		}
+		got, consumed, err := parseFrame(body[pos:])
+		if err != nil {
+			// Corrupted frame: resync just past the marker so an
+			// intact frame hiding in the damaged span is still found.
+			stats.FramesDropped++
+			pos += 2
+			stats.BytesSkipped += 2
+			continue
+		}
+		instrs = append(instrs, got...)
+		stats.FramesOK++
+		pos += consumed
+	}
+	stats.RecordsLost = hdr.Count - uint64(len(instrs))
+	if len(instrs) == 0 {
+		return Header{}, nil, stats, fmt.Errorf("trace: no intact frames: %w", ErrEmptyTrace)
+	}
+	return hdr, instrs, stats, nil
+}
+
+// parseFrame decodes one frame starting at the sync marker in data,
+// returning its records and total encoded size.
+func parseFrame(data []byte) ([]isa.Instruction, int, error) {
+	pos := 2 // past sync
+	nrec, n := binary.Uvarint(data[pos:])
+	if n <= 0 || nrec == 0 || nrec > FrameRecords {
+		return nil, 0, fmt.Errorf("trace: implausible frame record count")
+	}
+	pos += n
+	payloadLen, n := binary.Uvarint(data[pos:])
+	if n <= 0 || payloadLen < 2*nrec || payloadLen > maxFramePayload {
+		return nil, 0, fmt.Errorf("trace: implausible frame payload length")
+	}
+	pos += n
+	if pos+4+int(payloadLen) > len(data) {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	crc := binary.LittleEndian.Uint32(data[pos:])
+	pos += 4
+	payload := data[pos : pos+int(payloadLen)]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, 0, fmt.Errorf("trace: frame checksum mismatch")
+	}
+	instrs, err := decodeFramePayload(nil, payload, nrec)
+	if err != nil {
+		return nil, 0, err
+	}
+	return instrs, pos + int(payloadLen), nil
 }
 
 // Source replays an in-memory trace as a cpu.InstrSource, wrapping
@@ -251,12 +559,13 @@ type Source struct {
 	emitted uint64
 }
 
-// NewSource wraps a loaded trace.
-func NewSource(hdr Header, instrs []isa.Instruction) *Source {
+// NewSource wraps a loaded trace. It returns ErrEmptyTrace when there
+// are no records to replay.
+func NewSource(hdr Header, instrs []isa.Instruction) (*Source, error) {
 	if len(instrs) == 0 {
-		panic("trace: empty source")
+		return nil, ErrEmptyTrace
 	}
-	return &Source{hdr: hdr, instrs: instrs}
+	return &Source{hdr: hdr, instrs: instrs}, nil
 }
 
 // Load reads a trace from r and returns a replay source.
@@ -265,7 +574,19 @@ func Load(r io.Reader) (*Source, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewSource(hdr, instrs), nil
+	return NewSource(hdr, instrs)
+}
+
+// LoadRecover is Load with skip-and-resync recovery: damaged frames
+// are dropped and the surviving records replay, alongside the loss
+// statistics. It fails only when nothing survives.
+func LoadRecover(r io.Reader) (*Source, RecoverStats, error) {
+	hdr, instrs, stats, err := ReadRecover(r)
+	if err != nil {
+		return nil, stats, err
+	}
+	src, err := NewSource(hdr, instrs)
+	return src, stats, err
 }
 
 // Header returns the trace metadata.
@@ -273,6 +594,10 @@ func (s *Source) Header() Header { return s.hdr }
 
 // Emitted returns the number of instructions replayed so far.
 func (s *Source) Emitted() uint64 { return s.emitted }
+
+// Len returns the number of replayable records (may be below
+// Header().Count for a recovered trace).
+func (s *Source) Len() int { return len(s.instrs) }
 
 // Next implements cpu.InstrSource.
 func (s *Source) Next(in *isa.Instruction) {

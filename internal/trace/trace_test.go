@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -105,7 +107,9 @@ func TestCompactEncoding(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if buf.Len() > 10_000*2+64 {
+	// ~2 bytes per record plus the stream header and ~10 bytes of
+	// frame overhead (sync + counts + CRC) per 1024-record frame.
+	if buf.Len() > 10_000*2+64+(10_000/FrameRecords+1)*16 {
 		t.Fatalf("encoding too fat: %d bytes for 10k records", buf.Len())
 	}
 }
@@ -174,9 +178,11 @@ func TestReadRejectsCorruption(t *testing.T) {
 		func(b []byte) []byte { b[0] = 'X'; return b }, // magic
 		func(b []byte) []byte { b[4] = 99; return b },  // version
 		func(b []byte) []byte { return b[:len(b)/2] },  // truncated
-		// First record's class byte: 4 magic + 1 version + 1 namelen +
+		// First frame's sync marker: 4 magic + 1 version + 1 namelen +
 		// 1 name + 1 footprint varint + 1 count varint = offset 9.
 		func(b []byte) []byte { b[9] = byte(isa.NumClasses); return b },
+		// A payload byte: the frame CRC must catch a single bit flip.
+		func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b },
 	}
 	for i, corrupt := range cases {
 		c := append([]byte{}, good...)
@@ -188,7 +194,10 @@ func TestReadRejectsCorruption(t *testing.T) {
 
 func TestSourceWrapsAround(t *testing.T) {
 	instrs := randomInstrs(3, 10)
-	src := NewSource(Header{Name: "w", CodeFootprint: 64, Count: 10}, instrs)
+	src, err := NewSource(Header{Name: "w", CodeFootprint: 64, Count: 10}, instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var in isa.Instruction
 	for i := 0; i < 25; i++ {
 		src.Next(&in)
@@ -283,11 +292,168 @@ func TestGeneratorVsTraceReplayIdenticalTiming(t *testing.T) {
 	}
 }
 
-func TestNewSourcePanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("empty source accepted")
+func TestNewSourceRejectsEmpty(t *testing.T) {
+	if _, err := NewSource(Header{}, nil); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("empty source: err = %v, want ErrEmptyTrace", err)
+	}
+}
+
+// writeTrace marshals instrs with the current writer.
+func writeTrace(t *testing.T, instrs []isa.Instruction) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Name: "r", CodeFootprint: 256, Count: uint64(len(instrs))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range instrs {
+		if err := w.Write(&instrs[i]); err != nil {
+			t.Fatal(err)
 		}
-	}()
-	NewSource(Header{}, nil)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadRecoverCleanStream(t *testing.T) {
+	instrs := randomInstrs(5, 3000)
+	hdr, got, stats, err := ReadRecover(bytes.NewReader(writeTrace(t, instrs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Degraded() {
+		t.Fatalf("clean stream reported degraded: %+v", stats)
+	}
+	if hdr.Count != 3000 || len(got) != 3000 {
+		t.Fatalf("count %d records %d", hdr.Count, len(got))
+	}
+	for i := range instrs {
+		if instrs[i] != got[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestReadRecoverSkipsCorruptFrame(t *testing.T) {
+	// 3000 records = 3 frames (1024+1024+952). Corrupt a byte in the
+	// middle of the second frame: strict Read must fail, ReadRecover
+	// must salvage the first and third frames.
+	instrs := randomInstrs(6, 3000)
+	good := writeTrace(t, instrs)
+
+	// Walk the first frame to find where the second one starts: the
+	// stream header (magic, version, name, footprint, count), then each
+	// frame is sync(2) + nrec uvarint + payloadLen uvarint + crc(4) +
+	// payload.
+	var tmp [binary.MaxVarintLen64]byte
+	pos := 4 + 1 + 1 + len("r")
+	pos += binary.PutUvarint(tmp[:], 256)
+	pos += binary.PutUvarint(tmp[:], 3000)
+	if good[pos] != syncA || good[pos+1] != syncB {
+		t.Fatalf("first frame sync not at offset %d", pos)
+	}
+	p := pos + 2
+	_, n1 := binary.Uvarint(good[p:])
+	p += n1
+	payloadLen, n2 := binary.Uvarint(good[p:])
+	p += n2 + 4
+	second := p + int(payloadLen)
+	if good[second] != syncA || good[second+1] != syncB {
+		t.Fatalf("second frame sync not at offset %d", second)
+	}
+	bad := append([]byte{}, good...)
+	bad[second+20] ^= 0xff // inside the second frame's payload
+
+	if _, _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("strict Read accepted a corrupt frame")
+	}
+	hdr, got, stats, err := ReadRecover(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if hdr.Count != 3000 {
+		t.Fatalf("header count %d", hdr.Count)
+	}
+	if !stats.Degraded() || stats.FramesDropped == 0 || stats.RecordsLost == 0 {
+		t.Fatalf("loss not reported: %+v", stats)
+	}
+	if stats.FramesOK != 2 || stats.RecordsLost != 1024 {
+		t.Fatalf("expected to lose exactly the damaged frame: %+v", stats)
+	}
+	// First frame intact...
+	for i := 0; i < 1024; i++ {
+		if got[i] != instrs[i] {
+			t.Fatalf("recovered record %d differs", i)
+		}
+	}
+	// ...and the third frame follows immediately after.
+	for i := 1024; i < len(got); i++ {
+		if got[i] != instrs[i+1024] {
+			t.Fatalf("post-gap record %d did not resync", i)
+		}
+	}
+}
+
+func TestReadRecoverNothingLeft(t *testing.T) {
+	instrs := randomInstrs(7, 100) // single frame
+	bad := writeTrace(t, instrs)
+	bad[len(bad)-5] ^= 0xff // corrupt the only frame
+	if _, _, _, err := ReadRecover(bytes.NewReader(bad)); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("total loss: err = %v, want ErrEmptyTrace", err)
+	}
+}
+
+func TestLoadRecover(t *testing.T) {
+	instrs := randomInstrs(8, 2100)
+	src, stats, err := LoadRecover(bytes.NewReader(writeTrace(t, instrs)))
+	if err != nil || stats.Degraded() {
+		t.Fatalf("clean LoadRecover: %v %+v", err, stats)
+	}
+	if src.Len() != 2100 {
+		t.Fatalf("Len %d", src.Len())
+	}
+}
+
+// writeV1 marshals instrs in the legacy unframed format.
+func writeV1(t *testing.T, name string, foot uint64, instrs []isa.Instruction) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	buf.WriteByte(1) // legacy version
+	buf.WriteByte(byte(len(name)))
+	buf.WriteString(name)
+	var tmp [10]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], foot)])
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(instrs)))])
+	for i := range instrs {
+		buf.Write(appendRecord(nil, &instrs[i]))
+	}
+	return buf.Bytes()
+}
+
+func TestReadLegacyV1(t *testing.T) {
+	instrs := randomInstrs(9, 500)
+	raw := writeV1(t, "old", 128, instrs)
+	hdr, got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Name != "old" || hdr.Count != 500 {
+		t.Fatalf("v1 header: %+v", hdr)
+	}
+	for i := range instrs {
+		if instrs[i] != got[i] {
+			t.Fatalf("v1 record %d differs", i)
+		}
+	}
+	// ReadRecover on v1 behaves strictly (no frames to resync on).
+	if _, _, stats, err := ReadRecover(bytes.NewReader(raw)); err != nil || stats.Degraded() {
+		t.Fatalf("v1 ReadRecover: %v %+v", err, stats)
+	}
+	truncated := raw[:len(raw)-3]
+	if _, _, _, err := ReadRecover(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("truncated v1 accepted by ReadRecover")
+	}
 }
