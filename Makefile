@@ -2,15 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench experiments experiments-paper fuzz fuzz-fault clean
+.PHONY: all build vet lint test test-short test-race bench bench-snapshot experiments experiments-paper fuzz fuzz-fault clean
 
-all: build vet test test-race
+all: build lint test test-race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static gate: vet plus gofmt (fails listing any unformatted file).
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -24,6 +31,12 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable snapshot of the hot-path benchmarks (the ones the
+# telemetry work must not regress), written to BENCH_telemetry.json.
+bench-snapshot:
+	$(GO) test -run NONE -bench 'BenchmarkCoreSimulation|BenchmarkDualCoreSystem|BenchmarkWorkloadGenerator' -benchmem . \
+		| $(GO) run ./cmd/benchsnap -o BENCH_telemetry.json
 
 # Regenerate every table and figure of the paper (minutes).
 experiments:

@@ -187,11 +187,11 @@ func BenchmarkAblationFairnessSwap(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		without, err := r.RunPair(0, pair, func() amp.Scheduler {
+		without, err := r.RunPair(0, pair, func(opts ...sched.Option) amp.Scheduler {
 			cfg := sched.DefaultProposedConfig()
 			cfg.ForceInterval = opt.ContextSwitch
 			cfg.DisableForcedSwap = true
-			return sched.NewProposed(cfg)
+			return sched.NewProposed(cfg, opts...)
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -6,32 +6,48 @@
 //
 // With no -run flag every experiment runs in paper order. The -paper
 // flag switches to the publication-scale parameters (hours of CPU).
+//
+// Observability: -telemetry streams run/window/swap/fault events as
+// JSONL (plus a final metrics summary line), -telemetrycsv writes a
+// CSV metrics summary, -http serves /metrics and /debug/pprof while
+// the experiments run, and -pprof writes CPU and heap profiles. A
+// first interrupt (Ctrl-C) cancels the in-flight sweep cleanly —
+// partial pairs are flagged, sinks are flushed — and a second one
+// kills the process.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"ampsched/internal/experiments"
+	"ampsched/internal/telemetry"
 )
 
 func main() {
 	var (
-		runList   = flag.String("run", "all", "comma-separated experiment names, or 'all' (see -list)")
-		list      = flag.Bool("list", false, "list available experiments and exit")
-		pairs     = flag.Int("pairs", 0, "override number of random workload pairs")
-		limit     = flag.Uint64("limit", 0, "override per-run instruction limit")
-		ctxSwitch = flag.Uint64("contextswitch", 0, "override coarse decision interval (cycles)")
-		overhead  = flag.Uint64("overhead", 0, "override swap overhead (cycles)")
-		seed      = flag.Uint64("seed", 0, "override RNG seed")
-		paper     = flag.Bool("paper", false, "use publication-scale parameters (slow)")
-		faultRate = flag.Float64("faultrate", 0, "inject monitor/swap faults at this uniform rate into every pair run (0 = off)")
-		faultSeed = flag.Uint64("faultseed", 1, "fault-plan seed (deterministic with -seed and -faultrate)")
-		budget    = flag.Uint64("cyclebudget", 0, "per-run cycle budget; an exhausted run is reported wedged (0 = off)")
-		verbose   = flag.Bool("v", false, "print progress lines to stderr")
+		runList      = flag.String("run", "all", "comma-separated experiment names, or 'all' (see -list)")
+		list         = flag.Bool("list", false, "list available experiments and exit")
+		pairs        = flag.Int("pairs", 0, "override number of random workload pairs")
+		limit        = flag.Uint64("limit", 0, "override per-run instruction limit")
+		ctxSwitch    = flag.Uint64("contextswitch", 0, "override coarse decision interval (cycles)")
+		overhead     = flag.Uint64("overhead", 0, "override swap overhead (cycles)")
+		seed         = flag.Uint64("seed", 0, "override RNG seed")
+		paper        = flag.Bool("paper", false, "use publication-scale parameters (slow)")
+		faultRate    = flag.Float64("faultrate", 0, "inject monitor/swap faults at this uniform rate into every pair run (0 = off)")
+		faultSeed    = flag.Uint64("faultseed", 1, "fault-plan seed (deterministic with -seed and -faultrate)")
+		budget       = flag.Uint64("cyclebudget", 0, "per-run cycle budget; an exhausted run is reported wedged (0 = off)")
+		verbose      = flag.Bool("v", false, "print progress lines to stderr")
+		telemetryOut = flag.String("telemetry", "", "write a JSONL event stream plus a final metrics summary to this file")
+		telemetryCSV = flag.String("telemetrycsv", "", "write a CSV metrics summary to this file")
+		httpAddr     = flag.String("http", "", "serve /metrics and /debug/pprof on this address while experiments run")
+		pprofPrefix  = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles")
 	)
 	flag.Parse()
 
@@ -67,12 +83,64 @@ func main() {
 
 	r, err := experiments.NewRunner(opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ampexperiments:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
 	}
+
+	var sinks []telemetry.Sink
+	for _, out := range []struct {
+		path string
+		mk   func(f *os.File) telemetry.Sink
+	}{
+		{*telemetryOut, func(f *os.File) telemetry.Sink { return telemetry.NewJSONLSink(f) }},
+		{*telemetryCSV, func(f *os.File) telemetry.Sink { return telemetry.NewCSVSummarySink(f) }},
+	} {
+		if out.path == "" {
+			continue
+		}
+		f, err := os.Create(out.path)
+		if err != nil {
+			fatal(err)
+		}
+		sinks = append(sinks, out.mk(f))
+	}
+	var tel *telemetry.Telemetry
+	if len(sinks) > 0 || *httpAddr != "" {
+		tel = telemetry.New(sinks...)
+		r.Telemetry = tel
+		defer func() {
+			if err := tel.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ampexperiments: telemetry:", err)
+			}
+		}()
+	}
+	if *httpAddr != "" {
+		_, addr, err := telemetry.Serve(*httpAddr, tel.Registry())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ampexperiments: metrics and pprof at http://%s/\n", addr)
+	}
+	if *pprofPrefix != "" {
+		prof, err := telemetry.StartProfiler(*pprofPrefix)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := prof.Stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "ampexperiments: pprof:", err)
+			}
+		}()
+	}
+
+	// The first interrupt cancels the runner's context so in-flight
+	// pairs stop at the next check point; signal.NotifyContext restores
+	// default handling afterwards, so a second interrupt kills us.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	r.BaseContext = ctx
 
 	var selected []experiments.Experiment
 	if *runList == "all" {
@@ -81,8 +149,7 @@ func main() {
 		for _, name := range strings.Split(*runList, ",") {
 			e, err := experiments.ByName(strings.TrimSpace(name))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "ampexperiments:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			selected = append(selected, e)
 		}
@@ -94,6 +161,10 @@ func main() {
 	for _, e := range selected {
 		t0 := time.Now()
 		if err := e.Run(r, os.Stdout); err != nil {
+			if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "ampexperiments: interrupted during %s\n", e.Name)
+				return // deferred sink/profile flushes still run
+			}
 			fmt.Fprintf(os.Stderr, "ampexperiments: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
@@ -102,4 +173,9 @@ func main() {
 		}
 	}
 	fmt.Printf("# total elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ampexperiments:", err)
+	os.Exit(1)
 }

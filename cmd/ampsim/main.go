@@ -8,6 +8,11 @@
 // Schedulers: proposed, hpe-matrix, hpe-regression, rr, rr2, static.
 // The HPE variants first run the §V profiling pass to build their
 // estimator (add -profilelimit to trade accuracy for speed).
+//
+// Observability: -telemetry streams window/swap/fault events as JSONL
+// (plus a final metrics summary line), -telemetrycsv writes a CSV
+// metrics summary, -http serves /metrics and /debug/pprof during the
+// run, and -pprof writes CPU and heap profiles.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"ampsched/internal/monitor"
 	"ampsched/internal/report"
 	"ampsched/internal/sched"
+	"ampsched/internal/telemetry"
 	"ampsched/internal/workload"
 )
 
@@ -39,6 +45,10 @@ func main() {
 		timeline     = flag.Uint64("timeline", 0, "record and print a timeline point every N cycles (0 = off)")
 		faultRate    = flag.Float64("faultrate", 0, "uniform fault-injection rate in [0,1]: monitor drop/stale/noise plus swap fail/delay (0 = off)")
 		faultSeed    = flag.Uint64("faultseed", 1, "fault-plan seed; runs are deterministic in (seed, faultseed, faultrate)")
+		telemetryOut = flag.String("telemetry", "", "write a JSONL event stream plus a final metrics summary to this file")
+		telemetryCSV = flag.String("telemetrycsv", "", "write a CSV metrics summary to this file")
+		httpAddr     = flag.String("http", "", "serve /metrics and /debug/pprof on this address for the duration of the run")
+		pprofPrefix  = flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles of the run")
 	)
 	flag.Parse()
 
@@ -60,6 +70,51 @@ func main() {
 	runner, err := experiments.NewRunner(opt)
 	if err != nil {
 		fatal(err)
+	}
+
+	var sinks []telemetry.Sink
+	for _, out := range []struct {
+		path string
+		mk   func(f *os.File) telemetry.Sink
+	}{
+		{*telemetryOut, func(f *os.File) telemetry.Sink { return telemetry.NewJSONLSink(f) }},
+		{*telemetryCSV, func(f *os.File) telemetry.Sink { return telemetry.NewCSVSummarySink(f) }},
+	} {
+		if out.path == "" {
+			continue
+		}
+		f, err := os.Create(out.path)
+		if err != nil {
+			fatal(err)
+		}
+		sinks = append(sinks, out.mk(f))
+	}
+	var tel *telemetry.Telemetry
+	if len(sinks) > 0 || *httpAddr != "" {
+		tel = telemetry.New(sinks...)
+		defer func() {
+			if err := tel.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ampsim: telemetry:", err)
+			}
+		}()
+	}
+	if *httpAddr != "" {
+		_, addr, err := telemetry.Serve(*httpAddr, tel.Registry())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ampsim: metrics and pprof at http://%s/\n", addr)
+	}
+	if *pprofPrefix != "" {
+		prof, err := telemetry.StartProfiler(*pprofPrefix)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := prof.Stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "ampsim: pprof:", err)
+			}
+		}()
 	}
 
 	var factory experiments.SchedFactory
@@ -89,35 +144,41 @@ func main() {
 	case "rr2":
 		factory = runner.RRFactory(2)
 	case "static":
-		factory = func() amp.Scheduler { return sched.Static{} }
+		factory = experiments.StaticFactory()
 	default:
 		fatal(fmt.Errorf("unknown scheduler %q", *schedName))
 	}
 
 	t0 := amp.NewThread(0, a, *seed*1_000_003, 0)
 	t1 := amp.NewThread(1, b, *seed*1_000_003+1, 1<<40)
-	var schedInst amp.Scheduler
-	if factory != nil {
-		schedInst = factory()
+
+	var schedOpts []sched.Option
+	var ampOpts []amp.Option
+	if tel != nil {
+		schedOpts = append(schedOpts, sched.WithTelemetry(tel))
+		ampOpts = append(ampOpts, amp.WithTelemetry(tel))
 	}
-	cfg := amp.Config{SwapOverheadCycles: *overhead}
 	var plan *fault.Plan
 	if *faultRate > 0 {
 		plan, err = fault.New(fault.Uniform(*faultRate, *faultSeed))
 		if err != nil {
 			fatal(err)
 		}
-		cfg.SwapInjector = plan
-		if inj, ok := schedInst.(sched.ObserverInjectable); ok {
-			var tag uint64
-			inj.SetObserver(func(window uint64) monitor.Observer {
-				tag++
-				return plan.Observer(monitor.NewWindowTracker(window), tag)
-			})
-		}
+		plan.SetTelemetry(tel)
+		ampOpts = append(ampOpts, amp.WithFaultPlan(plan))
+		var tag uint64
+		schedOpts = append(schedOpts, sched.WithObserverFactory(func(window uint64) monitor.Observer {
+			tag++
+			return plan.Observer(monitor.NewWindowTracker(window), tag)
+		}))
 	}
+	var schedInst amp.Scheduler
+	if factory != nil {
+		schedInst = factory(schedOpts...)
+	}
+	cfg := amp.Config{SwapOverheadCycles: *overhead}
 	sys, err := amp.NewSystem([2]*cpu.Config{runner.IntCfg, runner.FPCfg},
-		[2]*amp.Thread{t0, t1}, schedInst, cfg)
+		[2]*amp.Thread{t0, t1}, schedInst, cfg, ampOpts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,143 @@
+// Command benchsnap converts `go test -bench -benchmem` output on
+// stdin into a machine-readable JSON snapshot, so benchmark baselines
+// can be committed and diffed (see the Makefile's bench-snapshot
+// target).
+//
+//	go test -run NONE -bench . -benchmem . | benchsnap -o BENCH.json
+//
+// Non-benchmark lines (PASS, ok, goos, ...) pass through to stderr so
+// the snapshot never silently swallows a test failure.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// -benchmem metrics; an explicit 0 is the hot-path guarantee the
+	// snapshot exists to record, so these are never omitted.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+
+	// Extra holds custom -benchmem style metrics (pct_vs_hpe, ...).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Snapshot is the file's top-level shape.
+type Snapshot struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var snap Snapshot
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			snap.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			snap.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				snap.Benchmarks = append(snap.Benchmarks, b)
+			} else {
+				fmt.Fprintln(os.Stderr, line)
+			}
+		default:
+			if line != "" {
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	enc, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkFoo-8   123  456.7 ns/op  0 B/op  0 allocs/op  1.2 pct_vs_hpe
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	// The rest is (value, unit) couples.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		default:
+			if b.Extra == nil {
+				b.Extra = make(map[string]float64)
+			}
+			b.Extra[unit] = v
+		}
+	}
+	return b, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsnap:", err)
+	os.Exit(1)
+}

@@ -28,10 +28,21 @@ func main() {
 	// instruction windows, history depth 5, Fig. 5 thresholds.
 	scheduler := sched.NewProposed(sched.DefaultProposedConfig())
 
-	system := amp.MustSystem(cores, [2]*amp.Thread{t0, t1}, scheduler, amp.Config{})
+	// Watch the system's lifecycle events as they happen (swaps here;
+	// see amp.EventKind for the full set). Options compose: add
+	// amp.WithTelemetry for metrics or amp.WithFaultPlan for faults.
+	watcher := amp.ObserverFunc(func(e amp.Event) {
+		if e.Kind == amp.EventSwap {
+			fmt.Printf("  cycle %8d: swap (threads now on cores %v, overhead %d cycles)\n",
+				e.Cycle, e.ThreadOnCore, e.Overhead)
+		}
+	})
+
+	system := amp.MustSystem(cores, [2]*amp.Thread{t0, t1}, scheduler, amp.Config{},
+		amp.WithObserver(watcher))
 	result := system.MustRun(500_000) // stop when either thread commits 500k
 
-	fmt.Printf("ran %d cycles, %d thread swaps\n\n", result.Cycles, result.Swaps)
+	fmt.Printf("\nran %d cycles, %d thread swaps\n\n", result.Cycles, result.Swaps)
 	for i, tr := range result.Threads {
 		fmt.Printf("thread %d (%s): IPC %.3f, %.2f W, IPC/Watt %.4f (%%INT %.0f, %%FP %.0f)\n",
 			i, tr.Name, tr.IPC, tr.Watts, tr.IPCPerWatt, tr.IntPct, tr.FPPct)

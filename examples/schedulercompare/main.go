@@ -12,10 +12,8 @@ import (
 	"math"
 	"os"
 
-	"ampsched/internal/amp"
 	"ampsched/internal/experiments"
 	"ampsched/internal/report"
-	"ampsched/internal/sched"
 	"ampsched/internal/workload"
 )
 
@@ -42,7 +40,7 @@ func main() {
 		name    string
 		factory experiments.SchedFactory
 	}{
-		{"static (as placed)", func() amp.Scheduler { return sched.Static{} }},
+		{"static (as placed)", experiments.StaticFactory()},
 		{"roundrobin", runner.RRFactory(1)},
 		{"hpe-matrix", runner.HPEFactory(matrix)},
 		{"hpe-regression", nil}, // filled below

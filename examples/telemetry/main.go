@@ -1,0 +1,69 @@
+// Telemetry: run one workload pair with the observability stack wired
+// in — a JSONL event stream, the shared metrics registry, and a
+// histogram-backed swap-latency summary — then print what was
+// collected. This is the amp.WithTelemetry / sched.WithTelemetry tour;
+// the ampsim and ampexperiments commands expose the same wiring behind
+// their -telemetry flags.
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/sched"
+	"ampsched/internal/telemetry"
+	"ampsched/internal/workload"
+)
+
+func main() {
+	// Events go to a JSONL file; metrics accumulate in the registry.
+	f, err := os.CreateTemp("", "ampsched-events-*.jsonl")
+	check(err)
+	defer os.Remove(f.Name())
+	tel := telemetry.New(telemetry.NewJSONLSink(f))
+
+	cores := [2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()}
+	t0 := amp.NewThread(0, workload.MustByName("fpstress"), 1, 0)
+	t1 := amp.NewThread(1, workload.MustByName("intstress"), 2, 1<<40)
+
+	// Both layers publish into the same Telemetry: the scheduler its
+	// window/vote/decision counters, the system its swap and run
+	// counters plus the swap-overhead histogram.
+	scheduler := sched.NewProposed(sched.DefaultProposedConfig(),
+		sched.WithTelemetry(tel))
+	system := amp.MustSystem(cores, [2]*amp.Thread{t0, t1}, scheduler,
+		amp.Config{}, amp.WithTelemetry(tel))
+	result := system.MustRun(500_000)
+
+	fmt.Printf("ran %d cycles, %d swaps; every metric below came from telemetry:\n\n",
+		result.Cycles, result.Swaps)
+	for _, m := range tel.Registry().Snapshot() {
+		switch m.Kind {
+		case "counter":
+			if m.Value > 0 {
+				fmt.Printf("  %-32s %8.0f\n", m.Name, m.Value)
+			}
+		case "histogram":
+			if m.Count > 0 {
+				fmt.Printf("  %-32s count=%d mean=%.0f p99=%.0f\n",
+					m.Name, m.Count, m.Mean, m.P99)
+			}
+		}
+	}
+
+	check(tel.Close()) // flushes the JSONL sink and appends the summary line
+	st, err := os.Stat(f.Name())
+	check(err)
+	fmt.Printf("\nevent stream: %d bytes of JSONL (window/swap/run events + summary)\n", st.Size())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "telemetry example:", err)
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,7 @@
 package amp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -197,6 +198,10 @@ type Config struct {
 	CycleBudget uint64
 	// SwapInjector, when non-nil, is consulted on every swap request
 	// (fault injection: failed or delayed reconfigurations).
+	//
+	// Deprecated: pass WithFaultPlan to NewSystem instead. The field
+	// remains functional for one release; a WithFaultPlan option takes
+	// precedence when both are set.
 	SwapInjector SwapInjector
 }
 
@@ -256,6 +261,9 @@ type System struct {
 	lastAct   [2]cpu.Activity
 	lastCache [2]power.CacheStats
 
+	obs Observer       // unified event observer (nil = disabled)
+	tel *telemetryHook // set by WithTelemetry, for direct metric access
+
 	timeline *timelineState
 }
 
@@ -263,7 +271,9 @@ type System struct {
 // Thread i starts on core i. sched may be nil (static assignment).
 // Zero-valued Config knobs take their documented defaults; nonsensical
 // combinations (see Config.Validate) are rejected with an error.
-func NewSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg Config) (*System, error) {
+// Instrumentation (observers, fault plans, telemetry) is attached with
+// functional options: WithObserver, WithFaultPlan, WithTelemetry.
+func NewSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg Config, opts ...Option) (*System, error) {
 	if threads[0] == nil || threads[1] == nil {
 		return nil, fmt.Errorf("amp: NewSystem needs two threads")
 	}
@@ -285,6 +295,11 @@ func NewSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg
 		s.models[i] = power.NewModel(coreCfgs[i])
 		s.cores[i].Bind(threads[i].Gen, &threads[i].Arch)
 	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(s)
+		}
+	}
 	if sched != nil {
 		sched.Reset(s)
 	}
@@ -293,8 +308,8 @@ func NewSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg
 
 // MustSystem is NewSystem panicking on error: for examples, benchmarks
 // and tests where the configuration is statically known to be valid.
-func MustSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg Config) *System {
-	s, err := NewSystem(coreCfgs, threads, sched, cfg)
+func MustSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg Config, opts ...Option) *System {
+	s, err := NewSystem(coreCfgs, threads, sched, cfg, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -376,6 +391,7 @@ func (s *System) requestSwap() {
 		out := s.cfg.SwapInjector.SwapOutcome(s.cycle)
 		if out.Fail {
 			s.swapFailures++
+			s.emit(Event{Kind: EventSwapFailed, Cycle: s.cycle})
 			return
 		}
 		if out.OverheadFactor > 0 {
@@ -408,6 +424,7 @@ func (s *System) swap(factor float64) {
 	// so an overhead larger than the interval cannot re-trigger an
 	// immediate swap storm.
 	s.lastSwapCycle = s.stallUntil
+	s.emit(Event{Kind: EventSwap, Cycle: s.cycle, Overhead: overhead, Delayed: factor != 1})
 }
 
 // watchdogWindow is the progress-check period used by solo runs.
@@ -451,9 +468,31 @@ func (s *System) stateDump() string {
 // errors.Is(err, ErrWedged)) alongside the partial Result, so callers
 // can report the run as degraded instead of hanging.
 func (s *System) Run(limit uint64) (Result, error) {
+	return s.RunContext(context.Background(), limit)
+}
+
+// ctxCheckMask throttles the context poll: RunContext selects on
+// ctx.Done() once every ctxCheckMask+1 cycles, bounding both the
+// cancellation latency (~4k simulated cycles, microseconds of wall
+// time) and the hot-loop cost of cancelability.
+const ctxCheckMask = 1<<12 - 1
+
+// RunContext is Run with cooperative cancellation: when ctx is
+// canceled the run stops at the next check point and returns the
+// partial Result with ctx.Err() — a flagged early return, not a wedge
+// (errors.Is(err, ErrWedged) is false). A context that can never be
+// canceled costs the loop one nil comparison per cycle.
+func (s *System) RunContext(ctx context.Context, limit uint64) (Result, error) {
 	startCycle := s.cycle
 	lastProgressCycle := s.cycle
 	lastCommitted := s.threads[0].Arch.Committed + s.threads[1].Arch.Committed
+	done := ctx.Done()
+	s.emit(Event{Kind: EventRunStart, Cycle: s.cycle})
+
+	finish := func(res Result, err error) (Result, error) {
+		s.emit(Event{Kind: EventRunEnd, Cycle: s.cycle})
+		return res, err
+	}
 
 	for s.threads[0].Arch.Committed < limit && s.threads[1].Arch.Committed < limit {
 		if s.cycle < s.stallUntil {
@@ -480,26 +519,39 @@ func (s *System) Run(limit uint64) (Result, error) {
 			s.recordTimeline()
 		}
 
+		if done != nil && s.cycle&ctxCheckMask == 0 {
+			select {
+			case <-done:
+				s.emit(Event{Kind: EventCanceled, Cycle: s.cycle})
+				return finish(s.result(), ctx.Err())
+			default:
+			}
+		}
 		if s.cfg.CycleBudget > 0 && s.cycle-startCycle >= s.cfg.CycleBudget {
-			return s.result(), &WedgedError{
+			werr := &WedgedError{
 				Cycle: s.cycle, Window: s.cfg.CycleBudget,
 				Reason: "cycle budget exhausted", Detail: s.stateDump(),
 			}
+			s.emit(Event{Kind: EventWedged, Cycle: s.cycle, Reason: werr.Reason})
+			return finish(s.result(), werr)
 		}
 		if s.cycle-lastProgressCycle >= s.cfg.WatchdogCycles {
 			total := s.threads[0].Arch.Committed + s.threads[1].Arch.Committed
 			if total == lastCommitted {
-				return s.result(), &WedgedError{
+				werr := &WedgedError{
 					Cycle: s.cycle, Window: s.cfg.WatchdogCycles,
 					Reason: "no commit progress", Detail: s.stateDump(),
 				}
+				s.emit(Event{Kind: EventWedged, Cycle: s.cycle, Reason: werr.Reason})
+				return finish(s.result(), werr)
 			}
 			lastCommitted = total
 			lastProgressCycle = s.cycle
+			s.emit(Event{Kind: EventWatchdogReset, Cycle: s.cycle})
 		}
 	}
 
-	return s.result(), nil
+	return finish(s.result(), nil)
 }
 
 // MustRun is Run panicking on a wedge: for examples, benchmarks and

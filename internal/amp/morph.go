@@ -91,4 +91,9 @@ func (s *System) morph(on bool, strongThread int) {
 	s.morphs++
 	s.stallUntil = s.cycle + 1 + s.cfg.MorphOverheadCycles
 	s.lastSwapCycle = s.stallUntil // reconfigurations reset interval timers
+	kind := EventMorphOn
+	if !on {
+		kind = EventMorphOff
+	}
+	s.emit(Event{Kind: kind, Cycle: s.cycle, Overhead: s.cfg.MorphOverheadCycles})
 }

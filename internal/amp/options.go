@@ -1,0 +1,49 @@
+package amp
+
+import "ampsched/internal/telemetry"
+
+// Option customizes a System at construction. Options are the new
+// instrumentation surface: where earlier releases assigned hook fields
+// on Config (SwapInjector) or reached into the System afterwards,
+// callers now pass WithObserver / WithFaultPlan / WithTelemetry to
+// NewSystem. The old Config.SwapInjector field still works but is
+// deprecated; an option takes precedence when both are set.
+type Option func(*System)
+
+// WithObserver installs an event observer. Multiple WithObserver (and
+// WithTelemetry) options compose: every observer sees every event.
+func WithObserver(o Observer) Option {
+	return func(s *System) {
+		if o == nil {
+			return
+		}
+		s.obs = MultiObserver(s.obs, o)
+	}
+}
+
+// WithFaultPlan routes every swap request through the injector
+// (typically a *fault.Plan). It replaces the deprecated
+// Config.SwapInjector field.
+func WithFaultPlan(inj SwapInjector) Option {
+	return func(s *System) {
+		if inj != nil {
+			s.cfg.SwapInjector = inj
+		}
+	}
+}
+
+// WithTelemetry publishes the system's metrics and events into t: the
+// amp.* counters and histograms (swaps, failures, overhead
+// distribution, watchdog resets), per-core cpu.* activity gauges at
+// run end, and — when t has sinks — the full event stream. A nil t is
+// ignored, keeping the call site unconditional.
+func WithTelemetry(t *telemetry.Telemetry) Option {
+	return func(s *System) {
+		if t == nil {
+			return
+		}
+		h := newTelemetryHook(s, t)
+		s.tel = h
+		s.obs = MultiObserver(s.obs, h)
+	}
+}

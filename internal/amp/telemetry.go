@@ -1,0 +1,108 @@
+package amp
+
+import (
+	"fmt"
+
+	"ampsched/internal/telemetry"
+)
+
+// telemetryHook bridges the System's event stream into a
+// telemetry.Telemetry: counters and histograms for the amp layer,
+// per-core activity gauges flushed at run end, and (when the telemetry
+// has sinks) a structured event per system event. All metric handles
+// are resolved once at construction, so steady-state publishing is a
+// handful of atomic adds.
+type telemetryHook struct {
+	sys *System
+	t   *telemetry.Telemetry
+
+	runs           *telemetry.Counter
+	swaps          *telemetry.Counter
+	swapFailures   *telemetry.Counter
+	swapsDelayed   *telemetry.Counter
+	morphs         *telemetry.Counter
+	watchdogResets *telemetry.Counter
+	wedges         *telemetry.Counter
+	cancels        *telemetry.Counter
+	swapOverhead   *telemetry.Histogram
+}
+
+func newTelemetryHook(s *System, t *telemetry.Telemetry) *telemetryHook {
+	return &telemetryHook{
+		sys:            s,
+		t:              t,
+		runs:           t.Counter("amp.runs"),
+		swaps:          t.Counter("amp.swaps"),
+		swapFailures:   t.Counter("amp.swap_failures"),
+		swapsDelayed:   t.Counter("amp.swaps_delayed"),
+		morphs:         t.Counter("amp.morphs"),
+		watchdogResets: t.Counter("amp.watchdog_resets"),
+		wedges:         t.Counter("amp.wedges"),
+		cancels:        t.Counter("amp.cancels"),
+		swapOverhead:   t.Histogram("amp.swap_overhead_cycles"),
+	}
+}
+
+// Event implements Observer.
+func (h *telemetryHook) Event(e Event) {
+	switch e.Kind {
+	case EventRunStart:
+		h.runs.Inc()
+	case EventRunEnd:
+		h.flushRunEnd()
+	case EventSwap:
+		h.swaps.Inc()
+		h.swapOverhead.Observe(e.Overhead)
+		if e.Delayed {
+			h.swapsDelayed.Inc()
+		}
+	case EventSwapFailed:
+		h.swapFailures.Inc()
+	case EventMorphOn, EventMorphOff:
+		h.morphs.Inc()
+	case EventWatchdogReset:
+		h.watchdogResets.Inc()
+	case EventWedged:
+		h.wedges.Inc()
+	case EventCanceled:
+		h.cancels.Inc()
+	}
+	if h.t.Eventing() && e.Kind != EventWatchdogReset {
+		te := telemetry.NewEvent(e.Kind.String())
+		te.Cycle = e.Cycle
+		te.Value = float64(e.Overhead)
+		te.Detail = e.Reason
+		if e.Delayed {
+			te.Detail = "delayed"
+		}
+		h.t.Emit(te)
+	}
+}
+
+// flushRunEnd publishes the end-of-run state of the cpu layer: global
+// cycle, per-core activity and per-thread commit/energy totals. Gauges
+// (not counters) so repeated runs on one system overwrite rather than
+// double-count.
+func (h *telemetryHook) flushRunEnd() {
+	s := h.sys
+	h.t.Gauge("amp.cycles").Set(float64(s.cycle))
+	for c := 0; c < 2; c++ {
+		act := s.cores[c].Activity()
+		prefix := fmt.Sprintf("cpu.core%d.", c)
+		h.t.Gauge(prefix + "active_cycles").Set(float64(act.Cycles))
+		h.t.Gauge(prefix + "stall_cycles").Set(float64(act.StallCycles))
+		h.t.Gauge(prefix + "fetched_ops").Set(float64(act.FetchedOps))
+		h.t.Gauge(prefix + "exec_ops").Set(float64(act.TotalOps()))
+		h.t.Gauge(prefix + "squashed_ops").Set(float64(act.Squashed))
+	}
+	for i := 0; i < 2; i++ {
+		th := s.threads[i]
+		prefix := fmt.Sprintf("amp.thread%d.", i)
+		h.t.Gauge(prefix + "committed").Set(float64(th.Arch.Committed))
+		h.t.Gauge(prefix + "energy_nj").Set(th.EnergyNJ)
+		h.t.Gauge(prefix + "int_pct").Set(th.Arch.IntPct())
+		h.t.Gauge(prefix + "fp_pct").Set(th.Arch.FPPct())
+	}
+}
+
+var _ Observer = (*telemetryHook)(nil)

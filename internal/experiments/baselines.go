@@ -13,15 +13,21 @@ import (
 // SamplingFactory builds the related-work sampling scheduler scaled to
 // the runner's coarse decision interval.
 func (r *Runner) SamplingFactory() SchedFactory {
-	return func() amp.Scheduler {
+	return func(opts ...sched.Option) amp.Scheduler {
 		cfg := sched.DefaultSamplingConfig()
 		cfg.Interval = r.Opt.ContextSwitch
 		cfg.SampleLen = r.Opt.ContextSwitch / 16
 		if cfg.SampleLen == 0 {
 			cfg.SampleLen = 1
 		}
-		return sched.NewSampling(cfg)
+		return sched.NewSampling(cfg, opts...)
 	}
+}
+
+// StaticFactory builds the never-swap baseline; it has no telemetry
+// or monitors, so the options are accepted and ignored.
+func StaticFactory() SchedFactory {
+	return func(...sched.Option) amp.Scheduler { return sched.Static{} }
 }
 
 // geoIPCW is the pair-level geometric-mean IPC/Watt.
@@ -77,11 +83,11 @@ func RunBaselines(r *Runner, w io.Writer) error {
 		r.progress("baselines: pair %d/%d %s", i+1, len(pairs), p.Label())
 		// Both static assignments; the better one is the oracle
 		// placement reference.
-		asGiven, err := r.RunPair(i+50_000, p, func() amp.Scheduler { return sched.Static{} })
+		asGiven, err := r.RunPair(i+50_000, p, StaticFactory())
 		if err != nil {
 			return err
 		}
-		flipped, err := r.RunPair(i+50_000, Pair{A: p.B, B: p.A}, func() amp.Scheduler { return sched.Static{} })
+		flipped, err := r.RunPair(i+50_000, Pair{A: p.B, B: p.A}, StaticFactory())
 		if err != nil {
 			return err
 		}

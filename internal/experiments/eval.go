@@ -77,12 +77,12 @@ func RunFig6(r *Runner, w io.Writer) error {
 			var wImp, gImp []float64
 			for i, p := range pairs {
 				r.progress("fig6: window=%d depth=%d pair %d/%d", win, d, i+1, len(pairs))
-				factory := func() amp.Scheduler {
+				factory := func(opts ...sched.Option) amp.Scheduler {
 					cfg := sched.DefaultProposedConfig()
 					cfg.WindowSize = win
 					cfg.HistoryDepth = d
 					cfg.ForceInterval = r.Opt.ContextSwitch
-					return sched.NewProposed(cfg)
+					return sched.NewProposed(cfg, opts...)
 				}
 				res, err := r.RunPair(i+10_000, p, factory)
 				if err != nil {

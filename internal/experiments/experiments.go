@@ -12,11 +12,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ampsched/internal/amp"
 	"ampsched/internal/cpu"
@@ -26,6 +29,7 @@ import (
 	"ampsched/internal/profilegen"
 	"ampsched/internal/rng"
 	"ampsched/internal/sched"
+	"ampsched/internal/telemetry"
 	"ampsched/internal/workload"
 )
 
@@ -154,21 +158,11 @@ func RandomPairs(n int, seed uint64) []Pair {
 	return pairs
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// SchedFactory builds a fresh scheduler instance for one run.
-type SchedFactory func() amp.Scheduler
+// SchedFactory builds a fresh scheduler instance for one run. The
+// runner supplies the options (telemetry, fault observer factories)
+// at each call site; a factory that constructs a scheduler ignoring
+// them is still valid.
+type SchedFactory func(opts ...sched.Option) amp.Scheduler
 
 // Runner caches the expensive shared state (profiling, estimators,
 // the main pair sweep) across experiments.
@@ -184,6 +178,17 @@ type Runner struct {
 
 	// Progress, if non-nil, receives one-line status updates.
 	Progress func(string)
+
+	// Telemetry, if non-nil, receives counters and events from every
+	// run the Runner launches: the amp/sched/fault layers plus
+	// "experiments.pairs_done"/"experiments.pairs_failed" and the
+	// per-run wall-time histogram "experiments.run_wall_us". Safe to
+	// share across the parallel sweep.
+	Telemetry *telemetry.Telemetry
+
+	// BaseContext, if non-nil, bounds every RunPair/Sweep call that is
+	// not handed an explicit context (RunPairContext/SweepContext).
+	BaseContext context.Context
 }
 
 // NewRunner builds a Runner over the paper's two cores.
@@ -202,6 +207,14 @@ func (r *Runner) progress(format string, args ...interface{}) {
 	if r.Progress != nil {
 		r.Progress(fmt.Sprintf(format, args...))
 	}
+}
+
+// baseCtx resolves the context used by the context-less entry points.
+func (r *Runner) baseCtx() context.Context {
+	if r.BaseContext != nil {
+		return r.BaseContext
+	}
+	return context.Background()
 }
 
 // Profile runs (or returns the cached) §V profiling pass over the nine
@@ -259,73 +272,116 @@ func (r *Runner) faultSeed(i int) uint64 {
 // wedged run (watchdog or cycle budget) or a panicking scheduler comes
 // back as an error, never as a crash.
 func (r *Runner) RunPair(i int, p Pair, factory SchedFactory) (amp.Result, error) {
-	return r.RunPairOverhead(i, p, factory, r.Opt.SwapOverhead)
+	return r.runPair(r.baseCtx(), i, p, factory, r.Opt.SwapOverhead)
+}
+
+// RunPairContext is RunPair bounded by ctx: a canceled context stops
+// the simulation at the next check point and surfaces ctx's error
+// (wrapped; errors.Is-matchable) with the partial result.
+func (r *Runner) RunPairContext(ctx context.Context, i int, p Pair, factory SchedFactory) (amp.Result, error) {
+	return r.runPair(ctx, i, p, factory, r.Opt.SwapOverhead)
 }
 
 // RunPairOverhead is RunPair with an explicit swap overhead (§VI-C).
-func (r *Runner) RunPairOverhead(i int, p Pair, factory SchedFactory, overhead uint64) (res amp.Result, err error) {
+func (r *Runner) RunPairOverhead(i int, p Pair, factory SchedFactory, overhead uint64) (amp.Result, error) {
+	return r.runPair(r.baseCtx(), i, p, factory, overhead)
+}
+
+// runPair is the single execution path behind every RunPair variant.
+// The run is labeled for the profiler (pprof label "pair"), wired to
+// the runner's telemetry, and — when fault injection is on — given a
+// per-index deterministic fault plan via the option API.
+func (r *Runner) runPair(ctx context.Context, i int, p Pair, factory SchedFactory, overhead uint64) (res amp.Result, err error) {
+	start := time.Now()
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = fmt.Errorf("experiments: pair %s panicked: %v", p.Label(), rec)
 		}
+		r.observeRun(p, time.Since(start), err)
 	}()
 	t0 := amp.NewThread(0, p.A, r.pairSeed(i, 0), 0)
 	t1 := amp.NewThread(1, p.B, r.pairSeed(i, 1), 1<<40)
+
+	var schedOpts []sched.Option
+	var ampOpts []amp.Option
+	if r.Telemetry != nil {
+		schedOpts = append(schedOpts, sched.WithTelemetry(r.Telemetry))
+		ampOpts = append(ampOpts, amp.WithTelemetry(r.Telemetry))
+	}
+	if r.Opt.FaultRate > 0 {
+		plan := fault.MustNew(fault.Uniform(r.Opt.FaultRate, r.faultSeed(i)))
+		plan.SetTelemetry(r.Telemetry)
+		ampOpts = append(ampOpts, amp.WithFaultPlan(plan))
+		var tag uint64
+		schedOpts = append(schedOpts, sched.WithObserverFactory(func(window uint64) monitor.Observer {
+			tag++
+			return plan.Observer(monitor.NewWindowTracker(window), tag)
+		}))
+	}
 	var s amp.Scheduler
 	if factory != nil {
-		s = factory()
+		s = factory(schedOpts...)
 	}
 	cfg := amp.Config{
 		SwapOverheadCycles: overhead,
 		CycleBudget:        r.Opt.CycleBudget,
 	}
-	if r.Opt.FaultRate > 0 {
-		plan := fault.MustNew(fault.Uniform(r.Opt.FaultRate, r.faultSeed(i)))
-		cfg.SwapInjector = plan
-		if inj, ok := s.(sched.ObserverInjectable); ok {
-			var tag uint64
-			inj.SetObserver(func(window uint64) monitor.Observer {
-				tag++
-				return plan.Observer(monitor.NewWindowTracker(window), tag)
-			})
-		}
-	}
-	sys, err := amp.NewSystem([2]*cpu.Config{r.IntCfg, r.FPCfg}, [2]*amp.Thread{t0, t1}, s, cfg)
+	sys, err := amp.NewSystem([2]*cpu.Config{r.IntCfg, r.FPCfg}, [2]*amp.Thread{t0, t1}, s, cfg, ampOpts...)
 	if err != nil {
 		return amp.Result{}, fmt.Errorf("experiments: pair %s: %w", p.Label(), err)
 	}
-	res, err = sys.Run(r.Opt.InstrLimit)
+	pprof.Do(ctx, pprof.Labels("pair", p.Label()), func(ctx context.Context) {
+		res, err = sys.RunContext(ctx, r.Opt.InstrLimit)
+	})
 	if err != nil {
 		return res, fmt.Errorf("experiments: pair %s: %w", p.Label(), err)
 	}
 	return res, nil
 }
 
+// observeRun publishes one run's wall time and outcome.
+func (r *Runner) observeRun(p Pair, d time.Duration, err error) {
+	t := r.Telemetry
+	if t == nil {
+		return
+	}
+	t.Histogram("experiments.run_wall_us").Observe(uint64(d.Microseconds()))
+	if t.Eventing() {
+		e := telemetry.NewEvent("pair_run")
+		e.Pair = p.Label()
+		e.Value = d.Seconds()
+		if err != nil {
+			e.Detail = err.Error()
+		}
+		t.Emit(e)
+	}
+}
+
 // ProposedFactory builds the paper's default proposed scheduler with
 // the runner's (possibly scaled) forced-swap interval.
 func (r *Runner) ProposedFactory() SchedFactory {
-	return func() amp.Scheduler {
+	return func(opts ...sched.Option) amp.Scheduler {
 		cfg := sched.DefaultProposedConfig()
 		cfg.ForceInterval = r.Opt.ContextSwitch
-		return sched.NewProposed(cfg)
+		return sched.NewProposed(cfg, opts...)
 	}
 }
 
 // HPEFactory builds the HPE reference scheduler with the given
 // estimator.
 func (r *Runner) HPEFactory(est sched.Estimator) SchedFactory {
-	return func() amp.Scheduler {
+	return func(opts ...sched.Option) amp.Scheduler {
 		cfg := sched.DefaultHPEConfig()
 		cfg.Interval = r.Opt.ContextSwitch
-		return sched.NewHPE(cfg, est)
+		return sched.NewHPE(cfg, est, opts...)
 	}
 }
 
 // RRFactory builds a Round Robin scheduler swapping every multiple
 // context-switch intervals.
 func (r *Runner) RRFactory(multiple int) SchedFactory {
-	return func() amp.Scheduler {
-		return sched.NewRoundRobinInterval(uint64(multiple) * r.Opt.ContextSwitch)
+	return func(opts ...sched.Option) amp.Scheduler {
+		return sched.NewRoundRobinInterval(uint64(multiple)*r.Opt.ContextSwitch, opts...)
 	}
 }
 
@@ -381,6 +437,14 @@ func (s *SweepResult) Completed() []PairOutcome {
 // degraded outcome (Failed set, reason in Err) — the remaining pairs
 // still complete, and Sweep only errors when every pair failed.
 func (r *Runner) Sweep() (*SweepResult, error) {
+	return r.SweepContext(r.baseCtx())
+}
+
+// SweepContext is Sweep bounded by ctx. On cancellation the workers
+// stop promptly, unfinished pairs come back as degraded outcomes
+// carrying the context error, and the partial SweepResult is returned
+// alongside ctx's error without being cached.
+func (r *Runner) SweepContext(ctx context.Context) (*SweepResult, error) {
 	if r.sweep != nil {
 		return r.sweep, nil
 	}
@@ -414,7 +478,15 @@ func (r *Runner) Sweep() (*SweepResult, error) {
 					return
 				}
 				p := pairs[i]
-				out.Outcomes[i] = r.runOutcome(i, p, matrix)
+				if cerr := ctx.Err(); cerr != nil {
+					// Don't start new simulations after cancellation;
+					// the pair is flagged, not silently zero.
+					out.Outcomes[i] = PairOutcome{Pair: p, Failed: true,
+						Err: fmt.Sprintf("experiments: pair %s: %v", p.Label(), cerr)}
+					continue
+				}
+				out.Outcomes[i] = r.runOutcome(ctx, i, p, matrix)
+				r.observeOutcome(&out.Outcomes[i])
 				if e := out.Outcomes[i].Err; e != "" {
 					r.progress("pair %d/%d DEGRADED (%s): %s", done.Add(1), len(pairs), p.Label(), e)
 				} else {
@@ -424,6 +496,9 @@ func (r *Runner) Sweep() (*SweepResult, error) {
 		}()
 	}
 	wg.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		return out, cerr
+	}
 	if n := out.Failed(); n == len(pairs) {
 		return nil, fmt.Errorf("experiments: all %d pairs failed; first: %s", n, out.Outcomes[0].Err)
 	}
@@ -431,9 +506,21 @@ func (r *Runner) Sweep() (*SweepResult, error) {
 	return out, nil
 }
 
+// observeOutcome publishes one pair outcome's progress counters.
+func (r *Runner) observeOutcome(po *PairOutcome) {
+	if r.Telemetry == nil {
+		return
+	}
+	if po.Failed {
+		r.Telemetry.Counter("experiments.pairs_failed").Inc()
+	} else {
+		r.Telemetry.Counter("experiments.pairs_done").Inc()
+	}
+}
+
 // runOutcome executes one pair under the three schemes, downgrading
 // any failure to a flagged outcome.
-func (r *Runner) runOutcome(i int, p Pair, matrix *profilegen.RatioMatrix) PairOutcome {
+func (r *Runner) runOutcome(ctx context.Context, i int, p Pair, matrix *profilegen.RatioMatrix) PairOutcome {
 	po := PairOutcome{Pair: p}
 	fail := func(err error) PairOutcome {
 		po.Failed = true
@@ -441,13 +528,13 @@ func (r *Runner) runOutcome(i int, p Pair, matrix *profilegen.RatioMatrix) PairO
 		return po
 	}
 	var err error
-	if po.Proposed, err = r.RunPair(i, p, r.ProposedFactory()); err != nil {
+	if po.Proposed, err = r.RunPairContext(ctx, i, p, r.ProposedFactory()); err != nil {
 		return fail(err)
 	}
-	if po.HPE, err = r.RunPair(i, p, r.HPEFactory(matrix)); err != nil {
+	if po.HPE, err = r.RunPairContext(ctx, i, p, r.HPEFactory(matrix)); err != nil {
 		return fail(err)
 	}
-	if po.RR, err = r.RunPair(i, p, r.RRFactory(1)); err != nil {
+	if po.RR, err = r.RunPairContext(ctx, i, p, r.RRFactory(1)); err != nil {
 		return fail(err)
 	}
 	if po.VsHPE, err = metrics.Compare(po.Proposed, po.HPE); err != nil {

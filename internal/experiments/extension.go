@@ -17,10 +17,10 @@ import (
 // ProposedExtFactory builds the §VII-extension scheduler (IPC + LLC
 // miss-rate guard) with the runner's forced-swap interval.
 func (r *Runner) ProposedExtFactory() SchedFactory {
-	return func() amp.Scheduler {
+	return func(opts ...sched.Option) amp.Scheduler {
 		cfg := sched.DefaultExtendedConfig()
 		cfg.Base.ForceInterval = r.Opt.ContextSwitch
-		return sched.NewProposedExt(cfg)
+		return sched.NewProposedExt(cfg, opts...)
 	}
 }
 

@@ -15,10 +15,10 @@ import (
 // MorphingFactory builds the [5]-style morphing scheduler with the
 // runner's forced-swap interval.
 func (r *Runner) MorphingFactory() SchedFactory {
-	return func() amp.Scheduler {
+	return func(opts ...sched.Option) amp.Scheduler {
 		cfg := sched.DefaultMorphConfig()
 		cfg.Base.ForceInterval = r.Opt.ContextSwitch
-		return sched.NewMorphing(cfg)
+		return sched.NewMorphing(cfg, opts...)
 	}
 }
 

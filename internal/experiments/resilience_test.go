@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ampsched/internal/amp"
+	"ampsched/internal/sched"
 )
 
 // panicSched blows up on its first decision, simulating a buggy
@@ -24,7 +25,7 @@ func TestRunPairRecoversPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := RandomPairs(1, 3)[0]
-	_, err = r.RunPair(0, p, func() amp.Scheduler { return panicSched{} })
+	_, err = r.RunPair(0, p, func(...sched.Option) amp.Scheduler { return panicSched{} })
 	if err == nil {
 		t.Fatal("panicking scheduler did not surface as an error")
 	}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ampsched/internal/telemetry"
+)
+
+func TestSweepResultEdgeCases(t *testing.T) {
+	empty := &SweepResult{}
+	if empty.Failed() != 0 {
+		t.Error("empty sweep reports failures")
+	}
+	if got := empty.Completed(); len(got) != 0 {
+		t.Errorf("empty sweep completed %d outcomes", len(got))
+	}
+
+	all := &SweepResult{Outcomes: []PairOutcome{
+		{Failed: true, Err: "a"},
+		{Failed: true, Err: "b"},
+	}}
+	if all.Failed() != 2 || len(all.Completed()) != 0 {
+		t.Errorf("all-failed sweep: Failed=%d Completed=%d", all.Failed(), len(all.Completed()))
+	}
+	if len(all.WeightedVsHPE()) != 0 || len(all.WeightedVsRR()) != 0 {
+		t.Error("aggregates include failed outcomes")
+	}
+
+	// A mixed sweep preserves pair order among the completed outcomes.
+	pairs := RandomPairs(3, 1)
+	mixed := &SweepResult{Outcomes: []PairOutcome{
+		{Pair: pairs[0]},
+		{Pair: pairs[1], Failed: true, Err: "wedged"},
+		{Pair: pairs[2]},
+	}}
+	if mixed.Failed() != 1 {
+		t.Errorf("Failed = %d, want 1", mixed.Failed())
+	}
+	done := mixed.Completed()
+	if len(done) != 2 || done[0].Pair != pairs[0] || done[1].Pair != pairs[2] {
+		t.Errorf("Completed out of order: %v", done)
+	}
+}
+
+func TestRunPairContextCancel(t *testing.T) {
+	r, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := RandomPairs(1, 3)[0]
+	_, err = r.RunPairContext(ctx, 0, p, r.RRFactory(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepContextCancelReturnsPartialUncached(t *testing.T) {
+	r, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // before the sweep: every pair must come back flagged
+	sw, err := r.SweepContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sw == nil || len(sw.Outcomes) == 0 {
+		t.Fatal("no partial result returned")
+	}
+	for i := range sw.Outcomes {
+		if !sw.Outcomes[i].Failed || sw.Outcomes[i].Err == "" {
+			t.Fatalf("outcome %d not flagged after cancellation: %+v", i, sw.Outcomes[i])
+		}
+	}
+	// The canceled sweep must not be cached: a later uncanceled Sweep
+	// runs for real and succeeds.
+	clean, err := r.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Failed() == len(clean.Outcomes) {
+		t.Fatal("post-cancel Sweep still degraded")
+	}
+}
+
+func TestRunnerTelemetryCounters(t *testing.T) {
+	opt := tinyOptions()
+	opt.Pairs = 2
+	opt.FaultRate = 0.3
+	opt.FaultSeed = 5
+	r, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New()
+	r.Telemetry = tel
+	sw, err := r.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := tel.Registry()
+	done := reg.Counter("experiments.pairs_done").Value()
+	failed := reg.Counter("experiments.pairs_failed").Value()
+	if int(done) != len(sw.Completed()) || int(failed) != sw.Failed() {
+		t.Errorf("pairs_done/failed = %d/%d, want %d/%d",
+			done, failed, len(sw.Completed()), sw.Failed())
+	}
+	// Three runs per outcome land in the wall-time histogram.
+	if h := reg.Histogram("experiments.run_wall_us"); h.Count() != uint64(3*len(sw.Outcomes)) {
+		t.Errorf("run_wall_us count = %d, want %d", h.Count(), 3*len(sw.Outcomes))
+	}
+	// The lower layers published through the same Telemetry.
+	if reg.Counter("amp.runs").Value() == 0 {
+		t.Error("amp layer silent")
+	}
+	if reg.Counter("sched.proposed.windows").Value() == 0 {
+		t.Error("sched layer silent")
+	}
+	// With a 30% uniform fault rate something must have been injected.
+	var injected uint64
+	for _, name := range []string{
+		"fault.samples_dropped", "fault.samples_stale",
+		"fault.samples_noised", "fault.swaps_failed", "fault.swaps_delayed",
+	} {
+		injected += reg.Counter(name).Value()
+	}
+	if injected == 0 {
+		t.Error("fault layer silent at 30% rate")
+	}
+}

@@ -143,6 +143,7 @@ type Plan struct {
 	swapRng  *rng.Source
 	traceRng *rng.Source
 	stats    Stats
+	tel      planTel
 }
 
 // New validates cfg and instantiates its streams.
@@ -181,10 +182,14 @@ func (p *Plan) Stats() Stats { return p.stats }
 func (p *Plan) SwapOutcome(cycle uint64) amp.SwapOutcome {
 	if p.cfg.SwapFailRate > 0 && p.swapRng.Bool(p.cfg.SwapFailRate) {
 		p.stats.SwapsFailed++
+		p.tel.swapFails.Inc()
+		p.tel.event(cycle, "swap_fail")
 		return amp.SwapOutcome{Fail: true}
 	}
 	if p.cfg.SwapDelayRate > 0 && p.swapRng.Bool(p.cfg.SwapDelayRate) {
 		p.stats.SwapsDelayed++
+		p.tel.swapDelays.Inc()
+		p.tel.event(cycle, "swap_delay")
 		return amp.SwapOutcome{OverheadFactor: p.cfg.SwapDelayFactor}
 	}
 	return amp.SwapOutcome{}
@@ -202,6 +207,7 @@ func (p *Plan) Observer(inner monitor.Observer, tag uint64) *FaultyObserver {
 		cfg:   p.cfg,
 		rng:   rng.New(streamSeed(p.cfg.Seed, tagObserver+tag<<8)),
 		stats: &p.stats,
+		tel:   &p.tel,
 	}
 }
 
@@ -221,5 +227,6 @@ func (p *Plan) CorruptBytes(b []byte) int {
 		n++
 	}
 	p.stats.BytesCorrupted += uint64(n)
+	p.tel.corrupted.Add(uint64(n))
 	return n
 }

@@ -20,6 +20,7 @@ type FaultyObserver struct {
 	cfg   Config
 	rng   *rng.Source
 	stats *Stats
+	tel   *planTel // shared with the owning Plan; nil-safe
 
 	latest monitor.Sample // what the scheduler last saw
 	have   bool
@@ -52,20 +53,30 @@ func (f *FaultyObserver) Observe(arch *cpu.ThreadArch) (monitor.Sample, bool) {
 	}
 	if f.cfg.SampleDropRate > 0 && f.rng.Bool(f.cfg.SampleDropRate) {
 		f.stats.SamplesDropped++
+		f.emit(func(pt *planTel) { pt.dropped.Inc(); pt.event(0, "sample_drop") })
 		return monitor.Sample{}, false
 	}
 	if f.cfg.SampleStaleRate > 0 && f.rng.Bool(f.cfg.SampleStaleRate) && f.hadOne {
 		f.stats.SamplesStale++
+		f.emit(func(pt *planTel) { pt.stale.Inc(); pt.event(0, "sample_stale") })
 		s = f.prev
 		s.WindowEnd = arch.Committed // the timestamp still advances
 	} else if f.cfg.SampleNoisePct > 0 {
 		s.IntPct = clampPct(s.IntPct + (f.rng.Float64()*2-1)*f.cfg.SampleNoisePct)
 		s.FPPct = clampPct(s.FPPct + (f.rng.Float64()*2-1)*f.cfg.SampleNoisePct)
 		f.stats.SamplesNoised++
+		f.emit(func(pt *planTel) { pt.noised.Inc() })
 	}
 	f.prev, f.hadOne = s, true
 	f.latest, f.have = s, true
 	return s, true
+}
+
+// emit runs fn against the owning plan's telemetry handles when wired.
+func (f *FaultyObserver) emit(fn func(*planTel)) {
+	if f.tel != nil {
+		fn(f.tel)
+	}
 }
 
 func clampPct(v float64) float64 {

@@ -71,17 +71,20 @@ type ProposedExt struct {
 	mem        [2]threadMemState
 	stats      amp.SchedulerStats
 	retry      retryState
+	tel        polTel
 	vetoes     uint64
 	intCore    int
 	fpCore     int
 }
 
-// NewProposedExt builds the extended scheduler.
-func NewProposedExt(cfg ExtendedConfig) *ProposedExt {
+// NewProposedExt builds the extended scheduler. Options attach
+// telemetry or replace the hardware monitors.
+func NewProposedExt(cfg ExtendedConfig, opts ...Option) *ProposedExt {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &ProposedExt{cfg: cfg}
+	o := buildOptions(opts)
+	return &ProposedExt{cfg: cfg, obsFactory: o.obsFactory, tel: newPolTel(o.tel, "proposed-ext")}
 }
 
 // Name implements amp.Scheduler.
@@ -120,6 +123,7 @@ func (p *ProposedExt) Reset(v amp.View) {
 	p.voter = monitor.NewVoter(p.cfg.Base.HistoryDepth)
 	p.stats = amp.SchedulerStats{}
 	p.retry.reset(p.cfg.Base.RetryBackoffCycles, p.cfg.Base.ForceInterval, v)
+	p.retry.retries = p.tel.retries
 	p.vetoes = 0
 }
 
@@ -176,8 +180,9 @@ func (p *ProposedExt) memBound(t int) bool {
 func (p *ProposedExt) Tick(v amp.View) bool {
 	closed := false
 	for t := 0; t < 2; t++ {
-		if _, ok := p.trackers[t].Observe(v.Arch(t)); ok {
+		if s, ok := p.trackers[t].Observe(v.Arch(t)); ok {
 			p.observeMem(v, t)
+			p.tel.window(v.Cycle(), t, s)
 			closed = true
 		}
 	}
@@ -192,6 +197,7 @@ func (p *ProposedExt) Tick(v amp.View) bool {
 		return false
 	}
 	p.stats.DecisionPoints++
+	p.tel.decisions.Inc()
 	p.retry.observe(v)
 
 	base := &p.cfg.Base
@@ -205,28 +211,40 @@ func (p *ProposedExt) Tick(v amp.View) bool {
 	if intSurge && p.memBound(tFP) && sINT.FPPct < base.FPHigh {
 		intSurge = false
 		p.vetoes++
+		p.tel.vetoes.Inc()
 	}
 	// Rule 2(ii): symmetric for an FP surge on the INT core.
 	fpSurge := sINT.FPPct >= base.FPHigh && sFP.FPPct <= base.FPLow
 	if fpSurge && p.memBound(tINT) && sFP.IntPct < base.IntHigh {
 		fpSurge = false
 		p.vetoes++
+		p.tel.vetoes.Inc()
 	}
-	p.voter.Push(intSurge || fpSurge)
-	if p.voter.Majority() && !p.retry.holdoff(v.Cycle()) {
+	tentative := intSurge || fpSurge
+	p.voter.Push(tentative)
+	p.tel.vote(tentative)
+	majority := p.voter.Majority()
+	if p.retry.holdoff(v.Cycle()) {
+		if majority {
+			p.tel.holdoffs.Inc()
+		}
+		return false
+	}
+	if majority {
+		p.tel.majorityFires.Inc()
 		p.stats.SwapRequests++
+		p.tel.requests.Inc()
 		p.voter.Clear()
 		return true
-	}
-	if p.retry.holdoff(v.Cycle()) {
-		return false
 	}
 
 	if !base.DisableForcedSwap && v.Cycle()-v.LastSwapCycle() >= base.ForceInterval {
 		forced := (sFP.IntPct >= base.IntHigh && sINT.IntPct >= base.IntHigh) ||
 			(sINT.FPPct >= base.FPHigh && sFP.FPPct >= base.FPHigh)
 		if forced {
+			p.tel.forcedSwaps.Inc()
 			p.stats.SwapRequests++
+			p.tel.requests.Inc()
 			p.voter.Clear()
 			return true
 		}

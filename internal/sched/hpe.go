@@ -59,17 +59,21 @@ type HPE struct {
 	lastCycle     uint64
 
 	stats amp.SchedulerStats
+	tel   polTel
 }
 
-// NewHPE builds the scheduler around an estimator.
-func NewHPE(cfg HPEConfig, est Estimator) *HPE {
+// NewHPE builds the scheduler around an estimator. Options attach
+// telemetry; WithObserverFactory is ignored (HPE reads interval
+// deltas, not commit windows).
+func NewHPE(cfg HPEConfig, est Estimator, opts ...Option) *HPE {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	if est == nil {
 		panic("sched: hpe: nil estimator")
 	}
-	return &HPE{cfg: cfg, est: est}
+	o := buildOptions(opts)
+	return &HPE{cfg: cfg, est: est, tel: newPolTel(o.tel, "hpe-"+est.Name())}
 }
 
 // Name implements amp.Scheduler.
@@ -153,6 +157,7 @@ func (h *HPE) Tick(v amp.View) bool {
 	}
 	h.nextCheck = v.Cycle() + h.cfg.Interval
 	h.stats.DecisionPoints++
+	h.tel.decisions.Inc()
 
 	cycles := v.Cycle() - h.lastCycle
 	var obs [2]intervalObservation
@@ -179,6 +184,7 @@ func (h *HPE) Tick(v amp.View) bool {
 	est := (speedup(0) + speedup(1)) / 2
 	if est > h.cfg.SpeedupThreshold {
 		h.stats.SwapRequests++
+		h.tel.requests.Inc()
 		return true
 	}
 	return false

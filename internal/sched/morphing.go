@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ampsched/internal/amp"
+	"ampsched/internal/telemetry"
 )
 
 // MorphConfig parameterizes the morphing scheduler — a simplified
@@ -82,14 +83,26 @@ type Morphing struct {
 	consecOff      int
 	morphOns       uint64
 	closedThisTick bool
+
+	telOns  *telemetry.Counter
+	telOffs *telemetry.Counter
 }
 
-// NewMorphing builds the scheduler.
-func NewMorphing(cfg MorphConfig) *Morphing {
+// NewMorphing builds the scheduler. Options are shared with the
+// embedded Proposed scheme (its counters appear under
+// "sched.proposed.*"); the morph decisions themselves are counted as
+// "sched.morphing.morph_ons"/"morph_offs".
+func NewMorphing(cfg MorphConfig, opts ...Option) *Morphing {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Morphing{cfg: cfg, proposed: NewProposed(cfg.Base)}
+	o := buildOptions(opts)
+	m := &Morphing{cfg: cfg, proposed: NewProposed(cfg.Base, opts...)}
+	if o.tel != nil {
+		m.telOns = o.tel.Counter("sched.morphing.morph_ons")
+		m.telOffs = o.tel.Counter("sched.morphing.morph_offs")
+	}
+	return m
 }
 
 // Name implements amp.Scheduler.
@@ -183,6 +196,7 @@ func (m *Morphing) MorphTick(v amp.View) (amp.MorphAction, int) {
 		m.consecOn = 0
 		m.consecOff = 0
 		m.morphOns++
+		m.telOns.Inc()
 		_ = low
 		return amp.MorphOn, high
 	}
@@ -205,6 +219,7 @@ func (m *Morphing) MorphTick(v amp.View) (amp.MorphAction, int) {
 	}
 	m.morphed = false
 	m.consecOff = 0
+	m.telOffs.Inc()
 	return amp.MorphOff, 0
 }
 

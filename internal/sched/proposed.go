@@ -79,16 +79,20 @@ type Proposed struct {
 	voter      *monitor.Voter
 	stats      amp.SchedulerStats
 	retry      retryState
+	tel        polTel
 	intCore    int
 	fpCore     int
 }
 
-// NewProposed builds the scheduler; cfg is validated.
-func NewProposed(cfg ProposedConfig) *Proposed {
+// NewProposed builds the scheduler; cfg is validated. Options attach
+// telemetry (WithTelemetry) or replace the hardware monitors
+// (WithObserverFactory).
+func NewProposed(cfg ProposedConfig, opts ...Option) *Proposed {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Proposed{cfg: cfg}
+	o := buildOptions(opts)
+	return &Proposed{cfg: cfg, obsFactory: o.obsFactory, tel: newPolTel(o.tel, "proposed")}
 }
 
 // Name implements amp.Scheduler.
@@ -116,6 +120,7 @@ func (p *Proposed) Reset(v amp.View) {
 	p.voter = monitor.NewVoter(p.cfg.HistoryDepth)
 	p.stats = amp.SchedulerStats{}
 	p.retry.reset(p.cfg.RetryBackoffCycles, p.cfg.ForceInterval, v)
+	p.retry.retries = p.tel.retries
 }
 
 // SchedStats implements amp.StatsReporter.
@@ -132,7 +137,8 @@ func (p *Proposed) SchedStats() amp.SchedulerStats {
 func (p *Proposed) Tick(v amp.View) bool {
 	closed := false
 	for t := 0; t < 2; t++ {
-		if _, ok := p.trackers[t].Observe(v.Arch(t)); ok {
+		if s, ok := p.trackers[t].Observe(v.Arch(t)); ok {
+			p.tel.window(v.Cycle(), t, s)
 			closed = true
 		}
 	}
@@ -146,6 +152,7 @@ func (p *Proposed) Tick(v amp.View) bool {
 		return false // need one full window from each thread first
 	}
 	p.stats.DecisionPoints++
+	p.tel.decisions.Inc()
 	p.retry.observe(v)
 
 	// Fig. 5 step 2: swap helps both threads. The majority vote keeps
@@ -154,12 +161,18 @@ func (p *Proposed) Tick(v amp.View) bool {
 	tentative := (sFP.IntPct >= p.cfg.IntHigh && sINT.IntPct <= p.cfg.IntLow) ||
 		(sINT.FPPct >= p.cfg.FPHigh && sFP.FPPct <= p.cfg.FPLow)
 	p.voter.Push(tentative)
-	if p.voter.Majority() && !p.retry.holdoff(v.Cycle()) {
+	p.tel.vote(tentative)
+	majority := p.voter.Majority()
+	if p.retry.holdoff(v.Cycle()) {
+		if majority {
+			p.tel.holdoffs.Inc()
+		}
+		return false
+	}
+	if majority {
+		p.tel.majorityFires.Inc()
 		p.requestSwap()
 		return true
-	}
-	if p.retry.holdoff(v.Cycle()) {
-		return false
 	}
 
 	// Fig. 5 step 3: fairness swap when both threads share a flavor
@@ -168,6 +181,7 @@ func (p *Proposed) Tick(v amp.View) bool {
 		forced := (sFP.IntPct >= p.cfg.IntHigh && sINT.IntPct >= p.cfg.IntHigh) ||
 			(sINT.FPPct >= p.cfg.FPHigh && sFP.FPPct >= p.cfg.FPHigh)
 		if forced {
+			p.tel.forcedSwaps.Inc()
 			p.requestSwap()
 			return true
 		}
@@ -177,6 +191,7 @@ func (p *Proposed) Tick(v amp.View) bool {
 
 func (p *Proposed) requestSwap() {
 	p.stats.SwapRequests++
+	p.tel.requests.Inc()
 	p.voter.Clear()
 }
 

@@ -14,24 +14,30 @@ type RoundRobin struct {
 	interval uint64
 	next     uint64
 	stats    amp.SchedulerStats
+	tel      polTel
 }
 
 // NewRoundRobin returns a Round Robin scheduler swapping every
 // multiple context-switch periods (multiple >= 1).
-func NewRoundRobin(multiple int) *RoundRobin {
+func NewRoundRobin(multiple int, opts ...Option) *RoundRobin {
 	if multiple < 1 {
 		panic(fmt.Sprintf("sched: roundrobin: invalid multiple %d", multiple))
 	}
-	return &RoundRobin{interval: uint64(multiple) * amp.ContextSwitchCycles}
+	return newRoundRobin(uint64(multiple)*amp.ContextSwitchCycles, opts)
 }
 
 // NewRoundRobinInterval returns a Round Robin scheduler with an
 // explicit cycle interval (for tests and ablations).
-func NewRoundRobinInterval(cycles uint64) *RoundRobin {
+func NewRoundRobinInterval(cycles uint64, opts ...Option) *RoundRobin {
 	if cycles == 0 {
 		panic("sched: roundrobin: zero interval")
 	}
-	return &RoundRobin{interval: cycles}
+	return newRoundRobin(cycles, opts)
+}
+
+func newRoundRobin(interval uint64, opts []Option) *RoundRobin {
+	o := buildOptions(opts)
+	return &RoundRobin{interval: interval, tel: newPolTel(o.tel, "roundrobin")}
 }
 
 // Name implements amp.Scheduler.
@@ -56,7 +62,9 @@ func (r *RoundRobin) Tick(v amp.View) bool {
 	}
 	r.next = v.Cycle() + r.interval
 	r.stats.DecisionPoints++
+	r.tel.decisions.Inc()
 	r.stats.SwapRequests++
+	r.tel.requests.Inc()
 	return true
 }
 

@@ -72,6 +72,7 @@ type Sampling struct {
 	baseMetric  float64
 	measureFrom [2]measurePoint
 	stats       amp.SchedulerStats
+	tel         polTel
 }
 
 type measurePoint struct {
@@ -79,12 +80,13 @@ type measurePoint struct {
 	energy    float64
 }
 
-// NewSampling builds the scheduler.
-func NewSampling(cfg SamplingConfig) *Sampling {
+// NewSampling builds the scheduler. Options attach telemetry.
+func NewSampling(cfg SamplingConfig, opts ...Option) *Sampling {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Sampling{cfg: cfg}
+	o := buildOptions(opts)
+	return &Sampling{cfg: cfg, tel: newPolTel(o.tel, "sampling")}
 }
 
 // Name implements amp.Scheduler.
@@ -153,7 +155,9 @@ func (s *Sampling) Tick(v amp.View) bool {
 		// to exclude the stall window.
 		s.measureFrom = s.snapshot(v)
 		s.stats.DecisionPoints++
+		s.tel.decisions.Inc()
 		s.stats.SwapRequests++
+		s.tel.requests.Inc()
 		return true
 
 	case phaseSwapped:
@@ -164,12 +168,14 @@ func (s *Sampling) Tick(v amp.View) bool {
 		s.phase = phaseRun
 		s.episodeAt = now + s.cfg.Interval
 		s.stats.DecisionPoints++
+		s.tel.decisions.Inc()
 		if swappedMetric >= s.baseMetric*s.cfg.KeepThreshold {
 			// Keep the swapped assignment.
 			return false
 		}
 		// Revert.
 		s.stats.SwapRequests++
+		s.tel.requests.Inc()
 		return true
 	}
 	return false

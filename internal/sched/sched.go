@@ -18,6 +18,7 @@ package sched
 import (
 	"ampsched/internal/amp"
 	"ampsched/internal/monitor"
+	"ampsched/internal/telemetry"
 )
 
 // ObserverInjectable is implemented by schedulers whose hardware
@@ -25,6 +26,10 @@ import (
 // scheduler sees noisy, dropped or stale samples. SetObserver must be
 // called before the scheduler's Reset (i.e. before amp.NewSystem); the
 // factory is invoked once per thread, in thread order.
+//
+// Deprecated: pass WithObserverFactory to the scheduler constructor
+// instead. The interface remains implemented for one release; a
+// SetObserver call overrides a WithObserverFactory option.
 type ObserverInjectable interface {
 	SetObserver(factory func(window uint64) monitor.Observer)
 }
@@ -47,6 +52,10 @@ type retryState struct {
 	seenFailures uint64
 	seenSwap     uint64
 	failed       uint64 // total dropped requests observed
+
+	// retries counts armed backoffs for telemetry (nil = disabled).
+	// Assigned after reset, which zeroes the whole struct.
+	retries *telemetry.Counter
 }
 
 // reset arms the state against the view's current counters.
@@ -73,6 +82,7 @@ func (r *retryState) observe(v amp.View) {
 	if f := v.SwapFailures(); f != r.seenFailures {
 		r.failed += f - r.seenFailures
 		r.seenFailures = f
+		r.retries.Inc()
 		if r.backoff == 0 {
 			r.backoff = r.base
 		} else if r.backoff < r.max {

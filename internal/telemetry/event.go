@@ -1,0 +1,39 @@
+package telemetry
+
+// Event is one structured record on the telemetry stream. Kind names
+// the event class ("swap", "window", "fault", "wedge", "pair", ...);
+// the remaining fields are optional context, omitted from the JSONL
+// encoding when zero. Thread and Core are always encoded, with -1
+// meaning "not applicable", so that index 0 survives the encoding.
+type Event struct {
+	Kind   string  `json:"kind"`
+	Cycle  uint64  `json:"cycle,omitempty"`
+	Pair   string  `json:"pair,omitempty"`
+	Sched  string  `json:"sched,omitempty"`
+	Thread int     `json:"thread"`
+	Core   int     `json:"core"`
+	Value  float64 `json:"value,omitempty"`
+	IntPct float64 `json:"int_pct,omitempty"`
+	FPPct  float64 `json:"fp_pct,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// NewEvent returns an Event with the index fields marked not-
+// applicable (-1).
+func NewEvent(kind string) Event {
+	return Event{Kind: kind, Thread: -1, Core: -1}
+}
+
+// Sink receives the event stream. Implementations must be safe for
+// use from one goroutine at a time; Telemetry.Emit serializes access.
+type Sink interface {
+	Emit(e Event)
+	Close() error
+}
+
+// SummarySink is implemented by sinks that want the final registry
+// snapshot (Telemetry.Close delivers it just before Close).
+type SummarySink interface {
+	Sink
+	EmitSummary(snapshot []Metric)
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry snapshot as JSON — the expvar idiom
+// (GET returns every published variable) with the registry's typed
+// metrics instead of raw expvar.Var strings.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Metrics []Metric `json:"metrics"`
+		}{Metrics: reg.Snapshot()})
+	})
+}
+
+// NewMux returns an http.ServeMux exposing /metrics (the registry
+// snapshot) and the standard /debug/pprof endpoints for live CPU and
+// heap inspection of a running simulation.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server on addr exposing the NewMux endpoints.
+// It returns the server (shut it down with Close) and the bound
+// address, useful when addr ends in ":0".
+func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: NewMux(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler captures CPU and heap profiles of one tool invocation.
+// Start it at program entry and Stop it on exit; the profiles land in
+// <prefix>.cpu.pprof and <prefix>.heap.pprof, ready for `go tool
+// pprof`.
+type Profiler struct {
+	prefix  string
+	cpuFile *os.File
+}
+
+// StartProfiler begins a CPU profile to prefix+".cpu.pprof".
+func StartProfiler(prefix string) (*Profiler, error) {
+	f, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: start cpu profile: %w", err)
+	}
+	return &Profiler{prefix: prefix, cpuFile: f}, nil
+}
+
+// Stop ends the CPU profile and writes a heap profile to
+// prefix+".heap.pprof". Safe on a nil receiver.
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	err := p.cpuFile.Close()
+	hf, herr := os.Create(p.prefix + ".heap.pprof")
+	if herr != nil {
+		if err == nil {
+			err = herr
+		}
+		return err
+	}
+	runtime.GC() // get up-to-date allocation statistics
+	if werr := pprof.WriteHeapProfile(hf); werr != nil && err == nil {
+		err = werr
+	}
+	if cerr := hf.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

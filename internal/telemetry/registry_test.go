@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every handle reachable from a nil *Telemetry must be a no-op,
+	// never a panic: this is the disabled fast path.
+	var tel *Telemetry
+	tel.Counter("x").Inc()
+	tel.Counter("x").Add(5)
+	tel.Gauge("g").Set(3)
+	tel.Histogram("h").Observe(9)
+	tel.Emit(NewEvent("swap"))
+	if tel.Eventing() {
+		t.Error("nil telemetry reports Eventing")
+	}
+	if err := tel.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	if got := tel.Counter("x").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	if snap := tel.Registry().Snapshot(); snap != nil {
+		t.Errorf("nil registry snapshot = %v", snap)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers, per = 16, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Resolve inside the goroutine too: get-or-create must be
+			// race-free and converge on one handle.
+			c := reg.Counter("shared")
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+			reg.Histogram("h").Observe(uint64(per))
+			reg.Gauge("g").Set(float64(per))
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := reg.Histogram("h").Count(); got != workers {
+		t.Errorf("histogram count = %d, want %d", got, workers)
+	}
+	if got := reg.Gauge("g").Value(); got != per {
+		t.Errorf("gauge = %g, want %d", got, per)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 90 samples around 100 (bucket 7: 64..127) and 10 around 100_000
+	// (bucket 17: 65536..131071).
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100_000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), uint64(90*100+10*100_000); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+	// p50 must land in the low bucket: within a factor of 2 of 100.
+	if p := h.Quantile(0.50); p < 50 || p > 200 {
+		t.Errorf("p50 = %g, want ~100", p)
+	}
+	// p99 must land in the high bucket: within a factor of 2 of 100k.
+	if p := h.Quantile(0.99); p < 50_000 || p > 200_000 {
+		t.Errorf("p99 = %g, want ~100000", p)
+	}
+	if p := h.Quantile(0); p <= 0 {
+		t.Errorf("p0 = %g, want positive (lowest bucket)", p)
+	}
+	// Quantiles are monotone in q.
+	last := 0.0
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 1} {
+		p := h.Quantile(q)
+		if p < last {
+			t.Errorf("Quantile(%g) = %g < previous %g", q, p, last)
+		}
+		last = p
+	}
+}
+
+func TestHistogramZero(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	h.Observe(0)
+	if h.Quantile(0.5) != 0 {
+		t.Errorf("all-zero histogram p50 = %g", h.Quantile(0.5))
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.count").Inc()
+	reg.Gauge("a.gauge").Set(2)
+	reg.Histogram("c.hist").Observe(7)
+	snap := reg.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(snap))
+	}
+	wantNames := []string{"a.gauge", "b.count", "c.hist"}
+	wantKinds := []string{"gauge", "counter", "histogram"}
+	for i, m := range snap {
+		if m.Name != wantNames[i] || m.Kind != wantKinds[i] {
+			t.Errorf("snapshot[%d] = %s/%s, want %s/%s", i, m.Name, m.Kind, wantNames[i], wantKinds[i])
+		}
+	}
+	if snap[1].Value != 1 {
+		t.Errorf("counter value = %g", snap[1].Value)
+	}
+	if snap[2].Count != 1 || snap[2].Mean != 7 {
+		t.Errorf("histogram snapshot = %+v", snap[2])
+	}
+}

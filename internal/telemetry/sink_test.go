@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tel := New(NewJSONLSink(&buf))
+	tel.Counter("amp.swaps").Add(3)
+	tel.Histogram("amp.swap_overhead_cycles").Observe(1000)
+
+	in := []Event{
+		{Kind: "swap", Cycle: 42, Thread: -1, Core: -1, Value: 1000},
+		{Kind: "window", Cycle: 50, Thread: 0, Core: 1, IntPct: 62.5, FPPct: 10, Sched: "proposed"},
+		{Kind: "fault", Cycle: 60, Thread: 1, Core: -1, Detail: "sample_drop", Pair: "gcc+equake"},
+	}
+	for _, e := range in {
+		tel.Emit(e)
+	}
+	if err := tel.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var got []Event
+	var summary *summaryLine
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if probe.Kind == "summary" {
+			summary = &summaryLine{}
+			if err := json.Unmarshal(line, summary); err != nil {
+				t.Fatalf("bad summary line: %v", err)
+			}
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("bad event line: %v", err)
+		}
+		got = append(got, e)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("round-tripped %d events, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], in[i])
+		}
+	}
+	if summary == nil {
+		t.Fatal("no summary line written")
+	}
+	if summary.Events != uint64(len(in)) {
+		t.Errorf("summary.Events = %d, want %d", summary.Events, len(in))
+	}
+	found := false
+	for _, m := range summary.Metrics {
+		if m.Name == "amp.swaps" && m.Kind == "counter" && m.Value == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("summary metrics missing amp.swaps=3: %+v", summary.Metrics)
+	}
+}
+
+func TestCSVSummary(t *testing.T) {
+	var buf bytes.Buffer
+	tel := New(NewCSVSummarySink(&buf))
+	tel.Counter("sched.decisions").Add(7)
+	tel.Gauge("amp.cycles").Set(1234)
+	tel.Emit(NewEvent("ignored")) // CSV sink drops events
+	if err := tel.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parse csv: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("csv has %d rows, want header + 2 metrics", len(rows))
+	}
+	if rows[0][0] != "name" || rows[0][1] != "kind" {
+		t.Errorf("bad header: %v", rows[0])
+	}
+	// Sorted: amp.cycles before sched.decisions.
+	if rows[1][0] != "amp.cycles" || rows[1][2] != "1234" {
+		t.Errorf("row 1 = %v", rows[1])
+	}
+	if rows[2][0] != "sched.decisions" || rows[2][2] != "7" {
+		t.Errorf("row 2 = %v", rows[2])
+	}
+}
+
+// errWriter fails after n bytes to exercise sticky error handling.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestJSONLStickyError(t *testing.T) {
+	s := NewJSONLSink(&errWriter{n: 10})
+	for i := 0; i < 10_000; i++ { // overflow the bufio buffer
+		s.Emit(Event{Kind: "swap", Thread: -1, Core: -1})
+	}
+	if err := s.Close(); err == nil {
+		t.Error("Close should surface the write error")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("amp.swaps").Add(9)
+	reg.Histogram("lat").Observe(128)
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	var body struct {
+		Metrics []Metric `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(body.Metrics) != 2 {
+		t.Fatalf("metrics = %+v", body.Metrics)
+	}
+	if body.Metrics[0].Name != "amp.swaps" || body.Metrics[0].Value != 9 {
+		t.Errorf("metrics[0] = %+v", body.Metrics[0])
+	}
+
+	// The pprof index must be mounted for live inspection.
+	pr, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != 200 {
+		t.Errorf("pprof index status = %d", pr.StatusCode)
+	}
+}
