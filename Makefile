@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short test-race bench bench-snapshot experiments experiments-paper fuzz fuzz-fault clean
+.PHONY: all build vet ampvet analyze lint test test-short test-race bench bench-snapshot experiments experiments-paper fuzz fuzz-fault clean
 
 all: build lint test test-race
 
@@ -12,12 +12,23 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static gate: vet plus gofmt (fails listing any unformatted file).
+# Project-specific analyzers (internal/analysis via cmd/ampvet):
+# determinism, hotpathalloc, deprecatedapi, obserrcheck.
+ampvet:
+	$(GO) run ./cmd/ampvet ./...
+
+# Machine-readable findings for CI annotation / dashboards.
+analyze:
+	$(GO) run ./cmd/ampvet -json ./...
+
+# Static gate: vet, gofmt (fails listing any unformatted file), then
+# the ampvet suite.
 lint: vet
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+	$(GO) run ./cmd/ampvet ./...
 
 test:
 	$(GO) test ./...

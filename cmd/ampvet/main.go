@@ -1,0 +1,133 @@
+// Command ampvet runs ampsched's custom static-analysis suite (see
+// internal/analysis) over the repository: determinism, hotpathalloc,
+// deprecatedapi and obserrcheck.
+//
+// Usage:
+//
+//	ampvet [flags] [packages]
+//
+// Packages default to ./... . Findings print one per line as
+// file:line:col: [check] message, or as a JSON array with -json.
+// The exit status is 1 when there are findings, 2 on a loading or
+// internal error, 0 on a clean tree.
+//
+// Each check can be disabled individually (-determinism=false) or the
+// suite narrowed to an explicit list (-checks determinism,obserrcheck).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ampsched/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("ampvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	checks := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	verbose := fs.Bool("v", false, "report packages as they are analyzed")
+
+	enabled := map[string]*bool{}
+	for _, a := range analysis.All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" check")
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ampvet [flags] [packages]\n\nChecks:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var suite []*analysis.Analyzer
+	if *checks != "" {
+		var err error
+		suite, err = analysis.ByName(*checks)
+		if err != nil {
+			fmt.Fprintln(stderr, "ampvet:", err)
+			return 2
+		}
+	} else {
+		for _, a := range analysis.All() {
+			if *enabled[a.Name] {
+				suite = append(suite, a)
+			}
+		}
+	}
+	if len(suite) == 0 {
+		fmt.Fprintln(stderr, "ampvet: no checks enabled")
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader(".")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "ampvet:", err)
+		return 2
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		if *verbose {
+			fmt.Fprintf(stderr, "ampvet: %s (%d files)\n", pkg.Path, len(pkg.Files))
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "ampvet: type error in %s: %v\n", pkg.Path, terr)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return 2
+		}
+		d, err := analysis.RunAnalyzers(pkg, suite)
+		if err != nil {
+			fmt.Fprintln(stderr, "ampvet:", err)
+			return 2
+		}
+		diags = append(diags, d...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "ampvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			names := make([]string, 0, len(suite))
+			for _, a := range suite {
+				names = append(names, a.Name)
+			}
+			fmt.Fprintf(stderr, "ampvet: %d finding(s) from checks [%s]\n",
+				len(diags), strings.Join(names, " "))
+		}
+		return 1
+	}
+	return 0
+}

@@ -482,6 +482,8 @@ const ctxCheckMask = 1<<12 - 1
 // partial Result with ctx.Err() — a flagged early return, not a wedge
 // (errors.Is(err, ErrWedged) is false). A context that can never be
 // canceled costs the loop one nil comparison per cycle.
+//
+//ampvet:hotpath
 func (s *System) RunContext(ctx context.Context, limit uint64) (Result, error) {
 	startCycle := s.cycle
 	lastProgressCycle := s.cycle
@@ -489,6 +491,7 @@ func (s *System) RunContext(ctx context.Context, limit uint64) (Result, error) {
 	done := ctx.Done()
 	s.emit(Event{Kind: EventRunStart, Cycle: s.cycle})
 
+	//ampvet:allow hotpathalloc finish is built once per run, not per cycle
 	finish := func(res Result, err error) (Result, error) {
 		s.emit(Event{Kind: EventRunEnd, Cycle: s.cycle})
 		return res, err

@@ -223,7 +223,7 @@ func TestSwapInjectorDropsRequests(t *testing.T) {
 	inj := &failEvery{n: 2}
 	s := &swapEvery{period: 2500}
 	sys := MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 11), s,
-		Config{SwapOverheadCycles: 100, SwapInjector: inj})
+		Config{SwapOverheadCycles: 100}, WithFaultPlan(inj))
 	res := sys.MustRun(12_000)
 	if res.FailedSwaps == 0 {
 		t.Fatal("injector never dropped a swap")
@@ -245,8 +245,8 @@ func TestSwapInjectorDelayMultipliesOverhead(t *testing.T) {
 	mk := func(delay float64) Result {
 		return MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 12),
 			&swapEvery{period: 4000},
-			Config{SwapOverheadCycles: 500,
-				SwapInjector: &failEvery{delay: delay}}).MustRun(15_000)
+			Config{SwapOverheadCycles: 500},
+			WithFaultPlan(&failEvery{delay: delay})).MustRun(15_000)
 	}
 	prompt := mk(1)
 	delayed := mk(4) // 2000-cycle stalls, still below the 4000-cycle period
@@ -288,8 +288,8 @@ func TestWatchdogReturnsWedged(t *testing.T) {
 	// watchdog window.
 	sys := MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 14),
 		&swapEvery{period: 1000},
-		Config{SwapOverheadCycles: 10, WatchdogCycles: 5_000,
-			SwapInjector: &failEvery{delay: 100_000}})
+		Config{SwapOverheadCycles: 10, WatchdogCycles: 5_000},
+		WithFaultPlan(&failEvery{delay: 100_000}))
 	_, err := sys.Run(1 << 40)
 	if !errors.Is(err, ErrWedged) {
 		t.Fatalf("watchdog did not fire: %v", err)

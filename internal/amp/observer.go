@@ -127,6 +127,8 @@ func MultiObserver(obs ...Observer) Observer {
 
 // emit publishes an event if an observer is installed. The nil check
 // is the entire disabled-path cost.
+//
+//ampvet:hotpath
 func (s *System) emit(e Event) {
 	if s.obs == nil {
 		return

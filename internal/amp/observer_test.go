@@ -89,11 +89,16 @@ type passInjector struct{ calls int }
 
 func (p *passInjector) SwapOutcome(uint64) SwapOutcome { p.calls++; return SwapOutcome{} }
 
+// TestWithFaultPlanPrecedenceOverConfigField is the designated shim
+// regression test: the one audited in-repo use of the deprecated
+// Config.SwapInjector field, kept so the precedence contract holds
+// until the shim is deleted.
 func TestWithFaultPlanPrecedenceOverConfigField(t *testing.T) {
 	deprecated := &passInjector{}
 	preferred := &passInjector{}
 	sys := MustSystem(coreCfgs(), newPair(t, "gcc", "equake", 23),
-		&swapEvery{period: 5000}, Config{SwapInjector: deprecated},
+		&swapEvery{period: 5000},
+		Config{SwapInjector: deprecated}, //ampvet:allow deprecatedapi designated shim regression test
 		WithFaultPlan(preferred))
 	sys.MustRun(40_000)
 	if preferred.calls == 0 {

@@ -44,6 +44,8 @@ func newTelemetryHook(s *System, t *telemetry.Telemetry) *telemetryHook {
 }
 
 // Event implements Observer.
+//
+//ampvet:hotpath
 func (h *telemetryHook) Event(e Event) {
 	switch e.Kind {
 	case EventRunStart:

@@ -1,0 +1,215 @@
+// Package analysis is ampsched's static-analysis suite: a small,
+// dependency-free reimplementation of the golang.org/x/tools
+// go/analysis model (Analyzer, Pass, Diagnostic) plus the four
+// project-specific analyzers run by `make lint` via cmd/ampvet.
+//
+// The analyzers turn the simulator's two load-bearing invariants —
+// bit-reproducible runs under a seed, and an allocation-free per-cycle
+// hot path — from comments and one benchmark into compile-time checks:
+//
+//   - determinism:  no wall clocks, no global math/rand, no map
+//     iteration in simulation-core packages; randomness must flow
+//     through internal/rng and time through an injected clock.
+//   - hotpathalloc: functions annotated //ampvet:hotpath must avoid
+//     allocation-forcing constructs (fmt calls, interface boxing,
+//     capturing closures, append in loops, defer in loops).
+//   - deprecatedapi: the pre-options instrumentation surface
+//     (amp.Config.SwapInjector, sched ObserverInjectable.SetObserver)
+//     must not gain new callers during its deprecation window.
+//   - obserrcheck:  errors from amp.NewSystem / Run / RunContext, the
+//     experiments runner entry points and telemetry/trace sink
+//     Close/Flush must not be silently discarded.
+//
+// Audited exceptions are annotated in source:
+//
+//	//ampvet:allow <check> <reason>
+//
+// on the flagged line, the line above it, or in the doc comment of the
+// enclosing function. The reason is mandatory: an allow without one is
+// itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check, mirroring the shape of
+// golang.org/x/tools/go/analysis.Analyzer so the suite can migrate to
+// the upstream framework wholesale if the dependency ever lands.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass is one analyzer applied to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	dirs  *directiveIndex
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding, positioned for editors.
+type Diagnostic struct {
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Column  int            `json:"column"`
+	Check   string         `json:"check"`
+	Message string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Column, d.Check, d.Message)
+}
+
+// Reportf records a finding unless an //ampvet:allow directive for
+// this check covers pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.dirs.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Column:  position.Column,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		HotPathAllocAnalyzer,
+		DeprecatedAPIAnalyzer,
+		ObsErrCheckAnalyzer,
+	}
+}
+
+// ByName resolves a comma-separated check list against the suite.
+func ByName(names string) ([]*Analyzer, error) {
+	index := map[string]*Analyzer{}
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := index[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (have %s)", n, checkNames())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func checkNames() string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// RunAnalyzers applies the analyzers to the package and returns the
+// findings sorted by position, including any malformed-directive
+// findings from the package's files.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs := indexDirectives(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	diags = append(diags, dirs.malformed...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			dirs:     dirs,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+		}
+		diags = append(diags, pass.diags...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags, nil
+}
+
+// ---------------------------------------------------------------------
+// Shared type-query helpers.
+
+// pkgPathIs reports whether the object lives in a package whose import
+// path is path or ends in "/"+path — suffix matching keeps the
+// analyzers honest under analysistest fixtures, which mirror the real
+// package layout under synthetic module paths.
+func pkgPathIs(pkg *types.Package, path string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == path || strings.HasSuffix(p, "/"+path)
+}
+
+// calleeOf resolves the called function object, looking through
+// parentheses and selectors. Returns nil for calls of function values
+// and type conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// enclosingFunc returns the innermost function declaration containing
+// pos, or nil.
+func enclosingFunc(files []*ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, f := range files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"ampsched/internal/analysis"
+	"ampsched/internal/analysis/analysistest"
+)
+
+// The four analyzers against their testdata fixtures: each must catch
+// every planted violation, honor //ampvet:allow, and stay quiet on the
+// clean/out-of-scope packages.
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "determinism/internal/sched")
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "determinism/outofscope")
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotPathAllocAnalyzer, "hotpathalloc")
+}
+
+func TestDeprecatedAPI(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DeprecatedAPIAnalyzer, "deprecatedapi/app")
+}
+
+func TestDeprecatedAPIDefiningPackagesExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DeprecatedAPIAnalyzer, "deprecatedapi/internal/amp")
+	analysistest.Run(t, "testdata", analysis.DeprecatedAPIAnalyzer, "deprecatedapi/internal/sched")
+}
+
+func TestObsErrCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ObsErrCheckAnalyzer, "obserrcheck/app")
+}
+
+// TestMalformedDirectives loads the directives fixture directly: a
+// reason-less allow must both be reported and fail to suppress, and an
+// unknown check name must be reported.
+func TestMalformedDirectives(t *testing.T) {
+	loader := analysis.NewLoader(".")
+	pkg, err := loader.LoadDir("testdata/src/directives", "directives", nil)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{analysis.DeterminismAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Check+": "+d.Message)
+	}
+	wantSubstrings := []string{
+		"ampvet: ampvet:allow determinism needs a reason",
+		"ampvet: ampvet:allow names unknown check nosuchcheck",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing finding containing %q in %q", want, got)
+		}
+	}
+	// The package is named "directives", not simulation core, so the
+	// time.Now calls themselves are out of determinism's scope — only
+	// the malformed directives are findings.
+	if len(diags) != 2 {
+		t.Errorf("got %d findings, want exactly the 2 malformed directives: %v", len(diags), got)
+	}
+}
+
+// TestByName checks the driver's -checks resolution.
+func TestByName(t *testing.T) {
+	suite, err := analysis.ByName("determinism, obserrcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 2 || suite[0].Name != "determinism" || suite[1].Name != "obserrcheck" {
+		t.Fatalf("ByName resolved %v", suite)
+	}
+	if _, err := analysis.ByName("nope"); err == nil {
+		t.Fatal("ByName accepted an unknown check")
+	}
+}
+
+// TestLoaderLoadsModulePackage exercises the go list loader on a real
+// module package with a std dependency.
+func TestLoaderLoadsModulePackage(t *testing.T) {
+	loader := analysis.NewLoader(".")
+	pkgs, err := loader.Load("ampsched/internal/rng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Types == nil || pkgs[0].Types.Name() != "rng" {
+		t.Fatalf("loaded %+v", pkgs)
+	}
+	if len(pkgs[0].TypeErrors) != 0 {
+		t.Fatalf("type errors: %v", pkgs[0].TypeErrors)
+	}
+}

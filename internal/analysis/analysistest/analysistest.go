@@ -1,0 +1,153 @@
+// Package analysistest runs an analyzer over a fixture package under
+// testdata/src and checks its findings against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	t := time.Now() // want `time\.Now reads the wall clock`
+//
+// Each string after want is a regular expression that must match one
+// finding reported on that line; every finding must be claimed by a
+// want and every want must be claimed by a finding. Fixture packages
+// may import sibling fixture packages by path rooted at testdata/src
+// (so a fixture tree can mirror the real internal/... layout), and
+// real module or standard-library packages as usual.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ampsched/internal/analysis"
+)
+
+// wantRe extracts the backquoted or quoted expectations from a want
+// comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads testdata/src/<pkgpath>, applies the analyzer, and reports
+// every mismatch between findings and // want comments as a test
+// error.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	loader := analysis.NewLoader(".")
+	fixtures := map[string]*types.Package{}
+
+	var resolve func(path string) (*types.Package, error)
+	resolve = func(path string) (*types.Package, error) {
+		if pkg, ok := fixtures[path]; ok {
+			return pkg, nil
+		}
+		fdir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+		if st, err := os.Stat(fdir); err != nil || !st.IsDir() {
+			return nil, nil // not a fixture; fall back to the module/std view
+		}
+		pkg, err := loader.LoadDir(fdir, path, resolve)
+		if err != nil {
+			return nil, fmt.Errorf("loading fixture dependency %s: %v", path, err)
+		}
+		fixtures[path] = pkg.Types
+		return pkg.Types, nil
+	}
+
+	pkg, err := loader.LoadDir(dir, pkgpath, resolve)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", pkgpath, terr)
+	}
+
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+
+	wants := collectWants(t, pkg.Fset, dir)
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			t.Errorf("%s: unexpected finding: [%s] %s", posLabel(d), d.Check, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.claimed {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re.String())
+		}
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	claimed bool
+}
+
+// collectWants parses every fixture file's comments for // want.
+func collectWants(t *testing.T, fset *token.FileSet, dir string) []*want {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, m := range matches {
+		if strings.HasSuffix(m, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, m, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimSpace(c.Text), "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				specs := wantRe.FindAllStringSubmatch(text[len("want "):], -1)
+				if len(specs) == 0 {
+					t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, text)
+					continue
+				}
+				for _, spec := range specs {
+					expr := spec[1]
+					if expr == "" {
+						expr = spec[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claimWant marks the first unclaimed matching expectation.
+func claimWant(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.claimed && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+func posLabel(d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Column)
+}

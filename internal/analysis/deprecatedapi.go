@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeprecatedAPIAnalyzer blocks new callers of the pre-options
+// instrumentation surface while it rides out its deprecation window:
+//
+//   - amp.Config.SwapInjector — superseded by amp.WithFaultPlan,
+//   - sched ObserverInjectable.SetObserver — superseded by
+//     sched.WithObserverFactory.
+//
+// Uses inside the defining packages (the shim plumbing itself) are
+// exempt; the designated shim tests carry //ampvet:allow directives.
+// The amp.SwapInjector interface type stays first-class — only the
+// Config field and the setter method are deprecated.
+var DeprecatedAPIAnalyzer = &Analyzer{
+	Name: "deprecatedapi",
+	Doc: "flag uses of the deprecated Config.SwapInjector field and ObserverInjectable.SetObserver " +
+		"method outside their defining packages; use amp.WithFaultPlan / sched.WithObserverFactory",
+	Run: runDeprecatedAPI,
+}
+
+// deprecatedMember describes one deprecated struct field or method.
+type deprecatedMember struct {
+	pkgSuffix string // defining package (uses inside it are exempt)
+	name      string
+	field     bool // true: struct field, false: method
+	advice    string
+}
+
+var deprecatedMembers = []deprecatedMember{
+	{"internal/amp", "SwapInjector", true,
+		"Config.SwapInjector is deprecated; pass amp.WithFaultPlan(injector) to NewSystem"},
+	{"internal/sched", "SetObserver", false,
+		"ObserverInjectable.SetObserver is deprecated; pass sched.WithObserverFactory(factory) to the scheduler constructor"},
+}
+
+func runDeprecatedAPI(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			for _, m := range deprecatedMembers {
+				if obj.Name() != m.name || !pkgPathIs(obj.Pkg(), m.pkgSuffix) {
+					continue
+				}
+				if pkgPathIs(pass.Pkg, m.pkgSuffix) {
+					continue // the shim's own plumbing
+				}
+				switch o := obj.(type) {
+				case *types.Var:
+					if m.field && o.IsField() {
+						pass.Reportf(id.Pos(), "%s", m.advice)
+					}
+				case *types.Func:
+					if !m.field && o.Type().(*types.Signature).Recv() != nil {
+						pass.Reportf(id.Pos(), "%s", m.advice)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

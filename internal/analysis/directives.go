@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Source directives recognized by the suite:
+//
+//	//ampvet:hotpath
+//	    Marks the function whose doc comment contains it as a
+//	    per-cycle hot path; hotpathalloc checks its body.
+//
+//	//ampvet:allow <check> <reason>
+//	    Suppresses findings of <check> on the directive's line, the
+//	    line below a standalone directive, or — when the directive
+//	    sits in a function's doc comment — the whole function. The
+//	    reason is mandatory; ampvet reports reason-less or unknown
+//	    directives as findings of check "ampvet".
+const (
+	allowPrefix   = "//ampvet:allow"
+	hotpathMarker = "//ampvet:hotpath"
+)
+
+// lineKey identifies one source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// lineRange is a file-scoped inclusive line span (a function body
+// covered by a doc-comment allow).
+type lineRange struct {
+	file       string
+	start, end int
+}
+
+// directiveIndex holds a package's parsed //ampvet: directives.
+type directiveIndex struct {
+	// lines maps check name -> source lines an allow covers.
+	lines map[string]map[lineKey]bool
+	// ranges maps check name -> function spans an allow covers.
+	ranges map[string][]lineRange
+	// malformed collects invalid directives as findings.
+	malformed []Diagnostic
+}
+
+// indexDirectives scans every comment in the files.
+func indexDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{
+		lines:  map[string]map[lineKey]bool{},
+		ranges: map[string][]lineRange{},
+	}
+	valid := map[string]bool{}
+	for _, a := range All() {
+		valid[a.Name] = true
+	}
+	for _, f := range files {
+		// Map each doc comment to its function's line span so an
+		// allow in the doc covers the whole body.
+		funcSpan := map[*ast.CommentGroup]lineRange{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			funcSpan[fd.Doc] = lineRange{
+				file:  fset.Position(fd.Pos()).Filename,
+				start: fset.Position(fd.Pos()).Line,
+				end:   fset.Position(fd.End()).Line,
+			}
+		}
+		for _, cg := range f.Comments {
+			span, inFuncDoc := funcSpan[cg]
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				bad := func(msg string) {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Pos: pos, File: pos.Filename, Line: pos.Line,
+						Column: pos.Column, Check: "ampvet", Message: msg,
+					})
+				}
+				if len(fields) == 0 {
+					bad("ampvet:allow needs a check name and a reason")
+					continue
+				}
+				check := fields[0]
+				if !valid[check] {
+					bad("ampvet:allow names unknown check " + check + " (have " + checkNames() + ")")
+					continue
+				}
+				if len(fields) < 2 {
+					bad("ampvet:allow " + check + " needs a reason — audited exceptions must say why")
+					continue
+				}
+				if inFuncDoc {
+					idx.ranges[check] = append(idx.ranges[check], span)
+					continue
+				}
+				if idx.lines[check] == nil {
+					idx.lines[check] = map[lineKey]bool{}
+				}
+				// The directive's own line and the next one: a
+				// trailing comment allows its statement, a standalone
+				// comment allows the line below it.
+				idx.lines[check][lineKey{pos.Filename, pos.Line}] = true
+				idx.lines[check][lineKey{pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return idx
+}
+
+// allowed reports whether a finding of check at position is covered by
+// an allow directive.
+func (idx *directiveIndex) allowed(check string, pos token.Position) bool {
+	if idx == nil {
+		return false
+	}
+	if idx.lines[check][lineKey{pos.Filename, pos.Line}] {
+		return true
+	}
+	for _, r := range idx.ranges[check] {
+		if r.file == pos.Filename && r.start <= pos.Line && pos.Line <= r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// isHotPath reports whether the function declaration carries the
+// //ampvet:hotpath marker in its doc comment.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}

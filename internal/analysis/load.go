@@ -1,0 +1,325 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Package is one loaded, parsed and type-checked package, ready to be
+// handed to analyzers as a Pass.
+type Package struct {
+	Path     string
+	Dir      string
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+	Standard bool
+	// TypeErrors holds soft type-checking problems. Analyzers still
+	// run on a package with type errors, but the driver surfaces them.
+	TypeErrors []error
+}
+
+// Loader loads Go packages without golang.org/x/tools: package
+// discovery is delegated to `go list -deps -json` (which understands
+// modules, build constraints and std vendoring) and type checking to
+// go/types, bottom-up in the dependency order go list guarantees.
+//
+// Dependencies are checked with IgnoreFuncBodies — analyzers only need
+// their exported API — while the packages named for analysis get a
+// full check with a populated types.Info. CGO_ENABLED=0 is forced so
+// every package, including net, resolves to its pure-Go file set and
+// type-checks from source alone.
+type Loader struct {
+	Fset *token.FileSet
+	// GoCmd overrides the go tool path (default "go").
+	GoCmd string
+	// Dir is the working directory for go list (default: current).
+	Dir string
+
+	// api caches dependency packages checked without function bodies,
+	// keyed by resolved import path.
+	api map[string]*types.Package
+	// meta caches go list output keyed by resolved import path.
+	meta map[string]*listedPackage
+}
+
+// NewLoader returns a Loader with a fresh FileSet.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Fset:  token.NewFileSet(),
+		GoCmd: "go",
+		Dir:   dir,
+		api:   map[string]*types.Package{},
+		meta:  map[string]*listedPackage{},
+	}
+}
+
+// goList runs `go list -e -deps -json` over the patterns and returns
+// the decoded packages in dependency-first order.
+func (l *Loader) goList(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	cmd := exec.Command(l.GoCmd, args...)
+	cmd.Dir = l.Dir
+	cmd.Env = appendEnvNoCgo()
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load loads the packages matching the patterns (plus, transitively,
+// their dependencies) and returns fully type-checked Packages for the
+// matched, non-standard-library packages only, sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	// -deps emits dependencies before dependents: warming the API
+	// cache in order means every import below resolves from cache.
+	targets := map[string]bool{}
+	for _, p := range listed {
+		l.meta[p.ImportPath] = p
+		if !p.Standard {
+			targets[p.ImportPath] = true
+		}
+	}
+	var out []*Package
+	for _, p := range listed {
+		if p.ImportPath == "unsafe" {
+			l.api["unsafe"] = types.Unsafe
+			continue
+		}
+		if p.Error != nil && p.Standard {
+			continue // unbuildable std corner; nobody we check imports it
+		}
+		if _, err := l.apiPackage(p.ImportPath); err != nil {
+			if targets[p.ImportPath] {
+				return nil, err
+			}
+			continue
+		}
+		if targets[p.ImportPath] {
+			full, err := l.fullCheck(p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, full)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir type-checks a single directory of Go files as the package
+// path given, resolving imports through resolve (testdata fixtures)
+// and falling back to the loader's module/std view. It powers the
+// analysistest harness.
+func (l *Loader) LoadDir(dir, path string, resolve func(path string) (*types.Package, error)) (*Package, error) {
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	imp := importerFunc(func(p string) (*types.Package, error) {
+		if resolve != nil {
+			if pkg, err := resolve(p); err != nil || pkg != nil {
+				return pkg, err
+			}
+		}
+		return l.importByPath(p, nil)
+	})
+	return l.check(path, dir, files, imp, false)
+}
+
+// parseDir parses every non-test .go file in dir.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, m := range matches {
+		if isTestFile(m) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, m, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+func isTestFile(name string) bool {
+	return len(name) > len("_test.go") &&
+		name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+// apiPackage returns the exported-API view of the import path,
+// type-checking it (without function bodies) on first use.
+func (l *Loader) apiPackage(path string) (*types.Package, error) {
+	if pkg, ok := l.api[path]; ok {
+		return pkg, nil
+	}
+	p, ok := l.meta[path]
+	if !ok {
+		// Outside the -deps closure (fixture importing an uncovered
+		// package): ask go list for it and its deps.
+		extra, err := l.goList([]string{path})
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range extra {
+			if _, seen := l.meta[e.ImportPath]; !seen {
+				l.meta[e.ImportPath] = e
+			}
+		}
+		if p, ok = l.meta[path]; !ok {
+			return nil, fmt.Errorf("package %s not found by go list", path)
+		}
+	}
+	if p.Error != nil {
+		return nil, fmt.Errorf("package %s: %s", path, p.Error.Err)
+	}
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(p.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg, err := l.check(p.ImportPath, p.Dir, files, l.importerFor(p), true)
+	if err != nil {
+		return nil, err
+	}
+	l.api[path] = pkg.Types
+	return pkg.Types, nil
+}
+
+// fullCheck re-checks a target package with bodies and a full
+// types.Info for the analyzers.
+func (l *Loader) fullCheck(p *listedPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg, err := l.check(p.ImportPath, p.Dir, files, l.importerFor(p), false)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Standard = p.Standard
+	return pkg, nil
+}
+
+// importerFor resolves a package's imports honoring its ImportMap
+// (std vendoring) through the API cache.
+func (l *Loader) importerFor(p *listedPackage) types.Importer {
+	return importerFunc(func(path string) (*types.Package, error) {
+		return l.importByPath(path, p.ImportMap)
+	})
+}
+
+func (l *Loader) importByPath(path string, importMap map[string]string) (*types.Package, error) {
+	if mapped, ok := importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return l.apiPackage(path)
+}
+
+// check runs go/types over the files.
+func (l *Loader) check(path, dir string, files []*ast.File, imp types.Importer, apiOnly bool) (*Package, error) {
+	var softErrs []error
+	conf := types.Config{
+		Importer:         imp,
+		IgnoreFuncBodies: apiOnly,
+		FakeImportC:      true,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			softErrs = append(softErrs, err)
+		},
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{
+		Path:       path,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: softErrs,
+	}, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// appendEnvNoCgo returns the process environment with CGO_ENABLED=0
+// so go list selects the pure-Go file sets that go/types can check
+// from source.
+func appendEnvNoCgo() []string {
+	return append(os.Environ(), "CGO_ENABLED=0")
+}

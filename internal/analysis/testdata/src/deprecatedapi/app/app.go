@@ -1,0 +1,29 @@
+// Package app is a consumer of the deprecated surface: every use is
+// flagged with migration advice.
+package app
+
+import (
+	"deprecatedapi/internal/amp"
+	"deprecatedapi/internal/sched"
+)
+
+// Build wires the injector through the deprecated Config field.
+func Build(inj amp.SwapInjector) amp.Config {
+	cfg := amp.Config{SwapInjector: inj} // want `Config\.SwapInjector is deprecated; pass amp\.WithFaultPlan`
+	cfg.SwapInjector = inj               // want `Config\.SwapInjector is deprecated`
+	return cfg
+}
+
+// Wire injects observers through the deprecated setter, both directly
+// and through the interface.
+func Wire(p *sched.Proposed, f func(window uint64) int) {
+	p.SetObserver(f) // want `ObserverInjectable\.SetObserver is deprecated; pass sched\.WithObserverFactory`
+	var oi sched.ObserverInjectable = p
+	oi.SetObserver(f) // want `ObserverInjectable\.SetObserver is deprecated`
+}
+
+// ShimTest is the audited-exception pattern the designated shim
+// regression tests use.
+func ShimTest(p *sched.Proposed, f func(window uint64) int) {
+	p.SetObserver(f) //ampvet:allow deprecatedapi designated shim regression test
+}

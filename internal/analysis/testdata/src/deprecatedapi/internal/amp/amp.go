@@ -1,0 +1,21 @@
+// Package amp mirrors the real amp package's deprecated surface: a
+// Config hook field superseded by an option.
+package amp
+
+// SwapInjector decides the fate of each requested swap. The interface
+// itself is not deprecated.
+type SwapInjector interface {
+	SwapOutcome(cycle uint64) int
+}
+
+// Config carries the deprecated injector field.
+type Config struct {
+	Overhead uint64
+	// SwapInjector is deprecated: pass WithFaultPlan instead.
+	SwapInjector SwapInjector
+}
+
+// normalize touches the field inside its defining package: exempt.
+func normalize(c *Config) SwapInjector { return c.SwapInjector }
+
+var _ = normalize

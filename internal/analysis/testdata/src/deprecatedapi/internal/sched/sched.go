@@ -1,0 +1,15 @@
+// Package sched mirrors the real sched package's deprecated observer
+// injection seam.
+package sched
+
+// ObserverInjectable is the deprecated injection interface.
+type ObserverInjectable interface {
+	SetObserver(factory func(window uint64) int)
+}
+
+// Proposed implements ObserverInjectable.
+type Proposed struct{ factory func(window uint64) int }
+
+// SetObserver implements ObserverInjectable. Declaring it is exempt;
+// calling it from outside this package is not.
+func (p *Proposed) SetObserver(factory func(window uint64) int) { p.factory = factory }

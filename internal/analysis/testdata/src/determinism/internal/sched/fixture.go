@@ -1,0 +1,41 @@
+// Package sched is a determinism fixture: its import path ends in
+// internal/sched, so the analyzer treats it as simulation core.
+package sched
+
+import (
+	"math/rand" // want `import of math/rand breaks seeded reproducibility`
+	"time"
+)
+
+// Tick reads the wall clock and global randomness: both defeat
+// identical-seed reproduction.
+func Tick() float64 {
+	t := time.Now()   // want `time\.Now reads the wall clock`
+	_ = time.Since(t) // want `time\.Since reads the wall clock`
+	return rand.Float64()
+}
+
+// Histogram walks a map whose order feeds the returned value.
+func Histogram(m map[int]int) int {
+	sum, last := 0, 0
+	for k, v := range m { // want `map iteration order is randomized`
+		sum += k * v
+		last = k
+	}
+	return sum ^ last
+}
+
+// Drain never observes the iteration order: not flagged.
+func Drain(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Allowed carries the audited-exception directive.
+func Allowed() time.Time {
+	//ampvet:allow determinism fixture demonstrates an audited wall-clock read
+	return time.Now()
+}

@@ -1,0 +1,17 @@
+// Package outofscope is not a simulation-core package: determinism
+// does not apply, so nothing here is flagged.
+package outofscope
+
+import "time"
+
+// Stamp may read the wall clock freely.
+func Stamp() time.Time { return time.Now() }
+
+// Walk may iterate maps freely.
+func Walk(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

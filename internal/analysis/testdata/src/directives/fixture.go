@@ -1,0 +1,18 @@
+// Package directives holds malformed //ampvet: directives; the
+// framework reports each as a finding of check "ampvet".
+package directives
+
+import "time"
+
+// ReasonLess has an allow with no reason: the directive itself is a
+// finding, and it does NOT suppress anything.
+func ReasonLess() time.Time {
+	//ampvet:allow determinism
+	return time.Now()
+}
+
+// UnknownCheck names a check that does not exist.
+func UnknownCheck() int {
+	//ampvet:allow nosuchcheck because I said so
+	return 0
+}

@@ -1,0 +1,47 @@
+// Package hotpathalloc exercises the //ampvet:hotpath annotation.
+package hotpathalloc
+
+import "fmt"
+
+func sink(v any)    { _ = v }
+func release(i int) { _ = i }
+
+type counters struct {
+	vals []uint64
+	id   *int
+}
+
+// Step is an annotated per-cycle path: every allocation-forcing
+// construct below must be flagged.
+//
+//ampvet:hotpath
+func (c *counters) Step(now uint64) string {
+	label := fmt.Sprintf("cycle-%d", now) // want `fmt\.Sprintf allocates`
+	for i := 0; i < 4; i++ {
+		c.vals = append(c.vals, now) // want `append in a loop may reallocate`
+		defer release(i)             // want `defer in a loop allocates a defer record`
+	}
+	f := func() uint64 { return now } // want `closure captures now`
+	_ = f
+	sink(now)     // want `argument boxes uint64 into any`
+	v := any(now) // want `conversion boxes uint64 into any`
+	sink(c.id)    // pointers are stored directly in the interface word: no boxing
+	sink(nil)     // nil never boxes
+	_ = v
+	return label
+}
+
+// Cold has the same constructs but no annotation: not checked.
+func (c *counters) Cold(now uint64) {
+	for i := 0; i < 4; i++ {
+		c.vals = append(c.vals, now)
+	}
+	sink(fmt.Sprintf("cycle-%d", now))
+}
+
+// Warm documents an audited exception on its only violation.
+//
+//ampvet:hotpath
+func Warm(now uint64) {
+	sink(now) //ampvet:allow hotpathalloc boxing audited: only reached on the error path
+}

@@ -1,0 +1,34 @@
+// Package app discards errors from the checked APIs in every way the
+// analyzer recognizes.
+package app
+
+import (
+	"obserrcheck/internal/amp"
+	"obserrcheck/internal/telemetry"
+)
+
+// Leak drops every error.
+func Leak(tel *telemetry.Telemetry) {
+	amp.NewSystem(true)           // want `error from amp\.NewSystem discarded`
+	sys, _ := amp.NewSystem(true) // want `error from amp\.NewSystem assigned to blank identifier`
+	sys.Run(1000)                 // want `error from System\.Run discarded`
+	defer tel.Close()             // want `deferred Telemetry\.Close discards its error`
+	go tel.Close()                // want `go Telemetry\.Close discards its error`
+}
+
+// Handled checks every error: nothing to flag.
+func Handled(tel *telemetry.Telemetry) error {
+	sys, err := amp.NewSystem(true)
+	if err != nil {
+		return err
+	}
+	if _, err := sys.Run(1000); err != nil {
+		return err
+	}
+	return tel.Close()
+}
+
+// Allowed documents an audited discard.
+func Allowed(tel *telemetry.Telemetry) {
+	_ = tel.Close() //ampvet:allow obserrcheck fixture demonstrates an audited discard
+}

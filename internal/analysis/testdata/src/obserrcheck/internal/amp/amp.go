@@ -1,0 +1,19 @@
+// Package amp mirrors the error-returning shape of the real amp
+// package for the obserrcheck fixture.
+package amp
+
+import "errors"
+
+// System is a minimal stand-in.
+type System struct{}
+
+// NewSystem mirrors the real constructor's (system, error) shape.
+func NewSystem(valid bool) (*System, error) {
+	if !valid {
+		return nil, errors.New("bad config")
+	}
+	return &System{}, nil
+}
+
+// Run mirrors the real (Result, error) shape.
+func (s *System) Run(limit uint64) (uint64, error) { return limit, nil }

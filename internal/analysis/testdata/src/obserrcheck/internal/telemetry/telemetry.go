@@ -1,0 +1,9 @@
+// Package telemetry mirrors the sink-closing surface of the real
+// telemetry package for the obserrcheck fixture.
+package telemetry
+
+// Telemetry owns buffered sinks; only Close reports the final write.
+type Telemetry struct{}
+
+// Close flushes and closes every sink.
+func (t *Telemetry) Close() error { return nil }

@@ -239,11 +239,15 @@ func (c *Core) Unbind() uint64 {
 
 // StallCycle charges one frozen cycle (swap overhead). Leakage still
 // accrues; no pipeline activity happens.
+//
+//ampvet:hotpath
 func (c *Core) StallCycle() { c.act.StallCycles++ }
 
 // Step advances the core by one cycle at global time now. Stages run
 // commit -> issue -> dispatch -> fetch so results propagate with
 // correct one-cycle visibility.
+//
+//ampvet:hotpath
 func (c *Core) Step(now uint64) {
 	if c.arch == nil {
 		return
@@ -259,6 +263,7 @@ func (c *Core) entry(seq uint64) *robEntry {
 	return &c.rob[seq%uint64(len(c.rob))]
 }
 
+//ampvet:hotpath
 func (c *Core) commit(now uint64) {
 	width := c.cfg.CommitWidth
 	for n := 0; n < width && c.headSeq < c.tailSeq; n++ {
@@ -331,6 +336,7 @@ func (c *Core) producerReady(dep uint64, now uint64) bool {
 	return p.state == stIssued && p.doneAt <= now
 }
 
+//ampvet:hotpath
 func (c *Core) issue(now uint64) {
 	for k := range c.accepted {
 		c.accepted[k] = 0

@@ -3,12 +3,25 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"ampsched/internal/cpu"
 	"ampsched/internal/phase"
 	"ampsched/internal/report"
 	"ampsched/internal/workload"
 )
+
+// sortedKeys returns m's keys in ascending order, for deterministic
+// iteration (map range order is randomized and would leak into the
+// reported phase mapping).
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { //ampvet:allow determinism keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
 
 // RunPhases is an analysis experiment for the paper's foundational
 // assumption (§I, [6]): programs move through detectable phases, some
@@ -72,11 +85,14 @@ func RunPhases(r *Runner, w io.Writer) error {
 			}
 			m[truth[i]]++
 		}
+		// Resolve each detected id to the lowest-numbered true phase
+		// among the ties, iterating in sorted order so the mapping —
+		// and the purity column below — is identical across runs.
 		mapping := map[int]int{}
-		for id, m := range counts {
+		for _, id := range sortedKeys(counts) {
 			best, bestN := -1, -1
-			for tp, c := range m {
-				if c > bestN {
+			for _, tp := range sortedKeys(counts[id]) {
+				if c := counts[id][tp]; c > bestN {
 					best, bestN = tp, c
 				}
 			}

@@ -80,6 +80,8 @@ func (w *WindowTracker) Reset(arch *cpu.ThreadArch) {
 // stores it as Latest and returns (sample, true). Multiple elapsed
 // windows collapse into one sample covering them all (the monitor
 // hardware is polled, not interrupt-driven).
+//
+//ampvet:hotpath
 func (w *WindowTracker) Observe(arch *cpu.ThreadArch) (Sample, bool) {
 	if arch.Committed < w.nextEdge {
 		return Sample{}, false

@@ -177,6 +177,8 @@ func (p *ProposedExt) memBound(t int) bool {
 // Tick implements amp.Scheduler. It follows the Fig. 5 logic of the
 // base scheme, but a rule-2 trigger whose migrating beneficiary is
 // memory-bound becomes a stay vote.
+//
+//ampvet:hotpath
 func (p *ProposedExt) Tick(v amp.View) bool {
 	closed := false
 	for t := 0; t < 2; t++ {

@@ -151,6 +151,8 @@ func (h *HPE) snapshot(v amp.View) {
 // each thread's IPC/Watt on the other core from the estimator's ratio
 // and swaps when the predicted weighted speedup of the swapped
 // configuration exceeds the threshold.
+//
+//ampvet:hotpath
 func (h *HPE) Tick(v amp.View) bool {
 	if v.Cycle() < h.nextCheck {
 		return false
@@ -169,25 +171,29 @@ func (h *HPE) Tick(v amp.View) bool {
 		return false
 	}
 
-	// Predicted speedup of each thread if moved to the other core.
-	speedup := func(t int) float64 {
-		r := h.est.RatioIntOverFP(obs[t].intPct, obs[t].fpPct)
-		if r <= 0 {
-			return 1
-		}
-		if v.CoreOfThread(t) == h.intCore {
-			// Moving INT->FP changes IPC/Watt by 1/r.
-			return 1 / r
-		}
-		return r
-	}
-	est := (speedup(0) + speedup(1)) / 2
+	est := (h.predictedSpeedup(v, obs[0], 0) + h.predictedSpeedup(v, obs[1], 1)) / 2
 	if est > h.cfg.SpeedupThreshold {
 		h.stats.SwapRequests++
 		h.tel.requests.Inc()
 		return true
 	}
 	return false
+}
+
+// predictedSpeedup is thread t's estimated IPC/Watt factor if moved to
+// the other core, from the estimator's INT-over-FP ratio surface.
+//
+//ampvet:hotpath
+func (h *HPE) predictedSpeedup(v amp.View, o intervalObservation, t int) float64 {
+	r := h.est.RatioIntOverFP(o.intPct, o.fpPct)
+	if r <= 0 {
+		return 1
+	}
+	if v.CoreOfThread(t) == h.intCore {
+		// Moving INT->FP changes IPC/Watt by 1/r.
+		return 1 / r
+	}
+	return r
 }
 
 var _ amp.Scheduler = (*HPE)(nil)

@@ -134,6 +134,8 @@ func (p *Proposed) SchedStats() amp.SchedulerStats {
 // end of every committed-instruction window; the reconfiguration
 // fires on a strict majority of the last HistoryDepth tentative
 // decisions, or through the forced fairness swap of Fig. 5 step 3.
+//
+//ampvet:hotpath
 func (p *Proposed) Tick(v amp.View) bool {
 	closed := false
 	for t := 0; t < 2; t++ {

@@ -56,6 +56,8 @@ func (r *RoundRobin) Reset(v amp.View) {
 func (r *RoundRobin) SchedStats() amp.SchedulerStats { return r.stats }
 
 // Tick implements amp.Scheduler.
+//
+//ampvet:hotpath
 func (r *RoundRobin) Tick(v amp.View) bool {
 	if v.Cycle() < r.next {
 		return false

@@ -526,12 +526,11 @@ func TestProposedObserverInjection(t *testing.T) {
 	// decision points, no swaps, but also no wedge or panic.
 	v := newFakeView()
 	cfg := DefaultProposedConfig()
-	p := NewProposed(cfg)
 	var built int
-	p.SetObserver(func(window uint64) monitor.Observer {
+	p := NewProposed(cfg, WithObserverFactory(func(window uint64) monitor.Observer {
 		built++
 		return dropAll{window: window}
-	})
+	}))
 	p.Reset(v)
 	if built != 2 {
 		t.Fatalf("factory built %d observers", built)

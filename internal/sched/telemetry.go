@@ -86,6 +86,8 @@ func newPolTel(t *telemetry.Telemetry, policy string) polTel {
 }
 
 // vote counts one tentative window decision.
+//
+//ampvet:hotpath
 func (pt *polTel) vote(swap bool) {
 	if swap {
 		pt.votesSwap.Inc()
@@ -96,6 +98,8 @@ func (pt *polTel) vote(swap bool) {
 
 // window counts one closed commit window and, when the event stream is
 // live, publishes its composition.
+//
+//ampvet:hotpath
 func (pt *polTel) window(cycle uint64, thread int, s monitor.Sample) {
 	pt.windows.Inc()
 	if pt.t.Eventing() {

@@ -15,9 +15,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//ampvet:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds n.
+//
+//ampvet:hotpath
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -39,6 +43,8 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//ampvet:hotpath
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -71,6 +77,8 @@ type Histogram struct {
 }
 
 // Observe records one sample.
+//
+//ampvet:hotpath
 func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return

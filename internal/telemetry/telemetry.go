@@ -59,11 +59,15 @@ func (t *Telemetry) Histogram(name string) *Histogram { return t.Registry().Hist
 
 // Eventing reports whether Emit delivers anywhere. Callers that must
 // build an Event cheaply can skip construction entirely when false.
+//
+//ampvet:hotpath
 func (t *Telemetry) Eventing() bool {
 	return t != nil && len(t.sinks) > 0
 }
 
 // Emit publishes one event to every sink. Safe on a nil receiver.
+//
+//ampvet:hotpath
 func (t *Telemetry) Emit(e Event) {
 	if t == nil || len(t.sinks) == 0 {
 		return

@@ -1,0 +1,72 @@
+package ampsched
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/sched"
+	"ampsched/internal/trace"
+	"ampsched/internal/workload"
+)
+
+// TestSeededRunsAreByteIdentical is the determinism contract end to
+// end — the invariant the ampvet determinism check guards at compile
+// time, asserted at run time: two identical-seed runs must produce
+// byte-identical results, identical event streams, and byte-identical
+// trace output. Any divergence means a wall clock, unseeded random
+// draw or map walk leaked into the simulation.
+func TestSeededRunsAreByteIdentical(t *testing.T) {
+	run := func() ([]byte, []amp.Event) {
+		cores := [2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()}
+		t0 := amp.NewThread(0, workload.MustByName("fpstress"), 21, 0)
+		t1 := amp.NewThread(1, workload.MustByName("intstress"), 22, 1<<40)
+		var events []amp.Event
+		sys := amp.MustSystem(cores, [2]*amp.Thread{t0, t1},
+			sched.NewProposed(sched.DefaultProposedConfig()),
+			amp.Config{SwapOverheadCycles: 500},
+			amp.WithObserver(amp.ObserverFunc(func(e amp.Event) {
+				events = append(events, e)
+			})))
+		res := sys.MustRun(150_000)
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob, events
+	}
+
+	blobA, eventsA := run()
+	blobB, eventsB := run()
+	if !bytes.Equal(blobA, blobB) {
+		t.Errorf("identical-seed results differ:\n  A: %s\n  B: %s", blobA, blobB)
+	}
+	if len(eventsA) == 0 {
+		t.Fatal("observer saw no events")
+	}
+	if !reflect.DeepEqual(eventsA, eventsB) {
+		t.Errorf("identical-seed event streams differ: %d vs %d events", len(eventsA), len(eventsB))
+	}
+}
+
+// TestSeededTraceIsByteIdentical records the same benchmark twice from
+// the same seed and requires bit-equal trace files (header, frames and
+// CRC32 framing included).
+func TestSeededTraceIsByteIdentical(t *testing.T) {
+	record := func() []byte {
+		b := workload.MustByName("gcc")
+		gen := workload.NewGenerator(b, 77, 0)
+		var buf bytes.Buffer
+		if err := trace.RecordBenchmark(&buf, b.Name, b.EffectiveCodeFootprint(), 50_000, gen.Next); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := record(), record()
+	if !bytes.Equal(a, b) {
+		t.Errorf("identical-seed traces differ: %d vs %d bytes", len(a), len(b))
+	}
+}
