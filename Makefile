@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet ampvet analyze lint test test-short test-race bench bench-snapshot experiments experiments-paper fuzz fuzz-fault clean
+.PHONY: all build vet ampvet analyze lint test test-short test-race bench bench-snapshot bench-core bench-check experiments experiments-paper paperscale fuzz fuzz-fault clean
 
 all: build lint test test-race
 
@@ -49,6 +49,18 @@ bench-snapshot:
 	$(GO) test -run NONE -bench 'BenchmarkCoreSimulation|BenchmarkDualCoreSystem|BenchmarkWorkloadGenerator' -benchmem . \
 		| $(GO) run ./cmd/benchsnap -o BENCH_telemetry.json
 
+# Snapshot the simulation-engine benchmarks (detailed vs interval vs
+# sampled hot loops) into the committed baseline BENCH_core.json.
+bench-core:
+	$(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem . \
+		| $(GO) run ./cmd/benchsnap -o BENCH_core.json
+
+# Regression gate: rerun the engine benchmarks and compare against the
+# committed baseline (fails past +10% ns/op or any allocs/op increase).
+bench-check:
+	$(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem . \
+		| $(GO) run ./cmd/benchsnap -compare BENCH_core.json
+
 # Regenerate every table and figure of the paper (minutes).
 experiments:
 	$(GO) run ./cmd/ampexperiments -v
@@ -56,6 +68,11 @@ experiments:
 # Publication-scale parameters (hours of CPU).
 experiments-paper:
 	$(GO) run ./cmd/ampexperiments -paper -v
+
+# Fig. 7 at the paper's actual scale (80 pairs x 500M instructions) in
+# minutes, via the two-tier sampled engine.
+paperscale:
+	$(GO) run ./cmd/ampexperiments -run fig7full -fidelity sampled -v
 
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzRead -fuzztime 30s

@@ -19,6 +19,7 @@ import (
 	"ampsched/internal/amp"
 	"ampsched/internal/cpu"
 	"ampsched/internal/experiments"
+	"ampsched/internal/interval"
 	"ampsched/internal/isa"
 	"ampsched/internal/metrics"
 	"ampsched/internal/profilegen"
@@ -255,6 +256,76 @@ func BenchmarkAblationPrefetcher(b *testing.B) {
 	}
 	b.ReportMetric(gain, "prefetch_ipc_gain_pct")
 }
+
+// --- engine fidelity benches (BENCH_core.json / make bench-check) ----
+
+// benchFidelityPairs runs the Fig. 7-style pair sweep (every random
+// pair under proposed, HPE and Round Robin) at the given fidelity.
+// The detailed/interval pairing of these benches records the interval
+// engine's speedup in BENCH_core.json; profiling (always detailed) is
+// shared and untimed, and one untimed warm-up sweep populates the
+// interval calibration cache.
+func benchFidelityPairs(b *testing.B, fidelity string) {
+	opt := benchOptions()
+	opt.Fidelity = fidelity
+	r, err := experiments.NewRunner(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := r.Matrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := experiments.RandomPairs(opt.Pairs, opt.Seed)
+	sweep := func() {
+		for j, p := range pairs {
+			if _, err := r.RunPair(j, p, r.ProposedFactory()); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.RunPair(j, p, r.HPEFactory(m)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.RunPair(j, p, r.RRFactory(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	sweep()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep()
+	}
+}
+
+// BenchmarkEnginePairSweepDetailed is the cycle-accurate reference for
+// the fidelity sweep trio.
+func BenchmarkEnginePairSweepDetailed(b *testing.B) { benchFidelityPairs(b, cpu.FidelityDetailed) }
+
+// BenchmarkEnginePairSweepInterval must stay well over an order of
+// magnitude under the Detailed sibling's ns/op.
+func BenchmarkEnginePairSweepInterval(b *testing.B) { benchFidelityPairs(b, interval.FidelityInterval) }
+
+// BenchmarkEnginePairSweepSampled exercises the two-tier engine's
+// warm-up/fast-forward switching on the same sweep.
+func BenchmarkEnginePairSweepSampled(b *testing.B) { benchFidelityPairs(b, interval.FidelitySampled) }
+
+// benchSoloEngine isolates one engine's per-window hot loop on a
+// single core running gcc (no scheduler, no second core).
+func benchSoloEngine(b *testing.B, factory cpu.EngineFactory) {
+	cfg := cpu.IntCoreConfig()
+	bench := workload.MustByName("gcc")
+	amp.SoloRunEngine(factory, cfg, bench, 7, 50_000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		amp.SoloRunEngine(factory, cfg, bench, 7, 300_000, 0)
+	}
+}
+
+// BenchmarkEngineSoloDetailed measures the detailed pipeline loop.
+func BenchmarkEngineSoloDetailed(b *testing.B) { benchSoloEngine(b, cpu.DetailedFactory) }
+
+// BenchmarkEngineSoloInterval measures the analytic window loop.
+func BenchmarkEngineSoloInterval(b *testing.B) { benchSoloEngine(b, interval.Factory()) }
 
 // --- microbenchmarks of the substrate --------------------------------
 

@@ -40,6 +40,7 @@ func main() {
 		overhead     = flag.Uint64("overhead", 0, "override swap overhead (cycles)")
 		seed         = flag.Uint64("seed", 0, "override RNG seed")
 		paper        = flag.Bool("paper", false, "use publication-scale parameters (slow)")
+		fidelity     = flag.String("fidelity", "", "simulation engine for pair runs: detailed (default) | interval | sampled")
 		faultRate    = flag.Float64("faultrate", 0, "inject monitor/swap faults at this uniform rate into every pair run (0 = off)")
 		faultSeed    = flag.Uint64("faultseed", 1, "fault-plan seed (deterministic with -seed and -faultrate)")
 		budget       = flag.Uint64("cyclebudget", 0, "per-run cycle budget; an exhausted run is reported wedged (0 = off)")
@@ -80,6 +81,7 @@ func main() {
 	opt.FaultRate = *faultRate
 	opt.FaultSeed = *faultSeed
 	opt.CycleBudget = *budget
+	opt.Fidelity = *fidelity
 
 	r, err := experiments.NewRunner(opt)
 	if err != nil {
@@ -144,7 +146,12 @@ func main() {
 
 	var selected []experiments.Experiment
 	if *runList == "all" {
-		selected = experiments.All()
+		for _, e := range experiments.All() {
+			if e.Name == "fig7full" {
+				continue // paper-scale; run explicitly with -run fig7full
+			}
+			selected = append(selected, e)
+		}
 	} else {
 		for _, name := range strings.Split(*runList, ",") {
 			e, err := experiments.ByName(strings.TrimSpace(name))

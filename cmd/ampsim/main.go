@@ -25,6 +25,7 @@ import (
 	"ampsched/internal/cpu"
 	"ampsched/internal/experiments"
 	"ampsched/internal/fault"
+	"ampsched/internal/interval"
 	"ampsched/internal/monitor"
 	"ampsched/internal/report"
 	"ampsched/internal/sched"
@@ -37,6 +38,7 @@ func main() {
 		benchA       = flag.String("a", "gcc", "benchmark for thread 0 (starts on the INT core)")
 		benchB       = flag.String("b", "fpstress", "benchmark for thread 1 (starts on the FP core)")
 		schedName    = flag.String("sched", "proposed", "scheduler: proposed|proposed-ext|morphing|sampling|hpe-matrix|hpe-regression|rr|rr2|static")
+		fidelity     = flag.String("fidelity", "", "simulation engine: detailed (default, cycle-accurate) | interval (calibrated analytic) | sampled (detailed warm-up + interval fast-forward)")
 		limit        = flag.Uint64("limit", 1_500_000, "stop when either thread commits this many instructions")
 		ctxSwitch    = flag.Uint64("contextswitch", 400_000, "coarse decision interval in cycles")
 		overhead     = flag.Uint64("overhead", amp.DefaultSwapOverheadCycles, "swap overhead in cycles")
@@ -67,7 +69,12 @@ func main() {
 	opt.SwapOverhead = *overhead
 	opt.Seed = *seed
 	opt.ProfileInstrLimit = *profileLimit
+	opt.Fidelity = *fidelity
 	runner, err := experiments.NewRunner(opt)
+	if err != nil {
+		fatal(err)
+	}
+	engineFactory, err := interval.FactoryFor(*fidelity)
 	if err != nil {
 		fatal(err)
 	}
@@ -153,7 +160,7 @@ func main() {
 	t1 := amp.NewThread(1, b, *seed*1_000_003+1, 1<<40)
 
 	var schedOpts []sched.Option
-	var ampOpts []amp.Option
+	ampOpts := []amp.Option{amp.WithEngine(engineFactory)}
 	if tel != nil {
 		schedOpts = append(schedOpts, sched.WithTelemetry(tel))
 		ampOpts = append(ampOpts, amp.WithTelemetry(tel))

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func bench(name string, ns float64, allocs int64) Benchmark {
+	return Benchmark{Name: name, Iterations: 100, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func countFail(lines []string) int {
+	n := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "FAIL") {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	old := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 0)}}
+	fresh := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 105, 0)}}
+	res := compareSnapshots(old, fresh, 10)
+	if res.failures != 0 {
+		t.Fatalf("+5%% within a +10%% gate must pass, got %d failures: %v", res.failures, res.lines)
+	}
+	// A speedup of any size passes too.
+	fresh.Benchmarks[0].NsPerOp = 10
+	if res := compareSnapshots(old, fresh, 10); res.failures != 0 {
+		t.Fatalf("speedup must pass, got %v", res.lines)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	old := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 0)}}
+	fresh := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 111, 0)}}
+	res := compareSnapshots(old, fresh, 10)
+	if res.failures != 1 || countFail(res.lines) != 1 {
+		t.Fatalf("+11%% past a +10%% gate must fail once, got %d failures: %v", res.failures, res.lines)
+	}
+	// A looser gate lets the same delta through.
+	if res := compareSnapshots(old, fresh, 20); res.failures != 0 {
+		t.Fatalf("+11%% within a +20%% gate must pass, got %v", res.lines)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	old := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 0)}}
+	fresh := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1)}}
+	res := compareSnapshots(old, fresh, 10)
+	if res.failures != 1 {
+		t.Fatalf("any allocs/op increase must fail, got %d failures: %v", res.failures, res.lines)
+	}
+}
+
+func TestCompareBothRegressions(t *testing.T) {
+	old := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 2)}}
+	fresh := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 200, 3)}}
+	res := compareSnapshots(old, fresh, 10)
+	if res.failures != 2 {
+		t.Fatalf("ns/op and allocs/op regressions count separately, got %d: %v", res.failures, res.lines)
+	}
+}
+
+func TestCompareNewAndGone(t *testing.T) {
+	old := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkGone", 100, 0)}}
+	fresh := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkNew", 100, 5)}}
+	res := compareSnapshots(old, fresh, 10)
+	if res.failures != 0 {
+		t.Fatalf("added/removed benchmarks must not fail the gate: %v", res.lines)
+	}
+	var sawNew, sawGone bool
+	for _, l := range res.lines {
+		sawNew = sawNew || strings.HasPrefix(l, "new  BenchmarkNew")
+		sawGone = sawGone || strings.HasPrefix(l, "gone BenchmarkGone")
+	}
+	if !sawNew || !sawGone {
+		t.Fatalf("missing new/gone report lines: %v", res.lines)
+	}
+}
+
+func TestParseSnapshot(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: ampsched
+cpu: Test CPU
+BenchmarkCoreSimulation-8   	     100	  12345.6 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWithExtra-8        	      50	    200.0 ns/op	      16 B/op	       2 allocs/op	       1.5 pct_vs_hpe
+PASS
+ok  	ampsched	1.234s
+`
+	snap, err := parseSnapshot(strings.NewReader(in), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GOOS != "linux" || snap.Package != "ampsched" {
+		t.Fatalf("header mis-parsed: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks, got %+v", snap.Benchmarks)
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "BenchmarkCoreSimulation" || b.NsPerOp != 12345.6 || b.AllocsPerOp != 0 {
+		t.Fatalf("first benchmark mis-parsed: %+v", b)
+	}
+	if got := snap.Benchmarks[1].Extra["pct_vs_hpe"]; got != 1.5 {
+		t.Fatalf("extra metric mis-parsed: %+v", snap.Benchmarks[1])
+	}
+}

@@ -10,7 +10,6 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,39 +43,36 @@ type Snapshot struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compareWith := flag.String("compare", "", "compare fresh -bench output on stdin against this snapshot; exit 1 on regression")
+	threshold := flag.Float64("threshold", 10, "ns/op regression gate in percent (compare mode); allocs/op may never increase")
 	flag.Parse()
 
-	var snap Snapshot
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			snap.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			snap.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "pkg:"):
-			snap.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		case strings.HasPrefix(line, "cpu:"):
-			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			if b, ok := parseLine(line); ok {
-				snap.Benchmarks = append(snap.Benchmarks, b)
-			} else {
-				fmt.Fprintln(os.Stderr, line)
-			}
-		default:
-			if line != "" {
-				fmt.Fprintln(os.Stderr, line)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
+	snap, err := parseSnapshot(os.Stdin, os.Stderr)
+	if err != nil {
 		fatal(err)
 	}
 	if len(snap.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	if *compareWith != "" {
+		data, err := os.ReadFile(*compareWith)
+		if err != nil {
+			fatal(err)
+		}
+		var old Snapshot
+		if err := json.Unmarshal(data, &old); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *compareWith, err))
+		}
+		res := compareSnapshots(&old, &snap, *threshold)
+		for _, l := range res.lines {
+			fmt.Println(l)
+		}
+		if res.failures > 0 {
+			fatal(fmt.Errorf("%d regression(s) vs %s", res.failures, *compareWith))
+		}
+		fmt.Fprintf(os.Stderr, "benchsnap: no regressions vs %s\n", *compareWith)
+		return
 	}
 
 	enc, err := json.MarshalIndent(&snap, "", "  ")

@@ -243,12 +243,20 @@ func (c *Config) Validate() error {
 
 // System is the dual-core AMP.
 type System struct {
-	cores   [2]*cpu.Core
+	engines [2]cpu.Engine
 	models  [2]*power.Model
 	threads [2]*Thread
 	binding [2]int // binding[core] = thread index
 	sched   Scheduler
 	cfg     Config
+
+	// engineFactory builds the two engines (WithEngine); nil means
+	// cpu.DetailedFactory.
+	engineFactory cpu.EngineFactory
+	// stride is the cycles-per-iteration of the run loop: the largest
+	// Stride() of the two engines (1 for detailed cores, preserving
+	// the original cycle-interleaved loop bit for bit).
+	stride uint64
 
 	cycle         uint64
 	swaps         uint64
@@ -290,14 +298,28 @@ func NewSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg
 		sched:   sched,
 		cfg:     cfg,
 	}
-	for i := 0; i < 2; i++ {
-		s.cores[i] = cpu.NewCore(coreCfgs[i])
-		s.models[i] = power.NewModel(coreCfgs[i])
-		s.cores[i].Bind(threads[i].Gen, &threads[i].Arch)
-	}
+	// Options run before engine construction so WithEngine can select
+	// the factory.
 	for _, opt := range opts {
 		if opt != nil {
 			opt(s)
+		}
+	}
+	factory := s.engineFactory
+	if factory == nil {
+		factory = cpu.DetailedFactory
+	}
+	s.stride = 1
+	for i := 0; i < 2; i++ {
+		eng, err := factory(coreCfgs[i])
+		if err != nil {
+			return nil, fmt.Errorf("amp: engine for core %d: %w", i, err)
+		}
+		s.engines[i] = eng
+		s.models[i] = power.NewModel(coreCfgs[i])
+		eng.Bind(threads[i].Gen, &threads[i].Arch)
+		if st := eng.Stride(); st > s.stride {
+			s.stride = st
 		}
 	}
 	if sched != nil {
@@ -348,21 +370,39 @@ func (s *System) LastSwapCycle() uint64 { return s.lastSwapCycle }
 func (s *System) SwapFailures() uint64 { return s.swapFailures }
 
 // CoreConfig implements View.
-func (s *System) CoreConfig(core int) *cpu.Config { return s.cores[core].Config() }
+func (s *System) CoreConfig(core int) *cpu.Config { return s.engines[core].Config() }
 
 // L2Stats implements View.
-func (s *System) L2Stats(core int) cache.Stats { return s.cores[core].Hierarchy().L2.Stats() }
+func (s *System) L2Stats(core int) cache.Stats { return s.engines[core].Stats().L2 }
 
 // FreqGHz implements View.
-func (s *System) FreqGHz() float64 { return s.cores[0].Config().FreqGHz }
+func (s *System) FreqGHz() float64 { return s.engines[0].Config().FreqGHz }
 
 // --------------------------------------------------------------------
 
 // Swaps returns the number of swaps performed so far.
 func (s *System) Swaps() uint64 { return s.swaps }
 
-// Core exposes a core (tests and power accounting).
-func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
+// Core exposes a core as the concrete cycle-level model, or nil when
+// the system runs a different fidelity (tests and power accounting;
+// fidelity-agnostic callers should use Engine).
+func (s *System) Core(i int) *cpu.Core {
+	c, _ := s.engines[i].(*cpu.Core)
+	return c
+}
+
+// Engine exposes a core's simulation engine.
+func (s *System) Engine(i int) cpu.Engine { return s.engines[i] }
+
+// Fidelity describes the system's simulation fidelity: the engines'
+// common label, or "a+b" if they somehow differ.
+func (s *System) Fidelity() string {
+	a, b := s.engines[0].Fidelity(), s.engines[1].Fidelity()
+	if a == b {
+		return a
+	}
+	return a + "+" + b
+}
 
 // Thread exposes a thread.
 func (s *System) Thread(i int) *Thread { return s.threads[i] }
@@ -371,8 +411,9 @@ func (s *System) Thread(i int) *Thread { return s.threads[i] }
 // current occupant thread.
 func (s *System) flushEnergy() {
 	for c := 0; c < 2; c++ {
-		act := s.cores[c].Activity()
-		cs := power.SnapshotCaches(s.cores[c])
+		st := s.engines[c].Stats()
+		act := st.Act
+		cs := power.CacheStats{L1I: st.L1I, L1D: st.L1D, L2: st.L2}
 		dAct := act.Sub(s.lastAct[c])
 		dCS := cs.Sub(s.lastCache[c])
 		e := s.models[c].EnergyNJ(dAct, dCS)
@@ -405,11 +446,11 @@ func (s *System) requestSwap() {
 // configured overhead times factor (a delayed reconfiguration).
 func (s *System) swap(factor float64) {
 	s.flushEnergy() // attribute up to now under the old binding
-	s.cores[0].Unbind()
-	s.cores[1].Unbind()
+	s.engines[0].Unbind()
+	s.engines[1].Unbind()
 	s.binding[0], s.binding[1] = s.binding[1], s.binding[0]
-	s.cores[0].Bind(s.threads[s.binding[0]].Gen, &s.threads[s.binding[0]].Arch)
-	s.cores[1].Bind(s.threads[s.binding[1]].Gen, &s.threads[s.binding[1]].Arch)
+	s.engines[0].Bind(s.threads[s.binding[0]].Gen, &s.threads[s.binding[0]].Arch)
+	s.engines[1].Bind(s.threads[s.binding[1]].Gen, &s.threads[s.binding[1]].Arch)
 	s.swaps++
 	overhead := s.cfg.SwapOverheadCycles
 	if factor != 1 {
@@ -458,7 +499,7 @@ type Result struct {
 func (s *System) stateDump() string {
 	return fmt.Sprintf("t0=%d t1=%d inflight=%d/%d",
 		s.threads[0].Arch.Committed, s.threads[1].Arch.Committed,
-		s.cores[0].InFlight(), s.cores[1].InFlight())
+		s.engines[0].InFlight(), s.engines[1].InFlight())
 }
 
 // Run advances the system until either thread has committed limit
@@ -497,13 +538,25 @@ func (s *System) RunContext(ctx context.Context, limit uint64) (Result, error) {
 		return res, err
 	}
 
+	// The loop advances in engine-stride windows: n == 1 for detailed
+	// cores reproduces the original cycle-interleaved loop exactly
+	// (same Step/StallCycle sequence, same check points), while
+	// analytic engines amortize scheduler polling and bookkeeping over
+	// their stride. Running one core's window before the other's is
+	// equivalent to interleaving because the cores share no state —
+	// their only coupling is the scheduler, which acts at window
+	// boundaries.
 	for s.threads[0].Arch.Committed < limit && s.threads[1].Arch.Committed < limit {
+		n := s.stride
 		if s.cycle < s.stallUntil {
-			s.cores[0].StallCycle()
-			s.cores[1].StallCycle()
+			if remain := s.stallUntil - s.cycle; remain < n {
+				n = remain
+			}
+			s.engines[0].StallCycles(n)
+			s.engines[1].StallCycles(n)
 		} else {
-			s.cores[0].Step(s.cycle)
-			s.cores[1].Step(s.cycle)
+			s.engines[0].Run(s.cycle, n)
+			s.engines[1].Run(s.cycle, n)
 			if s.sched != nil {
 				if s.sched.Tick(s) {
 					s.requestSwap()
@@ -517,12 +570,12 @@ func (s *System) RunContext(ctx context.Context, limit uint64) (Result, error) {
 				}
 			}
 		}
-		s.cycle++
+		s.cycle += n
 		if s.timeline != nil && s.cycle >= s.timeline.next {
 			s.recordTimeline()
 		}
 
-		if done != nil && s.cycle&ctxCheckMask == 0 {
+		if done != nil && s.cycle&ctxCheckMask < n {
 			select {
 			case <-done:
 				s.emit(Event{Kind: EventCanceled, Cycle: s.cycle})

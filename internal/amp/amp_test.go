@@ -153,7 +153,7 @@ func TestEnergyAttributionSums(t *testing.T) {
 	var coreTotal float64
 	for c := 0; c < 2; c++ {
 		// Recompute each core's total energy from scratch.
-		coreTotal += sys.models[c].EnergyNJ(sys.cores[c].Activity(), power.SnapshotCaches(sys.cores[c]))
+		coreTotal += sys.models[c].EnergyNJ(sys.Core(c).Activity(), power.SnapshotCaches(sys.Core(c)))
 	}
 	threadTotal := threads[0].EnergyNJ + threads[1].EnergyNJ
 	rel := (threadTotal - coreTotal) / coreTotal

@@ -44,7 +44,7 @@ func (s *System) Morphs() uint64 { return s.morphs }
 // defaulting to 0.
 func (s *System) intCoreIndex() int {
 	for c := 0; c < 2; c++ {
-		if s.cores[c].Config().Name == "INT" {
+		if s.engines[c].Config().Name == "INT" {
 			return c
 		}
 	}
@@ -56,15 +56,15 @@ func (s *System) intCoreIndex() int {
 // are restored and the current thread placement is kept.
 func (s *System) morph(on bool, strongThread int) {
 	s.flushEnergy()
-	s.cores[0].Unbind()
-	s.cores[1].Unbind()
+	s.engines[0].Unbind()
+	s.engines[1].Unbind()
 
 	intC := s.intCoreIndex()
 	fpC := 1 - intC
 	var err error
 	if on {
-		if err = s.cores[intC].Reconfigure(cpu.MorphStrongUnits()); err == nil {
-			err = s.cores[fpC].Reconfigure(cpu.MorphWeakUnits())
+		if err = s.engines[intC].Reconfigure(cpu.MorphStrongUnits()); err == nil {
+			err = s.engines[fpC].Reconfigure(cpu.MorphWeakUnits())
 		}
 		s.models[intC] = power.NewModel(cpu.MorphedStrongConfig())
 		s.models[fpC] = power.NewModel(cpu.MorphedWeakConfig())
@@ -73,11 +73,11 @@ func (s *System) morph(on bool, strongThread int) {
 			s.binding[0], s.binding[1] = s.binding[1], s.binding[0]
 		}
 	} else {
-		if err = s.cores[intC].Reconfigure(cpu.IntCoreConfig().Units); err == nil {
-			err = s.cores[fpC].Reconfigure(cpu.FPCoreConfig().Units)
+		if err = s.engines[intC].Reconfigure(cpu.IntCoreConfig().Units); err == nil {
+			err = s.engines[fpC].Reconfigure(cpu.FPCoreConfig().Units)
 		}
-		s.models[intC] = power.NewModel(s.cores[intC].Config())
-		s.models[fpC] = power.NewModel(s.cores[fpC].Config())
+		s.models[intC] = power.NewModel(s.engines[intC].Config())
+		s.models[fpC] = power.NewModel(s.engines[fpC].Config())
 	}
 	if err != nil {
 		// Reconfigure only fails on invalid unit sets, which are
@@ -85,8 +85,8 @@ func (s *System) morph(on bool, strongThread int) {
 		panic(fmt.Sprintf("amp: morph reconfiguration failed: %v", err))
 	}
 
-	s.cores[0].Bind(s.threads[s.binding[0]].Gen, &s.threads[s.binding[0]].Arch)
-	s.cores[1].Bind(s.threads[s.binding[1]].Gen, &s.threads[s.binding[1]].Arch)
+	s.engines[0].Bind(s.threads[s.binding[0]].Gen, &s.threads[s.binding[0]].Arch)
+	s.engines[1].Bind(s.threads[s.binding[1]].Gen, &s.threads[s.binding[1]].Arch)
 	s.morphed = on
 	s.morphs++
 	s.stallUntil = s.cycle + 1 + s.cfg.MorphOverheadCycles

@@ -1,6 +1,9 @@
 package amp
 
-import "ampsched/internal/telemetry"
+import (
+	"ampsched/internal/cpu"
+	"ampsched/internal/telemetry"
+)
 
 // Option customizes a System at construction. Options are the new
 // instrumentation surface: where earlier releases assigned hook fields
@@ -28,6 +31,20 @@ func WithFaultPlan(inj SwapInjector) Option {
 	return func(s *System) {
 		if inj != nil {
 			s.cfg.SwapInjector = inj
+		}
+	}
+}
+
+// WithEngine selects the simulation fidelity: NewSystem builds both
+// cores with f instead of the default cpu.DetailedFactory. Use
+// interval.Factory() for the calibrated analytic model or
+// interval.SampledFactory() for two-tier sampled simulation. A nil f
+// keeps the default, so call sites can pass a possibly-unset factory
+// unconditionally.
+func WithEngine(f cpu.EngineFactory) Option {
+	return func(s *System) {
+		if f != nil {
+			s.engineFactory = f
 		}
 	}
 }

@@ -42,7 +42,15 @@ type SoloResult struct {
 // cycles (0 disables periodic sampling; a final sample always closes
 // the run).
 func SoloRun(coreCfg *cpu.Config, bench *workload.Benchmark, seed, limit, sampleCycles uint64) SoloResult {
-	return soloRun(coreCfg, bench, seed, limit, sampleCycles, 0)
+	return soloRun(nil, coreCfg, bench, seed, limit, sampleCycles, 0)
+}
+
+// SoloRunEngine is SoloRun at a selectable simulation fidelity: the
+// core is built by factory (nil means cpu.DetailedFactory, making
+// this a superset of SoloRun). The cross-engine equivalence suite
+// compares SoloRun against SoloRunEngine(interval.Factory(), ...).
+func SoloRunEngine(factory cpu.EngineFactory, coreCfg *cpu.Config, bench *workload.Benchmark, seed, limit, sampleCycles uint64) SoloResult {
+	return soloRun(factory, coreCfg, bench, seed, limit, sampleCycles, 0)
 }
 
 // SoloRunWindows is SoloRun sampling on committed-instruction window
@@ -53,11 +61,17 @@ func SoloRunWindows(coreCfg *cpu.Config, bench *workload.Benchmark, seed, limit,
 	if windowInstr == 0 {
 		panic("amp: SoloRunWindows with zero window")
 	}
-	return soloRun(coreCfg, bench, seed, limit, 0, windowInstr)
+	return soloRun(nil, coreCfg, bench, seed, limit, 0, windowInstr)
 }
 
-func soloRun(coreCfg *cpu.Config, bench *workload.Benchmark, seed, limit, sampleCycles, sampleInstrs uint64) SoloResult {
-	core := cpu.NewCore(coreCfg)
+func soloRun(factory cpu.EngineFactory, coreCfg *cpu.Config, bench *workload.Benchmark, seed, limit, sampleCycles, sampleInstrs uint64) SoloResult {
+	if factory == nil {
+		factory = cpu.DetailedFactory
+	}
+	core, err := factory(coreCfg)
+	if err != nil {
+		panic(fmt.Sprintf("amp: solo engine for %s: %v", coreCfg.Name, err))
+	}
 	model := power.NewModel(coreCfg)
 	th := NewThread(0, bench, seed, 0)
 	core.Bind(th.Gen, &th.Arch)
@@ -77,8 +91,9 @@ func soloRun(coreCfg *cpu.Config, bench *workload.Benchmark, seed, limit, sample
 	)
 
 	takeSample := func() {
-		act := core.Activity()
-		cs := power.SnapshotCaches(core)
+		st := core.Stats()
+		act := st.Act
+		cs := power.CacheStats{L1I: st.L1I, L1D: st.L1D, L2: st.L2}
 		dAct := act.Sub(lastAct)
 		dCS := cs.Sub(lastCache)
 		e := model.EnergyNJ(dAct, dCS)
@@ -115,9 +130,10 @@ func soloRun(coreCfg *cpu.Config, bench *workload.Benchmark, seed, limit, sample
 		lastClassCnt = th.Arch.CommittedByClass
 	}
 
+	stride := core.Stride()
 	for th.Arch.Committed < limit {
-		core.Step(cycle)
-		cycle++
+		core.Run(cycle, stride)
+		cycle += stride
 		if sampleCycles > 0 && cycle >= nextSampleCyc {
 			takeSample()
 			nextSampleCyc += sampleCycles

@@ -3,6 +3,7 @@ package amp
 import (
 	"fmt"
 
+	"ampsched/internal/cpu"
 	"ampsched/internal/telemetry"
 )
 
@@ -25,6 +26,14 @@ type telemetryHook struct {
 	wedges         *telemetry.Counter
 	cancels        *telemetry.Counter
 	swapOverhead   *telemetry.Histogram
+
+	// fidelity caches System.Fidelity() for event stamping; resolved
+	// on first event because options (and thus this hook) are applied
+	// before NewSystem builds the engines.
+	fidelity string
+	// lastEngine tracks per-core engine snapshots so the per-engine
+	// cycle/commit counters advance by run deltas.
+	lastEngine [2]cpu.EngineStats
 }
 
 func newTelemetryHook(s *System, t *telemetry.Telemetry) *telemetryHook {
@@ -70,10 +79,14 @@ func (h *telemetryHook) Event(e Event) {
 		h.cancels.Inc()
 	}
 	if h.t.Eventing() && e.Kind != EventWatchdogReset {
+		if h.fidelity == "" {
+			h.fidelity = h.sys.Fidelity()
+		}
 		te := telemetry.NewEvent(e.Kind.String())
 		te.Cycle = e.Cycle
 		te.Value = float64(e.Overhead)
 		te.Detail = e.Reason
+		te.Fidelity = h.fidelity
 		if e.Delayed {
 			te.Detail = "delayed"
 		}
@@ -89,13 +102,22 @@ func (h *telemetryHook) flushRunEnd() {
 	s := h.sys
 	h.t.Gauge("amp.cycles").Set(float64(s.cycle))
 	for c := 0; c < 2; c++ {
-		act := s.cores[c].Activity()
+		st := s.engines[c].Stats()
+		act := st.Act
 		prefix := fmt.Sprintf("cpu.core%d.", c)
 		h.t.Gauge(prefix + "active_cycles").Set(float64(act.Cycles))
 		h.t.Gauge(prefix + "stall_cycles").Set(float64(act.StallCycles))
 		h.t.Gauge(prefix + "fetched_ops").Set(float64(act.FetchedOps))
 		h.t.Gauge(prefix + "exec_ops").Set(float64(act.TotalOps()))
 		h.t.Gauge(prefix + "squashed_ops").Set(float64(act.Squashed))
+
+		// Per-engine fidelity-labeled counters: cycles simulated and
+		// instructions committed by this engine, summed across runs.
+		d := st.Sub(h.lastEngine[c])
+		h.lastEngine[c] = st
+		enginePrefix := "engine." + s.engines[c].Fidelity() + "."
+		h.t.Counter(enginePrefix + "cycles").Add(d.Act.Cycles + d.Act.StallCycles)
+		h.t.Counter(enginePrefix + "commits").Add(d.Committed)
 	}
 	for i := 0; i < 2; i++ {
 		th := s.threads[i]

@@ -12,6 +12,7 @@ var simCoreSuffixes = []string{
 	"internal/amp",
 	"internal/sched",
 	"internal/cpu",
+	"internal/interval",
 	"internal/monitor",
 	"internal/fault",
 	"internal/workload",

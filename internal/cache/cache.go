@@ -67,6 +67,15 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
+// Add returns s + o component-wise (for merging ledgers).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Accesses:   s.Accesses + o.Accesses,
+		Misses:     s.Misses + o.Misses,
+		Writebacks: s.Writebacks + o.Writebacks,
+	}
+}
+
 type line struct {
 	tag   uint64
 	lru   uint64 // last-use stamp

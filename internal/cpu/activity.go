@@ -66,6 +66,36 @@ func (a Activity) Sub(b Activity) Activity {
 	return out
 }
 
+// Add returns a + b component-wise (used when merging the ledgers of
+// a sampled engine's two halves).
+func (a Activity) Add(b Activity) Activity {
+	out := Activity{
+		Cycles:       a.Cycles + b.Cycles,
+		StallCycles:  a.StallCycles + b.StallCycles,
+		FetchGroups:  a.FetchGroups + b.FetchGroups,
+		FetchedOps:   a.FetchedOps + b.FetchedOps,
+		BPredOps:     a.BPredOps + b.BPredOps,
+		Renames:      a.Renames + b.Renames,
+		ROBWrites:    a.ROBWrites + b.ROBWrites,
+		ROBReads:     a.ROBReads + b.ROBReads,
+		IntISQWrites: a.IntISQWrites + b.IntISQWrites,
+		FPISQWrites:  a.FPISQWrites + b.FPISQWrites,
+		IntISQIssues: a.IntISQIssues + b.IntISQIssues,
+		FPISQIssues:  a.FPISQIssues + b.FPISQIssues,
+		IntRegReads:  a.IntRegReads + b.IntRegReads,
+		IntRegWrites: a.IntRegWrites + b.IntRegWrites,
+		FPRegReads:   a.FPRegReads + b.FPRegReads,
+		FPRegWrites:  a.FPRegWrites + b.FPRegWrites,
+		LSQWrites:    a.LSQWrites + b.LSQWrites,
+		LSQSearches:  a.LSQSearches + b.LSQSearches,
+		Squashed:     a.Squashed + b.Squashed,
+	}
+	for k := range out.UnitOps {
+		out.UnitOps[k] = a.UnitOps[k] + b.UnitOps[k]
+	}
+	return out
+}
+
 // TotalOps returns the total functional-unit operations executed.
 func (a Activity) TotalOps() uint64 {
 	var n uint64

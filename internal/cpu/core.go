@@ -112,6 +112,11 @@ type Core struct {
 	fetchResumeAt uint64 // no fetch before this cycle
 	mispPending   bool   // a mispredicted branch is unresolved
 
+	// committed counts instructions this core committed across all
+	// threads it has run (ThreadArch.Committed migrates with the
+	// thread; this stays with the engine for per-engine telemetry).
+	committed uint64
+
 	// commitHook, when set, observes every committed instruction
 	// (class and address) — the tap used by hardware monitors such as
 	// the phase classifier.
@@ -286,6 +291,7 @@ func (c *Core) commit(now uint64) {
 			c.intRegFree++
 		}
 		c.act.ROBReads++
+		c.committed++
 		c.arch.Committed++
 		c.arch.CommittedByClass[e.class]++
 		if c.commitHook != nil {

@@ -39,6 +39,7 @@ func RunCharacterize(r *Runner, w io.Writer) error {
 	if workers > len(pool) {
 		workers = len(pool)
 	}
+	ctx := r.baseCtx()
 	var (
 		wg   sync.WaitGroup
 		next atomic.Int64
@@ -48,6 +49,13 @@ func RunCharacterize(r *Runner, w io.Writer) error {
 		go func() {
 			defer wg.Done()
 			for {
+				// Bail out before starting the next multi-hundred-
+				// thousand-instruction solo run once the runner's
+				// context is canceled; previously the pool ignored
+				// cancellation and ran the full suite regardless.
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(pool) {
 					return
@@ -66,6 +74,9 @@ func RunCharacterize(r *Runner, w io.Writer) error {
 		}()
 	}
 	wg.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
 
 	t := &report.Table{
 		Title: fmt.Sprintf("full-suite characterization (%d instructions solo per core)", limit),

@@ -24,6 +24,7 @@ import (
 	"ampsched/internal/amp"
 	"ampsched/internal/cpu"
 	"ampsched/internal/fault"
+	"ampsched/internal/interval"
 	"ampsched/internal/metrics"
 	"ampsched/internal/monitor"
 	"ampsched/internal/profilegen"
@@ -73,6 +74,13 @@ type Options struct {
 	// CycleBudget, when positive, bounds every pair run's cycle count;
 	// a run that exhausts it is reported wedged instead of spinning.
 	CycleBudget uint64
+	// Fidelity selects the simulation engine for every pair run:
+	// "detailed" (default, cycle-accurate), "interval" (calibrated
+	// analytic model, ~2 orders of magnitude faster) or "sampled"
+	// (detailed warm-up windows + interval fast-forward). Profiling
+	// and rule derivation always run detailed — they are the ground
+	// truth the schedulers were built against.
+	Fidelity string
 }
 
 // DefaultOptions returns the scaled-down defaults.
@@ -119,6 +127,9 @@ func (o *Options) Validate() error {
 	}
 	if o.FaultRate < 0 || o.FaultRate > 1 {
 		return fmt.Errorf("experiments: FaultRate %g outside [0,1]", o.FaultRate)
+	}
+	if _, err := interval.FactoryFor(o.Fidelity); err != nil {
+		return fmt.Errorf("experiments: %w", err)
 	}
 	return nil
 }
@@ -304,6 +315,11 @@ func (r *Runner) runPair(ctx context.Context, i int, p Pair, factory SchedFactor
 
 	var schedOpts []sched.Option
 	var ampOpts []amp.Option
+	engineFactory, err := interval.FactoryFor(r.Opt.Fidelity)
+	if err != nil {
+		return amp.Result{}, fmt.Errorf("experiments: pair %s: %w", p.Label(), err)
+	}
+	ampOpts = append(ampOpts, amp.WithEngine(engineFactory))
 	if r.Telemetry != nil {
 		schedOpts = append(schedOpts, sched.WithTelemetry(r.Telemetry))
 		ampOpts = append(ampOpts, amp.WithTelemetry(r.Telemetry))

@@ -29,6 +29,7 @@ func All() []Experiment {
 		{"rules", "Fig. 5 / §VI-A: derived swapping-rule thresholds", RunRules},
 		{"fig6", "Fig. 6: window-size / history-depth sensitivity", RunFig6},
 		{"fig7", "Fig. 7: IPC/Watt improvement over HPE per workload pair", RunFig7},
+		{"fig7full", "Fig. 7 at paper scale: 80 pairs x 500M instructions (use -fidelity sampled)", RunFig7Full},
 		{"fig8", "Fig. 8: IPC/Watt improvement over Round Robin per workload pair", RunFig8},
 		{"fig9", "Fig. 9: worst/average/best IPC/Watt improvements", RunFig9},
 		{"overhead", "§VI-C: swap-overhead sensitivity", RunOverhead},

@@ -1,0 +1,243 @@
+// Package interval implements the fast analytic simulation engines
+// behind the cpu.Engine seam: a calibrated mechanistic interval model
+// ("interval") that advances a thread whole scheduling windows at a
+// time, and a two-tier sampled engine ("sampled") that interleaves
+// detailed warm-up windows with interval fast-forward.
+//
+// The interval engine never synthesizes individual instructions: it
+// reads each phase's statistical description straight from the
+// workload generator, computes a per-phase IPC with the mechanistic
+// model in model.go, anchors it to a short detailed-mode run of the
+// same (core config, benchmark) pair (calibrate.go), and then Skip()s
+// the generator across whole windows. Per-window cost is a handful of
+// float operations, which is what buys the paper-scale experiment
+// (fig7full: 80 pairs x 500M instructions) its minutes-not-hours
+// runtime. Determinism is preserved end to end: no clocks, no random
+// draws, and a calibration store keyed by pure inputs.
+package interval
+
+import (
+	"fmt"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/isa"
+	"ampsched/internal/workload"
+)
+
+// DefaultStride is the cycle batch the interval engine asks the AMP
+// loop for. At 128 cycles and a hard IPC ceiling of 4 this is at most
+// ~512 instructions per window — under the 1000-instruction scheduler
+// windows, so monitor-visible committed counters advance smoothly
+// enough for every policy, while halving the per-window loop overhead
+// relative to a 64-cycle stride (the fig7full budget is set by this
+// constant times the per-window cost).
+const DefaultStride = 128
+
+// FidelityInterval labels the analytic engine.
+const FidelityInterval = "interval"
+
+// Engine is the calibrated interval-model implementation of
+// cpu.Engine.
+type Engine struct {
+	cfg   *cpu.Config
+	units [cpu.NumUnitKinds]cpu.UnitSpec
+
+	gen  *workload.Generator
+	arch *cpu.ThreadArch
+	cal  *Calibration
+
+	activeCycles uint64
+	stallCycles  uint64
+	committed    uint64
+	sinceBind    uint64
+
+	fracCommit float64
+	classFrac  [isa.NumClasses]float64
+
+	// acc holds the event-rate ledger of all *previous* binds; the
+	// current bind's share is cal.Rates[i]*sinceBind, computed lazily
+	// in Stats (rates are constant while bound, so accumulating them
+	// per window would only add nRates multiply-adds to the hot path).
+	acc rateVec
+}
+
+var _ cpu.Engine = (*Engine)(nil)
+
+// New builds an interval engine for cfg. The configuration is
+// validated and must not change afterwards.
+func New(cfg *cpu.Config) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Engine{cfg: cfg, units: cfg.Units}
+}
+
+// Factory returns the cpu.EngineFactory for the interval engine.
+func Factory() cpu.EngineFactory {
+	return func(cfg *cpu.Config) (cpu.Engine, error) { return New(cfg), nil }
+}
+
+// FactoryFor maps a -fidelity flag value to its engine factory.
+// The empty string means detailed.
+func FactoryFor(fidelity string) (cpu.EngineFactory, error) {
+	switch fidelity {
+	case "", cpu.FidelityDetailed:
+		return cpu.DetailedFactory, nil
+	case FidelityInterval:
+		return Factory(), nil
+	case FidelitySampled:
+		return SampledFactory(), nil
+	default:
+		return nil, fmt.Errorf("interval: unknown fidelity %q (want detailed, interval or sampled)", fidelity)
+	}
+}
+
+// Config implements cpu.Engine.
+func (e *Engine) Config() *cpu.Config { return e.cfg }
+
+// Fidelity implements cpu.Engine.
+func (e *Engine) Fidelity() string { return FidelityInterval }
+
+// Stride implements cpu.Engine.
+func (e *Engine) Stride() uint64 { return DefaultStride }
+
+// Bound implements cpu.Engine.
+func (e *Engine) Bound() bool { return e.arch != nil }
+
+// Arch implements cpu.Engine.
+func (e *Engine) Arch() *cpu.ThreadArch { return e.arch }
+
+// InFlight implements cpu.Engine: the analytic engine commits
+// instantly, nothing is ever in flight.
+func (e *Engine) InFlight() int { return 0 }
+
+// Bind attaches a thread. The source must be a *workload.Generator —
+// the model reads phase descriptions, not instructions; trace-driven
+// sources need the detailed engine.
+func (e *Engine) Bind(src cpu.InstrSource, arch *cpu.ThreadArch) {
+	if e.arch != nil {
+		panic(fmt.Sprintf("interval: %s: Bind with thread already bound", e.cfg.Name))
+	}
+	gen, ok := src.(*workload.Generator)
+	if !ok {
+		panic(fmt.Sprintf("interval: %s: source %T is not a *workload.Generator (trace sources require -fidelity detailed)", e.cfg.Name, src))
+	}
+	if arch.CodeSize == 0 {
+		panic("interval: Bind with zero CodeSize")
+	}
+	e.gen = gen
+	e.arch = arch
+	e.cal = calibrationFor(e.cfg, e.units, gen.Benchmark())
+	e.sinceBind = 0
+	e.fracCommit = 0
+	e.classFrac = [isa.NumClasses]float64{}
+}
+
+// Unbind detaches the thread, folding the bind's event-rate share
+// into the ledger. The analytic engine holds no in-flight work, so
+// nothing is squashed.
+func (e *Engine) Unbind() uint64 {
+	if e.arch == nil {
+		return 0
+	}
+	sb := float64(e.sinceBind)
+	for i := 0; i < nRates; i++ {
+		e.acc[i] += e.cal.Rates[i] * sb
+	}
+	e.sinceBind = 0
+	e.gen = nil
+	e.arch = nil
+	e.cal = nil
+	return 0
+}
+
+// StallCycles implements cpu.Engine.
+//
+//ampvet:hotpath
+func (e *Engine) StallCycles(n uint64) { e.stallCycles += n }
+
+// Run advances the engine by a window of cycles: the current phase's
+// calibrated IPC (cold-start adjusted) converts cycles to committed
+// instructions, with the fractional remainder carried across windows.
+//
+//ampvet:hotpath
+func (e *Engine) Run(now, cycles uint64) {
+	_ = now
+	if e.arch == nil {
+		return
+	}
+	e.activeCycles += cycles
+	phase, _ := e.gen.PhasePos()
+	ipc := e.cal.PhaseIPC[phase] * coldFactor(e.sinceBind)
+	e.fracCommit += ipc * float64(cycles)
+	k := uint64(e.fracCommit)
+	if k == 0 {
+		return
+	}
+	e.fracCommit -= float64(k)
+	e.commitBatch(k)
+}
+
+// commitBatch retires k instructions, attributing them to phases by
+// walking the generator (Skip crosses phase boundaries exactly as Next
+// would) and to classes by each phase's mix with fractional
+// accumulators (per-class drift is bounded by one instruction each).
+//
+//ampvet:hotpath
+func (e *Engine) commitBatch(k uint64) {
+	for k > 0 {
+		phase, rem := e.gen.PhasePos()
+		m := k
+		if m > rem {
+			m = rem
+		}
+		mf := float64(m)
+		mix := &e.gen.Benchmark().Phases[phase].Mix
+		for c := 0; c < int(isa.NumClasses); c++ {
+			e.classFrac[c] += mix[c] * mf
+			whole := uint64(e.classFrac[c])
+			e.classFrac[c] -= float64(whole)
+			e.arch.CommittedByClass[c] += whole
+		}
+		e.gen.Skip(m)
+		e.arch.Committed += m
+		e.arch.NextSeq += m
+		e.committed += m
+		e.sinceBind += m
+		k -= m
+	}
+}
+
+// Stats implements cpu.Engine: cycle counters are exact, event and
+// cache counters are the accumulated calibration rates floored to
+// integers (monotonic, so interval deltas work — the current bind's
+// share grows with sinceBind and is folded into acc at Unbind).
+func (e *Engine) Stats() cpu.EngineStats {
+	acc := e.acc
+	if e.arch != nil {
+		sb := float64(e.sinceBind)
+		for i := 0; i < nRates; i++ {
+			acc[i] += e.cal.Rates[i] * sb
+		}
+	}
+	act, l1i, l1d, l2 := materialize(&acc)
+	act.Cycles = e.activeCycles
+	act.StallCycles = e.stallCycles
+	return cpu.EngineStats{Act: act, Committed: e.committed, L1I: l1i, L1D: l1d, L2: l2}
+}
+
+// Reconfigure implements cpu.Engine (core morphing): subsequent binds
+// calibrate against the new unit set.
+func (e *Engine) Reconfigure(units [cpu.NumUnitKinds]cpu.UnitSpec) error {
+	if e.arch != nil {
+		return fmt.Errorf("interval: %s: Reconfigure with a bound thread", e.cfg.Name)
+	}
+	for k := cpu.UnitKind(0); k < cpu.NumUnitKinds; k++ {
+		if units[k].Count <= 0 || units[k].Latency <= 0 {
+			return fmt.Errorf("interval: %s: invalid unit %s in reconfiguration: %+v",
+				e.cfg.Name, k, units[k])
+		}
+	}
+	e.units = units
+	return nil
+}

@@ -1,0 +1,92 @@
+package interval_test
+
+import (
+	"math"
+	"testing"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/interval"
+	"ampsched/internal/workload"
+)
+
+// ipcTolerance is the documented cross-engine accuracy contract: the
+// interval engine's solo IPC stays within 25% of the detailed core on
+// every benchmark and both core flavors. Measured headroom (150k
+// instructions, seed 7): worst case ~20% (ffti on the INT core),
+// median ~1.5%.
+const ipcTolerance = 0.25
+
+// parityBand is the IPC/Watt ratio band treated as "no preference":
+// when the detailed INT/FP ratio is within ±5% of 1, the interval
+// engine is not required to reproduce the sign.
+const parityBand = 0.05
+
+// TestIntervalMatchesDetailed is the cross-engine equivalence suite:
+// for every one of the 37 benchmarks, on both core configurations, the
+// interval engine's solo IPC must land within ipcTolerance of the
+// detailed core, and the sign of the INT-vs-FP IPC/Watt ordering (the
+// quantity every scheduler in this repo ranks on) must agree outside
+// the parity band.
+func TestIntervalMatchesDetailed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-engine equivalence sweep is minutes of detailed simulation")
+	}
+	const limit = 150_000
+	intCfg, fpCfg := cpu.IntCoreConfig(), cpu.FPCoreConfig()
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			dInt := amp.SoloRun(intCfg, b, 7, limit, 0)
+			dFP := amp.SoloRun(fpCfg, b, 7, limit, 0)
+			iInt := amp.SoloRunEngine(interval.Factory(), intCfg, b, 7, limit, 0)
+			iFP := amp.SoloRunEngine(interval.Factory(), fpCfg, b, 7, limit, 0)
+
+			for _, c := range []struct {
+				core     string
+				det, ivl amp.SoloResult
+			}{{"INT", dInt, iInt}, {"FP", dFP, iFP}} {
+				if c.det.IPC <= 0 || c.ivl.IPC <= 0 {
+					t.Fatalf("%s core: non-positive IPC (detailed %.3f, interval %.3f)",
+						c.core, c.det.IPC, c.ivl.IPC)
+				}
+				if relErr := math.Abs(c.ivl.IPC-c.det.IPC) / c.det.IPC; relErr > ipcTolerance {
+					t.Errorf("%s core IPC: detailed %.3f vs interval %.3f (%.0f%% > %.0f%% tolerance)",
+						c.core, c.det.IPC, c.ivl.IPC, 100*relErr, 100*ipcTolerance)
+				}
+			}
+
+			detRatio := dInt.IPCPerWatt / dFP.IPCPerWatt
+			ivlRatio := iInt.IPCPerWatt / iFP.IPCPerWatt
+			switch {
+			case detRatio > 1+parityBand && ivlRatio < 1:
+				t.Errorf("ordering flip: detailed prefers INT (ratio %.3f) but interval prefers FP (ratio %.3f)",
+					detRatio, ivlRatio)
+			case detRatio < 1-parityBand && ivlRatio > 1:
+				t.Errorf("ordering flip: detailed prefers FP (ratio %.3f) but interval prefers INT (ratio %.3f)",
+					detRatio, ivlRatio)
+			}
+		})
+	}
+}
+
+// TestSampledBetweenEngines sanity-checks the two-tier engine on a
+// couple of benchmarks: its IPC must land in the same tolerance band
+// around detailed (it is mostly interval time with detailed warm-ups).
+func TestSampledBetweenEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampled equivalence check runs detailed warm-up windows")
+	}
+	const limit = 150_000
+	intCfg := cpu.IntCoreConfig()
+	for _, name := range []string{"gcc", "fpstress", "intstress"} {
+		b := workload.MustByName(name)
+		det := amp.SoloRun(intCfg, b, 7, limit, 0)
+		smp := amp.SoloRunEngine(interval.SampledFactory(), intCfg, b, 7, limit, 0)
+		if relErr := math.Abs(smp.IPC-det.IPC) / det.IPC; relErr > ipcTolerance {
+			t.Errorf("%s: sampled IPC %.3f vs detailed %.3f (%.0f%% > %.0f%%)",
+				name, smp.IPC, det.IPC, 100*relErr, 100*ipcTolerance)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package interval
+
+import (
+	"ampsched/internal/cpu"
+	"ampsched/internal/isa"
+	"ampsched/internal/workload"
+)
+
+// The mechanistic model: per-phase steady-state IPC from first
+// principles, in the style of interval analysis (Eyerman et al.). The
+// base IPC is the tightest of three throughput bounds — pipeline
+// width, functional-unit contention from the Table II unit sets, and
+// the dependence-limited ILP of the phase — and miss events (branch
+// mispredictions, instruction-cache misses, data misses at L2 and
+// memory) add their penalties to the CPI, with an ROB-occupancy MLP
+// correction overlapping independent memory misses. Absolute accuracy
+// comes from the per-(config, benchmark) calibration in calibrate.go;
+// the model's job is to rank phases and respond monotonically to the
+// parameters the two core flavors differ in.
+
+// minIPC floors the modeled IPC so pathological phases cannot stall a
+// run (the detailed core always makes some progress too).
+const minIPC = 0.02
+
+// unitForClass mirrors cpu's class-to-unit mapping: loads and stores
+// occupy the memory port, branches resolve on the integer ALU.
+func unitForClass(c isa.Class) cpu.UnitKind {
+	switch c {
+	case isa.Load, isa.Store:
+		return cpu.UMemPort
+	case isa.Branch:
+		return cpu.UIntALU
+	default:
+		return cpu.UnitKind(c)
+	}
+}
+
+// missRateFor estimates the fraction of data accesses that miss a
+// cache of capacity size bytes with the phase's access pattern: the
+// sequential fraction misses once per line crossed, the random
+// fraction misses whenever the working set exceeds capacity (LRU on a
+// uniform-random stream keeps roughly size/ws of the set resident).
+func missRateFor(p *workload.Phase, size uint64, lineBytes int) float64 {
+	stride := p.Stride
+	if stride == 0 {
+		stride = 8
+	}
+	seqMiss := float64(stride) / float64(lineBytes)
+	if seqMiss > 1 {
+		seqMiss = 1
+	}
+	randMiss := 0.0
+	if p.WorkingSet > size {
+		randMiss = 1 - float64(size)/float64(p.WorkingSet)
+	}
+	m := p.SeqFrac*seqMiss + (1-p.SeqFrac)*randMiss
+	if p.WorkingSet > size && m < seqMiss {
+		// A thrashing working set also evicts the sequential stream.
+		m = seqMiss
+	}
+	const compulsory = 0.002
+	if m < compulsory {
+		m = compulsory
+	}
+	return m
+}
+
+// modelPhaseIPC computes the uncalibrated steady-state IPC of one
+// phase on a core described by cfg with the effective unit set units.
+func modelPhaseIPC(cfg *cpu.Config, units *[cpu.NumUnitKinds]cpu.UnitSpec, p *workload.Phase, codeSize uint64) float64 {
+	mix := &p.Mix
+
+	// Bound 1: pipeline width.
+	width := float64(cfg.DispatchWidth)
+	for _, w := range []int{cfg.FetchWidth, cfg.IssueWidth, cfg.CommitWidth} {
+		if float64(w) < width {
+			width = float64(w)
+		}
+	}
+
+	// Bound 2: functional-unit contention. Per kind, the sustainable
+	// ops/cycle is Count for pipelined units and Count/Latency for
+	// blocking ones; the class mix determines demand per instruction.
+	var demand [cpu.NumUnitKinds]float64
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		demand[unitForClass(c)] += mix[c]
+	}
+	fuLimit := width
+	for k := cpu.UnitKind(0); k < cpu.NumUnitKinds; k++ {
+		if demand[k] <= 0 {
+			continue
+		}
+		u := units[k]
+		capacity := float64(u.Count)
+		if !u.Pipelined {
+			capacity /= float64(u.Latency)
+		}
+		if lim := capacity / demand[k]; lim < fuLimit {
+			fuLimit = lim
+		}
+	}
+
+	// Bound 3: dependence-limited ILP. With producers a geometric mean
+	// distance D back and an average execution latency L, a chain of N
+	// instructions has critical path ~ N*L/D, i.e. IPC ~ D/L.
+	avgLat := 0.0
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if mix[c] <= 0 {
+			continue
+		}
+		lat := float64(units[unitForClass(c)].Latency)
+		if c == isa.Load {
+			lat += float64(cfg.Caches.L1D.HitLatency)
+		}
+		avgLat += mix[c] * lat
+	}
+	if avgLat < 1 {
+		avgLat = 1
+	}
+	ilpLimit := p.MeanDepDist / avgLat
+	if ilpLimit < 0.1 {
+		ilpLimit = 0.1
+	}
+
+	base := width
+	if fuLimit < base {
+		base = fuLimit
+	}
+	if ilpLimit < base {
+		base = ilpLimit
+	}
+	cpi := 1 / base
+
+	// Miss events. Branch mispredictions: resolve-to-refetch penalty
+	// per mispredicted branch.
+	cpi += mix[isa.Branch] * (1 - p.BranchPredictability) * float64(cfg.MispredictPenalty)
+
+	// Instruction cache: a footprint larger than the IL1 misses on the
+	// non-resident fraction, one line per FetchWidth instructions.
+	il1 := uint64(cfg.Caches.L1I.SizeBytes)
+	if codeSize > il1 {
+		missFrac := 1 - float64(il1)/float64(codeSize)
+		cpi += missFrac * float64(cfg.Caches.L2.HitLatency) / float64(cfg.FetchWidth)
+	}
+
+	// Data cache: L1D misses pay the L2 latency (half-hidden by the
+	// out-of-order window), L2 misses pay memory divided by the
+	// memory-level parallelism the ROB can expose.
+	memFrac := mix.MemFrac()
+	if memFrac > 0 {
+		missL1 := missRateFor(p, uint64(cfg.Caches.L1D.SizeBytes), cfg.Caches.L1D.LineBytes)
+		missL2 := missRateFor(p, uint64(cfg.Caches.L2.SizeBytes), cfg.Caches.L2.LineBytes)
+		if missL2 > missL1 {
+			missL2 = missL1
+		}
+		cpi += memFrac * missL1 * float64(cfg.Caches.L2.HitLatency) * 0.5
+
+		// ROB-occupancy MLP correction: of the ROBSize in-flight
+		// instructions, memFrac*missL2 are independent memory misses
+		// (the generator draws addresses independently), overlapping up
+		// to the load-queue depth.
+		mlp := float64(cfg.ROBSize) * memFrac * missL2
+		if mlp < 1 {
+			mlp = 1
+		}
+		if max := float64(cfg.LSQLoads); mlp > max {
+			mlp = max
+		}
+		cpi += memFrac * missL2 * float64(cfg.Caches.MemLatency) / mlp
+	}
+
+	ipc := 1 / cpi
+	if ipc < minIPC {
+		ipc = minIPC
+	}
+	if ipc > width {
+		ipc = width
+	}
+	return ipc
+}
+
+// Cold-start ramp: a freshly bound thread finds cold caches and an
+// untrained predictor; its effective IPC ramps linearly from
+// coldStartFactor to 1 over rampInstr committed instructions. The
+// calibration walk applies the identical ramp so the correction factor
+// absorbs its absolute effect.
+const (
+	rampInstr       = 20_000
+	coldStartFactor = 0.75
+)
+
+func coldFactor(sinceBind uint64) float64 {
+	if sinceBind >= rampInstr {
+		return 1
+	}
+	return coldStartFactor + (1-coldStartFactor)*float64(sinceBind)/rampInstr
+}

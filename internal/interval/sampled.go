@@ -1,0 +1,182 @@
+package interval
+
+import (
+	"fmt"
+
+	"ampsched/internal/cpu"
+)
+
+// FidelitySampled labels the two-tier engine.
+const FidelitySampled = "sampled"
+
+// Sampled-engine schedule: each period opens with a detailed warm-up
+// window (real caches, predictor and pipeline back in play) and
+// fast-forwards the rest with the interval model. The defaults detail
+// 20k of every 8M cycles (0.25%): one warm-up per two paper-scale
+// coarse scheduling intervals (the HPE/RR context switch is 4M
+// cycles), on top of the warm-up every Bind already forces after a
+// swap — so a swapping run re-anchors at least as often as it swaps.
+// The duty cycle is the fig7full wall-clock knob — at 0.25% the
+// 80-pair x 500M sweep fits the paper-scale budget on one CPU.
+const (
+	DefaultDetailCycles = 20_000
+	DefaultPeriodCycles = 8_000_000
+)
+
+// Sampled is the two-tier cpu.Engine: a detailed core and an interval
+// engine over the same configuration, multiplexed on a fixed cycle
+// schedule. Binding always starts a detailed window — after a thread
+// swap the warm-up is exactly what re-measures the cold-cache cost.
+// The detailed core's caches and predictor persist across interval
+// gaps, so each warm-up resumes from plausibly aged state rather than
+// from scratch.
+type Sampled struct {
+	det *cpu.Core
+	ivl *Engine
+
+	src  cpu.InstrSource
+	arch *cpu.ThreadArch
+
+	detailCycles uint64
+	periodCycles uint64
+	pos          uint64 // position within the current period
+}
+
+var _ cpu.Engine = (*Sampled)(nil)
+
+// NewSampled builds a sampled engine with the given schedule
+// (detailCycles of warm-up opening every periodCycles).
+func NewSampled(cfg *cpu.Config, detailCycles, periodCycles uint64) *Sampled {
+	if detailCycles == 0 || periodCycles <= detailCycles {
+		panic(fmt.Sprintf("interval: sampled schedule needs 0 < detail (%d) < period (%d)",
+			detailCycles, periodCycles))
+	}
+	return &Sampled{
+		det:          cpu.NewCore(cfg),
+		ivl:          New(cfg),
+		detailCycles: detailCycles,
+		periodCycles: periodCycles,
+	}
+}
+
+// SampledFactory returns the cpu.EngineFactory for the sampled engine
+// with the default schedule.
+func SampledFactory() cpu.EngineFactory {
+	return func(cfg *cpu.Config) (cpu.Engine, error) {
+		return NewSampled(cfg, DefaultDetailCycles, DefaultPeriodCycles), nil
+	}
+}
+
+// Config implements cpu.Engine.
+func (s *Sampled) Config() *cpu.Config { return s.det.Config() }
+
+// Fidelity implements cpu.Engine.
+func (s *Sampled) Fidelity() string { return FidelitySampled }
+
+// Stride implements cpu.Engine: the interval stride; detailed warm-up
+// windows are run in stride-sized chunks, which is equivalent cycle by
+// cycle because the two cores of a system share no state.
+func (s *Sampled) Stride() uint64 { return s.ivl.Stride() }
+
+// Bound implements cpu.Engine.
+func (s *Sampled) Bound() bool { return s.arch != nil }
+
+// Arch implements cpu.Engine.
+func (s *Sampled) Arch() *cpu.ThreadArch { return s.arch }
+
+// InFlight implements cpu.Engine.
+func (s *Sampled) InFlight() int { return s.det.InFlight() + s.ivl.InFlight() }
+
+// Bind implements cpu.Engine: the thread starts in a detailed warm-up
+// window.
+func (s *Sampled) Bind(src cpu.InstrSource, arch *cpu.ThreadArch) {
+	if s.arch != nil {
+		panic(fmt.Sprintf("interval: %s: Bind with thread already bound", s.Config().Name))
+	}
+	s.src = src
+	s.arch = arch
+	s.pos = 0
+	s.det.Bind(src, arch)
+}
+
+// Unbind implements cpu.Engine.
+func (s *Sampled) Unbind() uint64 {
+	if s.arch == nil {
+		return 0
+	}
+	squashed := s.det.Unbind() + s.ivl.Unbind()
+	s.src = nil
+	s.arch = nil
+	return squashed
+}
+
+// StallCycles implements cpu.Engine; the charge lands on whichever
+// tier is active (Stats sums both ledgers, so placement only affects
+// per-tier attribution).
+//
+//ampvet:hotpath
+func (s *Sampled) StallCycles(n uint64) {
+	if s.pos < s.detailCycles {
+		s.det.StallCycles(n)
+	} else {
+		s.ivl.StallCycles(n)
+	}
+}
+
+// Run implements cpu.Engine, splitting the window at tier boundaries
+// and handing each piece to the active tier. Tier switches use the
+// same unbind/bind protocol as a thread swap, so the detailed pipeline
+// drains (squashing its in-flight work) before fast-forwarding.
+//
+//ampvet:hotpath
+func (s *Sampled) Run(now, cycles uint64) {
+	if s.arch == nil {
+		return
+	}
+	for cycles > 0 {
+		var step uint64
+		if s.pos < s.detailCycles {
+			if !s.det.Bound() {
+				s.ivl.Unbind()
+				s.det.Bind(s.src, s.arch)
+			}
+			step = s.detailCycles - s.pos
+			if step > cycles {
+				step = cycles
+			}
+			s.det.Run(now, step)
+		} else {
+			if !s.ivl.Bound() {
+				s.det.Unbind()
+				s.ivl.Bind(s.src, s.arch)
+			}
+			step = s.periodCycles - s.pos
+			if step > cycles {
+				step = cycles
+			}
+			s.ivl.Run(now, step)
+		}
+		now += step
+		cycles -= step
+		s.pos += step
+		if s.pos == s.periodCycles {
+			s.pos = 0
+		}
+	}
+}
+
+// Stats implements cpu.Engine: the merged ledgers of both tiers.
+func (s *Sampled) Stats() cpu.EngineStats {
+	return s.det.Stats().Add(s.ivl.Stats())
+}
+
+// Reconfigure implements cpu.Engine, forwarding to both tiers.
+func (s *Sampled) Reconfigure(units [cpu.NumUnitKinds]cpu.UnitSpec) error {
+	if s.arch != nil {
+		return fmt.Errorf("interval: %s: Reconfigure with a bound thread", s.Config().Name)
+	}
+	if err := s.det.Reconfigure(units); err != nil {
+		return err
+	}
+	return s.ivl.Reconfigure(units)
+}

@@ -47,11 +47,14 @@ type Config struct {
 	// ReassignOverheadCycles freezes all cores while an assignment
 	// change is applied (pipeline squash + state transfer).
 	ReassignOverheadCycles uint64
+	// Engine builds each core's simulation engine; nil selects the
+	// cycle-accurate cpu.DetailedFactory.
+	Engine cpu.EngineFactory
 }
 
 // System is an N-core, N-thread asymmetric multicore.
 type System struct {
-	cores   []*cpu.Core
+	cores   []cpu.Engine
 	models  []*power.Model
 	threads []*amp.Thread
 	binding []int // binding[core] = thread
@@ -59,6 +62,7 @@ type System struct {
 	cfg     Config
 
 	cycle        uint64
+	stride       uint64 // max engine stride; 1 for detailed fidelity
 	reassigns    uint64
 	lastReassign uint64
 	stallUntil   uint64
@@ -81,8 +85,12 @@ func NewSystem(coreCfgs []*cpu.Config, benches []*workload.Benchmark, seeds []ui
 	if cfg.ReassignOverheadCycles == 0 {
 		cfg.ReassignOverheadCycles = amp.DefaultSwapOverheadCycles
 	}
+	factory := cfg.Engine
+	if factory == nil {
+		factory = cpu.DetailedFactory
+	}
 	s := &System{
-		cores:     make([]*cpu.Core, n),
+		cores:     make([]cpu.Engine, n),
 		models:    make([]*power.Model, n),
 		threads:   make([]*amp.Thread, n),
 		binding:   make([]int, n),
@@ -91,8 +99,16 @@ func NewSystem(coreCfgs []*cpu.Config, benches []*workload.Benchmark, seeds []ui
 		lastAct:   make([]cpu.Activity, n),
 		lastCache: make([]power.CacheStats, n),
 	}
+	s.stride = 1
 	for i := 0; i < n; i++ {
-		s.cores[i] = cpu.NewCore(coreCfgs[i])
+		eng, err := factory(coreCfgs[i])
+		if err != nil {
+			return nil, fmt.Errorf("manycore: engine for core %d: %w", i, err)
+		}
+		s.cores[i] = eng
+		if st := eng.Stride(); st > s.stride {
+			s.stride = st
+		}
 		s.models[i] = power.NewModel(coreCfgs[i])
 		// Spread each thread's address space far apart.
 		s.threads[i] = amp.NewThread(i, benches[i], seeds[i], uint64(i)<<41)
@@ -140,8 +156,15 @@ func (s *System) LastReassignCycle() uint64 { return s.lastReassign }
 // Reassigns returns the number of assignment changes applied.
 func (s *System) Reassigns() uint64 { return s.reassigns }
 
-// Core exposes a core for tests.
-func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
+// Core exposes a core for tests. It returns nil when the system runs
+// at a non-detailed fidelity; use Engine for the generic handle.
+func (s *System) Core(i int) *cpu.Core {
+	c, _ := s.cores[i].(*cpu.Core)
+	return c
+}
+
+// Engine exposes core i's simulation engine.
+func (s *System) Engine(i int) cpu.Engine { return s.cores[i] }
 
 // validPermutation checks that newBinding is a permutation of threads.
 func (s *System) validPermutation(newBinding []int) bool {
@@ -160,8 +183,9 @@ func (s *System) validPermutation(newBinding []int) bool {
 
 func (s *System) flushEnergy() {
 	for c := range s.cores {
-		act := s.cores[c].Activity()
-		cs := power.SnapshotCaches(s.cores[c])
+		st := s.cores[c].Stats()
+		act := st.Act
+		cs := power.CacheStats{L1I: st.L1I, L1D: st.L1D, L2: st.L2}
 		e := s.models[c].EnergyNJ(act.Sub(s.lastAct[c]), cs.Sub(s.lastCache[c]))
 		s.threads[s.binding[c]].EnergyNJ += e
 		s.lastAct[c] = act
@@ -235,13 +259,22 @@ func (s *System) Run(limit uint64) (Result, error) {
 		if finished {
 			break
 		}
+		// Stride loop as in amp.System: detailed engines run with
+		// n == 1 (bit-exact with the old per-cycle loop), analytic
+		// engines batch whole windows. Cores share no architectural
+		// state, so running them window-sequentially is equivalent to
+		// cycle-interleaving.
+		n := s.stride
 		if s.cycle < s.stallUntil {
+			if remain := s.stallUntil - s.cycle; remain < n {
+				n = remain
+			}
 			for _, c := range s.cores {
-				c.StallCycle()
+				c.StallCycles(n)
 			}
 		} else {
 			for _, c := range s.cores {
-				c.Step(s.cycle)
+				c.Run(s.cycle, n)
 			}
 			if s.sched != nil {
 				if nb := s.sched.Tick(s); nb != nil && s.validPermutation(nb) && !samePerm(nb, s.binding) {
@@ -249,7 +282,7 @@ func (s *System) Run(limit uint64) (Result, error) {
 				}
 			}
 		}
-		s.cycle++
+		s.cycle += n
 
 		if s.cycle-watchCycle >= amp.DefaultWatchdogCycles {
 			var total uint64

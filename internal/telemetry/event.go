@@ -16,6 +16,9 @@ type Event struct {
 	IntPct float64 `json:"int_pct,omitempty"`
 	FPPct  float64 `json:"fp_pct,omitempty"`
 	Detail string  `json:"detail,omitempty"`
+	// Fidelity labels the simulation engine that produced the event
+	// ("detailed", "interval", "sampled"); empty when not applicable.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // NewEvent returns an Event with the index fields marked not-

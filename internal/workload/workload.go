@@ -227,6 +227,39 @@ func (g *Generator) Emitted() uint64 { return g.emitted }
 // PhaseIndex returns the index of the phase currently being emitted.
 func (g *Generator) PhaseIndex() int { return g.phaseIdx }
 
+// PhasePos returns the phase the NEXT instruction belongs to and how
+// many instructions remain in it (including that one). It normalizes
+// the lazy phase advance Next performs, so callers that plan whole
+// phases at a time (the interval engine) see a non-zero remainder.
+func (g *Generator) PhasePos() (phase int, remaining uint64) {
+	if g.remaining == 0 {
+		g.nextPhase()
+	}
+	return g.phaseIdx, g.remaining
+}
+
+// Skip advances the generator by n instructions without synthesizing
+// them, walking phase boundaries exactly as n calls to Next would.
+// nextPhase draws nothing from the random stream, so skipping is O(
+// phases crossed); the per-instruction random draws are simply never
+// made. Runs that mix Skip and Next are still fully deterministic in
+// (seed, call sequence), which is the contract the interval engine
+// needs — it is NOT the same stream a pure-Next run would see.
+func (g *Generator) Skip(n uint64) {
+	for n > 0 {
+		if g.remaining == 0 {
+			g.nextPhase()
+		}
+		step := g.remaining
+		if step > n {
+			step = n
+		}
+		g.remaining -= step
+		g.emitted += step
+		n -= step
+	}
+}
+
 func (g *Generator) nextPhase() {
 	g.phaseIdx++
 	if g.phaseIdx >= len(g.bench.Phases) {

@@ -8,6 +8,7 @@ import (
 
 	"ampsched/internal/amp"
 	"ampsched/internal/cpu"
+	"ampsched/internal/interval"
 	"ampsched/internal/sched"
 	"ampsched/internal/trace"
 	"ampsched/internal/workload"
@@ -49,6 +50,50 @@ func TestSeededRunsAreByteIdentical(t *testing.T) {
 	}
 	if !reflect.DeepEqual(eventsA, eventsB) {
 		t.Errorf("identical-seed event streams differ: %d vs %d events", len(eventsA), len(eventsB))
+	}
+}
+
+// TestSeededEngineRunsAreByteIdentical extends the determinism
+// contract to the non-detailed simulation engines: with identical
+// seeds, the interval and sampled engines must also be byte-identical
+// run to run (including the synthesized Activity/cache ledgers that
+// feed the power model).
+func TestSeededEngineRunsAreByteIdentical(t *testing.T) {
+	for _, fidelity := range []string{interval.FidelityInterval, interval.FidelitySampled} {
+		t.Run(fidelity, func(t *testing.T) {
+			factory, err := interval.FactoryFor(fidelity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func() ([]byte, []amp.Event) {
+				cores := [2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()}
+				t0 := amp.NewThread(0, workload.MustByName("fpstress"), 21, 0)
+				t1 := amp.NewThread(1, workload.MustByName("intstress"), 22, 1<<40)
+				var events []amp.Event
+				sys := amp.MustSystem(cores, [2]*amp.Thread{t0, t1},
+					sched.NewProposed(sched.DefaultProposedConfig()),
+					amp.Config{SwapOverheadCycles: 500},
+					amp.WithEngine(factory),
+					amp.WithObserver(amp.ObserverFunc(func(e amp.Event) {
+						events = append(events, e)
+					})))
+				res := sys.MustRun(150_000)
+				blob, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return blob, events
+			}
+			blobA, eventsA := run()
+			blobB, eventsB := run()
+			if !bytes.Equal(blobA, blobB) {
+				t.Errorf("identical-seed %s results differ:\n  A: %s\n  B: %s", fidelity, blobA, blobB)
+			}
+			if !reflect.DeepEqual(eventsA, eventsB) {
+				t.Errorf("identical-seed %s event streams differ: %d vs %d events",
+					fidelity, len(eventsA), len(eventsB))
+			}
+		})
 	}
 }
 
