@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet ampvet analyze lint test test-short test-race bench bench-snapshot bench-core bench-check experiments experiments-paper paperscale fuzz fuzz-fault clean
+.PHONY: all build vet ampvet analyze lint test test-short test-race bench bench-snapshot bench-core bench-check bench-server bench-server-check serve-smoke experiments experiments-paper paperscale fuzz fuzz-fault clean
 
 all: build lint test test-race
 
@@ -60,6 +60,37 @@ bench-core:
 bench-check:
 	$(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem . \
 		| $(GO) run ./cmd/benchsnap -compare BENCH_core.json
+
+# Snapshot the service hot-path benchmarks (cache-key hashing, warm
+# cache lookups, queue round trip) into BENCH_server.json.
+bench-server:
+	$(GO) test -run NONE -bench 'BenchmarkServerCache|BenchmarkQueueSubmitComplete' -benchmem ./internal/server ./internal/jobqueue \
+		| $(GO) run ./cmd/benchsnap -o BENCH_server.json
+
+# Regression gate for the service hot paths against the committed
+# baseline (fails past +10% ns/op or any allocs/op increase).
+bench-server-check:
+	$(GO) test -run NONE -bench 'BenchmarkServerCache|BenchmarkQueueSubmitComplete' -benchmem ./internal/server ./internal/jobqueue \
+		| $(GO) run ./cmd/benchsnap -compare BENCH_server.json
+
+# End-to-end service smoke: boot ampserve on an ephemeral port, drive
+# it with amploadgen (4 concurrent sweep jobs exercising the cache),
+# then SIGTERM it and require a clean drain (exit 0).
+serve-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/" ./cmd/ampserve ./cmd/amploadgen; \
+	"$$tmp/ampserve" -addr 127.0.0.1:0 -addrfile "$$tmp/addr" \
+		-limit 200000 -contextswitch 20000 -profilelimit 100000 \
+		-fidelity interval -cachedir "$$tmp/cache" >"$$tmp/server.log" 2>&1 & \
+	srv=$$!; \
+	bound=0; for i in $$(seq 1 100); do [ -f "$$tmp/addr" ] && { bound=1; break; }; sleep 0.1; done; \
+	if [ $$bound -ne 1 ]; then echo "ampserve never bound:"; cat "$$tmp/server.log"; kill $$srv 2>/dev/null; exit 1; fi; \
+	set +e; \
+	"$$tmp/amploadgen" -addr "$$(cat $$tmp/addr)" -jobs 12 -concurrency 4 -pairs 2 -distinct 3; \
+	lg=$$?; \
+	kill -TERM $$srv; wait $$srv; srvexit=$$?; \
+	echo "amploadgen exit=$$lg ampserve exit=$$srvexit"; \
+	if [ $$lg -ne 0 ] || [ $$srvexit -ne 0 ]; then cat "$$tmp/server.log"; exit 1; fi
 
 # Regenerate every table and figure of the paper (minutes).
 experiments:

@@ -1,0 +1,222 @@
+// Command amploadgen is a closed-loop load generator for ampserve: it
+// keeps -concurrency sweep jobs in flight against a running daemon,
+// cycling over a small pool of distinct specs so repeat submissions
+// exercise the content-addressed cache, and reports job latency
+// percentiles, throughput, and the cache-hit ratio.
+//
+// Usage:
+//
+//	amploadgen -addr 127.0.0.1:8080 [-jobs 16] [-concurrency 4] ...
+//
+// It doubles as the service's end-to-end smoke test (`make
+// serve-smoke`): the exit status is non-zero when no job completes.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type jobSpec struct {
+	Pairs    int    `json:"pairs"`
+	Seed     uint64 `json:"seed,omitempty"`
+	Fidelity string `json:"fidelity,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+}
+
+type jobStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	CacheHits int    `json:"cache_hits"`
+	Error     string `json:"error,omitempty"`
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "ampserve address (host:port)")
+		jobs        = flag.Int("jobs", 16, "total jobs to run (0 = until -duration elapses)")
+		duration    = flag.Duration("duration", 0, "run for this long instead of a fixed job count")
+		concurrency = flag.Int("concurrency", 4, "closed-loop workers (jobs in flight)")
+		pairs       = flag.Int("pairs", 2, "pairs per job")
+		distinct    = flag.Int("distinct", 4, "distinct specs to cycle through (smaller = more cache hits)")
+		seed        = flag.Uint64("seed", 1000, "first spec seed; spec i uses seed+i%distinct")
+		fidelity    = flag.String("fidelity", "", "per-job fidelity override (inherit server default when empty)")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "per-job completion timeout")
+		verbose     = flag.Bool("v", false, "log each job outcome to stderr")
+	)
+	flag.Parse()
+	if *jobs <= 0 && *duration <= 0 {
+		fatal(fmt.Errorf("need -jobs > 0 or -duration > 0"))
+	}
+	if *concurrency <= 0 || *pairs <= 0 || *distinct <= 0 {
+		fatal(fmt.Errorf("-concurrency, -pairs and -distinct must be positive"))
+	}
+
+	base := "http://" + *addr
+	var (
+		submitted atomic.Int64
+		completed atomic.Int64
+		failed    atomic.Int64
+		rejected  atomic.Int64
+		pairsDone atomic.Int64
+		cacheHits atomic.Int64
+
+		latMu     sync.Mutex
+		latencies []time.Duration
+	)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+
+	next := func() (uint64, bool) {
+		n := submitted.Add(1)
+		if *jobs > 0 && n > int64(*jobs) {
+			return 0, false
+		}
+		if *jobs <= 0 && !time.Now().Before(deadline) {
+			return 0, false
+		}
+		return *seed + uint64((n-1)%int64(*distinct)), true
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				jobSeed, ok := next()
+				if !ok {
+					return
+				}
+				t0 := time.Now()
+				st, err := runJob(base, jobSpec{
+					Pairs: *pairs, Seed: jobSeed, Fidelity: *fidelity,
+				}, *timeout, &rejected)
+				if err != nil {
+					failed.Add(1)
+					fmt.Fprintln(os.Stderr, "amploadgen:", err)
+					continue
+				}
+				lat := time.Since(t0)
+				if st.State == "done" {
+					completed.Add(1)
+					pairsDone.Add(int64(st.Completed))
+					cacheHits.Add(int64(st.CacheHits))
+					latMu.Lock()
+					latencies = append(latencies, lat)
+					latMu.Unlock()
+				} else {
+					failed.Add(1)
+				}
+				if *verbose {
+					fmt.Fprintf(os.Stderr, "amploadgen: job %s %s in %v (%d pairs, %d cached)\n",
+						st.ID, st.State, lat.Round(time.Millisecond), st.Completed, st.CacheHits)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	done := completed.Load()
+	fmt.Printf("jobs:       %d completed, %d failed, %d rejections retried\n",
+		done, failed.Load(), rejected.Load())
+	fmt.Printf("pairs:      %d served, %d from cache (%.0f%% hit ratio)\n",
+		pairsDone.Load(), cacheHits.Load(), 100*ratio(cacheHits.Load(), pairsDone.Load()))
+	fmt.Printf("throughput: %.2f jobs/s over %v at concurrency %d\n",
+		float64(done)/elapsed.Seconds(), elapsed.Round(time.Millisecond), *concurrency)
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		fmt.Printf("latency:    p50 %v  p90 %v  p99 %v\n",
+			pct(latencies, 50), pct(latencies, 90), pct(latencies, 99))
+	}
+	if done == 0 {
+		fatal(fmt.Errorf("no job completed"))
+	}
+}
+
+// runJob submits one job and polls it to a terminal state. A full
+// queue (429) is backpressure, not failure: the closed loop waits and
+// resubmits.
+func runJob(base string, spec jobSpec, timeout time.Duration, rejected *atomic.Int64) (jobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	deadline := time.Now().Add(timeout)
+	var st jobStatus
+	for {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return jobStatus{}, fmt.Errorf("submitting job: %w", err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			rejected.Add(1)
+			if !time.Now().Before(deadline) {
+				return jobStatus{}, fmt.Errorf("submit timed out on backpressure")
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			resp.Body.Close()
+			return jobStatus{}, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return jobStatus{}, fmt.Errorf("decoding submit response: %w", err)
+		}
+		break
+	}
+
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return jobStatus{}, fmt.Errorf("polling job %s: %w", st.ID, err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return jobStatus{}, fmt.Errorf("decoding job %s status: %w", st.ID, err)
+		}
+		switch st.State {
+		case "done", "failed", "canceled":
+			return st, nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return jobStatus{}, fmt.Errorf("job %s did not finish within %v", st.ID, timeout)
+}
+
+// pct returns the p-th percentile of sorted latencies.
+func pct(sorted []time.Duration, p int) time.Duration {
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx].Round(time.Millisecond)
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "amploadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,166 @@
+// Command ampserve runs the simulation-as-a-service daemon: an
+// HTTP/JSON API (internal/server) over the bounded priority job queue
+// (internal/jobqueue), with a content-addressed result cache and
+// NDJSON streaming of per-pair outcomes.
+//
+// Usage:
+//
+//	ampserve [-addr 127.0.0.1:8080] [-workers N] [-cachedir DIR] ...
+//
+// The daemon serves until SIGINT/SIGTERM, then drains gracefully:
+// in-flight jobs finish (up to -draintimeout), the cache is persisted,
+// and the listener shuts down. A second signal aborts immediately.
+//
+// With -addr :0 the kernel picks a free port; -addrfile writes the
+// bound address to a file once the listener is up, so scripts (and
+// `make serve-smoke`) can wait for readiness without racing.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ampsched/internal/experiments"
+	"ampsched/internal/jobqueue"
+	"ampsched/internal/server"
+	"ampsched/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+		addrFile     = flag.String("addrfile", "", "write the bound address to this file once listening")
+		workers      = flag.Int("workers", 0, "job queue worker pool size (0 = GOMAXPROCS)")
+		queueCap     = flag.Int("queuecap", 0, "pending job high-water mark (0 = 4x workers)")
+		maxPairs     = flag.Int("maxpairs", 0, "per-job pair limit (0 = 400)")
+		cacheBytes   = flag.Int64("cachebytes", 0, "result cache byte budget (0 = 64 MiB)")
+		cacheDir     = flag.String("cachedir", "", "persist the result cache to this directory")
+		fidelity     = flag.String("fidelity", "", "default simulation engine: detailed | interval | sampled")
+		limit        = flag.Uint64("limit", 0, "default per-run instruction limit")
+		profileLimit = flag.Uint64("profilelimit", 0, "default profiling-pass instruction limit")
+		ctxSwitch    = flag.Uint64("contextswitch", 0, "default coarse decision interval (cycles)")
+		overhead     = flag.Uint64("overhead", 0, "default swap overhead (cycles)")
+		seed         = flag.Uint64("seed", 0, "default RNG seed")
+		telemetryOut = flag.String("telemetry", "", "write a JSONL event stream plus a final metrics summary to this file")
+		drainTimeout = flag.Duration("draintimeout", 30*time.Second, "graceful drain budget after SIGTERM")
+		verbose      = flag.Bool("v", false, "log requests-in-progress details to stderr")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	if *limit > 0 {
+		opt.InstrLimit = *limit
+	}
+	if *profileLimit > 0 {
+		opt.ProfileInstrLimit = *profileLimit
+	}
+	if *ctxSwitch > 0 {
+		opt.ContextSwitch = *ctxSwitch
+	}
+	if *overhead > 0 {
+		opt.SwapOverhead = *overhead
+	}
+	if *seed > 0 {
+		opt.Seed = *seed
+	}
+	if *fidelity != "" {
+		opt.Fidelity = *fidelity
+	}
+
+	var sinks []telemetry.Sink
+	if *telemetryOut != "" {
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			fatal(err)
+		}
+		sinks = append(sinks, telemetry.NewJSONLSink(f))
+	}
+	tel := telemetry.New(sinks...)
+
+	srv, err := server.New(server.Config{
+		BaseOptions:    opt,
+		MaxPairsPerJob: *maxPairs,
+		Queue:          jobqueue.Config{Workers: *workers, Capacity: *queueCap},
+		Cache:          server.CacheConfig{ByteBudget: *cacheBytes, Dir: *cacheDir},
+		Telemetry:      tel,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *cacheDir != "" {
+		if err := srv.Cache().Load(); err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "ampserve: cache warm with %d entries (%d bytes)\n",
+				srv.Cache().Len(), srv.Cache().Bytes())
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Write-then-rename so watchers never read a partial address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ampserve: listening on http://%s/\n", bound)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "ampserve: %v: draining (budget %v; signal again to abort)\n", sig, *drainTimeout)
+	case err := <-serveErr:
+		fatal(err)
+	}
+
+	// A second signal cuts the drain short.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "ampserve: second signal: aborting drain")
+		cancel()
+	}()
+	defer cancel()
+
+	exit := 0
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ampserve: drain:", err)
+		exit = 1
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "ampserve: shutdown:", err)
+		exit = 1
+	}
+	if err := tel.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ampserve: telemetry:", err)
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ampserve:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,10 @@ func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "determinism/internal/sched")
 }
 
+func TestDeterminismServiceScope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "determinism/internal/jobqueue")
+}
+
 func TestDeterminismOutOfScope(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "determinism/outofscope")
 }

@@ -18,6 +18,8 @@ var simCoreSuffixes = []string{
 	"internal/workload",
 	"internal/manycore",
 	"internal/experiments",
+	"internal/jobqueue",
+	"internal/server",
 }
 
 // bannedTimeFuncs are the wall-clock entry points of package time.

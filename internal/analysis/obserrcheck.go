@@ -15,7 +15,11 @@ import (
 //	amp.NewSystem, (*amp.System).Run / RunContext,
 //	(*experiments.Runner).RunPair* / Sweep / SweepContext,
 //	telemetry and trace Close / Flush (sinks buffer; only Close
-//	reports the final write).
+//	reports the final write),
+//	the service layer: jobqueue Submit/TrySubmit/Drain, server
+//	Submit/Drain and cache Save/Load, and http.Server.Shutdown
+//	(a dropped error loses jobs, strands a drain, or forgets
+//	computed sweeps).
 //
 // A call is flagged when its error result is discarded: the call used
 // as a bare statement, deferred, launched with go, or assigned to the
@@ -47,6 +51,17 @@ var checkedAPIs = []checkedAPI{
 	{"internal/telemetry", "*", "Flush"},
 	{"internal/trace", "*", "Close"},
 	{"internal/trace", "*", "Flush"},
+	// Service layer: a dropped error here loses jobs (submission), strands
+	// a drain (Shutdown/Drain), or silently forgets computed sweeps
+	// (cache persistence).
+	{"net/http", "Server", "Shutdown"},
+	{"internal/jobqueue", "Queue", "Submit"},
+	{"internal/jobqueue", "Queue", "TrySubmit"},
+	{"internal/jobqueue", "Queue", "Drain"},
+	{"internal/server", "Server", "Submit"},
+	{"internal/server", "Server", "Drain"},
+	{"internal/server", "Cache", "Save"},
+	{"internal/server", "Cache", "Load"},
 }
 
 func runObsErrCheck(pass *Pass) error {

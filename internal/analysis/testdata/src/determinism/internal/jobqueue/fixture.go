@@ -1,0 +1,28 @@
+// Package jobqueue is a determinism fixture: its import path ends in
+// internal/jobqueue, so the service layer's queue is held to the same
+// no-wall-clock rules as the simulation core.
+package jobqueue
+
+import "time"
+
+// Backoff reads the wall clock without an audited allow.
+func Backoff() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// Allowed documents the audited exception the real queue uses for its
+// retry backoff and latency histograms.
+func Allowed() *time.Timer {
+	return time.NewTimer(time.Millisecond) //ampvet:allow determinism retry backoff is inherently wall-clock
+}
+
+// Fanout observes map iteration order.
+func Fanout(jobs map[int]func()) int {
+	n := 0
+	for id, f := range jobs { // want `map iteration order is randomized`
+		f()
+		n += id
+	}
+	return n
+}

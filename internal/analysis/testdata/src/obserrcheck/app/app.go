@@ -3,7 +3,12 @@
 package app
 
 import (
+	"context"
+	"net/http"
+
 	"obserrcheck/internal/amp"
+	"obserrcheck/internal/jobqueue"
+	"obserrcheck/internal/server"
 	"obserrcheck/internal/telemetry"
 )
 
@@ -14,6 +19,33 @@ func Leak(tel *telemetry.Telemetry) {
 	sys.Run(1000)                 // want `error from System\.Run discarded`
 	defer tel.Close()             // want `deferred Telemetry\.Close discards its error`
 	go tel.Close()                // want `go Telemetry\.Close discards its error`
+}
+
+// LeakService drops errors across the service layer.
+func LeakService(ctx context.Context, q *jobqueue.Queue, s *server.Server, c *server.Cache, hs *http.Server) {
+	q.Submit(ctx, nil, jobqueue.SubmitOptions{})       // want `error from Queue\.Submit discarded`
+	j, _ := q.TrySubmit(nil, jobqueue.SubmitOptions{}) // want `error from Queue\.TrySubmit assigned to blank identifier`
+	_ = j
+	q.Drain(ctx)               // want `error from Queue\.Drain discarded`
+	s.Submit(server.JobSpec{}) // want `error from Server\.Submit discarded`
+	defer s.Drain(ctx)         // want `deferred Server\.Drain discards its error`
+	c.Save()                   // want `error from Cache\.Save discarded`
+	c.Load()                   // want `error from Cache\.Load discarded`
+	go hs.Shutdown(ctx)        // want `go Server\.Shutdown discards its error`
+}
+
+// HandledService checks every service-layer error: nothing to flag.
+func HandledService(ctx context.Context, q *jobqueue.Queue, c *server.Cache, hs *http.Server) error {
+	if _, err := q.Submit(ctx, nil, jobqueue.SubmitOptions{}); err != nil {
+		return err
+	}
+	if err := q.Drain(ctx); err != nil {
+		return err
+	}
+	if err := c.Save(); err != nil {
+		return err
+	}
+	return hs.Shutdown(ctx)
 }
 
 // Handled checks every error: nothing to flag.

@@ -1,0 +1,30 @@
+// Package jobqueue mirrors the submission/drain surface of the real
+// jobqueue package for the obserrcheck fixture.
+package jobqueue
+
+import "context"
+
+// Task mirrors the real task shape.
+type Task func(ctx context.Context) error
+
+// SubmitOptions is a minimal stand-in.
+type SubmitOptions struct{}
+
+// Job is a minimal stand-in.
+type Job struct{}
+
+// Queue mirrors the real queue's must-check API.
+type Queue struct{}
+
+// Submit mirrors the blocking submission's (job, error) shape.
+func (q *Queue) Submit(ctx context.Context, task Task, opts SubmitOptions) (*Job, error) {
+	return &Job{}, nil
+}
+
+// TrySubmit mirrors the non-blocking submission's (job, error) shape.
+func (q *Queue) TrySubmit(task Task, opts SubmitOptions) (*Job, error) {
+	return &Job{}, nil
+}
+
+// Drain mirrors the graceful-stop error result.
+func (q *Queue) Drain(ctx context.Context) error { return nil }

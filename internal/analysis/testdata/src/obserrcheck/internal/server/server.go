@@ -1,0 +1,26 @@
+// Package server mirrors the service-layer surface of the real server
+// package for the obserrcheck fixture.
+package server
+
+import "context"
+
+// JobSpec is a minimal stand-in.
+type JobSpec struct{}
+
+// Server mirrors the service's must-check API.
+type Server struct{}
+
+// Submit mirrors the job submission's (entry, error) shape.
+func (s *Server) Submit(sp JobSpec) (*JobSpec, error) { return &sp, nil }
+
+// Drain mirrors the graceful-shutdown error result.
+func (s *Server) Drain(ctx context.Context) error { return nil }
+
+// Cache mirrors the result cache's persistence API.
+type Cache struct{}
+
+// Save mirrors disk persistence's error result.
+func (c *Cache) Save() error { return nil }
+
+// Load mirrors cache warm-up's error result.
+func (c *Cache) Load() error { return nil }

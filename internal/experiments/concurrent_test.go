@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// concurrencyOptions keeps the concurrency tests fast: the point is
+// the synchronization, not the simulated workload.
+func concurrencyOptions() Options {
+	o := tinyOptions()
+	o.Pairs = 2
+	o.InstrLimit = 40_000
+	o.ContextSwitch = 10_000
+	o.ProfileInstrLimit = 30_000
+	o.SensitivityPairs = 1
+	return o
+}
+
+// TestRunnerConcurrentLazyInit hammers the lazy accessors from many
+// goroutines on a fresh Runner: under -race this catches any unguarded
+// first-use initialization, and every caller must observe the same
+// cached pointers (one profiling pass shared by all).
+func TestRunnerConcurrentLazyInit(t *testing.T) {
+	r, err := NewRunner(concurrencyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	profiles := make([]interface{}, goroutines)
+	matrices := make([]interface{}, goroutines)
+	surfaces := make([]interface{}, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			profiles[g] = r.Profile()
+			m, err := r.Matrix()
+			if err != nil {
+				t.Errorf("goroutine %d: Matrix: %v", g, err)
+				return
+			}
+			matrices[g] = m
+			s, err := r.Surface()
+			if err != nil {
+				t.Errorf("goroutine %d: Surface: %v", g, err)
+				return
+			}
+			surfaces[g] = s
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if profiles[g] != profiles[0] {
+			t.Errorf("goroutine %d got a different profile instance", g)
+		}
+		if matrices[g] != matrices[0] {
+			t.Errorf("goroutine %d got a different matrix instance", g)
+		}
+		if surfaces[g] != surfaces[0] {
+			t.Errorf("goroutine %d got a different surface instance", g)
+		}
+	}
+}
+
+// TestRunnerConcurrentPairRuns runs independent pairs in parallel on a
+// shared Runner — the server's execution pattern — and checks each
+// result is identical to a sequential rerun (determinism is per pair
+// index, independent of interleaving).
+func TestRunnerConcurrentPairRuns(t *testing.T) {
+	r, err := NewRunner(concurrencyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := RandomPairs(4, r.Opt.Seed)
+	type run struct {
+		committed [2]uint64
+		cycles    uint64
+	}
+	parallel := make([]run, len(pairs))
+	var wg sync.WaitGroup
+	for i, p := range pairs {
+		wg.Add(1)
+		go func(i int, p Pair) {
+			defer wg.Done()
+			res, err := r.RunPair(i, p, r.ProposedFactory())
+			if err != nil {
+				t.Errorf("pair %d: %v", i, err)
+				return
+			}
+			parallel[i] = run{
+				committed: [2]uint64{res.Threads[0].Committed, res.Threads[1].Committed},
+				cycles:    res.Cycles,
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for i, p := range pairs {
+		res, err := r.RunPair(i, p, r.ProposedFactory())
+		if err != nil {
+			t.Fatalf("sequential rerun pair %d: %v", i, err)
+		}
+		if res.Cycles != parallel[i].cycles ||
+			res.Threads[0].Committed != parallel[i].committed[0] ||
+			res.Threads[1].Committed != parallel[i].committed[1] {
+			t.Errorf("pair %d (%s): parallel run diverged from sequential rerun", i, p.Label())
+		}
+	}
+}

@@ -176,16 +176,25 @@ func RandomPairs(n int, seed uint64) []Pair {
 type SchedFactory func(opts ...sched.Option) amp.Scheduler
 
 // Runner caches the expensive shared state (profiling, estimators,
-// the main pair sweep) across experiments.
+// the main pair sweep) across experiments. The lazy accessors
+// (Profile, Matrix, Surface, Sweep) are safe for concurrent first use:
+// parallel callers — the server runs many jobs against one shared
+// Runner — collapse onto a single computation and share its result.
 type Runner struct {
 	Opt    Options
 	IntCfg *cpu.Config
 	FPCfg  *cpu.Config
 
-	profile *profilegen.Profile
-	matrix  *profilegen.RatioMatrix
-	surface *profilegen.Surface
-	sweep   *SweepResult
+	profileOnce sync.Once
+	profile     *profilegen.Profile
+	matrixOnce  sync.Once
+	matrix      *profilegen.RatioMatrix
+	matrixErr   error
+	surfaceOnce sync.Once
+	surface     *profilegen.Surface
+	surfaceErr  error
+	sweepMu     sync.Mutex
+	sweep       *SweepResult
 
 	// Progress, if non-nil, receives one-line status updates.
 	Progress func(string)
@@ -229,9 +238,13 @@ func (r *Runner) baseCtx() context.Context {
 }
 
 // Profile runs (or returns the cached) §V profiling pass over the nine
-// representative benchmarks.
+// representative benchmarks. Concurrent first callers block on one
+// collection and share the result.
 func (r *Runner) Profile() *profilegen.Profile {
-	if r.profile == nil {
+	r.profileOnce.Do(func() {
+		if r.profile != nil {
+			return // seeded by derived()
+		}
 		r.progress("profiling 9 representative benchmarks on both cores...")
 		r.profile = profilegen.Collect(r.IntCfg, r.FPCfg, workload.Representative(),
 			profilegen.ProfileConfig{
@@ -239,32 +252,53 @@ func (r *Runner) Profile() *profilegen.Profile {
 				SampleCycles: r.Opt.ContextSwitch,
 				Seed:         r.Opt.Seed,
 			})
-	}
+	})
 	return r.profile
 }
 
-// Matrix returns the cached ratio-matrix estimator (Fig. 3).
+// Matrix returns the cached ratio-matrix estimator (Fig. 3). The
+// first call's outcome — result or error — is sticky and shared by
+// every later (or concurrent) caller.
 func (r *Runner) Matrix() (*profilegen.RatioMatrix, error) {
-	if r.matrix == nil {
-		m, err := profilegen.BuildRatioMatrix(r.Profile())
-		if err != nil {
-			return nil, err
+	r.matrixOnce.Do(func() {
+		if r.matrix != nil {
+			return // seeded by derived()
 		}
-		r.matrix = m
-	}
-	return r.matrix, nil
+		r.matrix, r.matrixErr = profilegen.BuildRatioMatrix(r.Profile())
+	})
+	return r.matrix, r.matrixErr
 }
 
-// Surface returns the cached regression estimator (Fig. 4).
+// Surface returns the cached regression estimator (Fig. 4). Like
+// Matrix, the first outcome is sticky and concurrency-safe.
 func (r *Runner) Surface() (*profilegen.Surface, error) {
-	if r.surface == nil {
-		s, err := profilegen.FitSurface(r.Profile(), 2)
-		if err != nil {
-			return nil, err
+	r.surfaceOnce.Do(func() {
+		if r.surface != nil {
+			return // seeded by derived()
 		}
-		r.surface = s
+		r.surface, r.surfaceErr = profilegen.FitSurface(r.Profile(), 2)
+	})
+	return r.surface, r.surfaceErr
+}
+
+// derived returns a new Runner over opt that shares this Runner's
+// cached §V profiling artifacts, forcing them first so the derived
+// Runner never re-profiles. Runner contains sync state and must not
+// be copied; experiments that vary one option (the resilience fault
+// sweep) derive instead.
+func (r *Runner) derived(opt Options) *Runner {
+	d := &Runner{
+		Opt:         opt,
+		IntCfg:      r.IntCfg,
+		FPCfg:       r.FPCfg,
+		Progress:    r.Progress,
+		Telemetry:   r.Telemetry,
+		BaseContext: r.BaseContext,
 	}
-	return r.surface, nil
+	d.profile = r.Profile()
+	d.matrix, d.matrixErr = r.Matrix()
+	d.surface, d.surfaceErr = r.Surface()
+	return d
 }
 
 // pairSeed derives the workload seeds for pair index i so that the
@@ -459,8 +493,12 @@ func (r *Runner) Sweep() (*SweepResult, error) {
 // SweepContext is Sweep bounded by ctx. On cancellation the workers
 // stop promptly, unfinished pairs come back as degraded outcomes
 // carrying the context error, and the partial SweepResult is returned
-// alongside ctx's error without being cached.
+// alongside ctx's error without being cached. Concurrent callers
+// serialize on one mutex: the first runs the sweep (its workers still
+// fan out), later callers block and then return the cached result.
 func (r *Runner) SweepContext(ctx context.Context) (*SweepResult, error) {
+	r.sweepMu.Lock()
+	defer r.sweepMu.Unlock()
 	if r.sweep != nil {
 		return r.sweep, nil
 	}

@@ -45,17 +45,18 @@ func RunResilience(r *Runner, w io.Writer) error {
 
 	base := make([]float64, len(schemes))
 	for _, rate := range resilienceRates {
-		// A shallow copy shares the cached profile/matrix but gets its
+		// A derived runner shares the cached profile/matrix but gets its
 		// own fault rate; the per-pair fault seeds stay fixed so every
 		// rate sees the same underlying draw sequence.
-		rr := *r
-		rr.Opt.FaultRate = rate
+		opt := r.Opt
+		opt.FaultRate = rate
+		rr := r.derived(opt)
 
 		row := []string{fmt.Sprintf("%.2f", rate)}
 		degraded := 0
 		var failedSwaps uint64
 		for si, s := range schemes {
-			factory := s.factory(&rr)
+			factory := s.factory(rr)
 			var scores []float64
 			for i, p := range pairs {
 				r.progress("resilience: rate=%.2f %s pair %d/%d", rate, s.name, i+1, len(pairs))

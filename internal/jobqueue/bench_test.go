@@ -1,0 +1,29 @@
+package jobqueue
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkQueueSubmitComplete measures the full submit→run→settle
+// round trip for a no-op task — the queue's fixed overhead per job.
+func BenchmarkQueueSubmitComplete(b *testing.B) {
+	q, err := New(Config{Workers: 4, Capacity: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer q.Close()
+	task := func(ctx context.Context) error { return nil }
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := q.Submit(ctx, task, SubmitOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,544 @@
+// Package jobqueue is a bounded, priority-aware work queue with a
+// fixed worker pool — the execution backbone of the simulation
+// service (internal/server, cmd/ampserve).
+//
+// Design points, in the order a job meets them:
+//
+//   - Backpressure: the pending heap has a high-water mark. TrySubmit
+//     returns ErrQueueFull past it (the server maps that to HTTP 429);
+//     Submit blocks until space frees or the caller's context ends.
+//   - Priority: pending jobs run highest Priority first; ties break by
+//     submission order, so equal-priority traffic is FIFO and the
+//     schedule is deterministic for a deterministic arrival order.
+//   - Per-job context: every job runs under its own context, canceled
+//     by Job.Cancel, by the job's Deadline, or by Close. A job
+//     canceled while still pending never starts.
+//   - Retry with backoff: a job whose task fails with an error the
+//     configured classifier calls retryable (the server classifies
+//     wedged simulations, amp.ErrWedged) is re-run after an
+//     exponentially growing backoff, up to MaxRetries times.
+//   - Drain: stop accepting, then wait for the backlog to finish —
+//     the graceful half of SIGTERM handling.
+//
+// Telemetry (all under "jobqueue."): depth/running gauges; submitted,
+// rejected, completed, failed, canceled, retries counters; wait_us and
+// run_us histograms.
+package jobqueue
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ampsched/internal/telemetry"
+)
+
+// ErrQueueFull is returned by TrySubmit when the pending backlog is at
+// the high-water mark — the caller should shed load (HTTP 429).
+var ErrQueueFull = errors.New("jobqueue: queue full")
+
+// ErrClosed is returned by submissions after Drain or Close.
+var ErrClosed = errors.New("jobqueue: closed")
+
+// Task is one unit of work. It must honor ctx promptly: cancellation
+// is the only way Drain and Close can make progress past a stuck job.
+type Task func(ctx context.Context) error
+
+// State is a job's lifecycle position.
+type State int32
+
+// Job states. Pending→Running→{Done,Failed}; Canceled can follow
+// Pending or Running.
+const (
+	StatePending State = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateCanceled
+)
+
+// String renders the state for status APIs.
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Config sizes a Queue.
+type Config struct {
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Capacity is the pending high-water mark; 0 means 4x workers.
+	Capacity int
+	// MaxRetries bounds re-runs of a retryably failed job (0 = no
+	// retries).
+	MaxRetries int
+	// Backoff is the first retry delay, doubling per attempt; 0 means
+	// 10ms. Backoff waits abort immediately on job cancellation.
+	Backoff time.Duration
+	// Retryable classifies errors worth re-running; nil means nothing
+	// retries.
+	Retryable func(error) bool
+	// Telemetry receives queue metrics; nil disables them.
+	Telemetry *telemetry.Telemetry
+}
+
+// SubmitOptions tune one job.
+type SubmitOptions struct {
+	// Priority orders pending jobs (higher first; default 0).
+	Priority int
+	// Deadline, when positive, bounds the job's total run time
+	// (including retries and backoff waits).
+	Deadline time.Duration
+}
+
+// Job is a handle on one submitted task.
+type Job struct {
+	id       uint64
+	priority int
+	seq      uint64
+	task     Task
+	deadline time.Duration
+
+	q        *Queue
+	ctx      context.Context
+	cancel   context.CancelFunc
+	index    int // heap index while pending; -1 otherwise
+	attempts int
+
+	mu    sync.Mutex
+	state State
+	err   error
+	done  chan struct{}
+
+	submitted time.Time
+}
+
+// ID returns the queue-unique job id.
+func (j *Job) ID() uint64 { return j.id }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the terminal error (nil while non-terminal or Done).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Attempts returns how many times the task has started.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job is terminal or ctx ends, returning the
+// job's terminal error (or ctx's).
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return j.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Cancel stops the job: a pending job is removed from the queue and
+// never starts; a running job has its context canceled and finishes
+// when its task returns. Cancel is idempotent and safe on terminal
+// jobs.
+func (j *Job) Cancel() { j.q.cancelJob(j) }
+
+// settle moves the job to a terminal state exactly once.
+func (j *Job) settle(s State, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCanceled {
+		return false
+	}
+	j.state = s
+	j.err = err
+	close(j.done)
+	return true
+}
+
+// Queue is the bounded priority work queue. Create with New; a Queue
+// must be Closed (or Drained) to stop its workers.
+type Queue struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending jobHeap
+	active  map[*Job]struct{}
+	nextID  uint64
+	nextSeq uint64
+	closed  bool
+
+	wg sync.WaitGroup
+
+	depth     *telemetry.Gauge
+	runningG  *telemetry.Gauge
+	submitted *telemetry.Counter
+	rejected  *telemetry.Counter
+	completed *telemetry.Counter
+	failed    *telemetry.Counter
+	canceled  *telemetry.Counter
+	retries   *telemetry.Counter
+	waitUS    *telemetry.Histogram
+	runUS     *telemetry.Histogram
+}
+
+// New builds a Queue and starts its workers.
+func New(cfg Config) (*Queue, error) {
+	if cfg.Workers < 0 || cfg.Capacity < 0 || cfg.MaxRetries < 0 || cfg.Backoff < 0 {
+		return nil, fmt.Errorf("jobqueue: negative Config field")
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 4 * cfg.Workers
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = 10 * time.Millisecond
+	}
+	tel := cfg.Telemetry
+	q := &Queue{
+		cfg:       cfg,
+		depth:     tel.Gauge("jobqueue.depth"),
+		runningG:  tel.Gauge("jobqueue.running"),
+		submitted: tel.Counter("jobqueue.submitted"),
+		rejected:  tel.Counter("jobqueue.rejected"),
+		completed: tel.Counter("jobqueue.completed"),
+		failed:    tel.Counter("jobqueue.failed"),
+		canceled:  tel.Counter("jobqueue.canceled"),
+		retries:   tel.Counter("jobqueue.retries"),
+		waitUS:    tel.Histogram("jobqueue.wait_us"),
+		runUS:     tel.Histogram("jobqueue.run_us"),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	q.active = make(map[*Job]struct{})
+	for w := 0; w < cfg.Workers; w++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q, nil
+}
+
+// TrySubmit enqueues task, failing fast with ErrQueueFull at the
+// high-water mark and ErrClosed after Drain/Close.
+func (q *Queue) TrySubmit(task Task, opts SubmitOptions) (*Job, error) {
+	return q.submit(nil, task, opts)
+}
+
+// Submit enqueues task, blocking while the queue is full until space
+// frees, the queue closes, or ctx ends.
+func (q *Queue) Submit(ctx context.Context, task Task, opts SubmitOptions) (*Job, error) {
+	return q.submit(ctx, task, opts)
+}
+
+func (q *Queue) submit(ctx context.Context, task Task, opts SubmitOptions) (*Job, error) {
+	if task == nil {
+		return nil, fmt.Errorf("jobqueue: nil task")
+	}
+	q.mu.Lock()
+	for {
+		if q.closed {
+			q.mu.Unlock()
+			q.rejected.Inc()
+			return nil, ErrClosed
+		}
+		if len(q.pending) < q.cfg.Capacity {
+			break
+		}
+		if ctx == nil { // TrySubmit: shed load
+			q.mu.Unlock()
+			q.rejected.Inc()
+			return nil, ErrQueueFull
+		}
+		if err := ctx.Err(); err != nil {
+			q.mu.Unlock()
+			q.rejected.Inc()
+			return nil, err
+		}
+		// Re-check ctx at queue state changes; a canceled waiter is
+		// released by the broadcast in dispatch/cancel paths or by the
+		// watcher below.
+		stop := context.AfterFunc(ctx, func() {
+			q.mu.Lock()
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		})
+		q.cond.Wait()
+		stop()
+	}
+	q.nextID++
+	q.nextSeq++
+	jctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		id:       q.nextID,
+		priority: opts.Priority,
+		seq:      q.nextSeq,
+		task:     task,
+		deadline: opts.Deadline,
+		q:        q,
+		ctx:      jctx,
+		cancel:   cancel,
+		state:    StatePending,
+		done:     make(chan struct{}),
+
+		submitted: time.Now(), //ampvet:allow determinism queue wait-latency measurement is inherently wall-clock
+	}
+	heap.Push(&q.pending, j)
+	q.depth.Set(float64(len(q.pending)))
+	q.submitted.Inc()
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	return j, nil
+}
+
+// cancelJob implements Job.Cancel.
+func (q *Queue) cancelJob(j *Job) {
+	q.mu.Lock()
+	if j.index >= 0 { // still pending: remove so it never starts
+		heap.Remove(&q.pending, j.index)
+		q.depth.Set(float64(len(q.pending)))
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+	j.cancel()
+	if j.settle(StateCanceled, context.Canceled) {
+		q.canceled.Inc()
+	}
+}
+
+// worker pops and runs jobs until the queue closes and empties.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for len(q.pending) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.pending) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&q.pending).(*Job)
+		q.depth.Set(float64(len(q.pending)))
+		q.active[j] = struct{}{}
+		q.runningG.Set(float64(len(q.active)))
+		q.cond.Broadcast() // space freed: wake blocked Submit callers
+		q.mu.Unlock()
+
+		q.run(j)
+
+		q.mu.Lock()
+		delete(q.active, j)
+		q.runningG.Set(float64(len(q.active)))
+		q.cond.Broadcast() // Drain waits on the active set emptying
+		q.mu.Unlock()
+	}
+}
+
+// run executes one job, applying deadline, retries and backoff.
+func (q *Queue) run(j *Job) {
+	j.mu.Lock()
+	if j.state != StatePending { // canceled between pop and run
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.mu.Unlock()
+
+	start := time.Now() //ampvet:allow determinism job run-latency measurement is inherently wall-clock
+	q.waitUS.Observe(uint64(start.Sub(j.submitted).Microseconds()))
+
+	ctx := j.ctx
+	cancelDeadline := func() {}
+	if j.deadline > 0 {
+		ctx, cancelDeadline = context.WithTimeout(ctx, j.deadline) //ampvet:allow determinism job deadlines are wall-clock by contract
+	}
+	defer cancelDeadline()
+
+	var err error
+	for {
+		j.mu.Lock()
+		j.attempts++
+		attempt := j.attempts
+		j.mu.Unlock()
+		err = j.task(ctx)
+		if err == nil || ctx.Err() != nil {
+			break
+		}
+		if q.cfg.Retryable == nil || !q.cfg.Retryable(err) || attempt > q.cfg.MaxRetries {
+			break
+		}
+		q.retries.Inc()
+		backoff := q.cfg.Backoff << (attempt - 1)
+		t := time.NewTimer(backoff) //ampvet:allow determinism retry backoff is inherently wall-clock
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			err = ctx.Err()
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	q.runUS.Observe(uint64(time.Since(start).Microseconds())) //ampvet:allow determinism job run-latency measurement is inherently wall-clock
+
+	switch {
+	case err == nil:
+		if j.settle(StateDone, nil) {
+			q.completed.Inc()
+		}
+	case errors.Is(err, context.Canceled):
+		if j.settle(StateCanceled, err) {
+			q.canceled.Inc()
+		}
+	default:
+		if j.settle(StateFailed, err) {
+			q.failed.Inc()
+		}
+	}
+	j.cancel() // release the job context's resources
+}
+
+// Drain stops accepting new jobs and waits until every pending and
+// running job has finished, or ctx ends — in which case the remaining
+// jobs are canceled (pending ones never start) and Drain waits for the
+// workers to observe the cancellation before returning ctx's error.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	stop := context.AfterFunc(ctx, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	defer stop()
+
+	q.mu.Lock()
+	for (len(q.pending) > 0 || len(q.active) > 0) && ctx.Err() == nil {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+
+	if err := ctx.Err(); err != nil {
+		q.abort()
+		q.wg.Wait()
+		return err
+	}
+	q.wg.Wait()
+	return nil
+}
+
+// Close cancels every pending and running job and stops the workers.
+// Safe after Drain; returns once the pool has exited.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.abort()
+	q.wg.Wait()
+}
+
+// abort cancels everything still alive: pending jobs are settled
+// canceled without starting; running jobs have their contexts
+// canceled and are settled by their workers when the task returns.
+func (q *Queue) abort() {
+	q.mu.Lock()
+	var victims []*Job
+	for len(q.pending) > 0 {
+		victims = append(victims, heap.Pop(&q.pending).(*Job))
+	}
+	q.depth.Set(0)
+	running := make([]*Job, 0, len(q.active))
+	for j := range q.active { //ampvet:allow determinism cancellation fan-out order is unobservable
+		running = append(running, j)
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	for _, j := range victims {
+		j.cancel()
+		if j.settle(StateCanceled, context.Canceled) {
+			q.canceled.Inc()
+		}
+	}
+	for _, j := range running {
+		j.cancel()
+	}
+}
+
+// Stats is a point-in-time queue census.
+type Stats struct {
+	Pending int
+	Running int
+}
+
+// Stats returns the current backlog sizes.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{Pending: len(q.pending), Running: len(q.active)}
+}
+
+// jobHeap orders pending jobs by (priority desc, seq asc).
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *jobHeap) Push(x interface{}) {
+	j := x.(*Job)
+	j.index = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.index = -1
+	*h = old[:n-1]
+	return j
+}

@@ -1,0 +1,349 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ampsched/internal/telemetry"
+)
+
+func newTestQueue(t *testing.T, cfg Config) *Queue {
+	t.Helper()
+	q, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(q.Close)
+	return q
+}
+
+func TestSubmitAndComplete(t *testing.T) {
+	tel := telemetry.New()
+	q := newTestQueue(t, Config{Workers: 2, Capacity: 16, Telemetry: tel})
+	var ran atomic.Int64
+	var jobs []*Job
+	for i := 0; i < 10; i++ {
+		j, err := q.TrySubmit(func(ctx context.Context) error {
+			ran.Add(1)
+			return nil
+		}, SubmitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		if err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if s := j.State(); s != StateDone {
+			t.Fatalf("state %v, want done", s)
+		}
+	}
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("ran %d tasks, want 10", got)
+	}
+	if got := tel.Counter("jobqueue.completed").Value(); got != 10 {
+		t.Fatalf("completed counter %d, want 10", got)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	q := newTestQueue(t, Config{Workers: 1, Capacity: 16})
+
+	// Block the single worker so submissions pile up in the heap.
+	release := make(chan struct{})
+	blocker, err := q.TrySubmit(func(ctx context.Context) error {
+		<-release
+		return nil
+	}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the blocker to actually occupy the worker.
+	for q.Stats().Running == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	var mu sync.Mutex
+	var order []int
+	var jobs []*Job
+	for _, prio := range []int{0, 5, 1, 5, 9} {
+		prio := prio
+		j, err := q.TrySubmit(func(ctx context.Context) error {
+			mu.Lock()
+			order = append(order, prio)
+			mu.Unlock()
+			return nil
+		}, SubmitOptions{Priority: prio})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	close(release)
+	if err := blocker.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []int{9, 5, 5, 1, 0}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, p := range want {
+		if order[i] != p {
+			t.Fatalf("execution order %v, want %v (priority desc, FIFO ties)", order, want)
+		}
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	tel := telemetry.New()
+	q := newTestQueue(t, Config{Workers: 1, Capacity: 2, Telemetry: tel})
+
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := q.TrySubmit(func(ctx context.Context) error {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil
+	}, SubmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for q.Stats().Running == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Fill the pending heap to the high-water mark.
+	for i := 0; i < 2; i++ {
+		if _, err := q.TrySubmit(func(ctx context.Context) error { return nil }, SubmitOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.TrySubmit(func(ctx context.Context) error { return nil }, SubmitOptions{}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("error %v, want ErrQueueFull", err)
+	}
+	if got := tel.Counter("jobqueue.rejected").Value(); got != 1 {
+		t.Fatalf("rejected counter %d, want 1", got)
+	}
+
+	// A blocking Submit with a canceled context surfaces the context
+	// error instead of waiting forever.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := q.Submit(ctx, func(ctx context.Context) error { return nil }, SubmitOptions{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked Submit error %v, want deadline exceeded", err)
+	}
+}
+
+func TestCancelPendingJobNeverRuns(t *testing.T) {
+	q := newTestQueue(t, Config{Workers: 1, Capacity: 8})
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := q.TrySubmit(func(ctx context.Context) error {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil
+	}, SubmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for q.Stats().Running == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	var ran atomic.Bool
+	j, err := q.TrySubmit(func(ctx context.Context) error {
+		ran.Store(true)
+		return nil
+	}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Cancel()
+	if err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want canceled", err)
+	}
+	if j.State() != StateCanceled {
+		t.Fatalf("state %v, want canceled", j.State())
+	}
+	if ran.Load() {
+		t.Fatal("canceled pending job still ran")
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	q := newTestQueue(t, Config{Workers: 1})
+	started := make(chan struct{})
+	j, err := q.TrySubmit(func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j.Cancel()
+	if err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want canceled", err)
+	}
+}
+
+var errFlaky = errors.New("flaky")
+
+func TestRetryWithBackoff(t *testing.T) {
+	tel := telemetry.New()
+	q := newTestQueue(t, Config{
+		Workers:    1,
+		MaxRetries: 3,
+		Backoff:    time.Millisecond,
+		Retryable:  func(err error) bool { return errors.Is(err, errFlaky) },
+		Telemetry:  tel,
+	})
+	var calls atomic.Int64
+	j, err := q.TrySubmit(func(ctx context.Context) error {
+		if calls.Add(1) < 3 {
+			return errFlaky
+		}
+		return nil
+	}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("job failed after retries: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("task ran %d times, want 3", got)
+	}
+	if got := tel.Counter("jobqueue.retries").Value(); got != 2 {
+		t.Fatalf("retries counter %d, want 2", got)
+	}
+	if got := j.Attempts(); got != 3 {
+		t.Fatalf("Attempts() = %d, want 3", got)
+	}
+}
+
+func TestRetryExhaustionFails(t *testing.T) {
+	q := newTestQueue(t, Config{
+		Workers:    1,
+		MaxRetries: 2,
+		Backoff:    time.Millisecond,
+		Retryable:  func(err error) bool { return errors.Is(err, errFlaky) },
+	})
+	var calls atomic.Int64
+	j, err := q.TrySubmit(func(ctx context.Context) error {
+		calls.Add(1)
+		return errFlaky
+	}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); !errors.Is(err, errFlaky) {
+		t.Fatalf("error %v, want errFlaky", err)
+	}
+	if j.State() != StateFailed {
+		t.Fatalf("state %v, want failed", j.State())
+	}
+	if got := calls.Load(); got != 3 { // 1 try + 2 retries
+		t.Fatalf("task ran %d times, want 3", got)
+	}
+}
+
+func TestNonRetryableFailsImmediately(t *testing.T) {
+	q := newTestQueue(t, Config{
+		Workers:    1,
+		MaxRetries: 5,
+		Backoff:    time.Millisecond,
+		Retryable:  func(err error) bool { return errors.Is(err, errFlaky) },
+	})
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	j, err := q.TrySubmit(func(ctx context.Context) error {
+		calls.Add(1)
+		return boom
+	}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("error %v, want boom", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("task ran %d times, want 1", got)
+	}
+}
+
+func TestJobDeadline(t *testing.T) {
+	q := newTestQueue(t, Config{Workers: 1})
+	j, err := q.TrySubmit(func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}, SubmitOptions{Deadline: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v, want deadline exceeded", err)
+	}
+	if j.State() != StateFailed {
+		t.Fatalf("state %v, want failed", j.State())
+	}
+}
+
+func TestDrainFinishesBacklog(t *testing.T) {
+	q, err := New(Config{Workers: 2, Capacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	for i := 0; i < 12; i++ {
+		if _, err := q.TrySubmit(func(ctx context.Context) error {
+			time.Sleep(time.Millisecond)
+			ran.Add(1)
+			return nil
+		}, SubmitOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 12 {
+		t.Fatalf("drain finished %d jobs, want 12", got)
+	}
+	if _, err := q.TrySubmit(func(ctx context.Context) error { return nil }, SubmitOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-drain submit error %v, want ErrClosed", err)
+	}
+}
+
+func TestDrainTimeoutCancelsStragglers(t *testing.T) {
+	q, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := q.TrySubmit(func(ctx context.Context) error {
+		<-ctx.Done() // never finishes voluntarily
+		return ctx.Err()
+	}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := q.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain error %v, want deadline exceeded", err)
+	}
+	if err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("straggler error %v, want canceled", err)
+	}
+}

@@ -1,0 +1,98 @@
+// Content-addressed result keys. A simulation's outcome is a pure
+// function of (benchmark pair, core configurations, scheduler suite,
+// fidelity, seeds, swap overhead, run lengths) — the determinism the
+// ampvet suite enforces — so a canonical hash of those inputs is a
+// complete identity for the result: same key, same bytes, forever.
+// The cache, the /v1/results API and cross-restart persistence all
+// address results by this key.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/experiments"
+)
+
+// keySchemaVersion invalidates every cached result when the simulation
+// or result encoding changes incompatibly. Bump on any change to the
+// simulator's observable output for identical inputs.
+const keySchemaVersion = 1
+
+// KeySpec is the canonical identity of one pair run under the
+// three-scheduler comparison suite. Field order is fixed (struct
+// order) and encoding/json emits struct fields in declaration order,
+// so the marshaled bytes are canonical.
+type KeySpec struct {
+	Version       int     `json:"v"`
+	CoreDigest    string  `json:"cores"`
+	BenchA        string  `json:"bench_a"`
+	BenchB        string  `json:"bench_b"`
+	PairIndex     int     `json:"pair_index"`
+	Seed          uint64  `json:"seed"`
+	InstrLimit    uint64  `json:"instr_limit"`
+	ContextSwitch uint64  `json:"context_switch"`
+	SwapOverhead  uint64  `json:"swap_overhead"`
+	ProfileLimit  uint64  `json:"profile_limit"`
+	CycleBudget   uint64  `json:"cycle_budget"`
+	Fidelity      string  `json:"fidelity"`
+	FaultRate     float64 `json:"fault_rate"`
+	FaultSeed     uint64  `json:"fault_seed"`
+}
+
+// CacheKey hashes the spec into its content address (hex SHA-256,
+// filename- and URL-safe).
+func CacheKey(spec KeySpec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		// KeySpec is plain data; Marshal cannot fail. Keep the
+		// invariant loud instead of silently colliding keys.
+		panic(fmt.Sprintf("server: marshaling KeySpec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// CoreDigest canonically hashes the two core configurations so a
+// change to Table I/II parameters changes every result key.
+func CoreDigest(intCfg, fpCfg *cpu.Config) string {
+	b, err := json.Marshal([2]*cpu.Config{intCfg, fpCfg})
+	if err != nil {
+		panic(fmt.Sprintf("server: marshaling core configs: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8]) // 64 bits is plenty for a version tag
+}
+
+// pairKeySpec builds the KeySpec for pair index i of a job resolved
+// against the runner's options.
+func pairKeySpec(coreDigest string, opt experiments.Options, i int, p experiments.Pair) KeySpec {
+	return KeySpec{
+		Version:       keySchemaVersion,
+		CoreDigest:    coreDigest,
+		BenchA:        p.A.Name,
+		BenchB:        p.B.Name,
+		PairIndex:     i,
+		Seed:          opt.Seed,
+		InstrLimit:    opt.InstrLimit,
+		ContextSwitch: opt.ContextSwitch,
+		SwapOverhead:  opt.SwapOverhead,
+		ProfileLimit:  opt.ProfileInstrLimit,
+		CycleBudget:   opt.CycleBudget,
+		Fidelity:      canonicalFidelity(opt.Fidelity),
+		FaultRate:     opt.FaultRate,
+		FaultSeed:     opt.FaultSeed,
+	}
+}
+
+// canonicalFidelity maps the default empty fidelity to its explicit
+// name so "" and "detailed" share cache entries.
+func canonicalFidelity(f string) string {
+	if f == "" {
+		return "detailed"
+	}
+	return f
+}

@@ -1,0 +1,601 @@
+// Package server turns the simulator into a long-running
+// simulation-as-a-service daemon (cmd/ampserve): an HTTP/JSON API over
+// a bounded priority job queue (internal/jobqueue), a content-
+// addressed result cache with singleflight deduplication and optional
+// disk persistence, and NDJSON streaming of per-pair outcomes as they
+// complete.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs           submit a pair sweep or explicit pair list
+//	GET    /v1/jobs/{id}      job status (+results when done)
+//	GET    /v1/jobs/{id}/stream  NDJSON per-pair outcomes, live
+//	DELETE /v1/jobs/{id}      cancel
+//	GET    /v1/results/{key}  one cached pair record by content address
+//	GET    /healthz           liveness
+//	GET    /readyz            readiness (503 while draining)
+//	GET    /metrics           telemetry registry snapshot
+//
+// Expensive shared state — the §V profiling pass and the Fig. 3/4
+// estimators — is computed once per distinct option set and shared
+// across every job (experiments.Runner's lazy accessors are
+// concurrency-safe), so a warm server answers repeat sweeps from the
+// cache and serves new ones without re-profiling.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/experiments"
+	"ampsched/internal/jobqueue"
+	"ampsched/internal/metrics"
+	"ampsched/internal/telemetry"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// BaseOptions are the experiment defaults a JobSpec inherits from
+	// and overrides; zero value means experiments.DefaultOptions.
+	BaseOptions experiments.Options
+	// MaxPairsPerJob rejects oversized sweeps (0 = 400).
+	MaxPairsPerJob int
+	// Queue sizes the work queue (Telemetry and Retryable are wired by
+	// New; MaxRetries defaults to 2).
+	Queue jobqueue.Config
+	// Cache sizes the result cache (Telemetry is wired by New).
+	Cache CacheConfig
+	// Telemetry receives server, queue and simulation metrics; nil
+	// disables them (the /metrics endpoint then serves an empty
+	// registry).
+	Telemetry *telemetry.Telemetry
+}
+
+// Server is the simulation service. Create with New, expose Handler,
+// and stop with Drain (graceful) or Close (immediate).
+type Server struct {
+	cfg   Config
+	tel   *telemetry.Telemetry
+	cache *Cache
+	queue *jobqueue.Queue
+
+	baseOpt    experiments.Options
+	coreDigest string
+
+	mu      sync.Mutex
+	jobs    map[string]*jobEntry
+	runners map[string]*experiments.Runner
+
+	nextID   atomic.Uint64
+	draining atomic.Bool
+
+	jobsSubmitted *telemetry.Counter
+	jobsCompleted *telemetry.Counter
+	jobsFailed    *telemetry.Counter
+	jobsCanceled  *telemetry.Counter
+	jobsRejected  *telemetry.Counter
+	pairsServed   *telemetry.Counter
+	jobLatencyUS  *telemetry.Histogram
+	httpRequests  *telemetry.Counter
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	baseOpt := cfg.BaseOptions
+	if baseOpt == (experiments.Options{}) {
+		baseOpt = experiments.DefaultOptions()
+	}
+	if baseOpt.Pairs <= 0 {
+		baseOpt.Pairs = 1
+	}
+	if err := baseOpt.Validate(); err != nil {
+		return nil, fmt.Errorf("server: base options: %w", err)
+	}
+	if cfg.MaxPairsPerJob == 0 {
+		cfg.MaxPairsPerJob = 400
+	}
+
+	qcfg := cfg.Queue
+	qcfg.Telemetry = cfg.Telemetry
+	if qcfg.MaxRetries == 0 {
+		qcfg.MaxRetries = 2
+	}
+	// A wedged simulation is the service's canonical transient failure:
+	// the fault-injection layer can wedge a run that a retry (same
+	// seeds, but a fresh system) may complete under a different
+	// interleaving of queue load. Everything else is deterministic and
+	// not worth re-running.
+	if qcfg.Retryable == nil {
+		qcfg.Retryable = func(err error) bool { return errors.Is(err, amp.ErrWedged) }
+	}
+	queue, err := jobqueue.New(qcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	ccfg := cfg.Cache
+	ccfg.Telemetry = cfg.Telemetry
+	cache, err := NewCache(ccfg)
+	if err != nil {
+		queue.Close()
+		return nil, err
+	}
+
+	tel := cfg.Telemetry
+	s := &Server{
+		cfg:        cfg,
+		tel:        tel,
+		cache:      cache,
+		queue:      queue,
+		baseOpt:    baseOpt,
+		jobs:       make(map[string]*jobEntry),
+		runners:    make(map[string]*experiments.Runner),
+		coreDigest: CoreDigest(cpu.IntCoreConfig(), cpu.FPCoreConfig()),
+
+		jobsSubmitted: tel.Counter("server.jobs_submitted"),
+		jobsCompleted: tel.Counter("server.jobs_completed"),
+		jobsFailed:    tel.Counter("server.jobs_failed"),
+		jobsCanceled:  tel.Counter("server.jobs_canceled"),
+		jobsRejected:  tel.Counter("server.jobs_rejected"),
+		pairsServed:   tel.Counter("server.pairs_served"),
+		jobLatencyUS:  tel.Histogram("server.job_latency_us"),
+		httpRequests:  tel.Counter("server.http_requests"),
+	}
+	return s, nil
+}
+
+// Cache exposes the result cache (tests, warm-up, persistence).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Queue exposes the work queue (tests, stats).
+func (s *Server) Queue() *jobqueue.Queue { return s.queue }
+
+// optionsFor resolves a spec against the base options.
+func (s *Server) optionsFor(sp JobSpec) (experiments.Options, error) {
+	opt := s.baseOpt
+	if sp.Seed != 0 {
+		opt.Seed = sp.Seed
+	}
+	if sp.InstrLimit != 0 {
+		opt.InstrLimit = sp.InstrLimit
+	}
+	if sp.ContextSwitch != 0 {
+		opt.ContextSwitch = sp.ContextSwitch
+	}
+	if sp.SwapOverhead != 0 {
+		opt.SwapOverhead = sp.SwapOverhead
+	}
+	if sp.Fidelity != "" {
+		opt.Fidelity = sp.Fidelity
+	}
+	// Pair execution never uses Options.Pairs/Parallelism; normalize
+	// them so runners dedupe on what actually matters.
+	opt.Pairs = 1
+	opt.Parallelism = 1
+	if err := opt.Validate(); err != nil {
+		return opt, err
+	}
+	return opt, nil
+}
+
+// runnerFor returns the shared Runner for opt, creating it on first
+// use. Runners hold the profiled matrices/surfaces, so all jobs with
+// the same options share one profiling pass.
+func (s *Server) runnerFor(opt experiments.Options) (*experiments.Runner, error) {
+	b, err := json.Marshal(opt)
+	if err != nil {
+		return nil, fmt.Errorf("server: hashing options: %w", err)
+	}
+	key := string(b)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.runners[key]; ok {
+		return r, nil
+	}
+	r, err := experiments.NewRunner(opt)
+	if err != nil {
+		return nil, err
+	}
+	r.Telemetry = s.tel
+	s.runners[key] = r
+	return r, nil
+}
+
+// Submit validates and enqueues a job, returning its entry. Maps to
+// POST /v1/jobs; also the programmatic entry point for tests.
+func (s *Server) Submit(sp JobSpec) (*jobEntry, error) {
+	if s.draining.Load() {
+		s.jobsRejected.Inc()
+		return nil, jobqueue.ErrClosed
+	}
+	opt, err := s.optionsFor(sp)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := sp.resolvePairs(opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(pairs) > s.cfg.MaxPairsPerJob {
+		return nil, fmt.Errorf("server: %d pairs exceeds per-job limit %d", len(pairs), s.cfg.MaxPairsPerJob)
+	}
+	runner, err := s.runnerFor(opt)
+	if err != nil {
+		return nil, err
+	}
+
+	id := strconv.FormatUint(s.nextID.Add(1), 10)
+	j := newJobEntry(id, sp)
+	task := func(ctx context.Context) error {
+		return s.runJob(ctx, j, runner, opt, pairs)
+	}
+	qjob, err := s.queue.TrySubmit(task, jobqueue.SubmitOptions{
+		Priority: sp.Priority,
+		Deadline: time.Duration(sp.TimeoutMS) * time.Millisecond,
+	})
+	if err != nil {
+		s.jobsRejected.Inc()
+		return nil, err
+	}
+	j.qjob = qjob
+	// A job the queue settles without ever running its task (canceled
+	// or aborted while pending) has nothing else to settle its entry —
+	// mirror the queue's terminal state as a backstop.
+	go func() {
+		<-qjob.Done()
+		switch qjob.State() {
+		case jobqueue.StateCanceled:
+			if j.setState(jobqueue.StateCanceled, "canceled before start") {
+				s.jobsCanceled.Inc()
+			}
+		case jobqueue.StateFailed:
+			if qerr := qjob.Err(); qerr != nil && j.setState(jobqueue.StateFailed, qerr.Error()) {
+				s.jobsFailed.Inc()
+			}
+		}
+	}()
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.mu.Unlock()
+	s.jobsSubmitted.Inc()
+	return j, nil
+}
+
+// job looks up a submitted job by id.
+func (s *Server) job(id string) (*jobEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// runJob executes one job's pairs in order, serving each from the
+// cache when possible and appending outcomes as they complete. It is
+// the queue task: its error classifies retry (wedged) vs terminal.
+func (s *Server) runJob(ctx context.Context, j *jobEntry, runner *experiments.Runner, opt experiments.Options, pairs []experiments.Pair) error {
+	start := time.Now() //ampvet:allow determinism job latency measurement is inherently wall-clock
+	if !j.setState(jobqueue.StateRunning, "") {
+		return nil // canceled before the worker picked it up
+	}
+	// Force the shared profiling pass and estimator build before the
+	// per-pair loop so every pair's timing excludes it; concurrent
+	// jobs collapse onto one computation (Runner is concurrency-safe).
+	if _, err := runner.Matrix(); err != nil {
+		s.finishJob(j, start, err)
+		return err
+	}
+
+	var firstWedge error
+	for i, p := range pairs {
+		if cerr := ctx.Err(); cerr != nil {
+			s.finishJob(j, start, cerr)
+			return cerr
+		}
+		spec := pairKeySpec(s.coreDigest, opt, i, p)
+		key := CacheKey(spec)
+		data, cached, err := s.cache.Do(ctx, key, func() ([]byte, error) {
+			return s.computePair(ctx, runner, i, p, key)
+		})
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.finishJob(j, start, err)
+				return err
+			}
+			// Degraded pair: record and continue, like Sweep.
+			if firstWedge == nil && errors.Is(err, amp.ErrWedged) {
+				firstWedge = err
+			}
+			j.appendResult(PairResult{
+				Index: i, Pair: p.Label(), Key: key,
+				Failed: true, Err: err.Error(),
+			})
+			s.pairsServed.Inc()
+			continue
+		}
+		var r PairResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			s.finishJob(j, start, fmt.Errorf("server: corrupt cache entry %s: %w", key, err))
+			return nil // corrupt entry is not retryable
+		}
+		r.Cached = cached
+		j.appendResult(r)
+		s.pairsServed.Inc()
+	}
+
+	// Mirror Sweep's contract: a job only fails when no pair finished.
+	st := j.status(false)
+	if st.Completed > 0 && st.Failed == st.Completed && firstWedge != nil {
+		err := fmt.Errorf("server: all %d pairs degraded: %w", st.Completed, firstWedge)
+		s.finishJob(j, start, err)
+		return err
+	}
+	s.finishJob(j, start, nil)
+	return nil
+}
+
+// computePair runs one pair under the three schedulers and marshals
+// the comparison record. A wedged or panicking run surfaces as an
+// error (never cached).
+func (s *Server) computePair(ctx context.Context, runner *experiments.Runner, i int, p experiments.Pair, key string) ([]byte, error) {
+	proposed, err := runner.RunPairContext(ctx, i, p, runner.ProposedFactory())
+	if err != nil {
+		return nil, err
+	}
+	m, err := runner.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	hpe, err := runner.RunPairContext(ctx, i, p, runner.HPEFactory(m))
+	if err != nil {
+		return nil, err
+	}
+	rr, err := runner.RunPairContext(ctx, i, p, runner.RRFactory(1))
+	if err != nil {
+		return nil, err
+	}
+	vsHPE, err := metrics.Compare(proposed, hpe)
+	if err != nil {
+		return nil, err
+	}
+	vsRR, err := metrics.Compare(proposed, rr)
+	if err != nil {
+		return nil, err
+	}
+	r := PairResult{
+		Index:            i,
+		Pair:             p.Label(),
+		Key:              key,
+		Proposed:         schedResult(proposed),
+		HPE:              schedResult(hpe),
+		RR:               schedResult(rr),
+		WeightedVsHPEPct: vsHPE.WeightedPct,
+		WeightedVsRRPct:  vsRR.WeightedPct,
+		GeoVsHPEPct:      vsHPE.GeoPct,
+		GeoVsRRPct:       vsRR.GeoPct,
+	}
+	return json.Marshal(r)
+}
+
+// schedResult compresses an amp.Result for the wire.
+func schedResult(res amp.Result) SchedResult {
+	return SchedResult{
+		Cycles: res.Cycles,
+		Swaps:  res.Swaps,
+		IPCPerWatt: [2]float64{
+			res.Threads[0].IPCPerWatt, res.Threads[1].IPCPerWatt,
+		},
+		Committed: [2]uint64{
+			res.Threads[0].Committed, res.Threads[1].Committed,
+		},
+	}
+}
+
+// finishJob settles the job entry's terminal state and counters (the
+// first terminal transition wins, so a racing cancel is not counted
+// twice).
+func (s *Server) finishJob(j *jobEntry, start time.Time, err error) {
+	s.jobLatencyUS.Observe(uint64(time.Since(start).Microseconds())) //ampvet:allow determinism job latency measurement is inherently wall-clock
+	switch {
+	case err == nil:
+		if j.setState(jobqueue.StateDone, "") {
+			s.jobsCompleted.Inc()
+		}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if j.setState(jobqueue.StateCanceled, err.Error()) {
+			s.jobsCanceled.Inc()
+		}
+	default:
+		if j.setState(jobqueue.StateFailed, err.Error()) {
+			s.jobsFailed.Inc()
+		}
+	}
+}
+
+// Drain gracefully stops the service: refuse new jobs, let the queue
+// finish (or, past ctx, cancel) the backlog, then persist the cache.
+// Completed pair outcomes are never lost: they are already appended to
+// their job entries and resident in the cache, which Save flushes.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	qerr := s.queue.Drain(ctx)
+	if err := s.cache.Save(); err != nil {
+		if qerr == nil {
+			qerr = err
+		}
+	}
+	return qerr
+}
+
+// Close cancels everything immediately (still persists the cache).
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.queue.Close()
+	return s.cache.Save()
+}
+
+// Handler returns the service mux, including the telemetry /metrics
+// endpoint.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.Handle("GET /metrics", telemetry.Handler(s.tel.Registry()))
+	return countRequests(s.httpRequests, mux)
+}
+
+// countRequests wraps the mux with the request counter.
+func countRequests(c *telemetry.Counter, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// apiError writes a JSON error body with the given status.
+func apiError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// handleSubmit implements POST /v1/jobs.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
+		apiError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	j, err := s.Submit(sp)
+	switch {
+	case err == nil:
+	case errors.Is(err, jobqueue.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		apiError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, jobqueue.ErrClosed):
+		apiError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		apiError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(j.status(false))
+}
+
+// handleStatus implements GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		apiError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(j.status(true))
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		apiError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.qjob.Cancel()
+	if j.setState(jobqueue.StateCanceled, "canceled by client") {
+		s.jobsCanceled.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(j.status(false))
+}
+
+// handleResult implements GET /v1/results/{key}.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, ok := s.cache.Peek(key)
+	if !ok {
+		apiError(w, http.StatusNotFound, fmt.Errorf("no cached result %q", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write(data)
+}
+
+// handleStream implements GET /v1/jobs/{id}/stream: NDJSON, one
+// PairResult per line as each completes, then a terminal status line
+// {"done":true,...}. The stream follows a live job and replays a
+// finished one.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		apiError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		j.mu.Lock()
+		for sent >= len(j.results) && !terminal(j.state) {
+			ch := j.notify
+			j.mu.Unlock()
+			select {
+			case <-ch:
+			case <-r.Context().Done():
+				return
+			}
+			j.mu.Lock()
+		}
+		batch := append([]PairResult(nil), j.results[sent:]...)
+		state := j.state
+		errMsg := j.errMsg
+		j.mu.Unlock()
+
+		for _, pr := range batch {
+			if err := enc.Encode(pr); err != nil {
+				return
+			}
+			sent++
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal(state) {
+			final := struct {
+				Done  bool   `json:"done"`
+				State string `json:"state"`
+				Error string `json:"error,omitempty"`
+			}{Done: true, State: state.String(), Error: errMsg}
+			_ = enc.Encode(final)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+	}
+}
