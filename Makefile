@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet ampvet analyze lint test test-short test-race bench bench-snapshot bench-core bench-check bench-server bench-server-check serve-smoke experiments experiments-paper paperscale fuzz fuzz-fault clean
+.PHONY: all build vet ampvet analyze lint test test-short test-race bench bench-snapshot bench-core bench-check bench-server bench-server-check serve-smoke chaos-smoke experiments experiments-paper paperscale fuzz fuzz-fault fuzz-wal clean
 
 all: build lint test test-race
 
@@ -92,6 +92,15 @@ serve-smoke:
 	echo "amploadgen exit=$$lg ampserve exit=$$srvexit"; \
 	if [ $$lg -ne 0 ] || [ $$srvexit -ne 0 ]; then cat "$$tmp/server.log"; exit 1; fi
 
+# Crash-safety gate: ampchaos boots ampserve under service fault
+# injection, SIGKILLs it mid-load, restarts it on the same journal and
+# cache, and requires every acknowledged job to resolve with results
+# byte-identical to a pristine fault-free run (see cmd/ampchaos).
+chaos-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/" ./cmd/ampserve ./cmd/ampchaos; \
+	"$$tmp/ampchaos" -ampserve "$$tmp/ampserve" -workdir "$$tmp/work"
+
 # Regenerate every table and figure of the paper (minutes).
 experiments:
 	$(GO) run ./cmd/ampexperiments -v
@@ -111,6 +120,11 @@ fuzz:
 # Fuzz the fault plan's determinism invariant (same seed, same faults).
 fuzz-fault:
 	$(GO) test ./internal/fault -fuzz FuzzFaultPlan -fuzztime 30s
+
+# Fuzz journal replay: arbitrary segment bytes must never panic, and
+# every record replay yields must round-trip through appendFrame.
+fuzz-wal:
+	$(GO) test ./internal/wal -fuzz FuzzReplayBody -fuzztime 30s
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,493 @@
+// Command ampchaos is the crash-safety harness for ampserve: it
+// proves that a kill -9 mid-load loses no acknowledged job and
+// corrupts no result, by actually doing it.
+//
+// Three phases, one verdict:
+//
+//  1. Chaos: start ampserve with -faultservice (injected disk errors,
+//     torn writes, stalls, panics) plus a journal and cache dir. Drive
+//     a batch of jobs to completion, record their per-pair result
+//     bytes, submit a second batch, and SIGKILL the daemon while that
+//     batch is in flight.
+//  2. Recovery: restart ampserve on the same dirs with no fault
+//     injection. Every acknowledged job must still be addressable and
+//     reach a terminal state; jobs the journal never saw finish are
+//     re-enqueued (server.jobs_recovered); every pre-kill result byte
+//     must read back identical.
+//  3. Oracle: run the same specs on a pristine server with fresh dirs
+//     and assert the recovered results are byte-identical to an
+//     execution that never saw a fault or a crash.
+//
+// Usage (see `make chaos-smoke`):
+//
+//	ampchaos -ampserve bin/ampserve [-rate 0.05] [-jobs 10] [-v]
+//
+// Exit status is non-zero on the first violated invariant.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+var (
+	ampserve = flag.String("ampserve", "bin/ampserve", "path to the ampserve binary under test")
+	workdir  = flag.String("workdir", "", "scratch directory (default: a fresh temp dir)")
+	rate     = flag.Float64("rate", 0.05, "phase-1 service fault rate")
+	jobsN    = flag.Int("jobs", 10, "total jobs across both phase-1 batches")
+	pairs    = flag.Int("pairs", 2, "pairs per batch-A job (batch B uses 2x to stay in flight)")
+	timeout  = flag.Duration("timeout", 4*time.Minute, "overall harness deadline")
+	verbose  = flag.Bool("v", false, "pass server stderr through and log each check")
+)
+
+var deadline time.Time
+
+func main() {
+	flag.Parse()
+	if *jobsN < 4 {
+		fatal(fmt.Errorf("-jobs must be >= 4 (need both a completed and an in-flight batch)"))
+	}
+	deadline = time.Now().Add(*timeout)
+
+	dir := *workdir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "ampchaos-*"); err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	journalDir := filepath.Join(dir, "journal")
+	cacheDir := filepath.Join(dir, "cache")
+
+	// ---- Phase 1: chaos ------------------------------------------------
+	logf("phase 1: chaos server (fault rate %g)", *rate)
+	p1, err := startServer(dir, "p1", journalDir, cacheDir,
+		"-faultservice", fmt.Sprint(*rate), "-faultseed", "7")
+	if err != nil {
+		fatal(err)
+	}
+	defer p1.kill()
+
+	nA := *jobsN / 2
+	type acked struct {
+		id   string
+		seed uint64
+		n    int // pairs
+	}
+	var ackedJobs []acked
+
+	for i := 0; i < nA; i++ {
+		spec := jobSpec{Pairs: *pairs, Seed: 100 + uint64(i)}
+		id, err := submit(p1.base, spec)
+		if err != nil {
+			fatal(fmt.Errorf("phase 1 submit A%d: %w", i, err))
+		}
+		ackedJobs = append(ackedJobs, acked{id, spec.Seed, spec.Pairs})
+	}
+	// Batch A runs to completion under fault injection; its result
+	// bytes are the crash-survival corpus.
+	preKill := map[string][]byte{} // pair key -> raw cached record
+	for _, a := range ackedJobs {
+		st, err := waitTerminal(p1.base, a.id)
+		if err != nil {
+			fatal(fmt.Errorf("phase 1 job %s: %w", a.id, err))
+		}
+		logf("phase 1: job %s (seed %d) %s, %d pairs", a.id, a.seed, st.State, len(st.Results))
+		for _, r := range st.Results {
+			if r.Failed || r.Key == "" {
+				continue
+			}
+			data, err := fetchResult(p1.base, r.Key)
+			if err != nil {
+				fatal(fmt.Errorf("phase 1 result %s: %w", r.Key, err))
+			}
+			preKill[r.Key] = data
+		}
+	}
+	if len(preKill) == 0 {
+		fatal(fmt.Errorf("phase 1 completed no pairs; nothing to assert over"))
+	}
+
+	// Batch B is acknowledged but (very likely) unfinished when the
+	// SIGKILL lands — the jobs recovery must not lose. Double pairs
+	// keep them in flight.
+	for i := nA; i < *jobsN; i++ {
+		spec := jobSpec{Pairs: 2 * *pairs, Seed: 200 + uint64(i)}
+		id, err := submit(p1.base, spec)
+		if err != nil {
+			fatal(fmt.Errorf("phase 1 submit B%d: %w", i, err))
+		}
+		ackedJobs = append(ackedJobs, acked{id, spec.Seed, spec.Pairs})
+	}
+	logf("phase 1: SIGKILL with %d jobs acknowledged", len(ackedJobs))
+	p1.kill()
+
+	// ---- Phase 2: recovery ---------------------------------------------
+	logf("phase 2: recovery server on the same journal and cache")
+	p2, err := startServer(dir, "p2", journalDir, cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	defer p2.kill()
+
+	recovered, err := metricValue(p2.base, "server.jobs_recovered")
+	if err != nil {
+		fatal(err)
+	}
+	logf("phase 2: server.jobs_recovered = %.0f", recovered)
+
+	postKill := map[string][]byte{}
+	seedKeys := map[uint64][]string{} // seed -> sorted pair keys of done jobs
+	requeuedDone := 0
+	for _, a := range ackedJobs {
+		st, err := waitTerminal(p2.base, a.id)
+		if err != nil {
+			fatal(fmt.Errorf("phase 2: acknowledged job %s lost: %w", a.id, err))
+		}
+		if !terminalState(st.State) {
+			fatal(fmt.Errorf("phase 2: job %s stuck in %q", a.id, st.State))
+		}
+		if st.State == "done" && len(st.Results) > 0 {
+			requeuedDone++
+			var keys []string
+			for _, r := range st.Results {
+				if r.Failed || r.Key == "" {
+					continue
+				}
+				data, err := fetchResult(p2.base, r.Key)
+				if err != nil {
+					fatal(fmt.Errorf("phase 2 result %s: %w", r.Key, err))
+				}
+				postKill[r.Key] = data
+				keys = append(keys, r.Key)
+			}
+			sort.Strings(keys)
+			seedKeys[a.seed] = keys
+		}
+		logf("phase 2: job %s %s (recovered=%v)", a.id, st.State, st.Recovered)
+	}
+	if recovered < 1 && requeuedDone <= nA {
+		// Only fatal when nothing from batch B was actually re-run —
+		// i.e. recovery truly did nothing despite in-flight work.
+		fatal(fmt.Errorf("phase 2: no job was recovered from the journal"))
+	}
+
+	// Every pre-kill byte must survive the crash unchanged.
+	for key, want := range preKill {
+		data, err := fetchResult(p2.base, key)
+		if err != nil {
+			fatal(fmt.Errorf("phase 2: pre-kill result %s unreadable after crash: %w", key, err))
+		}
+		if !bytes.Equal(data, want) {
+			fatal(fmt.Errorf("phase 2: result %s changed across the crash", key))
+		}
+	}
+	logf("phase 2: all %d pre-kill results byte-identical", len(preKill))
+	if err := p2.stop(); err != nil {
+		fatal(fmt.Errorf("phase 2 graceful stop: %w", err))
+	}
+
+	// ---- Phase 3: oracle -----------------------------------------------
+	logf("phase 3: pristine server, fresh dirs, same specs")
+	p3, err := startServer(dir, "p3",
+		filepath.Join(dir, "journal3"), filepath.Join(dir, "cache3"))
+	if err != nil {
+		fatal(err)
+	}
+	defer p3.kill()
+
+	checked := 0
+	for _, a := range ackedJobs {
+		if _, ok := seedKeys[a.seed]; !ok {
+			continue // job ended failed/canceled in phase 2; no oracle to compare
+		}
+		id, err := submit(p3.base, jobSpec{Pairs: a.n, Seed: a.seed})
+		if err != nil {
+			fatal(fmt.Errorf("phase 3 submit seed %d: %w", a.seed, err))
+		}
+		st, err := waitTerminal(p3.base, id)
+		if err != nil || st.State != "done" {
+			fatal(fmt.Errorf("phase 3 job seed %d: state %q, err %v", a.seed, st.State, err))
+		}
+		var keys []string
+		for _, r := range st.Results {
+			if r.Key == "" {
+				continue
+			}
+			data, err := fetchResult(p3.base, r.Key)
+			if err != nil {
+				fatal(fmt.Errorf("phase 3 result %s: %w", r.Key, err))
+			}
+			if got, ok := postKill[r.Key]; ok {
+				if !bytes.Equal(got, data) {
+					fatal(fmt.Errorf("phase 3: result %s differs between recovered and pristine runs", r.Key))
+				}
+				checked++
+			}
+			keys = append(keys, r.Key)
+		}
+		sort.Strings(keys)
+		if want := seedKeys[a.seed]; !equalStrings(keys, want) {
+			fatal(fmt.Errorf("phase 3: seed %d produced keys %v, recovered run had %v", a.seed, keys, want))
+		}
+	}
+	if checked == 0 {
+		fatal(fmt.Errorf("phase 3 compared no results"))
+	}
+	if err := p3.stop(); err != nil {
+		fatal(fmt.Errorf("phase 3 graceful stop: %w", err))
+	}
+
+	fmt.Printf("chaos-smoke PASS: %d jobs acknowledged, %.0f recovered, %d pre-kill results intact, %d pairs oracle-verified\n",
+		len(ackedJobs), recovered, len(preKill), checked)
+}
+
+// ---- server process management -----------------------------------------
+
+type proc struct {
+	cmd    *exec.Cmd
+	base   string
+	exited chan struct{}
+	werr   error
+}
+
+// startServer launches ampserve on a free port with small, fast
+// simulation parameters and waits until it answers /healthz.
+func startServer(dir, name, journalDir, cacheDir string, extra ...string) (*proc, error) {
+	addrFile := filepath.Join(dir, name+".addr")
+	_ = os.Remove(addrFile)
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-addrfile", addrFile,
+		"-journaldir", journalDir, "-cachedir", cacheDir,
+		"-flushevery", "100ms",
+		"-limit", "40000", "-contextswitch", "10000",
+		"-profilelimit", "30000", "-fidelity", "interval",
+		"-workers", "4",
+	}, extra...)
+	cmd := exec.Command(*ampserve, args...)
+	if *verbose {
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	} else {
+		cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting %s: %w", name, err)
+	}
+	p := &proc{cmd: cmd, exited: make(chan struct{})}
+	go func() {
+		p.werr = cmd.Wait()
+		close(p.exited)
+	}()
+	for {
+		if time.Now().After(deadline) {
+			p.kill()
+			return nil, fmt.Errorf("%s: server never became healthy", name)
+		}
+		select {
+		case <-p.exited:
+			return nil, fmt.Errorf("%s: server exited before becoming healthy: %v", name, p.werr)
+		default:
+		}
+		if addr, err := os.ReadFile(addrFile); err == nil && len(addr) > 0 {
+			p.base = "http://" + string(bytes.TrimSpace(addr))
+			if resp, err := http.Get(p.base + "/healthz"); err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return p, nil
+				}
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill is the chaos primitive: SIGKILL, no drain, no flush. Idempotent
+// so it doubles as cleanup.
+func (p *proc) kill() {
+	select {
+	case <-p.exited:
+		return
+	default:
+	}
+	_ = p.cmd.Process.Kill()
+	<-p.exited
+}
+
+// stop drains gracefully via SIGTERM and requires a clean exit.
+func (p *proc) stop() error {
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case <-p.exited:
+	case <-time.After(time.Until(deadline)):
+		p.kill()
+		return fmt.Errorf("server did not drain before the harness deadline")
+	}
+	if p.werr != nil {
+		return fmt.Errorf("unclean exit: %w", p.werr)
+	}
+	return nil
+}
+
+// ---- HTTP client helpers ------------------------------------------------
+
+type jobSpec struct {
+	Pairs int    `json:"pairs"`
+	Seed  uint64 `json:"seed,omitempty"`
+}
+
+type pairResult struct {
+	Key    string `json:"key"`
+	Failed bool   `json:"failed,omitempty"`
+}
+
+type jobStatus struct {
+	ID        string       `json:"id"`
+	State     string       `json:"state"`
+	Recovered bool         `json:"recovered,omitempty"`
+	Results   []pairResult `json:"results,omitempty"`
+}
+
+func terminalState(s string) bool { return s == "done" || s == "failed" || s == "canceled" }
+
+// submit POSTs one job, retrying overload pushback (429/503) with the
+// server's Retry-After hint, and returns the acknowledged id.
+func submit(base string, spec jobSpec) (string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	for {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable {
+			resp.Body.Close()
+			if time.Now().After(deadline) {
+				return "", fmt.Errorf("submit timed out on backpressure")
+			}
+			time.Sleep(retryAfter(resp))
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			resp.Body.Close()
+			return "", fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+		}
+		var st jobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		return st.ID, nil
+	}
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 && secs <= 5 {
+		return time.Duration(secs) * time.Second
+	}
+	return 50 * time.Millisecond
+}
+
+// waitTerminal polls a job until it reaches a terminal state.
+func waitTerminal(base, id string) (jobStatus, error) {
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return jobStatus{}, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return jobStatus{}, fmt.Errorf("status: HTTP %d", resp.StatusCode)
+		}
+		var st jobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return jobStatus{}, err
+		}
+		if terminalState(st.State) {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s still %s at harness deadline", id, st.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// fetchResult reads one content-addressed pair record's raw bytes.
+func fetchResult(base, key string) ([]byte, error) {
+	resp, err := http.Get(base + "/v1/results/" + key)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("result %s: HTTP %d", key, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// metricValue reads one counter/gauge from /metrics.
+func metricValue(base, name string) (float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Metrics []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0, err
+	}
+	for _, m := range snap.Metrics {
+		if m.Name == name {
+			return m.Value, nil
+		}
+	}
+	return 0, nil // absent = never incremented
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ampchaos: "+format+"\n", args...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ampchaos: FAIL:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,11 @@
 // first interrupt (Ctrl-C) cancels the in-flight sweep cleanly —
 // partial pairs are flagged, sinks are flushed — and a second one
 // kills the process.
+//
+// Crash safety: -checkpointdir snapshots main-sweep progress every
+// -checkpointevery completed pairs (CRC-framed, atomically written),
+// so a killed or interrupted run re-invoked with the same options
+// resumes from its last snapshot instead of pair zero.
 package main
 
 import (
@@ -45,6 +50,8 @@ func main() {
 		faultSeed    = flag.Uint64("faultseed", 1, "fault-plan seed (deterministic with -seed and -faultrate)")
 		budget       = flag.Uint64("cyclebudget", 0, "per-run cycle budget; an exhausted run is reported wedged (0 = off)")
 		verbose      = flag.Bool("v", false, "print progress lines to stderr")
+		ckptDir      = flag.String("checkpointdir", "", "snapshot sweep progress to this directory and resume interrupted sweeps from it")
+		ckptEvery    = flag.Int("checkpointevery", 0, "checkpoint save cadence in completed pairs (0 = 8)")
 		telemetryOut = flag.String("telemetry", "", "write a JSONL event stream plus a final metrics summary to this file")
 		telemetryCSV = flag.String("telemetrycsv", "", "write a CSV metrics summary to this file")
 		httpAddr     = flag.String("http", "", "serve /metrics and /debug/pprof on this address while experiments run")
@@ -89,6 +96,10 @@ func main() {
 	}
 	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  ..", s) }
+	}
+	if *ckptDir != "" {
+		r.Checkpoint = experiments.NewDirCheckpointer(*ckptDir)
+		r.CheckpointEvery = *ckptEvery
 	}
 
 	var sinks []telemetry.Sink

@@ -10,6 +10,12 @@
 //
 // It doubles as the service's end-to-end smoke test (`make
 // serve-smoke`): the exit status is non-zero when no job completes.
+//
+// Overload protection is backpressure, not failure: a 429 (load shed)
+// or 503 (circuit breaker open) is retried after the server's
+// Retry-After hint. -report-shed appends a summary of how often the
+// server pushed back and how long the loop honored its hints — the
+// observable half of the admission-control contract.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +48,15 @@ type jobStatus struct {
 	Error     string `json:"error,omitempty"`
 }
 
+// shedStats counts the server's overload pushback.
+type shedStats struct {
+	shed     atomic.Int64 // HTTP 429: cost-based load shedding
+	breaker  atomic.Int64 // HTTP 503: circuit breaker open
+	waitNano atomic.Int64 // total backoff honored before resubmitting
+}
+
+func (s *shedStats) rejections() int64 { return s.shed.Load() + s.breaker.Load() }
+
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8080", "ampserve address (host:port)")
@@ -52,6 +68,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1000, "first spec seed; spec i uses seed+i%distinct")
 		fidelity    = flag.String("fidelity", "", "per-job fidelity override (inherit server default when empty)")
 		timeout     = flag.Duration("timeout", 2*time.Minute, "per-job completion timeout")
+		reportShed  = flag.Bool("report-shed", false, "report load-shed/breaker rejections and honored backoff")
 		verbose     = flag.Bool("v", false, "log each job outcome to stderr")
 	)
 	flag.Parse()
@@ -67,9 +84,9 @@ func main() {
 		submitted atomic.Int64
 		completed atomic.Int64
 		failed    atomic.Int64
-		rejected  atomic.Int64
 		pairsDone atomic.Int64
 		cacheHits atomic.Int64
+		shed      shedStats
 
 		latMu     sync.Mutex
 		latencies []time.Duration
@@ -101,7 +118,7 @@ func main() {
 				t0 := time.Now()
 				st, err := runJob(base, jobSpec{
 					Pairs: *pairs, Seed: jobSeed, Fidelity: *fidelity,
-				}, *timeout, &rejected)
+				}, *timeout, &shed)
 				if err != nil {
 					failed.Add(1)
 					fmt.Fprintln(os.Stderr, "amploadgen:", err)
@@ -130,7 +147,7 @@ func main() {
 
 	done := completed.Load()
 	fmt.Printf("jobs:       %d completed, %d failed, %d rejections retried\n",
-		done, failed.Load(), rejected.Load())
+		done, failed.Load(), shed.rejections())
 	fmt.Printf("pairs:      %d served, %d from cache (%.0f%% hit ratio)\n",
 		pairsDone.Load(), cacheHits.Load(), 100*ratio(cacheHits.Load(), pairsDone.Load()))
 	fmt.Printf("throughput: %.2f jobs/s over %v at concurrency %d\n",
@@ -140,15 +157,35 @@ func main() {
 		fmt.Printf("latency:    p50 %v  p90 %v  p99 %v\n",
 			pct(latencies, 50), pct(latencies, 90), pct(latencies, 99))
 	}
+	if *reportShed {
+		fmt.Printf("shed:       %d load-shed (429), %d breaker-refused (503), %v backoff honored\n",
+			shed.shed.Load(), shed.breaker.Load(),
+			time.Duration(shed.waitNano.Load()).Round(time.Millisecond))
+	}
 	if done == 0 {
 		fatal(fmt.Errorf("no job completed"))
 	}
 }
 
-// runJob submits one job and polls it to a terminal state. A full
-// queue (429) is backpressure, not failure: the closed loop waits and
-// resubmits.
-func runJob(base string, spec jobSpec, timeout time.Duration, rejected *atomic.Int64) (jobStatus, error) {
+// retryAfter extracts the server's backoff hint, clamped to keep a
+// misconfigured server from stalling the loop; fallback is the old
+// fixed 50ms poll.
+func retryAfter(resp *http.Response, fallback, max time.Duration) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return fallback
+	}
+	d := time.Duration(secs) * time.Second
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// runJob submits one job and polls it to a terminal state. A 429
+// (shed) or 503 (breaker) is backpressure, not failure: the closed
+// loop honors Retry-After and resubmits.
+func runJob(base string, spec jobSpec, timeout time.Duration, shed *shedStats) (jobStatus, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return jobStatus{}, err
@@ -160,13 +197,20 @@ func runJob(base string, spec jobSpec, timeout time.Duration, rejected *atomic.I
 		if err != nil {
 			return jobStatus{}, fmt.Errorf("submitting job: %w", err)
 		}
-		if resp.StatusCode == http.StatusTooManyRequests {
+		if resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable {
+			wait := retryAfter(resp, 50*time.Millisecond, 5*time.Second)
 			resp.Body.Close()
-			rejected.Add(1)
+			if resp.StatusCode == http.StatusTooManyRequests {
+				shed.shed.Add(1)
+			} else {
+				shed.breaker.Add(1)
+			}
 			if !time.Now().Before(deadline) {
 				return jobStatus{}, fmt.Errorf("submit timed out on backpressure")
 			}
-			time.Sleep(50 * time.Millisecond)
+			shed.waitNano.Add(int64(wait))
+			time.Sleep(wait)
 			continue
 		}
 		if resp.StatusCode != http.StatusAccepted {

@@ -14,6 +14,14 @@
 // With -addr :0 the kernel picks a free port; -addrfile writes the
 // bound address to a file once the listener is up, so scripts (and
 // `make serve-smoke`) can wait for readiness without racing.
+//
+// Crash safety: -journaldir journals every job's lifecycle to a
+// CRC-framed write-ahead log; on restart the journal is replayed and
+// acknowledged-but-unfinished jobs are re-enqueued (their completed
+// pairs return from the -cachedir result cache, so recovery repeats
+// no work already persisted). -maxcost and the -breaker* flags bound
+// the backlog under overload, and -faultservice turns the daemon into
+// its own chaos subject for `make chaos-smoke`.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"time"
 
 	"ampsched/internal/experiments"
+	"ampsched/internal/fault"
 	"ampsched/internal/jobqueue"
 	"ampsched/internal/server"
 	"ampsched/internal/telemetry"
@@ -43,6 +52,14 @@ func main() {
 		maxPairs     = flag.Int("maxpairs", 0, "per-job pair limit (0 = 400)")
 		cacheBytes   = flag.Int64("cachebytes", 0, "result cache byte budget (0 = 64 MiB)")
 		cacheDir     = flag.String("cachedir", "", "persist the result cache to this directory")
+		journalDir   = flag.String("journaldir", "", "journal job lifecycle to this directory and replay it on startup")
+		flushEvery   = flag.Duration("flushevery", 0, "background cache/journal flush cadence (0 = only on drain)")
+		maxCost      = flag.Float64("maxcost", 0, "shed submissions past this backlog cost in weighted pairs (0 = no shedding)")
+		breakerWin   = flag.Int("breakerwindow", 0, "per-fidelity breaker outcome window (0 = 20, negative disables)")
+		breakerTrip  = flag.Float64("breakertrip", 0, "wedge fraction over a full window that trips the breaker (0 = 0.5)")
+		breakerCool  = flag.Duration("breakercooldown", 0, "tripped-breaker refusal period before a half-open probe (0 = 5s)")
+		faultRate    = flag.Float64("faultservice", 0, "chaos: inject service faults (disk errors, torn writes, stalls, panics) at this uniform rate")
+		faultSeed    = flag.Uint64("faultseed", 1, "chaos: service fault-plan seed")
 		fidelity     = flag.String("fidelity", "", "default simulation engine: detailed | interval | sampled")
 		limit        = flag.Uint64("limit", 0, "default per-run instruction limit")
 		profileLimit = flag.Uint64("profilelimit", 0, "default profiling-pass instruction limit")
@@ -85,12 +102,32 @@ func main() {
 	}
 	tel := telemetry.New(sinks...)
 
+	var chaos *fault.ServicePlan
+	if *faultRate > 0 {
+		plan, err := fault.NewService(fault.UniformService(*faultRate, *faultSeed))
+		if err != nil {
+			fatal(err)
+		}
+		chaos = plan
+		fmt.Fprintf(os.Stderr, "ampserve: CHAOS MODE: injecting service faults at rate %g (seed %d)\n",
+			*faultRate, *faultSeed)
+	}
+
 	srv, err := server.New(server.Config{
 		BaseOptions:    opt,
 		MaxPairsPerJob: *maxPairs,
 		Queue:          jobqueue.Config{Workers: *workers, Capacity: *queueCap},
 		Cache:          server.CacheConfig{ByteBudget: *cacheBytes, Dir: *cacheDir},
-		Telemetry:      tel,
+		JournalDir:     *journalDir,
+		FlushEvery:     *flushEvery,
+		Admission: server.AdmissionConfig{
+			MaxPendingCost:  *maxCost,
+			BreakerWindow:   *breakerWin,
+			BreakerTripRate: *breakerTrip,
+			BreakerCooldown: *breakerCool,
+		},
+		Chaos:     chaos,
+		Telemetry: tel,
 	})
 	if err != nil {
 		fatal(err)
@@ -102,6 +139,21 @@ func main() {
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "ampserve: cache warm with %d entries (%d bytes)\n",
 				srv.Cache().Len(), srv.Cache().Bytes())
+		}
+	}
+	if *journalDir != "" {
+		// Recovery runs after the cache load so re-run jobs hit it, and
+		// before the listener binds so clients never observe a
+		// half-recovered job table.
+		rs, err := srv.Recover()
+		if err != nil {
+			fatal(err)
+		}
+		if rs.Jobs > 0 || rs.Replay.Degraded() {
+			fmt.Fprintf(os.Stderr,
+				"ampserve: journal replay: %d jobs (%d requeued, %d already terminal); %d records, %d dropped, %d segments quarantined\n",
+				rs.Jobs, rs.Requeued, rs.Terminal,
+				rs.Replay.Records, rs.Replay.RecordsDropped, rs.Replay.SegmentsQuarantined)
 		}
 	}
 

@@ -20,6 +20,10 @@ func TestDeterminismServiceScope(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "determinism/internal/jobqueue")
 }
 
+func TestDeterminismWALScope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "determinism/internal/wal")
+}
+
 func TestDeterminismOutOfScope(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "determinism/outofscope")
 }

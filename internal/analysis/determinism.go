@@ -20,6 +20,7 @@ var simCoreSuffixes = []string{
 	"internal/experiments",
 	"internal/jobqueue",
 	"internal/server",
+	"internal/wal",
 }
 
 // bannedTimeFuncs are the wall-clock entry points of package time.

@@ -19,7 +19,10 @@ import (
 //	the service layer: jobqueue Submit/TrySubmit/Drain, server
 //	Submit/Drain and cache Save/Load, and http.Server.Shutdown
 //	(a dropped error loses jobs, strands a drain, or forgets
-//	computed sweeps).
+//	computed sweeps),
+//	the durability layer: wal Log Append/Sync/Close, server
+//	Recover, and experiments DirCheckpointer Save/Load (a dropped
+//	error here silently voids the crash-safety contract).
 //
 // A call is flagged when its error result is discarded: the call used
 // as a bare statement, deferred, launched with go, or assigned to the
@@ -62,6 +65,15 @@ var checkedAPIs = []checkedAPI{
 	{"internal/server", "Server", "Drain"},
 	{"internal/server", "Cache", "Save"},
 	{"internal/server", "Cache", "Load"},
+	// Durability layer: a dropped error here breaks the crash-safety
+	// contract — an unjournaled ack, an unsynced frame, or a silently
+	// failed checkpoint all lose acknowledged work on the next crash.
+	{"internal/server", "Server", "Recover"},
+	{"internal/wal", "Log", "Append"},
+	{"internal/wal", "Log", "Sync"},
+	{"internal/wal", "Log", "Close"},
+	{"internal/experiments", "DirCheckpointer", "Save"},
+	{"internal/experiments", "DirCheckpointer", "Load"},
 }
 
 func runObsErrCheck(pass *Pass) error {

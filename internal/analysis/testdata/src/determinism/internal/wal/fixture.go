@@ -1,0 +1,29 @@
+// Package wal is a determinism fixture: its import path ends in
+// internal/wal, so the durable journal is held to the same
+// no-wall-clock rules as the simulation core — replay of the same
+// segment bytes must fold to the same state on every run.
+package wal
+
+import "time"
+
+// Frame timestamps a record with the wall clock without an audited
+// allow; journal records must be ordered by sequence, not by time.
+func Frame() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// Allowed documents the audited exception for durability telemetry.
+func Allowed() time.Duration {
+	start := time.Now() //ampvet:allow determinism fsync latency telemetry never feeds replay state
+	_ = start
+	return 0
+}
+
+// Fold observes map iteration order while folding recovered records.
+func Fold(records map[string]int) int {
+	n := 0
+	for _, v := range records { // want `map iteration order is randomized`
+		n += v
+	}
+	return n
+}

@@ -7,9 +7,11 @@ import (
 	"net/http"
 
 	"obserrcheck/internal/amp"
+	"obserrcheck/internal/experiments"
 	"obserrcheck/internal/jobqueue"
 	"obserrcheck/internal/server"
 	"obserrcheck/internal/telemetry"
+	"obserrcheck/internal/wal"
 )
 
 // Leak drops every error.
@@ -32,6 +34,34 @@ func LeakService(ctx context.Context, q *jobqueue.Queue, s *server.Server, c *se
 	c.Save()                   // want `error from Cache\.Save discarded`
 	c.Load()                   // want `error from Cache\.Load discarded`
 	go hs.Shutdown(ctx)        // want `go Server\.Shutdown discards its error`
+}
+
+// LeakDurability drops errors across the crash-safety layer.
+func LeakDurability(l *wal.Log, s *server.Server, d *experiments.DirCheckpointer) {
+	l.Append(wal.Record{})                      // want `error from Log\.Append discarded`
+	l.Sync()                                    // want `error from Log\.Sync discarded`
+	defer l.Close()                             // want `deferred Log\.Close discards its error`
+	s.Recover()                                 // want `error from Server\.Recover discarded`
+	d.Save("k", &experiments.SweepCheckpoint{}) // want `error from DirCheckpointer\.Save discarded`
+	snap, _ := d.Load("k")                      // want `error from DirCheckpointer\.Load assigned to blank identifier`
+	_ = snap
+}
+
+// HandledDurability checks every durability error: nothing to flag.
+func HandledDurability(l *wal.Log, s *server.Server, d *experiments.DirCheckpointer) error {
+	if err := l.Append(wal.Record{}); err != nil {
+		return err
+	}
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	if _, err := s.Recover(); err != nil {
+		return err
+	}
+	if _, err := d.Load("k"); err != nil {
+		return err
+	}
+	return l.Close()
 }
 
 // HandledService checks every service-layer error: nothing to flag.

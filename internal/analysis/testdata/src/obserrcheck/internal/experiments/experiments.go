@@ -1,0 +1,15 @@
+// Package experiments mirrors the checkpoint surface of the real
+// experiments package for the obserrcheck fixture.
+package experiments
+
+// SweepCheckpoint is a minimal stand-in.
+type SweepCheckpoint struct{}
+
+// DirCheckpointer mirrors the sweep checkpoint store's API.
+type DirCheckpointer struct{}
+
+// Save mirrors the snapshot-persistence error result.
+func (d *DirCheckpointer) Save(key string, snap *SweepCheckpoint) error { return nil }
+
+// Load mirrors the snapshot-restore (snapshot, error) shape.
+func (d *DirCheckpointer) Load(key string) (*SweepCheckpoint, error) { return nil, nil }

@@ -16,6 +16,12 @@ func (s *Server) Submit(sp JobSpec) (*JobSpec, error) { return &sp, nil }
 // Drain mirrors the graceful-shutdown error result.
 func (s *Server) Drain(ctx context.Context) error { return nil }
 
+// RecoveryStats is a minimal stand-in.
+type RecoveryStats struct{}
+
+// Recover mirrors journal replay's (stats, error) shape.
+func (s *Server) Recover() (RecoveryStats, error) { return RecoveryStats{}, nil }
+
 // Cache mirrors the result cache's persistence API.
 type Cache struct{}
 

@@ -1,0 +1,18 @@
+// Package wal mirrors the durable journal's must-check surface for
+// the obserrcheck fixture.
+package wal
+
+// Record is a minimal stand-in.
+type Record struct{}
+
+// Log mirrors the append-only journal's API.
+type Log struct{}
+
+// Append mirrors the framed-write error result.
+func (l *Log) Append(rec Record) error { return nil }
+
+// Sync mirrors the fsync error result.
+func (l *Log) Sync() error { return nil }
+
+// Close mirrors the final-flush error result.
+func (l *Log) Close() error { return nil }

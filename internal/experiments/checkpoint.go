@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Sweep checkpointing. A paper-scale sweep is hours of CPU time; a
+// crash (or a chaos-harness kill -9) without checkpoints restarts it
+// from pair zero. A Runner given a Checkpointer snapshots completed
+// pair outcomes every CheckpointEvery completions, keyed by a content
+// hash of the options that determine the results — so a restarted
+// sweep resumes exactly where it stopped, and a sweep whose options
+// changed in any result-affecting way ignores stale snapshots
+// entirely.
+//
+// The snapshot protocol mirrors the repo's other durability layers:
+// CRC-framed payloads, tmp+rename atomic writes, and quarantine (a
+// corrupt checkpoint is renamed *.corrupt and treated as absent, never
+// as an error that blocks the sweep).
+
+// Checkpointer persists sweep snapshots. Implementations must be safe
+// for concurrent Save calls with distinct keys; the Runner serializes
+// calls for one key.
+type Checkpointer interface {
+	// Save durably replaces the snapshot for key.
+	Save(key string, snap *SweepCheckpoint) error
+	// Load returns the snapshot for key, or (nil, nil) when no intact
+	// snapshot exists — absence and quarantined corruption look alike.
+	Load(key string) (*SweepCheckpoint, error)
+}
+
+// CheckpointOutcome is one completed pair in a snapshot. The pair
+// label guards against workload-set drift: an outcome only resumes
+// onto an index whose pair still carries the same label.
+type CheckpointOutcome struct {
+	Index   int         `json:"index"`
+	Label   string      `json:"label"`
+	Outcome PairOutcome `json:"outcome"`
+}
+
+// SweepCheckpoint is a partial (or complete) sweep snapshot.
+type SweepCheckpoint struct {
+	Seed       uint64              `json:"seed"`
+	Pairs      int                 `json:"pairs"`
+	InstrLimit uint64              `json:"instr_limit"`
+	Fidelity   string              `json:"fidelity"`
+	Outcomes   []CheckpointOutcome `json:"outcomes"`
+}
+
+// matches reports whether the snapshot belongs to opt's result space.
+// The checkpoint key already encodes the full options; this is a
+// second, cheap guard against key collisions and hand-edited files.
+func (s *SweepCheckpoint) matches(opt Options) bool {
+	return s.Seed == opt.Seed && s.Pairs == opt.Pairs &&
+		s.InstrLimit == opt.InstrLimit && s.Fidelity == opt.Fidelity
+}
+
+// CheckpointKey content-addresses an option set: every field that can
+// change simulated results is in Options, so its canonical JSON hash
+// identifies the sweep the same way the server's KeySpec identifies a
+// pair.
+func CheckpointKey(opt Options) string {
+	b, err := json.Marshal(opt)
+	if err != nil {
+		// Options is a plain struct; Marshal cannot fail on it.
+		panic(fmt.Sprintf("experiments: marshaling options: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+var ckptCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checkpointFile is the on-disk wrapper: payload plus its CRC, so a
+// torn write from a crash mid-save is detected on load.
+type checkpointFile struct {
+	CRC     uint32          `json:"crc32c"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// DirCheckpointer stores one "<key>.ckpt.json" per sweep in a
+// directory, written atomically (tmp+rename) and CRC-verified on
+// load. Corrupt files are quarantined as "<name>.corrupt".
+type DirCheckpointer struct {
+	// Dir is the checkpoint directory (created on first Save).
+	Dir string
+	// WriteFile overrides the write primitive (nil = os.WriteFile) —
+	// the chaos harness's disk-fault seam.
+	WriteFile func(name string, data []byte, perm os.FileMode) error
+}
+
+// NewDirCheckpointer builds a checkpointer over dir.
+func NewDirCheckpointer(dir string) *DirCheckpointer {
+	return &DirCheckpointer{Dir: dir}
+}
+
+func (d *DirCheckpointer) path(key string) string {
+	return filepath.Join(d.Dir, key+".ckpt.json")
+}
+
+// Save implements Checkpointer.
+func (d *DirCheckpointer) Save(key string, snap *SweepCheckpoint) error {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("experiments: marshaling checkpoint: %w", err)
+	}
+	data, err := json.Marshal(checkpointFile{
+		CRC:     crc32.Checksum(payload, ckptCRCTable),
+		Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("experiments: framing checkpoint: %w", err)
+	}
+	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: checkpoint dir: %w", err)
+	}
+	write := d.WriteFile
+	if write == nil {
+		write = os.WriteFile
+	}
+	path := d.path(key)
+	tmp := path + ".tmp"
+	if err := write(tmp, data, 0o644); err != nil {
+		os.Remove(tmp) // a torn tmp file must never linger
+		return fmt.Errorf("experiments: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("experiments: promoting checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load implements Checkpointer. Unreadable, unparsable or CRC-failing
+// files are quarantined and reported as absent: a damaged checkpoint
+// costs the resume, never the sweep.
+func (d *DirCheckpointer) Load(key string) (*SweepCheckpoint, error) {
+	path := d.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		d.quarantine(path)
+		return nil, nil
+	}
+	var file checkpointFile
+	if json.Unmarshal(data, &file) != nil ||
+		crc32.Checksum(file.Payload, ckptCRCTable) != file.CRC {
+		d.quarantine(path)
+		return nil, nil
+	}
+	var snap SweepCheckpoint
+	if json.Unmarshal(file.Payload, &snap) != nil {
+		d.quarantine(path)
+		return nil, nil
+	}
+	return &snap, nil
+}
+
+func (d *DirCheckpointer) quarantine(path string) {
+	_ = os.Rename(path, path+".corrupt")
+}
+
+// defaultCheckpointEvery is the save cadence (in completed pairs) when
+// Runner.CheckpointEvery is zero.
+const defaultCheckpointEvery = 8
+
+// ckptState carries one sweep's checkpoint bookkeeping. A nil receiver
+// (checkpointing disabled) is valid for every method, so SweepContext
+// stays unconditional.
+type ckptState struct {
+	r     *Runner
+	key   string
+	pairs []Pair
+	out   *SweepResult
+
+	mu        sync.Mutex
+	done      []bool
+	sinceSave int
+	every     int
+}
+
+// newCkptState loads any prior snapshot for the runner's options and
+// restores its outcomes into out. It reports how the sweep resumes via
+// the progress hook and the "experiments.checkpoint_resumes" counter.
+func (r *Runner) newCkptState(pairs []Pair, out *SweepResult) *ckptState {
+	if r.Checkpoint == nil {
+		return nil
+	}
+	c := &ckptState{
+		r:     r,
+		key:   CheckpointKey(r.Opt),
+		pairs: pairs,
+		out:   out,
+		done:  make([]bool, len(pairs)),
+		every: r.CheckpointEvery,
+	}
+	if c.every <= 0 {
+		c.every = defaultCheckpointEvery
+	}
+	snap, err := r.Checkpoint.Load(c.key)
+	if err != nil {
+		r.progress("checkpoint load failed (starting fresh): %v", err)
+		return c
+	}
+	if snap == nil || !snap.matches(r.Opt) {
+		return c
+	}
+	restored := 0
+	for _, co := range snap.Outcomes {
+		i := co.Index
+		if i < 0 || i >= len(pairs) || c.done[i] || co.Outcome.Failed {
+			continue
+		}
+		if co.Label != pairs[i].Label() {
+			// Workload-set drift: the snapshot's pair i is no longer
+			// our pair i. Recompute rather than mislabel.
+			continue
+		}
+		out.Outcomes[i] = co.Outcome
+		out.Outcomes[i].Pair = pairs[i]
+		c.done[i] = true
+		restored++
+	}
+	if restored > 0 {
+		if r.Telemetry != nil {
+			r.Telemetry.Counter("experiments.checkpoint_resumes").Add(uint64(restored))
+		}
+		r.progress("resumed %d/%d pairs from checkpoint %s", restored, len(pairs), c.key)
+	}
+	return c
+}
+
+// restored reports whether pair i was revived from the snapshot and
+// must not be recomputed.
+func (c *ckptState) restored(i int) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done[i]
+}
+
+// complete records a freshly computed pair and saves a snapshot every
+// `every` completions. Degraded outcomes are tracked but never saved,
+// so a resume retries them.
+func (c *ckptState) complete(i int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[i] = true
+	c.sinceSave++
+	if c.sinceSave >= c.every {
+		c.saveLocked()
+	}
+}
+
+// flush persists any completions since the last cadenced save — the
+// end-of-sweep (or cancellation) final snapshot.
+func (c *ckptState) flush() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sinceSave > 0 {
+		c.saveLocked()
+	}
+}
+
+// saveLocked snapshots every completed, non-degraded outcome. Save
+// failures degrade the resume, never the sweep. The Pair field is
+// zeroed in the copy: the snapshot re-derives pairs from (Seed, Pairs)
+// on load, and the label guards identity.
+func (c *ckptState) saveLocked() {
+	snap := &SweepCheckpoint{
+		Seed:       c.r.Opt.Seed,
+		Pairs:      c.r.Opt.Pairs,
+		InstrLimit: c.r.Opt.InstrLimit,
+		Fidelity:   c.r.Opt.Fidelity,
+	}
+	for i, ok := range c.done {
+		if !ok || c.out.Outcomes[i].Failed {
+			continue
+		}
+		oc := c.out.Outcomes[i]
+		oc.Pair = Pair{}
+		snap.Outcomes = append(snap.Outcomes, CheckpointOutcome{
+			Index:   i,
+			Label:   c.pairs[i].Label(),
+			Outcome: oc,
+		})
+	}
+	if err := c.r.Checkpoint.Save(c.key, snap); err != nil {
+		c.r.progress("checkpoint save failed: %v", err)
+		return
+	}
+	c.sinceSave = 0
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"ampsched/internal/telemetry"
+)
+
+func TestCheckpointKeyStableAndOptionSensitive(t *testing.T) {
+	a, b := tinyOptions(), tinyOptions()
+	if CheckpointKey(a) != CheckpointKey(b) {
+		t.Fatal("identical options hashed differently")
+	}
+	b.Seed++
+	if CheckpointKey(a) == CheckpointKey(b) {
+		t.Fatal("seed change did not change the checkpoint key")
+	}
+}
+
+func TestDirCheckpointerRoundTrip(t *testing.T) {
+	d := NewDirCheckpointer(t.TempDir())
+	if snap, err := d.Load("absent"); err != nil || snap != nil {
+		t.Fatalf("Load(absent) = %v, %v; want nil, nil", snap, err)
+	}
+	in := &SweepCheckpoint{
+		Seed: 11, Pairs: 3, InstrLimit: 200_000, Fidelity: "interval",
+		Outcomes: []CheckpointOutcome{{Index: 1, Label: "gcc|swim"}},
+	}
+	if err := d.Save("k1", in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Load("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || out.Seed != 11 || len(out.Outcomes) != 1 ||
+		out.Outcomes[0].Label != "gcc|swim" {
+		t.Fatalf("round trip mangled snapshot: %+v", out)
+	}
+	// Save replaces, not appends.
+	in.Outcomes = nil
+	if err := d.Save("k1", in); err != nil {
+		t.Fatal(err)
+	}
+	if out, _ = d.Load("k1"); len(out.Outcomes) != 0 {
+		t.Fatalf("second Save did not replace: %+v", out)
+	}
+}
+
+func TestDirCheckpointerQuarantinesCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDirCheckpointer(dir)
+	if err := d.Save("k", &SweepCheckpoint{Seed: 1, Pairs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	path := d.path("k")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte: the JSON stays parsable, the CRC does not match.
+	corrupted := []byte(strings.Replace(string(data), `"seed":1`, `"seed":7`, 1))
+	if string(corrupted) == string(data) {
+		t.Fatal("corruption edit did not apply")
+	}
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d.Load("k")
+	if err != nil || snap != nil {
+		t.Fatalf("Load(corrupt) = %v, %v; want nil, nil", snap, err)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Error("corrupt checkpoint not quarantined")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt checkpoint still in place")
+	}
+	// Quarantine means absent: a fresh Save starts over cleanly.
+	if err := d.Save("k", &SweepCheckpoint{Seed: 1, Pairs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if snap, _ := d.Load("k"); snap == nil || snap.Seed != 1 {
+		t.Fatalf("re-save after quarantine failed: %+v", snap)
+	}
+}
+
+func TestCkptStateRestoreFilters(t *testing.T) {
+	opt := tinyOptions()
+	d := NewDirCheckpointer(t.TempDir())
+	pairs := RandomPairs(opt.Pairs, opt.Seed)
+	snap := &SweepCheckpoint{
+		Seed: opt.Seed, Pairs: opt.Pairs,
+		InstrLimit: opt.InstrLimit, Fidelity: opt.Fidelity,
+		Outcomes: []CheckpointOutcome{
+			{Index: 0, Label: pairs[0].Label()},                                     // restorable
+			{Index: 1, Label: "bogus|pair"},                                         // label drift
+			{Index: 2, Label: pairs[2].Label(), Outcome: PairOutcome{Failed: true}}, // degraded
+			{Index: 99, Label: "out|of-range"},
+		},
+	}
+	if err := d.Save(CheckpointKey(opt), snap); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Checkpoint = d
+	tel := telemetry.New()
+	r.Telemetry = tel
+	out := &SweepResult{Outcomes: make([]PairOutcome, len(pairs))}
+	c := r.newCkptState(pairs, out)
+	want := []bool{true, false, false}
+	for i, w := range want {
+		if c.restored(i) != w {
+			t.Errorf("restored(%d) = %v, want %v", i, c.restored(i), w)
+		}
+	}
+	if got := tel.Registry().Counter("experiments.checkpoint_resumes").Value(); got != 1 {
+		t.Errorf("checkpoint_resumes = %d, want 1", got)
+	}
+	if out.Outcomes[0].Pair.A == nil {
+		t.Error("restored outcome did not get its canonical Pair back")
+	}
+
+	// A snapshot whose identity fields disagree with the options is
+	// ignored wholesale, even under the right key.
+	snap.Seed = opt.Seed + 1
+	if err := d.Save(CheckpointKey(opt), snap); err != nil {
+		t.Fatal(err)
+	}
+	c2 := r.newCkptState(pairs, &SweepResult{Outcomes: make([]PairOutcome, len(pairs))})
+	if c2.restored(0) {
+		t.Error("mismatched snapshot was restored")
+	}
+}
+
+// memCkpt is an in-memory Checkpointer that counts saves.
+type memCkpt struct {
+	mu    sync.Mutex
+	saves int
+	snaps map[string]*SweepCheckpoint
+}
+
+func (m *memCkpt) Save(key string, snap *SweepCheckpoint) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.snaps == nil {
+		m.snaps = map[string]*SweepCheckpoint{}
+	}
+	cp := *snap
+	cp.Outcomes = append([]CheckpointOutcome(nil), snap.Outcomes...)
+	m.snaps[key] = &cp
+	m.saves++
+	return nil
+}
+
+func (m *memCkpt) Load(key string) (*SweepCheckpoint, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snaps[key], nil
+}
+
+func TestSweepCheckpointsAndResumes(t *testing.T) {
+	opt := tinyOptions()
+	opt.Parallelism = 1
+
+	run := func(ck Checkpointer) (*SweepResult, *telemetry.Telemetry) {
+		t.Helper()
+		r, err := NewRunner(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Checkpoint = ck
+		r.CheckpointEvery = 2
+		tel := telemetry.New()
+		r.Telemetry = tel
+		sw, err := r.Sweep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw, tel
+	}
+
+	ck := &memCkpt{}
+	first, tel1 := run(ck)
+	if n := tel1.Registry().Counter("experiments.checkpoint_resumes").Value(); n != 0 {
+		t.Fatalf("fresh sweep resumed %d pairs", n)
+	}
+	// 3 pairs at cadence 2: one cadenced save plus the final flush.
+	if ck.saves != 2 {
+		t.Errorf("saves = %d, want 2", ck.saves)
+	}
+	snap := ck.snaps[CheckpointKey(opt)]
+	if snap == nil || len(snap.Outcomes) != len(first.Outcomes) {
+		t.Fatalf("final snapshot incomplete: %+v", snap)
+	}
+
+	// A second runner over the same options resumes every pair without
+	// simulating anything.
+	second, tel2 := run(ck)
+	reg := tel2.Registry()
+	if n := reg.Counter("experiments.checkpoint_resumes").Value(); int(n) != len(first.Outcomes) {
+		t.Errorf("checkpoint_resumes = %d, want %d", n, len(first.Outcomes))
+	}
+	if n := reg.Counter("experiments.pairs_done").Value(); n != 0 {
+		t.Errorf("resumed sweep recomputed %d pairs", n)
+	}
+	for i := range first.Outcomes {
+		a, b := &first.Outcomes[i], &second.Outcomes[i]
+		if a.Pair.Label() != b.Pair.Label() ||
+			a.Proposed.Cycles != b.Proposed.Cycles ||
+			a.VsHPE.WeightedPct != b.VsHPE.WeightedPct {
+			t.Errorf("pair %d diverged after resume: %+v vs %+v", i, a, b)
+		}
+	}
+
+	// A partial snapshot resumes what it has and computes the rest.
+	partial := &memCkpt{}
+	cut := *ck.snaps[CheckpointKey(opt)]
+	cut.Outcomes = cut.Outcomes[:1]
+	if err := partial.Save(CheckpointKey(opt), &cut); err != nil {
+		t.Fatal(err)
+	}
+	third, tel3 := run(partial)
+	reg = tel3.Registry()
+	if n := reg.Counter("experiments.checkpoint_resumes").Value(); n != 1 {
+		t.Errorf("partial resume restored %d pairs, want 1", n)
+	}
+	if n := reg.Counter("experiments.pairs_done").Value(); int(n) != len(first.Outcomes)-1 {
+		t.Errorf("partial resume computed %d pairs, want %d", n, len(first.Outcomes)-1)
+	}
+	for i := range first.Outcomes {
+		if first.Outcomes[i].Proposed.Cycles != third.Outcomes[i].Proposed.Cycles {
+			t.Errorf("pair %d diverged after partial resume", i)
+		}
+	}
+}

@@ -209,6 +209,14 @@ type Runner struct {
 	// BaseContext, if non-nil, bounds every RunPair/Sweep call that is
 	// not handed an explicit context (RunPairContext/SweepContext).
 	BaseContext context.Context
+
+	// Checkpoint, if non-nil, snapshots sweep progress (completed pair
+	// outcomes, keyed by CheckpointKey(Opt)) so an interrupted sweep
+	// resumes from its last save instead of restarting from pair zero.
+	// Restored pairs count into "experiments.checkpoint_resumes".
+	Checkpoint Checkpointer
+	// CheckpointEvery is the save cadence in completed pairs (0 = 8).
+	CheckpointEvery int
 }
 
 // NewRunner builds a Runner over the paper's two cores.
@@ -288,12 +296,14 @@ func (r *Runner) Surface() (*profilegen.Surface, error) {
 // sweep) derive instead.
 func (r *Runner) derived(opt Options) *Runner {
 	d := &Runner{
-		Opt:         opt,
-		IntCfg:      r.IntCfg,
-		FPCfg:       r.FPCfg,
-		Progress:    r.Progress,
-		Telemetry:   r.Telemetry,
-		BaseContext: r.BaseContext,
+		Opt:             opt,
+		IntCfg:          r.IntCfg,
+		FPCfg:           r.FPCfg,
+		Progress:        r.Progress,
+		Telemetry:       r.Telemetry,
+		BaseContext:     r.BaseContext,
+		Checkpoint:      r.Checkpoint,
+		CheckpointEvery: r.CheckpointEvery,
 	}
 	d.profile = r.Profile()
 	d.matrix, d.matrixErr = r.Matrix()
@@ -508,6 +518,7 @@ func (r *Runner) SweepContext(ctx context.Context) (*SweepResult, error) {
 	}
 	pairs := RandomPairs(r.Opt.Pairs, r.Opt.Seed)
 	out := &SweepResult{Outcomes: make([]PairOutcome, len(pairs))}
+	ckpt := r.newCkptState(pairs, out) // nil when Checkpoint is unset
 
 	workers := r.Opt.Parallelism
 	if workers <= 0 {
@@ -532,6 +543,11 @@ func (r *Runner) SweepContext(ctx context.Context) (*SweepResult, error) {
 					return
 				}
 				p := pairs[i]
+				if ckpt.restored(i) {
+					// Revived from the checkpoint before workers
+					// started; recomputing would waste the resume.
+					continue
+				}
 				if cerr := ctx.Err(); cerr != nil {
 					// Don't start new simulations after cancellation;
 					// the pair is flagged, not silently zero.
@@ -541,6 +557,7 @@ func (r *Runner) SweepContext(ctx context.Context) (*SweepResult, error) {
 				}
 				out.Outcomes[i] = r.runOutcome(ctx, i, p, matrix)
 				r.observeOutcome(&out.Outcomes[i])
+				ckpt.complete(i)
 				if e := out.Outcomes[i].Err; e != "" {
 					r.progress("pair %d/%d DEGRADED (%s): %s", done.Add(1), len(pairs), p.Label(), e)
 				} else {
@@ -550,6 +567,8 @@ func (r *Runner) SweepContext(ctx context.Context) (*SweepResult, error) {
 		}()
 	}
 	wg.Wait()
+	ckpt.flush() // persist pairs done since the last cadenced save,
+	// including on the cancellation path below
 	if cerr := ctx.Err(); cerr != nil {
 		return out, cerr
 	}

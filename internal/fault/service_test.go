@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestServiceConfigValidate(t *testing.T) {
+	if err := (ServiceConfig{DiskErrRate: 1.5}).Validate(); err == nil {
+		t.Error("out-of-range DiskErrRate accepted")
+	}
+	if err := (ServiceConfig{SlowIODelay: -1}).Validate(); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if err := UniformService(0.3, 1).Validate(); err != nil {
+		t.Errorf("UniformService invalid: %v", err)
+	}
+	if (ServiceConfig{}).Enabled() {
+		t.Error("zero config reports Enabled")
+	}
+	if !UniformService(0.1, 1).Enabled() {
+		t.Error("uniform config reports disabled")
+	}
+}
+
+// TestServicePlanDeterministicSequence: two plans with the same seed
+// draw the identical fault sequence.
+func TestServicePlanDeterministicSequence(t *testing.T) {
+	mk := func() []int {
+		p, err := NewService(UniformService(0.4, 99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seq []int
+		for i := 0; i < 200; i++ {
+			keep, ferr, stall := p.diskFault(100)
+			code := 0
+			switch {
+			case ferr != nil && keep == 0:
+				code = 1
+			case ferr != nil:
+				code = 2
+			case stall > 0:
+				code = 3
+			}
+			seq = append(seq, code, keep)
+		}
+		return seq
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d != %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestServicePlanInjectsEveryKind(t *testing.T) {
+	p, err := NewService(UniformService(0.5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := p.WALWriteHook()
+	for i := 0; i < 300; i++ {
+		if keep, err := hook(make([]byte, 64)); err != nil {
+			if !errors.Is(err, ErrInjectedDisk) {
+				t.Fatalf("hook error %v not ErrInjectedDisk", err)
+			}
+			if keep == 64 {
+				t.Fatal("hook errored without dropping bytes")
+			}
+		}
+	}
+	st := p.Stats()
+	if st.DiskErrs == 0 || st.TornWrites == 0 || st.SlowIOs == 0 {
+		t.Errorf("after 300 draws at rate 0.5, stats = %+v; every disk kind should fire", st)
+	}
+
+	panics := 0
+	for i := 0; i < 200; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if err, ok := r.(error); !ok || !errors.Is(err, ErrInjectedPanic) {
+						t.Fatalf("panic value %v not ErrInjectedPanic", r)
+					}
+					panics++
+				}
+			}()
+			p.MaybePanic()
+		}()
+		p.MaybeStall()
+	}
+	st = p.Stats()
+	if panics == 0 || st.Panics != uint64(panics) || st.Stalls == 0 {
+		t.Errorf("panics=%d stats=%+v; stall and panic kinds should fire", panics, st)
+	}
+}
+
+// TestServiceWriteFile: a refused write leaves no file; a torn write
+// persists only a prefix and errors, so tmp+rename callers never
+// promote it.
+func TestServiceWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewService(ServiceConfig{Seed: 3, DiskErrRate: 0.5, TornWriteRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 256)
+	sawErr, sawTorn := false, false
+	for i := 0; i < 100 && !(sawErr && sawTorn); i++ {
+		path := filepath.Join(dir, "f")
+		os.Remove(path)
+		werr := p.WriteFile(path, data, 0o644)
+		if werr == nil {
+			got, rerr := os.ReadFile(path)
+			if rerr != nil || len(got) != len(data) {
+				t.Fatalf("clean write readback: %v, %d bytes", rerr, len(got))
+			}
+			continue
+		}
+		if !errors.Is(werr, ErrInjectedDisk) {
+			t.Fatalf("unexpected error %v", werr)
+		}
+		got, rerr := os.ReadFile(path)
+		if os.IsNotExist(rerr) {
+			sawErr = true // refused outright
+			continue
+		}
+		if rerr == nil && len(got) > 0 && len(got) < len(data) {
+			sawTorn = true
+			continue
+		}
+		t.Fatalf("errored write left %d bytes (read err %v)", len(got), rerr)
+	}
+	if !sawErr || !sawTorn {
+		t.Errorf("sawErr=%v sawTorn=%v; both disk failure modes should appear", sawErr, sawTorn)
+	}
+}

@@ -87,7 +87,8 @@ type Config struct {
 	// MaxRetries bounds re-runs of a retryably failed job (0 = no
 	// retries).
 	MaxRetries int
-	// Backoff is the first retry delay, doubling per attempt; 0 means
+	// Backoff is the first retry delay, doubling per attempt up to one
+	// minute and never past the job's remaining Deadline; 0 means
 	// 10ms. Backoff waits abort immediately on job cancellation.
 	Backoff time.Duration
 	// Retryable classifies errors worth re-running; nil means nothing
@@ -104,6 +105,12 @@ type SubmitOptions struct {
 	// Deadline, when positive, bounds the job's total run time
 	// (including retries and backoff waits).
 	Deadline time.Duration
+	// Cost is the caller's estimate of the job's expense in arbitrary
+	// units (the server uses simulated pair-instructions). The queue
+	// only accounts for it — Stats.PendingCost/RunningCost and the
+	// jobqueue.pending_cost gauge — so admission control can shed by
+	// backlog cost, not just backlog count.
+	Cost float64
 }
 
 // Job is a handle on one submitted task.
@@ -113,6 +120,7 @@ type Job struct {
 	seq      uint64
 	task     Task
 	deadline time.Duration
+	cost     float64
 
 	q        *Queue
 	ctx      context.Context
@@ -190,26 +198,30 @@ func (j *Job) settle(s State, err error) bool {
 type Queue struct {
 	cfg Config
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending jobHeap
-	active  map[*Job]struct{}
-	nextID  uint64
-	nextSeq uint64
-	closed  bool
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     jobHeap
+	active      map[*Job]struct{}
+	nextID      uint64
+	nextSeq     uint64
+	closed      bool
+	pendingCost float64
+	runningCost float64
 
 	wg sync.WaitGroup
 
-	depth     *telemetry.Gauge
-	runningG  *telemetry.Gauge
-	submitted *telemetry.Counter
-	rejected  *telemetry.Counter
-	completed *telemetry.Counter
-	failed    *telemetry.Counter
-	canceled  *telemetry.Counter
-	retries   *telemetry.Counter
-	waitUS    *telemetry.Histogram
-	runUS     *telemetry.Histogram
+	depth        *telemetry.Gauge
+	runningG     *telemetry.Gauge
+	pendingCostG *telemetry.Gauge
+	submitted    *telemetry.Counter
+	rejected     *telemetry.Counter
+	completed    *telemetry.Counter
+	failed       *telemetry.Counter
+	canceled     *telemetry.Counter
+	retries      *telemetry.Counter
+	panicked     *telemetry.Counter
+	waitUS       *telemetry.Histogram
+	runUS        *telemetry.Histogram
 }
 
 // New builds a Queue and starts its workers.
@@ -228,17 +240,19 @@ func New(cfg Config) (*Queue, error) {
 	}
 	tel := cfg.Telemetry
 	q := &Queue{
-		cfg:       cfg,
-		depth:     tel.Gauge("jobqueue.depth"),
-		runningG:  tel.Gauge("jobqueue.running"),
-		submitted: tel.Counter("jobqueue.submitted"),
-		rejected:  tel.Counter("jobqueue.rejected"),
-		completed: tel.Counter("jobqueue.completed"),
-		failed:    tel.Counter("jobqueue.failed"),
-		canceled:  tel.Counter("jobqueue.canceled"),
-		retries:   tel.Counter("jobqueue.retries"),
-		waitUS:    tel.Histogram("jobqueue.wait_us"),
-		runUS:     tel.Histogram("jobqueue.run_us"),
+		cfg:          cfg,
+		depth:        tel.Gauge("jobqueue.depth"),
+		runningG:     tel.Gauge("jobqueue.running"),
+		pendingCostG: tel.Gauge("jobqueue.pending_cost"),
+		submitted:    tel.Counter("jobqueue.submitted"),
+		rejected:     tel.Counter("jobqueue.rejected"),
+		completed:    tel.Counter("jobqueue.completed"),
+		failed:       tel.Counter("jobqueue.failed"),
+		canceled:     tel.Counter("jobqueue.canceled"),
+		retries:      tel.Counter("jobqueue.retries"),
+		panicked:     tel.Counter("jobqueue.panics"),
+		waitUS:       tel.Histogram("jobqueue.wait_us"),
+		runUS:        tel.Histogram("jobqueue.run_us"),
 	}
 	q.cond = sync.NewCond(&q.mu)
 	q.active = make(map[*Job]struct{})
@@ -305,6 +319,7 @@ func (q *Queue) submit(ctx context.Context, task Task, opts SubmitOptions) (*Job
 		seq:      q.nextSeq,
 		task:     task,
 		deadline: opts.Deadline,
+		cost:     opts.Cost,
 		q:        q,
 		ctx:      jctx,
 		cancel:   cancel,
@@ -314,7 +329,9 @@ func (q *Queue) submit(ctx context.Context, task Task, opts SubmitOptions) (*Job
 		submitted: time.Now(), //ampvet:allow determinism queue wait-latency measurement is inherently wall-clock
 	}
 	heap.Push(&q.pending, j)
+	q.pendingCost += j.cost
 	q.depth.Set(float64(len(q.pending)))
+	q.pendingCostG.Set(q.pendingCost)
 	q.submitted.Inc()
 	q.cond.Broadcast()
 	q.mu.Unlock()
@@ -326,7 +343,9 @@ func (q *Queue) cancelJob(j *Job) {
 	q.mu.Lock()
 	if j.index >= 0 { // still pending: remove so it never starts
 		heap.Remove(&q.pending, j.index)
+		q.pendingCost -= j.cost
 		q.depth.Set(float64(len(q.pending)))
+		q.pendingCostG.Set(q.pendingCost)
 		q.cond.Broadcast()
 	}
 	q.mu.Unlock()
@@ -349,7 +368,10 @@ func (q *Queue) worker() {
 			return
 		}
 		j := heap.Pop(&q.pending).(*Job)
+		q.pendingCost -= j.cost
+		q.runningCost += j.cost
 		q.depth.Set(float64(len(q.pending)))
+		q.pendingCostG.Set(q.pendingCost)
 		q.active[j] = struct{}{}
 		q.runningG.Set(float64(len(q.active)))
 		q.cond.Broadcast() // space freed: wake blocked Submit callers
@@ -359,6 +381,7 @@ func (q *Queue) worker() {
 
 		q.mu.Lock()
 		delete(q.active, j)
+		q.runningCost -= j.cost
 		q.runningG.Set(float64(len(q.active)))
 		q.cond.Broadcast() // Drain waits on the active set emptying
 		q.mu.Unlock()
@@ -391,7 +414,7 @@ func (q *Queue) run(j *Job) {
 		j.attempts++
 		attempt := j.attempts
 		j.mu.Unlock()
-		err = j.task(ctx)
+		err = q.runAttempt(ctx, j)
 		if err == nil || ctx.Err() != nil {
 			break
 		}
@@ -399,7 +422,10 @@ func (q *Queue) run(j *Job) {
 			break
 		}
 		q.retries.Inc()
-		backoff := q.cfg.Backoff << (attempt - 1)
+		backoff := q.retryBackoff(ctx, attempt)
+		if backoff <= 0 { // deadline already spent: don't bother retrying
+			break
+		}
 		t := time.NewTimer(backoff) //ampvet:allow determinism retry backoff is inherently wall-clock
 		select {
 		case <-t.C:
@@ -428,6 +454,48 @@ func (q *Queue) run(j *Job) {
 		}
 	}
 	j.cancel() // release the job context's resources
+}
+
+// runAttempt runs one task attempt, recovering a panic into an error
+// so one exploding job cannot take a worker (and its queue share) down
+// with it. A panic carrying an error is wrapped, so classifiers can
+// errors.Is through it and decide whether the job retries.
+func (q *Queue) runAttempt(ctx context.Context, j *Job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			q.panicked.Inc()
+			if rerr, ok := r.(error); ok {
+				err = fmt.Errorf("jobqueue: task panic: %w", rerr)
+			} else {
+				err = fmt.Errorf("jobqueue: task panic: %v", r)
+			}
+		}
+	}()
+	return j.task(ctx)
+}
+
+// maxBackoff bounds one retry sleep; past it, exponential growth stops.
+const maxBackoff = time.Minute
+
+// retryBackoff sizes the sleep before retry number `attempt`, clamping
+// the exponential shift against overflow and capping the sleep at the
+// job's remaining deadline — sleeping past the deadline would burn the
+// whole budget waiting and then fail without the retry it was waiting
+// for.
+func (q *Queue) retryBackoff(ctx context.Context, attempt int) time.Duration {
+	backoff := q.cfg.Backoff
+	for i := 1; i < attempt && backoff < maxBackoff; i++ {
+		backoff <<= 1
+	}
+	if backoff > maxBackoff || backoff <= 0 { // <= 0: shift overflowed
+		backoff = maxBackoff
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < backoff { //ampvet:allow determinism deadline headroom is inherently wall-clock
+			backoff = rem
+		}
+	}
+	return backoff
 }
 
 // Drain stops accepting new jobs and waits until every pending and
@@ -482,7 +550,9 @@ func (q *Queue) abort() {
 	for len(q.pending) > 0 {
 		victims = append(victims, heap.Pop(&q.pending).(*Job))
 	}
+	q.pendingCost = 0
 	q.depth.Set(0)
+	q.pendingCostG.Set(0)
 	running := make([]*Job, 0, len(q.active))
 	for j := range q.active { //ampvet:allow determinism cancellation fan-out order is unobservable
 		running = append(running, j)
@@ -500,17 +570,25 @@ func (q *Queue) abort() {
 	}
 }
 
-// Stats is a point-in-time queue census.
+// Stats is a point-in-time queue census. PendingCost and RunningCost
+// sum the SubmitOptions.Cost of the jobs in each state.
 type Stats struct {
-	Pending int
-	Running int
+	Pending     int
+	Running     int
+	PendingCost float64
+	RunningCost float64
 }
 
 // Stats returns the current backlog sizes.
 func (q *Queue) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return Stats{Pending: len(q.pending), Running: len(q.active)}
+	return Stats{
+		Pending:     len(q.pending),
+		Running:     len(q.active),
+		PendingCost: q.pendingCost,
+		RunningCost: q.runningCost,
+	}
 }
 
 // jobHeap orders pending jobs by (priority desc, seq asc).

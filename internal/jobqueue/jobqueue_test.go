@@ -347,3 +347,150 @@ func TestDrainTimeoutCancelsStragglers(t *testing.T) {
 		t.Fatalf("straggler error %v, want canceled", err)
 	}
 }
+
+// TestBackoffCappedByDeadline: a job with a short deadline and a long
+// configured backoff must fail close to its deadline, not sleep the
+// full exponential schedule first.
+func TestBackoffCappedByDeadline(t *testing.T) {
+	fail := errors.New("transient")
+	q := newTestQueue(t, Config{
+		Workers:    1,
+		MaxRetries: 3,
+		Backoff:    10 * time.Second, // would dwarf the deadline uncapped
+		Retryable:  func(error) bool { return true },
+	})
+	start := time.Now()
+	j, err := q.TrySubmit(func(ctx context.Context) error { return fail }, SubmitOptions{
+		Deadline: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := j.Wait(context.Background())
+	elapsed := time.Since(start)
+	if werr == nil {
+		t.Fatal("job succeeded, want failure")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("job took %v; backoff was not capped by the deadline", elapsed)
+	}
+}
+
+func TestRetryBackoffShiftOverflowClamped(t *testing.T) {
+	q := newTestQueue(t, Config{Workers: 1, Backoff: time.Millisecond})
+	for _, attempt := range []int{1, 5, 70, 1 << 20} {
+		got := q.retryBackoff(context.Background(), attempt)
+		if got <= 0 || got > maxBackoff {
+			t.Errorf("retryBackoff(attempt=%d) = %v, want (0, %v]", attempt, got, maxBackoff)
+		}
+	}
+	if got := q.retryBackoff(context.Background(), 3); got != 4*time.Millisecond {
+		t.Errorf("retryBackoff(attempt=3) = %v, want 4ms", got)
+	}
+}
+
+// TestTaskPanicRecovered: a panicking task fails its job (or retries,
+// when the classifier says so) instead of killing the worker.
+func TestTaskPanicRecovered(t *testing.T) {
+	tel := telemetry.New()
+	boom := errors.New("boom")
+	q := newTestQueue(t, Config{
+		Workers:    1,
+		MaxRetries: 2,
+		Backoff:    time.Millisecond,
+		Retryable:  func(err error) bool { return errors.Is(err, boom) },
+		Telemetry:  tel,
+	})
+	var calls atomic.Int64
+	j, err := q.TrySubmit(func(ctx context.Context) error {
+		if calls.Add(1) == 1 {
+			panic(boom)
+		}
+		return nil
+	}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := j.Wait(context.Background()); werr != nil {
+		t.Fatalf("job failed despite retry after panic: %v", werr)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("task ran %d times, want 2 (panic then retry)", got)
+	}
+	if got := tel.Counter("jobqueue.panics").Value(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+
+	// A panic the classifier rejects fails the job; the worker survives
+	// to run the next one.
+	j2, err := q.TrySubmit(func(ctx context.Context) error { panic("unclassified") }, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := j2.Wait(context.Background()); werr == nil {
+		t.Fatal("unclassified panic did not fail the job")
+	} else if j2.State() != StateFailed {
+		t.Fatalf("state %v, want failed", j2.State())
+	}
+	j3, err := q.TrySubmit(func(ctx context.Context) error { return nil }, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := j3.Wait(context.Background()); werr != nil {
+		t.Fatalf("worker did not survive the panic: %v", werr)
+	}
+}
+
+// TestCostAccounting tracks PendingCost/RunningCost through the job
+// lifecycle: pile jobs behind a blocked worker, then release.
+func TestCostAccounting(t *testing.T) {
+	tel := telemetry.New()
+	q := newTestQueue(t, Config{Workers: 1, Capacity: 16, Telemetry: tel})
+	release := make(chan struct{})
+	blocker, err := q.TrySubmit(func(ctx context.Context) error {
+		<-release
+		return nil
+	}, SubmitOptions{Cost: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the blocker start so its cost moves pending -> running.
+	deadline := time.After(5 * time.Second)
+	for blocker.State() != StateRunning {
+		select {
+		case <-deadline:
+			t.Fatal("blocker never started")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		j, err := q.TrySubmit(func(ctx context.Context) error { return nil }, SubmitOptions{Cost: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	st := q.Stats()
+	if st.PendingCost != 30 || st.RunningCost != 5 {
+		t.Fatalf("Stats = %+v, want PendingCost 30 RunningCost 5", st)
+	}
+	if got := tel.Gauge("jobqueue.pending_cost").Value(); got != 30 {
+		t.Fatalf("pending_cost gauge = %v, want 30", got)
+	}
+
+	// Cancel one pending job: its cost leaves the backlog.
+	jobs[2].Cancel()
+	if st := q.Stats(); st.PendingCost != 20 {
+		t.Fatalf("PendingCost after cancel = %v, want 20", st.PendingCost)
+	}
+
+	close(release)
+	for _, j := range append(jobs[:2], blocker) {
+		j.Wait(context.Background())
+	}
+	if st := q.Stats(); st.PendingCost != 0 || st.RunningCost != 0 {
+		t.Fatalf("Stats after drain = %+v, want zero costs", st)
+	}
+}

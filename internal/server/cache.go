@@ -25,8 +25,10 @@ import (
 // cache_joined (singleflight collapses), cache_evictions counters and
 // the cache_bytes / cache_entries gauges.
 type Cache struct {
-	budget int64
-	dir    string
+	budget    int64
+	dir       string
+	writeFile func(name string, data []byte, perm os.FileMode) error
+	validate  func(data []byte) bool
 
 	mu      sync.Mutex
 	ll      *list.List // front = most recently used
@@ -39,6 +41,7 @@ type Cache struct {
 	misses    *telemetry.Counter
 	joined    *telemetry.Counter
 	evictions *telemetry.Counter
+	corrupt   *telemetry.Counter
 	bytes     *telemetry.Gauge
 	entries   *telemetry.Gauge
 }
@@ -63,6 +66,16 @@ type CacheConfig struct {
 	// Dir, when non-empty, enables disk persistence: Load reads prior
 	// entries from it, Save writes new ones (one file per key).
 	Dir string
+	// WriteFile overrides the persistence write primitive (nil =
+	// os.WriteFile) — the chaos harness's disk-fault seam. The tmp+
+	// rename protocol around it means a torn or refused write never
+	// corrupts a promoted entry.
+	WriteFile func(name string, data []byte, perm os.FileMode) error
+	// Validate, when non-nil, checks a loaded entry's content; entries
+	// it rejects are quarantined like unreadable ones. The server wires
+	// json.Valid here (every entry it stores is a JSON PairResult, so a
+	// truncated file from a crash is detectable).
+	Validate func(data []byte) bool
 	// Telemetry receives cache metrics; nil disables them.
 	Telemetry *telemetry.Telemetry
 }
@@ -75,10 +88,15 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	if cfg.ByteBudget == 0 {
 		cfg.ByteBudget = 64 << 20
 	}
+	if cfg.WriteFile == nil {
+		cfg.WriteFile = os.WriteFile
+	}
 	tel := cfg.Telemetry
 	return &Cache{
 		budget:    cfg.ByteBudget,
 		dir:       cfg.Dir,
+		writeFile: cfg.WriteFile,
+		validate:  cfg.Validate,
 		ll:        list.New(),
 		items:     make(map[string]*list.Element),
 		dirty:     make(map[string]bool),
@@ -87,6 +105,7 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 		misses:    tel.Counter("server.cache_misses"),
 		joined:    tel.Counter("server.cache_joined"),
 		evictions: tel.Counter("server.cache_evictions"),
+		corrupt:   tel.Counter("server.cache_corrupt"),
 		bytes:     tel.Gauge("server.cache_bytes"),
 		entries:   tel.Gauge("server.cache_entries"),
 	}, nil
@@ -247,9 +266,11 @@ func (c *Cache) Save() error {
 		}
 		path := filepath.Join(c.dir, k+".json")
 		tmp := path + ".tmp"
-		err := os.WriteFile(tmp, data, 0o644)
+		err := c.writeFile(tmp, data, 0o644)
 		if err == nil {
 			err = os.Rename(tmp, path)
+		} else {
+			os.Remove(tmp) // a torn tmp file must never linger
 		}
 		if err != nil {
 			if first == nil {
@@ -269,6 +290,12 @@ func (c *Cache) Save() error {
 // survive a crowded budget is deterministic). Loaded entries are
 // clean — Save will not rewrite them. Missing directory is not an
 // error: a first run simply starts cold.
+//
+// A corrupt or truncated entry — unreadable, or not the valid JSON
+// every entry is written as — is quarantined: renamed to
+// "<name>.corrupt", counted in server.cache_corrupt, and skipped. One
+// damaged file (a torn write from a crash mid-Save) must not cost the
+// rest of the cache, and its key simply recomputes on next use.
 func (c *Cache) Load() error {
 	if c.dir == "" {
 		return nil
@@ -286,9 +313,11 @@ func (c *Cache) Load() error {
 			continue
 		}
 		key := strings.TrimSuffix(name, ".json")
-		data, err := os.ReadFile(filepath.Join(c.dir, name))
-		if err != nil {
-			return fmt.Errorf("server: reading cache entry %s: %w", name, err)
+		path := filepath.Join(c.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil || (c.validate != nil && !c.validate(data)) {
+			c.quarantine(path)
+			continue
 		}
 		c.mu.Lock()
 		if _, ok := c.items[key]; !ok && c.used+int64(len(data)) <= c.budget {
@@ -300,4 +329,11 @@ func (c *Cache) Load() error {
 		c.mu.Unlock()
 	}
 	return nil
+}
+
+// quarantine renames a damaged cache file out of the load path
+// (best-effort: an unrenamable file is just skipped again next boot).
+func (c *Cache) quarantine(path string) {
+	c.corrupt.Inc()
+	_ = os.Rename(path, path+".corrupt")
 }

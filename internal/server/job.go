@@ -105,6 +105,7 @@ type JobStatus struct {
 	Completed int          `json:"completed"`
 	Failed    int          `json:"failed"`
 	CacheHits int          `json:"cache_hits"`
+	Recovered bool         `json:"recovered,omitempty"`
 	Error     string       `json:"error,omitempty"`
 	Results   []PairResult `json:"results,omitempty"`
 }
@@ -113,6 +114,10 @@ type JobStatus struct {
 type jobEntry struct {
 	id   string
 	spec JobSpec
+
+	// recovered marks a job re-enqueued (or re-registered) from the
+	// journal after a restart.
+	recovered bool
 
 	mu        sync.Mutex
 	state     jobqueue.State
@@ -191,6 +196,7 @@ func (j *jobEntry) status(includeResults bool) JobStatus {
 		Completed: len(j.results),
 		Failed:    j.failed,
 		CacheHits: j.cacheHits,
+		Recovered: j.recovered,
 		Error:     j.errMsg,
 	}
 	if includeResults {

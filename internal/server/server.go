@@ -37,9 +37,11 @@ import (
 	"ampsched/internal/amp"
 	"ampsched/internal/cpu"
 	"ampsched/internal/experiments"
+	"ampsched/internal/fault"
 	"ampsched/internal/jobqueue"
 	"ampsched/internal/metrics"
 	"ampsched/internal/telemetry"
+	"ampsched/internal/wal"
 )
 
 // Config assembles a Server.
@@ -54,6 +56,22 @@ type Config struct {
 	Queue jobqueue.Config
 	// Cache sizes the result cache (Telemetry is wired by New).
 	Cache CacheConfig
+	// JournalDir, when non-empty, enables the durable job journal:
+	// submissions are fsynced to a WAL before they are acknowledged and
+	// Recover replays it after a crash. Empty disables journaling.
+	JournalDir string
+	// Admission tunes overload protection (load shedding and the
+	// per-fidelity circuit breaker).
+	Admission AdmissionConfig
+	// Chaos, when non-nil, injects service-level faults (disk errors,
+	// torn writes, slow I/O, worker stalls, panics) into the journal,
+	// cache and job execution — the chaos harness's hook.
+	Chaos *fault.ServicePlan
+	// FlushEvery, when positive, runs a background durability flusher
+	// that persists dirty cache entries and fsyncs the journal on that
+	// cadence (completion already flushes; this bounds the exposure of
+	// pairs computed by a job that never finishes).
+	FlushEvery time.Duration
 	// Telemetry receives server, queue and simulation metrics; nil
 	// disables them (the /metrics endpoint then serves an empty
 	// registry).
@@ -63,10 +81,13 @@ type Config struct {
 // Server is the simulation service. Create with New, expose Handler,
 // and stop with Drain (graceful) or Close (immediate).
 type Server struct {
-	cfg   Config
-	tel   *telemetry.Telemetry
-	cache *Cache
-	queue *jobqueue.Queue
+	cfg       Config
+	tel       *telemetry.Telemetry
+	cache     *Cache
+	queue     *jobqueue.Queue
+	journal   *wal.Log
+	admission *admission
+	chaos     *fault.ServicePlan
 
 	baseOpt    experiments.Options
 	coreDigest string
@@ -78,14 +99,21 @@ type Server struct {
 	nextID   atomic.Uint64
 	draining atomic.Bool
 
-	jobsSubmitted *telemetry.Counter
-	jobsCompleted *telemetry.Counter
-	jobsFailed    *telemetry.Counter
-	jobsCanceled  *telemetry.Counter
-	jobsRejected  *telemetry.Counter
-	pairsServed   *telemetry.Counter
-	jobLatencyUS  *telemetry.Histogram
-	httpRequests  *telemetry.Counter
+	flushStop chan struct{}
+	flushDone chan struct{}
+	stopOnce  sync.Once
+
+	jobsSubmitted     *telemetry.Counter
+	jobsCompleted     *telemetry.Counter
+	jobsFailed        *telemetry.Counter
+	jobsCanceled      *telemetry.Counter
+	jobsRejected      *telemetry.Counter
+	jobsRecovered     *telemetry.Counter
+	checkpointResumes *telemetry.Counter
+	journalErrors     *telemetry.Counter
+	pairsServed       *telemetry.Counter
+	jobLatencyUS      *telemetry.Histogram
+	httpRequests      *telemetry.Counter
 }
 
 // New builds a Server and starts its worker pool.
@@ -112,10 +140,13 @@ func New(cfg Config) (*Server, error) {
 	// A wedged simulation is the service's canonical transient failure:
 	// the fault-injection layer can wedge a run that a retry (same
 	// seeds, but a fresh system) may complete under a different
-	// interleaving of queue load. Everything else is deterministic and
-	// not worth re-running.
+	// interleaving of queue load. An injected chaos panic is transient
+	// by construction. Everything else is deterministic and not worth
+	// re-running.
 	if qcfg.Retryable == nil {
-		qcfg.Retryable = func(err error) bool { return errors.Is(err, amp.ErrWedged) }
+		qcfg.Retryable = func(err error) bool {
+			return errors.Is(err, amp.ErrWedged) || errors.Is(err, fault.ErrInjectedPanic)
+		}
 	}
 	queue, err := jobqueue.New(qcfg)
 	if err != nil {
@@ -124,10 +155,32 @@ func New(cfg Config) (*Server, error) {
 
 	ccfg := cfg.Cache
 	ccfg.Telemetry = cfg.Telemetry
+	if cfg.Chaos != nil && ccfg.WriteFile == nil {
+		ccfg.WriteFile = cfg.Chaos.WriteFile
+	}
+	if ccfg.Validate == nil {
+		// Every entry the server persists is a JSON PairResult; a
+		// truncated or garbled file fails this and is quarantined on
+		// load instead of poisoning lookups.
+		ccfg.Validate = json.Valid
+	}
 	cache, err := NewCache(ccfg)
 	if err != nil {
 		queue.Close()
 		return nil, err
+	}
+
+	var journal *wal.Log
+	if cfg.JournalDir != "" {
+		wopts := wal.Options{}
+		if cfg.Chaos != nil {
+			wopts.WriteHook = cfg.Chaos.WALWriteHook()
+		}
+		journal, err = wal.Open(cfg.JournalDir, wopts)
+		if err != nil {
+			queue.Close()
+			return nil, fmt.Errorf("server: opening job journal: %w", err)
+		}
 	}
 
 	tel := cfg.Telemetry
@@ -136,21 +189,69 @@ func New(cfg Config) (*Server, error) {
 		tel:        tel,
 		cache:      cache,
 		queue:      queue,
+		journal:    journal,
+		admission:  newAdmission(cfg.Admission, tel),
+		chaos:      cfg.Chaos,
 		baseOpt:    baseOpt,
 		jobs:       make(map[string]*jobEntry),
 		runners:    make(map[string]*experiments.Runner),
 		coreDigest: CoreDigest(cpu.IntCoreConfig(), cpu.FPCoreConfig()),
 
-		jobsSubmitted: tel.Counter("server.jobs_submitted"),
-		jobsCompleted: tel.Counter("server.jobs_completed"),
-		jobsFailed:    tel.Counter("server.jobs_failed"),
-		jobsCanceled:  tel.Counter("server.jobs_canceled"),
-		jobsRejected:  tel.Counter("server.jobs_rejected"),
-		pairsServed:   tel.Counter("server.pairs_served"),
-		jobLatencyUS:  tel.Histogram("server.job_latency_us"),
-		httpRequests:  tel.Counter("server.http_requests"),
+		jobsSubmitted:     tel.Counter("server.jobs_submitted"),
+		jobsCompleted:     tel.Counter("server.jobs_completed"),
+		jobsFailed:        tel.Counter("server.jobs_failed"),
+		jobsCanceled:      tel.Counter("server.jobs_canceled"),
+		jobsRejected:      tel.Counter("server.jobs_rejected"),
+		jobsRecovered:     tel.Counter("server.jobs_recovered"),
+		checkpointResumes: tel.Counter("server.checkpoint_resumes"),
+		journalErrors:     tel.Counter("server.journal_errors"),
+		pairsServed:       tel.Counter("server.pairs_served"),
+		jobLatencyUS:      tel.Histogram("server.job_latency_us"),
+		httpRequests:      tel.Counter("server.http_requests"),
+	}
+	if cfg.Chaos != nil {
+		cfg.Chaos.SetTelemetry(tel)
+	}
+	if cfg.FlushEvery > 0 {
+		s.flushStop = make(chan struct{})
+		s.flushDone = make(chan struct{})
+		go s.flushLoop(cfg.FlushEvery)
 	}
 	return s, nil
+}
+
+// flushLoop is the background durability flusher: on each tick it
+// persists dirty cache entries and fsyncs the journal, bounding how
+// much completed-but-unflushed work one crash can lose.
+func (s *Server) flushLoop(every time.Duration) {
+	defer close(s.flushDone)
+	t := time.NewTicker(every) //ampvet:allow determinism durability flush cadence is inherently wall-clock
+	defer t.Stop()
+	for {
+		select {
+		case <-s.flushStop:
+			return
+		case <-t.C:
+			if err := s.cache.Save(); err != nil {
+				s.journalErrors.Inc()
+			}
+			if s.journal != nil {
+				if err := s.journal.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
+					s.journalErrors.Inc()
+				}
+			}
+		}
+	}
+}
+
+// stopFlusher stops the background flusher (idempotent).
+func (s *Server) stopFlusher() {
+	s.stopOnce.Do(func() {
+		if s.flushStop != nil {
+			close(s.flushStop)
+			<-s.flushDone
+		}
+	})
 }
 
 // Cache exposes the result cache (tests, warm-up, persistence).
@@ -211,8 +312,16 @@ func (s *Server) runnerFor(opt experiments.Options) (*experiments.Runner, error)
 }
 
 // Submit validates and enqueues a job, returning its entry. Maps to
-// POST /v1/jobs; also the programmatic entry point for tests.
+// POST /v1/jobs; also the programmatic entry point for tests. When
+// journaling is on, the submission is fsynced to the journal before
+// Submit returns — an acknowledged job survives a crash.
 func (s *Server) Submit(sp JobSpec) (*jobEntry, error) {
+	return s.submit(sp, "", false)
+}
+
+// submit is Submit with an optional preserved id (journal recovery
+// re-enqueues under the original id).
+func (s *Server) submit(sp JobSpec, id string, recovered bool) (*jobEntry, error) {
 	if s.draining.Load() {
 		s.jobsRejected.Inc()
 		return nil, jobqueue.ErrClosed
@@ -228,25 +337,46 @@ func (s *Server) Submit(sp JobSpec) (*jobEntry, error) {
 	if len(pairs) > s.cfg.MaxPairsPerJob {
 		return nil, fmt.Errorf("server: %d pairs exceeds per-job limit %d", len(pairs), s.cfg.MaxPairsPerJob)
 	}
+	cost := jobCost(opt.Fidelity, len(pairs))
+	if !recovered { // recovered jobs were admitted before the crash
+		if err := s.admission.admit(opt.Fidelity, cost, s.queue.Stats()); err != nil {
+			s.jobsRejected.Inc()
+			return nil, err
+		}
+	}
 	runner, err := s.runnerFor(opt)
 	if err != nil {
 		return nil, err
 	}
 
-	id := strconv.FormatUint(s.nextID.Add(1), 10)
+	if id == "" {
+		id = strconv.FormatUint(s.nextID.Add(1), 10)
+	}
 	j := newJobEntry(id, sp)
+	j.recovered = recovered
 	task := func(ctx context.Context) error {
 		return s.runJob(ctx, j, runner, opt, pairs)
 	}
 	qjob, err := s.queue.TrySubmit(task, jobqueue.SubmitOptions{
 		Priority: sp.Priority,
 		Deadline: time.Duration(sp.TimeoutMS) * time.Millisecond,
+		Cost:     cost,
 	})
 	if err != nil {
 		s.jobsRejected.Inc()
 		return nil, err
 	}
 	j.qjob = qjob
+	// Acknowledged implies journaled: the submit record is durable
+	// before the caller (and so the HTTP 202) sees the job. A journal
+	// that cannot be written refuses the job rather than accepting
+	// work it might forget.
+	if err := s.appendJournal(recSubmit, submitRecord{ID: id, Spec: sp}); err != nil {
+		qjob.Cancel()
+		s.jobsRejected.Inc()
+		s.journalErrors.Inc()
+		return nil, err
+	}
 	// A job the queue settles without ever running its task (canceled
 	// or aborted while pending) has nothing else to settle its entry —
 	// mirror the queue's terminal state as a backstop.
@@ -255,10 +385,12 @@ func (s *Server) Submit(sp JobSpec) (*jobEntry, error) {
 		switch qjob.State() {
 		case jobqueue.StateCanceled:
 			if j.setState(jobqueue.StateCanceled, "canceled before start") {
+				s.journalTerminal(j.id, jobqueue.StateCanceled, "canceled before start")
 				s.jobsCanceled.Inc()
 			}
 		case jobqueue.StateFailed:
 			if qerr := qjob.Err(); qerr != nil && j.setState(jobqueue.StateFailed, qerr.Error()) {
+				s.journalTerminal(j.id, jobqueue.StateFailed, qerr.Error())
 				s.jobsFailed.Inc()
 			}
 		}
@@ -286,6 +418,16 @@ func (s *Server) runJob(ctx context.Context, j *jobEntry, runner *experiments.Ru
 	if !j.setState(jobqueue.StateRunning, "") {
 		return nil // canceled before the worker picked it up
 	}
+	if s.chaos != nil {
+		s.chaos.MaybeStall()
+		s.chaos.MaybePanic() // recovered by the queue into a retryable job error
+	}
+	// Best-effort start record (no fsync urgency: a lost start only
+	// means recovery re-runs from the submit record, which it would
+	// anyway).
+	if err := s.appendJournal(recStart, idRecord{ID: j.id}); err != nil {
+		s.journalErrors.Inc()
+	}
 	// Force the shared profiling pass and estimator build before the
 	// per-pair loop so every pair's timing excludes it; concurrent
 	// jobs collapse onto one computation (Runner is concurrency-safe).
@@ -311,6 +453,7 @@ func (s *Server) runJob(ctx context.Context, j *jobEntry, runner *experiments.Ru
 				return err
 			}
 			// Degraded pair: record and continue, like Sweep.
+			s.admission.record(opt.Fidelity, errors.Is(err, amp.ErrWedged))
 			if firstWedge == nil && errors.Is(err, amp.ErrWedged) {
 				firstWedge = err
 			}
@@ -320,6 +463,9 @@ func (s *Server) runJob(ctx context.Context, j *jobEntry, runner *experiments.Ru
 			})
 			s.pairsServed.Inc()
 			continue
+		}
+		if !cached { // cache hits say nothing about engine health
+			s.admission.record(opt.Fidelity, false)
 		}
 		var r PairResult
 		if err := json.Unmarshal(data, &r); err != nil {
@@ -337,6 +483,11 @@ func (s *Server) runJob(ctx context.Context, j *jobEntry, runner *experiments.Ru
 		err := fmt.Errorf("server: all %d pairs degraded: %w", st.Completed, firstWedge)
 		s.finishJob(j, start, err)
 		return err
+	}
+	if j.recovered && st.CacheHits > 0 {
+		// A re-enqueued job that found pre-crash pairs in the cache is a
+		// checkpointed resume: only the missing tail was re-simulated.
+		s.checkpointResumes.Inc()
 	}
 	s.finishJob(j, start, nil)
 	return nil
@@ -401,22 +552,45 @@ func schedResult(res amp.Result) SchedResult {
 
 // finishJob settles the job entry's terminal state and counters (the
 // first terminal transition wins, so a racing cancel is not counted
-// twice).
+// twice). A successful job's results are flushed to disk before its
+// done record is journaled — a job the journal calls done has durable
+// result bytes, so recovery never re-registers a done job whose
+// results a client could no longer fetch.
 func (s *Server) finishJob(j *jobEntry, start time.Time, err error) {
 	s.jobLatencyUS.Observe(uint64(time.Since(start).Microseconds())) //ampvet:allow determinism job latency measurement is inherently wall-clock
 	switch {
 	case err == nil:
 		if j.setState(jobqueue.StateDone, "") {
+			s.flushCacheRetry()
+			s.journalTerminal(j.id, jobqueue.StateDone, "")
 			s.jobsCompleted.Inc()
 		}
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		if j.setState(jobqueue.StateCanceled, err.Error()) {
+			s.journalTerminal(j.id, jobqueue.StateCanceled, err.Error())
 			s.jobsCanceled.Inc()
 		}
 	default:
 		if j.setState(jobqueue.StateFailed, err.Error()) {
+			s.journalTerminal(j.id, jobqueue.StateFailed, err.Error())
 			s.jobsFailed.Inc()
 		}
+	}
+}
+
+// flushCacheRetry persists dirty cache entries, retrying so injected
+// disk faults converge (each retry only rewrites what is still
+// dirty). Persistent failure is counted, not fatal: the entry stays
+// dirty for the next flush.
+func (s *Server) flushCacheRetry() {
+	var err error
+	for attempt := 0; attempt < journalAppendRetries; attempt++ {
+		if err = s.cache.Save(); err == nil {
+			return
+		}
+	}
+	if err != nil {
+		s.journalErrors.Inc()
 	}
 }
 
@@ -427,19 +601,33 @@ func (s *Server) finishJob(j *jobEntry, start time.Time, err error) {
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	qerr := s.queue.Drain(ctx)
+	s.stopFlusher()
 	if err := s.cache.Save(); err != nil {
 		if qerr == nil {
+			qerr = err
+		}
+	}
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil && qerr == nil {
 			qerr = err
 		}
 	}
 	return qerr
 }
 
-// Close cancels everything immediately (still persists the cache).
+// Close cancels everything immediately (still persists the cache and
+// closes the journal).
 func (s *Server) Close() error {
 	s.draining.Store(true)
 	s.queue.Close()
-	return s.cache.Save()
+	s.stopFlusher()
+	err := s.cache.Save()
+	if s.journal != nil {
+		if jerr := s.journal.Close(); jerr != nil && err == nil {
+			err = jerr
+		}
+	}
+	return err
 }
 
 // Handler returns the service mux, including the telemetry /metrics
@@ -457,6 +645,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if s.admission.shedding(s.queue.Stats()) {
+			http.Error(w, "shedding: backlog cost over admission bound", http.StatusServiceUnavailable)
+			return
+		}
+		if open := s.admission.openBreakers(); len(open) > 0 {
+			// Still ready — other fidelities serve — but degraded; report
+			// which breakers refuse traffic so probes and operators see it.
+			fmt.Fprintf(w, "ready (degraded: breaker open for %v)\n", open)
 			return
 		}
 		fmt.Fprintln(w, "ready")
@@ -488,8 +686,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := s.Submit(sp)
+	var oe *OverloadError
 	switch {
 	case err == nil:
+	case errors.As(err, &oe):
+		retryAfter := int(oe.RetryAfter/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		if errors.Is(err, ErrBreakerOpen) {
+			apiError(w, http.StatusServiceUnavailable, err)
+		} else {
+			apiError(w, http.StatusTooManyRequests, err)
+		}
+		return
 	case errors.Is(err, jobqueue.ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		apiError(w, http.StatusTooManyRequests, err)
@@ -526,6 +734,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	j.qjob.Cancel()
 	if j.setState(jobqueue.StateCanceled, "canceled by client") {
+		s.journalTerminal(j.id, jobqueue.StateCanceled, "canceled by client")
 		s.jobsCanceled.Inc()
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")

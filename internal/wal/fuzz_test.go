@@ -1,0 +1,77 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReplayBody throws arbitrary bytes at the segment-body scanner:
+// it must never panic, never deliver a record whose re-encoding
+// disagrees with what was scanned, and always terminate.
+func FuzzReplayBody(f *testing.F) {
+	// Seed with a well-formed segment body holding a few records.
+	var body []byte
+	for _, rec := range []Record{
+		{Type: 1, Data: []byte(`{"id":"1","spec":{}}`)},
+		{Type: 2, Data: nil},
+		{Type: 3, Data: bytes.Repeat([]byte{syncA, syncB}, 16)},
+	} {
+		body = appendFrame(body, rec)
+	}
+	f.Add(body)
+	f.Add([]byte{})
+	f.Add([]byte{syncA, syncB})
+	f.Add([]byte{syncA, syncB, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	truncated := appendFrame(nil, Record{Type: 9, Data: []byte("torn")})
+	f.Add(truncated[:len(truncated)-2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var recs []Record
+		stats, err := replayBody(data, func(r Record) error {
+			recs = append(recs, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replayBody with nil-error fn errored: %v", err)
+		}
+		// Every delivered record must survive a round trip: re-framing
+		// it and rescanning yields the identical record.
+		for _, r := range recs {
+			frame := appendFrame(nil, r)
+			got, consumed, perr := parseFrame(frame)
+			if perr != nil || consumed != len(frame) {
+				t.Fatalf("re-encode of delivered record failed: %v (consumed %d/%d)", perr, consumed, len(frame))
+			}
+			if got.Type != r.Type || !bytes.Equal(got.Data, r.Data) {
+				t.Fatalf("round trip mismatch: %v != %v", got, r)
+			}
+		}
+		// Conservation: delivered + dropped + skipped accounts for the
+		// whole input (every byte is consumed exactly once).
+		if stats.Records != uint64(len(recs)) {
+			t.Fatalf("stats.Records = %d, delivered %d", stats.Records, len(recs))
+		}
+	})
+}
+
+// FuzzReplaySegment writes arbitrary bytes after a valid header and
+// replays through the full directory path (quarantine machinery
+// included): no panics, no errors for damage-only inputs.
+func FuzzReplaySegment(f *testing.F) {
+	good := appendFrame(nil, Record{Type: 1, Data: []byte("ok")})
+	f.Add(good)
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		dir := t.TempDir()
+		seg := append(append([]byte{}, Magic[:]...), Version)
+		seg = append(seg, body...)
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), seg, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Replay(dir, func(Record) error { return nil }); err != nil {
+			t.Fatalf("Replay errored on damaged-only input: %v", err)
+		}
+	})
+}

@@ -1,0 +1,421 @@
+// Package wal is a durable, versioned, CRC32C-framed append-only log —
+// the crash-safety substrate of the simulation service. The server
+// journals every job lifecycle transition through it (internal/server)
+// so a kill -9 loses no acknowledged work: on restart the journal is
+// replayed, incomplete jobs are re-enqueued, and completed results are
+// served from the content-addressed cache instead of re-simulated.
+//
+// The framing reuses the trace-v2 idiom (internal/trace): every record
+// is prefixed by a two-byte sync marker and carries a CRC32-Castagnoli
+// over its type and payload, so corruption — a torn write at kill -9,
+// an injected disk fault, a bad sector — is detected at record
+// granularity. Replay skips a damaged record and scans forward for the
+// next sync marker (skip-and-resync); a segment whose header is
+// unreadable is quarantined (renamed *.corrupt) instead of failing
+// recovery.
+//
+// Layout. A log is a directory of segment files
+// ("journal-00000001.wal", ...), each opened append-only:
+//
+//	segment: magic "AMPW" | version u8
+//	record:  sync 0xD7 0x4A | type u8 | len uvarint | crc32c u32 LE | payload
+//
+// The CRC covers type byte and payload. Appends go straight to the
+// file descriptor (no userspace buffering) and Sync fsyncs, so a
+// record that Append+Sync reported durable is durable.
+//
+// Torn-write recovery contract: when Append fails partway (disk error,
+// injected fault), the segment may end in a torn frame. The caller
+// simply calls Append again — the retry appends a fresh complete frame
+// after the garbage, and Replay's resync skips the torn bytes. This is
+// how the server guarantees acknowledged-implies-journaled under
+// injected write faults.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Magic identifies a journal segment.
+var Magic = [4]byte{'A', 'M', 'P', 'W'}
+
+// Version of the segment format written by Open.
+const Version = 1
+
+// Sync marker bytes (distinct from the trace format's, so a journal
+// segment is never mistaken for a trace).
+const (
+	syncA = 0xD7
+	syncB = 0x4A
+)
+
+// MaxRecordBytes bounds a declared payload length; larger values mark
+// a forged or corrupted frame header. Journal payloads are small JSON
+// documents and checkpoint blobs stay well under this.
+const MaxRecordBytes = 1 << 20
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on
+// amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// Record is one journal entry: an application-defined type tag and an
+// opaque payload.
+type Record struct {
+	Type byte
+	Data []byte
+}
+
+// WriteHook intercepts segment writes for fault injection (the chaos
+// harness): given the frame about to be written, it returns how many
+// bytes to actually write and an error to report. keep < len(p) with a
+// non-nil error models a torn write; keep == 0 a failed write; a nil
+// hook writes everything. A hook must never report success for a
+// partial write — Append trusts a nil error to mean the frame is
+// complete.
+type WriteHook func(p []byte) (keep int, err error)
+
+// Options tune a Log.
+type Options struct {
+	// MaxSegmentBytes rotates to a fresh segment past this size
+	// (0 = 4 MiB). Rotation bounds the blast radius of quarantine.
+	MaxSegmentBytes int64
+	// WriteHook, when non-nil, intercepts every segment write (fault
+	// injection; see WriteHook).
+	WriteHook WriteHook
+}
+
+// Log is the append side. Open creates or continues a journal
+// directory; Append/Sync/Close must have their errors checked (ampvet
+// obserrcheck enforces this) — a dropped error here is a lost job.
+// A Log is safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	seq    uint64
+	size   int64
+	closed bool
+}
+
+// Open creates dir if needed and opens a fresh segment after the
+// highest existing one. Existing segments are never reopened for
+// write: a process that died mid-record leaves its torn tail behind,
+// and the new segment starts clean.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.MaxSegmentBytes == 0 {
+		opts.MaxSegmentBytes = 4 << 20
+	}
+	if opts.MaxSegmentBytes < 64 {
+		return nil, fmt.Errorf("wal: segment size %d too small", opts.MaxSegmentBytes)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	var last uint64
+	if n := len(segs); n > 0 {
+		last = segs[n-1].Seq
+	}
+	l := &Log{dir: dir, opts: opts, seq: last}
+	if err := l.rotate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Dir returns the journal directory.
+func (l *Log) Dir() string { return l.dir }
+
+// segmentName renders the file name of segment seq.
+func segmentName(seq uint64) string {
+	return fmt.Sprintf("journal-%08d.wal", seq)
+}
+
+// rotate opens the next segment and writes its header. Callers hold
+// the lock (or, in Open, have exclusive access).
+func (l *Log) rotate() error {
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: closing full segment: %w", err)
+		}
+		l.f = nil
+	}
+	l.seq++
+	path := filepath.Join(l.dir, segmentName(l.seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	hdr := append(append([]byte{}, Magic[:]...), Version)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	l.f = f
+	l.size = int64(len(hdr))
+	return nil
+}
+
+// appendFrame frames rec for the wire.
+func appendFrame(b []byte, rec Record) []byte {
+	b = append(b, syncA, syncB, rec.Type)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(rec.Data)))
+	b = append(b, tmp[:n]...)
+	crc := crc32.Update(crc32.Checksum([]byte{rec.Type}, crcTable), crcTable, rec.Data)
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc)
+	b = append(b, crcb[:]...)
+	return append(b, rec.Data...)
+}
+
+// Append frames and writes one record. On error the segment may hold a
+// torn frame; retrying the Append writes a fresh complete frame after
+// it and Replay resyncs past the garbage — so callers that need the
+// record durable retry Append, then Sync, then acknowledge.
+func (l *Log) Append(rec Record) error {
+	if len(rec.Data) > MaxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(rec.Data), MaxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.size >= l.opts.MaxSegmentBytes {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	frame := appendFrame(nil, rec)
+	keep := len(frame)
+	var hookErr error
+	if l.opts.WriteHook != nil {
+		keep, hookErr = l.opts.WriteHook(frame)
+		if keep < 0 {
+			keep = 0
+		}
+		if keep > len(frame) {
+			keep = len(frame)
+		}
+	}
+	var n int
+	var werr error
+	if keep > 0 {
+		n, werr = l.f.Write(frame[:keep])
+	}
+	l.size += int64(n)
+	if werr != nil {
+		return fmt.Errorf("wal: appending record: %w", werr)
+	}
+	if hookErr != nil {
+		return fmt.Errorf("wal: appending record: %w", hookErr)
+	}
+	if keep < len(frame) {
+		// A hook that truncates must also error; guard the contract.
+		return fmt.Errorf("wal: torn append (%d of %d bytes)", keep, len(frame))
+	}
+	return nil
+}
+
+// Sync fsyncs the open segment: records appended before a successful
+// Sync survive kill -9.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the open segment. Further operations return
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: sync on close: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// SegmentInfo names one journal segment on disk.
+type SegmentInfo struct {
+	Seq  uint64
+	Path string
+}
+
+// Segments lists the journal segments of dir in sequence order.
+// Quarantined (*.corrupt) files are excluded. A missing directory is
+// an empty journal, not an error.
+func Segments(dir string) ([]SegmentInfo, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: reading %s: %w", dir, err)
+	}
+	var segs []SegmentInfo
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasPrefix(name, "journal-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "journal-%08d.wal", &seq); err != nil || seq == 0 {
+			continue
+		}
+		segs = append(segs, SegmentInfo{Seq: seq, Path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Seq < segs[j].Seq })
+	return segs, nil
+}
+
+// ReplayStats reports what Replay delivered, skipped and quarantined.
+type ReplayStats struct {
+	Segments            int
+	Records             uint64
+	RecordsDropped      uint64
+	BytesSkipped        uint64
+	SegmentsQuarantined int
+}
+
+// Degraded reports whether anything was lost or quarantined.
+func (s ReplayStats) Degraded() bool {
+	return s.RecordsDropped > 0 || s.BytesSkipped > 0 || s.SegmentsQuarantined > 0
+}
+
+// Replay reads every segment of dir in order, delivering each intact
+// record to fn. Damaged records are skipped with resync; a segment
+// whose header is unreadable or wrong is renamed "<name>.corrupt" and
+// counted, never fatal. Replay only errors on I/O failure reading the
+// directory or when fn returns an error (which aborts the replay).
+func Replay(dir string, fn func(Record) error) (ReplayStats, error) {
+	var stats ReplayStats
+	segs, err := Segments(dir)
+	if err != nil {
+		return stats, err
+	}
+	for _, seg := range segs {
+		body, err := os.ReadFile(seg.Path)
+		if err != nil {
+			return stats, fmt.Errorf("wal: reading segment %s: %w", seg.Path, err)
+		}
+		if len(body) < len(Magic)+1 || [4]byte(body[:4]) != Magic || body[4] != Version {
+			if err := quarantine(seg.Path); err != nil {
+				return stats, err
+			}
+			stats.SegmentsQuarantined++
+			continue
+		}
+		stats.Segments++
+		segStats, err := replayBody(body[len(Magic)+1:], fn)
+		stats.Records += segStats.Records
+		stats.RecordsDropped += segStats.RecordsDropped
+		stats.BytesSkipped += segStats.BytesSkipped
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// quarantine renames a damaged segment aside so the next boot does not
+// trip on it again.
+func quarantine(path string) error {
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		return fmt.Errorf("wal: quarantining %s: %w", path, err)
+	}
+	return nil
+}
+
+// replayBody scans one segment body, delivering intact records and
+// resyncing past damage.
+func replayBody(body []byte, fn func(Record) error) (ReplayStats, error) {
+	var stats ReplayStats
+	pos := 0
+	for pos < len(body) {
+		if body[pos] != syncA || pos+1 >= len(body) || body[pos+1] != syncB {
+			pos++
+			stats.BytesSkipped++
+			continue
+		}
+		rec, consumed, err := parseFrame(body[pos:])
+		if err != nil {
+			// Damaged frame: resync just past the marker so an intact
+			// frame hiding in the damaged span is still found.
+			stats.RecordsDropped++
+			pos += 2
+			stats.BytesSkipped += 2
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return stats, err
+		}
+		stats.Records++
+		pos += consumed
+	}
+	return stats, nil
+}
+
+// parseFrame decodes one frame starting at the sync marker in data,
+// returning the record and total encoded size.
+func parseFrame(data []byte) (Record, int, error) {
+	pos := 2 // past sync
+	if pos >= len(data) {
+		return Record{}, 0, io.ErrUnexpectedEOF
+	}
+	typ := data[pos]
+	pos++
+	size, n := binary.Uvarint(data[pos:])
+	if n <= 0 || size > MaxRecordBytes {
+		return Record{}, 0, fmt.Errorf("wal: implausible record length")
+	}
+	pos += n
+	if pos+4+int(size) > len(data) {
+		return Record{}, 0, io.ErrUnexpectedEOF
+	}
+	crc := binary.LittleEndian.Uint32(data[pos:])
+	pos += 4
+	payload := data[pos : pos+int(size)]
+	want := crc32.Update(crc32.Checksum([]byte{typ}, crcTable), crcTable, payload)
+	if want != crc {
+		return Record{}, 0, fmt.Errorf("wal: record checksum mismatch")
+	}
+	// Copy out: body is a whole-file read the caller may retain records
+	// from, but keeping every payload alive via one backing array would
+	// pin the full segment; journal records are small.
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return Record{Type: typ, Data: out}, pos + int(size), nil
+}
