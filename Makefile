@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet ampvet analyze lint test test-short test-race bench bench-snapshot bench-core bench-check bench-server bench-server-check serve-smoke chaos-smoke experiments experiments-paper paperscale fuzz fuzz-fault fuzz-wal clean
+.PHONY: all build vet ampvet analyze lint test test-short test-race bench bench-snapshot bench-core bench-check bench-server bench-server-check bench-manycore bench-manycore-check serve-smoke chaos-smoke nxm-smoke experiments experiments-paper paperscale fuzz fuzz-fault fuzz-wal clean
 
 all: build lint test test-race
 
@@ -73,6 +73,21 @@ bench-server-check:
 	$(GO) test -run NONE -bench 'BenchmarkServerCache|BenchmarkQueueSubmitComplete' -benchmem ./internal/server ./internal/jobqueue \
 		| $(GO) run ./cmd/benchsnap -compare BENCH_server.json
 
+# Snapshot the N×M scheduler decision-loop benchmarks (O(1) off-quantum
+# gate, full-epoch cost at 64x512 and 256x2048) into BENCH_manycore.json.
+bench-manycore:
+	$(GO) test -run NONE -bench 'BenchmarkManycore' -benchmem ./internal/manycore \
+		| $(GO) run ./cmd/benchsnap -o BENCH_manycore.json
+
+# Regression gate for the N×M decision loop against the committed
+# baseline. The off-quantum gate rows sit near timer granularity
+# (~2 ns/op), so the ns gate is widened to 25%; that still catches any
+# complexity regression (orders of magnitude) and allocs/op increases
+# are rejected unconditionally.
+bench-manycore-check:
+	$(GO) test -run NONE -bench 'BenchmarkManycore' -benchmem ./internal/manycore \
+		| $(GO) run ./cmd/benchsnap -compare BENCH_manycore.json -threshold 25
+
 # End-to-end service smoke: boot ampserve on an ephemeral port, drive
 # it with amploadgen (4 concurrent sweep jobs exercising the cache),
 # then SIGTERM it and require a clean drain (exit 0).
@@ -100,6 +115,13 @@ chaos-smoke:
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o "$$tmp/" ./cmd/ampserve ./cmd/ampchaos; \
 	"$$tmp/ampchaos" -ampserve "$$tmp/ampserve" -workdir "$$tmp/work"
+
+# N×M scaling smoke: the nxm sweep at 64x512 and 256x2048 under the
+# sampled engine must complete (~30s) — guards the incremental decision
+# loop and the big topologies against wedging or blowing up in cost.
+nxm-smoke:
+	$(GO) run ./cmd/ampexperiments -run nxm -fidelity sampled \
+		-nxmcores 64,256 -nxmcycles 100000 -nxmquantum 50000 -v
 
 # Regenerate every table and figure of the paper (minutes).
 experiments:

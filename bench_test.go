@@ -188,7 +188,7 @@ func BenchmarkAblationFairnessSwap(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		without, err := r.RunPair(0, pair, func(opts ...sched.Option) amp.Scheduler {
+		without, err := r.RunPair(0, pair, func(opts ...sched.Option) amp.MoveScheduler {
 			cfg := sched.DefaultProposedConfig()
 			cfg.ForceInterval = opt.ContextSwitch
 			cfg.DisableForcedSwap = true

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -49,6 +50,10 @@ func main() {
 		faultRate    = flag.Float64("faultrate", 0, "inject monitor/swap faults at this uniform rate into every pair run (0 = off)")
 		faultSeed    = flag.Uint64("faultseed", 1, "fault-plan seed (deterministic with -seed and -faultrate)")
 		budget       = flag.Uint64("cyclebudget", 0, "per-run cycle budget; an exhausted run is reported wedged (0 = off)")
+		nxmCores     = flag.String("nxmcores", "", "comma-separated core counts for the nxm sweep (default 4,16,64,256)")
+		nxmPerCore   = flag.Int("nxmthreads", 0, "nxm threads per core (default 8)")
+		nxmCycles    = flag.Uint64("nxmcycles", 0, "nxm per-run cycle horizon (default 200000)")
+		nxmQuantum   = flag.Uint64("nxmquantum", 0, "nxm scheduler decision quantum in cycles (default 10000)")
 		verbose      = flag.Bool("v", false, "print progress lines to stderr")
 		ckptDir      = flag.String("checkpointdir", "", "snapshot sweep progress to this directory and resume interrupted sweeps from it")
 		ckptEvery    = flag.Int("checkpointevery", 0, "checkpoint save cadence in completed pairs (0 = 8)")
@@ -89,6 +94,25 @@ func main() {
 	opt.FaultSeed = *faultSeed
 	opt.CycleBudget = *budget
 	opt.Fidelity = *fidelity
+	if *nxmCores != "" {
+		opt.NXMCores = nil
+		for _, s := range strings.Split(*nxmCores, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("-nxmcores: %w", err))
+			}
+			opt.NXMCores = append(opt.NXMCores, n)
+		}
+	}
+	if *nxmPerCore > 0 {
+		opt.NXMThreadsPerCore = *nxmPerCore
+	}
+	if *nxmCycles > 0 {
+		opt.NXMCycles = *nxmCycles
+	}
+	if *nxmQuantum > 0 {
+		opt.NXMQuantum = *nxmQuantum
+	}
 
 	r, err := experiments.NewRunner(opt)
 	if err != nil {

@@ -179,7 +179,7 @@ func main() {
 			return plan.Observer(monitor.NewWindowTracker(window), tag)
 		}))
 	}
-	var schedInst amp.Scheduler
+	var schedInst amp.MoveScheduler
 	if factory != nil {
 		schedInst = factory(schedOpts...)
 	}

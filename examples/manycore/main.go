@@ -10,31 +10,31 @@ import (
 	"fmt"
 	"os"
 
+	"ampsched/internal/amp"
 	"ampsched/internal/cpu"
 	"ampsched/internal/manycore"
 	"ampsched/internal/workload"
 )
 
 func main() {
-	cores := []*cpu.Config{
-		cpu.IntCoreConfig(), cpu.IntCoreConfig(),
-		cpu.FPCoreConfig(), cpu.FPCoreConfig(),
+	cores := []manycore.CoreSpec{
+		{Config: cpu.IntCoreConfig(), Pool: 0}, {Config: cpu.IntCoreConfig(), Pool: 0},
+		{Config: cpu.FPCoreConfig(), Pool: 1}, {Config: cpu.FPCoreConfig(), Pool: 1},
 	}
 	// FP-heavy threads start on the INT cores and vice versa.
 	names := []string{"fpstress", "equake", "intstress", "bitcount"}
-	benches := make([]*workload.Benchmark, len(names))
+	threads := make([]manycore.ThreadSpec, len(names))
 	for i, n := range names {
 		b, err := workload.ByName(n)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "manycore:", err)
 			os.Exit(1)
 		}
-		benches[i] = b
+		threads[i] = manycore.ThreadSpec{Bench: b, Seed: uint64(i + 1)}
 	}
-	seeds := []uint64{1, 2, 3, 4}
 
-	run := func(label string, s manycore.Scheduler) {
-		sys, err := manycore.NewSystem(cores, benches, seeds, s, manycore.Config{})
+	run := func(label string, s amp.MoveScheduler) {
+		sys, err := manycore.New(cores, threads, s, manycore.Config{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "manycore:", err)
 			os.Exit(1)
@@ -42,7 +42,11 @@ func main() {
 		res := sys.MustRun(400_000)
 		fmt.Printf("%-8s reassigns=%-3d geomean IPC/Watt=%.4f  placement:", label, res.Reassigns, res.GeomeanIPCW())
 		for c := 0; c < sys.NumCores(); c++ {
-			fmt.Printf(" core%d(%s)=%s", c, sys.CoreConfig(c).Name, benches[sys.ThreadOnCore(c)].Name)
+			name := "idle"
+			if t := sys.ThreadOnCore(c); t >= 0 {
+				name = threads[t].Bench.Name
+			}
+			fmt.Printf(" core%d(%s)=%s", c, sys.CoreConfig(c).Name, name)
 		}
 		fmt.Println()
 	}

@@ -32,7 +32,7 @@ func main() {
 	b, err := workload.ByName(*benchB)
 	check(err)
 
-	run := func(label string, s amp.Scheduler) amp.Result {
+	run := func(label string, s amp.MoveScheduler) amp.Result {
 		t0 := amp.NewThread(0, a, 1, 0)
 		t1 := amp.NewThread(1, b, 2, 1<<40)
 		sys := amp.MustSystem(

@@ -22,20 +22,20 @@ import (
 	"ampsched/internal/workload"
 )
 
-// tracer wraps a scheduler and records the cycle of every swap.
+// tracer wraps a scheduler and records the cycle of every move batch.
 type tracer struct {
-	inner amp.Scheduler
+	inner amp.MoveScheduler
 	swaps []uint64
 }
 
 func (t *tracer) Name() string     { return t.inner.Name() }
 func (t *tracer) Reset(v amp.View) { t.inner.Reset(v) }
-func (t *tracer) Tick(v amp.View) bool {
-	if t.inner.Tick(v) {
+func (t *tracer) Tick(v amp.View) []amp.Move {
+	mv := t.inner.Tick(v)
+	if len(mv) > 0 {
 		t.swaps = append(t.swaps, v.Cycle())
-		return true
 	}
-	return false
+	return mv
 }
 
 func main() {
@@ -55,7 +55,7 @@ func main() {
 		fail(err)
 	}
 
-	run := func(name string, mk func() amp.Scheduler) (amp.Result, *tracer) {
+	run := func(name string, mk func() amp.MoveScheduler) (amp.Result, *tracer) {
 		tr := &tracer{inner: mk()}
 		t0 := amp.NewThread(0, workload.MustByName("mixstress"), 1, 0)
 		t1 := amp.NewThread(1, workload.MustByName("equake"), 2, 1<<40)
@@ -77,12 +77,12 @@ func main() {
 		return res, tr
 	}
 
-	resProp, _ := run("proposed (window=1000, history=5)", func() amp.Scheduler {
+	resProp, _ := run("proposed (window=1000, history=5)", func() amp.MoveScheduler {
 		cfg := sched.DefaultProposedConfig()
 		cfg.ForceInterval = ctxSwitch
 		return sched.NewProposed(cfg)
 	})
-	resHPE, _ := run(fmt.Sprintf("HPE (decides every %d cycles)", ctxSwitch), func() amp.Scheduler {
+	resHPE, _ := run(fmt.Sprintf("HPE (decides every %d cycles)", ctxSwitch), func() amp.MoveScheduler {
 		cfg := sched.DefaultHPEConfig()
 		cfg.Interval = ctxSwitch
 		return sched.NewHPE(cfg, matrix)

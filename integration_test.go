@@ -38,7 +38,7 @@ func TestProposedFixesMisplacedThreads(t *testing.T) {
 		t.Skip("short mode")
 	}
 	cores := [2]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()}
-	run := func(a, b string, s amp.Scheduler) amp.Result {
+	run := func(a, b string, s amp.MoveScheduler) amp.Result {
 		t0 := amp.NewThread(0, workload.MustByName(a), 21, 0)
 		t1 := amp.NewThread(1, workload.MustByName(b), 22, 1<<40)
 		return amp.MustSystem(cores, [2]*amp.Thread{t0, t1}, s, amp.Config{}).MustRun(400_000)

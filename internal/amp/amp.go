@@ -127,11 +127,27 @@ type View interface {
 	L2Stats(core int) cache.Stats
 	// FreqGHz returns the (common) core clock.
 	FreqGHz() float64
+	// NumCores returns the core count (2 on the dual-core system).
+	NumCores() int
+	// NumThreads returns the thread count. Threads beyond the core
+	// count time-share; ThreadOnCore returns -1 for an idle core and
+	// CoreOfThread returns ParkCore for an unbound thread.
+	NumThreads() int
+	// AffinityMask returns the thread's pool-affinity bit mask: bit p
+	// set means the thread may run on cores of pool p. AllPools means
+	// unconstrained.
+	AffinityMask(thread int) uint64
+	// CorePool returns the pool index a core belongs to. Pools group
+	// cores of one flavor (e.g. INT vs FP, or big vs small).
+	CorePool(core int) int
 }
 
-// Scheduler decides when the two threads exchange cores. Tick is
-// called once per non-stalled cycle and returns true to request an
-// immediate swap. Implementations must be cheap in the common case.
+// Scheduler is the original dual-core scheduling interface: Tick
+// returns true to request an immediate swap of the two threads.
+//
+// Deprecated: implement MoveScheduler (Tick returning []Move) instead;
+// wrap existing implementations with Legacy. The interface remains
+// accepted for one release via the Legacy adapter.
 type Scheduler interface {
 	Name() string
 	// Reset prepares the scheduler for a new run over v.
@@ -247,7 +263,8 @@ type System struct {
 	models  [2]*power.Model
 	threads [2]*Thread
 	binding [2]int // binding[core] = thread index
-	sched   Scheduler
+	pools   [2]int // pools[core] = flavor pool index
+	sched   MoveScheduler
 	cfg     Config
 
 	// engineFactory builds the two engines (WithEngine); nil means
@@ -281,7 +298,7 @@ type System struct {
 // combinations (see Config.Validate) are rejected with an error.
 // Instrumentation (observers, fault plans, telemetry) is attached with
 // functional options: WithObserver, WithFaultPlan, WithTelemetry.
-func NewSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg Config, opts ...Option) (*System, error) {
+func NewSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched MoveScheduler, cfg Config, opts ...Option) (*System, error) {
 	if threads[0] == nil || threads[1] == nil {
 		return nil, fmt.Errorf("amp: NewSystem needs two threads")
 	}
@@ -297,6 +314,11 @@ func NewSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg
 		binding: [2]int{0, 1},
 		sched:   sched,
 		cfg:     cfg,
+	}
+	// Cores of distinct configurations form distinct pools, in core
+	// order: the canonical INT/FP pair becomes pools 0 and 1.
+	if coreCfgs[1].Name != coreCfgs[0].Name {
+		s.pools[1] = 1
 	}
 	// Options run before engine construction so WithEngine can select
 	// the factory.
@@ -330,7 +352,7 @@ func NewSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg
 
 // MustSystem is NewSystem panicking on error: for examples, benchmarks
 // and tests where the configuration is statically known to be valid.
-func MustSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched Scheduler, cfg Config, opts ...Option) *System {
+func MustSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched MoveScheduler, cfg Config, opts ...Option) *System {
 	s, err := NewSystem(coreCfgs, threads, sched, cfg, opts...)
 	if err != nil {
 		panic(err)
@@ -377,6 +399,18 @@ func (s *System) L2Stats(core int) cache.Stats { return s.engines[core].Stats().
 
 // FreqGHz implements View.
 func (s *System) FreqGHz() float64 { return s.engines[0].Config().FreqGHz }
+
+// NumCores implements View.
+func (s *System) NumCores() int { return 2 }
+
+// NumThreads implements View.
+func (s *System) NumThreads() int { return 2 }
+
+// AffinityMask implements View: dual-core threads are unconstrained.
+func (s *System) AffinityMask(thread int) uint64 { return AllPools }
+
+// CorePool implements View.
+func (s *System) CorePool(core int) int { return s.pools[core] }
 
 // --------------------------------------------------------------------
 
@@ -558,7 +592,7 @@ func (s *System) RunContext(ctx context.Context, limit uint64) (Result, error) {
 			s.engines[0].Run(s.cycle, n)
 			s.engines[1].Run(s.cycle, n)
 			if s.sched != nil {
-				if s.sched.Tick(s) {
+				if mv := s.sched.Tick(s); len(mv) != 0 && s.movesSwap(mv) {
 					s.requestSwap()
 				} else if mp, ok := s.sched.(MorphPolicy); ok {
 					switch act, strong := mp.MorphTick(s); {

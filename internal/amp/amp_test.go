@@ -33,16 +33,19 @@ func coreCfgs() [2]*cpu.Config {
 type swapEvery struct {
 	period uint64
 	next   uint64
+	buf    [2]Move
 }
 
 func (s *swapEvery) Name() string { return "swapEvery" }
 func (s *swapEvery) Reset(v View) { s.next = v.Cycle() + s.period }
-func (s *swapEvery) Tick(v View) bool {
+func (s *swapEvery) Tick(v View) []Move {
 	if v.Cycle() < s.next {
-		return false
+		return nil
 	}
 	s.next = v.Cycle() + s.period
-	return true
+	s.buf[0] = Move{Thread: v.ThreadOnCore(0), Core: 1}
+	s.buf[1] = Move{Thread: v.ThreadOnCore(1), Core: 0}
+	return s.buf[:]
 }
 
 func TestRunReachesLimit(t *testing.T) {

@@ -13,9 +13,9 @@ type scriptedMorph struct {
 	strong      int
 }
 
-func (p *scriptedMorph) Name() string   { return "scriptedMorph" }
-func (p *scriptedMorph) Reset(View)     {}
-func (p *scriptedMorph) Tick(View) bool { return false }
+func (p *scriptedMorph) Name() string     { return "scriptedMorph" }
+func (p *scriptedMorph) Reset(View)       {}
+func (p *scriptedMorph) Tick(View) []Move { return nil }
 func (p *scriptedMorph) MorphTick(v View) (MorphAction, int) {
 	switch {
 	case v.Cycle() >= p.offAt:
@@ -102,7 +102,7 @@ func TestMorphMixedWorkloadGainsThroughput(t *testing.T) {
 	// strong core. Throughput (IPC) must rise clearly; whether
 	// IPC/Watt rises too depends on the added leakage — that tradeoff
 	// is exactly what the swap-vs-morph experiment measures.
-	run := func(pol Scheduler) Result {
+	run := func(pol MoveScheduler) Result {
 		threads := newPair(t, "memstress", "mixstress", 45)
 		sys := MustSystem(coreCfgs(), threads, pol, Config{SwapOverheadCycles: 500})
 		return sys.MustRun(250_000)

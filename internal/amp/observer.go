@@ -35,6 +35,10 @@ const (
 	// EventCanceled fires when RunContext returns early because its
 	// context was canceled.
 	EventCanceled
+	// EventReassign fires when a manycore system applies a move batch
+	// (the N-core generalization of EventSwap). Overhead carries the
+	// per-core frozen-window length.
+	EventReassign
 )
 
 // String names the kind for sinks and logs.
@@ -58,6 +62,8 @@ func (k EventKind) String() string {
 		return "wedged"
 	case EventCanceled:
 		return "canceled"
+	case EventReassign:
+		return "reassign"
 	default:
 		return "unknown"
 	}

@@ -39,6 +39,7 @@ func TestDeprecatedAPI(t *testing.T) {
 func TestDeprecatedAPIDefiningPackagesExempt(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.DeprecatedAPIAnalyzer, "deprecatedapi/internal/amp")
 	analysistest.Run(t, "testdata", analysis.DeprecatedAPIAnalyzer, "deprecatedapi/internal/sched")
+	analysistest.Run(t, "testdata", analysis.DeprecatedAPIAnalyzer, "deprecatedapi/internal/manycore")
 }
 
 func TestObsErrCheck(t *testing.T) {

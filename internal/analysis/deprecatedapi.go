@@ -5,37 +5,62 @@ import (
 	"go/types"
 )
 
-// DeprecatedAPIAnalyzer blocks new callers of the pre-options
-// instrumentation surface while it rides out its deprecation window:
+// DeprecatedAPIAnalyzer blocks new callers of deprecated surfaces
+// while they ride out their deprecation windows:
 //
 //   - amp.Config.SwapInjector — superseded by amp.WithFaultPlan,
 //   - sched ObserverInjectable.SetObserver — superseded by
-//     sched.WithObserverFactory.
+//     sched.WithObserverFactory,
+//   - the old bool/permutation scheduler interfaces (amp.Scheduler,
+//     manycore.Scheduler, manycore.View) and their adapter shims
+//     (amp.Legacy, manycore.Legacy, manycore.NewSystem) — superseded
+//     by the unified amp.MoveScheduler / amp.View API.
 //
-// Uses inside the defining packages (the shim plumbing itself) are
-// exempt; the designated shim tests carry //ampvet:allow directives.
-// The amp.SwapInjector interface type stays first-class — only the
-// Config field and the setter method are deprecated.
+// Uses inside the defining packages (the shim plumbing and its
+// designated regression tests) are exempt; anywhere else a use needs
+// an //ampvet:allow directive.
 var DeprecatedAPIAnalyzer = &Analyzer{
 	Name: "deprecatedapi",
-	Doc: "flag uses of the deprecated Config.SwapInjector field and ObserverInjectable.SetObserver " +
-		"method outside their defining packages; use amp.WithFaultPlan / sched.WithObserverFactory",
+	Doc: "flag uses of deprecated APIs (Config.SwapInjector, ObserverInjectable.SetObserver, " +
+		"the old bool/permutation Scheduler interfaces and their Legacy shims) outside their defining packages",
 	Run: runDeprecatedAPI,
 }
 
-// deprecatedMember describes one deprecated struct field or method.
+// memberKind says what language object a deprecatedMember names.
+type memberKind int
+
+const (
+	kindField    memberKind = iota // struct field
+	kindMethod                     // method (any receiver)
+	kindTypeName                   // named type (interface or struct)
+	kindFunc                       // package-level function
+)
+
+// deprecatedMember describes one deprecated identifier.
 type deprecatedMember struct {
 	pkgSuffix string // defining package (uses inside it are exempt)
 	name      string
-	field     bool // true: struct field, false: method
+	kind      memberKind
 	advice    string
 }
 
 var deprecatedMembers = []deprecatedMember{
-	{"internal/amp", "SwapInjector", true,
+	{"internal/amp", "SwapInjector", kindField,
 		"Config.SwapInjector is deprecated; pass amp.WithFaultPlan(injector) to NewSystem"},
-	{"internal/sched", "SetObserver", false,
+	{"internal/sched", "SetObserver", kindMethod,
 		"ObserverInjectable.SetObserver is deprecated; pass sched.WithObserverFactory(factory) to the scheduler constructor"},
+	{"internal/amp", "Scheduler", kindTypeName,
+		"amp.Scheduler is deprecated; implement amp.MoveScheduler (Tick returning []amp.Move) or wrap with amp.Legacy"},
+	{"internal/amp", "Legacy", kindFunc,
+		"amp.Legacy is a migration shim; port the scheduler to amp.MoveScheduler"},
+	{"internal/manycore", "Scheduler", kindTypeName,
+		"manycore.Scheduler is deprecated; implement amp.MoveScheduler (Tick returning []amp.Move) or wrap with manycore.Legacy"},
+	{"internal/manycore", "View", kindTypeName,
+		"manycore.View is deprecated; schedulers receive the richer amp.View"},
+	{"internal/manycore", "Legacy", kindFunc,
+		"manycore.Legacy is a migration shim; port the scheduler to amp.MoveScheduler"},
+	{"internal/manycore", "NewSystem", kindFunc,
+		"manycore.NewSystem is deprecated; use manycore.New with CoreSpec/ThreadSpec slices"},
 }
 
 func runDeprecatedAPI(pass *Pass) error {
@@ -54,21 +79,35 @@ func runDeprecatedAPI(pass *Pass) error {
 					continue
 				}
 				if pkgPathIs(pass.Pkg, m.pkgSuffix) {
-					continue // the shim's own plumbing
+					continue // the shim's own plumbing and regression tests
 				}
-				switch o := obj.(type) {
-				case *types.Var:
-					if m.field && o.IsField() {
-						pass.Reportf(id.Pos(), "%s", m.advice)
-					}
-				case *types.Func:
-					if !m.field && o.Type().(*types.Signature).Recv() != nil {
-						pass.Reportf(id.Pos(), "%s", m.advice)
-					}
+				if deprecatedUse(obj, m.kind) {
+					pass.Reportf(id.Pos(), "%s", m.advice)
 				}
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// deprecatedUse reports whether obj is the kind of object the member
+// entry deprecates (a same-named identifier of another kind — e.g. a
+// local variable called Scheduler — is not).
+func deprecatedUse(obj types.Object, kind memberKind) bool {
+	switch kind {
+	case kindField:
+		v, ok := obj.(*types.Var)
+		return ok && v.IsField()
+	case kindMethod:
+		f, ok := obj.(*types.Func)
+		return ok && f.Type().(*types.Signature).Recv() != nil
+	case kindTypeName:
+		_, ok := obj.(*types.TypeName)
+		return ok
+	case kindFunc:
+		f, ok := obj.(*types.Func)
+		return ok && f.Type().(*types.Signature).Recv() == nil
+	}
+	return false
 }

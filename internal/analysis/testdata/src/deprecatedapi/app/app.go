@@ -4,6 +4,7 @@ package app
 
 import (
 	"deprecatedapi/internal/amp"
+	"deprecatedapi/internal/manycore"
 	"deprecatedapi/internal/sched"
 )
 
@@ -26,4 +27,38 @@ func Wire(p *sched.Proposed, f func(window uint64) int) {
 // regression tests use.
 func ShimTest(p *sched.Proposed, f func(window uint64) int) {
 	p.SetObserver(f) //ampvet:allow deprecatedapi designated shim regression test
+}
+
+// boolSched implements the deprecated bool-swap interface.
+type boolSched struct{}
+
+func (boolSched) Tick(v amp.View) bool { return false }
+
+// OldSchedulers keeps using the deprecated interfaces and adapters.
+func OldSchedulers(s amp.Scheduler) { // want `amp\.Scheduler is deprecated; implement amp\.MoveScheduler`
+	var ms amp.MoveScheduler = amp.Legacy(s) // want `amp\.Legacy is a migration shim`
+	_ = ms
+}
+
+// permSched implements the deprecated manycore permutation interface.
+type permSched struct{}
+
+func (permSched) Tick(v manycore.View) []int { return nil } // want `manycore\.View is deprecated`
+
+// OldManycore builds a system the pre-redesign way.
+func OldManycore() {
+	var s manycore.Scheduler = permSched{}    // want `manycore\.Scheduler is deprecated; implement amp\.MoveScheduler`
+	_, _ = manycore.NewSystem(s)              // want `manycore\.NewSystem is deprecated; use manycore\.New`
+	_ = manycore.Legacy(s)                    // want `manycore\.Legacy is a migration shim`
+	_, _ = manycore.New(manycore.Legacy(nil)) // want `manycore\.Legacy is a migration shim`
+}
+
+// AuditedShim shows the escape hatch for the new entries too.
+func AuditedShim(s manycore.Scheduler) { //ampvet:allow deprecatedapi designated shim regression test
+	_, _ = manycore.NewSystem(s) //ampvet:allow deprecatedapi designated shim regression test
+}
+
+// NewAPI uses only the unified surface: nothing to flag.
+func NewAPI(ms amp.MoveScheduler) {
+	_, _ = manycore.New(ms)
 }

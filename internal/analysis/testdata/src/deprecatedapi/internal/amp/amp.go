@@ -19,3 +19,32 @@ type Config struct {
 func normalize(c *Config) SwapInjector { return c.SwapInjector }
 
 var _ = normalize
+
+// View is the scheduler's window into the system.
+type View interface{ Cycle() uint64 }
+
+// Move relocates one thread.
+type Move struct{ Thread, Core int }
+
+// MoveScheduler is the unified replacement interface.
+type MoveScheduler interface {
+	Tick(v View) []Move
+}
+
+// Scheduler is the deprecated bool-swap interface.
+type Scheduler interface {
+	Tick(v View) bool
+}
+
+// Legacy adapts a deprecated Scheduler. Declaring and implementing it
+// here is exempt; calling it from another package is flagged.
+func Legacy(s Scheduler) MoveScheduler { return legacyAdapter{s} }
+
+type legacyAdapter struct{ inner Scheduler }
+
+func (a legacyAdapter) Tick(v View) []Move {
+	if a.inner.Tick(v) {
+		return []Move{{Thread: 0, Core: 1}, {Thread: 1, Core: 0}}
+	}
+	return nil
+}

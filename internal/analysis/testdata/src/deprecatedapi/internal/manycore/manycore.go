@@ -1,0 +1,28 @@
+// Package manycore mirrors the real manycore package's deprecated
+// permutation-scheduler surface. Everything here is the defining
+// package, so all uses below are exempt.
+package manycore
+
+import "deprecatedapi/internal/amp"
+
+// View is the deprecated narrow view.
+type View interface{ Cycle() uint64 }
+
+// Scheduler is the deprecated permutation interface.
+type Scheduler interface {
+	Tick(v View) []int
+}
+
+// System is the N×M machine.
+type System struct{}
+
+// New is the replacement constructor.
+func New(s amp.MoveScheduler) (*System, error) { return &System{}, nil }
+
+// Legacy adapts a deprecated Scheduler; calling it outside this
+// package is flagged.
+func Legacy(s Scheduler) amp.MoveScheduler { return nil }
+
+// NewSystem is the deprecated constructor; its own body using the
+// deprecated pieces is exempt.
+func NewSystem(s Scheduler) (*System, error) { return New(Legacy(s)) }

@@ -13,7 +13,7 @@ import (
 // SamplingFactory builds the related-work sampling scheduler scaled to
 // the runner's coarse decision interval.
 func (r *Runner) SamplingFactory() SchedFactory {
-	return func(opts ...sched.Option) amp.Scheduler {
+	return func(opts ...sched.Option) amp.MoveScheduler {
 		cfg := sched.DefaultSamplingConfig()
 		cfg.Interval = r.Opt.ContextSwitch
 		cfg.SampleLen = r.Opt.ContextSwitch / 16
@@ -27,7 +27,7 @@ func (r *Runner) SamplingFactory() SchedFactory {
 // StaticFactory builds the never-swap baseline; it has no telemetry
 // or monitors, so the options are accepted and ignored.
 func StaticFactory() SchedFactory {
-	return func(...sched.Option) amp.Scheduler { return sched.Static{} }
+	return func(...sched.Option) amp.MoveScheduler { return sched.Static{} }
 }
 
 // geoIPCW is the pair-level geometric-mean IPC/Watt.

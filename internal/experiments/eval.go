@@ -77,7 +77,7 @@ func RunFig6(r *Runner, w io.Writer) error {
 			var wImp, gImp []float64
 			for i, p := range pairs {
 				r.progress("fig6: window=%d depth=%d pair %d/%d", win, d, i+1, len(pairs))
-				factory := func(opts ...sched.Option) amp.Scheduler {
+				factory := func(opts ...sched.Option) amp.MoveScheduler {
 					cfg := sched.DefaultProposedConfig()
 					cfg.WindowSize = win
 					cfg.HistoryDepth = d

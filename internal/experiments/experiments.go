@@ -79,8 +79,19 @@ type Options struct {
 	// analytic model, ~2 orders of magnitude faster) or "sampled"
 	// (detailed warm-up windows + interval fast-forward). Profiling
 	// and rule derivation always run detailed — they are the ground
-	// truth the schedulers were built against.
+	// truth the schedulers were built against. The nxm sweep treats
+	// the empty string as "interval": detailed simulation of hundreds
+	// of cores is possible but pointlessly slow for a scaling curve.
 	Fidelity string
+	// NXMCores are the machine sizes of the nxm scaling sweep.
+	NXMCores []int
+	// NXMThreadsPerCore oversubscribes each nxm machine: an N-core
+	// rung runs N*NXMThreadsPerCore threads.
+	NXMThreadsPerCore int
+	// NXMCycles is the fixed horizon of one nxm policy run.
+	NXMCycles uint64
+	// NXMQuantum is the decision quantum handed to every nxm policy.
+	NXMQuantum uint64
 }
 
 // DefaultOptions returns the scaled-down defaults.
@@ -95,6 +106,10 @@ func DefaultOptions() Options {
 		RulePairs:         50,
 		SensitivityPairs:  10,
 		Seed:              7,
+		NXMCores:          []int{4, 16, 64, 256},
+		NXMThreadsPerCore: 8,
+		NXMCycles:         200_000,
+		NXMQuantum:        10_000,
 	}
 }
 
@@ -130,6 +145,16 @@ func (o *Options) Validate() error {
 	}
 	if _, err := interval.FactoryFor(o.Fidelity); err != nil {
 		return fmt.Errorf("experiments: %w", err)
+	}
+	// Zero-valued NXM fields mean "use the defaults" (resolved by
+	// nxmParams), so pre-NXM Options literals stay valid.
+	for _, n := range o.NXMCores {
+		if n <= 0 {
+			return fmt.Errorf("experiments: NXMCores entry %d must be positive", n)
+		}
+	}
+	if o.NXMThreadsPerCore < 0 {
+		return fmt.Errorf("experiments: NXMThreadsPerCore must not be negative")
 	}
 	return nil
 }
@@ -173,7 +198,7 @@ func RandomPairs(n int, seed uint64) []Pair {
 // runner supplies the options (telemetry, fault observer factories)
 // at each call site; a factory that constructs a scheduler ignoring
 // them is still valid.
-type SchedFactory func(opts ...sched.Option) amp.Scheduler
+type SchedFactory func(opts ...sched.Option) amp.MoveScheduler
 
 // Runner caches the expensive shared state (profiling, estimators,
 // the main pair sweep) across experiments. The lazy accessors
@@ -378,7 +403,7 @@ func (r *Runner) runPair(ctx context.Context, i int, p Pair, factory SchedFactor
 			return plan.Observer(monitor.NewWindowTracker(window), tag)
 		}))
 	}
-	var s amp.Scheduler
+	var s amp.MoveScheduler
 	if factory != nil {
 		s = factory(schedOpts...)
 	}
@@ -420,7 +445,7 @@ func (r *Runner) observeRun(p Pair, d time.Duration, err error) {
 // ProposedFactory builds the paper's default proposed scheduler with
 // the runner's (possibly scaled) forced-swap interval.
 func (r *Runner) ProposedFactory() SchedFactory {
-	return func(opts ...sched.Option) amp.Scheduler {
+	return func(opts ...sched.Option) amp.MoveScheduler {
 		cfg := sched.DefaultProposedConfig()
 		cfg.ForceInterval = r.Opt.ContextSwitch
 		return sched.NewProposed(cfg, opts...)
@@ -430,7 +455,7 @@ func (r *Runner) ProposedFactory() SchedFactory {
 // HPEFactory builds the HPE reference scheduler with the given
 // estimator.
 func (r *Runner) HPEFactory(est sched.Estimator) SchedFactory {
-	return func(opts ...sched.Option) amp.Scheduler {
+	return func(opts ...sched.Option) amp.MoveScheduler {
 		cfg := sched.DefaultHPEConfig()
 		cfg.Interval = r.Opt.ContextSwitch
 		return sched.NewHPE(cfg, est, opts...)
@@ -440,7 +465,7 @@ func (r *Runner) HPEFactory(est sched.Estimator) SchedFactory {
 // RRFactory builds a Round Robin scheduler swapping every multiple
 // context-switch intervals.
 func (r *Runner) RRFactory(multiple int) SchedFactory {
-	return func(opts ...sched.Option) amp.Scheduler {
+	return func(opts ...sched.Option) amp.MoveScheduler {
 		return sched.NewRoundRobinInterval(uint64(multiple)*r.Opt.ContextSwitch, opts...)
 	}
 }

@@ -17,7 +17,7 @@ import (
 // ProposedExtFactory builds the §VII-extension scheduler (IPC + LLC
 // miss-rate guard) with the runner's forced-swap interval.
 func (r *Runner) ProposedExtFactory() SchedFactory {
-	return func(opts ...sched.Option) amp.Scheduler {
+	return func(opts ...sched.Option) amp.MoveScheduler {
 		cfg := sched.DefaultExtendedConfig()
 		cfg.Base.ForceInterval = r.Opt.ContextSwitch
 		return sched.NewProposedExt(cfg, opts...)

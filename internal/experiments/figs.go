@@ -40,6 +40,7 @@ func All() []Experiment {
 		{"power", "analysis: Wattch-style per-structure energy breakdown on both cores", RunPowerBreakdown},
 		{"morph", "§III: swap-only (this paper) vs swap+morph ([5])", RunMorph},
 		{"manycore", "§VIII: quad-core generalization (rank-and-place vs rotate vs static)", RunManycore},
+		{"nxm", "scaling: weighted IPC/Watt vs core count (4/16/64/256) for all N×M policies", RunNXM},
 		{"resilience", "robustness: IPC/Watt degradation vs injected fault rate (proposed/HPE/RR)", RunResilience},
 		{"phases", "analysis: online phase classification ([6]) vs generator ground truth", RunPhases},
 		{"oracle", "analysis: online schemes vs a clairvoyant (cost-blind) profile scheduler", RunOracle},

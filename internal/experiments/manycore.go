@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"ampsched/internal/amp"
 	"ampsched/internal/cpu"
 	"ampsched/internal/manycore"
 	"ampsched/internal/report"
@@ -26,9 +27,9 @@ var quadSets = [][4]string{
 // rotation and static assignment. Scores are geomean IPC/Watt over the
 // four threads, normalized to static.
 func RunManycore(r *Runner, w io.Writer) error {
-	cfgs := []*cpu.Config{
-		cpu.IntCoreConfig(), cpu.IntCoreConfig(),
-		cpu.FPCoreConfig(), cpu.FPCoreConfig(),
+	cores := []manycore.CoreSpec{
+		{Config: cpu.IntCoreConfig(), Pool: 0}, {Config: cpu.IntCoreConfig(), Pool: 0},
+		{Config: cpu.FPCoreConfig(), Pool: 1}, {Config: cpu.FPCoreConfig(), Pool: 1},
 	}
 	t := &report.Table{
 		Title:   "§VIII generalization: quad-core (2 INT + 2 FP), geomean IPC/Watt normalized to static",
@@ -42,19 +43,17 @@ func RunManycore(r *Runner, w io.Writer) error {
 	var rankScores, rotScores []float64
 	for i, set := range quadSets {
 		r.progress("manycore: set %d/%d %v", i+1, len(quadSets), set)
-		benches := make([]*workload.Benchmark, 4)
+		threads := make([]manycore.ThreadSpec, 4)
 		for j, n := range set {
 			b, err := workload.ByName(n)
 			if err != nil {
 				return err
 			}
-			benches[j] = b
+			threads[j] = manycore.ThreadSpec{Bench: b, Seed: r.Opt.Seed*4096 + uint64(i*8+j)}
 		}
-		seeds := []uint64{r.Opt.Seed*4096 + uint64(i*8), r.Opt.Seed*4096 + uint64(i*8+1),
-			r.Opt.Seed*4096 + uint64(i*8+2), r.Opt.Seed*4096 + uint64(i*8+3)}
 
-		run := func(s manycore.Scheduler) (manycore.Result, error) {
-			sys, err := manycore.NewSystem(cfgs, benches, seeds, s, manycore.Config{
+		run := func(s amp.MoveScheduler) (manycore.Result, error) {
+			sys, err := manycore.New(cores, threads, s, manycore.Config{
 				ReassignOverheadCycles: r.Opt.SwapOverhead,
 			})
 			if err != nil {

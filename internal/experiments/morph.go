@@ -15,7 +15,7 @@ import (
 // MorphingFactory builds the [5]-style morphing scheduler with the
 // runner's forced-swap interval.
 func (r *Runner) MorphingFactory() SchedFactory {
-	return func(opts ...sched.Option) amp.Scheduler {
+	return func(opts ...sched.Option) amp.MoveScheduler {
 		cfg := sched.DefaultMorphConfig()
 		cfg.Base.ForceInterval = r.Opt.ContextSwitch
 		return sched.NewMorphing(cfg, opts...)

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/interval"
+	"ampsched/internal/manycore"
+	"ampsched/internal/report"
+	"ampsched/internal/workload"
+)
+
+// The nxm experiment is the ROADMAP's "weighted IPC/Watt vs. core
+// count" scaling study: every manycore policy on machines of
+// 4/16/64/256 cores (half INT pool 0, half FP pool 1), each
+// oversubscribed with NXMThreadsPerCore threads per core, run to a
+// fixed cycle horizon so the rungs are comparable. Scores are
+// machine-weighted IPC/Watt (total IPC over total Watts) normalized
+// to the static baseline of the same rung.
+
+// NXMPolicyNames lists the compared policies in report order.
+func NXMPolicyNames() []string {
+	return []string{"static", "rotate", "rank", "hpe", "bigsmall", "twophase"}
+}
+
+// NXMUnit is one rung of the nxm sweep: one machine size, every
+// policy. Weighted holds absolute machine-weighted IPC/Watt per
+// policy (normalize to Weighted["static"] for the paper-style curve);
+// Reassigns counts each policy's accepted thread relocations.
+type NXMUnit struct {
+	Cores     int                `json:"cores"`
+	Threads   int                `json:"threads"`
+	Cycles    uint64             `json:"cycles"`
+	Weighted  map[string]float64 `json:"weighted_ipcw"`
+	Reassigns map[string]uint64  `json:"reassigns"`
+}
+
+// NXMParams are the resolved NXM knobs: zero-valued options filled
+// with the sweep defaults. The ampserve key derivation uses them so
+// "default" and "explicitly default" jobs share cache entries.
+type NXMParams struct {
+	Cores          []int
+	ThreadsPerCore int
+	Cycles         uint64
+	Quantum        uint64
+	Fidelity       string
+}
+
+// ResolveNXM fills zero-valued NXM options with the defaults. The
+// empty (or detailed) fidelity resolves to the interval engine: the
+// nxm sweep wants a scaling curve, not cycle accuracy, and detailed
+// simulation of a 256-core machine is prohibitively slow.
+func ResolveNXM(o Options) NXMParams {
+	p := NXMParams{
+		Cores:          o.NXMCores,
+		ThreadsPerCore: o.NXMThreadsPerCore,
+		Cycles:         o.NXMCycles,
+		Quantum:        o.NXMQuantum,
+		Fidelity:       o.Fidelity,
+	}
+	if len(p.Cores) == 0 {
+		p.Cores = []int{4, 16, 64, 256}
+	}
+	if p.ThreadsPerCore == 0 {
+		p.ThreadsPerCore = 8
+	}
+	if p.Cycles == 0 {
+		p.Cycles = 200_000
+	}
+	if p.Quantum == 0 {
+		p.Quantum = 10_000
+	}
+	if p.Fidelity == "" || p.Fidelity == cpu.FidelityDetailed {
+		p.Fidelity = interval.FidelityInterval
+	}
+	return p
+}
+
+// nxmBenchNames is the workload mix cycled across nxm threads: a
+// deterministic spread of INT-heavy, FP-heavy, mixed and phased
+// benchmarks so promotion, demotion and exchange all have work to do.
+// FP-heavy names sit at even indices so the greedy initial placement
+// (thread i on core i) puts them on INT cores and vice versa — the
+// deliberately inverted start the dual-core experiments also use,
+// which the dynamic policies are supposed to fix.
+var nxmBenchNames = []string{
+	"fpstress", "gcc", "equake", "mcf", "apsi", "intstress",
+	"swim", "sha", "ammp", "CRC32", "fft", "bitcount",
+	"mixstress", "blowfish",
+}
+
+// nxmSchedulers builds one fresh scheduler per policy, all on the same
+// decision quantum. The HPE rank and two-phase policies consume the
+// Runner's profiled ratio matrix — the same §V artifact the dual-core
+// HPE scheduler uses.
+func nxmSchedulers(r *Runner, quantum uint64) (map[string]func() (amp.MoveScheduler, error), error) {
+	est, err := r.Matrix()
+	if err != nil {
+		return nil, fmt.Errorf("nxm: HPE estimator: %w", err)
+	}
+	rankCfg := manycore.DefaultRankConfig()
+	rankCfg.Quantum = quantum
+	bsCfg := manycore.DefaultBigSmallConfig()
+	bsCfg.Quantum = quantum
+	tpCfg := manycore.DefaultTwoPhaseConfig()
+	tpCfg.Quantum = quantum
+	tpCfg.Estimator = est
+	return map[string]func() (amp.MoveScheduler, error){
+		"static":   func() (amp.MoveScheduler, error) { return manycore.Static{}, nil },
+		"rotate":   func() (amp.MoveScheduler, error) { return manycore.NewRotate(quantum), nil },
+		"rank":     func() (amp.MoveScheduler, error) { return manycore.NewRank(rankCfg), nil },
+		"hpe":      func() (amp.MoveScheduler, error) { return manycore.NewHPERank(est, rankCfg), nil },
+		"bigsmall": func() (amp.MoveScheduler, error) { return manycore.NewBigSmall(bsCfg), nil },
+		"twophase": func() (amp.MoveScheduler, error) { return manycore.NewTwoPhase(tpCfg), nil },
+	}, nil
+}
+
+// RunNXMUnit runs every policy on one n-core machine and returns the
+// rung. It is the unit the ampserve nxm jobs cache by (seed, topology,
+// policy set): one core count, all policies, deterministic in the
+// Runner's options.
+func RunNXMUnit(r *Runner, n int) (NXMUnit, error) {
+	return RunNXMUnitContext(r.baseCtx(), r, n)
+}
+
+// RunNXMUnitContext is RunNXMUnit bounded by ctx (job cancellation in
+// the ampserve workers).
+func RunNXMUnitContext(ctx context.Context, r *Runner, n int) (NXMUnit, error) {
+	p := ResolveNXM(r.Opt)
+	if n <= 0 {
+		return NXMUnit{}, fmt.Errorf("nxm: core count %d must be positive", n)
+	}
+	engine, err := interval.FactoryFor(p.Fidelity)
+	if err != nil {
+		return NXMUnit{}, fmt.Errorf("nxm: %w", err)
+	}
+	factories, err := nxmSchedulers(r, p.Quantum)
+	if err != nil {
+		return NXMUnit{}, err
+	}
+
+	// Topology: even cores INT (pool 0, the "big"/INT flavor), odd
+	// cores FP (pool 1). A 1-core machine is a single INT core.
+	cores := make([]manycore.CoreSpec, n)
+	for c := 0; c < n; c++ {
+		if c%2 == 0 {
+			cores[c] = manycore.CoreSpec{Config: cpu.IntCoreConfig(), Pool: 0}
+		} else {
+			cores[c] = manycore.CoreSpec{Config: cpu.FPCoreConfig(), Pool: 1}
+		}
+	}
+	m := n * p.ThreadsPerCore
+	threads := make([]manycore.ThreadSpec, m)
+	for i := 0; i < m; i++ {
+		b, err := workload.ByName(nxmBenchNames[i%len(nxmBenchNames)])
+		if err != nil {
+			return NXMUnit{}, err
+		}
+		threads[i] = manycore.ThreadSpec{
+			Bench: b,
+			Seed:  r.Opt.Seed*1_000_003 + uint64(n)*65_537 + uint64(i),
+		}
+	}
+
+	unit := NXMUnit{
+		Cores:     n,
+		Threads:   m,
+		Cycles:    p.Cycles,
+		Weighted:  make(map[string]float64, len(factories)),
+		Reassigns: make(map[string]uint64, len(factories)),
+	}
+	for _, name := range NXMPolicyNames() {
+		r.progress("nxm: %d cores x %d threads: %s", n, m, name)
+		s, err := factories[name]()
+		if err != nil {
+			return NXMUnit{}, err
+		}
+		sys, err := manycore.New(cores, threads, s, manycore.Config{
+			ReassignOverheadCycles: r.Opt.SwapOverhead,
+			CycleBudget:            r.Opt.CycleBudget,
+		}, manycore.WithEngine(engine), manycore.WithTelemetry(r.Telemetry))
+		if err != nil {
+			return NXMUnit{}, fmt.Errorf("nxm %d cores %s: %w", n, name, err)
+		}
+		res, err := sys.RunCyclesContext(ctx, p.Cycles)
+		if err != nil {
+			return NXMUnit{}, fmt.Errorf("nxm %d cores %s: %w", n, name, err)
+		}
+		unit.Weighted[name] = res.WeightedIPCW()
+		unit.Reassigns[name] = res.Reassigns
+	}
+	return unit, nil
+}
+
+// RunNXM renders the scaling table: weighted IPC/Watt vs. core count
+// for every policy, normalized per rung to static.
+func RunNXM(r *Runner, w io.Writer) error {
+	p := ResolveNXM(r.Opt)
+	sizes := append([]int(nil), p.Cores...)
+	sort.Ints(sizes)
+
+	t := &report.Table{
+		Title: fmt.Sprintf("nxm scaling: machine-weighted IPC/Watt normalized to static (%d threads/core, %s fidelity)",
+			p.ThreadsPerCore, p.Fidelity),
+		Headers: append([]string{"cores", "threads"}, NXMPolicyNames()...),
+		Note:    "static column shows the absolute baseline; every other cell is its rung's ratio to static",
+	}
+	for _, n := range sizes {
+		unit, err := RunNXMUnit(r, n)
+		if err != nil {
+			return err
+		}
+		base := unit.Weighted["static"]
+		row := []string{fmt.Sprint(unit.Cores), fmt.Sprint(unit.Threads)}
+		for _, name := range NXMPolicyNames() {
+			if name == "static" {
+				row = append(row, fmt.Sprintf("%.4f abs", base))
+				continue
+			}
+			if base <= 0 {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f", unit.Weighted[name]/base))
+		}
+		t.AddRow(row...)
+	}
+	return t.Fprint(w)
+}

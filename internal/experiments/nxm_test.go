@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// nxmTestOptions are sized so the whole nxm test file stays in
+// seconds: a tiny profile pass and a 2-core, 8-thread machine.
+func nxmTestOptions() Options {
+	o := DefaultOptions()
+	o.ProfileInstrLimit = 300_000
+	o.NXMCores = []int{2}
+	o.NXMThreadsPerCore = 4
+	o.NXMCycles = 40_000
+	o.NXMQuantum = 8_000
+	return o
+}
+
+// TestNXMUnitDeterministic re-runs one rung from two independent
+// Runners (separate profiling passes included) and demands a
+// byte-identical result — the property the ampserve cache keys on.
+func TestNXMUnitDeterministic(t *testing.T) {
+	run := func() string {
+		r, err := NewRunner(nxmTestOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := RunNXMUnit(r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("cores=%d threads=%d cycles=%d %.17g %.17g %.17g %.17g %.17g %.17g %v",
+			u.Cores, u.Threads, u.Cycles,
+			u.Weighted["static"], u.Weighted["rotate"], u.Weighted["rank"],
+			u.Weighted["hpe"], u.Weighted["bigsmall"], u.Weighted["twophase"],
+			u.Reassigns)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nxm unit not byte-identical across reruns:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRunNXMRendersEveryRung(t *testing.T) {
+	o := nxmTestOptions()
+	o.NXMCores = []int{3, 2} // unsorted on purpose
+	r, err := NewRunner(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RunNXM(r, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"nxm scaling", "rotate", "twophase", "\n2 ", "\n3 "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("nxm table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNXMUnitRejectsBadCoreCount(t *testing.T) {
+	r, err := NewRunner(nxmTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunNXMUnit(r, 0); err == nil {
+		t.Fatal("core count 0 accepted")
+	}
+}

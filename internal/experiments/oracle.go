@@ -38,7 +38,7 @@ func RunOracle(r *Runner, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		resO, err := r.RunPair(i+70_000, p, func(...sched.Option) amp.Scheduler { return oracle })
+		resO, err := r.RunPair(i+70_000, p, func(...sched.Option) amp.MoveScheduler { return oracle })
 		if err != nil {
 			return err
 		}

@@ -15,9 +15,9 @@ import (
 // scheduler plugin.
 type panicSched struct{}
 
-func (panicSched) Name() string         { return "panic" }
-func (panicSched) Reset(v amp.View)     {}
-func (panicSched) Tick(v amp.View) bool { panic("scheduler bug") }
+func (panicSched) Name() string               { return "panic" }
+func (panicSched) Reset(v amp.View)           {}
+func (panicSched) Tick(v amp.View) []amp.Move { panic("scheduler bug") }
 
 func TestRunPairRecoversPanic(t *testing.T) {
 	r, err := NewRunner(tinyOptions())
@@ -25,7 +25,7 @@ func TestRunPairRecoversPanic(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := RandomPairs(1, 3)[0]
-	_, err = r.RunPair(0, p, func(...sched.Option) amp.Scheduler { return panicSched{} })
+	_, err = r.RunPair(0, p, func(...sched.Option) amp.MoveScheduler { return panicSched{} })
 	if err == nil {
 		t.Fatal("panicking scheduler did not surface as an error")
 	}

@@ -1,0 +1,380 @@
+package manycore
+
+import (
+	"fmt"
+	"sort"
+
+	"ampsched/internal/amp"
+)
+
+// BigSmallConfig parameterizes the big/small pool policy.
+type BigSmallConfig struct {
+	// BigPool is the pool index of the big cores; every other pool is
+	// small.
+	BigPool int
+	// Quantum is the decision period in cycles.
+	Quantum uint64
+	// PromoteIPC: a small-core thread whose epoch IPC reaches this is
+	// a promotion candidate (demonstrated ILP/progress).
+	PromoteIPC float64
+	// DemoteIPC: a big-core thread whose epoch IPC falls below this is
+	// demoted (it stalls too much to earn the big core).
+	DemoteIPC float64
+	// MinResidency: epochs a thread must hold a big core before it can
+	// be demoted or displaced (anti-thrash).
+	MinResidency int
+	// SwapGap: a candidate displaces a big-core incumbent only when
+	// its IPC exceeds the incumbent's by this much.
+	SwapGap float64
+}
+
+// DefaultBigSmallConfig returns a conservative operating point.
+func DefaultBigSmallConfig() BigSmallConfig {
+	return BigSmallConfig{
+		BigPool:      0,
+		Quantum:      10_000,
+		PromoteIPC:   0.8,
+		DemoteIPC:    0.3,
+		MinResidency: 3,
+		SwapGap:      0.15,
+	}
+}
+
+// Validate reports the first configuration problem.
+func (c *BigSmallConfig) Validate() error {
+	if c.Quantum == 0 {
+		return fmt.Errorf("manycore: bigsmall: zero Quantum")
+	}
+	if c.BigPool < 0 || c.BigPool >= MaxPools {
+		return fmt.Errorf("manycore: bigsmall: BigPool %d outside [0,%d)", c.BigPool, MaxPools)
+	}
+	if c.PromoteIPC <= 0 || c.DemoteIPC < 0 {
+		return fmt.Errorf("manycore: bigsmall: non-positive PromoteIPC or negative DemoteIPC")
+	}
+	if c.DemoteIPC > c.PromoteIPC {
+		return fmt.Errorf("manycore: bigsmall: DemoteIPC %g above PromoteIPC %g",
+			c.DemoteIPC, c.PromoteIPC)
+	}
+	if c.MinResidency <= 0 {
+		return fmt.Errorf("manycore: bigsmall: non-positive MinResidency")
+	}
+	if c.SwapGap < 0 {
+		return fmt.Errorf("manycore: bigsmall: negative SwapGap")
+	}
+	return nil
+}
+
+// BigSmall is the Sniper-style big/small scheduler: threads start on
+// (or queue for) the small cores, earn promotion to the big pool by
+// demonstrated per-epoch IPC, and are demoted when they stall. Small
+// cores round-robin through the parked backlog so every thread keeps
+// making progress; big cores are a meritocracy with hysteresis
+// (MinResidency + SwapGap) against ping-ponging.
+type BigSmall struct {
+	cfg BigSmallConfig
+
+	next    uint64
+	applied uint64
+
+	// Per-thread state.
+	ipc        []float64
+	haveIPC    []bool
+	resid      []int32
+	lastCommit []uint64
+
+	// Parked FIFO ring (intrusive, reconciled per epoch).
+	ringNext []int32
+	ringPrev []int32
+	inRing   []bool
+	ringHead int32
+	ringTail int32
+
+	bigCores   []int32
+	smallCores []int32
+
+	// Per-epoch scratch.
+	buf         []amp.Move
+	coreTouched []bool
+	cands       []bsEntry // promotion candidates, best first
+	incumbents  []bsEntry // big occupants, weakest first
+}
+
+// bsEntry pairs a thread with the core it currently occupies for the
+// epoch's promotion ranking.
+type bsEntry struct {
+	ipc    float64
+	thread int32
+	core   int32
+}
+
+// NewBigSmall builds the scheduler.
+func NewBigSmall(cfg BigSmallConfig) *BigSmall {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &BigSmall{cfg: cfg}
+}
+
+// Name implements amp.MoveScheduler.
+func (b *BigSmall) Name() string { return "bigsmall" }
+
+// Applied returns how many decision epochs emitted moves.
+func (b *BigSmall) Applied() uint64 { return b.applied }
+
+// Reset implements amp.MoveScheduler.
+func (b *BigSmall) Reset(v amp.View) {
+	n, m := v.NumCores(), v.NumThreads()
+	b.next = v.Cycle() + b.cfg.Quantum
+	b.applied = 0
+	b.ipc = make([]float64, m)
+	b.haveIPC = make([]bool, m)
+	b.resid = make([]int32, m)
+	b.lastCommit = make([]uint64, m)
+	b.ringNext = make([]int32, m)
+	b.ringPrev = make([]int32, m)
+	b.inRing = make([]bool, m)
+	b.ringHead, b.ringTail = -1, -1
+	b.bigCores = b.bigCores[:0]
+	b.smallCores = b.smallCores[:0]
+	b.coreTouched = make([]bool, n)
+	for c := 0; c < n; c++ {
+		if v.CorePool(c) == b.cfg.BigPool {
+			b.bigCores = append(b.bigCores, int32(c))
+		} else {
+			b.smallCores = append(b.smallCores, int32(c))
+		}
+	}
+	for t := 0; t < m; t++ {
+		b.lastCommit[t] = v.Arch(t).Committed
+	}
+}
+
+func (b *BigSmall) ringPush(t int32) {
+	b.inRing[t] = true
+	b.ringPrev[t] = b.ringTail
+	b.ringNext[t] = -1
+	if b.ringTail >= 0 {
+		b.ringNext[b.ringTail] = t
+	} else {
+		b.ringHead = t
+	}
+	b.ringTail = t
+}
+
+func (b *BigSmall) ringRemove(t int32) {
+	if !b.inRing[t] {
+		return
+	}
+	if p := b.ringPrev[t]; p >= 0 {
+		b.ringNext[p] = b.ringNext[t]
+	} else {
+		b.ringHead = b.ringNext[t]
+	}
+	if nx := b.ringNext[t]; nx >= 0 {
+		b.ringPrev[nx] = b.ringPrev[t]
+	} else {
+		b.ringTail = b.ringPrev[t]
+	}
+	b.inRing[t] = false
+}
+
+// ringPopFor removes and returns the first parked thread allowed on
+// core c, or -1.
+func (b *BigSmall) ringPopFor(v amp.View, c int) int32 {
+	pool := uint64(1) << uint(v.CorePool(c))
+	for t := b.ringHead; t >= 0; t = b.ringNext[t] {
+		if v.AffinityMask(int(t))&pool != 0 {
+			b.ringRemove(t)
+			return t
+		}
+	}
+	return -1
+}
+
+// grant emits the move that places thread t on core c.
+func (b *BigSmall) grant(t int32, c int) {
+	b.buf = append(b.buf, amp.Move{Thread: int(t), Core: c})
+	b.coreTouched[c] = true
+	b.resid[t] = 0
+}
+
+// mayUseBig reports whether thread t's affinity allows the big pool.
+func (b *BigSmall) mayUseBig(v amp.View, t int32) bool {
+	return v.AffinityMask(int(t))&(1<<uint(b.cfg.BigPool)) != 0
+}
+
+// Tick implements amp.MoveScheduler; the per-cycle gate is O(1) and
+// allocation-free.
+//
+//ampvet:hotpath
+func (b *BigSmall) Tick(v amp.View) []amp.Move {
+	if v.Cycle() < b.next {
+		return nil
+	}
+	return b.epoch(v)
+}
+
+// epoch runs one decision epoch: O(cores·log cores + threads) —
+// candidate and incumbent rankings over the cores, park reconciliation
+// over the threads — never O(threads × cores). It fires at Quantum
+// rate with reused scratch slices.
+func (b *BigSmall) epoch(v amp.View) []amp.Move {
+	b.next = v.Cycle() + b.cfg.Quantum
+	n, m := v.NumCores(), v.NumThreads()
+	b.buf = b.buf[:0]
+	for c := 0; c < n; c++ {
+		b.coreTouched[c] = false
+	}
+
+	// 1. Observe: per-epoch IPC of every bound thread.
+	for c := 0; c < n; c++ {
+		t := v.ThreadOnCore(c)
+		if t < 0 {
+			continue
+		}
+		b.resid[t]++
+		arch := v.Arch(t)
+		b.ipc[t] = float64(arch.Committed-b.lastCommit[t]) / float64(b.cfg.Quantum)
+		b.haveIPC[t] = true
+		b.lastCommit[t] = arch.Committed
+	}
+
+	// 2. Reconcile the parked ring against the view.
+	for t := 0; t < m; t++ {
+		if v.CoreOfThread(t) == amp.ParkCore {
+			if !b.inRing[t] {
+				b.ringPush(int32(t))
+			}
+		} else if b.inRing[t] {
+			b.ringRemove(int32(t))
+		}
+	}
+
+	// 3. Demote stalling big-core threads: they park (rejoining the
+	// small-core backlog) and free their big core for promotion.
+	for _, c := range b.bigCores {
+		t := v.ThreadOnCore(int(c))
+		if t < 0 || b.coreTouched[c] {
+			continue
+		}
+		if int(b.resid[t]) >= b.cfg.MinResidency && b.haveIPC[t] && b.ipc[t] < b.cfg.DemoteIPC {
+			b.buf = append(b.buf, amp.Move{Thread: t, Core: amp.ParkCore})
+			b.coreTouched[c] = true
+		}
+	}
+
+	// 4. Rank promotion candidates (small-core threads that earned
+	// it, best IPC first) and big incumbents (weakest first).
+	b.cands = b.cands[:0]
+	for _, c := range b.smallCores {
+		t := v.ThreadOnCore(int(c))
+		if t < 0 || b.coreTouched[c] {
+			continue
+		}
+		if b.haveIPC[t] && b.ipc[t] >= b.cfg.PromoteIPC && b.mayUseBig(v, int32(t)) {
+			b.cands = append(b.cands, bsEntry{ipc: b.ipc[t], thread: int32(t), core: c})
+		}
+	}
+	sort.Slice(b.cands, func(i, j int) bool {
+		if b.cands[i].ipc != b.cands[j].ipc {
+			return b.cands[i].ipc > b.cands[j].ipc
+		}
+		return b.cands[i].thread < b.cands[j].thread
+	})
+
+	// Free big slots first (idle cores and the ones demotion vacated).
+	ci := 0
+	for _, c := range b.bigCores {
+		if ci >= len(b.cands) {
+			break
+		}
+		if v.ThreadOnCore(int(c)) >= 0 && !b.coreTouched[c] {
+			continue
+		}
+		if v.ThreadOnCore(int(c)) >= 0 && b.coreTouched[c] {
+			// Vacated by a demotion this epoch: the park move frees
+			// it, and the promotion below lands in the same batch.
+			cand := b.cands[ci]
+			ci++
+			b.grant(cand.thread, int(c))
+			continue
+		}
+		cand := b.cands[ci]
+		ci++
+		b.grant(cand.thread, int(c))
+	}
+
+	// Then displacement: remaining candidates swap with clearly
+	// weaker incumbents.
+	if ci < len(b.cands) {
+		b.incumbents = b.incumbents[:0]
+		for _, c := range b.bigCores {
+			t := v.ThreadOnCore(int(c))
+			if t < 0 || b.coreTouched[c] || !b.haveIPC[t] {
+				continue
+			}
+			if int(b.resid[t]) < b.cfg.MinResidency {
+				continue
+			}
+			b.incumbents = append(b.incumbents, bsEntry{ipc: b.ipc[t], thread: int32(t), core: c})
+		}
+		sort.Slice(b.incumbents, func(i, j int) bool {
+			if b.incumbents[i].ipc != b.incumbents[j].ipc {
+				return b.incumbents[i].ipc < b.incumbents[j].ipc
+			}
+			return b.incumbents[i].thread < b.incumbents[j].thread
+		})
+		for ii := 0; ci < len(b.cands) && ii < len(b.incumbents); ii++ {
+			cand, inc := b.cands[ci], b.incumbents[ii]
+			if cand.ipc < inc.ipc+b.cfg.SwapGap {
+				break // ranked lists: no later pair can clear the gap
+			}
+			if v.AffinityMask(int(inc.thread))&(1<<uint(v.CorePool(int(cand.core)))) == 0 {
+				continue
+			}
+			ci++
+			b.grant(cand.thread, int(inc.core))
+			b.grant(inc.thread, int(cand.core))
+		}
+	}
+
+	// 5. Work conservation: a big core left idle (no promotion
+	// candidate claimed it) still takes waiting work rather than
+	// burning a slot — the backlog beats the meritocracy when the
+	// alternative is an empty core.
+	for _, c := range b.bigCores {
+		if v.ThreadOnCore(int(c)) >= 0 || b.coreTouched[c] {
+			continue
+		}
+		if t2 := b.ringPopFor(v, int(c)); t2 >= 0 {
+			b.grant(t2, int(c))
+		}
+	}
+
+	// 6. Fill idle small cores and round-robin the backlog.
+	for _, c := range b.smallCores {
+		t := v.ThreadOnCore(int(c))
+		if b.coreTouched[c] {
+			continue
+		}
+		if t < 0 {
+			if t2 := b.ringPopFor(v, int(c)); t2 >= 0 {
+				b.grant(t2, int(c))
+			}
+			continue
+		}
+		if int(b.resid[t]) >= b.cfg.MinResidency {
+			if t2 := b.ringPopFor(v, int(c)); t2 >= 0 {
+				b.grant(t2, int(c))
+			}
+		}
+	}
+
+	if len(b.buf) == 0 {
+		return nil
+	}
+	b.applied++
+	return b.buf
+}
+
+var _ amp.MoveScheduler = (*BigSmall)(nil)

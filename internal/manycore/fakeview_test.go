@@ -1,0 +1,240 @@
+package manycore
+
+// A controllable amp.View for policy unit tests: commit and energy
+// counters are set by hand, so promotion/demotion thresholds can be
+// exercised exactly, without picking benchmarks whose IPC happens to
+// land on the right side of a threshold.
+
+import (
+	"testing"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cache"
+	"ampsched/internal/cpu"
+)
+
+type fakeView struct {
+	cycle   uint64
+	cfgs    []*cpu.Config
+	pools   []int
+	binding []int
+	coreOf  []int
+	aff     []uint64
+	arch    []cpu.ThreadArch
+	energy  []float64
+}
+
+// newFakeView builds an n-core, m-thread view; thread i starts on core
+// i (parked when i >= n) and every thread may use every pool.
+func newFakeView(cfgs []*cpu.Config, pools []int, m int) *fakeView {
+	n := len(cfgs)
+	f := &fakeView{
+		cfgs: cfgs, pools: pools,
+		binding: make([]int, n),
+		coreOf:  make([]int, m),
+		aff:     make([]uint64, m),
+		arch:    make([]cpu.ThreadArch, m),
+		energy:  make([]float64, m),
+	}
+	for c := range f.binding {
+		f.binding[c] = -1
+	}
+	for t := 0; t < m; t++ {
+		f.aff[t] = amp.AllPools
+		f.coreOf[t] = amp.ParkCore
+		if t < n {
+			f.binding[t] = t
+			f.coreOf[t] = t
+		}
+	}
+	return f
+}
+
+func (f *fakeView) Cycle() uint64                { return f.cycle }
+func (f *fakeView) ThreadOnCore(c int) int       { return f.binding[c] }
+func (f *fakeView) CoreOfThread(t int) int       { return f.coreOf[t] }
+func (f *fakeView) Arch(t int) *cpu.ThreadArch   { return &f.arch[t] }
+func (f *fakeView) ThreadEnergyNJ(t int) float64 { return f.energy[t] }
+func (f *fakeView) LastSwapCycle() uint64        { return 0 }
+func (f *fakeView) SwapFailures() uint64         { return 0 }
+func (f *fakeView) CoreConfig(c int) *cpu.Config { return f.cfgs[c] }
+func (f *fakeView) L2Stats(int) cache.Stats      { return cache.Stats{} }
+func (f *fakeView) FreqGHz() float64             { return 1.0 }
+func (f *fakeView) NumCores() int                { return len(f.cfgs) }
+func (f *fakeView) NumThreads() int              { return len(f.arch) }
+func (f *fakeView) AffinityMask(t int) uint64    { return f.aff[t] }
+func (f *fakeView) CorePool(c int) int           { return f.pools[c] }
+
+var _ amp.View = (*fakeView)(nil)
+
+// validate fails the test if the batch would be rejected by
+// System.applyMoves: out-of-range indexes, duplicate threads or cores,
+// or affinity violations.
+func (f *fakeView) validate(t *testing.T, mv []amp.Move) {
+	t.Helper()
+	threads := map[int]bool{}
+	cores := map[int]bool{}
+	for _, m := range mv {
+		if m.Thread < 0 || m.Thread >= len(f.arch) {
+			t.Fatalf("move names thread %d of %d", m.Thread, len(f.arch))
+		}
+		if m.Core != amp.ParkCore && (m.Core < 0 || m.Core >= len(f.cfgs)) {
+			t.Fatalf("move names core %d of %d", m.Core, len(f.cfgs))
+		}
+		if threads[m.Thread] {
+			t.Fatalf("thread %d relocated twice in one batch", m.Thread)
+		}
+		threads[m.Thread] = true
+		if m.Core >= 0 {
+			if cores[m.Core] {
+				t.Fatalf("core %d targeted twice in one batch", m.Core)
+			}
+			cores[m.Core] = true
+			if f.aff[m.Thread]&(1<<uint(f.pools[m.Core])) == 0 {
+				t.Fatalf("move violates thread %d affinity", m.Thread)
+			}
+		}
+	}
+}
+
+// apply replays a valid batch with System.applyMoves semantics
+// (vacate sources, then place, implicitly parking displaced threads).
+func (f *fakeView) apply(mv []amp.Move) {
+	for _, m := range mv {
+		if c := f.coreOf[m.Thread]; c >= 0 {
+			f.binding[c] = -1
+		}
+		f.coreOf[m.Thread] = amp.ParkCore
+	}
+	for _, m := range mv {
+		if m.Core < 0 {
+			continue
+		}
+		if u := f.binding[m.Core]; u >= 0 {
+			f.coreOf[u] = amp.ParkCore
+		}
+		f.binding[m.Core] = m.Thread
+		f.coreOf[m.Thread] = m.Core
+	}
+}
+
+// step advances one quantum, crediting each thread's commit delta and
+// a proportional energy charge, then ticks the scheduler and applies
+// whatever it emits.
+func (f *fakeView) step(t *testing.T, s amp.MoveScheduler, quantum uint64, commits []uint64) []amp.Move {
+	t.Helper()
+	for th, d := range commits {
+		if f.coreOf[th] < 0 {
+			continue // parked threads commit nothing
+		}
+		f.arch[th].Committed += d
+		f.arch[th].CommittedByClass[0] += d
+		f.energy[th] += float64(quantum) * 2 // flat power draw
+	}
+	f.cycle += quantum
+	mv := s.Tick(f)
+	f.validate(t, mv)
+	f.apply(mv)
+	return mv
+}
+
+func TestBigSmallConfigValidation(t *testing.T) {
+	good := DefaultBigSmallConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultBigSmallConfig()
+	bad.Quantum = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+	bad = DefaultBigSmallConfig()
+	bad.DemoteIPC = bad.PromoteIPC + 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("inverted thresholds accepted")
+	}
+	bad = DefaultBigSmallConfig()
+	bad.MinResidency = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero residency accepted")
+	}
+}
+
+func TestBigSmallPromotesAndDemotes(t *testing.T) {
+	// Core 0 big (pool 0), core 1 small (pool 1); t0 starts big and
+	// stalls, t1 starts small and streams.
+	cfg := DefaultBigSmallConfig()
+	cfg.MinResidency = 1
+	bs := NewBigSmall(cfg)
+	f := newFakeView(
+		[]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
+		[]int{0, 1}, 2)
+	bs.Reset(f)
+
+	q := cfg.Quantum
+	// IPC(t0) = 0.1 < DemoteIPC, IPC(t1) = 1.0 >= PromoteIPC.
+	mv := f.step(t, bs, q, []uint64{q / 10, q})
+	if len(mv) == 0 {
+		t.Fatal("no moves on a clear promote/demote epoch")
+	}
+	if f.binding[0] != 1 {
+		t.Fatalf("big core runs thread %d, want promoted thread 1", f.binding[0])
+	}
+	if f.coreOf[0] != amp.ParkCore {
+		t.Fatalf("demoted thread 0 on core %d, want parked", f.coreOf[0])
+	}
+
+	// Next epoch the idle small core picks the parked thread back up.
+	f.step(t, bs, q, []uint64{0, q})
+	if f.binding[1] != 0 {
+		t.Fatalf("small core runs %d, want backlogged thread 0", f.binding[1])
+	}
+}
+
+func TestBigSmallDisplacementNeedsGap(t *testing.T) {
+	cfg := DefaultBigSmallConfig()
+	cfg.MinResidency = 1
+	cfg.SwapGap = 0.3
+	bs := NewBigSmall(cfg)
+	f := newFakeView(
+		[]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
+		[]int{0, 1}, 2)
+	bs.Reset(f)
+
+	q := cfg.Quantum
+	// Incumbent t0 healthy at 0.9; candidate t1 at 1.0: above
+	// PromoteIPC but inside the gap — no displacement.
+	f.step(t, bs, q, []uint64{q * 9 / 10, q})
+	if f.binding[0] != 0 {
+		t.Fatal("incumbent displaced without clearing the gap")
+	}
+	// Candidate pulls clearly ahead: 0.9 + 0.3 <= 1.3 displaces.
+	mv := f.step(t, bs, q, []uint64{q * 9 / 10, q * 13 / 10})
+	if len(mv) == 0 || f.binding[0] != 1 {
+		t.Fatalf("candidate 1 did not displace incumbent (big core runs %d)", f.binding[0])
+	}
+	// The displaced incumbent swaps down to the small core, it does
+	// not park.
+	if f.coreOf[0] != 1 {
+		t.Fatalf("displaced incumbent on core %d, want small core 1", f.coreOf[0])
+	}
+}
+
+func TestBigSmallRespectsAffinity(t *testing.T) {
+	cfg := DefaultBigSmallConfig()
+	cfg.MinResidency = 1
+	bs := NewBigSmall(cfg)
+	f := newFakeView(
+		[]*cpu.Config{cpu.IntCoreConfig(), cpu.FPCoreConfig()},
+		[]int{0, 1}, 2)
+	f.aff[1] = 1 << 1 // small pool only: never promotable
+	bs.Reset(f)
+
+	q := cfg.Quantum
+	for i := 0; i < 5; i++ {
+		f.step(t, bs, q, []uint64{q / 2, q})
+	}
+	if f.coreOf[1] == 0 {
+		t.Fatal("small-only thread promoted to the big pool")
+	}
+}

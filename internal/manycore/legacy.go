@@ -1,0 +1,157 @@
+package manycore
+
+import (
+	"fmt"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/workload"
+)
+
+// View is the read-only state the deprecated permutation Scheduler
+// observes. *System still implements it.
+//
+// Deprecated: write schedulers against amp.View, which adds thread
+// counts, pools and affinity masks.
+type View interface {
+	NumCores() int
+	Cycle() uint64
+	ThreadOnCore(core int) int
+	CoreOfThread(thread int) int
+	Arch(thread int) *cpu.ThreadArch
+	CoreConfig(core int) *cpu.Config
+	// LastReassignCycle returns when the last reassignment's stall
+	// window ended (0 if none).
+	LastReassignCycle() uint64
+}
+
+// Scheduler is the original N-core scheduling interface: Tick returns
+// nil for "no change" or a full permutation newBinding[core] = thread.
+// Permutations cannot express parked threads, so the interface only
+// works on N==M systems.
+//
+// Deprecated: implement amp.MoveScheduler (Tick returning []amp.Move)
+// instead; wrap existing implementations with Legacy. The interface
+// remains accepted for one release via the Legacy adapter.
+type Scheduler interface {
+	Name() string
+	Reset(v View)
+	Tick(v View) []int
+}
+
+// legacyAdapter lifts a permutation Scheduler into the Move API,
+// diffing each returned permutation against the current binding.
+type legacyAdapter struct {
+	inner Scheduler
+	buf   []amp.Move
+	seen  []bool
+}
+
+// Legacy adapts a deprecated permutation Scheduler to the unified
+// amp.MoveScheduler interface. Invalid permutations (wrong length,
+// repeated or out-of-range threads) are dropped, preserving the old
+// contract that the system ignores them. The adapter only drives
+// manycore systems: Reset and Tick panic on a view that does not
+// implement the legacy View interface.
+func Legacy(s Scheduler) amp.MoveScheduler {
+	if s == nil {
+		return nil
+	}
+	return &legacyAdapter{inner: s}
+}
+
+// legacyView narrows an amp.View to the deprecated View.
+func legacyView(v amp.View) View {
+	lv, ok := v.(View)
+	if !ok {
+		panic(fmt.Sprintf("manycore: Legacy adapter needs a manycore view, got %T", v))
+	}
+	return lv
+}
+
+// Name implements amp.MoveScheduler.
+func (l *legacyAdapter) Name() string { return l.inner.Name() }
+
+// Reset implements amp.MoveScheduler.
+func (l *legacyAdapter) Reset(v amp.View) { l.inner.Reset(legacyView(v)) }
+
+// Tick implements amp.MoveScheduler. The common path — the inner
+// scheduler's own gate returning nil — allocates nothing.
+//
+//ampvet:hotpath
+func (l *legacyAdapter) Tick(v amp.View) []amp.Move {
+	nb := l.inner.Tick(legacyView(v))
+	if nb == nil {
+		return nil
+	}
+	return l.diff(v, nb)
+}
+
+// diff validates a returned permutation and converts it to moves. It
+// runs only when the inner scheduler proposes a change.
+func (l *legacyAdapter) diff(v amp.View, nb []int) []amp.Move {
+	n := v.NumCores()
+	if len(nb) != n {
+		return nil
+	}
+	if cap(l.seen) < n {
+		l.seen = make([]bool, n)
+	}
+	seen := l.seen[:n]
+	for i := range seen {
+		seen[i] = false
+	}
+	for _, t := range nb {
+		if t < 0 || t >= n || seen[t] {
+			return nil // not a permutation; old contract: ignore
+		}
+		seen[t] = true
+	}
+	l.buf = l.buf[:0]
+	for c, t := range nb {
+		if t != v.ThreadOnCore(c) {
+			l.buf = append(l.buf, amp.Move{Thread: t, Core: c})
+		}
+	}
+	return l.buf
+}
+
+var _ amp.MoveScheduler = (*legacyAdapter)(nil)
+
+// NewSystem builds an N-core, N-thread system from parallel slices;
+// thread i starts on core i. Cores are pooled by configuration name
+// in order of first appearance, so the canonical INT/FP mix becomes
+// pools 0 and 1.
+//
+// Deprecated: use New, which separates core pools from thread
+// affinity and supports M != N. NewSystem remains for one release as
+// a thin wrapper.
+func NewSystem(coreCfgs []*cpu.Config, benches []*workload.Benchmark, seeds []uint64,
+	sched Scheduler, cfg Config) (*System, error) {
+	n := len(coreCfgs)
+	if n < 2 {
+		return nil, fmt.Errorf("manycore: need at least 2 cores, got %d", n)
+	}
+	if len(benches) != n || len(seeds) != n {
+		return nil, fmt.Errorf("manycore: %d cores but %d benchmarks / %d seeds",
+			n, len(benches), len(seeds))
+	}
+	cores := make([]CoreSpec, n)
+	poolByName := map[string]int{}
+	for c, cc := range coreCfgs {
+		if cc == nil {
+			return nil, fmt.Errorf("manycore: core %d has nil config", c)
+		}
+		pool, ok := poolByName[cc.Name]
+		if !ok {
+			pool = len(poolByName)
+			poolByName[cc.Name] = pool
+		}
+		cores[c] = CoreSpec{Config: cc, Pool: pool}
+	}
+	threads := make([]ThreadSpec, n)
+	for t := range threads {
+		threads[t] = ThreadSpec{Bench: benches[t], Seed: seeds[t]}
+	}
+	return New(cores, threads, Legacy(sched), cfg)
+}

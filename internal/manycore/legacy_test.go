@@ -1,0 +1,128 @@
+package manycore
+
+// Designated regression tests for the deprecated permutation Scheduler
+// API: they pin down that the Legacy adapter and the NewSystem wrapper
+// keep the old contract until the shims are removed. New code must use
+// New + amp.MoveScheduler.
+
+import (
+	"testing"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/workload"
+)
+
+// quadConfigs returns the old-style parallel config slice.
+func quadConfigs() []*cpu.Config {
+	return []*cpu.Config{
+		cpu.IntCoreConfig(), cpu.IntCoreConfig(),
+		cpu.FPCoreConfig(), cpu.FPCoreConfig(),
+	}
+}
+
+func legacyBenches(t *testing.T, names ...string) []*workload.Benchmark {
+	t.Helper()
+	out := make([]*workload.Benchmark, len(names))
+	for i, n := range names {
+		b, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func legacySeeds(n int, base uint64) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = base + uint64(i)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(quadConfigs()[:1], nil, nil, nil, Config{}); err == nil {
+		t.Fatal("single core accepted")
+	}
+	if _, err := NewSystem(quadConfigs(), legacyBenches(t, "gcc"), legacySeeds(4, 1), nil, Config{}); err == nil {
+		t.Fatal("mismatched benchmark count accepted")
+	}
+}
+
+func TestNewSystemPoolsByConfigName(t *testing.T) {
+	sys, err := NewSystem(quadConfigs(),
+		legacyBenches(t, "gcc", "mcf", "equake", "apsi"), legacySeeds(4, 5),
+		nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// INT cores become pool 0, FP cores pool 1, by first appearance.
+	want := []int{0, 0, 1, 1}
+	for c, p := range want {
+		if sys.CorePool(c) != p {
+			t.Fatalf("core %d pool %d, want %d", c, sys.CorePool(c), p)
+		}
+	}
+	// Thread i starts on core i, as the old constructor guaranteed.
+	for c := 0; c < 4; c++ {
+		if sys.ThreadOnCore(c) != c {
+			t.Fatalf("core %d runs thread %d, want %d", c, sys.ThreadOnCore(c), c)
+		}
+	}
+}
+
+// schedulerFunc adapts a func to the deprecated permutation Scheduler.
+type schedulerFunc func(v View) []int
+
+func (schedulerFunc) Name() string        { return "func" }
+func (schedulerFunc) Reset(View)          {}
+func (f schedulerFunc) Tick(v View) []int { return f(v) }
+
+func TestLegacyRejectsInvalidPermutationGracefully(t *testing.T) {
+	// A scheduler returning garbage must be ignored, not crash.
+	bad := schedulerFunc(func(v View) []int { return []int{0, 0, 1, 2} })
+	sys, err := NewSystem(quadConfigs(),
+		legacyBenches(t, "gcc", "mcf", "equake", "apsi"), legacySeeds(4, 60),
+		bad, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.MustRun(30_000)
+	if res.Reassigns != 0 {
+		t.Fatal("invalid permutation applied")
+	}
+}
+
+func TestLegacyPermutationApplies(t *testing.T) {
+	// A one-shot reversal permutation must be applied exactly once.
+	fired := false
+	rev := schedulerFunc(func(v View) []int {
+		if fired || v.Cycle() < 10_000 {
+			return nil
+		}
+		fired = true
+		return []int{3, 2, 1, 0}
+	})
+	sys, err := NewSystem(quadConfigs(),
+		legacyBenches(t, "gcc", "mcf", "equake", "apsi"), legacySeeds(4, 61),
+		rev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.MustRun(40_000)
+	if res.Reassigns != 1 {
+		t.Fatalf("reassigns %d, want 1", res.Reassigns)
+	}
+	for c := 0; c < 4; c++ {
+		if sys.ThreadOnCore(c) != 3-c {
+			t.Fatalf("core %d runs thread %d, want %d", c, sys.ThreadOnCore(c), 3-c)
+		}
+	}
+}
+
+func TestLegacyNilScheduler(t *testing.T) {
+	if Legacy(nil) != nil {
+		t.Fatal("Legacy(nil) must be nil")
+	}
+}

@@ -3,51 +3,59 @@ package manycore
 import (
 	"testing"
 
+	"ampsched/internal/amp"
 	"ampsched/internal/cpu"
 	"ampsched/internal/workload"
 )
 
-// quad returns a 2-INT + 2-FP core set.
-func quad() []*cpu.Config {
-	return []*cpu.Config{
-		cpu.IntCoreConfig(), cpu.IntCoreConfig(),
-		cpu.FPCoreConfig(), cpu.FPCoreConfig(),
+// quadCores returns the canonical 2-INT (pool 0) + 2-FP (pool 1)
+// machine.
+func quadCores() []CoreSpec {
+	return []CoreSpec{
+		{Config: cpu.IntCoreConfig(), Pool: 0},
+		{Config: cpu.IntCoreConfig(), Pool: 0},
+		{Config: cpu.FPCoreConfig(), Pool: 1},
+		{Config: cpu.FPCoreConfig(), Pool: 1},
 	}
 }
 
-func benches(t *testing.T, names ...string) []*workload.Benchmark {
+// specs builds ThreadSpecs for the named benchmarks with consecutive
+// seeds.
+func specs(t *testing.T, base uint64, names ...string) []ThreadSpec {
 	t.Helper()
-	out := make([]*workload.Benchmark, len(names))
+	out := make([]ThreadSpec, len(names))
 	for i, n := range names {
 		b, err := workload.ByName(n)
 		if err != nil {
 			t.Fatal(err)
 		}
-		out[i] = b
+		out[i] = ThreadSpec{Bench: b, Seed: base + uint64(i)}
 	}
 	return out
 }
 
-func seeds(n int, base uint64) []uint64 {
-	s := make([]uint64, n)
-	for i := range s {
-		s[i] = base + uint64(i)
+func TestNewValidation(t *testing.T) {
+	ts := specs(t, 1, "gcc")
+	if _, err := New(nil, ts, nil, Config{}); err == nil {
+		t.Fatal("zero cores accepted")
 	}
-	return s
-}
-
-func TestNewSystemValidation(t *testing.T) {
-	if _, err := NewSystem(quad()[:1], nil, nil, nil, Config{}); err == nil {
-		t.Fatal("single core accepted")
+	if _, err := New(quadCores(), nil, nil, Config{}); err == nil {
+		t.Fatal("zero threads accepted")
 	}
-	if _, err := NewSystem(quad(), benches(t, "gcc"), seeds(4, 1), nil, Config{}); err == nil {
-		t.Fatal("mismatched benchmark count accepted")
+	if _, err := New([]CoreSpec{{Config: nil}}, ts, nil, Config{}); err == nil {
+		t.Fatal("nil core config accepted")
+	}
+	if _, err := New([]CoreSpec{{Config: cpu.IntCoreConfig(), Pool: MaxPools}}, ts, nil, Config{}); err == nil {
+		t.Fatal("out-of-range pool accepted")
+	}
+	if _, err := New(quadCores(), []ThreadSpec{{Bench: nil}}, nil, Config{}); err == nil {
+		t.Fatal("nil benchmark accepted")
 	}
 }
 
 func TestStaticRun(t *testing.T) {
-	sys, err := NewSystem(quad(),
-		benches(t, "intstress", "gcc", "fpstress", "equake"), seeds(4, 10),
+	sys, err := New(quadCores(),
+		specs(t, 10, "intstress", "gcc", "fpstress", "equake"),
 		Static{}, Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -67,11 +75,56 @@ func TestStaticRun(t *testing.T) {
 	if res.GeomeanIPCW() <= 0 {
 		t.Fatal("geomean non-positive")
 	}
+	if res.WeightedIPCW() <= 0 {
+		t.Fatal("weighted IPC/Watt non-positive")
+	}
+}
+
+func TestInitialPlacementRespectsAffinity(t *testing.T) {
+	ts := specs(t, 5, "gcc", "equake", "mcf")
+	ts[0].Affinity = 1 << 1 // FP pool only
+	sys, err := New(quadCores(), ts, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := sys.CoreOfThread(0); c != 2 {
+		t.Fatalf("FP-only thread placed on core %d, want 2", c)
+	}
+	// Greedy fill: threads 1 and 2 get cores 0 and 1.
+	if sys.ThreadOnCore(0) != 1 || sys.ThreadOnCore(1) != 2 {
+		t.Fatalf("greedy placement got %d,%d", sys.ThreadOnCore(0), sys.ThreadOnCore(1))
+	}
+}
+
+func TestParkedThreadsArePowerGated(t *testing.T) {
+	// 2 cores, 4 threads, no scheduler: the two surplus threads stay
+	// parked, commit nothing, and draw no power.
+	cores := quadCores()[:2]
+	sys, err := New(cores, specs(t, 7, "gcc", "mcf", "equake", "apsi"), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunCycles(50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < 4; i++ {
+		if res.Threads[i].Committed != 0 || res.Threads[i].EnergyNJ != 0 {
+			t.Fatalf("parked thread %d committed %d, energy %g",
+				i, res.Threads[i].Committed, res.Threads[i].EnergyNJ)
+		}
+	}
+	if res.WeightedIPCW() <= 0 {
+		t.Fatal("bound threads produced nothing")
+	}
+	if res.GeomeanIPCW() != 0 {
+		t.Fatal("geomean should be unusable with parked threads")
+	}
 }
 
 func TestRotatePermutes(t *testing.T) {
-	sys, err := NewSystem(quad(),
-		benches(t, "intstress", "gcc", "fpstress", "equake"), seeds(4, 20),
+	sys, err := New(quadCores(),
+		specs(t, 20, "intstress", "gcc", "fpstress", "equake"),
 		NewRotate(20_000), Config{ReassignOverheadCycles: 100})
 	if err != nil {
 		t.Fatal(err)
@@ -80,16 +133,31 @@ func TestRotatePermutes(t *testing.T) {
 	if res.Reassigns == 0 {
 		t.Fatal("rotate never fired")
 	}
-	// The binding is always a valid permutation.
-	seen := map[int]bool{}
+	// The binding stays consistent: each bound thread on one core.
 	for c := 0; c < sys.NumCores(); c++ {
 		th := sys.ThreadOnCore(c)
-		if seen[th] {
-			t.Fatalf("thread %d bound twice", th)
+		if th >= 0 && sys.CoreOfThread(th) != c {
+			t.Fatal("CoreOfThread inconsistent with ThreadOnCore")
 		}
-		seen[th] = true
-		if sys.CoreOfThread(th) != c {
-			t.Fatal("CoreOfThread inconsistent")
+	}
+}
+
+func TestRotateTimeShares(t *testing.T) {
+	// 2 cores, 5 threads: rotation must eventually give every thread
+	// core time.
+	cores := quadCores()[:2]
+	sys, err := New(cores, specs(t, 31, "gcc", "mcf", "equake", "apsi", "CRC32"),
+		NewRotate(5_000), Config{ReassignOverheadCycles: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunCycles(120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range res.Threads {
+		if tr.Committed == 0 {
+			t.Fatalf("thread %d starved under rotation", i)
 		}
 	}
 }
@@ -109,9 +177,9 @@ func TestRankConfigValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := DefaultRankConfig()
-	bad.WindowSize = 0
+	bad.Quantum = 0
 	if err := bad.Validate(); err == nil {
-		t.Fatal("zero window accepted")
+		t.Fatal("zero quantum accepted")
 	}
 	bad = DefaultRankConfig()
 	bad.HistoryDepth = 0
@@ -130,8 +198,8 @@ func TestRankFixesMisplacedQuad(t *testing.T) {
 	// cores and INT-heavy on the FP cores. Rank must reassign so the
 	// INT cores run the INT-heavy threads.
 	rank := NewRank(DefaultRankConfig())
-	sys, err := NewSystem(quad(),
-		benches(t, "fpstress", "equake", "intstress", "bitcount"), seeds(4, 30),
+	sys, err := New(quadCores(),
+		specs(t, 30, "fpstress", "equake", "intstress", "bitcount"),
 		rank, Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -149,8 +217,8 @@ func TestRankFixesMisplacedQuad(t *testing.T) {
 
 func TestRankStableWhenWellPlaced(t *testing.T) {
 	rank := NewRank(DefaultRankConfig())
-	sys, err := NewSystem(quad(),
-		benches(t, "intstress", "bitcount", "fpstress", "equake"), seeds(4, 40),
+	sys, err := New(quadCores(),
+		specs(t, 40, "intstress", "bitcount", "fpstress", "equake"),
 		rank, Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -166,8 +234,8 @@ func TestRankBeatsStaticOnInvertedQuad(t *testing.T) {
 		t.Skip("short mode")
 	}
 	names := []string{"fpstress", "equake", "intstress", "bitcount"}
-	run := func(s Scheduler) Result {
-		sys, err := NewSystem(quad(), benches(t, names...), seeds(4, 50), s, Config{})
+	run := func(s amp.MoveScheduler) Result {
+		sys, err := New(quadCores(), specs(t, 50, names...), s, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,32 +249,32 @@ func TestRankBeatsStaticOnInvertedQuad(t *testing.T) {
 	}
 }
 
-func TestRankRejectsInvalidPermutationGracefully(t *testing.T) {
-	// A scheduler returning garbage must be ignored, not crash.
-	bad := schedulerFunc(func(v View) []int { return []int{0, 0, 1, 2} })
-	sys, err := NewSystem(quad(),
-		benches(t, "gcc", "mcf", "equake", "apsi"), seeds(4, 60),
-		bad, Config{})
+func TestRankTimeSharesBacklog(t *testing.T) {
+	// 4 cores, 6 threads: the two parked threads must get core time
+	// through the round-robin sharing rule.
+	cfg := DefaultRankConfig()
+	cfg.ShareEpochs = 2
+	sys, err := New(quadCores(),
+		specs(t, 55, "intstress", "bitcount", "fpstress", "equake", "gcc", "swim"),
+		NewRank(cfg), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sys.MustRun(30_000)
-	if res.Reassigns != 0 {
-		t.Fatal("invalid permutation applied")
+	res, err := sys.RunCycles(200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range res.Threads {
+		if tr.Committed == 0 {
+			t.Fatalf("thread %d starved (committed 0)", i)
+		}
 	}
 }
 
-// schedulerFunc adapts a func to Scheduler.
-type schedulerFunc func(v View) []int
-
-func (schedulerFunc) Name() string        { return "func" }
-func (schedulerFunc) Reset(View)          {}
-func (f schedulerFunc) Tick(v View) []int { return f(v) }
-
 func TestDeterministicRuns(t *testing.T) {
 	run := func() Result {
-		sys, err := NewSystem(quad(),
-			benches(t, "gcc", "apsi", "fpstress", "CRC32"), seeds(4, 70),
+		sys, err := New(quadCores(),
+			specs(t, 70, "gcc", "apsi", "fpstress", "CRC32"),
 			NewRank(DefaultRankConfig()), Config{})
 		if err != nil {
 			t.Fatal(err)
@@ -228,13 +296,15 @@ func TestEightCoreScales(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	cfgs := []*cpu.Config{
-		cpu.IntCoreConfig(), cpu.IntCoreConfig(), cpu.IntCoreConfig(), cpu.IntCoreConfig(),
-		cpu.FPCoreConfig(), cpu.FPCoreConfig(), cpu.FPCoreConfig(), cpu.FPCoreConfig(),
+	cores := []CoreSpec{
+		{Config: cpu.IntCoreConfig(), Pool: 0}, {Config: cpu.IntCoreConfig(), Pool: 0},
+		{Config: cpu.IntCoreConfig(), Pool: 0}, {Config: cpu.IntCoreConfig(), Pool: 0},
+		{Config: cpu.FPCoreConfig(), Pool: 1}, {Config: cpu.FPCoreConfig(), Pool: 1},
+		{Config: cpu.FPCoreConfig(), Pool: 1}, {Config: cpu.FPCoreConfig(), Pool: 1},
 	}
 	names := []string{"fpstress", "equake", "swim", "ammp", "intstress", "bitcount", "sha", "CRC32"}
 	rank := NewRank(DefaultRankConfig())
-	sys, err := NewSystem(cfgs, benches(t, names...), seeds(8, 80), rank, Config{})
+	sys, err := New(cores, specs(t, 80, names...), rank, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,3 +319,58 @@ func TestEightCoreScales(t *testing.T) {
 		}
 	}
 }
+
+func TestInvalidBatchRejectedWhole(t *testing.T) {
+	// A scheduler emitting a duplicate-core batch must be ignored as a
+	// unit and counted, not partially applied.
+	bad := moveFunc(func(v amp.View) []amp.Move {
+		if v.Cycle() == 0 {
+			return nil
+		}
+		return []amp.Move{{Thread: 0, Core: 1}, {Thread: 1, Core: 1}}
+	})
+	sys, err := New(quadCores(), specs(t, 60, "gcc", "mcf", "equake", "apsi"),
+		bad, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.MustRun(30_000)
+	if res.Reassigns != 0 {
+		t.Fatal("invalid batch applied")
+	}
+	if res.InvalidBatches == 0 {
+		t.Fatal("invalid batches not counted")
+	}
+	if sys.ThreadOnCore(1) != 1 {
+		t.Fatal("binding disturbed by invalid batch")
+	}
+}
+
+func TestAffinityViolatingMoveRejected(t *testing.T) {
+	ts := specs(t, 65, "gcc", "mcf", "equake", "apsi")
+	ts[0].Affinity = 1 << 0 // INT pool only
+	bad := moveFunc(func(v amp.View) []amp.Move {
+		if v.Cycle() == 0 {
+			return nil
+		}
+		return []amp.Move{{Thread: 0, Core: 2}} // FP pool: violates affinity
+	})
+	sys, err := New(quadCores(), ts, bad, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.MustRun(30_000)
+	if res.Reassigns != 0 {
+		t.Fatal("affinity-violating move applied")
+	}
+	if res.InvalidBatches == 0 {
+		t.Fatal("violation not counted")
+	}
+}
+
+// moveFunc adapts a func to amp.MoveScheduler.
+type moveFunc func(v amp.View) []amp.Move
+
+func (moveFunc) Name() string                 { return "func" }
+func (moveFunc) Reset(amp.View)               {}
+func (f moveFunc) Tick(v amp.View) []amp.Move { return f(v) }

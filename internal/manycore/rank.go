@@ -1,0 +1,430 @@
+package manycore
+
+import (
+	"fmt"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/isa"
+)
+
+// Estimator predicts, for a thread with the observed instruction
+// composition, the ratio of the IPC/Watt it would achieve on the INT
+// core to the IPC/Watt it would achieve on the FP core. It is the
+// same contract as sched.Estimator (duplicated here to keep the
+// dependency arrow pointing at amp only); the profilegen matrix and
+// regression estimators satisfy both.
+type Estimator interface {
+	Name() string
+	RatioIntOverFP(intPct, fpPct float64) float64
+}
+
+// RankConfig parameterizes the generalized proposed scheme.
+type RankConfig struct {
+	// Quantum is the decision period in cycles. Observation windows
+	// close at epoch boundaries, the N×M analogue of the paper's
+	// 1000-instruction commit windows.
+	Quantum uint64
+	// HistoryDepth: consecutive epochs that must agree on a thread's
+	// new flavor class before it flips (the many-core analogue of the
+	// §VI-B majority vote).
+	HistoryDepth int
+	// MinScoreGap is the deadband around the neutral score: a thread
+	// is reclassified only when its score leaves ±MinScoreGap/2
+	// (hysteresis against churn), in percentage points.
+	MinScoreGap float64
+	// ShareEpochs: a bound thread that has held its core for this many
+	// epochs is preempted in favor of a parked thread of the core's
+	// flavor, round-robin time sharing for M > N. 0 means
+	// HistoryDepth.
+	ShareEpochs int
+}
+
+// DefaultRankConfig mirrors the dual-core operating point.
+func DefaultRankConfig() RankConfig {
+	return RankConfig{Quantum: 10_000, HistoryDepth: 5, MinScoreGap: 10, ShareEpochs: 5}
+}
+
+// Validate reports the first configuration problem.
+func (c *RankConfig) Validate() error {
+	if c.Quantum == 0 {
+		return fmt.Errorf("manycore: rank: zero Quantum")
+	}
+	if c.HistoryDepth <= 0 {
+		return fmt.Errorf("manycore: rank: non-positive HistoryDepth")
+	}
+	if c.MinScoreGap < 0 {
+		return fmt.Errorf("manycore: rank: negative MinScoreGap")
+	}
+	if c.ShareEpochs < 0 {
+		return fmt.Errorf("manycore: rank: negative ShareEpochs")
+	}
+	return nil
+}
+
+// rankMinWindow is the committed-instruction floor under which an
+// epoch's observation is carried over instead of closed (too little
+// signal to reclassify).
+const rankMinWindow = 500
+
+// Flavor classes. Rank reduces the machine to the paper's two-flavor
+// world: INT-named cores against everything else.
+const (
+	classInt = 0
+	classFP  = 1
+)
+
+// Rank is the scalable generalization of the paper's scheme: instead
+// of pairwise swap rules (which do not compose beyond two cores), each
+// bound thread gets an affinity score from its committed windows,
+// hysteresis classifies it INT or FP, misclassified occupants are
+// exchanged pairwise, and parked threads round-robin through the cores
+// of their class. Sampling is never needed — exactly the paper's
+// argument against Becchi-style schedulers at §II. All bookkeeping is
+// incremental: the per-tick gate is O(1) and an epoch costs
+// O(cores + threads), never O(threads × cores).
+type Rank struct {
+	cfg   RankConfig
+	name  string
+	score func(intPct, fpPct float64) float64
+
+	next    uint64
+	applied uint64
+
+	// Per-thread state.
+	class      []int8
+	streak     []int32
+	resid      []int32
+	lastCommit []uint64
+	lastClass  [][isa.NumClasses]uint64
+
+	// Intrusive doubly-linked rings of parked threads, one per flavor
+	// class, reconciled against the view each epoch.
+	ringNext []int32
+	ringPrev []int32
+	ringOf   []int8 // -1 when not enqueued
+	ringHead [2]int32
+	ringTail [2]int32
+
+	// Per-core topology, fixed at Reset.
+	flavor   []int8
+	poolMask [2]uint64
+
+	// Per-epoch scratch.
+	buf         []amp.Move
+	coreTouched []bool
+	wantInt     []int32 // FP cores whose occupant is INT-classified
+	wantFP      []int32 // INT cores whose occupant is FP-classified
+}
+
+// NewRank builds the composition-scored scheduler (score = %INT −
+// %FP, the paper's affinity signal).
+func NewRank(cfg RankConfig) *Rank {
+	r := newRank(cfg, "rank")
+	r.score = func(intPct, fpPct float64) float64 { return intPct - fpPct }
+	return r
+}
+
+// NewHPERank builds the HPE variant: the same allocation machinery,
+// classifying threads by an offline-profiled IPC/Watt ratio estimator
+// instead of the raw composition score. The score is the predicted
+// INT-over-FP gain in percent, so MinScoreGap keeps its meaning.
+func NewHPERank(est Estimator, cfg RankConfig) *Rank {
+	if est == nil {
+		panic("manycore: rank: nil estimator")
+	}
+	r := newRank(cfg, "hpe")
+	r.score = func(intPct, fpPct float64) float64 {
+		return 100 * (est.RatioIntOverFP(intPct, fpPct) - 1)
+	}
+	return r
+}
+
+func newRank(cfg RankConfig, name string) *Rank {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.ShareEpochs == 0 {
+		cfg.ShareEpochs = cfg.HistoryDepth
+	}
+	return &Rank{cfg: cfg, name: name}
+}
+
+// Name implements amp.MoveScheduler.
+func (r *Rank) Name() string { return r.name }
+
+// Applied returns how many decision epochs emitted moves.
+func (r *Rank) Applied() uint64 { return r.applied }
+
+// Reset implements amp.MoveScheduler.
+func (r *Rank) Reset(v amp.View) {
+	n, m := v.NumCores(), v.NumThreads()
+	r.next = v.Cycle() + r.cfg.Quantum
+	r.applied = 0
+
+	r.class = make([]int8, m)
+	r.streak = make([]int32, m)
+	r.resid = make([]int32, m)
+	r.lastCommit = make([]uint64, m)
+	r.lastClass = make([][isa.NumClasses]uint64, m)
+	r.ringNext = make([]int32, m)
+	r.ringPrev = make([]int32, m)
+	r.ringOf = make([]int8, m)
+	r.ringHead = [2]int32{-1, -1}
+	r.ringTail = [2]int32{-1, -1}
+	r.flavor = make([]int8, n)
+	r.poolMask = [2]uint64{}
+	r.coreTouched = make([]bool, n)
+
+	for c := 0; c < n; c++ {
+		f := int8(classFP)
+		if v.CoreConfig(c).Name == "INT" {
+			f = classInt
+		}
+		r.flavor[c] = f
+		r.poolMask[f] |= 1 << uint(v.CorePool(c))
+	}
+	for t := 0; t < m; t++ {
+		arch := v.Arch(t)
+		r.lastCommit[t] = arch.Committed
+		r.lastClass[t] = arch.CommittedByClass
+		r.ringOf[t] = -1
+		if c := v.CoreOfThread(t); c >= 0 {
+			// A bound thread starts in its core's class: no movement
+			// before the first observed evidence.
+			r.class[t] = r.flavor[c]
+		} else {
+			// Parked threads alternate classes so both flavors start
+			// with a backlog, adjusted to a class they may run in.
+			r.class[t] = int8(t & 1)
+			if v.AffinityMask(t)&r.poolMask[r.class[t]] == 0 {
+				r.class[t] = 1 - r.class[t]
+			}
+		}
+	}
+}
+
+// --- ring operations -------------------------------------------------
+
+func (r *Rank) ringPush(f int8, t int32) {
+	r.ringOf[t] = f
+	r.ringPrev[t] = r.ringTail[f]
+	r.ringNext[t] = -1
+	if r.ringTail[f] >= 0 {
+		r.ringNext[r.ringTail[f]] = t
+	} else {
+		r.ringHead[f] = t
+	}
+	r.ringTail[f] = t
+}
+
+func (r *Rank) ringRemove(t int32) {
+	f := r.ringOf[t]
+	if f < 0 {
+		return
+	}
+	if p := r.ringPrev[t]; p >= 0 {
+		r.ringNext[p] = r.ringNext[t]
+	} else {
+		r.ringHead[f] = r.ringNext[t]
+	}
+	if nx := r.ringNext[t]; nx >= 0 {
+		r.ringPrev[nx] = r.ringPrev[t]
+	} else {
+		r.ringTail[f] = r.ringPrev[t]
+	}
+	r.ringOf[t] = -1
+}
+
+// ringPopFor removes and returns the first thread of flavor ring f
+// whose affinity allows core c's pool, or -1.
+func (r *Rank) ringPopFor(v amp.View, f int8, c int) int32 {
+	pool := uint64(1) << uint(v.CorePool(c))
+	for t := r.ringHead[f]; t >= 0; t = r.ringNext[t] {
+		if v.AffinityMask(int(t))&pool != 0 {
+			r.ringRemove(t)
+			return t
+		}
+	}
+	return -1
+}
+
+// --------------------------------------------------------------------
+
+// observe closes the epoch's committed window for core c's occupant
+// and advances its classification hysteresis.
+func (r *Rank) observe(v amp.View, t int) {
+	arch := v.Arch(t)
+	committed := arch.Committed - r.lastCommit[t]
+	if committed < rankMinWindow {
+		return // carry the window over
+	}
+	var intN, fpN uint64
+	for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
+		d := arch.CommittedByClass[cl] - r.lastClass[t][cl]
+		if cl.IsInt() {
+			intN += d
+		} else if cl.IsFP() {
+			fpN += d
+		}
+	}
+	r.lastCommit[t] = arch.Committed
+	r.lastClass[t] = arch.CommittedByClass
+
+	score := r.score(100*float64(intN)/float64(committed), 100*float64(fpN)/float64(committed))
+	want := r.class[t]
+	if score >= r.cfg.MinScoreGap/2 {
+		want = classInt
+	} else if score <= -r.cfg.MinScoreGap/2 {
+		want = classFP
+	}
+	if want != r.class[t] {
+		r.streak[t]++
+		if int(r.streak[t]) >= r.cfg.HistoryDepth {
+			r.class[t] = want
+			r.streak[t] = 0
+		}
+	} else {
+		r.streak[t] = 0
+	}
+}
+
+// grant emits the move that places thread t on core c.
+func (r *Rank) grant(t int32, c int) {
+	r.buf = append(r.buf, amp.Move{Thread: int(t), Core: c})
+	r.coreTouched[c] = true
+	r.resid[t] = 0
+}
+
+// Tick implements amp.MoveScheduler; the per-cycle gate is O(1) and
+// allocation-free.
+//
+//ampvet:hotpath
+func (r *Rank) Tick(v amp.View) []amp.Move {
+	if v.Cycle() < r.next {
+		return nil
+	}
+	return r.epoch(v)
+}
+
+// epoch runs one decision epoch: O(cores) observation + O(threads)
+// park reconciliation + O(moves) allocation, never O(threads × cores).
+// It fires at Quantum rate; its scratch slices are reused, so the
+// steady state allocates nothing.
+func (r *Rank) epoch(v amp.View) []amp.Move {
+	r.next = v.Cycle() + r.cfg.Quantum
+	n, m := v.NumCores(), v.NumThreads()
+	r.buf = r.buf[:0]
+	for c := 0; c < n; c++ {
+		r.coreTouched[c] = false
+	}
+
+	// 1. Observe and reclassify bound threads.
+	for c := 0; c < n; c++ {
+		if t := v.ThreadOnCore(c); t >= 0 {
+			r.resid[t]++
+			r.observe(v, t)
+		}
+	}
+
+	// 2. Reconcile the parked rings against reality: a failed or
+	// partially-applied batch cannot strand a thread outside the
+	// rings, because membership is recomputed from the view.
+	for t := 0; t < m; t++ {
+		if v.CoreOfThread(t) == amp.ParkCore {
+			if r.ringOf[t] < 0 {
+				f := r.class[t]
+				if v.AffinityMask(t)&r.poolMask[f] == 0 {
+					f = 1 - f
+				}
+				r.ringPush(f, int32(t))
+			}
+		} else if r.ringOf[t] >= 0 {
+			r.ringRemove(int32(t))
+		}
+	}
+
+	// 3. Idle cores take waiting work: own flavor first, then the
+	// other ring (work conservation beats flavor matching).
+	for c := 0; c < n; c++ {
+		if v.ThreadOnCore(c) >= 0 {
+			continue
+		}
+		f := r.flavor[c]
+		t := r.ringPopFor(v, f, c)
+		if t < 0 {
+			t = r.ringPopFor(v, 1-f, c)
+		}
+		if t >= 0 {
+			r.grant(t, c)
+		}
+	}
+
+	// 4. Pair misclassified occupants and exchange them: the N-core
+	// generalization of the paper's swap.
+	r.wantInt = r.wantInt[:0]
+	r.wantFP = r.wantFP[:0]
+	for c := 0; c < n; c++ {
+		t := v.ThreadOnCore(c)
+		if t < 0 || r.coreTouched[c] {
+			continue
+		}
+		if cl := r.class[t]; cl != r.flavor[c] {
+			if cl == classInt {
+				r.wantInt = append(r.wantInt, int32(c))
+			} else {
+				r.wantFP = append(r.wantFP, int32(c))
+			}
+		}
+	}
+	k := len(r.wantInt)
+	if len(r.wantFP) < k {
+		k = len(r.wantFP)
+	}
+	for i := 0; i < k; i++ {
+		cA, cB := int(r.wantInt[i]), int(r.wantFP[i])
+		tA, tB := int32(v.ThreadOnCore(cA)), int32(v.ThreadOnCore(cB))
+		if v.AffinityMask(int(tA))&(1<<uint(v.CorePool(cB))) == 0 ||
+			v.AffinityMask(int(tB))&(1<<uint(v.CorePool(cA))) == 0 {
+			continue
+		}
+		r.grant(tA, cB)
+		r.grant(tB, cA)
+	}
+	// Unpaired misfits: hand the core to a parked thread of the
+	// core's own flavor; the misfit parks and queues for its class.
+	for i := k; i < len(r.wantInt); i++ {
+		c := int(r.wantInt[i])
+		if t := r.ringPopFor(v, r.flavor[c], c); t >= 0 {
+			r.grant(t, c)
+		}
+	}
+	for i := k; i < len(r.wantFP); i++ {
+		c := int(r.wantFP[i])
+		if t := r.ringPopFor(v, r.flavor[c], c); t >= 0 {
+			r.grant(t, c)
+		}
+	}
+
+	// 5. Round-robin time sharing: long-resident occupants yield to
+	// waiting threads of the core's flavor.
+	for c := 0; c < n; c++ {
+		t := v.ThreadOnCore(c)
+		if t < 0 || r.coreTouched[c] {
+			continue
+		}
+		if int(r.resid[t]) < r.cfg.ShareEpochs {
+			continue
+		}
+		if t2 := r.ringPopFor(v, r.flavor[c], c); t2 >= 0 {
+			r.grant(t2, c)
+		}
+	}
+
+	if len(r.buf) == 0 {
+		return nil
+	}
+	r.applied++
+	return r.buf
+}
+
+var _ amp.MoveScheduler = (*Rank)(nil)

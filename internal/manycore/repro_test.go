@@ -1,0 +1,59 @@
+package manycore
+
+// Seeded byte-identity reproducibility: every manycore policy must
+// produce a byte-for-byte identical Result when re-run with the same
+// seeds — the property the ampserve result cache and the nxm
+// experiment depend on.
+
+import (
+	"fmt"
+	"testing"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/interval"
+)
+
+// compositionRatio is a deterministic stand-in for the profiled HPE
+// estimator: INT-heavy mixes favor the INT core.
+type compositionRatio struct{}
+
+func (compositionRatio) Name() string { return "composition" }
+func (compositionRatio) RatioIntOverFP(intPct, fpPct float64) float64 {
+	return 1 + (intPct-fpPct)/200
+}
+
+func reproPolicies() map[string]func() amp.MoveScheduler {
+	return map[string]func() amp.MoveScheduler{
+		"static":   func() amp.MoveScheduler { return Static{} },
+		"rotate":   func() amp.MoveScheduler { return NewRotate(20_000) },
+		"rank":     func() amp.MoveScheduler { return NewRank(DefaultRankConfig()) },
+		"hpe":      func() amp.MoveScheduler { return NewHPERank(compositionRatio{}, DefaultRankConfig()) },
+		"bigsmall": func() amp.MoveScheduler { return NewBigSmall(DefaultBigSmallConfig()) },
+		"twophase": func() amp.MoveScheduler { return NewTwoPhase(DefaultTwoPhaseConfig()) },
+	}
+}
+
+func TestPolicyByteIdentity(t *testing.T) {
+	names := []string{"gcc", "mcf", "equake", "apsi", "intstress", "fpstress"}
+	for _, policy := range []string{"static", "rotate", "rank", "hpe", "bigsmall", "twophase"} {
+		factory := reproPolicies()[policy]
+		t.Run(policy, func(t *testing.T) {
+			run := func() string {
+				sys, err := New(quadCores(), specs(t, 100, names...), factory(),
+					Config{}, WithEngine(interval.Factory()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sys.RunCycles(150_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return fmt.Sprintf("%+v", res)
+			}
+			a, b := run(), run()
+			if a != b {
+				t.Fatalf("%s not byte-identical across reruns:\n%s\nvs\n%s", policy, a, b)
+			}
+		})
+	}
+}

@@ -1,29 +1,33 @@
 package manycore
 
 import (
-	"fmt"
-	"sort"
-
-	"ampsched/internal/isa"
+	"ampsched/internal/amp"
 )
 
 // Static keeps the initial assignment.
 type Static struct{}
 
-// Name implements Scheduler.
+// Name implements amp.MoveScheduler.
 func (Static) Name() string { return "static" }
 
-// Reset implements Scheduler.
-func (Static) Reset(View) {}
+// Reset implements amp.MoveScheduler.
+func (Static) Reset(amp.View) {}
 
-// Tick implements Scheduler.
-func (Static) Tick(View) []int { return nil }
+// Tick implements amp.MoveScheduler.
+func (Static) Tick(amp.View) []amp.Move { return nil }
 
 // Rotate is the many-core Round Robin: every Interval cycles the
-// assignment rotates by one core.
+// thread-to-core assignment advances by one position over the whole
+// thread set, so with M > N every thread periodically gets a core —
+// the blind-fairness baseline of the N×M comparison. A move is
+// emitted only when it respects the thread's affinity mask and
+// changes the binding; the batch lives in a reused scratch slice, so
+// a decision allocates nothing after the first.
 type Rotate struct {
 	Interval uint64
 	next     uint64
+	offset   int
+	buf      []amp.Move
 }
 
 // NewRotate builds the rotation policy.
@@ -34,275 +38,55 @@ func NewRotate(interval uint64) *Rotate {
 	return &Rotate{Interval: interval}
 }
 
-// Name implements Scheduler.
+// Name implements amp.MoveScheduler.
 func (r *Rotate) Name() string { return "rotate" }
 
-// Reset implements Scheduler.
-func (r *Rotate) Reset(v View) { r.next = v.Cycle() + r.Interval }
+// Reset implements amp.MoveScheduler.
+func (r *Rotate) Reset(v amp.View) {
+	r.next = v.Cycle() + r.Interval
+	r.offset = 0
+	r.buf = r.buf[:0]
+}
 
-// Tick implements Scheduler.
-func (r *Rotate) Tick(v View) []int {
+// Tick implements amp.MoveScheduler; the per-cycle gate is O(1) and
+// allocation-free.
+//
+//ampvet:hotpath
+func (r *Rotate) Tick(v amp.View) []amp.Move {
 	if v.Cycle() < r.next {
 		return nil
 	}
+	return r.epoch(v)
+}
+
+// epoch computes one rotation. Core c's target is thread
+// (c + offset) mod M; on the classic N==M all-pools machine this
+// reproduces the original shift-by-one rotation. It runs at Interval
+// rate, and the batch lives in a reused scratch slice whose capacity
+// stabilizes after the first rotation.
+func (r *Rotate) epoch(v amp.View) []amp.Move {
 	r.next = v.Cycle() + r.Interval
-	n := v.NumCores()
-	nb := make([]int, n)
+	n, m := v.NumCores(), v.NumThreads()
+	if n > m {
+		n = m // surplus cores stay idle; duplicate targets are invalid
+	}
+	r.offset++
+	if r.offset >= m {
+		r.offset = 0
+	}
+	r.buf = r.buf[:0]
 	for c := 0; c < n; c++ {
-		nb[c] = v.ThreadOnCore((c + 1) % n)
-	}
-	return nb
-}
-
-// RankConfig parameterizes the generalized proposed scheme.
-type RankConfig struct {
-	// WindowSize in committed instructions per thread (paper: 1000).
-	WindowSize uint64
-	// HistoryDepth: consecutive epochs that must agree on a new
-	// assignment before it is applied (the many-core analogue of the
-	// §VI-B majority vote).
-	HistoryDepth int
-	// MinScoreGap: a thread displaces another from an INT core slot
-	// only if its affinity score exceeds the incumbent's by this many
-	// percentage points (hysteresis against churn).
-	MinScoreGap float64
-}
-
-// DefaultRankConfig mirrors the dual-core operating point.
-func DefaultRankConfig() RankConfig {
-	return RankConfig{WindowSize: 1000, HistoryDepth: 5, MinScoreGap: 10}
-}
-
-// Validate reports the first configuration problem.
-func (c *RankConfig) Validate() error {
-	if c.WindowSize == 0 {
-		return fmt.Errorf("manycore: rank: zero WindowSize")
-	}
-	if c.HistoryDepth <= 0 {
-		return fmt.Errorf("manycore: rank: non-positive HistoryDepth")
-	}
-	if c.MinScoreGap < 0 {
-		return fmt.Errorf("manycore: rank: negative MinScoreGap")
-	}
-	return nil
-}
-
-// Rank is the scalable generalization of the paper's scheme: instead
-// of pairwise swap rules (which do not compose beyond two cores), each
-// thread gets an affinity score %INT − %FP from its latest committed
-// window, threads are ranked, and the top-k scores take the k INT
-// cores. Sampling is never needed — exactly the paper's argument
-// against Becchi-style schedulers at §II.
-type Rank struct {
-	cfg RankConfig
-
-	lastCommit []uint64
-	lastClass  [][isa.NumClasses]uint64
-	nextEdge   []uint64
-	score      []float64
-	haveScore  []bool
-
-	intCores []int // indexes of INT-flavored cores
-	fpCores  []int
-
-	pending []int // proposed assignment awaiting confirmation
-	agree   int
-	applied uint64
-}
-
-// NewRank builds the scheduler.
-func NewRank(cfg RankConfig) *Rank {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
-	return &Rank{cfg: cfg}
-}
-
-// Name implements Scheduler.
-func (r *Rank) Name() string { return "rank" }
-
-// Applied returns how many reassignments the policy issued.
-func (r *Rank) Applied() uint64 { return r.applied }
-
-// Reset implements Scheduler.
-func (r *Rank) Reset(v View) {
-	n := v.NumCores()
-	r.lastCommit = make([]uint64, n)
-	r.lastClass = make([][isa.NumClasses]uint64, n)
-	r.nextEdge = make([]uint64, n)
-	r.score = make([]float64, n)
-	r.haveScore = make([]bool, n)
-	r.intCores = r.intCores[:0]
-	r.fpCores = r.fpCores[:0]
-	for c := 0; c < n; c++ {
-		if v.CoreConfig(c).Name == "INT" {
-			r.intCores = append(r.intCores, c)
-		} else {
-			r.fpCores = append(r.fpCores, c)
-		}
-	}
-	for t := 0; t < n; t++ {
-		arch := v.Arch(t)
-		r.lastCommit[t] = arch.Committed
-		r.lastClass[t] = arch.CommittedByClass
-		r.nextEdge[t] = arch.Committed + r.cfg.WindowSize
-	}
-	r.pending = nil
-	r.agree = 0
-	r.applied = 0
-}
-
-// observe closes committed windows, updating affinity scores; returns
-// true if any window closed.
-func (r *Rank) observe(v View) bool {
-	closed := false
-	for t := range r.score {
-		arch := v.Arch(t)
-		if arch.Committed < r.nextEdge[t] {
+		t := (c + r.offset) % m
+		if t == v.ThreadOnCore(c) {
 			continue
 		}
-		committed := arch.Committed - r.lastCommit[t]
-		var intN, fpN uint64
-		for c := isa.Class(0); c < isa.NumClasses; c++ {
-			d := arch.CommittedByClass[c] - r.lastClass[t][c]
-			if c.IsInt() {
-				intN += d
-			} else if c.IsFP() {
-				fpN += d
-			}
-		}
-		if committed > 0 {
-			r.score[t] = 100 * (float64(intN) - float64(fpN)) / float64(committed)
-			r.haveScore[t] = true
-		}
-		r.lastCommit[t] = arch.Committed
-		r.lastClass[t] = arch.CommittedByClass
-		r.nextEdge[t] = arch.Committed + r.cfg.WindowSize
-		closed = true
-	}
-	return closed
-}
-
-// ideal computes the rank-and-place assignment. The INT-core set
-// starts as the current occupants; each outside challenger replaces
-// the weakest member only if its affinity score beats that member's
-// by MinScoreGap (hysteresis against churn). The set size is
-// invariant, so the result is always a valid permutation.
-func (r *Rank) ideal(v View) []int {
-	n := len(r.score)
-
-	inSet := make([]bool, n)
-	target := make([]int, 0, len(r.intCores))
-	for _, c := range r.intCores {
-		t := v.ThreadOnCore(c)
-		target = append(target, t)
-		inSet[t] = true
-	}
-
-	// Challengers in descending score order (stable by thread id).
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool { return r.score[order[a]] > r.score[order[b]] })
-
-	for _, t := range order {
-		if inSet[t] {
+		if v.AffinityMask(t)&(1<<uint(v.CorePool(c))) == 0 {
 			continue
 		}
-		weakest := 0
-		for i := 1; i < len(target); i++ {
-			if r.score[target[i]] < r.score[target[weakest]] {
-				weakest = i
-			}
-		}
-		if r.score[t] >= r.score[target[weakest]]+r.cfg.MinScoreGap {
-			inSet[target[weakest]] = false
-			target[weakest] = t
-			inSet[t] = true
-		}
+		r.buf = append(r.buf, amp.Move{Thread: t, Core: c})
 	}
-
-	// Place with minimal movement: threads already on the correct
-	// side keep their cores (reassigning intstress from INT core 0 to
-	// INT core 1 would be pure churn); only side-switchers move into
-	// the freed slots, in descending score order.
-	nb := make([]int, n)
-	for i := range nb {
-		nb[i] = -1
-	}
-	var freeInt, freeFP []int
-	for _, c := range r.intCores {
-		if t := v.ThreadOnCore(c); inSet[t] {
-			nb[c] = t
-		} else {
-			freeInt = append(freeInt, c)
-		}
-	}
-	for _, c := range r.fpCores {
-		if t := v.ThreadOnCore(c); !inSet[t] {
-			nb[c] = t
-		} else {
-			freeFP = append(freeFP, c)
-		}
-	}
-	placed := make([]bool, n)
-	for _, t := range nb {
-		if t >= 0 {
-			placed[t] = true
-		}
-	}
-	for _, t := range order {
-		if placed[t] {
-			continue
-		}
-		if inSet[t] {
-			nb[freeInt[0]] = t
-			freeInt = freeInt[1:]
-		} else {
-			nb[freeFP[0]] = t
-			freeFP = freeFP[1:]
-		}
-	}
-	return nb
+	return r.buf
 }
 
-// Tick implements Scheduler: on each window close, compute the ideal
-// assignment; apply it after HistoryDepth consecutive agreeing epochs.
-func (r *Rank) Tick(v View) []int {
-	if !r.observe(v) {
-		return nil
-	}
-	for _, ok := range r.haveScore {
-		if !ok {
-			return nil
-		}
-	}
-	nb := r.ideal(v)
-	cur := make([]int, v.NumCores())
-	for c := range cur {
-		cur[c] = v.ThreadOnCore(c)
-	}
-	if samePerm(nb, cur) {
-		r.pending = nil
-		r.agree = 0
-		return nil
-	}
-	if r.pending != nil && samePerm(nb, r.pending) {
-		r.agree++
-	} else {
-		r.pending = append([]int(nil), nb...)
-		r.agree = 1
-	}
-	if r.agree < r.cfg.HistoryDepth {
-		return nil
-	}
-	r.pending = nil
-	r.agree = 0
-	r.applied++
-	return nb
-}
-
-var _ Scheduler = (*Rank)(nil)
-var _ Scheduler = (*Rotate)(nil)
-var _ Scheduler = Static{}
+var _ amp.MoveScheduler = (*Rotate)(nil)
+var _ amp.MoveScheduler = Static{}

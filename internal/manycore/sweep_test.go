@@ -1,0 +1,61 @@
+package manycore
+
+// The N×M sweep: every policy across core and thread counts, subtests
+// running in parallel so `go test -race` exercises concurrent systems
+// sharing nothing. Interval fidelity keeps the sweep fast.
+
+import (
+	"fmt"
+	"testing"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/interval"
+)
+
+func TestNxMSweep(t *testing.T) {
+	names := []string{"gcc", "mcf", "equake", "apsi", "intstress", "fpstress", "sha", "swim", "CRC32"}
+	for _, n := range []int{1, 2, 4} {
+		ms := []int{1, 2*n + 1}
+		if n > 1 {
+			ms = append(ms, n)
+		}
+		for _, m := range ms {
+			policies := reproPolicies()
+			for _, policy := range []string{"static", "rotate", "rank", "hpe", "bigsmall", "twophase"} {
+				factory := policies[policy]
+				n, m := n, m
+				t.Run(fmt.Sprintf("%s/n%d/m%d", policy, n, m), func(t *testing.T) {
+					t.Parallel()
+					cores := make([]CoreSpec, n)
+					for c := 0; c < n; c++ {
+						if c%2 == 0 {
+							cores[c] = CoreSpec{Config: cpu.IntCoreConfig(), Pool: 0}
+						} else {
+							cores[c] = CoreSpec{Config: cpu.FPCoreConfig(), Pool: 1}
+						}
+					}
+					ts := make([]ThreadSpec, m)
+					for i := 0; i < m; i++ {
+						sp := specs(t, uint64(200+i), names[i%len(names)])
+						ts[i] = sp[0]
+					}
+					sys, err := New(cores, ts, factory(), Config{},
+						WithEngine(interval.Factory()))
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := sys.RunCycles(80_000)
+					if err != nil {
+						t.Fatalf("n=%d m=%d: %v", n, m, err)
+					}
+					if res.InvalidBatches != 0 {
+						t.Fatalf("policy emitted %d invalid batches", res.InvalidBatches)
+					}
+					if res.WeightedIPCW() <= 0 {
+						t.Fatal("no throughput")
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,461 @@
+package manycore
+
+import (
+	"fmt"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/isa"
+)
+
+// TwoPhaseConfig parameterizes the hypervisor-style proportional
+// allocator.
+type TwoPhaseConfig struct {
+	// Quantum is one scheduling slice in cycles; the allocation is
+	// recomputed every Slices quanta (one epoch).
+	Quantum uint64
+	// Slices is each core's capacity per epoch (load is measured in
+	// slices; 100% = Slices).
+	Slices int
+	// Estimator, when non-nil, routes threads to the flavor pool their
+	// composition favors (the HPE predictor feeding phase 1); nil
+	// falls back to pure load balancing.
+	Estimator Estimator
+}
+
+// DefaultTwoPhaseConfig returns the reference operating point.
+func DefaultTwoPhaseConfig() TwoPhaseConfig {
+	return TwoPhaseConfig{Quantum: 10_000, Slices: 4}
+}
+
+// Validate reports the first configuration problem.
+func (c *TwoPhaseConfig) Validate() error {
+	if c.Quantum == 0 {
+		return fmt.Errorf("manycore: twophase: zero Quantum")
+	}
+	if c.Slices <= 0 {
+		return fmt.Errorf("manycore: twophase: non-positive Slices")
+	}
+	return nil
+}
+
+// Requirement clamp bounds: a thread always deserves a sliver of a
+// core and never more than a handful of cores' worth of efficiency.
+const (
+	twoPhaseMinReq = 0.05
+	twoPhaseMaxReq = 4.0
+)
+
+// TwoPhase is the two-phase proportional allocator: phase 1 greedily
+// hands out core slices in virtual-time order — each pop grants the
+// most-starved thread one slice on the most suitable core whose load
+// is below 100% — and phase 2 matches the granted slices into a
+// per-slice schedule that minimizes context switches by keeping each
+// thread's slices contiguous on one core. Requirements (predicted
+// IPC/Watt, optionally refined by the HPE estimator) set the
+// proportional share: a thread's virtual time advances by 1/req per
+// granted slice, so efficient threads earn more slices per epoch.
+//
+// The invariant the property test pins down: no core is ever
+// allocated more than Slices slices per epoch — load never exceeds
+// 100%.
+type TwoPhase struct {
+	cfg TwoPhaseConfig
+
+	nextTick  uint64
+	slice     int // current slice index within the epoch
+	applied   uint64
+	haveAlloc bool
+
+	// Per-thread persistent state.
+	vt         []float64 // virtual time (stride scheduling)
+	req        []float64 // requirement: predicted IPC/Watt, clamped
+	lastCommit []uint64
+	lastClass  [][isa.NumClasses]uint64
+	lastEnergy []float64
+	runnable   []bool
+	prefInt    []bool // estimator says the INT flavor suits the thread
+
+	// Topology, fixed at Reset.
+	poolIsInt []bool // per pool: majority flavor
+	poolOf    []int  // per core
+
+	// Per-epoch allocation.
+	load     []int   // load[core] in slices; never exceeds cfg.Slices
+	slotCore []int32 // thread's core this epoch, -1 if none
+	slots    []int32 // slices granted to the thread this epoch
+	sched    []int32 // sched[c*Slices+s] = thread, -1 idle
+
+	// Heap of runnable threads ordered by (vt, id).
+	heap []int32
+
+	// Per-tick scratch.
+	buf       []amp.Move
+	moveEpoch uint32
+	moveMark  []uint32
+}
+
+// NewTwoPhase builds the allocator.
+func NewTwoPhase(cfg TwoPhaseConfig) *TwoPhase {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &TwoPhase{cfg: cfg}
+}
+
+// Name implements amp.MoveScheduler.
+func (p *TwoPhase) Name() string { return "twophase" }
+
+// Applied returns how many epochs recomputed a non-empty allocation.
+func (p *TwoPhase) Applied() uint64 { return p.applied }
+
+// CoreLoads returns the current epoch's per-core load in slices
+// (property tests assert it never exceeds Slices).
+func (p *TwoPhase) CoreLoads() []int {
+	out := make([]int, len(p.load))
+	copy(out, p.load)
+	return out
+}
+
+// Slices returns the configured per-core capacity.
+func (p *TwoPhase) Slices() int { return p.cfg.Slices }
+
+// Reset implements amp.MoveScheduler.
+func (p *TwoPhase) Reset(v amp.View) {
+	n, m := v.NumCores(), v.NumThreads()
+	p.nextTick = v.Cycle() + p.cfg.Quantum
+	p.slice = 0
+	p.applied = 0
+	p.haveAlloc = false
+
+	p.vt = make([]float64, m)
+	p.req = make([]float64, m)
+	p.lastCommit = make([]uint64, m)
+	p.lastClass = make([][isa.NumClasses]uint64, m)
+	p.lastEnergy = make([]float64, m)
+	p.runnable = make([]bool, m)
+	p.prefInt = make([]bool, m)
+	p.poolOf = make([]int, n)
+	p.load = make([]int, n)
+	p.slotCore = make([]int32, m)
+	p.slots = make([]int32, m)
+	p.sched = make([]int32, n*p.cfg.Slices)
+	p.moveMark = make([]uint32, m)
+	p.moveEpoch = 0
+
+	maxPool := 0
+	for c := 0; c < n; c++ {
+		p.poolOf[c] = v.CorePool(c)
+		if p.poolOf[c] > maxPool {
+			maxPool = p.poolOf[c]
+		}
+	}
+	intCount := make([]int, maxPool+1)
+	total := make([]int, maxPool+1)
+	for c := 0; c < n; c++ {
+		total[p.poolOf[c]]++
+		if v.CoreConfig(c).Name == "INT" {
+			intCount[p.poolOf[c]]++
+		}
+	}
+	p.poolIsInt = make([]bool, maxPool+1)
+	for pl := range p.poolIsInt {
+		p.poolIsInt[pl] = total[pl] > 0 && 2*intCount[pl] >= total[pl]
+	}
+
+	var allowAll uint64
+	for pl := 0; pl <= maxPool; pl++ {
+		if total[pl] > 0 {
+			allowAll |= 1 << uint(pl)
+		}
+	}
+	for t := 0; t < m; t++ {
+		arch := v.Arch(t)
+		p.lastCommit[t] = arch.Committed
+		p.lastClass[t] = arch.CommittedByClass
+		p.lastEnergy[t] = v.ThreadEnergyNJ(t)
+		p.req[t] = 1
+		p.runnable[t] = v.AffinityMask(t)&allowAll != 0
+	}
+}
+
+// --- virtual-time heap ----------------------------------------------
+
+func (p *TwoPhase) heapLess(a, b int32) bool {
+	if p.vt[a] != p.vt[b] {
+		return p.vt[a] < p.vt[b]
+	}
+	return a < b
+}
+
+func (p *TwoPhase) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !p.heapLess(p.heap[i], p.heap[parent]) {
+			break
+		}
+		p.heap[i], p.heap[parent] = p.heap[parent], p.heap[i]
+		i = parent
+	}
+}
+
+func (p *TwoPhase) heapDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(p.heap) && p.heapLess(p.heap[l], p.heap[small]) {
+			small = l
+		}
+		if r < len(p.heap) && p.heapLess(p.heap[r], p.heap[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		p.heap[i], p.heap[small] = p.heap[small], p.heap[i]
+		i = small
+	}
+}
+
+func (p *TwoPhase) heapPop() int32 {
+	t := p.heap[0]
+	last := len(p.heap) - 1
+	p.heap[0] = p.heap[last]
+	p.heap = p.heap[:last]
+	if last > 0 {
+		p.heapDown(0)
+	}
+	return t
+}
+
+func (p *TwoPhase) heapPush(t int32) {
+	p.heap = append(p.heap, t)
+	p.heapUp(len(p.heap) - 1)
+}
+
+// --------------------------------------------------------------------
+
+// observe refreshes requirements from the closing epoch.
+func (p *TwoPhase) observe(v amp.View, epochCycles uint64) {
+	n := v.NumCores()
+	for c := 0; c < n; c++ {
+		t := v.ThreadOnCore(c)
+		if t < 0 {
+			continue
+		}
+		arch := v.Arch(t)
+		committed := arch.Committed - p.lastCommit[t]
+		energy := v.ThreadEnergyNJ(t) - p.lastEnergy[t]
+		if committed == 0 || energy <= 0 {
+			continue
+		}
+		var intN, fpN uint64
+		for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
+			d := arch.CommittedByClass[cl] - p.lastClass[t][cl]
+			if cl.IsInt() {
+				intN += d
+			} else if cl.IsFP() {
+				fpN += d
+			}
+		}
+		p.lastCommit[t] = arch.Committed
+		p.lastClass[t] = arch.CommittedByClass
+		p.lastEnergy[t] = v.ThreadEnergyNJ(t)
+
+		ipc := float64(committed) / float64(epochCycles)
+		seconds := float64(epochCycles) / (v.FreqGHz() * 1e9)
+		watts := energy * 1e-9 / seconds
+		ipcw := ipc / watts
+		ratio := 1.0
+		if p.cfg.Estimator != nil {
+			intPct := 100 * float64(intN) / float64(committed)
+			fpPct := 100 * float64(fpN) / float64(committed)
+			ratio = p.cfg.Estimator.RatioIntOverFP(intPct, fpPct)
+		}
+		p.prefInt[t] = ratio >= 1
+		// Requirement: the thread's predicted IPC/Watt on its favored
+		// flavor — what one slice of the right core is worth to the
+		// system.
+		req := ipcw
+		if ratio > 1 {
+			req = ipcw * ratio
+		}
+		if req < twoPhaseMinReq {
+			req = twoPhaseMinReq
+		}
+		if req > twoPhaseMaxReq {
+			req = twoPhaseMaxReq
+		}
+		p.req[t] = req
+	}
+}
+
+// pickCore selects the core for thread t's first slice of the epoch:
+// the least-loaded compatible core with load < Slices, preferring the
+// flavor pools the estimator favors for t.
+func (p *TwoPhase) pickCore(v amp.View, t int32) int {
+	n := v.NumCores()
+	aff := v.AffinityMask(int(t))
+	best, bestLoad := -1, p.cfg.Slices
+	bestPref := false
+	for c := 0; c < n; c++ {
+		pl := p.poolOf[c]
+		if aff&(1<<uint(pl)) == 0 || p.load[c] >= p.cfg.Slices {
+			continue
+		}
+		pref := p.cfg.Estimator == nil || p.poolIsInt[pl] == p.prefInt[t]
+		// Preferred-pool cores win over non-preferred ones at any
+		// load; within a preference tier, least load wins, lowest
+		// index breaking ties.
+		if best < 0 || (pref && !bestPref) || (pref == bestPref && p.load[c] < bestLoad) {
+			best, bestLoad, bestPref = c, p.load[c], pref
+		}
+	}
+	return best
+}
+
+// allocate runs the two phases for a new epoch.
+func (p *TwoPhase) allocate(v amp.View) {
+	n, m := v.NumCores(), v.NumThreads()
+	capacity := n * p.cfg.Slices
+
+	// Normalize virtual times so they never drift into float trouble.
+	minVT := 0.0
+	first := true
+	for t := 0; t < m; t++ {
+		if !p.runnable[t] {
+			continue
+		}
+		if first || p.vt[t] < minVT {
+			minVT, first = p.vt[t], false
+		}
+	}
+	p.heap = p.heap[:0]
+	for t := 0; t < m; t++ {
+		if !p.runnable[t] {
+			continue
+		}
+		p.vt[t] -= minVT
+		p.heapPush(int32(t))
+	}
+	for c := 0; c < n; c++ {
+		p.load[c] = 0
+	}
+	for t := 0; t < m; t++ {
+		p.slotCore[t] = -1
+		p.slots[t] = 0
+	}
+
+	// Phase 1: proportional greedy. Each pop grants one slice; a
+	// thread's slices stay on one core (cheap phase 2, warm caches),
+	// so a thread whose core fills up — or who already owns a full
+	// epoch — leaves the heap until next epoch.
+	granted := 0
+	for granted < capacity && len(p.heap) > 0 {
+		t := p.heapPop()
+		var c int
+		if p.slotCore[t] >= 0 {
+			if int(p.slots[t]) >= p.cfg.Slices {
+				continue // already owns a whole core's epoch
+			}
+			c = int(p.slotCore[t])
+			if p.load[c] >= p.cfg.Slices {
+				continue // its core is full; wait for next epoch
+			}
+		} else {
+			c = p.pickCore(v, t)
+			if c < 0 {
+				continue // nothing compatible has spare capacity
+			}
+			p.slotCore[t] = int32(c)
+		}
+		p.load[c]++
+		p.slots[t]++
+		granted++
+		p.vt[t] += 1 / p.req[t]
+		p.heapPush(t)
+	}
+
+	// Phase 2: slice matching. Slices are handed out contiguously per
+	// core in thread-id order, so each core context-switches at most
+	// (threads-1) times per epoch.
+	for i := range p.sched {
+		p.sched[i] = -1
+	}
+	fill := make([]int, n)
+	for t := 0; t < m; t++ {
+		c := p.slotCore[t]
+		if c < 0 {
+			continue
+		}
+		base := int(c) * p.cfg.Slices
+		for s := int32(0); s < p.slots[t]; s++ {
+			p.sched[base+fill[c]] = int32(t)
+			fill[c]++
+		}
+	}
+	p.haveAlloc = true
+	if granted > 0 {
+		p.applied++
+	}
+}
+
+// Tick implements amp.MoveScheduler; the per-cycle gate is O(1) and
+// allocation-free.
+//
+//ampvet:hotpath
+func (p *TwoPhase) Tick(v amp.View) []amp.Move {
+	if v.Cycle() < p.nextTick {
+		return nil
+	}
+	return p.sliceTick(v)
+}
+
+// sliceTick advances one scheduling slice. Epoch boundaries cost
+// O(threads·log threads + cores·slices); intermediate slice boundaries
+// cost O(cores). It fires at Quantum rate with reused scratch.
+func (p *TwoPhase) sliceTick(v amp.View) []amp.Move {
+	p.nextTick = v.Cycle() + p.cfg.Quantum
+
+	if !p.haveAlloc || p.slice >= p.cfg.Slices-1 {
+		// Epoch boundary: close the observation window, reallocate,
+		// restart at slice 0.
+		if p.haveAlloc {
+			p.observe(v, uint64(p.cfg.Slices)*p.cfg.Quantum)
+		}
+		p.allocate(v)
+		p.slice = 0
+	} else {
+		p.slice++
+	}
+
+	// Emit the moves that realize this slice's schedule.
+	n := len(p.load)
+	p.buf = p.buf[:0]
+	p.moveEpoch++
+	for c := 0; c < n; c++ {
+		target := p.sched[c*p.cfg.Slices+p.slice]
+		if target >= 0 && int(target) != v.ThreadOnCore(c) {
+			p.buf = append(p.buf, amp.Move{Thread: int(target), Core: c})
+			p.moveMark[target] = p.moveEpoch
+		}
+	}
+	// Park occupants of cores idle this slice, unless the batch
+	// already relocates them (a duplicate thread would invalidate the
+	// whole batch).
+	for c := 0; c < n; c++ {
+		target := p.sched[c*p.cfg.Slices+p.slice]
+		if target >= 0 {
+			continue
+		}
+		if o := v.ThreadOnCore(c); o >= 0 && p.moveMark[o] != p.moveEpoch {
+			p.buf = append(p.buf, amp.Move{Thread: o, Core: amp.ParkCore})
+			p.moveMark[o] = p.moveEpoch
+		}
+	}
+	if len(p.buf) == 0 {
+		return nil
+	}
+	return p.buf
+}
+
+var _ amp.MoveScheduler = (*TwoPhase)(nil)

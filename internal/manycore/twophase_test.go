@@ -1,0 +1,149 @@
+package manycore
+
+import (
+	"testing"
+
+	"ampsched/internal/cpu"
+)
+
+func TestTwoPhaseConfigValidation(t *testing.T) {
+	good := DefaultTwoPhaseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultTwoPhaseConfig()
+	bad.Quantum = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+	bad = DefaultTwoPhaseConfig()
+	bad.Slices = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero slices accepted")
+	}
+}
+
+// fixedRatio is an Estimator with a constant prediction.
+type fixedRatio struct{ r float64 }
+
+func (fixedRatio) Name() string                          { return "fixed" }
+func (f fixedRatio) RatioIntOverFP(_, _ float64) float64 { return f.r }
+
+// xorshift is a tiny deterministic generator for the property test
+// (math/rand is banned from simulation-core packages).
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// TestTwoPhaseNeverOverloadsACore is the allocator's core property:
+// across topologies, affinity patterns and commit traces, no core is
+// ever granted more than Slices slices per epoch (load <= 100%).
+func TestTwoPhaseNeverOverloadsACore(t *testing.T) {
+	combos := []struct {
+		n, m, slices int
+		est          Estimator
+	}{
+		{1, 1, 1, nil},
+		{1, 4, 2, nil},
+		{2, 3, 2, nil},
+		{3, 8, 4, fixedRatio{1.5}},
+		{4, 4, 4, nil},
+		{5, 13, 3, fixedRatio{0.5}},
+		{8, 2, 2, nil},
+	}
+	for _, cb := range combos {
+		cfgs := make([]*cpu.Config, cb.n)
+		pools := make([]int, cb.n)
+		for c := 0; c < cb.n; c++ {
+			if c%2 == 0 {
+				cfgs[c] = cpu.IntCoreConfig()
+			} else {
+				cfgs[c] = cpu.FPCoreConfig()
+				pools[c] = 1
+			}
+		}
+		f := newFakeView(cfgs, pools, cb.m)
+		for th := 0; th < cb.m; th++ {
+			switch {
+			case th%4 == 0:
+				f.aff[th] = 1 << 0
+			case th%4 == 1 && cb.n > 1:
+				f.aff[th] = 1 << 1
+			}
+		}
+		cfg := TwoPhaseConfig{Quantum: 1_000, Slices: cb.slices, Estimator: cb.est}
+		p := NewTwoPhase(cfg)
+		p.Reset(f)
+
+		rng := xorshift(0x9E3779B97F4A7C15 ^ uint64(cb.n*1000+cb.m))
+		commits := make([]uint64, cb.m)
+		for tick := 0; tick < 60; tick++ {
+			for th := range commits {
+				commits[th] = rng.next() % (2 * cfg.Quantum)
+			}
+			f.step(t, p, cfg.Quantum, commits)
+			for c, load := range p.CoreLoads() {
+				if load > p.Slices() {
+					t.Fatalf("n=%d m=%d slices=%d: core %d load %d > %d",
+						cb.n, cb.m, cb.slices, c, load, p.Slices())
+				}
+			}
+		}
+	}
+}
+
+func TestTwoPhaseSharesCapacityProportionally(t *testing.T) {
+	// Single core, 2 slices, two threads: both must be scheduled within
+	// an epoch or two — nobody starves under proportional allocation.
+	f := newFakeView([]*cpu.Config{cpu.IntCoreConfig()}, []int{0}, 2)
+	cfg := TwoPhaseConfig{Quantum: 1_000, Slices: 2}
+	p := NewTwoPhase(cfg)
+	p.Reset(f)
+
+	ran := [2]bool{}
+	commits := []uint64{800, 900}
+	for tick := 0; tick < 12; tick++ {
+		f.step(t, p, cfg.Quantum, commits)
+		if b := f.binding[0]; b >= 0 {
+			ran[b] = true
+		}
+	}
+	if !ran[0] || !ran[1] {
+		t.Fatalf("threads scheduled: %v, want both", ran)
+	}
+}
+
+func TestTwoPhaseIntegration(t *testing.T) {
+	// 4 cores x 6 threads end to end on the real system.
+	sys, err := New(quadCores(),
+		specs(t, 90, "gcc", "mcf", "equake", "apsi", "intstress", "fpstress"),
+		NewTwoPhase(DefaultTwoPhaseConfig()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunCycles(300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reassigns == 0 {
+		t.Fatal("twophase never moved anything on an oversubscribed machine")
+	}
+	if res.InvalidBatches != 0 {
+		t.Fatalf("twophase emitted %d invalid batches", res.InvalidBatches)
+	}
+	for i, tr := range res.Threads {
+		if tr.Committed == 0 {
+			t.Fatalf("thread %d starved", i)
+		}
+	}
+	if res.WeightedIPCW() <= 0 {
+		t.Fatal("weighted IPC/Watt non-positive")
+	}
+}

@@ -72,6 +72,7 @@ type ProposedExt struct {
 	stats      amp.SchedulerStats
 	retry      retryState
 	tel        polTel
+	em         swapEmitter
 	vetoes     uint64
 	intCore    int
 	fpCore     int
@@ -87,7 +88,7 @@ func NewProposedExt(cfg ExtendedConfig, opts ...Option) *ProposedExt {
 	return &ProposedExt{cfg: cfg, obsFactory: o.obsFactory, tel: newPolTel(o.tel, "proposed-ext")}
 }
 
-// Name implements amp.Scheduler.
+// Name implements amp.MoveScheduler.
 func (p *ProposedExt) Name() string { return "proposed-ext" }
 
 // Config returns the scheduler's configuration.
@@ -102,7 +103,7 @@ func (p *ProposedExt) SetObserver(factory func(window uint64) monitor.Observer) 
 	p.obsFactory = factory
 }
 
-// Reset implements amp.Scheduler.
+// Reset implements amp.MoveScheduler.
 func (p *ProposedExt) Reset(v amp.View) {
 	p.intCore, p.fpCore = coreIndexes(v)
 	for t := 0; t < 2; t++ {
@@ -174,12 +175,12 @@ func (p *ProposedExt) memBound(t int) bool {
 	return m.l2MissRate >= p.cfg.MemBoundL2MissRate || m.windowIPC < p.cfg.MemBoundIPC
 }
 
-// Tick implements amp.Scheduler. It follows the Fig. 5 logic of the
+// Tick implements amp.MoveScheduler. It follows the Fig. 5 logic of the
 // base scheme, but a rule-2 trigger whose migrating beneficiary is
 // memory-bound becomes a stay vote.
 //
 //ampvet:hotpath
-func (p *ProposedExt) Tick(v amp.View) bool {
+func (p *ProposedExt) Tick(v amp.View) []amp.Move {
 	closed := false
 	for t := 0; t < 2; t++ {
 		if s, ok := p.trackers[t].Observe(v.Arch(t)); ok {
@@ -189,14 +190,14 @@ func (p *ProposedExt) Tick(v amp.View) bool {
 		}
 	}
 	if !closed {
-		return false
+		return nil
 	}
 	tFP := v.ThreadOnCore(p.fpCore)
 	tINT := v.ThreadOnCore(p.intCore)
 	sFP, okFP := p.trackers[tFP].Latest()
 	sINT, okINT := p.trackers[tINT].Latest()
 	if !okFP || !okINT {
-		return false
+		return nil
 	}
 	p.stats.DecisionPoints++
 	p.tel.decisions.Inc()
@@ -230,14 +231,14 @@ func (p *ProposedExt) Tick(v amp.View) bool {
 		if majority {
 			p.tel.holdoffs.Inc()
 		}
-		return false
+		return nil
 	}
 	if majority {
 		p.tel.majorityFires.Inc()
 		p.stats.SwapRequests++
 		p.tel.requests.Inc()
 		p.voter.Clear()
-		return true
+		return p.em.swap(v)
 	}
 
 	if !base.DisableForcedSwap && v.Cycle()-v.LastSwapCycle() >= base.ForceInterval {
@@ -248,12 +249,12 @@ func (p *ProposedExt) Tick(v amp.View) bool {
 			p.stats.SwapRequests++
 			p.tel.requests.Inc()
 			p.voter.Clear()
-			return true
+			return p.em.swap(v)
 		}
 	}
-	return false
+	return nil
 }
 
-var _ amp.Scheduler = (*ProposedExt)(nil)
+var _ amp.MoveScheduler = (*ProposedExt)(nil)
 var _ amp.StatsReporter = (*ProposedExt)(nil)
 var _ ObserverInjectable = (*ProposedExt)(nil)

@@ -41,7 +41,7 @@ func driveExt(p *ProposedExt, v *fakeView, windows int,
 			v.l2[core].Accesses += 100
 			v.l2[core].Misses += uint64(100 * missRate[th])
 		}
-		if p.Tick(v) {
+		if len(p.Tick(v)) != 0 {
 			return true
 		}
 	}
@@ -104,7 +104,7 @@ func TestExtVetoLowIPC(t *testing.T) {
 			core := v.CoreOfThread(th)
 			v.l2[core].Accesses += 100 // no misses
 		}
-		swapped = p.Tick(v)
+		swapped = len(p.Tick(v)) != 0
 	}
 	if swapped {
 		t.Fatal("extension swapped a stall-bound thread")

@@ -60,6 +60,7 @@ type HPE struct {
 
 	stats amp.SchedulerStats
 	tel   polTel
+	em    swapEmitter
 }
 
 // NewHPE builds the scheduler around an estimator. Options attach
@@ -76,13 +77,13 @@ func NewHPE(cfg HPEConfig, est Estimator, opts ...Option) *HPE {
 	return &HPE{cfg: cfg, est: est, tel: newPolTel(o.tel, "hpe-"+est.Name())}
 }
 
-// Name implements amp.Scheduler.
+// Name implements amp.MoveScheduler.
 func (h *HPE) Name() string { return "hpe-" + h.est.Name() }
 
 // Estimator returns the ratio estimator in use.
 func (h *HPE) Estimator() Estimator { return h.est }
 
-// Reset implements amp.Scheduler.
+// Reset implements amp.MoveScheduler.
 func (h *HPE) Reset(v amp.View) {
 	h.intCore, h.fpCore = coreIndexes(v)
 	h.nextCheck = v.Cycle() + h.cfg.Interval
@@ -147,15 +148,15 @@ func (h *HPE) snapshot(v amp.View) {
 	h.lastCycle = v.Cycle()
 }
 
-// Tick implements amp.Scheduler. Every Interval cycles it estimates
-// each thread's IPC/Watt on the other core from the estimator's ratio
-// and swaps when the predicted weighted speedup of the swapped
-// configuration exceeds the threshold.
+// Tick implements amp.MoveScheduler. Every Interval cycles it
+// estimates each thread's IPC/Watt on the other core from the
+// estimator's ratio and swaps when the predicted weighted speedup of
+// the swapped configuration exceeds the threshold.
 //
 //ampvet:hotpath
-func (h *HPE) Tick(v amp.View) bool {
+func (h *HPE) Tick(v amp.View) []amp.Move {
 	if v.Cycle() < h.nextCheck {
-		return false
+		return nil
 	}
 	h.nextCheck = v.Cycle() + h.cfg.Interval
 	h.stats.DecisionPoints++
@@ -168,16 +169,16 @@ func (h *HPE) Tick(v amp.View) bool {
 	}
 	h.snapshot(v)
 	if !obs[0].valid || !obs[1].valid {
-		return false
+		return nil
 	}
 
 	est := (h.predictedSpeedup(v, obs[0], 0) + h.predictedSpeedup(v, obs[1], 1)) / 2
 	if est > h.cfg.SpeedupThreshold {
 		h.stats.SwapRequests++
 		h.tel.requests.Inc()
-		return true
+		return h.em.swap(v)
 	}
-	return false
+	return nil
 }
 
 // predictedSpeedup is thread t's estimated IPC/Watt factor if moved to
@@ -196,7 +197,6 @@ func (h *HPE) predictedSpeedup(v amp.View, o intervalObservation, t int) float64
 	return r
 }
 
-var _ amp.Scheduler = (*HPE)(nil)
+var _ amp.MoveScheduler = (*HPE)(nil)
 var _ amp.StatsReporter = (*HPE)(nil)
 var _ amp.StatsReporter = (*Proposed)(nil)
-var _ amp.Scheduler = (*Proposed)(nil)

@@ -63,7 +63,7 @@ func (c *MorphConfig) Validate() error {
 	return nil
 }
 
-// Morphing implements amp.Scheduler (swap rules via an embedded
+// Morphing implements amp.MoveScheduler (swap rules via an embedded
 // Proposed) and amp.MorphPolicy (morph decisions).
 type Morphing struct {
 	cfg      MorphConfig
@@ -105,13 +105,13 @@ func NewMorphing(cfg MorphConfig, opts ...Option) *Morphing {
 	return m
 }
 
-// Name implements amp.Scheduler.
+// Name implements amp.MoveScheduler.
 func (m *Morphing) Name() string { return "morphing" }
 
 // MorphCount returns how many times the policy requested MorphOn.
 func (m *Morphing) MorphCount() uint64 { return m.morphOns }
 
-// Reset implements amp.Scheduler.
+// Reset implements amp.MoveScheduler.
 func (m *Morphing) Reset(v amp.View) {
 	m.proposed.Reset(v)
 	for t := 0; t < 2; t++ {
@@ -159,13 +159,13 @@ func (m *Morphing) observe(v amp.View) {
 	}
 }
 
-// Tick implements amp.Scheduler: the Fig. 5 swap rules apply only in
+// Tick implements amp.MoveScheduler: the Fig. 5 swap rules apply only in
 // the baseline configuration (composition-based affinity is undefined
 // while the cores are strong+weak).
-func (m *Morphing) Tick(v amp.View) bool {
+func (m *Morphing) Tick(v amp.View) []amp.Move {
 	m.observe(v)
 	if m.morphed {
-		return false
+		return nil
 	}
 	return m.proposed.Tick(v)
 }
@@ -223,6 +223,6 @@ func (m *Morphing) MorphTick(v amp.View) (amp.MorphAction, int) {
 	return amp.MorphOff, 0
 }
 
-var _ amp.Scheduler = (*Morphing)(nil)
+var _ amp.MoveScheduler = (*Morphing)(nil)
 var _ amp.MorphPolicy = (*Morphing)(nil)
 var _ amp.StatsReporter = (*Morphing)(nil)

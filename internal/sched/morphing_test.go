@@ -122,7 +122,7 @@ func TestMorphingSuppressesSwapRulesWhileMorphed(t *testing.T) {
 		v.cycle += 1000
 		v.commit(0, 1000, 10, 60)
 		v.commit(1, 1000, 70, 0)
-		if m.Tick(v) {
+		if len(m.Tick(v)) != 0 {
 			t.Fatal("swap rule fired while morphed")
 		}
 	}

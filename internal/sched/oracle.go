@@ -30,6 +30,7 @@ type Oracle struct {
 
 	lastDecision uint64
 	stats        amp.SchedulerStats
+	em           swapEmitter
 	intCore      int
 	fpCore       int
 }
@@ -61,10 +62,10 @@ func OracleProfile(intCfg, fpCfg *cpu.Config, benchA, benchB *workload.Benchmark
 	return o, nil
 }
 
-// Name implements amp.Scheduler.
+// Name implements amp.MoveScheduler.
 func (o *Oracle) Name() string { return "oracle" }
 
-// Reset implements amp.Scheduler.
+// Reset implements amp.MoveScheduler.
 func (o *Oracle) Reset(v amp.View) {
 	o.intCore, o.fpCore = coreIndexes(v)
 	o.lastDecision = 0
@@ -82,9 +83,9 @@ func (o *Oracle) lookup(t, c int, w uint64) float64 {
 	return prof[int(w)%len(prof)]
 }
 
-// Tick implements amp.Scheduler. One decision per committed window of
+// Tick implements amp.MoveScheduler. One decision per committed window of
 // the faster thread.
-func (o *Oracle) Tick(v amp.View) bool {
+func (o *Oracle) Tick(v amp.View) []amp.Move {
 	// Decision epoch: the max of the two threads' window indexes.
 	w0 := v.Arch(0).Committed / o.window
 	w1 := v.Arch(1).Committed / o.window
@@ -93,7 +94,7 @@ func (o *Oracle) Tick(v amp.View) bool {
 		epoch = w1
 	}
 	if epoch == o.lastDecision {
-		return false
+		return nil
 	}
 	o.lastDecision = epoch
 	o.stats.DecisionPoints++
@@ -109,14 +110,14 @@ func (o *Oracle) Tick(v amp.View) bool {
 		alt = o.lookup(0, 0, w0) + o.lookup(1, 1, w1)
 	}
 	if cur <= 0 {
-		return false
+		return nil
 	}
 	if alt/cur >= o.minGain {
 		o.stats.SwapRequests++
-		return true
+		return o.em.swap(v)
 	}
-	return false
+	return nil
 }
 
-var _ amp.Scheduler = (*Oracle)(nil)
+var _ amp.MoveScheduler = (*Oracle)(nil)
 var _ amp.StatsReporter = (*Oracle)(nil)

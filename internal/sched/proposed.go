@@ -80,6 +80,7 @@ type Proposed struct {
 	stats      amp.SchedulerStats
 	retry      retryState
 	tel        polTel
+	em         swapEmitter
 	intCore    int
 	fpCore     int
 }
@@ -95,7 +96,7 @@ func NewProposed(cfg ProposedConfig, opts ...Option) *Proposed {
 	return &Proposed{cfg: cfg, obsFactory: o.obsFactory, tel: newPolTel(o.tel, "proposed")}
 }
 
-// Name implements amp.Scheduler.
+// Name implements amp.MoveScheduler.
 func (p *Proposed) Name() string { return "proposed" }
 
 // Config returns the scheduler's configuration.
@@ -106,7 +107,7 @@ func (p *Proposed) SetObserver(factory func(window uint64) monitor.Observer) {
 	p.obsFactory = factory
 }
 
-// Reset implements amp.Scheduler.
+// Reset implements amp.MoveScheduler.
 func (p *Proposed) Reset(v amp.View) {
 	p.intCore, p.fpCore = coreIndexes(v)
 	for t := 0; t < 2; t++ {
@@ -130,13 +131,13 @@ func (p *Proposed) SchedStats() amp.SchedulerStats {
 	return st
 }
 
-// Tick implements amp.Scheduler. A tentative decision is made at the
-// end of every committed-instruction window; the reconfiguration
+// Tick implements amp.MoveScheduler. A tentative decision is made at
+// the end of every committed-instruction window; the reconfiguration
 // fires on a strict majority of the last HistoryDepth tentative
 // decisions, or through the forced fairness swap of Fig. 5 step 3.
 //
 //ampvet:hotpath
-func (p *Proposed) Tick(v amp.View) bool {
+func (p *Proposed) Tick(v amp.View) []amp.Move {
 	closed := false
 	for t := 0; t < 2; t++ {
 		if s, ok := p.trackers[t].Observe(v.Arch(t)); ok {
@@ -145,13 +146,13 @@ func (p *Proposed) Tick(v amp.View) bool {
 		}
 	}
 	if !closed {
-		return false
+		return nil
 	}
 
 	sFP, okFP := p.trackers[v.ThreadOnCore(p.fpCore)].Latest()
 	sINT, okINT := p.trackers[v.ThreadOnCore(p.intCore)].Latest()
 	if !okFP || !okINT {
-		return false // need one full window from each thread first
+		return nil // need one full window from each thread first
 	}
 	p.stats.DecisionPoints++
 	p.tel.decisions.Inc()
@@ -169,12 +170,12 @@ func (p *Proposed) Tick(v amp.View) bool {
 		if majority {
 			p.tel.holdoffs.Inc()
 		}
-		return false
+		return nil
 	}
 	if majority {
 		p.tel.majorityFires.Inc()
 		p.requestSwap()
-		return true
+		return p.em.swap(v)
 	}
 
 	// Fig. 5 step 3: fairness swap when both threads share a flavor
@@ -185,10 +186,10 @@ func (p *Proposed) Tick(v amp.View) bool {
 		if forced {
 			p.tel.forcedSwaps.Inc()
 			p.requestSwap()
-			return true
+			return p.em.swap(v)
 		}
 	}
-	return false
+	return nil
 }
 
 func (p *Proposed) requestSwap() {
@@ -197,5 +198,5 @@ func (p *Proposed) requestSwap() {
 	p.voter.Clear()
 }
 
-var _ amp.Scheduler = (*Proposed)(nil)
+var _ amp.MoveScheduler = (*Proposed)(nil)
 var _ ObserverInjectable = (*Proposed)(nil)

@@ -15,6 +15,7 @@ type RoundRobin struct {
 	next     uint64
 	stats    amp.SchedulerStats
 	tel      polTel
+	em       swapEmitter
 }
 
 // NewRoundRobin returns a Round Robin scheduler swapping every
@@ -40,13 +41,13 @@ func newRoundRobin(interval uint64, opts []Option) *RoundRobin {
 	return &RoundRobin{interval: interval, tel: newPolTel(o.tel, "roundrobin")}
 }
 
-// Name implements amp.Scheduler.
+// Name implements amp.MoveScheduler.
 func (r *RoundRobin) Name() string { return "roundrobin" }
 
 // Interval returns the swap period in cycles.
 func (r *RoundRobin) Interval() uint64 { return r.interval }
 
-// Reset implements amp.Scheduler.
+// Reset implements amp.MoveScheduler.
 func (r *RoundRobin) Reset(v amp.View) {
 	r.next = v.Cycle() + r.interval
 	r.stats = amp.SchedulerStats{}
@@ -55,20 +56,20 @@ func (r *RoundRobin) Reset(v amp.View) {
 // SchedStats implements amp.StatsReporter.
 func (r *RoundRobin) SchedStats() amp.SchedulerStats { return r.stats }
 
-// Tick implements amp.Scheduler.
+// Tick implements amp.MoveScheduler.
 //
 //ampvet:hotpath
-func (r *RoundRobin) Tick(v amp.View) bool {
+func (r *RoundRobin) Tick(v amp.View) []amp.Move {
 	if v.Cycle() < r.next {
-		return false
+		return nil
 	}
 	r.next = v.Cycle() + r.interval
 	r.stats.DecisionPoints++
 	r.tel.decisions.Inc()
 	r.stats.SwapRequests++
 	r.tel.requests.Inc()
-	return true
+	return r.em.swap(v)
 }
 
-var _ amp.Scheduler = (*RoundRobin)(nil)
+var _ amp.MoveScheduler = (*RoundRobin)(nil)
 var _ amp.StatsReporter = (*RoundRobin)(nil)

@@ -73,6 +73,7 @@ type Sampling struct {
 	measureFrom [2]measurePoint
 	stats       amp.SchedulerStats
 	tel         polTel
+	em          swapEmitter
 }
 
 type measurePoint struct {
@@ -89,10 +90,10 @@ func NewSampling(cfg SamplingConfig, opts ...Option) *Sampling {
 	return &Sampling{cfg: cfg, tel: newPolTel(o.tel, "sampling")}
 }
 
-// Name implements amp.Scheduler.
+// Name implements amp.MoveScheduler.
 func (s *Sampling) Name() string { return "sampling" }
 
-// Reset implements amp.Scheduler.
+// Reset implements amp.MoveScheduler.
 func (s *Sampling) Reset(v amp.View) {
 	s.phase = phaseRun
 	s.episodeAt = v.Cycle() + s.cfg.Interval
@@ -130,23 +131,23 @@ func (s *Sampling) metric(v amp.View, from [2]measurePoint) float64 {
 	return total
 }
 
-// Tick implements amp.Scheduler via the three-phase state machine:
+// Tick implements amp.MoveScheduler via the three-phase state machine:
 // run -> measure incumbent -> swap, measure alternative -> keep better.
-func (s *Sampling) Tick(v amp.View) bool {
+func (s *Sampling) Tick(v amp.View) []amp.Move {
 	now := v.Cycle()
 	switch s.phase {
 	case phaseRun:
 		if now < s.episodeAt {
-			return false
+			return nil
 		}
 		s.phase = phaseBase
 		s.phaseEnd = now + s.cfg.SampleLen
 		s.measureFrom = s.snapshot(v)
-		return false
+		return nil
 
 	case phaseBase:
 		if now < s.phaseEnd {
-			return false
+			return nil
 		}
 		s.baseMetric = s.metric(v, s.measureFrom)
 		s.phase = phaseSwapped
@@ -158,11 +159,11 @@ func (s *Sampling) Tick(v amp.View) bool {
 		s.tel.decisions.Inc()
 		s.stats.SwapRequests++
 		s.tel.requests.Inc()
-		return true
+		return s.em.swap(v)
 
 	case phaseSwapped:
 		if now < s.phaseEnd {
-			return false
+			return nil
 		}
 		swappedMetric := s.metric(v, s.measureFrom)
 		s.phase = phaseRun
@@ -171,15 +172,15 @@ func (s *Sampling) Tick(v amp.View) bool {
 		s.tel.decisions.Inc()
 		if swappedMetric >= s.baseMetric*s.cfg.KeepThreshold {
 			// Keep the swapped assignment.
-			return false
+			return nil
 		}
 		// Revert.
 		s.stats.SwapRequests++
 		s.tel.requests.Inc()
-		return true
+		return s.em.swap(v)
 	}
-	return false
+	return nil
 }
 
-var _ amp.Scheduler = (*Sampling)(nil)
+var _ amp.MoveScheduler = (*Sampling)(nil)
 var _ amp.StatsReporter = (*Sampling)(nil)

@@ -49,7 +49,7 @@ func driveSampling(s *Sampling, v *fakeView, cycles uint64,
 			v.commit(th, c, 50, 0)
 			v.energy[th] += e
 		}
-		if s.Tick(v) {
+		if len(s.Tick(v)) != 0 {
 			swaps = append(swaps, v.cycle)
 			v.swapBinding()
 		}
@@ -154,7 +154,7 @@ func TestSamplingOnRealSystem(t *testing.T) {
 }
 
 // runRealPair is a helper shared by scheduler system tests.
-func runRealPair(t *testing.T, a, b string, s amp.Scheduler) amp.Result {
+func runRealPair(t *testing.T, a, b string, s amp.MoveScheduler) amp.Result {
 	t.Helper()
 	return runRealPairLimit(t, a, b, s, 400_000)
 }

@@ -11,7 +11,7 @@
 //   - RoundRobin: unconditional swap every context-switch interval.
 //   - Static: never swap (the baseline thread-to-core assignment).
 //
-// All schedulers implement amp.Scheduler and are driven by the AMP
+// All schedulers implement amp.MoveScheduler and are driven by the AMP
 // system's per-cycle Tick.
 package sched
 
@@ -117,17 +117,34 @@ func coreIndexes(v amp.View) (intCore, fpCore int) {
 	return intCore, fpCore
 }
 
+// swapEmitter renders a dual-core swap decision as the Move batch of
+// the unified scheduler API. The two-element scratch buffer lives in
+// the embedding policy, so emitting a swap allocates nothing.
+type swapEmitter struct {
+	buf [2]amp.Move
+}
+
+// swap returns the move batch that exchanges the two threads of a
+// dual-core system.
+//
+//ampvet:hotpath
+func (e *swapEmitter) swap(v amp.View) []amp.Move {
+	e.buf[0] = amp.Move{Thread: v.ThreadOnCore(0), Core: 1}
+	e.buf[1] = amp.Move{Thread: v.ThreadOnCore(1), Core: 0}
+	return e.buf[:]
+}
+
 // Static is the no-op scheduler: the initial OS assignment is kept for
 // the whole run.
 type Static struct{}
 
-// Name implements amp.Scheduler.
+// Name implements amp.MoveScheduler.
 func (Static) Name() string { return "static" }
 
-// Reset implements amp.Scheduler.
+// Reset implements amp.MoveScheduler.
 func (Static) Reset(amp.View) {}
 
-// Tick implements amp.Scheduler.
-func (Static) Tick(amp.View) bool { return false }
+// Tick implements amp.MoveScheduler.
+func (Static) Tick(amp.View) []amp.Move { return nil }
 
-var _ amp.Scheduler = Static{}
+var _ amp.MoveScheduler = Static{}

@@ -44,6 +44,10 @@ func (f *fakeView) SwapFailures() uint64              { return f.failures }
 func (f *fakeView) CoreConfig(core int) *cpu.Config   { return f.cfgs[core] }
 func (f *fakeView) L2Stats(core int) cache.Stats      { return f.l2[core] }
 func (f *fakeView) FreqGHz() float64                  { return 2.0 }
+func (f *fakeView) NumCores() int                     { return 2 }
+func (f *fakeView) NumThreads() int                   { return 2 }
+func (f *fakeView) AffinityMask(thread int) uint64    { return amp.AllPools }
+func (f *fakeView) CorePool(core int) int             { return core }
 
 // commit advances a thread's counters with the given composition
 // percentages over n instructions.
@@ -82,7 +86,7 @@ func TestStaticNeverSwaps(t *testing.T) {
 	s.Reset(v)
 	for c := uint64(0); c < 10000; c++ {
 		v.cycle = c
-		if s.Tick(v) {
+		if len(s.Tick(v)) != 0 {
 			t.Fatal("static swapped")
 		}
 	}
@@ -135,7 +139,7 @@ func driveProposed(p *Proposed, v *fakeView, windows int,
 		v.cycle += 1000
 		v.commit(0, 1000, t0Int, t0FP)
 		v.commit(1, 1000, t1Int, t1FP)
-		if p.Tick(v) {
+		if len(p.Tick(v)) != 0 {
 			return true
 		}
 	}
@@ -314,7 +318,7 @@ func driveHPE(h *HPE, v *fakeView, interval uint64, t0Int, t0FP, t1Int, t1FP flo
 		v.commit(1, 500, t1Int, t1FP)
 		v.energy[0] += 1000
 		v.energy[1] += 1000
-		if h.Tick(v) {
+		if len(h.Tick(v)) != 0 {
 			return true
 		}
 	}
@@ -370,7 +374,7 @@ func TestHPEDecidesOnlyAtInterval(t *testing.T) {
 		v.commit(1, 500, 80, 0)
 		v.energy[0] += 1000
 		v.energy[1] += 1000
-		if h.Tick(v) {
+		if len(h.Tick(v)) != 0 {
 			t.Fatal("HPE decided before its interval")
 		}
 	}
@@ -393,7 +397,7 @@ func TestRoundRobinSwapsEveryInterval(t *testing.T) {
 	swaps := 0
 	for c := uint64(0); c < 100_000; c += 100 {
 		v.cycle = c
-		if r.Tick(v) {
+		if len(r.Tick(v)) != 0 {
 			swaps++
 		}
 	}
@@ -460,7 +464,7 @@ func TestProposedRetriesWithBackoffAfterSwapFailure(t *testing.T) {
 		v.cycle += 1000
 		v.commit(0, 1000, 20, 0)
 		v.commit(1, 1000, 70, 0)
-		if p.Tick(v) {
+		if len(p.Tick(v)) != 0 {
 			requests++
 		}
 	}

@@ -10,7 +10,7 @@ import (
 
 // runRealPairLimit runs benchmark a (starting on the INT core) and b
 // (starting on the FP core) under scheduler s on the real simulator.
-func runRealPairLimit(t *testing.T, a, b string, s amp.Scheduler, limit uint64) amp.Result {
+func runRealPairLimit(t *testing.T, a, b string, s amp.MoveScheduler, limit uint64) amp.Result {
 	t.Helper()
 	ba, err := workload.ByName(a)
 	if err != nil {
@@ -71,7 +71,7 @@ func TestRRSwapCountOnRealSystem(t *testing.T) {
 
 func TestSchedulerNamesDistinct(t *testing.T) {
 	names := map[string]bool{}
-	for _, s := range []amp.Scheduler{
+	for _, s := range []amp.MoveScheduler{
 		Static{},
 		NewProposed(DefaultProposedConfig()),
 		NewProposedExt(DefaultExtendedConfig()),

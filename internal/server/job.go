@@ -31,10 +31,29 @@ type JobSpec struct {
 	// Fidelity selects the engine: detailed | interval | sampled
 	// ("" = inherit).
 	Fidelity string `json:"fidelity,omitempty"`
+	// NXM switches the job from a pair sweep to the nxm manycore
+	// scaling sweep: one result per core count, each comparing every
+	// N×M policy. Pairs/PairNames are ignored when set.
+	NXM *NXMJobSpec `json:"nxm,omitempty"`
 	// Priority orders queued jobs (higher first).
 	Priority int `json:"priority,omitempty"`
 	// TimeoutMS bounds the whole job's run time (0 = none).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// NXMJobSpec parameterizes an nxm scaling job. Zero fields inherit
+// the server's base options, which in turn default to the experiment's
+// canonical sweep (4/16/64/256 cores, 8 threads/core, 200k cycles,
+// 10k-cycle quantum, interval fidelity).
+type NXMJobSpec struct {
+	// Cores lists the machine sizes to sweep.
+	Cores []int `json:"cores,omitempty"`
+	// ThreadsPerCore oversubscribes each machine.
+	ThreadsPerCore int `json:"threads_per_core,omitempty"`
+	// Cycles is the fixed per-run cycle horizon.
+	Cycles uint64 `json:"cycles,omitempty"`
+	// Quantum is the scheduler decision quantum in cycles.
+	Quantum uint64 `json:"quantum,omitempty"`
 }
 
 // resolvePairs expands the spec into the concrete pair list.
@@ -86,6 +105,10 @@ type PairResult struct {
 	WeightedVsRRPct  float64 `json:"weighted_vs_rr_pct"`
 	GeoVsHPEPct      float64 `json:"geo_vs_hpe_pct"`
 	GeoVsRRPct       float64 `json:"geo_vs_rr_pct"`
+
+	// NXM carries the result of one nxm scaling rung; the dual-core
+	// scheduler fields above are zero when it is set.
+	NXM *experiments.NXMUnit `json:"nxm,omitempty"`
 
 	// Failed marks a degraded pair (wedged or panicking simulation);
 	// Err carries the reason and the numeric fields are unusable.
@@ -205,8 +228,15 @@ func (j *jobEntry) status(includeResults bool) JobStatus {
 	return st
 }
 
-// pairCountLocked derives the expected pair count from the spec.
+// pairCountLocked derives the expected result count from the spec:
+// rungs for an nxm job, pairs otherwise.
 func (j *jobEntry) pairCountLocked() int {
+	if j.spec.NXM != nil {
+		if n := len(j.spec.NXM.Cores); n > 0 {
+			return n
+		}
+		return len(experiments.ResolveNXM(experiments.Options{}).Cores)
+	}
 	if len(j.spec.PairNames) > 0 {
 		return len(j.spec.PairNames)
 	}

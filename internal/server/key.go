@@ -41,6 +41,10 @@ type KeySpec struct {
 	Fidelity      string  `json:"fidelity"`
 	FaultRate     float64 `json:"fault_rate"`
 	FaultSeed     uint64  `json:"fault_seed"`
+	// Topology identifies an N×M machine for nxm scaling units; empty
+	// for dual-core pair runs, so their marshaled keys (and therefore
+	// every pre-existing cache entry) are unchanged.
+	Topology string `json:"topology,omitempty"`
 }
 
 // CacheKey hashes the spec into its content address (hex SHA-256,
@@ -85,6 +89,27 @@ func pairKeySpec(coreDigest string, opt experiments.Options, i int, p experiment
 		Fidelity:      canonicalFidelity(opt.Fidelity),
 		FaultRate:     opt.FaultRate,
 		FaultSeed:     opt.FaultSeed,
+	}
+}
+
+// nxmKeySpec builds the KeySpec for the n-core rung of an nxm job.
+// The pair-only fields stay zero; PairIndex doubles as the core count
+// and Topology pins the full machine shape. Knobs the nxm sweep does
+// not read (InstrLimit, ContextSwitch, fault plan) are excluded so
+// jobs differing only in them share rungs.
+func nxmKeySpec(coreDigest string, opt experiments.Options, n int) KeySpec {
+	p := experiments.ResolveNXM(opt)
+	return KeySpec{
+		Version:      keySchemaVersion,
+		CoreDigest:   coreDigest,
+		BenchA:       "nxm",
+		PairIndex:    n,
+		Seed:         opt.Seed,
+		SwapOverhead: opt.SwapOverhead,
+		ProfileLimit: opt.ProfileInstrLimit,
+		CycleBudget:  opt.CycleBudget,
+		Fidelity:     p.Fidelity,
+		Topology:     fmt.Sprintf("%dx%d/q%d/h%d", n, n*p.ThreadsPerCore, p.Quantum, p.Cycles),
 	}
 }
 

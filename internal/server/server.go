@@ -119,7 +119,10 @@ type Server struct {
 // New builds a Server and starts its worker pool.
 func New(cfg Config) (*Server, error) {
 	baseOpt := cfg.BaseOptions
-	if baseOpt == (experiments.Options{}) {
+	if baseOpt.InstrLimit == 0 {
+		// Zero-valued options: the caller wants the defaults. (Options
+		// holds a slice now, so it is no longer comparable and any
+		// valid configuration has a positive instruction limit.)
 		baseOpt = experiments.DefaultOptions()
 	}
 	if baseOpt.Pairs <= 0 {
@@ -278,6 +281,20 @@ func (s *Server) optionsFor(sp JobSpec) (experiments.Options, error) {
 	if sp.Fidelity != "" {
 		opt.Fidelity = sp.Fidelity
 	}
+	if sp.NXM != nil {
+		if len(sp.NXM.Cores) > 0 {
+			opt.NXMCores = sp.NXM.Cores
+		}
+		if sp.NXM.ThreadsPerCore > 0 {
+			opt.NXMThreadsPerCore = sp.NXM.ThreadsPerCore
+		}
+		if sp.NXM.Cycles > 0 {
+			opt.NXMCycles = sp.NXM.Cycles
+		}
+		if sp.NXM.Quantum > 0 {
+			opt.NXMQuantum = sp.NXM.Quantum
+		}
+	}
 	// Pair execution never uses Options.Pairs/Parallelism; normalize
 	// them so runners dedupe on what actually matters.
 	opt.Pairs = 1
@@ -330,14 +347,21 @@ func (s *Server) submit(sp JobSpec, id string, recovered bool) (*jobEntry, error
 	if err != nil {
 		return nil, err
 	}
-	pairs, err := sp.resolvePairs(opt)
-	if err != nil {
-		return nil, err
+	var pairs []experiments.Pair
+	var rungs []int
+	if sp.NXM != nil {
+		rungs = experiments.ResolveNXM(opt).Cores
+	} else {
+		pairs, err = sp.resolvePairs(opt)
+		if err != nil {
+			return nil, err
+		}
 	}
-	if len(pairs) > s.cfg.MaxPairsPerJob {
-		return nil, fmt.Errorf("server: %d pairs exceeds per-job limit %d", len(pairs), s.cfg.MaxPairsPerJob)
+	units := len(pairs) + len(rungs)
+	if units > s.cfg.MaxPairsPerJob {
+		return nil, fmt.Errorf("server: %d pairs exceeds per-job limit %d", units, s.cfg.MaxPairsPerJob)
 	}
-	cost := jobCost(opt.Fidelity, len(pairs))
+	cost := jobCost(opt.Fidelity, units)
 	if !recovered { // recovered jobs were admitted before the crash
 		if err := s.admission.admit(opt.Fidelity, cost, s.queue.Stats()); err != nil {
 			s.jobsRejected.Inc()
@@ -355,6 +379,9 @@ func (s *Server) submit(sp JobSpec, id string, recovered bool) (*jobEntry, error
 	j := newJobEntry(id, sp)
 	j.recovered = recovered
 	task := func(ctx context.Context) error {
+		if sp.NXM != nil {
+			return s.runNXMJob(ctx, j, runner, opt, rungs)
+		}
 		return s.runJob(ctx, j, runner, opt, pairs)
 	}
 	qjob, err := s.queue.TrySubmit(task, jobqueue.SubmitOptions{
@@ -532,6 +559,101 @@ func (s *Server) computePair(ctx context.Context, runner *experiments.Runner, i 
 		WeightedVsRRPct:  vsRR.WeightedPct,
 		GeoVsHPEPct:      vsHPE.GeoPct,
 		GeoVsRRPct:       vsRR.GeoPct,
+	}
+	return json.Marshal(r)
+}
+
+// runNXMJob executes an nxm scaling job: one cached unit per core
+// count, each comparing every N×M policy on one machine. Mirrors
+// runJob's degraded-unit and cancellation contracts.
+func (s *Server) runNXMJob(ctx context.Context, j *jobEntry, runner *experiments.Runner, opt experiments.Options, rungs []int) error {
+	start := time.Now() //ampvet:allow determinism job latency measurement is inherently wall-clock
+	if !j.setState(jobqueue.StateRunning, "") {
+		return nil // canceled before the worker picked it up
+	}
+	if s.chaos != nil {
+		s.chaos.MaybeStall()
+		s.chaos.MaybePanic() // recovered by the queue into a retryable job error
+	}
+	if err := s.appendJournal(recStart, idRecord{ID: j.id}); err != nil {
+		s.journalErrors.Inc()
+	}
+	// The HPE rank and two-phase policies consume the profiled ratio
+	// matrix; force it before the rung loop, like runJob does.
+	if _, err := runner.Matrix(); err != nil {
+		s.finishJob(j, start, err)
+		return err
+	}
+
+	p := experiments.ResolveNXM(opt)
+	var firstWedge error
+	for i, n := range rungs {
+		if cerr := ctx.Err(); cerr != nil {
+			s.finishJob(j, start, cerr)
+			return cerr
+		}
+		spec := nxmKeySpec(s.coreDigest, opt, n)
+		key := CacheKey(spec)
+		label := fmt.Sprintf("nxm:%dx%d", n, n*p.ThreadsPerCore)
+		data, cached, err := s.cache.Do(ctx, key, func() ([]byte, error) {
+			return s.computeNXMUnit(ctx, runner, i, n, label, key)
+		})
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.finishJob(j, start, err)
+				return err
+			}
+			s.admission.record(opt.Fidelity, errors.Is(err, amp.ErrWedged))
+			if firstWedge == nil && errors.Is(err, amp.ErrWedged) {
+				firstWedge = err
+			}
+			j.appendResult(PairResult{
+				Index: i, Pair: label, Key: key,
+				Failed: true, Err: err.Error(),
+			})
+			s.pairsServed.Inc()
+			continue
+		}
+		if !cached {
+			s.admission.record(opt.Fidelity, false)
+		}
+		var r PairResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			s.finishJob(j, start, fmt.Errorf("server: corrupt cache entry %s: %w", key, err))
+			return nil // corrupt entry is not retryable
+		}
+		// Rung position is job-local (unlike pairs, it is not part of
+		// the key, so jobs listing the same core count share entries).
+		r.Index = i
+		r.Cached = cached
+		j.appendResult(r)
+		s.pairsServed.Inc()
+	}
+
+	st := j.status(false)
+	if st.Completed > 0 && st.Failed == st.Completed && firstWedge != nil {
+		err := fmt.Errorf("server: all %d nxm rungs degraded: %w", st.Completed, firstWedge)
+		s.finishJob(j, start, err)
+		return err
+	}
+	if j.recovered && st.CacheHits > 0 {
+		s.checkpointResumes.Inc()
+	}
+	s.finishJob(j, start, nil)
+	return nil
+}
+
+// computeNXMUnit runs one nxm rung and marshals its record.
+func (s *Server) computeNXMUnit(ctx context.Context, runner *experiments.Runner, i, n int, label, key string) ([]byte, error) {
+	unit, err := experiments.RunNXMUnitContext(ctx, runner, n)
+	if err != nil {
+		return nil, err
+	}
+	r := PairResult{
+		Index: i,
+		Pair:  label,
+		Key:   key,
+		NXM:   &unit,
 	}
 	return json.Marshal(r)
 }
