@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet ampvet analyze lint test test-short test-race bench bench-snapshot bench-core bench-check bench-server bench-server-check bench-manycore bench-manycore-check serve-smoke chaos-smoke nxm-smoke experiments experiments-paper paperscale fuzz fuzz-fault fuzz-wal clean
+.PHONY: all build vet ampvet analyze lint lint-bench test test-short test-race bench bench-snapshot bench-core bench-check bench-server bench-server-check bench-manycore bench-manycore-check serve-smoke chaos-smoke nxm-smoke experiments experiments-paper paperscale fuzz fuzz-fault fuzz-wal clean
 
 all: build lint test test-race
 
@@ -13,7 +13,9 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific analyzers (internal/analysis via cmd/ampvet):
-# determinism, hotpathalloc, deprecatedapi, obserrcheck.
+# determinism, hotpathalloc, deprecatedapi, obserrcheck, plus the
+# dataflow-aware lockcheck, unitcheck and ctxcheck. Findings are cached
+# per package content hash; use -nocache to force a full re-analysis.
 ampvet:
 	$(GO) run ./cmd/ampvet ./...
 
@@ -29,6 +31,17 @@ lint: vet
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) run ./cmd/ampvet ./...
+
+# Time the analyzer suite over ./... cold (findings cache disabled) and
+# warm (second cached run) — the numbers recorded in EXPERIMENTS.md.
+lint-bench:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/ampvet" ./cmd/ampvet; \
+	t0=$$(date +%s%N); "$$tmp/ampvet" -nocache ./... >/dev/null; t1=$$(date +%s%N); \
+	echo "ampvet cold (no cache):      $$(( (t1 - t0) / 1000000 )) ms"; \
+	"$$tmp/ampvet" -cachedir "$$tmp/cache" ./... >/dev/null; \
+	t0=$$(date +%s%N); "$$tmp/ampvet" -cachedir "$$tmp/cache" ./... >/dev/null; t1=$$(date +%s%N); \
+	echo "ampvet warm (cache all-hit): $$(( (t1 - t0) / 1000000 )) ms"
 
 test:
 	$(GO) test ./...

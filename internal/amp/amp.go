@@ -77,6 +77,7 @@ type Thread struct {
 	// EnergyNJ is the energy attributed to this thread so far: the
 	// full (dynamic + static) energy of whichever core it occupied,
 	// for as long as it occupied it.
+	//ampvet:unit nanojoules
 	EnergyNJ float64
 }
 
@@ -275,7 +276,7 @@ type System struct {
 	// the original cycle-interleaved loop bit for bit).
 	stride uint64
 
-	cycle         uint64
+	cycle         uint64 //ampvet:unit cycles
 	swaps         uint64
 	swapFailures  uint64
 	morphs        uint64
@@ -398,6 +399,8 @@ func (s *System) CoreConfig(core int) *cpu.Config { return s.engines[core].Confi
 func (s *System) L2Stats(core int) cache.Stats { return s.engines[core].Stats().L2 }
 
 // FreqGHz implements View.
+//
+//ampvet:unit cycles_per_second
 func (s *System) FreqGHz() float64 { return s.engines[0].Config().FreqGHz }
 
 // NumCores implements View.
@@ -508,11 +511,11 @@ const watchdogWindow = DefaultWatchdogCycles
 // ThreadResult summarizes one thread after a run.
 type ThreadResult struct {
 	Name       string
-	Committed  uint64
-	EnergyNJ   float64
-	IPC        float64
-	Watts      float64
-	IPCPerWatt float64
+	Committed  uint64  //ampvet:unit instructions
+	EnergyNJ   float64 //ampvet:unit nanojoules
+	IPC        float64 //ampvet:unit ipc
+	Watts      float64 //ampvet:unit watts
+	IPCPerWatt float64 //ampvet:unit ipc_per_watt
 	IntPct     float64
 	FPPct      float64
 }
@@ -520,7 +523,7 @@ type ThreadResult struct {
 // Result summarizes a completed run.
 type Result struct {
 	Scheduler string
-	Cycles    uint64
+	Cycles    uint64 //ampvet:unit cycles
 	Swaps     uint64
 	// FailedSwaps counts requested swaps the injector dropped.
 	FailedSwaps uint64
@@ -542,6 +545,8 @@ func (s *System) stateDump() string {
 // past Config.CycleBudget, aborts with a *WedgedError (matched by
 // errors.Is(err, ErrWedged)) alongside the partial Result, so callers
 // can report the run as degraded instead of hanging.
+//
+//ampvet:allow ctxcheck Run is the documented context-free variant of RunContext; Background is its contract
 func (s *System) Run(limit uint64) (Result, error) {
 	return s.RunContext(context.Background(), limit)
 }

@@ -15,25 +15,26 @@ import (
 // the rule-derivation experiment of §VI-A collects per committed
 // window (instruction sampling).
 type SoloSample struct {
-	EndCycle   uint64
-	Committed  uint64 // committed in this interval
+	EndCycle uint64 //ampvet:unit cycles
+	// Committed in this interval.
+	Committed  uint64 //ampvet:unit instructions
 	IntPct     float64
 	FPPct      float64
-	IPC        float64
-	Watts      float64
-	IPCPerWatt float64
+	IPC        float64 //ampvet:unit ipc
+	Watts      float64 //ampvet:unit watts
+	IPCPerWatt float64 //ampvet:unit ipc_per_watt
 }
 
 // SoloResult summarizes a single-thread, single-core run.
 type SoloResult struct {
 	Core       string
 	Bench      string
-	Cycles     uint64
-	Committed  uint64
-	EnergyNJ   float64
-	IPC        float64
-	Watts      float64
-	IPCPerWatt float64
+	Cycles     uint64  //ampvet:unit cycles
+	Committed  uint64  //ampvet:unit instructions
+	EnergyNJ   float64 //ampvet:unit nanojoules
+	IPC        float64 //ampvet:unit ipc
+	Watts      float64 //ampvet:unit watts
+	IPCPerWatt float64 //ampvet:unit ipc_per_watt
 	Samples    []SoloSample
 }
 

@@ -1,9 +1,9 @@
 // Package analysis is ampsched's static-analysis suite: a small,
 // dependency-free reimplementation of the golang.org/x/tools
-// go/analysis model (Analyzer, Pass, Diagnostic) plus the four
+// go/analysis model (Analyzer, Pass, Diagnostic) plus the seven
 // project-specific analyzers run by `make lint` via cmd/ampvet.
 //
-// The analyzers turn the simulator's two load-bearing invariants —
+// The syntactic four turn the simulator's load-bearing invariants —
 // bit-reproducible runs under a seed, and an allocation-free per-cycle
 // hot path — from comments and one benchmark into compile-time checks:
 //
@@ -20,6 +20,20 @@
 //     experiments runner entry points and telemetry/trace sink
 //     Close/Flush must not be silently discarded.
 //
+// The dataflow-aware three share a run-wide function-summary/
+// call-graph layer (summary.go) built once over every loaded package:
+//
+//   - lockcheck: no mutex held across a blocking operation (channel
+//     ops, selects, file/net I/O, transitively-blocking calls), no
+//     inconsistent lock acquisition order, no lock copied by value.
+//   - unitcheck: dimensional analysis over //ampvet:unit tags for the
+//     paper's quantities (cycles, instructions, nanojoules, watts,
+//     IPC, IPC/Watt): cross-unit arithmetic and mismatched
+//     assignments/returns/arguments are findings.
+//   - ctxcheck:  context.Background/TODO banned outside package main;
+//     a ctx-receiving function must thread its context to every
+//     callee that accepts one.
+//
 // Audited exceptions are annotated in source:
 //
 //	//ampvet:allow <check> <reason>
@@ -34,8 +48,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer describes one static check, mirroring the shape of
@@ -54,6 +70,9 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Sum is the run-wide summary layer (function facts, blocking
+	// classification, unit tags). Read-only during analysis.
+	Sum *Summaries
 
 	dirs  *directiveIndex
 	diags []Diagnostic
@@ -67,6 +86,9 @@ type Diagnostic struct {
 	Column  int            `json:"column"`
 	Check   string         `json:"check"`
 	Message string         `json:"message"`
+	// Package is the import path of the package the finding is in
+	// (set by RunSuite; empty in single-package runs).
+	Package string `json:"pkg,omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -97,6 +119,9 @@ func All() []*Analyzer {
 		HotPathAllocAnalyzer,
 		DeprecatedAPIAnalyzer,
 		ObsErrCheckAnalyzer,
+		LockCheckAnalyzer,
+		UnitCheckAnalyzer,
+		CtxCheckAnalyzer,
 	}
 }
 
@@ -129,10 +154,17 @@ func checkNames() string {
 	return strings.Join(names, ", ")
 }
 
-// RunAnalyzers applies the analyzers to the package and returns the
-// findings sorted by position, including any malformed-directive
-// findings from the package's files.
+// RunAnalyzers applies the analyzers to one package in isolation,
+// building a package-local summary layer. The analysistest harness
+// and single-fixture tests use this; the driver uses RunSuite, whose
+// summaries span the whole load.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runOne(pkg, analyzers, BuildSummaries([]*Package{pkg}))
+}
+
+// runOne applies the analyzers to one package under a given summary
+// layer.
+func runOne(pkg *Package, analyzers []*Analyzer, sum *Summaries) ([]Diagnostic, error) {
 	dirs := indexDirectives(pkg.Fset, pkg.Files)
 	var diags []Diagnostic
 	diags = append(diags, dirs.malformed...)
@@ -143,6 +175,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Sum:      sum,
 			dirs:     dirs,
 		}
 		if err := a.Run(pass); err != nil {
@@ -150,6 +183,66 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		diags = append(diags, pass.diags...)
 	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+// RunSuite applies the analyzers to every package of a load under one
+// shared summary layer, fanning packages out across GOMAXPROCS.
+// skip(pkg) lets the driver serve a package from its findings cache
+// instead of analyzing it; results come back through the per-package
+// callback (called from multiple goroutines) and the merged, sorted
+// slice.
+func RunSuite(pkgs []*Package, analyzers []*Analyzer, skip func(*Package) ([]Diagnostic, bool)) ([]Diagnostic, error) {
+	sum := BuildSummaries(pkgs)
+	var (
+		mu    sync.Mutex
+		diags []Diagnostic
+		first error
+	)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, pkg := range pkgs {
+		if skip != nil {
+			if cached, ok := skip(pkg); ok {
+				stamped := make([]Diagnostic, len(cached))
+				copy(stamped, cached)
+				for i := range stamped {
+					stamped[i].Package = pkg.Path
+				}
+				mu.Lock()
+				diags = append(diags, stamped...)
+				mu.Unlock()
+				continue
+			}
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pkg *Package) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			got, err := runOne(pkg, analyzers, sum)
+			for i := range got {
+				got[i].Package = pkg.Path
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && first == nil {
+				first = err
+			}
+			diags = append(diags, got...)
+		}(pkg)
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+// sortDiags orders findings by position for stable output.
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -163,7 +256,6 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Check < b.Check
 	})
-	return diags, nil
 }
 
 // ---------------------------------------------------------------------

@@ -46,6 +46,26 @@ func TestObsErrCheck(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.ObsErrCheckAnalyzer, "obserrcheck/app")
 }
 
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockCheckAnalyzer, "lockcheck")
+}
+
+func TestUnitCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.UnitCheckAnalyzer, "unitcheck")
+}
+
+func TestCtxCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CtxCheckAnalyzer, "ctxcheck/app")
+}
+
+func TestCtxCheckMainExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CtxCheckAnalyzer, "ctxcheck/mainpkg")
+}
+
+func TestDirectivePlacement(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CtxCheckAnalyzer, "directives2")
+}
+
 // TestMalformedDirectives loads the directives fixture directly: a
 // reason-less allow must both be reported and fail to suppress, and an
 // unknown check name must be reported.
@@ -66,6 +86,8 @@ func TestMalformedDirectives(t *testing.T) {
 	wantSubstrings := []string{
 		"ampvet: ampvet:allow determinism needs a reason",
 		"ampvet: ampvet:allow names unknown check nosuchcheck",
+		"ampvet: unknown directive ampvet:ignore",
+		"ampvet: ampvet:unit names unknown dimension furlongs",
 	}
 	for _, want := range wantSubstrings {
 		found := false
@@ -81,8 +103,9 @@ func TestMalformedDirectives(t *testing.T) {
 	// The package is named "directives", not simulation core, so the
 	// time.Now calls themselves are out of determinism's scope — only
 	// the malformed directives are findings.
-	if len(diags) != 2 {
-		t.Errorf("got %d findings, want exactly the 2 malformed directives: %v", len(diags), got)
+	if len(diags) != len(wantSubstrings) {
+		t.Errorf("got %d findings, want exactly the %d malformed directives: %v",
+			len(diags), len(wantSubstrings), got)
 	}
 }
 

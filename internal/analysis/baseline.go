@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline support for gradual adoption: a committed findings file
+// makes known, not-yet-triaged findings non-fatal while anything new
+// still fails the build. Entries match on (file, check, message) and
+// deliberately ignore line numbers, so unrelated edits shifting a
+// finding up or down don't resurrect it; editing the flagged code
+// enough to change the message does.
+//
+// ampsched itself ships with no baseline — every finding is fixed or
+// carries an //ampvet:allow — but the mechanism is what lets a new
+// analyzer land before a large triage finishes.
+
+// baselineEntry is one accepted finding.
+type baselineEntry struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// Baseline is a loaded findings-baseline file.
+type Baseline struct {
+	entries map[baselineEntry]bool
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	b := &Baseline{entries: map[baselineEntry]bool{}}
+	for _, e := range entries {
+		b.entries[e] = true
+	}
+	return b, nil
+}
+
+// WriteBaseline records the findings as the new accepted set.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	seen := map[baselineEntry]bool{}
+	var entries []baselineEntry
+	for _, d := range diags {
+		e := baselineEntry{File: d.File, Check: d.Check, Message: d.Message}
+		if !seen[e] {
+			seen[e] = true
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	if entries == nil {
+		entries = []baselineEntry{}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits diags into new findings (returned) and baselined ones
+// (counted).
+func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, suppressed int) {
+	if b == nil {
+		return diags, 0
+	}
+	for _, d := range diags {
+		if b.entries[baselineEntry{File: d.File, Check: d.Check, Message: d.Message}] {
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, suppressed
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxCheckAnalyzer enforces context hygiene:
+//
+//   - context.Background() and context.TODO() are banned outside
+//     package main: a library that mints its own root context detaches
+//     its work from the caller's cancellation and deadline, which is
+//     exactly how the server's drain guarantees rot. (Test files are
+//     never analyzed, so tests stay free to use Background.)
+//   - a function that receives a ctx must thread it: calling the
+//     non-context variant of a function whose Context-taking sibling
+//     exists (Run when RunContext is defined, Drain when DrainContext
+//     is, ...) silently drops the caller's cancellation;
+//   - likewise, passing a fresh Background()/TODO() to a callee's ctx
+//     parameter inside a ctx-receiving function is a dropped context
+//     even in package main.
+var CtxCheckAnalyzer = &Analyzer{
+	Name: "ctxcheck",
+	Doc: "ban context.Background/TODO outside main and require ctx-receiving functions " +
+		"to thread their context to every callee that accepts one",
+	Run: runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) error {
+	isMain := pass.Pkg != nil && pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hasCtx := funcHasCtxParam(pass.Info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(pass.Info, call)
+				if callee == nil {
+					return true
+				}
+				if isBackgroundOrTODO(callee) {
+					switch {
+					case hasCtx:
+						pass.Reportf(call.Pos(),
+							"context.%s() inside a function that already receives a ctx — thread the caller's context",
+							callee.Name())
+					case !isMain:
+						pass.Reportf(call.Pos(),
+							"context.%s() outside package main — accept a ctx from the caller instead of minting a root context",
+							callee.Name())
+					}
+					return true
+				}
+				if hasCtx {
+					checkContextSibling(pass, call, callee)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkContextSibling flags a call to X from a ctx-receiving function
+// when a sibling XContext exists (same package, same receiver) and X
+// itself takes no context: the caller had a ctx to thread and chose
+// the variant that drops it.
+func checkContextSibling(pass *Pass, call *ast.CallExpr, callee *types.Func) {
+	if strings.HasSuffix(callee.Name(), "Context") {
+		return
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return // already accepts one; Background misuse is caught above
+		}
+	}
+	key := funcKey(callee)
+	if key == "" || !pass.Sum.HasFunc(key+"Context") {
+		return
+	}
+	sibling := pass.Sum.FuncByKey(key + "Context")
+	if sibling == nil || !sibling.CtxParam {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s called from a ctx-receiving function, but %sContext exists — thread the context",
+		callee.Name(), callee.Name())
+}
+
+// funcHasCtxParam reports whether the declaration has a
+// context.Context parameter.
+func funcHasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	obj, _ := info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isBackgroundOrTODO matches context.Background / context.TODO.
+func isBackgroundOrTODO(f *types.Func) bool {
+	return f.Pkg() != nil && f.Pkg().Path() == "context" &&
+		(f.Name() == "Background" || f.Name() == "TODO")
+}

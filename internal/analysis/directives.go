@@ -18,9 +18,23 @@ import (
 //	    sits in a function's doc comment — the whole function. The
 //	    reason is mandatory; ampvet reports reason-less or unknown
 //	    directives as findings of check "ampvet".
+//
+//	//ampvet:unit <dim>
+//	//ampvet:unit <param> <dim>
+//	    Declares the physical dimension of a named type, struct
+//	    field or function result (first form), or of a named
+//	    parameter when it appears in a function's doc comment
+//	    (second form). unitcheck propagates the dimensions through
+//	    expressions; see units.go for the dimension vocabulary.
+//
+// Any other //ampvet:<verb> spelling is a malformed directive: a
+// misspelled marker that silently suppresses nothing is worse than a
+// loud error.
 const (
-	allowPrefix   = "//ampvet:allow"
-	hotpathMarker = "//ampvet:hotpath"
+	directivePrefix = "//ampvet:"
+	allowPrefix     = "//ampvet:allow"
+	hotpathMarker   = "//ampvet:hotpath"
+	unitPrefix      = "//ampvet:unit"
 )
 
 // lineKey identifies one source line.
@@ -75,46 +89,82 @@ func indexDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
 			span, inFuncDoc := funcSpan[cg]
 			for _, c := range cg.List {
 				text := strings.TrimSpace(c.Text)
-				if !strings.HasPrefix(text, allowPrefix) {
+				if !strings.HasPrefix(text, directivePrefix) {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
 				bad := func(msg string) {
 					idx.malformed = append(idx.malformed, Diagnostic{
 						Pos: pos, File: pos.Filename, Line: pos.Line,
 						Column: pos.Column, Check: "ampvet", Message: msg,
 					})
 				}
-				if len(fields) == 0 {
-					bad("ampvet:allow needs a check name and a reason")
-					continue
+				switch {
+				case strings.HasPrefix(text, allowPrefix):
+					idx.indexAllow(text, pos, span, inFuncDoc, valid, bad)
+				case strings.HasPrefix(text, unitPrefix):
+					// Association with the tagged declaration happens in
+					// units.go; here only the spelling is validated.
+					validateUnitDirective(text, bad)
+				case strings.HasPrefix(text, hotpathMarker):
+					// Marker only; no arguments to validate.
+				default:
+					verb := strings.TrimPrefix(text, directivePrefix)
+					if i := strings.IndexAny(verb, " \t"); i >= 0 {
+						verb = verb[:i]
+					}
+					bad("unknown directive ampvet:" + verb +
+						" (have ampvet:allow, ampvet:hotpath, ampvet:unit)")
 				}
-				check := fields[0]
-				if !valid[check] {
-					bad("ampvet:allow names unknown check " + check + " (have " + checkNames() + ")")
-					continue
-				}
-				if len(fields) < 2 {
-					bad("ampvet:allow " + check + " needs a reason — audited exceptions must say why")
-					continue
-				}
-				if inFuncDoc {
-					idx.ranges[check] = append(idx.ranges[check], span)
-					continue
-				}
-				if idx.lines[check] == nil {
-					idx.lines[check] = map[lineKey]bool{}
-				}
-				// The directive's own line and the next one: a
-				// trailing comment allows its statement, a standalone
-				// comment allows the line below it.
-				idx.lines[check][lineKey{pos.Filename, pos.Line}] = true
-				idx.lines[check][lineKey{pos.Filename, pos.Line + 1}] = true
 			}
 		}
 	}
 	return idx
+}
+
+// indexAllow parses one //ampvet:allow directive into the index.
+func (idx *directiveIndex) indexAllow(text string, pos token.Position, span lineRange, inFuncDoc bool, valid map[string]bool, bad func(string)) {
+	fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+	if len(fields) == 0 {
+		bad("ampvet:allow needs a check name and a reason")
+		return
+	}
+	check := fields[0]
+	if !valid[check] {
+		bad("ampvet:allow names unknown check " + check + " (have " + checkNames() + ")")
+		return
+	}
+	if len(fields) < 2 {
+		bad("ampvet:allow " + check + " needs a reason — audited exceptions must say why")
+		return
+	}
+	if inFuncDoc {
+		idx.ranges[check] = append(idx.ranges[check], span)
+		return
+	}
+	if idx.lines[check] == nil {
+		idx.lines[check] = map[lineKey]bool{}
+	}
+	// The directive's own line and the next one: a trailing comment
+	// allows its statement, a standalone comment allows the line
+	// below it.
+	idx.lines[check][lineKey{pos.Filename, pos.Line}] = true
+	idx.lines[check][lineKey{pos.Filename, pos.Line + 1}] = true
+}
+
+// validateUnitDirective checks an //ampvet:unit spelling: one or two
+// fields, the last of which must be a known dimension name.
+func validateUnitDirective(text string, bad func(string)) {
+	fields := strings.Fields(strings.TrimPrefix(text, unitPrefix))
+	switch len(fields) {
+	case 1, 2:
+		dim := fields[len(fields)-1]
+		if _, ok := parseDim(dim); !ok {
+			bad("ampvet:unit names unknown dimension " + dim + " (have " + dimNames() + ")")
+		}
+	default:
+		bad("ampvet:unit needs <dim> or <param> <dim>")
+	}
 }
 
 // allowed reports whether a finding of check at position is covered by

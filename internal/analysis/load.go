@@ -14,11 +14,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
 )
 
-// listedPackage is the subset of `go list -json` output the loader
-// consumes.
-type listedPackage struct {
+// ListedPackage is the subset of `go list -json` output the loader and
+// the findings cache consume.
+type ListedPackage struct {
 	ImportPath string
 	Name       string
 	Dir        string
@@ -47,13 +48,21 @@ type Package struct {
 // Loader loads Go packages without golang.org/x/tools: package
 // discovery is delegated to `go list -deps -json` (which understands
 // modules, build constraints and std vendoring) and type checking to
-// go/types, bottom-up in the dependency order go list guarantees.
+// go/types.
 //
 // Dependencies are checked with IgnoreFuncBodies — analyzers only need
 // their exported API — while the packages named for analysis get a
 // full check with a populated types.Info. CGO_ENABLED=0 is forced so
 // every package, including net, resolves to its pure-Go file set and
 // type-checks from source alone.
+//
+// Loading is parallel: each target package is parsed and fully checked
+// in its own goroutine (bounded by GOMAXPROCS), and the shared
+// API-view cache is populated on demand with per-path once semantics —
+// the first goroutine to need a dependency builds it, everyone else
+// waits on that build. token.FileSet and parser are safe for
+// concurrent use; go/types is safe as long as every import resolves to
+// a completed package, which the once-guard guarantees.
 type Loader struct {
 	Fset *token.FileSet
 	// GoCmd overrides the go tool path (default "go").
@@ -61,27 +70,42 @@ type Loader struct {
 	// Dir is the working directory for go list (default: current).
 	Dir string
 
-	// api caches dependency packages checked without function bodies,
-	// keyed by resolved import path.
-	api map[string]*types.Package
+	// api memoizes dependency packages checked without function
+	// bodies, keyed by resolved import path, with once-per-path build
+	// semantics for parallel loads.
+	apiMu sync.Mutex
+	api   map[string]*apiEntry
+
 	// meta caches go list output keyed by resolved import path.
-	meta map[string]*listedPackage
+	metaMu sync.Mutex
+	meta   map[string]*ListedPackage
+}
+
+// apiEntry is one memoized API-view build.
+type apiEntry struct {
+	once sync.Once
+	pkg  *types.Package
+	err  error
 }
 
 // NewLoader returns a Loader with a fresh FileSet.
 func NewLoader(dir string) *Loader {
-	return &Loader{
+	l := &Loader{
 		Fset:  token.NewFileSet(),
 		GoCmd: "go",
 		Dir:   dir,
-		api:   map[string]*types.Package{},
-		meta:  map[string]*listedPackage{},
+		api:   map[string]*apiEntry{},
+		meta:  map[string]*ListedPackage{},
 	}
+	unsafeEntry := &apiEntry{pkg: types.Unsafe}
+	unsafeEntry.once.Do(func() {})
+	l.api["unsafe"] = unsafeEntry
+	return l
 }
 
 // goList runs `go list -e -deps -json` over the patterns and returns
 // the decoded packages in dependency-first order.
-func (l *Loader) goList(patterns []string) ([]*listedPackage, error) {
+func (l *Loader) goList(patterns []string) ([]*ListedPackage, error) {
 	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
 	cmd := exec.Command(l.GoCmd, args...)
 	cmd.Dir = l.Dir
@@ -92,10 +116,10 @@ func (l *Loader) goList(patterns []string) ([]*listedPackage, error) {
 	if err := cmd.Run(); err != nil {
 		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
 	}
-	var pkgs []*listedPackage
+	var pkgs []*ListedPackage
 	dec := json.NewDecoder(&out)
 	for {
-		var p listedPackage
+		var p ListedPackage
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
@@ -106,45 +130,70 @@ func (l *Loader) goList(patterns []string) ([]*listedPackage, error) {
 	return pkgs, nil
 }
 
-// Load loads the packages matching the patterns (plus, transitively,
-// their dependencies) and returns fully type-checked Packages for the
-// matched, non-standard-library packages only, sorted by import path.
-func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+// List resolves the patterns to their dependency closure without
+// type-checking anything. The driver uses the listing to compute
+// findings-cache keys before deciding whether a full load is needed.
+func (l *Loader) List(patterns ...string) ([]*ListedPackage, error) {
 	listed, err := l.goList(patterns)
 	if err != nil {
 		return nil, err
 	}
-	// -deps emits dependencies before dependents: warming the API
-	// cache in order means every import below resolves from cache.
-	targets := map[string]bool{}
+	l.metaMu.Lock()
 	for _, p := range listed {
 		l.meta[p.ImportPath] = p
-		if !p.Standard {
-			targets[p.ImportPath] = true
+	}
+	l.metaMu.Unlock()
+	return listed, nil
+}
+
+// Load loads the packages matching the patterns (plus, transitively,
+// their dependencies) and returns fully type-checked Packages for the
+// matched, non-standard-library packages only, sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.List(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*ListedPackage
+	for _, p := range listed {
+		if !p.Standard && p.ImportPath != "unsafe" {
+			targets = append(targets, p)
 		}
 	}
-	var out []*Package
-	for _, p := range listed {
-		if p.ImportPath == "unsafe" {
-			l.api["unsafe"] = types.Unsafe
-			continue
-		}
-		if p.Error != nil && p.Standard {
-			continue // unbuildable std corner; nobody we check imports it
-		}
-		if _, err := l.apiPackage(p.ImportPath); err != nil {
-			if targets[p.ImportPath] {
-				return nil, err
-			}
-			continue
-		}
-		if targets[p.ImportPath] {
+	return l.LoadTargets(targets)
+}
+
+// LoadTargets fully type-checks the given listed packages in parallel,
+// resolving dependencies through the shared API cache.
+func (l *Loader) LoadTargets(targets []*ListedPackage) ([]*Package, error) {
+	var (
+		mu    sync.Mutex
+		out   []*Package
+		first error
+		wg    sync.WaitGroup
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, p := range targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p *ListedPackage) {
+			defer wg.Done()
+			defer func() { <-sem }()
 			full, err := l.fullCheck(p)
+			mu.Lock()
+			defer mu.Unlock()
 			if err != nil {
-				return nil, err
+				if first == nil {
+					first = err
+				}
+				return
 			}
 			out = append(out, full)
-		}
+		}(p)
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
@@ -198,28 +247,55 @@ func isTestFile(name string) bool {
 		name[len(name)-len("_test.go"):] == "_test.go"
 }
 
-// apiPackage returns the exported-API view of the import path,
-// type-checking it (without function bodies) on first use.
-func (l *Loader) apiPackage(path string) (*types.Package, error) {
-	if pkg, ok := l.api[path]; ok {
-		return pkg, nil
-	}
+// lookupMeta fetches (or go-list-fetches) the listing for one path.
+func (l *Loader) lookupMeta(path string) (*ListedPackage, error) {
+	l.metaMu.Lock()
 	p, ok := l.meta[path]
+	l.metaMu.Unlock()
+	if ok {
+		return p, nil
+	}
+	// Outside the -deps closure (fixture importing an uncovered
+	// package): ask go list for it and its deps.
+	extra, err := l.goList([]string{path})
+	if err != nil {
+		return nil, err
+	}
+	l.metaMu.Lock()
+	defer l.metaMu.Unlock()
+	for _, e := range extra {
+		if _, seen := l.meta[e.ImportPath]; !seen {
+			l.meta[e.ImportPath] = e
+		}
+	}
+	if p, ok = l.meta[path]; !ok {
+		return nil, fmt.Errorf("package %s not found by go list", path)
+	}
+	return p, nil
+}
+
+// apiPackage returns the exported-API view of the import path,
+// type-checking it (without function bodies) on first use. Concurrent
+// callers share one build per path.
+func (l *Loader) apiPackage(path string) (*types.Package, error) {
+	l.apiMu.Lock()
+	entry, ok := l.api[path]
 	if !ok {
-		// Outside the -deps closure (fixture importing an uncovered
-		// package): ask go list for it and its deps.
-		extra, err := l.goList([]string{path})
-		if err != nil {
-			return nil, err
-		}
-		for _, e := range extra {
-			if _, seen := l.meta[e.ImportPath]; !seen {
-				l.meta[e.ImportPath] = e
-			}
-		}
-		if p, ok = l.meta[path]; !ok {
-			return nil, fmt.Errorf("package %s not found by go list", path)
-		}
+		entry = &apiEntry{}
+		l.api[path] = entry
+	}
+	l.apiMu.Unlock()
+	entry.once.Do(func() {
+		entry.pkg, entry.err = l.buildAPI(path)
+	})
+	return entry.pkg, entry.err
+}
+
+// buildAPI parses and API-checks one dependency package.
+func (l *Loader) buildAPI(path string) (*types.Package, error) {
+	p, err := l.lookupMeta(path)
+	if err != nil {
+		return nil, err
 	}
 	if p.Error != nil {
 		return nil, fmt.Errorf("package %s: %s", path, p.Error.Err)
@@ -236,13 +312,15 @@ func (l *Loader) apiPackage(path string) (*types.Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	l.api[path] = pkg.Types
 	return pkg.Types, nil
 }
 
-// fullCheck re-checks a target package with bodies and a full
-// types.Info for the analyzers.
-func (l *Loader) fullCheck(p *listedPackage) (*Package, error) {
+// fullCheck checks a target package with bodies and a full types.Info
+// for the analyzers.
+func (l *Loader) fullCheck(p *ListedPackage) (*Package, error) {
+	if p.Error != nil {
+		return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+	}
 	files := make([]*ast.File, 0, len(p.GoFiles))
 	for _, name := range p.GoFiles {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
@@ -261,7 +339,7 @@ func (l *Loader) fullCheck(p *listedPackage) (*Package, error) {
 
 // importerFor resolves a package's imports honoring its ImportMap
 // (std vendoring) through the API cache.
-func (l *Loader) importerFor(p *listedPackage) types.Importer {
+func (l *Loader) importerFor(p *ListedPackage) types.Importer {
 	return importerFunc(func(path string) (*types.Package, error) {
 		return l.importByPath(path, p.ImportMap)
 	})

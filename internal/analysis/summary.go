@@ -1,0 +1,481 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The summary layer gives the dataflow-aware analyzers (lockcheck,
+// ctxcheck, unitcheck) a cross-package view without a real
+// interprocedural engine: one cheap pass over every loaded package
+// builds a FuncFacts record per function declaration — does it block,
+// what does it call, does it take a context, what dimensions do its
+// results and parameters carry — and a fixpoint over the call graph
+// propagates "blocking" transitively. Interface dispatch is
+// approximated soundly-for-this-repo: a call through an interface
+// method is considered blocking when any in-universe concrete
+// implementation of that interface blocks.
+//
+// Functions are keyed by a canonical string ("pkg/path.Type.Method" or
+// "pkg/path.Func") rather than by *types.Func identity, because the
+// loader type-checks dependencies twice (API-only and full) and the
+// two views produce distinct objects for the same function.
+
+// FuncFacts summarizes one function declaration.
+type FuncFacts struct {
+	Key string
+	// Blocking records that the function can block: channel ops,
+	// selects without default, known-blocking std calls, or a call to
+	// another blocking function.
+	Blocking bool
+	// BlockingWhy is a short human reason for diagnostics.
+	BlockingWhy string
+	// CtxParam reports a context.Context parameter.
+	CtxParam bool
+	// ResultDim is the //ampvet:unit-declared result dimension.
+	ResultDim *Dim
+	// ParamDims maps parameter index -> declared dimension.
+	ParamDims map[int]Dim
+	// calls lists in-universe callee keys (call-graph edges).
+	calls []string
+}
+
+// Summaries is the read-only product of BuildSummaries, shared by all
+// passes of a run. Safe for concurrent readers.
+type Summaries struct {
+	funcs map[string]*FuncFacts
+	// typeDims maps "pkg/path.Type" -> declared dimension of the named
+	// type; fieldDims maps "pkg/path.Type.Field" for struct fields.
+	typeDims  map[string]Dim
+	fieldDims map[string]Dim
+}
+
+// funcKey canonicalizes a function object across type-check views.
+func funcKey(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			return f.Pkg().Path() + "." + named.Obj().Name() + "." + f.Name()
+		}
+		return f.Pkg().Path() + ".?." + f.Name()
+	}
+	return f.Pkg().Path() + "." + f.Name()
+}
+
+// shortKey trims the package path of a key to its last element for
+// diagnostics.
+func shortKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// stdBlocking lists standard-library calls the suite treats as
+// blocking operations, keyed by funcKey. sync.(*Cond).Wait is
+// deliberately absent: it atomically releases the mutex it is
+// documented to be called with, so holding that lock across it is the
+// designed protocol, not a bug.
+var stdBlocking = map[string]string{
+	"time.Sleep":          "time.Sleep",
+	"sync.WaitGroup.Wait": "sync.WaitGroup.Wait",
+
+	"os.File.Read":    "file read",
+	"os.File.ReadAt":  "file read",
+	"os.File.Write":   "file write",
+	"os.File.WriteAt": "file write",
+	"os.File.Sync":    "file sync",
+	"os.Open":         "file open",
+	"os.OpenFile":     "file open",
+	"os.Create":       "file create",
+	"os.ReadFile":     "file read",
+	"os.WriteFile":    "file write",
+	"os.Rename":       "file rename",
+	"os.Remove":       "file remove",
+	"os.RemoveAll":    "file remove",
+	"os.MkdirAll":     "mkdir",
+	"os.ReadDir":      "directory read",
+
+	"io.Copy":            "io.Copy",
+	"io.ReadAll":         "io.ReadAll",
+	"bufio.Writer.Flush": "buffered-writer flush",
+
+	"net.Dial":            "net dial",
+	"net.Conn.Read":       "net read",
+	"net.Conn.Write":      "net write",
+	"net.Listener.Accept": "net accept",
+
+	"net/http.Get":                   "HTTP request",
+	"net/http.Post":                  "HTTP request",
+	"net/http.Client.Do":             "HTTP request",
+	"net/http.Server.ListenAndServe": "HTTP serve",
+	"net/http.Server.Serve":          "HTTP serve",
+	"net/http.Server.Shutdown":       "HTTP shutdown",
+
+	"os/exec.Cmd.Run":            "subprocess run",
+	"os/exec.Cmd.Wait":           "subprocess wait",
+	"os/exec.Cmd.Output":         "subprocess run",
+	"os/exec.Cmd.CombinedOutput": "subprocess run",
+}
+
+// BuildSummaries runs the summary pass over every package of a load.
+// It must see the whole analysis universe at once: blocking
+// propagation and interface-dispatch edges cross package boundaries.
+func BuildSummaries(pkgs []*Package) *Summaries {
+	s := &Summaries{
+		funcs:     map[string]*FuncFacts{},
+		typeDims:  map[string]Dim{},
+		fieldDims: map[string]Dim{},
+	}
+	for _, pkg := range pkgs {
+		s.collectPackage(pkg)
+	}
+	s.addInterfaceEdges(pkgs)
+	s.propagateBlocking()
+	return s
+}
+
+// collectPackage records per-function facts and unit tags for one
+// package.
+func (s *Summaries) collectPackage(pkg *Package) {
+	if pkg.Types == nil {
+		return
+	}
+	path := pkg.Types.Path()
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				s.collectFunc(pkg, d)
+			case *ast.GenDecl:
+				if d.Tok == token.TYPE {
+					s.collectTypeDims(path, d)
+				}
+			}
+		}
+	}
+}
+
+// collectTypeDims indexes //ampvet:unit tags on type declarations and
+// struct fields. A tag on the type declaration (doc or trailing
+// comment) dimensions every value of the named type; a tag on a field
+// (doc or trailing comment) dimensions that field.
+func (s *Summaries) collectTypeDims(pkgPath string, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		typeKey := pkgPath + "." + ts.Name.Name
+		for _, cg := range []*ast.CommentGroup{d.Doc, ts.Doc, ts.Comment} {
+			if dim, ok := unitTagIn(cg); ok {
+				s.typeDims[typeKey] = dim
+			}
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			dim, ok := unitTagIn(field.Doc)
+			if !ok {
+				dim, ok = unitTagIn(field.Comment)
+			}
+			if !ok {
+				continue
+			}
+			for _, name := range field.Names {
+				s.fieldDims[typeKey+"."+name.Name] = dim
+			}
+		}
+	}
+}
+
+// unitTagIn extracts a plain `//ampvet:unit <dim>` tag from a comment
+// group (the two-field parameter form is only meaningful in function
+// docs and is ignored here).
+func unitTagIn(cg *ast.CommentGroup) (Dim, bool) {
+	if cg == nil {
+		return Dim{}, false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if !strings.HasPrefix(text, unitPrefix) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(text, unitPrefix))
+		if len(fields) == 1 {
+			if dim, ok := parseDim(fields[0]); ok {
+				return dim, true
+			}
+		}
+	}
+	return Dim{}, false
+}
+
+// collectFunc builds the FuncFacts for one declaration.
+func (s *Summaries) collectFunc(pkg *Package, fd *ast.FuncDecl) {
+	obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	key := funcKey(obj)
+	if key == "" {
+		return
+	}
+	facts := &FuncFacts{Key: key}
+	s.funcs[key] = facts
+
+	if sig, ok := obj.Type().(*types.Signature); ok {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if isContextType(sig.Params().At(i).Type()) {
+				facts.CtxParam = true
+			}
+		}
+	}
+	s.collectFuncUnitTags(fd, obj, facts)
+
+	if fd.Body == nil {
+		return
+	}
+	walkBlocking(pkg.Info, fd.Body, func(why string) {
+		if !facts.Blocking {
+			facts.Blocking, facts.BlockingWhy = true, why
+		}
+	}, func(calleeKey string) {
+		facts.calls = append(facts.calls, calleeKey)
+	})
+}
+
+// collectFuncUnitTags parses //ampvet:unit lines in a function doc:
+// `//ampvet:unit <dim>` declares the (single) result's dimension,
+// `//ampvet:unit <param> <dim>` a named parameter's.
+func (s *Summaries) collectFuncUnitTags(fd *ast.FuncDecl, obj *types.Func, facts *FuncFacts) {
+	if fd.Doc == nil {
+		return
+	}
+	paramIndex := map[string]int{}
+	if fd.Type.Params != nil {
+		i := 0
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				i++
+				continue
+			}
+			for _, name := range field.Names {
+				paramIndex[name.Name] = i
+				i++
+			}
+		}
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if !strings.HasPrefix(text, unitPrefix) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(text, unitPrefix))
+		switch len(fields) {
+		case 1:
+			if dim, ok := parseDim(fields[0]); ok {
+				facts.ResultDim = &dim
+			}
+		case 2:
+			dim, ok := parseDim(fields[1])
+			if !ok {
+				continue
+			}
+			if idx, ok := paramIndex[fields[0]]; ok {
+				if facts.ParamDims == nil {
+					facts.ParamDims = map[int]Dim{}
+				}
+				facts.ParamDims[idx] = dim
+			}
+		}
+	}
+}
+
+// walkBlocking walks a function body reporting direct blocking
+// operations and call edges. Goroutine bodies are skipped: a `go`
+// statement hands the blocking op to another goroutine, so the spawner
+// itself does not block (and does not hold its locks there).
+func walkBlocking(info *types.Info, body ast.Node, block func(why string), edge func(calleeKey string)) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Record edges from the spawned call (the callee runs, just
+			// elsewhere) but none of its blocking ops.
+			return false
+		case *ast.SendStmt:
+			block("channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				block("channel receive")
+			}
+		case *ast.RangeStmt:
+			if t, ok := info.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					block("range over channel")
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				block("select without default")
+			}
+			// Walk only the clause bodies: with a default the comm ops
+			// are non-blocking attempts, without one the select itself
+			// is already reported.
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					for _, stmt := range cc.Body {
+						ast.Inspect(stmt, walk)
+					}
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if callee := calleeOf(info, n); callee != nil {
+				key := funcKey(callee)
+				if why, ok := stdBlocking[key]; ok {
+					block("call to " + why)
+				} else if key != "" {
+					edge(key)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// addInterfaceEdges links every in-universe interface method to every
+// in-universe concrete implementation, so blocking propagates through
+// dynamic dispatch.
+func (s *Summaries) addInterfaceEdges(pkgs []*Package) {
+	type namedIface struct {
+		named *types.Named
+		iface *types.Interface
+	}
+	var ifaces []namedIface
+	var concretes []*types.Named
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if iface, ok := named.Underlying().(*types.Interface); ok {
+				if iface.NumMethods() > 0 {
+					ifaces = append(ifaces, namedIface{named, iface})
+				}
+			} else {
+				concretes = append(concretes, named)
+			}
+		}
+	}
+	for _, ni := range ifaces {
+		ifaceKey := ni.named.Obj().Pkg().Path() + "." + ni.named.Obj().Name()
+		for _, c := range concretes {
+			if !types.Implements(c, ni.iface) && !types.Implements(types.NewPointer(c), ni.iface) {
+				continue
+			}
+			cKey := c.Obj().Pkg().Path() + "." + c.Obj().Name()
+			for i := 0; i < ni.iface.NumMethods(); i++ {
+				m := ni.iface.Method(i).Name()
+				from := ifaceKey + "." + m
+				facts := s.funcs[from]
+				if facts == nil {
+					facts = &FuncFacts{Key: from}
+					s.funcs[from] = facts
+				}
+				facts.calls = append(facts.calls, cKey+"."+m)
+			}
+		}
+	}
+}
+
+// propagateBlocking closes Blocking over the call graph.
+func (s *Summaries) propagateBlocking() {
+	callers := map[string][]*FuncFacts{}
+	for _, f := range s.funcs {
+		for _, callee := range f.calls {
+			callers[callee] = append(callers[callee], f)
+		}
+	}
+	var work []string
+	for key, f := range s.funcs {
+		if f.Blocking {
+			work = append(work, key)
+		}
+	}
+	for len(work) > 0 {
+		key := work[len(work)-1]
+		work = work[:len(work)-1]
+		blocked := s.funcs[key]
+		for _, caller := range callers[key] {
+			if caller.Blocking {
+				continue
+			}
+			caller.Blocking = true
+			caller.BlockingWhy = "calls " + shortKey(key) + " (" + blocked.BlockingWhy + ")"
+			if len(caller.BlockingWhy) > 160 {
+				caller.BlockingWhy = caller.BlockingWhy[:157] + "..."
+			}
+			work = append(work, caller.Key)
+		}
+	}
+}
+
+// BlockingCall reports whether the call blocks (directly or
+// transitively) and why. Calls of function values resolve to nothing
+// and return false — the layer is deliberately conservative there.
+func (s *Summaries) BlockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	callee := calleeOf(info, call)
+	if callee == nil {
+		return "", false
+	}
+	key := funcKey(callee)
+	if why, ok := stdBlocking[key]; ok {
+		return why, true
+	}
+	if facts, ok := s.funcs[key]; ok && facts.Blocking {
+		return shortKey(key) + " blocks: " + facts.BlockingWhy, true
+	}
+	return "", false
+}
+
+// FuncByKey exposes a summary record (nil when unknown).
+func (s *Summaries) FuncByKey(key string) *FuncFacts { return s.funcs[key] }
+
+// HasFunc reports whether any function with the key exists — used by
+// ctxcheck to detect Context-taking siblings (Run vs RunContext).
+func (s *Summaries) HasFunc(key string) bool { _, ok := s.funcs[key]; return ok }
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,48 @@
+// Package app is the fixture for the context-propagation analyzer:
+// root contexts minted outside main, and ctx-receiving functions that
+// drop the context on the floor when a Context-accepting sibling
+// exists.
+package app
+
+import "context"
+
+func mint() {
+	_ = context.Background() // want `context\.Background\(\) outside package main`
+}
+
+func mintTODO() {
+	_ = context.TODO() // want `context\.TODO\(\) outside package main`
+}
+
+// Worse: the function already has a ctx and mints a fresh root anyway.
+func detach(ctx context.Context) {
+	_ = context.Background() // want `context\.Background\(\) inside a function that already receives a ctx`
+}
+
+// Run has a Context-taking sibling; a ctx-receiving caller must use it.
+func Run() {}
+
+func RunContext(ctx context.Context) {}
+
+func driver(ctx context.Context) {
+	Run() // want `Run called from a ctx-receiving function, but RunContext exists`
+	RunContext(ctx)
+}
+
+// No sibling: nothing to demand.
+func Step() {}
+
+func stepper(ctx context.Context) {
+	Step()
+}
+
+// Callers without a ctx of their own are not asked to invent one.
+func plain() {
+	Run()
+}
+
+// An audited exception is suppressed.
+func allowed(ctx context.Context) {
+	//ampvet:allow ctxcheck the detached context is intentional: the job outlives this request
+	_ = context.Background()
+}

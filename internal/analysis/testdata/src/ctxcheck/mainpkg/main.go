@@ -1,0 +1,12 @@
+// Command mainpkg shows ctxcheck's one sanctioned home for root
+// contexts: package main mints them freely.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	helper(ctx)
+}
+
+func helper(ctx context.Context) {}

@@ -16,3 +16,17 @@ func UnknownCheck() int {
 	//ampvet:allow nosuchcheck because I said so
 	return 0
 }
+
+// UnknownVerb uses a directive verb the suite does not define: the
+// spelling is reported as malformed rather than silently ignored.
+func UnknownVerb() int {
+	//ampvet:ignore unitcheck this verb does not exist
+	return 0
+}
+
+// BadDim tags a unit the dimension table does not know.
+//
+//ampvet:unit furlongs
+func BadDim() float64 {
+	return 0
+}

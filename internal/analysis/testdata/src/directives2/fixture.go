@@ -1,0 +1,30 @@
+// Package directives2 exercises directive placement interplay: an
+// allow suppresses from its own line, from the line above, and from a
+// function's doc comment. (Unknown-verb reporting is covered by the
+// directives fixture via TestMalformedDirectives.)
+package directives2
+
+import "context"
+
+// Doc-comment allow: covers every finding in the function.
+//
+//ampvet:allow ctxcheck doc-comment allows span the whole declaration
+func docAllowed() {
+	_ = context.Background()
+	_ = context.TODO()
+}
+
+func lineAllowed() {
+	_ = context.Background() //ampvet:allow ctxcheck same-line allows suppress their own line
+}
+
+func lineAboveAllowed() {
+	//ampvet:allow ctxcheck line-above allows suppress the next line
+	_ = context.Background()
+}
+
+// An allow for one check does not leak onto another's findings.
+func wrongCheck() {
+	//ampvet:allow determinism this names the wrong check, so ctxcheck still fires
+	_ = context.Background() // want `context\.Background\(\) outside package main`
+}

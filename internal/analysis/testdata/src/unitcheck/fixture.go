@@ -1,0 +1,91 @@
+// Package unitcheck is the fixture for the dimensional analyzer. It
+// mirrors the repo's power model in miniature: energy in nanojoules,
+// elapsed cycles, derived watts and IPC/Watt, with tags on struct
+// fields and function docs.
+package unitcheck
+
+type interval struct {
+	Cycles    uint64  //ampvet:unit cycles
+	Committed uint64  //ampvet:unit instructions
+	EnergyNJ  float64 //ampvet:unit nanojoules
+	Watts     float64 //ampvet:unit watts
+	IPC       float64 //ampvet:unit ipc
+}
+
+// clockHz is the configured clock rate.
+var clockHz = 2e9
+
+// freq is the clock in cycles per second.
+//
+//ampvet:unit cycles_per_second
+func freq() float64 { return clockHz }
+
+// avgWatts derives average power from an interval's energy.
+//
+//ampvet:unit watts
+//ampvet:unit energyNJ nanojoules
+//ampvet:unit cycles cycles
+func avgWatts(energyNJ float64, cycles uint64) float64 {
+	seconds := float64(cycles) / freq()
+	return energyNJ / seconds
+}
+
+// The ISSUE's seeded mutation: returning raw energy where average
+// power was declared — the EnergyNJ-for-watts confusion the check
+// exists to catch.
+//
+//ampvet:unit watts
+//ampvet:unit energyNJ nanojoules
+func mutatedWatts(energyNJ float64, cycles uint64) float64 {
+	return energyNJ // want `returning nanojoules value from function declared watts`
+}
+
+func fill(iv *interval) {
+	iv.Watts = iv.EnergyNJ // want `assigning nanojoules value to watts destination iv\.Watts`
+	iv.IPC = float64(iv.Committed) / float64(iv.Cycles)
+}
+
+func mixedSum(iv *interval) float64 {
+	return iv.EnergyNJ + float64(iv.Cycles) // want `nanojoules \+ cycles: operands have different dimensions`
+}
+
+func callMismatch(iv *interval) float64 {
+	return avgWatts(float64(iv.Cycles), iv.Cycles) // want `passing cycles value to nanojoules parameter 0 of avgWatts`
+}
+
+func literalArg(iv *interval) float64 {
+	return avgWatts(12.5, iv.Cycles) // want `unit-less literal passed to nanojoules parameter 0 of avgWatts`
+}
+
+// Zero literals are dimensionless by convention: resets are clean.
+func reset(iv *interval) {
+	iv.Watts = 0
+	iv.EnergyNJ = 0
+}
+
+// Correct derivations through locals: inference carries the tag.
+func derived(iv *interval) {
+	e := iv.EnergyNJ
+	w := e / (float64(iv.Cycles) / freq())
+	iv.Watts = w
+}
+
+type comparison struct {
+	// Ratio of two same-dimension quantities.
+	//ampvet:unit dimensionless
+	Ratio float64
+}
+
+func compare(a, b *interval) comparison {
+	return comparison{Ratio: a.Watts / b.Watts}
+}
+
+func badLit(iv *interval) comparison {
+	return comparison{Ratio: iv.Watts} // want `field comparison\.Ratio declared dimensionless assigned watts value`
+}
+
+// An audited exception is suppressed.
+func allowed(iv *interval) float64 {
+	//ampvet:allow unitcheck fixture exercises suppression of a deliberate mismatch
+	return iv.EnergyNJ + float64(iv.Cycles)
+}

@@ -1,0 +1,431 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// UnitCheckAnalyzer is dimensional analysis for the paper's
+// quantities. Sources of dimension facts, all declared with
+// //ampvet:unit (see units.go for the vocabulary):
+//
+//   - a tagged named type dimensions every value of that type;
+//   - a tagged struct field dimensions every read/write of the field;
+//   - `//ampvet:unit <dim>` in a function doc dimensions its result,
+//     `//ampvet:unit <param> <dim>` a parameter.
+//
+// Dimensions propagate through conversions, unary +/-, * and /
+// (exponent arithmetic), and local variables via a linear
+// walk-in-source-order inference. The analyzer flags:
+//
+//   - addition, subtraction or comparison of two expressions with
+//     different known dimensions (cycles + instructions);
+//   - assigning, returning or passing a value whose known dimension
+//     contradicts the destination's declared one (an energy where a
+//     power belongs);
+//   - a non-zero unit-less literal passed to a dimensioned parameter
+//     or returned from a dimensioned function (magic constants must be
+//     named or tagged at the source).
+//
+// Numeric literals are scale factors (1e-9 between nJ and J), so they
+// are dimensionless in * and / and adopt the other operand's dimension
+// in + and -. Anything the checker cannot resolve is unknown and
+// silent: the analyzer only speaks when two *known* dimensions
+// disagree.
+var UnitCheckAnalyzer = &Analyzer{
+	Name: "unitcheck",
+	Doc: "dimensional analysis over //ampvet:unit tags: flag cross-unit arithmetic and " +
+		"mismatched assignments/returns/arguments (cycles, instructions, nanojoules, watts, ipc, ipc_per_watt)",
+	Run: runUnitCheck,
+}
+
+func runUnitCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			u := &unitChecker{pass: pass, vars: map[*types.Var]Dim{}}
+			u.bindParams(fd)
+			u.walkFunc(fd)
+		}
+	}
+	return nil
+}
+
+// unitChecker carries one function's inference state.
+type unitChecker struct {
+	pass *Pass
+	// vars holds known dimensions of parameters and locals.
+	vars map[*types.Var]Dim
+	// facts is the enclosing function's summary (result dim).
+	facts *FuncFacts
+}
+
+// bindParams seeds vars with the function's tagged parameters.
+func (u *unitChecker) bindParams(fd *ast.FuncDecl) {
+	obj, _ := u.pass.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	u.facts = u.pass.Sum.FuncByKey(funcKey(obj))
+	if u.facts == nil || u.facts.ParamDims == nil {
+		return
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for idx, dim := range u.facts.ParamDims {
+		if idx < sig.Params().Len() {
+			u.vars[sig.Params().At(idx)] = dim
+		}
+	}
+}
+
+// walkFunc checks the body in source order so local inference sees
+// definitions before uses.
+func (u *unitChecker) walkFunc(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			u.checkAssign(n)
+		case *ast.ReturnStmt:
+			u.checkReturn(n)
+		case *ast.CallExpr:
+			u.checkCallArgs(n)
+		case *ast.BinaryExpr:
+			u.checkBinary(n)
+		case *ast.CompositeLit:
+			u.checkCompositeLit(n)
+		}
+		return true
+	})
+}
+
+// checkAssign handles =, :=, and the arithmetic assignment operators.
+func (u *unitChecker) checkAssign(a *ast.AssignStmt) {
+	if len(a.Lhs) != len(a.Rhs) {
+		return // multi-value call; nothing to infer
+	}
+	for i := range a.Lhs {
+		lhs, rhs := a.Lhs[i], a.Rhs[i]
+		rdim, rok := u.dimOf(rhs)
+		switch a.Tok {
+		case token.DEFINE:
+			if v, ok := u.pass.Info.Defs[identOf(lhs)].(*types.Var); ok && v != nil {
+				if rok && !isNumericLiteral(rhs) {
+					u.vars[v] = rdim
+				}
+			}
+		case token.ASSIGN:
+			ldim, lok := u.lhsDim(lhs)
+			if lok && rok && ldim != rdim && !isNumericLiteral(rhs) {
+				u.pass.Reportf(a.Pos(), "assigning %s value to %s destination %s",
+					rdim, ldim, exprString(lhs))
+			}
+			// Track re-assignments of locals whose dim was inferred.
+			if v, ok := u.pass.Info.Uses[identOf(lhs)].(*types.Var); ok && v != nil {
+				if _, tracked := u.vars[v]; tracked && rok && !isNumericLiteral(rhs) {
+					u.vars[v] = rdim
+				}
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			ldim, lok := u.lhsDim(lhs)
+			if lok && rok && ldim != rdim && !isNumericLiteral(rhs) {
+				u.pass.Reportf(a.Pos(), "%s %s %s: operands have different dimensions",
+					ldim, a.Tok, rdim)
+			}
+		case token.MUL_ASSIGN, token.QUO_ASSIGN:
+			// x *= k changes x's dimension unless k is a pure scalar;
+			// drop the inference rather than guess.
+			if v, ok := u.pass.Info.Uses[identOf(lhs)].(*types.Var); ok && v != nil {
+				if !isNumericLiteral(rhs) {
+					delete(u.vars, v)
+				}
+			}
+		}
+	}
+}
+
+// checkReturn compares return expressions against the declared result
+// dimension.
+func (u *unitChecker) checkReturn(r *ast.ReturnStmt) {
+	if u.facts == nil || u.facts.ResultDim == nil || len(r.Results) != 1 {
+		return
+	}
+	want := *u.facts.ResultDim
+	e := r.Results[0]
+	if isNumericLiteral(e) {
+		if !want.dimensionless() && !isZeroLiteral(e) {
+			u.pass.Reportf(e.Pos(), "unit-less literal returned from function declared %s", want)
+		}
+		return
+	}
+	if got, ok := u.dimOf(e); ok && got != want {
+		u.pass.Reportf(e.Pos(), "returning %s value from function declared %s", got, want)
+	}
+}
+
+// checkCallArgs compares arguments against the callee's tagged
+// parameter dimensions.
+func (u *unitChecker) checkCallArgs(call *ast.CallExpr) {
+	callee := calleeOf(u.pass.Info, call)
+	if callee == nil {
+		return
+	}
+	facts := u.pass.Sum.FuncByKey(funcKey(callee))
+	if facts == nil || facts.ParamDims == nil {
+		return
+	}
+	for idx, want := range facts.ParamDims {
+		if idx >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[idx]
+		if isNumericLiteral(arg) {
+			if !want.dimensionless() && !isZeroLiteral(arg) {
+				u.pass.Reportf(arg.Pos(), "unit-less literal passed to %s parameter %d of %s",
+					want, idx, callee.Name())
+			}
+			continue
+		}
+		if got, ok := u.dimOf(arg); ok && got != want {
+			u.pass.Reportf(arg.Pos(), "passing %s value to %s parameter %d of %s",
+				got, want, idx, callee.Name())
+		}
+	}
+}
+
+// checkBinary flags +, -, and comparisons whose operands carry
+// different known dimensions. * and / are composition, not mixing, so
+// they are always legal.
+func (u *unitChecker) checkBinary(b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.ADD, token.SUB, token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return
+	}
+	if isNumericLiteral(b.X) || isNumericLiteral(b.Y) {
+		return // literals adopt the other operand's dimension
+	}
+	xd, xok := u.dimOf(b.X)
+	yd, yok := u.dimOf(b.Y)
+	if xok && yok && xd != yd {
+		u.pass.Reportf(b.Pos(), "%s %s %s: operands have different dimensions", xd, b.Op, yd)
+	}
+}
+
+// checkCompositeLit compares field values of a struct literal against
+// tagged field dimensions.
+func (u *unitChecker) checkCompositeLit(lit *ast.CompositeLit) {
+	t := u.pass.Info.Types[lit].Type
+	if t == nil {
+		return
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	if named.Obj().Pkg() == nil {
+		return
+	}
+	typeKey := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		want, tagged := u.pass.Sum.fieldDims[typeKey+"."+key.Name]
+		if !tagged || isNumericLiteral(kv.Value) {
+			continue // literal field values are config constants, not flows
+		}
+		if got, ok := u.dimOf(kv.Value); ok && got != want {
+			u.pass.Reportf(kv.Value.Pos(), "field %s.%s declared %s assigned %s value",
+				named.Obj().Name(), key.Name, want, got)
+		}
+	}
+}
+
+// lhsDim resolves the declared dimension of an assignment destination.
+func (u *unitChecker) lhsDim(e ast.Expr) (Dim, bool) {
+	return u.dimOf(e)
+}
+
+// dimOf resolves the dimension of an expression; ok=false means
+// unknown (and silent).
+func (u *unitChecker) dimOf(e ast.Expr) (Dim, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := u.objOf(e).(*types.Var); ok {
+			if dim, ok := u.vars[v]; ok {
+				return dim, true
+			}
+		}
+	case *ast.SelectorExpr:
+		if dim, ok := u.fieldDim(e); ok {
+			return dim, true
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return u.dimOf(e.X)
+		}
+		return Dim{}, false
+	case *ast.BinaryExpr:
+		return u.binaryDim(e)
+	case *ast.CallExpr:
+		return u.callDim(e)
+	}
+	// Fall back to the expression's static type: values of a tagged
+	// named type carry its dimension anywhere they flow.
+	if tv, ok := u.pass.Info.Types[e]; ok {
+		if dim, ok := u.typeDim(tv.Type); ok {
+			return dim, true
+		}
+	}
+	return Dim{}, false
+}
+
+// binaryDim composes dimensions through arithmetic.
+func (u *unitChecker) binaryDim(b *ast.BinaryExpr) (Dim, bool) {
+	switch b.Op {
+	case token.MUL, token.QUO:
+		xd, xok := u.dimOf(b.X)
+		yd, yok := u.dimOf(b.Y)
+		// Literals are pure scalars: dimensionless on either side.
+		if !xok && isNumericLiteral(b.X) {
+			xd, xok = Dim{}, true
+		}
+		if !yok && isNumericLiteral(b.Y) {
+			yd, yok = Dim{}, true
+		}
+		if !xok || !yok {
+			return Dim{}, false
+		}
+		if b.Op == token.MUL {
+			return xd.mul(yd), true
+		}
+		return xd.div(yd), true
+	case token.ADD, token.SUB:
+		xd, xok := u.dimOf(b.X)
+		if xok && !isNumericLiteral(b.X) {
+			return xd, true
+		}
+		yd, yok := u.dimOf(b.Y)
+		if yok && !isNumericLiteral(b.Y) {
+			return yd, true
+		}
+		return Dim{}, false
+	}
+	return Dim{}, false
+}
+
+// callDim resolves conversions and tagged-result calls.
+func (u *unitChecker) callDim(call *ast.CallExpr) (Dim, bool) {
+	// Numeric conversion float64(x) / uint64(x): transparent.
+	if len(call.Args) == 1 {
+		if tv, ok := u.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			if dim, ok := u.typeDim(tv.Type); ok {
+				return dim, true
+			}
+			if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsNumeric != 0 {
+				return u.dimOf(call.Args[0])
+			}
+			return Dim{}, false
+		}
+	}
+	callee := calleeOf(u.pass.Info, call)
+	if callee == nil {
+		return Dim{}, false
+	}
+	if facts := u.pass.Sum.FuncByKey(funcKey(callee)); facts != nil && facts.ResultDim != nil {
+		return *facts.ResultDim, true
+	}
+	return Dim{}, false
+}
+
+// fieldDim resolves a tagged struct field access.
+func (u *unitChecker) fieldDim(sel *ast.SelectorExpr) (Dim, bool) {
+	obj, ok := u.pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() {
+		return Dim{}, false
+	}
+	rt := u.pass.Info.Types[sel.X].Type
+	if rt == nil {
+		return Dim{}, false
+	}
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return Dim{}, false
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + obj.Name()
+	dim, ok := u.pass.Sum.fieldDims[key]
+	return dim, ok
+}
+
+// typeDim resolves a tagged named type.
+func (u *unitChecker) typeDim(t types.Type) (Dim, bool) {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return Dim{}, false
+	}
+	dim, ok := u.pass.Sum.typeDims[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+	return dim, ok
+}
+
+// objOf looks an identifier up in Uses then Defs.
+func (u *unitChecker) objOf(id *ast.Ident) types.Object {
+	if obj := u.pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return u.pass.Info.Defs[id]
+}
+
+// identOf unwraps an assignment destination to its identifier (nil
+// for selector/index destinations).
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// isNumericLiteral reports whether e is a numeric literal, possibly
+// signed or parenthesized.
+func isNumericLiteral(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.INT || e.Kind == token.FLOAT
+	case *ast.UnaryExpr:
+		return (e.Op == token.ADD || e.Op == token.SUB) && isNumericLiteral(e.X)
+	}
+	return false
+}
+
+// isZeroLiteral reports whether the literal is numerically zero (zero
+// initialization is always dimension-correct).
+func isZeroLiteral(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	v, err := strconv.ParseFloat(strings.TrimPrefix(lit.Value, "0x"), 64)
+	return err == nil && v == 0
+}
+
+// exprString renders a short destination description.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}

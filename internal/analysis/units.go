@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// Dimensional analysis for unitcheck. A Dim is an exponent vector over
+// the simulator's base dimensions — cycles (cyc), instructions (ins),
+// nanojoules (nj) and seconds (s) — so derived quantities compose by
+// ordinary exponent arithmetic: watts = nj·s⁻¹, IPC = ins·cyc⁻¹,
+// IPC/Watt = ins·s·cyc⁻¹·nj⁻¹. Scale factors (the 1e-9 between nJ and
+// J, the 1e9 between GHz and Hz) are invisible to dimensional
+// analysis; unitcheck checks shape, not magnitude.
+//
+// The vocabulary deliberately stops at the paper's quantities. The
+// point is catching a cycle count where an instruction count belongs,
+// or an energy where a power belongs — not a general units library.
+
+// Dim is a dimension: exponents of the base dimensions. The zero Dim
+// is dimensionless.
+type Dim struct {
+	Cyc, Ins, NJ, S int
+}
+
+// namedDims maps //ampvet:unit spellings to dimension vectors.
+var namedDims = map[string]Dim{
+	"cycles":            {Cyc: 1},
+	"instructions":      {Ins: 1},
+	"nanojoules":        {NJ: 1},
+	"seconds":           {S: 1},
+	"watts":             {NJ: 1, S: -1},
+	"ipc":               {Ins: 1, Cyc: -1},
+	"ipc_per_watt":      {Ins: 1, S: 1, Cyc: -1, NJ: -1},
+	"cycles_per_second": {Cyc: 1, S: -1},
+	"dimensionless":     {},
+}
+
+// parseDim resolves a dimension name from a directive.
+func parseDim(name string) (Dim, bool) {
+	d, ok := namedDims[name]
+	return d, ok
+}
+
+// dimNames lists the vocabulary for error messages, sorted.
+func dimNames() string {
+	names := make([]string, 0, len(namedDims))
+	for n := range namedDims {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// mul returns the dimension of a product.
+func (d Dim) mul(o Dim) Dim {
+	return Dim{d.Cyc + o.Cyc, d.Ins + o.Ins, d.NJ + o.NJ, d.S + o.S}
+}
+
+// div returns the dimension of a quotient.
+func (d Dim) div(o Dim) Dim {
+	return Dim{d.Cyc - o.Cyc, d.Ins - o.Ins, d.NJ - o.NJ, d.S - o.S}
+}
+
+// dimensionless reports whether d is the empty vector.
+func (d Dim) dimensionless() bool { return d == Dim{} }
+
+// String renders the dimension for diagnostics: the canonical name
+// when one exists, the raw exponent product otherwise.
+func (d Dim) String() string {
+	for name, nd := range namedDims {
+		if nd == d && name != "dimensionless" {
+			return name
+		}
+	}
+	if d.dimensionless() {
+		return "dimensionless"
+	}
+	var parts []string
+	add := func(base string, exp int) {
+		switch {
+		case exp == 1:
+			parts = append(parts, base)
+		case exp != 0:
+			parts = append(parts, base+"^"+itoa(exp))
+		}
+	}
+	add("cyc", d.Cyc)
+	add("ins", d.Ins)
+	add("nj", d.NJ)
+	add("s", d.S)
+	return strings.Join(parts, "·")
+}
+
+// itoa is strconv.Itoa for small signed ints without the import.
+func itoa(n int) string {
+	if n < 0 {
+		return "-" + itoa(-n)
+	}
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + string(rune('0'+n%10))
+}

@@ -6,8 +6,10 @@ package cpu
 // each counter, Wattch-style.
 type Activity struct {
 	// Cycles the core was stepped with a thread bound (active cycles).
+	//ampvet:unit cycles
 	Cycles uint64
 	// StallCycles the core spent frozen during a swap.
+	//ampvet:unit cycles
 	StallCycles uint64
 
 	FetchGroups uint64 // instruction-cache access groups

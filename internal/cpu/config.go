@@ -87,6 +87,7 @@ type Config struct {
 	Caches cache.HierarchyConfig
 
 	// FreqGHz converts cycles to seconds for power computations.
+	//ampvet:unit cycles_per_second
 	FreqGHz float64
 }
 

@@ -26,7 +26,7 @@ type ThreadArch struct {
 	CodeBase uint64
 	CodeSize uint64
 
-	Committed        uint64
+	Committed        uint64 //ampvet:unit instructions
 	CommittedByClass [isa.NumClasses]uint64
 }
 

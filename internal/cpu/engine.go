@@ -66,7 +66,7 @@ type EngineFactory func(cfg *Config) (Engine, error)
 // the cache-hierarchy counters.
 type EngineStats struct {
 	Act       Activity
-	Committed uint64
+	Committed uint64 //ampvet:unit instructions
 	L1I       cache.Stats
 	L1D       cache.Stats
 	L2        cache.Stats

@@ -31,6 +31,8 @@ func StaticFactory() SchedFactory {
 }
 
 // geoIPCW is the pair-level geometric-mean IPC/Watt.
+//
+//ampvet:unit ipc_per_watt
 func geoIPCW(res amp.Result) float64 {
 	return math.Sqrt(res.Threads[0].IPCPerWatt * res.Threads[1].IPCPerWatt)
 }

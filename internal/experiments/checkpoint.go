@@ -185,6 +185,12 @@ type ckptState struct {
 	done      []bool
 	sinceSave int
 	every     int
+
+	// saveMu serializes snapshot writes. Snapshots are built under mu
+	// (cheap copy) but written outside it, so a slow disk stalls at
+	// most the one goroutine doing the save — never the sweep workers
+	// calling complete() on other pairs.
+	saveMu sync.Mutex
 }
 
 // newCkptState loads any prior snapshot for the runner's options and
@@ -251,18 +257,23 @@ func (c *ckptState) restored(i int) bool {
 
 // complete records a freshly computed pair and saves a snapshot every
 // `every` completions. Degraded outcomes are tracked but never saved,
-// so a resume retries them.
+// so a resume retries them. The snapshot is copied out under mu and
+// written to disk outside it: parallel workers completing other pairs
+// must never queue behind checkpoint I/O.
 func (c *ckptState) complete(i int) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.done[i] = true
 	c.sinceSave++
+	var snap *SweepCheckpoint
 	if c.sinceSave >= c.every {
-		c.saveLocked()
+		snap = c.snapshotLocked()
+		c.sinceSave = 0
 	}
+	c.mu.Unlock()
+	c.save(snap)
 }
 
 // flush persists any completions since the last cadenced save — the
@@ -272,17 +283,20 @@ func (c *ckptState) flush() {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var snap *SweepCheckpoint
 	if c.sinceSave > 0 {
-		c.saveLocked()
+		snap = c.snapshotLocked()
+		c.sinceSave = 0
 	}
+	c.mu.Unlock()
+	c.save(snap)
 }
 
-// saveLocked snapshots every completed, non-degraded outcome. Save
-// failures degrade the resume, never the sweep. The Pair field is
-// zeroed in the copy: the snapshot re-derives pairs from (Seed, Pairs)
-// on load, and the label guards identity.
-func (c *ckptState) saveLocked() {
+// snapshotLocked copies every completed, non-degraded outcome into a
+// fresh SweepCheckpoint. Must be called with mu held. The Pair field
+// is zeroed in the copy: the snapshot re-derives pairs from (Seed,
+// Pairs) on load, and the label guards identity.
+func (c *ckptState) snapshotLocked() *SweepCheckpoint {
 	snap := &SweepCheckpoint{
 		Seed:       c.r.Opt.Seed,
 		Pairs:      c.r.Opt.Pairs,
@@ -301,9 +315,24 @@ func (c *ckptState) saveLocked() {
 			Outcome: oc,
 		})
 	}
-	if err := c.r.Checkpoint.Save(c.key, snap); err != nil {
-		c.r.progress("checkpoint save failed: %v", err)
+	return snap
+}
+
+// save writes one snapshot, serialized by saveMu so concurrent
+// cadence hits cannot interleave writes out of order. Save failures
+// degrade the resume, never the sweep: the failed state is folded back
+// into sinceSave so a later completion (or flush) retries.
+func (c *ckptState) save(snap *SweepCheckpoint) {
+	if snap == nil {
 		return
 	}
-	c.sinceSave = 0
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	//ampvet:allow lockcheck saveMu exists to serialize checkpoint I/O; holding it across the write is its whole job, and sweep workers never touch it
+	if err := c.r.Checkpoint.Save(c.key, snap); err != nil {
+		c.r.progress("checkpoint save failed: %v", err)
+		c.mu.Lock()
+		c.sinceSave += c.every
+		c.mu.Unlock()
+	}
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"errors"
 	"os"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"ampsched/internal/telemetry"
 )
@@ -238,5 +240,108 @@ func TestSweepCheckpointsAndResumes(t *testing.T) {
 		if first.Outcomes[i].Proposed.Cycles != third.Outcomes[i].Proposed.Cycles {
 			t.Errorf("pair %d diverged after partial resume", i)
 		}
+	}
+}
+
+// blockingCkpt is a Checkpointer whose Save parks until released — the
+// "slow disk" for the stall regression test below.
+type blockingCkpt struct {
+	entered chan struct{} // closed on first Save entry
+	release chan struct{} // Save returns when this closes
+	once    sync.Once
+}
+
+func (b *blockingCkpt) Save(string, *SweepCheckpoint) error {
+	b.once.Do(func() { close(b.entered) })
+	<-b.release
+	return nil
+}
+
+func (b *blockingCkpt) Load(string) (*SweepCheckpoint, error) { return nil, nil }
+
+// TestCompleteDoesNotStallBehindSlowSave pins the lockcheck-driven
+// split of ckptState's bookkeeping mutex from its save mutex:
+// checkpoint I/O happens outside c.mu, so workers recording other
+// completions (and the restored() fast path) never queue behind a slow
+// disk. Before the split, complete() held c.mu across
+// Checkpointer.Save and everything below parked until the save
+// returned.
+func TestCompleteDoesNotStallBehindSlowSave(t *testing.T) {
+	opt := tinyOptions()
+	r, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &blockingCkpt{entered: make(chan struct{}), release: make(chan struct{})}
+	r.Checkpoint = ck
+	pairs := RandomPairs(opt.Pairs, opt.Seed)
+	out := &SweepResult{Outcomes: make([]PairOutcome, len(pairs))}
+	c := r.newCkptState(pairs, out)
+	c.every = 2
+
+	c.complete(0) // below cadence: no save
+	saveDone := make(chan struct{})
+	go func() {
+		c.complete(1) // cadence hit: parks inside Save
+		close(saveDone)
+	}()
+	<-ck.entered
+
+	// With the save still in flight, bookkeeping must proceed.
+	ok := make(chan struct{})
+	go func() {
+		c.complete(2) // below cadence again after the reset
+		if !c.restored(0) || !c.restored(2) {
+			t.Error("completions lost while a save was in flight")
+		}
+		close(ok)
+	}()
+	select {
+	case <-ok:
+	case <-time.After(5 * time.Second):
+		t.Fatal("complete()/restored() blocked behind checkpoint I/O")
+	}
+	close(ck.release)
+	<-saveDone
+}
+
+// failingCkpt fails its first Save and counts attempts.
+type failingCkpt struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *failingCkpt) Save(string, *SweepCheckpoint) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.calls == 1 {
+		return errors.New("disk full")
+	}
+	return nil
+}
+
+func (f *failingCkpt) Load(string) (*SweepCheckpoint, error) { return nil, nil }
+
+// TestSaveFailureRetriedByFlush pins the failure path of the same
+// refactor: a failed save folds its cadence credit back into
+// sinceSave, so the end-of-sweep flush retries it.
+func TestSaveFailureRetriedByFlush(t *testing.T) {
+	opt := tinyOptions()
+	r, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &failingCkpt{}
+	r.Checkpoint = ck
+	pairs := RandomPairs(opt.Pairs, opt.Seed)
+	out := &SweepResult{Outcomes: make([]PairOutcome, len(pairs))}
+	c := r.newCkptState(pairs, out)
+	c.every = 1
+
+	c.complete(0) // cadence hit: save fails, credit folded back
+	c.flush()     // retries the lost snapshot
+	if ck.calls != 2 {
+		t.Fatalf("Save called %d times, want 2 (failure + flush retry)", ck.calls)
 	}
 }

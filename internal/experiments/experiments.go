@@ -263,6 +263,8 @@ func (r *Runner) progress(format string, args ...interface{}) {
 }
 
 // baseCtx resolves the context used by the context-less entry points.
+//
+//ampvet:allow ctxcheck Background is the documented fallback when the caller sets no BaseContext
 func (r *Runner) baseCtx() context.Context {
 	if r.BaseContext != nil {
 		return r.BaseContext
@@ -531,6 +533,8 @@ func (r *Runner) Sweep() (*SweepResult, error) {
 // alongside ctx's error without being cached. Concurrent callers
 // serialize on one mutex: the first runs the sweep (its workers still
 // fan out), later callers block and then return the cached result.
+//
+//ampvet:allow lockcheck sweepMu is a deliberate singleflight: holding it across the whole sweep (checkpoint load, worker fan-out, flush) is how later callers wait for the cached result
 func (r *Runner) SweepContext(ctx context.Context) (*SweepResult, error) {
 	r.sweepMu.Lock()
 	defer r.sweepMu.Unlock()

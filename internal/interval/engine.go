@@ -46,10 +46,10 @@ type Engine struct {
 	arch *cpu.ThreadArch
 	cal  *Calibration
 
-	activeCycles uint64
-	stallCycles  uint64
-	committed    uint64
-	sinceBind    uint64
+	activeCycles uint64 //ampvet:unit cycles
+	stallCycles  uint64 //ampvet:unit cycles
+	committed    uint64 //ampvet:unit instructions
+	sinceBind    uint64 //ampvet:unit cycles
 
 	fracCommit float64
 	classFrac  [isa.NumClasses]float64

@@ -67,6 +67,8 @@ func missRateFor(p *workload.Phase, size uint64, lineBytes int) float64 {
 
 // modelPhaseIPC computes the uncalibrated steady-state IPC of one
 // phase on a core described by cfg with the effective unit set units.
+//
+//ampvet:unit ipc
 func modelPhaseIPC(cfg *cpu.Config, units *[cpu.NumUnitKinds]cpu.UnitSpec, p *workload.Phase, codeSize uint64) float64 {
 	mix := &p.Mix
 

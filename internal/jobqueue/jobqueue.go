@@ -312,6 +312,7 @@ func (q *Queue) submit(ctx context.Context, task Task, opts SubmitOptions) (*Job
 	}
 	q.nextID++
 	q.nextSeq++
+	//ampvet:allow ctxcheck jobs deliberately outlive the submitter's ctx; cancellation flows through Job.Cancel and queue shutdown instead
 	jctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		id:       q.nextID,

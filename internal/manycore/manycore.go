@@ -103,7 +103,7 @@ type System struct {
 	obs           amp.Observer
 	tel           *telemetryHook
 
-	cycle        uint64
+	cycle        uint64 //ampvet:unit cycles
 	stride       uint64
 	reassigns    uint64 // applied move batches
 	moves        uint64 // individual relocations applied
@@ -266,6 +266,8 @@ func (s *System) CoreConfig(core int) *cpu.Config { return s.cores[core].Config(
 func (s *System) L2Stats(core int) cache.Stats { return s.cores[core].Stats().L2 }
 
 // FreqGHz implements amp.View.
+//
+//ampvet:unit cycles_per_second
 func (s *System) FreqGHz() float64 { return s.cores[0].Config().FreqGHz }
 
 // AffinityMask implements amp.View.
@@ -486,17 +488,17 @@ func (s *System) rejectBatch() bool {
 // ThreadResult mirrors amp.ThreadResult for M threads.
 type ThreadResult struct {
 	Name       string
-	Committed  uint64
-	EnergyNJ   float64
-	IPC        float64
-	Watts      float64
-	IPCPerWatt float64
+	Committed  uint64  //ampvet:unit instructions
+	EnergyNJ   float64 //ampvet:unit nanojoules
+	IPC        float64 //ampvet:unit ipc
+	Watts      float64 //ampvet:unit watts
+	IPCPerWatt float64 //ampvet:unit ipc_per_watt
 }
 
 // Result summarizes a completed run.
 type Result struct {
 	Scheduler string
-	Cycles    uint64
+	Cycles    uint64 //ampvet:unit cycles
 	// Reassigns counts applied move batches; Moves counts the
 	// individual relocations inside them.
 	Reassigns uint64
@@ -543,6 +545,8 @@ func (r *Result) WeightedIPCW() float64 {
 
 // Run advances until any thread commits limit instructions; see
 // RunContext.
+//
+//ampvet:allow ctxcheck Run is the documented context-free variant of RunContext; Background is its contract
 func (s *System) Run(limit uint64) (Result, error) {
 	return s.RunContext(context.Background(), limit)
 }
@@ -568,6 +572,8 @@ func (s *System) RunContext(ctx context.Context, limit uint64) (Result, error) {
 
 // RunCycles advances the system for a fixed horizon of cycles; see
 // RunCyclesContext.
+//
+//ampvet:allow ctxcheck RunCycles is the documented context-free variant of RunCyclesContext; Background is its contract
 func (s *System) RunCycles(cycles uint64) (Result, error) {
 	return s.RunCyclesContext(context.Background(), cycles)
 }

@@ -19,10 +19,16 @@ import (
 // PairComparison is the outcome of comparing one scheme against a
 // reference on one two-benchmark combination.
 type PairComparison struct {
-	Bench       [2]string
-	Ratios      [2]float64 // per-thread IPC/Watt ratios scheme/reference
-	WeightedPct float64    // 100*(mean(ratios) - 1)
-	GeoPct      float64    // 100*(sqrt(r0*r1) - 1)
+	Bench [2]string
+	// Ratios are the per-thread IPC/Watt ratios scheme/reference.
+	//ampvet:unit dimensionless
+	Ratios [2]float64
+	// WeightedPct is 100*(mean(ratios) - 1).
+	//ampvet:unit dimensionless
+	WeightedPct float64
+	// GeoPct is 100*(sqrt(r0*r1) - 1).
+	//ampvet:unit dimensionless
+	GeoPct float64
 }
 
 // Compare derives the paper's improvement metrics from two run

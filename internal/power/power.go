@@ -46,6 +46,7 @@ type EnergyParams struct {
 
 	// StaticWatts is the total leakage of the core (applies to active
 	// and stalled cycles alike).
+	//ampvet:unit watts
 	StaticWatts float64
 }
 
@@ -188,6 +189,8 @@ func (m *Model) Params() *EnergyParams { return m.params }
 
 // DynamicEnergyNJ returns the dynamic energy, in nanojoules, of the
 // given activity delta plus cache traffic delta.
+//
+//ampvet:unit nanojoules
 func (m *Model) DynamicEnergyNJ(act cpu.Activity, cs CacheStats) float64 {
 	p := m.params
 	e := 0.0
@@ -217,6 +220,9 @@ func (m *Model) DynamicEnergyNJ(act cpu.Activity, cs CacheStats) float64 {
 
 // StaticEnergyNJ returns leakage energy over the given number of
 // cycles (active plus stalled).
+//
+//ampvet:unit nanojoules
+//ampvet:unit cycles cycles
 func (m *Model) StaticEnergyNJ(cycles uint64) float64 {
 	seconds := float64(cycles) / (m.cfg.FreqGHz * 1e9)
 	return m.params.StaticWatts * seconds * 1e9
@@ -224,12 +230,18 @@ func (m *Model) StaticEnergyNJ(cycles uint64) float64 {
 
 // EnergyNJ returns total (dynamic + static) energy for an interval.
 // The static portion covers act.Cycles + act.StallCycles.
+//
+//ampvet:unit nanojoules
 func (m *Model) EnergyNJ(act cpu.Activity, cs CacheStats) float64 {
 	return m.DynamicEnergyNJ(act, cs) + m.StaticEnergyNJ(act.Cycles+act.StallCycles)
 }
 
 // Watts converts an interval's energy (nJ) over cycles into average
 // watts.
+//
+//ampvet:unit watts
+//ampvet:unit energyNJ nanojoules
+//ampvet:unit cycles cycles
 func (m *Model) Watts(energyNJ float64, cycles uint64) float64 {
 	if cycles == 0 {
 		return 0
@@ -240,6 +252,10 @@ func (m *Model) Watts(energyNJ float64, cycles uint64) float64 {
 
 // IPCPerWatt computes the paper's metric for an interval: committed
 // instructions per cycle divided by average watts.
+//
+//ampvet:unit committed instructions
+//ampvet:unit cycles cycles
+//ampvet:unit energyNJ nanojoules
 func (m *Model) IPCPerWatt(committed, cycles uint64, energyNJ float64) (float64, error) {
 	if cycles == 0 {
 		return 0, fmt.Errorf("power: zero-cycle interval")

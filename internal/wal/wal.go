@@ -190,6 +190,8 @@ func appendFrame(b []byte, rec Record) []byte {
 // torn frame; retrying the Append writes a fresh complete frame after
 // it and Replay resyncs past the garbage — so callers that need the
 // record durable retry Append, then Sync, then acknowledge.
+//
+//ampvet:allow lockcheck l.mu IS the WAL serialization contract: frame construction and the file append must be one atomic critical section
 func (l *Log) Append(rec Record) error {
 	if len(rec.Data) > MaxRecordBytes {
 		return fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(rec.Data), MaxRecordBytes)
@@ -237,6 +239,8 @@ func (l *Log) Append(rec Record) error {
 
 // Sync fsyncs the open segment: records appended before a successful
 // Sync survive kill -9.
+//
+//ampvet:allow lockcheck the fsync must not race a concurrent Append or rotate; holding l.mu across it is the durability contract
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -251,6 +255,8 @@ func (l *Log) Sync() error {
 
 // Close syncs and closes the open segment. Further operations return
 // ErrClosed.
+//
+//ampvet:allow lockcheck teardown holds l.mu so no Append can interleave with the final sync+close
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
