@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet ampvet analyze lint lint-bench test test-short test-race bench bench-snapshot bench-core bench-check bench-server bench-server-check bench-manycore bench-manycore-check serve-smoke chaos-smoke nxm-smoke experiments experiments-paper paperscale fuzz fuzz-fault fuzz-wal clean
+.PHONY: all build vet ampvet analyze lint lint-bench test test-short test-race bench bench-snapshot bench-core bench-check bench-core-check bench-server bench-server-check bench-manycore bench-manycore-check serve-smoke chaos-smoke nxm-smoke experiments experiments-paper paperscale fuzz fuzz-fault fuzz-wal clean
 
 all: build lint test test-race
 
@@ -73,6 +73,14 @@ bench-core:
 bench-check:
 	$(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem . \
 		| $(GO) run ./cmd/benchsnap -compare BENCH_core.json
+
+# CI form of the engine gate: the interval-fidelity rows' allocs/op
+# counts hard-fail (the batched/zero-alloc sweep guarantees live
+# there), while ns/op drift and the other fidelities stay advisory —
+# CI machines are too noisy for a hard ns gate.
+bench-core-check:
+	$(GO) test -run NONE -bench 'BenchmarkEngine' -benchmem . \
+		| $(GO) run ./cmd/benchsnap -compare BENCH_core.json -hard-allocs 'Interval'
 
 # Snapshot the service hot-path benchmarks (cache-key hashing, warm
 # cache lookups, queue round trip) into BENCH_server.json.

@@ -13,6 +13,7 @@
 package ampsched
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -277,15 +278,16 @@ func benchFidelityPairs(b *testing.B, fidelity string) {
 		b.Fatal(err)
 	}
 	pairs := experiments.RandomPairs(opt.Pairs, opt.Seed)
+	proposed, hpe, rr := r.ProposedFactory(), r.HPEFactory(m), r.RRFactory(1)
 	sweep := func() {
 		for j, p := range pairs {
-			if _, err := r.RunPair(j, p, r.ProposedFactory()); err != nil {
+			if _, err := r.RunPair(j, p, proposed); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := r.RunPair(j, p, r.HPEFactory(m)); err != nil {
+			if _, err := r.RunPair(j, p, hpe); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := r.RunPair(j, p, r.RRFactory(1)); err != nil {
+			if _, err := r.RunPair(j, p, rr); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -308,6 +310,55 @@ func BenchmarkEnginePairSweepInterval(b *testing.B) { benchFidelityPairs(b, inte
 // BenchmarkEnginePairSweepSampled exercises the two-tier engine's
 // warm-up/fast-forward switching on the same sweep.
 func BenchmarkEnginePairSweepSampled(b *testing.B) { benchFidelityPairs(b, interval.FidelitySampled) }
+
+// benchBatchPairs drives the identical sweep through the batch
+// submission path: all of the sweep's runs advance through one
+// interleaved interval.BatchRunner pass instead of each run streaming
+// the shared tables alone.
+func benchBatchPairs(b *testing.B, fidelity string) {
+	opt := benchOptions()
+	opt.Fidelity = fidelity
+	r, err := experiments.NewRunner(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := r.Matrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := experiments.RandomPairs(opt.Pairs, opt.Seed)
+	proposed, hpe, rr := r.ProposedFactory(), r.HPEFactory(m), r.RRFactory(1)
+	runs := make([]experiments.PairRun, 0, 3*len(pairs))
+	for j, p := range pairs {
+		runs = append(runs,
+			experiments.PairRun{Index: j, Pair: p, Factory: proposed},
+			experiments.PairRun{Index: j, Pair: p, Factory: hpe},
+			experiments.PairRun{Index: j, Pair: p, Factory: rr})
+	}
+	ctx := context.Background()
+	sweep := func() {
+		_, errs := r.RunPairsBatch(ctx, runs)
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	sweep()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep()
+	}
+}
+
+// BenchmarkEngineBatchSweepInterval is the batched counterpart of
+// BenchmarkEnginePairSweepInterval; the gap between the two is the
+// cache-residency and pooling win of the batch path.
+func BenchmarkEngineBatchSweepInterval(b *testing.B) { benchBatchPairs(b, interval.FidelityInterval) }
+
+// BenchmarkEngineBatchSweepSampled batches the two-tier engine (its
+// detailed warm-up windows interleave with other runs' fast-forward).
+func BenchmarkEngineBatchSweepSampled(b *testing.B) { benchBatchPairs(b, interval.FidelitySampled) }
 
 // benchSoloEngine isolates one engine's per-window hot loop on a
 // single core running gcc (no scheduler, no second core).

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"regexp"
 	"strings"
 )
 
@@ -42,18 +43,24 @@ func parseSnapshot(r io.Reader, passthrough io.Writer) (Snapshot, error) {
 
 // compareResult is the outcome of one baseline comparison: the
 // per-benchmark report lines plus how many regressed past a gate.
+// hard counts the subset of failures that are allocs/op increases on
+// benchmarks matching the -hard-allocs pattern; CI fails on those even
+// where it tolerates ordinary (machine-variance-prone) ns/op drift.
 type compareResult struct {
 	lines    []string
 	failures int
+	hard     int
 }
 
 // compareSnapshots gates fresh against the committed baseline old. A
 // benchmark fails when its ns/op grew more than thresholdPct percent,
 // or when its allocs/op increased at all (the snapshot exists to pin
 // the hot-path zero-alloc guarantees, so any increase is a
-// regression). Benchmarks present on only one side are reported but
-// never fail the gate — renames should not break CI.
-func compareSnapshots(old, fresh *Snapshot, thresholdPct float64) compareResult {
+// regression). An allocs/op increase on a benchmark matching
+// hardAllocs (nil = none) is additionally counted as a hard failure.
+// Benchmarks present on only one side are reported but never fail the
+// gate — renames should not break CI.
+func compareSnapshots(old, fresh *Snapshot, thresholdPct float64, hardAllocs *regexp.Regexp) compareResult {
 	var res compareResult
 	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
 	for _, b := range old.Benchmarks {
@@ -82,9 +89,14 @@ func compareSnapshots(old, fresh *Snapshot, thresholdPct float64) compareResult 
 		if nb.AllocsPerOp > ob.AllocsPerOp {
 			failed = true
 			res.failures++
+			tag := "FAIL"
+			if hardAllocs != nil && hardAllocs.MatchString(nb.Name) {
+				res.hard++
+				tag = "HARD"
+			}
 			res.lines = append(res.lines,
-				fmt.Sprintf("FAIL %s: allocs/op %d -> %d (any increase fails)",
-					nb.Name, ob.AllocsPerOp, nb.AllocsPerOp))
+				fmt.Sprintf("%s %s: allocs/op %d -> %d (any increase fails)",
+					tag, nb.Name, ob.AllocsPerOp, nb.AllocsPerOp))
 		}
 		if !failed {
 			pct := 0.0

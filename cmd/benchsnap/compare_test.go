@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -23,13 +24,13 @@ func countFail(lines []string) int {
 func TestCompareNoRegression(t *testing.T) {
 	old := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 0)}}
 	fresh := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 105, 0)}}
-	res := compareSnapshots(old, fresh, 10)
+	res := compareSnapshots(old, fresh, 10, nil)
 	if res.failures != 0 {
 		t.Fatalf("+5%% within a +10%% gate must pass, got %d failures: %v", res.failures, res.lines)
 	}
 	// A speedup of any size passes too.
 	fresh.Benchmarks[0].NsPerOp = 10
-	if res := compareSnapshots(old, fresh, 10); res.failures != 0 {
+	if res := compareSnapshots(old, fresh, 10, nil); res.failures != 0 {
 		t.Fatalf("speedup must pass, got %v", res.lines)
 	}
 }
@@ -37,12 +38,12 @@ func TestCompareNoRegression(t *testing.T) {
 func TestCompareNsRegression(t *testing.T) {
 	old := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 0)}}
 	fresh := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 111, 0)}}
-	res := compareSnapshots(old, fresh, 10)
+	res := compareSnapshots(old, fresh, 10, nil)
 	if res.failures != 1 || countFail(res.lines) != 1 {
 		t.Fatalf("+11%% past a +10%% gate must fail once, got %d failures: %v", res.failures, res.lines)
 	}
 	// A looser gate lets the same delta through.
-	if res := compareSnapshots(old, fresh, 20); res.failures != 0 {
+	if res := compareSnapshots(old, fresh, 20, nil); res.failures != 0 {
 		t.Fatalf("+11%% within a +20%% gate must pass, got %v", res.lines)
 	}
 }
@@ -50,7 +51,7 @@ func TestCompareNsRegression(t *testing.T) {
 func TestCompareAllocRegression(t *testing.T) {
 	old := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 0)}}
 	fresh := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1)}}
-	res := compareSnapshots(old, fresh, 10)
+	res := compareSnapshots(old, fresh, 10, nil)
 	if res.failures != 1 {
 		t.Fatalf("any allocs/op increase must fail, got %d failures: %v", res.failures, res.lines)
 	}
@@ -59,16 +60,49 @@ func TestCompareAllocRegression(t *testing.T) {
 func TestCompareBothRegressions(t *testing.T) {
 	old := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 2)}}
 	fresh := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 200, 3)}}
-	res := compareSnapshots(old, fresh, 10)
+	res := compareSnapshots(old, fresh, 10, nil)
 	if res.failures != 2 {
 		t.Fatalf("ns/op and allocs/op regressions count separately, got %d: %v", res.failures, res.lines)
+	}
+}
+
+func TestCompareHardAllocsSplit(t *testing.T) {
+	old := &Snapshot{Benchmarks: []Benchmark{
+		bench("BenchmarkEnginePairSweepInterval", 100, 2),
+		bench("BenchmarkEnginePairSweepDetailed", 100, 2),
+	}}
+	fresh := &Snapshot{Benchmarks: []Benchmark{
+		bench("BenchmarkEnginePairSweepInterval", 150, 3),
+		bench("BenchmarkEnginePairSweepDetailed", 150, 3),
+	}}
+	res := compareSnapshots(old, fresh, 10, regexp.MustCompile("Interval"))
+	// Four failures total (ns+allocs on both rows) but only the
+	// interval row's allocs increase is hard.
+	if res.failures != 4 {
+		t.Fatalf("want 4 failures, got %d: %v", res.failures, res.lines)
+	}
+	if res.hard != 1 {
+		t.Fatalf("want 1 hard failure (interval allocs), got %d: %v", res.hard, res.lines)
+	}
+	var sawHard bool
+	for _, l := range res.lines {
+		sawHard = sawHard || strings.HasPrefix(l, "HARD BenchmarkEnginePairSweepInterval: allocs/op")
+	}
+	if !sawHard {
+		t.Fatalf("missing HARD line for the interval allocs regression: %v", res.lines)
+	}
+	// ns/op drift alone on a matching row stays soft.
+	fresh.Benchmarks[0].AllocsPerOp = 2
+	fresh.Benchmarks[1].AllocsPerOp = 2
+	if res := compareSnapshots(old, fresh, 10, regexp.MustCompile("Interval")); res.hard != 0 {
+		t.Fatalf("ns/op drift must not hard-fail, got %d hard: %v", res.hard, res.lines)
 	}
 }
 
 func TestCompareNewAndGone(t *testing.T) {
 	old := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkGone", 100, 0)}}
 	fresh := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkNew", 100, 5)}}
-	res := compareSnapshots(old, fresh, 10)
+	res := compareSnapshots(old, fresh, 10, nil)
 	if res.failures != 0 {
 		t.Fatalf("added/removed benchmarks must not fail the gate: %v", res.lines)
 	}

@@ -84,14 +84,27 @@ type Thread struct {
 // NewThread builds a thread running bench. addrBase must differ
 // between the two threads of a system.
 func NewThread(id int, bench *workload.Benchmark, seed, addrBase uint64) *Thread {
-	t := &Thread{
-		ID:   id,
-		Name: bench.Name,
-		Gen:  workload.NewGenerator(bench, seed, addrBase),
-	}
-	t.Arch.CodeBase = addrBase + (1 << 36) // code lives away from data
-	t.Arch.CodeSize = bench.EffectiveCodeFootprint()
+	t := &Thread{}
+	t.Reset(id, bench, seed, addrBase)
 	return t
+}
+
+// Reset re-arms the thread in place for a new run of bench, reusing
+// the generator's random source. A reset thread is bit-identical to
+// one from NewThread — the contract the pooled pair sweep relies on.
+func (t *Thread) Reset(id int, bench *workload.Benchmark, seed, addrBase uint64) {
+	t.ID = id
+	t.Name = bench.Name
+	if t.Gen == nil {
+		t.Gen = workload.NewGenerator(bench, seed, addrBase)
+	} else {
+		t.Gen.Reset(bench, seed, addrBase)
+	}
+	t.Arch = cpu.ThreadArch{
+		CodeBase: addrBase + (1 << 36), // code lives away from data
+		CodeSize: bench.EffectiveCodeFootprint(),
+	}
+	t.EnergyNJ = 0
 }
 
 // View is the read-only interface a Scheduler uses to observe the
@@ -351,6 +364,92 @@ func NewSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched MoveScheduler,
 	return s, nil
 }
 
+// Reset re-arms a system built by NewSystem for a fresh run: new
+// threads, a new scheduler, a new config. The engines and power models
+// are reused, which requires every engine to implement
+// cpu.StateResetter — the interval engine does; the detailed core
+// deliberately does not (its caches and predictors are persistent
+// state that would leak across pooled runs), and Reset refuses it with
+// an error so callers fall back to a fresh NewSystem.
+//
+// A reset system is bit-identical to a freshly constructed one with
+// the same construction-time options: observers, telemetry and the
+// engine factory persist. The whole Config is replaced — including any
+// SwapInjector a WithFaultPlan option installed — and a timeline is
+// discarded (re-enable per run).
+func (s *System) Reset(threads [2]*Thread, sched MoveScheduler, cfg Config) error {
+	if threads[0] == nil || threads[1] == nil {
+		return fmt.Errorf("amp: Reset needs two threads")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	var resetters [2]cpu.StateResetter
+	for i := 0; i < 2; i++ {
+		r, ok := s.engines[i].(cpu.StateResetter)
+		if !ok {
+			return fmt.Errorf("amp: Reset: %s engine %q keeps persistent microarchitectural state; build a fresh system instead",
+				s.engines[i].Fidelity(), s.engines[i].Config().Name)
+		}
+		resetters[i] = r
+	}
+	s.engines[0].Unbind()
+	s.engines[1].Unbind()
+	if s.morphed {
+		// Restore the baseline unit sets and power models (the engine
+		// Config is the construction-time one; Reconfigure never
+		// mutates it).
+		for i := 0; i < 2; i++ {
+			if err := s.engines[i].Reconfigure(s.engines[i].Config().Units); err != nil {
+				return fmt.Errorf("amp: Reset: restore units of core %d: %w", i, err)
+			}
+			s.models[i] = power.NewModel(s.engines[i].Config())
+		}
+		s.morphed = false
+	}
+	resetters[0].ResetState()
+	resetters[1].ResetState()
+	s.threads = threads
+	s.binding = [2]int{0, 1}
+	s.sched = sched
+	s.cfg = cfg
+	s.cycle, s.swaps, s.swapFailures, s.morphs = 0, 0, 0, 0
+	s.lastSwapCycle, s.stallUntil = 0, 0
+	s.lastAct = [2]cpu.Activity{}
+	s.lastCache = [2]power.CacheStats{}
+	s.timeline = nil
+	s.engines[0].Bind(threads[0].Gen, &threads[0].Arch)
+	s.engines[1].Bind(threads[1].Gen, &threads[1].Arch)
+	if sched != nil {
+		sched.Reset(s)
+	}
+	return nil
+}
+
+// Detach unbinds both engines, flushing their deferred attribution
+// (class counts, generator advance) into the currently bound threads.
+// Callers that recycle thread objects across runs MUST Detach before
+// resetting the threads: an engine left bound holds pointers into the
+// thread's generator and ledger, and the flush inside a later
+// Reset/Unbind would land in the recycled state instead of the old
+// run's. Idempotent; Reset on a detached system skips the flush.
+func (s *System) Detach() {
+	s.engines[0].Unbind()
+	s.engines[1].Unbind()
+}
+
+// Poolable reports whether Reset can re-arm this system for a fresh
+// run: every engine implements cpu.StateResetter.
+func (s *System) Poolable() bool {
+	for i := 0; i < 2; i++ {
+		if _, ok := s.engines[i].(cpu.StateResetter); !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // MustSystem is NewSystem panicking on error: for examples, benchmarks
 // and tests where the configuration is statically known to be valid.
 func MustSystem(coreCfgs [2]*cpu.Config, threads [2]*Thread, sched MoveScheduler, cfg Config, opts ...Option) *System {
@@ -563,91 +662,21 @@ const ctxCheckMask = 1<<12 - 1
 // (errors.Is(err, ErrWedged) is false). A context that can never be
 // canceled costs the loop one nil comparison per cycle.
 //
+// RunContext is one Stepper driven to completion; batch drivers that
+// interleave many systems use NewStepper directly.
+//
 //ampvet:hotpath
 func (s *System) RunContext(ctx context.Context, limit uint64) (Result, error) {
-	startCycle := s.cycle
-	lastProgressCycle := s.cycle
-	lastCommitted := s.threads[0].Arch.Committed + s.threads[1].Arch.Committed
-	done := ctx.Done()
-	s.emit(Event{Kind: EventRunStart, Cycle: s.cycle})
-
-	//ampvet:allow hotpathalloc finish is built once per run, not per cycle
-	finish := func(res Result, err error) (Result, error) {
-		s.emit(Event{Kind: EventRunEnd, Cycle: s.cycle})
-		return res, err
+	var st Stepper
+	st.init(s, ctx, limit)
+	for !st.Step(runChunkWindows) {
 	}
-
-	// The loop advances in engine-stride windows: n == 1 for detailed
-	// cores reproduces the original cycle-interleaved loop exactly
-	// (same Step/StallCycle sequence, same check points), while
-	// analytic engines amortize scheduler polling and bookkeeping over
-	// their stride. Running one core's window before the other's is
-	// equivalent to interleaving because the cores share no state —
-	// their only coupling is the scheduler, which acts at window
-	// boundaries.
-	for s.threads[0].Arch.Committed < limit && s.threads[1].Arch.Committed < limit {
-		n := s.stride
-		if s.cycle < s.stallUntil {
-			if remain := s.stallUntil - s.cycle; remain < n {
-				n = remain
-			}
-			s.engines[0].StallCycles(n)
-			s.engines[1].StallCycles(n)
-		} else {
-			s.engines[0].Run(s.cycle, n)
-			s.engines[1].Run(s.cycle, n)
-			if s.sched != nil {
-				if mv := s.sched.Tick(s); len(mv) != 0 && s.movesSwap(mv) {
-					s.requestSwap()
-				} else if mp, ok := s.sched.(MorphPolicy); ok {
-					switch act, strong := mp.MorphTick(s); {
-					case act == MorphOn && !s.morphed:
-						s.morph(true, strong)
-					case act == MorphOff && s.morphed:
-						s.morph(false, -1)
-					}
-				}
-			}
-		}
-		s.cycle += n
-		if s.timeline != nil && s.cycle >= s.timeline.next {
-			s.recordTimeline()
-		}
-
-		if done != nil && s.cycle&ctxCheckMask < n {
-			select {
-			case <-done:
-				s.emit(Event{Kind: EventCanceled, Cycle: s.cycle})
-				return finish(s.result(), ctx.Err())
-			default:
-			}
-		}
-		if s.cfg.CycleBudget > 0 && s.cycle-startCycle >= s.cfg.CycleBudget {
-			werr := &WedgedError{
-				Cycle: s.cycle, Window: s.cfg.CycleBudget,
-				Reason: "cycle budget exhausted", Detail: s.stateDump(),
-			}
-			s.emit(Event{Kind: EventWedged, Cycle: s.cycle, Reason: werr.Reason})
-			return finish(s.result(), werr)
-		}
-		if s.cycle-lastProgressCycle >= s.cfg.WatchdogCycles {
-			total := s.threads[0].Arch.Committed + s.threads[1].Arch.Committed
-			if total == lastCommitted {
-				werr := &WedgedError{
-					Cycle: s.cycle, Window: s.cfg.WatchdogCycles,
-					Reason: "no commit progress", Detail: s.stateDump(),
-				}
-				s.emit(Event{Kind: EventWedged, Cycle: s.cycle, Reason: werr.Reason})
-				return finish(s.result(), werr)
-			}
-			lastCommitted = total
-			lastProgressCycle = s.cycle
-			s.emit(Event{Kind: EventWatchdogReset, Cycle: s.cycle})
-		}
-	}
-
-	return finish(s.result(), nil)
+	return st.Result()
 }
+
+// runChunkWindows is the Step batch RunContext uses: large enough that
+// the outer loop adds no measurable overhead to a full run.
+const runChunkWindows = 1 << 20
 
 // MustRun is Run panicking on a wedge: for examples, benchmarks and
 // tests where the workload is statically known to make progress.

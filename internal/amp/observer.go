@@ -1,5 +1,7 @@
 package amp
 
+import "encoding/binary"
+
 // The unified instrumentation surface of the simulator: every
 // noteworthy state change of a System is published as one Event to a
 // single Observer installed via WithObserver (or implicitly via
@@ -129,6 +131,51 @@ func MultiObserver(obs ...Observer) Observer {
 		return out[0]
 	}
 	return out
+}
+
+// EventRecorder is an Observer that retains the full event stream and
+// a canonical byte encoding of it. The byte form is what the
+// cross-path identity suite compares: two runs whose recorders hold
+// identical trace bytes saw identical event sequences, field for
+// field, in identical order.
+type EventRecorder struct {
+	events []Event
+	trace  []byte
+}
+
+// Event implements Observer.
+func (r *EventRecorder) Event(e Event) {
+	r.events = append(r.events, e)
+	r.trace = appendEventTrace(r.trace, e)
+}
+
+// Events returns the recorded stream in arrival order. The slice
+// aliases the recorder's storage; callers must not mutate it.
+func (r *EventRecorder) Events() []Event { return r.events }
+
+// TraceBytes returns the canonical encoding of the recorded stream.
+// The slice aliases the recorder's storage; callers must not mutate
+// it.
+func (r *EventRecorder) TraceBytes() []byte { return r.trace }
+
+// appendEventTrace appends e's canonical fixed-layout encoding:
+// kind(1) cycle(8) overhead(8) delayed(1) binding(2×8), then the
+// reason as a uvarint length prefix and raw bytes. Every field is
+// encoded — the format has no freedom, so byte equality is event
+// equality.
+func appendEventTrace(b []byte, e Event) []byte {
+	b = append(b, byte(e.Kind))
+	b = binary.LittleEndian.AppendUint64(b, e.Cycle)
+	b = binary.LittleEndian.AppendUint64(b, e.Overhead)
+	if e.Delayed {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(e.ThreadOnCore[0])))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(e.ThreadOnCore[1])))
+	b = binary.AppendUvarint(b, uint64(len(e.Reason)))
+	return append(b, e.Reason...)
 }
 
 // emit publishes an event if an observer is installed. The nil check

@@ -92,6 +92,7 @@ func soloRun(factory cpu.EngineFactory, coreCfg *cpu.Config, bench *workload.Ben
 	)
 
 	takeSample := func() {
+		th.Arch.Sync()
 		st := core.Stats()
 		act := st.Act
 		cs := power.CacheStats{L1I: st.L1I, L1D: st.L1D, L2: st.L2}

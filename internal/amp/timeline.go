@@ -49,6 +49,7 @@ func (s *System) EnableTimeline(interval uint64) {
 	}
 	s.timeline = &timelineState{interval: interval, next: s.cycle + interval}
 	for t := 0; t < 2; t++ {
+		s.threads[t].Arch.Sync()
 		s.timeline.lastCommit[t] = s.threads[t].Arch.Committed
 		s.timeline.lastClass[t] = s.threads[t].Arch.CommittedByClass
 		s.timeline.lastEnergy[t] = s.threads[t].EnergyNJ
@@ -80,6 +81,7 @@ func (s *System) recordTimeline() {
 	seconds := float64(cycles) / (s.FreqGHz() * 1e9)
 	for t := 0; t < 2; t++ {
 		th := s.threads[t]
+		th.Arch.Sync()
 		committed := th.Arch.Committed - tl.lastCommit[t]
 		var intN, fpN uint64
 		for c := isa.Class(0); c < isa.NumClasses; c++ {

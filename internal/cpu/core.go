@@ -28,6 +28,33 @@ type ThreadArch struct {
 
 	Committed        uint64 //ampvet:unit instructions
 	CommittedByClass [isa.NumClasses]uint64
+
+	// SyncClasses, when non-nil, materializes lazily maintained
+	// per-class counters into CommittedByClass. Engines that attribute
+	// classes in deferred batches (the interval engine) install it at
+	// Bind and clear it at Unbind; readers outside the engine hot path
+	// call Sync before touching CommittedByClass. The detailed core
+	// maintains the counters eagerly and never sets it.
+	SyncClasses func() `json:"-"`
+}
+
+// Equal reports whether two arch states hold identical architectural
+// counters. The SyncClasses hook is runtime wiring, not architectural
+// state, and is excluded (it also makes ThreadArch non-comparable).
+func (t *ThreadArch) Equal(o *ThreadArch) bool {
+	t.Sync()
+	o.Sync()
+	return t.NextSeq == o.NextSeq && t.PC == o.PC &&
+		t.CodeBase == o.CodeBase && t.CodeSize == o.CodeSize &&
+		t.Committed == o.Committed && t.CommittedByClass == o.CommittedByClass
+}
+
+// Sync brings CommittedByClass up to date for engines that attribute
+// classes lazily; a no-op otherwise.
+func (t *ThreadArch) Sync() {
+	if t.SyncClasses != nil {
+		t.SyncClasses()
+	}
 }
 
 // IntPct returns the percentage of committed instructions that are
@@ -36,6 +63,7 @@ func (t *ThreadArch) IntPct() float64 {
 	if t.Committed == 0 {
 		return 0
 	}
+	t.Sync()
 	n := t.CommittedByClass[isa.IntALU] + t.CommittedByClass[isa.IntMul] + t.CommittedByClass[isa.IntDiv]
 	return 100 * float64(n) / float64(t.Committed)
 }
@@ -46,6 +74,7 @@ func (t *ThreadArch) FPPct() float64 {
 	if t.Committed == 0 {
 		return 0
 	}
+	t.Sync()
 	n := t.CommittedByClass[isa.FPALU] + t.CommittedByClass[isa.FPMul] + t.CommittedByClass[isa.FPDiv]
 	return 100 * float64(n) / float64(t.Committed)
 }

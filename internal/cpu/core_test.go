@@ -132,7 +132,7 @@ func TestDeterministicRuns(t *testing.T) {
 	if cy1 != cy2 {
 		t.Fatalf("cycle counts differ: %d vs %d", cy1, cy2)
 	}
-	if *a1 != *a2 {
+	if !a1.Equal(a2) {
 		t.Fatalf("arch state differs")
 	}
 	if c1.Activity() != c2.Activity() {

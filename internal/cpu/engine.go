@@ -59,6 +59,19 @@ type Engine interface {
 // and manycore systems call it once per core at construction.
 type EngineFactory func(cfg *Config) (Engine, error)
 
+// StateResetter is the optional engine capability behind system
+// pooling: ResetState clears every accumulated ledger (cycles,
+// committed instructions, event and cache counters) so the engine's
+// next run is bit-identical to one on a freshly constructed engine.
+// Analytic engines whose whole state is re-derived at Bind implement
+// it; the detailed Core deliberately does not — its caches and
+// predictor tables are persistent microarchitectural state, and a
+// pooled Core would leak one run's warm-up into the next. The engine
+// must be unbound when ResetState is called.
+type StateResetter interface {
+	ResetState()
+}
+
 // EngineStats is a monotonic snapshot of everything the power model
 // and telemetry need from an engine: the activity ledger, the
 // instructions this engine committed (across all threads it has run —

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/interval"
+	"ampsched/internal/metrics"
+	"ampsched/internal/profilegen"
+	"ampsched/internal/sched"
+)
+
+// Batched pair execution: the submission path that feeds
+// interval.BatchRunner. Many pair runs — each an independent
+// (threads, system, scheduler) triple — are advanced through one
+// interleaved pass, so runs that share calibration and phase tables
+// keep them cache-resident across the whole batch. The sweep feeds it
+// chunks of pairs at the interval fidelity, and the server groups
+// compatible queued jobs (same core digest and fidelity) into batches
+// on the same entry point.
+//
+// Interleaving is invisible to results: runs share no mutable state,
+// so a batched run is bit-identical to the same run driven alone
+// (TestBatchedSweepMatchesPairAtATime pins this at every fidelity).
+
+// PairRun names one scheduler run of one pair inside a batch.
+type PairRun struct {
+	// Index is the pair's sweep index; it seeds the workloads, so the
+	// same (Index, Pair) always sees identical instruction streams.
+	Index int
+	Pair  Pair
+	// Factory builds the run's scheduler (nil = static assignment).
+	Factory SchedFactory
+}
+
+// sweepBatchPairs is the pair-chunk one sweep worker claims per turn
+// when the batched path is on (3 runs per pair, so 24 interleaved
+// systems per batch).
+const sweepBatchPairs = 8
+
+// Batchable reports whether runs should be claimed in pair chunks and
+// fed through RunPairsBatch's interleaved pass — the sweep and the
+// server's pair batcher both gate on it. Interval-fidelity runs are
+// the ones that win from table sharing AND pool whole systems (zero
+// construction per run); fault-injected sweeps always run
+// pair-at-a-time (per-run plans, and the fault path's per-run
+// wall-time histogram is load-bearing for its tests).
+func (r *Runner) Batchable() bool {
+	return !r.disableBatch && r.Opt.FaultRate == 0 && r.Opt.Fidelity == interval.FidelityInterval
+}
+
+// batchRun is one run's reusable state inside a worker's batch
+// scratch. The stepper is a value so re-arming it per run allocates
+// nothing.
+type batchRun struct {
+	threads [2]amp.Thread
+	sys     *amp.System
+	st      amp.Stepper
+	active  bool
+	// observed marks a run built with a per-run event observer
+	// (Runner.RunObserver); its system is dropped after the batch
+	// instead of re-entering the pool.
+	observed bool
+}
+
+// batchScratch is one worker's reusable batched-run state, pooled on
+// Runner.batchPool.
+type batchScratch struct {
+	runs []*batchRun
+	br   interval.BatchRunner
+}
+
+// grow makes sure the scratch holds at least n runs.
+func (sc *batchScratch) grow(n int) {
+	for len(sc.runs) < n {
+		sc.runs = append(sc.runs, &batchRun{})
+	}
+}
+
+// RunPairsBatch executes the given pair runs in one interleaved pass
+// and returns their results aligned by position (results[i] and
+// errs[i] belong to runs[i]). Each run fails independently: a wedged
+// or canceled run reports its error without disturbing the others,
+// and a panicking scheduler degrades the whole call to the
+// pair-at-a-time path, whose per-run recovery isolates the failure.
+// Fault-injected runs (Options.FaultRate > 0) carry per-run plans and
+// always take the pair-at-a-time path.
+func (r *Runner) RunPairsBatch(ctx context.Context, runs []PairRun) ([]amp.Result, []error) {
+	results := make([]amp.Result, len(runs))
+	errs := make([]error, len(runs))
+	if len(runs) == 0 {
+		return results, errs
+	}
+	_, schedOpts, ampOpts, oerr := r.runOpts()
+	if oerr == nil && r.Opt.FaultRate == 0 && r.tryRunBatch(ctx, runs, results, errs, schedOpts, ampOpts) {
+		return results, errs
+	}
+	for i, pr := range runs {
+		results[i], errs[i] = r.runPair(ctx, pr.Index, pr.Pair, pr.Factory, r.Opt.SwapOverhead)
+	}
+	return results, errs
+}
+
+// tryRunBatch is the interleaved fast path of RunPairsBatch. It
+// reports false if any run panicked, in which case the caller replays
+// the batch pair-at-a-time; results/errs may be partially filled and
+// are fully overwritten by the replay.
+func (r *Runner) tryRunBatch(ctx context.Context, runs []PairRun, results []amp.Result, errs []error, schedOpts []sched.Option, ampOpts []amp.Option) (ok bool) {
+	start := time.Now() //ampvet:allow determinism wall-time only feeds the pair-duration histogram, never results
+	defer func() {
+		if rec := recover(); rec != nil {
+			ok = false
+		}
+	}()
+	sc, _ := r.batchPool.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
+	}
+	sc.grow(len(runs))
+	sc.br.Windows = r.batchWindows
+	cfg := amp.Config{
+		SwapOverheadCycles: r.Opt.SwapOverhead,
+		CycleBudget:        r.Opt.CycleBudget,
+	}
+	for i, pr := range runs {
+		b := sc.runs[i]
+		b.active = false
+		b.observed = false
+		if b.sys != nil {
+			// Flush the previous run's deferred engine state into the
+			// old threads before recycling them (see System.Detach).
+			b.sys.Detach()
+		}
+		b.threads[0].Reset(0, pr.Pair.A, r.pairSeed(pr.Index, 0), 0)
+		b.threads[1].Reset(1, pr.Pair.B, r.pairSeed(pr.Index, 1), 1<<40)
+		threads := [2]*amp.Thread{&b.threads[0], &b.threads[1]}
+		var s amp.MoveScheduler
+		if pr.Factory != nil {
+			s = pr.Factory(schedOpts...)
+		}
+		runAmpOpts := ampOpts
+		if r.RunObserver != nil {
+			if o := r.RunObserver(pr.Index, pr.Pair); o != nil {
+				runAmpOpts = append(append([]amp.Option{}, ampOpts...), amp.WithObserver(o))
+				b.observed = true
+			}
+		}
+		var err error
+		if b.sys != nil && b.sys.Poolable() && !b.observed {
+			err = b.sys.Reset(threads, s, cfg)
+		} else {
+			b.sys, err = amp.NewSystem([2]*cpu.Config{r.IntCfg, r.FPCfg}, threads, s, cfg, runAmpOpts...)
+		}
+		if err != nil {
+			errs[i] = fmt.Errorf("experiments: pair %s: %w", pr.Pair.Label(), err)
+			continue
+		}
+		b.st.Reset(b.sys, ctx, r.Opt.InstrLimit)
+		b.active = true
+		sc.br.Add(&b.st)
+	}
+	sc.br.Run()
+	// Per-run wall time cannot be attributed inside an interleaved
+	// pass; the histogram gets each run's share of the batch instead.
+	share := time.Since(start) / time.Duration(len(runs)) //ampvet:allow determinism wall-time only feeds the pair-duration histogram, never results
+	for i, pr := range runs {
+		b := sc.runs[i]
+		if !b.active {
+			r.observeRun(pr.Pair, share, errs[i])
+			continue
+		}
+		results[i], errs[i] = b.st.Result()
+		if errs[i] != nil {
+			errs[i] = fmt.Errorf("experiments: pair %s: %w", pr.Pair.Label(), errs[i])
+		}
+		r.observeRun(pr.Pair, share, errs[i])
+		b.active = false
+		if b.observed {
+			b.sys = nil
+			b.observed = false
+		}
+	}
+	r.batchPool.Put(sc)
+	return true
+}
+
+// runOutcomeBatch is runOutcome over a chunk of sweep pairs: all the
+// chunk's runs (three schedulers per pair) advance through one
+// interleaved pass, then each pair's comparisons are computed exactly
+// as the pair-at-a-time path would.
+func (r *Runner) runOutcomeBatch(ctx context.Context, idxs []int, pairs []Pair, matrix *profilegen.RatioMatrix, out []PairOutcome) {
+	proposed, hpe, rr := r.ProposedFactory(), r.HPEFactory(matrix), r.RRFactory(1)
+	runs := make([]PairRun, 0, 3*len(idxs))
+	for _, i := range idxs {
+		p := pairs[i]
+		runs = append(runs,
+			PairRun{Index: i, Pair: p, Factory: proposed},
+			PairRun{Index: i, Pair: p, Factory: hpe},
+			PairRun{Index: i, Pair: p, Factory: rr})
+	}
+	results, errs := r.RunPairsBatch(ctx, runs)
+	for k, i := range idxs {
+		po := PairOutcome{Pair: pairs[i]}
+		fail := func(err error) {
+			po.Failed = true
+			po.Err = err.Error()
+		}
+		po.Proposed, po.HPE, po.RR = results[3*k], results[3*k+1], results[3*k+2]
+		switch {
+		case errs[3*k] != nil:
+			fail(errs[3*k])
+		case errs[3*k+1] != nil:
+			fail(errs[3*k+1])
+		case errs[3*k+2] != nil:
+			fail(errs[3*k+2])
+		default:
+			var err error
+			if po.VsHPE, err = metrics.Compare(po.Proposed, po.HPE); err != nil {
+				fail(err)
+			} else if po.VsRR, err = metrics.Compare(po.Proposed, po.RR); err != nil {
+				fail(err)
+			}
+		}
+		out[i] = po
+	}
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/cpu"
+	"ampsched/internal/interval"
+)
+
+// batchFidelities are the engine fidelities the cross-path identity
+// tests pin: the interleaved batch pass must be invisible to results
+// at every one of them.
+var batchFidelities = []string{cpu.FidelityDetailed, interval.FidelityInterval, interval.FidelitySampled}
+
+// TestRunPairsBatchMatchesPairAtATime is the cross-path identity
+// contract: every run of a batch — interleaved in small round-robin
+// chunks, with pooled systems reused across runs — is bit-identical
+// to the same run driven alone through RunPairContext.
+func TestRunPairsBatchMatchesPairAtATime(t *testing.T) {
+	for _, fid := range batchFidelities {
+		fid := fid
+		t.Run(fid, func(t *testing.T) {
+			opt := tinyOptions()
+			opt.Fidelity = fid
+			ref, err := NewRunner(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := NewRunner(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.batchWindows = 7 // many interleave turns per run
+
+			pairs := RandomPairs(3, opt.Seed)
+			var runs []PairRun
+			for i, p := range pairs {
+				runs = append(runs,
+					PairRun{Index: i, Pair: p, Factory: got.ProposedFactory()},
+					PairRun{Index: i, Pair: p, Factory: got.RRFactory(1)})
+			}
+			// Two batches on the same runner so the second reuses the
+			// pooled systems reset in place by the first.
+			for round := 0; round < 2; round++ {
+				results, errs := got.RunPairsBatch(context.Background(), runs)
+				for k, pr := range runs {
+					if errs[k] != nil {
+						t.Fatalf("round %d run %d: %v", round, k, errs[k])
+					}
+					want, err := ref.RunPairContext(context.Background(), pr.Index, pr.Pair, pr.Factory)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if results[k] != want {
+						t.Fatalf("round %d run %d (%s): batched result diverges\n got %+v\nwant %+v",
+							round, k, pr.Pair.Label(), results[k], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunPairsBatchEventAndTraceIdentity extends the cross-path
+// contract from results to the full instrumentation surface: at every
+// fidelity, each batched run publishes exactly the event stream — and
+// exactly the canonical trace bytes — that the same run publishes when
+// driven alone. Recorders are installed through Runner.RunObserver,
+// which both paths call once per run in submission order.
+func TestRunPairsBatchEventAndTraceIdentity(t *testing.T) {
+	for _, fid := range batchFidelities {
+		fid := fid
+		t.Run(fid, func(t *testing.T) {
+			opt := tinyOptions()
+			opt.Fidelity = fid
+			ref, err := NewRunner(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := NewRunner(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.batchWindows = 7 // many interleave turns per run
+
+			record := func(into *[]*amp.EventRecorder) func(int, Pair) amp.Observer {
+				return func(int, Pair) amp.Observer {
+					rec := &amp.EventRecorder{}
+					*into = append(*into, rec)
+					return rec
+				}
+			}
+			var gotRecs, refRecs []*amp.EventRecorder
+			got.RunObserver = record(&gotRecs)
+			ref.RunObserver = record(&refRecs)
+
+			pairs := RandomPairs(2, opt.Seed)
+			var runs []PairRun
+			for i, p := range pairs {
+				runs = append(runs,
+					PairRun{Index: i, Pair: p, Factory: got.ProposedFactory()},
+					PairRun{Index: i, Pair: p, Factory: got.RRFactory(1)})
+			}
+			results, errs := got.RunPairsBatch(context.Background(), runs)
+			if len(gotRecs) != len(runs) {
+				t.Fatalf("batched path created %d recorders for %d runs", len(gotRecs), len(runs))
+			}
+			for k, pr := range runs {
+				if errs[k] != nil {
+					t.Fatalf("run %d: %v", k, errs[k])
+				}
+				want, err := ref.RunPairContext(context.Background(), pr.Index, pr.Pair, pr.Factory)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if results[k] != want {
+					t.Fatalf("run %d (%s): batched result diverges under observation", k, pr.Pair.Label())
+				}
+			}
+			if len(refRecs) != len(runs) {
+				t.Fatalf("reference path created %d recorders for %d runs", len(refRecs), len(runs))
+			}
+			for k, pr := range runs {
+				ge, re := gotRecs[k].Events(), refRecs[k].Events()
+				if len(ge) == 0 {
+					t.Fatalf("run %d (%s): no events recorded; identity check is vacuous", k, pr.Pair.Label())
+				}
+				if !reflect.DeepEqual(ge, re) {
+					t.Fatalf("run %d (%s): event streams diverge\nbatched: %d events %+v\nserial:  %d events %+v",
+						k, pr.Pair.Label(), len(ge), ge, len(re), re)
+				}
+				if !bytes.Equal(gotRecs[k].TraceBytes(), refRecs[k].TraceBytes()) {
+					t.Fatalf("run %d (%s): trace bytes diverge across paths", k, pr.Pair.Label())
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedSweepMatchesPairAtATime pins the sweep-level contract:
+// the chunk-claiming batched sweep produces byte-identical outcomes to
+// the pair-at-a-time sweep.
+func TestBatchedSweepMatchesPairAtATime(t *testing.T) {
+	opt := tinyOptions()
+	opt.Fidelity = interval.FidelityInterval
+	opt.Pairs = 5
+	opt.Parallelism = 2
+
+	ref, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.disableBatch = true
+	got, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Batchable() {
+		t.Fatal("sweep should take the batched path at interval fidelity")
+	}
+	// Share the profiling artifacts so the comparison only exercises
+	// the sweep paths.
+	got.profile = ref.Profile()
+
+	want, err := ref.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Outcomes, have.Outcomes) {
+		t.Fatalf("batched sweep diverges from pair-at-a-time sweep")
+	}
+}
+
+// TestRunPairsBatchFaultFallback checks that fault-injected batches
+// fall back to the recoverable pair-at-a-time path and still line up
+// with direct runs.
+func TestRunPairsBatchFaultFallback(t *testing.T) {
+	opt := tinyOptions()
+	opt.Fidelity = interval.FidelityInterval
+	opt.FaultRate = 0.2
+	opt.FaultSeed = 9
+	ref, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewRunner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Batchable() {
+		t.Fatal("fault-injected sweeps must not batch")
+	}
+	p := RandomPairs(1, opt.Seed)[0]
+	runs := []PairRun{{Index: 0, Pair: p, Factory: got.RRFactory(1)}}
+	results, errs := got.RunPairsBatch(context.Background(), runs)
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	want, err := ref.RunPairContext(context.Background(), 0, p, ref.RRFactory(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0] != want {
+		t.Fatalf("fault fallback diverges:\n got %+v\nwant %+v", results[0], want)
+	}
+}
+
+// TestRunPairsBatchEmpty covers the trivial edge.
+func TestRunPairsBatchEmpty(t *testing.T) {
+	r, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs := r.RunPairsBatch(context.Background(), nil)
+	if len(results) != 0 || len(errs) != 0 {
+		t.Fatalf("empty batch returned %d results, %d errs", len(results), len(errs))
+	}
+}

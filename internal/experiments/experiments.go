@@ -15,7 +15,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -210,6 +209,11 @@ type Runner struct {
 	IntCfg *cpu.Config
 	FPCfg  *cpu.Config
 
+	// src, when set by Derived, is the Runner whose cached profiling
+	// artifacts this one shares; the lazy accessors delegate to it on
+	// first use instead of re-collecting.
+	src *Runner
+
 	profileOnce sync.Once
 	profile     *profilegen.Profile
 	matrixOnce  sync.Once
@@ -221,8 +225,40 @@ type Runner struct {
 	sweepMu     sync.Mutex
 	sweep       *SweepResult
 
+	// optsOnce caches the per-run option slices and the resolved engine
+	// factory: they depend only on Opt and Telemetry, so building them
+	// per run would put slice and closure allocations on the sweep's
+	// hot path.
+	optsOnce      sync.Once
+	engineFactory cpu.EngineFactory
+	optsErr       error
+	schedOpts     []sched.Option
+	ampOpts       []amp.Option
+
+	// scratch pools per-worker run state (threads and, at poolable
+	// fidelities, whole systems) across pairs; see pairScratch.
+	scratch sync.Pool
+	// batchPool pools per-worker batched-run state; see batchScratch.
+	batchPool sync.Pool
+	// batchWindows overrides the interleaved pass's per-run chunk
+	// (0 = interval.DefaultBatchWindows); tests shrink it to force many
+	// round-robin turns.
+	batchWindows int
+	// disableBatch forces the sweep onto the pair-at-a-time path; the
+	// cross-path identity tests use it as the reference side.
+	disableBatch bool
+
 	// Progress, if non-nil, receives one-line status updates.
 	Progress func(string)
+
+	// RunObserver, if non-nil, supplies one amp event observer per
+	// pair run (nil return = that run unobserved). Both the
+	// pair-at-a-time and batched paths install it, called once per run
+	// in submission order, so the cross-path identity suite can compare
+	// event streams. Observed runs never reuse pooled systems — the
+	// observer is per-run construction state — making this a
+	// test/diagnostics seam, not a hot path.
+	RunObserver func(index int, p Pair) amp.Observer
 
 	// Telemetry, if non-nil, receives counters and events from every
 	// run the Runner launches: the amp/sched/fault layers plus
@@ -277,8 +313,9 @@ func (r *Runner) baseCtx() context.Context {
 // collection and share the result.
 func (r *Runner) Profile() *profilegen.Profile {
 	r.profileOnce.Do(func() {
-		if r.profile != nil {
-			return // seeded by derived()
+		if r.src != nil {
+			r.profile = r.src.Profile()
+			return
 		}
 		r.progress("profiling 9 representative benchmarks on both cores...")
 		r.profile = profilegen.Collect(r.IntCfg, r.FPCfg, workload.Representative(),
@@ -296,8 +333,9 @@ func (r *Runner) Profile() *profilegen.Profile {
 // every later (or concurrent) caller.
 func (r *Runner) Matrix() (*profilegen.RatioMatrix, error) {
 	r.matrixOnce.Do(func() {
-		if r.matrix != nil {
-			return // seeded by derived()
+		if r.src != nil {
+			r.matrix, r.matrixErr = r.src.Matrix()
+			return
 		}
 		r.matrix, r.matrixErr = profilegen.BuildRatioMatrix(r.Profile())
 	})
@@ -308,34 +346,48 @@ func (r *Runner) Matrix() (*profilegen.RatioMatrix, error) {
 // Matrix, the first outcome is sticky and concurrency-safe.
 func (r *Runner) Surface() (*profilegen.Surface, error) {
 	r.surfaceOnce.Do(func() {
-		if r.surface != nil {
-			return // seeded by derived()
+		if r.src != nil {
+			r.surface, r.surfaceErr = r.src.Surface()
+			return
 		}
 		r.surface, r.surfaceErr = profilegen.FitSurface(r.Profile(), 2)
 	})
 	return r.surface, r.surfaceErr
 }
 
-// derived returns a new Runner over opt that shares this Runner's
-// cached §V profiling artifacts, forcing them first so the derived
-// Runner never re-profiles. Runner contains sync state and must not
-// be copied; experiments that vary one option (the resilience fault
-// sweep) derive instead.
-func (r *Runner) derived(opt Options) *Runner {
-	d := &Runner{
+// Derived returns a new Runner over opt that shares this Runner's
+// cached §V profiling artifacts. The share is lazy: artifacts are
+// forced on the derived Runner's first use, not at derivation time, so
+// a server can derive on its submit path without blocking on a
+// profiling pass. Runner contains sync state and must not be copied;
+// callers that vary one option (the resilience fault sweep, the
+// server's differential re-simulation tier) derive instead. opt must
+// agree with the base on every profiling input — SharesProfile reports
+// that agreement — or the shared artifacts would be wrong for it.
+func (r *Runner) Derived(opt Options) *Runner {
+	return &Runner{
 		Opt:             opt,
 		IntCfg:          r.IntCfg,
 		FPCfg:           r.FPCfg,
+		src:             r,
 		Progress:        r.Progress,
 		Telemetry:       r.Telemetry,
 		BaseContext:     r.BaseContext,
 		Checkpoint:      r.Checkpoint,
 		CheckpointEvery: r.CheckpointEvery,
 	}
-	d.profile = r.Profile()
-	d.matrix, d.matrixErr = r.Matrix()
-	d.surface, d.surfaceErr = r.Surface()
-	return d
+}
+
+// SharesProfile reports whether opt would produce byte-identical §V
+// profiling artifacts to this Runner's: the profiling pass depends
+// only on the workload seed, the sample window (the context-switch
+// quantum) and the per-benchmark instruction budget, never on the
+// sweep-side knobs (swap overhead, fault rate/seed, instruction limit,
+// fidelity). When it returns true, Derived(opt) is sound.
+func (r *Runner) SharesProfile(opt Options) bool {
+	return opt.Seed == r.Opt.Seed &&
+		opt.ContextSwitch == r.Opt.ContextSwitch &&
+		opt.ProfileInstrLimit == r.Opt.ProfileInstrLimit
 }
 
 // pairSeed derives the workload seeds for pair index i so that the
@@ -348,6 +400,35 @@ func (r *Runner) pairSeed(i, thread int) uint64 {
 // always draws the same fault sequence.
 func (r *Runner) faultSeed(i int) uint64 {
 	return r.Opt.FaultSeed ^ (uint64(i)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
+}
+
+// runOpts resolves the cached engine factory and option slices shared
+// by every run. The slices never carry per-run state (fault plans are
+// appended onto copies by the fault path).
+func (r *Runner) runOpts() (cpu.EngineFactory, []sched.Option, []amp.Option, error) {
+	r.optsOnce.Do(func() {
+		r.engineFactory, r.optsErr = interval.FactoryFor(r.Opt.Fidelity)
+		if r.optsErr != nil {
+			return
+		}
+		r.ampOpts = []amp.Option{amp.WithEngine(r.engineFactory)}
+		if r.Telemetry != nil {
+			r.schedOpts = []sched.Option{sched.WithTelemetry(r.Telemetry)}
+			r.ampOpts = append(r.ampOpts, amp.WithTelemetry(r.Telemetry))
+		}
+	})
+	return r.engineFactory, r.schedOpts, r.ampOpts, r.optsErr
+}
+
+// pairScratch is one worker's reusable run state: two threads (their
+// generators re-seeded in place per run) and, once constructed, a
+// whole system whose engines are pooled via amp.System.Reset. sys
+// stays nil at fidelities whose engines keep persistent state (the
+// detailed core); those runs rebuild the system but still reuse the
+// threads.
+type pairScratch struct {
+	threads [2]amp.Thread
+	sys     *amp.System
 }
 
 // RunPair executes one pair under the scheduler made by factory. A
@@ -370,9 +451,16 @@ func (r *Runner) RunPairOverhead(i int, p Pair, factory SchedFactory, overhead u
 }
 
 // runPair is the single execution path behind every RunPair variant.
-// The run is labeled for the profiler (pprof label "pair"), wired to
-// the runner's telemetry, and — when fault injection is on — given a
-// per-index deterministic fault plan via the option API.
+// The run is wired to the runner's telemetry and — when fault
+// injection is on — given a per-index deterministic fault plan via the
+// option API.
+//
+// Run state is pooled: the two threads are always reused (generators
+// re-seeded in place), and at fidelities whose engines implement
+// cpu.StateResetter the whole system is too (amp.System.Reset). Both
+// resets are bit-identical to fresh construction, so pooling is
+// invisible to results — including under the parallel sweep, where
+// pool reuse order is scheduling-dependent.
 func (r *Runner) runPair(ctx context.Context, i int, p Pair, factory SchedFactory, overhead uint64) (res amp.Result, err error) {
 	start := time.Now() //ampvet:allow determinism wall-time only feeds the pair-duration histogram, never results
 	defer func() {
@@ -381,30 +469,46 @@ func (r *Runner) runPair(ctx context.Context, i int, p Pair, factory SchedFactor
 		}
 		r.observeRun(p, time.Since(start), err) //ampvet:allow determinism wall-time only feeds the pair-duration histogram, never results
 	}()
-	t0 := amp.NewThread(0, p.A, r.pairSeed(i, 0), 0)
-	t1 := amp.NewThread(1, p.B, r.pairSeed(i, 1), 1<<40)
-
-	var schedOpts []sched.Option
-	var ampOpts []amp.Option
-	engineFactory, err := interval.FactoryFor(r.Opt.Fidelity)
-	if err != nil {
-		return amp.Result{}, fmt.Errorf("experiments: pair %s: %w", p.Label(), err)
-	}
-	ampOpts = append(ampOpts, amp.WithEngine(engineFactory))
-	if r.Telemetry != nil {
-		schedOpts = append(schedOpts, sched.WithTelemetry(r.Telemetry))
-		ampOpts = append(ampOpts, amp.WithTelemetry(r.Telemetry))
+	_, schedOpts, ampOpts, oerr := r.runOpts()
+	if oerr != nil {
+		return amp.Result{}, fmt.Errorf("experiments: pair %s: %w", p.Label(), oerr)
 	}
 	if r.Opt.FaultRate > 0 {
+		// Fault plans are per-run state: append them onto copies of the
+		// cached option slices. This path allocates freely — fault
+		// sweeps are not the hot benchmark.
 		plan := fault.MustNew(fault.Uniform(r.Opt.FaultRate, r.faultSeed(i)))
 		plan.SetTelemetry(r.Telemetry)
-		ampOpts = append(ampOpts, amp.WithFaultPlan(plan))
+		ampOpts = append(append([]amp.Option{}, ampOpts...), amp.WithFaultPlan(plan))
 		var tag uint64
-		schedOpts = append(schedOpts, sched.WithObserverFactory(func(window uint64) monitor.Observer {
-			tag++
-			return plan.Observer(monitor.NewWindowTracker(window), tag)
-		}))
+		schedOpts = append(append([]sched.Option{}, schedOpts...),
+			sched.WithObserverFactory(func(window uint64) monitor.Observer {
+				tag++
+				return plan.Observer(monitor.NewWindowTracker(window), tag)
+			}))
 	}
+
+	observed := false
+	if r.RunObserver != nil {
+		if o := r.RunObserver(i, p); o != nil {
+			ampOpts = append(append([]amp.Option{}, ampOpts...), amp.WithObserver(o))
+			observed = true
+		}
+	}
+
+	sc, _ := r.scratch.Get().(*pairScratch)
+	if sc == nil {
+		sc = &pairScratch{}
+	}
+	if sc.sys != nil {
+		// Flush the previous run's deferred engine state into the old
+		// threads before recycling them (see System.Detach).
+		sc.sys.Detach()
+	}
+	sc.threads[0].Reset(0, p.A, r.pairSeed(i, 0), 0)
+	sc.threads[1].Reset(1, p.B, r.pairSeed(i, 1), 1<<40)
+	threads := [2]*amp.Thread{&sc.threads[0], &sc.threads[1]}
+
 	var s amp.MoveScheduler
 	if factory != nil {
 		s = factory(schedOpts...)
@@ -413,13 +517,30 @@ func (r *Runner) runPair(ctx context.Context, i int, p Pair, factory SchedFactor
 		SwapOverheadCycles: overhead,
 		CycleBudget:        r.Opt.CycleBudget,
 	}
-	sys, err := amp.NewSystem([2]*cpu.Config{r.IntCfg, r.FPCfg}, [2]*amp.Thread{t0, t1}, s, cfg, ampOpts...)
+	sys := sc.sys
+	if observed {
+		// An observed run's system carries per-run construction state
+		// (the observer), so it neither reuses the pooled system nor
+		// re-enters the pool.
+		sys = nil
+		sc.sys = nil
+	}
+	if sys != nil && r.Opt.FaultRate == 0 {
+		err = sys.Reset(threads, s, cfg)
+	} else {
+		// First run on this scratch, or a fault-injected or observed
+		// run (its options differ from the pooled system's
+		// construction set).
+		sys, err = amp.NewSystem([2]*cpu.Config{r.IntCfg, r.FPCfg}, threads, s, cfg, ampOpts...)
+	}
 	if err != nil {
 		return amp.Result{}, fmt.Errorf("experiments: pair %s: %w", p.Label(), err)
 	}
-	pprof.Do(ctx, pprof.Labels("pair", p.Label()), func(ctx context.Context) {
-		res, err = sys.RunContext(ctx, r.Opt.InstrLimit)
-	})
+	res, err = sys.RunContext(ctx, r.Opt.InstrLimit)
+	if r.Opt.FaultRate == 0 && !observed && sys.Poolable() {
+		sc.sys = sys
+	}
+	r.scratch.Put(sc)
 	if err != nil {
 		return res, fmt.Errorf("experiments: pair %s: %w", p.Label(), err)
 	}
@@ -557,6 +678,14 @@ func (r *Runner) SweepContext(ctx context.Context) (*SweepResult, error) {
 		workers = len(pairs)
 	}
 
+	// Interval-fidelity sweeps claim pair chunks and advance each
+	// chunk's runs through one interleaved batch pass; everything else
+	// claims single pairs. Either way the per-pair bookkeeping
+	// (checkpointing, telemetry, progress) is identical.
+	chunk := 1
+	if r.Batchable() {
+		chunk = sweepBatchPairs
+	}
 	var (
 		wg   sync.WaitGroup
 		next atomic.Int64
@@ -566,31 +695,47 @@ func (r *Runner) SweepContext(ctx context.Context) (*SweepResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			idxs := make([]int, 0, chunk)
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(pairs) {
+				base := int(next.Add(int64(chunk))) - chunk
+				if base >= len(pairs) {
 					return
 				}
-				p := pairs[i]
-				if ckpt.restored(i) {
-					// Revived from the checkpoint before workers
-					// started; recomputing would waste the resume.
-					continue
+				end := base + chunk
+				if end > len(pairs) {
+					end = len(pairs)
 				}
-				if cerr := ctx.Err(); cerr != nil {
-					// Don't start new simulations after cancellation;
-					// the pair is flagged, not silently zero.
-					out.Outcomes[i] = PairOutcome{Pair: p, Failed: true,
-						Err: fmt.Sprintf("experiments: pair %s: %v", p.Label(), cerr)}
-					continue
+				idxs = idxs[:0]
+				for i := base; i < end; i++ {
+					if ckpt.restored(i) {
+						// Revived from the checkpoint before workers
+						// started; recomputing would waste the resume.
+						continue
+					}
+					if cerr := ctx.Err(); cerr != nil {
+						// Don't start new simulations after cancellation;
+						// the pair is flagged, not silently zero.
+						out.Outcomes[i] = PairOutcome{Pair: pairs[i], Failed: true,
+							Err: fmt.Sprintf("experiments: pair %s: %v", pairs[i].Label(), cerr)}
+						continue
+					}
+					idxs = append(idxs, i)
 				}
-				out.Outcomes[i] = r.runOutcome(ctx, i, p, matrix)
-				r.observeOutcome(&out.Outcomes[i])
-				ckpt.complete(i)
-				if e := out.Outcomes[i].Err; e != "" {
-					r.progress("pair %d/%d DEGRADED (%s): %s", done.Add(1), len(pairs), p.Label(), e)
+				if len(idxs) > 1 {
+					r.runOutcomeBatch(ctx, idxs, pairs, matrix, out.Outcomes)
 				} else {
-					r.progress("pair %d/%d done (%s)", done.Add(1), len(pairs), p.Label())
+					for _, i := range idxs {
+						out.Outcomes[i] = r.runOutcome(ctx, i, pairs[i], matrix)
+					}
+				}
+				for _, i := range idxs {
+					r.observeOutcome(&out.Outcomes[i])
+					ckpt.complete(i)
+					if e := out.Outcomes[i].Err; e != "" {
+						r.progress("pair %d/%d DEGRADED (%s): %s", done.Add(1), len(pairs), pairs[i].Label(), e)
+					} else {
+						r.progress("pair %d/%d done (%s)", done.Add(1), len(pairs), pairs[i].Label())
+					}
 				}
 			}
 		}()

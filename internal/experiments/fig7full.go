@@ -27,20 +27,12 @@ func RunFig7Full(r *Runner, w io.Writer) error {
 			" (hours); pass -fidelity sampled or -fidelity interval for minutes")
 	}
 
-	// Fresh runner so the full-scale sweep does not evict the scaled
+	// Derived runner so the full-scale sweep does not evict the scaled
 	// sweep other experiments share; the profiling pass (always
 	// detailed, always at the scaled sample interval) is reused.
-	full := &Runner{
-		Opt:         opt,
-		IntCfg:      r.IntCfg,
-		FPCfg:       r.FPCfg,
-		profile:     r.Profile(),
-		matrix:      r.matrix,
-		surface:     r.surface,
-		Progress:    r.Progress,
-		Telemetry:   r.Telemetry,
-		BaseContext: r.BaseContext,
-	}
+	full := r.Derived(opt)
+	full.Checkpoint = nil
+	full.CheckpointEvery = 0
 	s, err := full.Sweep()
 	if err != nil {
 		return err

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"ampsched/internal/interval"
+)
+
+// TestPooledRunMatchesFresh pins the pooling bit-identity contract:
+// a run on a recycled system (threads reset in place, engines pooled
+// via amp.System.Reset) is identical to the same run on a freshly
+// constructed one. The pooled side deliberately runs a different
+// scheduler first so the recycled engines carry a previous run's
+// terminal state — the regression this guards against was exactly
+// there (deferred generator advance flushed into a recycled thread,
+// shifting class attribution by an instruction).
+func TestPooledRunMatchesFresh(t *testing.T) {
+	opt := tinyOptions()
+	opt.Fidelity = interval.FidelityInterval
+	pairs := RandomPairs(3, opt.Seed)
+	for idx, p := range pairs {
+		fr, err := NewRunner(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fr.RunPairContext(context.Background(), idx, p, fr.RRFactory(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		pr, err := NewRunner(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pr.RunPairContext(context.Background(), idx, p, pr.ProposedFactory()); err != nil {
+			t.Fatal(err)
+		}
+		got, err := pr.RunPairContext(context.Background(), idx, p, pr.RRFactory(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("pair %d (%s): pooled run diverges from fresh\n got %+v\nwant %+v",
+				idx, p.Label(), got, want)
+		}
+	}
+}

@@ -50,7 +50,7 @@ func RunResilience(r *Runner, w io.Writer) error {
 		// rate sees the same underlying draw sequence.
 		opt := r.Opt
 		opt.FaultRate = rate
-		rr := r.derived(opt)
+		rr := r.Derived(opt)
 
 		row := []string{fmt.Sprintf("%.2f", rate)}
 		degraded := 0

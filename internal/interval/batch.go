@@ -1,0 +1,86 @@
+package interval
+
+// Batched interval simulation: many pair runs advanced through one
+// interleaved pass. The analytic engine's per-window work is a handful
+// of loads from shared, content-addressed tables — the calibration's
+// PhaseIPC/classes vectors and the benchmark's phase descriptions —
+// and those tables are shared by every run simulating the same (core
+// config, benchmark) key. Driving many runs a chunk of windows at a
+// time keeps the shared tables and the per-run working sets resident
+// in cache across the whole batch, instead of each run streaming them
+// through alone; it is also the seam the server's job batching and the
+// experiments sweep feed (they group runs with a common core digest
+// and fidelity into one pass).
+//
+// The runner is deliberately fidelity-agnostic: it drives anything
+// that exposes the resumable-run surface (implemented by
+// *amp.Stepper), and interleaving is invisible to results because the
+// runs share no mutable state — a batched run is bit-identical to the
+// same run driven alone, which the cross-path identity tests pin.
+
+// PairStepper is the resumable-run surface a batch pass drives: Step
+// advances the run by at most the given number of stride-windows and
+// reports completion. *amp.Stepper implements it.
+type PairStepper interface {
+	Step(windows int) bool
+}
+
+// DefaultBatchWindows is the per-run chunk of an interleaved pass:
+// large enough to amortize the round-robin switch, small enough that a
+// batch's working set rotates through cache many times per run
+// (~512k cycles at the interval engine's 128-cycle stride).
+const DefaultBatchWindows = 4096
+
+// BatchRunner drives a set of resumable runs to completion in
+// round-robin chunks.
+//
+// A zero BatchRunner is ready to use (chunk defaults applied at Run).
+// The runner is not safe for concurrent use; parallel sweeps use one
+// per worker.
+type BatchRunner struct {
+	// Windows is the per-run chunk of one round-robin turn
+	// (0 = DefaultBatchWindows).
+	Windows int
+
+	steppers []PairStepper
+}
+
+// NewBatchRunner returns a runner advancing each run by windows
+// stride-windows per turn (0 = DefaultBatchWindows).
+func NewBatchRunner(windows int) *BatchRunner {
+	return &BatchRunner{Windows: windows}
+}
+
+// Add enqueues runs for the next Run call.
+func (b *BatchRunner) Add(steppers ...PairStepper) {
+	b.steppers = append(b.steppers, steppers...)
+}
+
+// Len returns the number of runs currently enqueued.
+func (b *BatchRunner) Len() int { return len(b.steppers) }
+
+// Run drives every enqueued run to completion, interleaving them in
+// chunks, and clears the queue (the stepper slice is retained for
+// reuse). Completed runs drop out of the rotation; each survivor is
+// stepped once per round, so no run can starve another.
+func (b *BatchRunner) Run() {
+	windows := b.Windows
+	if windows <= 0 {
+		windows = DefaultBatchWindows
+	}
+	live := b.steppers
+	for len(live) > 0 {
+		w := 0
+		for _, st := range live {
+			if !st.Step(windows) {
+				live[w] = st
+				w++
+			}
+		}
+		live = live[:w]
+	}
+	for i := range b.steppers {
+		b.steppers[i] = nil
+	}
+	b.steppers = b.steppers[:0]
+}

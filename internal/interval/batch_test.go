@@ -1,0 +1,73 @@
+package interval
+
+import "testing"
+
+// fakeStepper finishes after a fixed number of Step calls and records
+// the chunk sizes it was handed.
+type fakeStepper struct {
+	turnsLeft int
+	calls     int
+	windows   []int
+}
+
+func (f *fakeStepper) Step(windows int) bool {
+	f.calls++
+	f.windows = append(f.windows, windows)
+	f.turnsLeft--
+	return f.turnsLeft <= 0
+}
+
+func TestBatchRunnerDrivesAllToCompletion(t *testing.T) {
+	br := NewBatchRunner(16)
+	steppers := []*fakeStepper{{turnsLeft: 1}, {turnsLeft: 5}, {turnsLeft: 3}}
+	for _, st := range steppers {
+		br.Add(st)
+	}
+	if br.Len() != len(steppers) {
+		t.Fatalf("Len = %d, want %d", br.Len(), len(steppers))
+	}
+	br.Run()
+	for i, st := range steppers {
+		if st.turnsLeft > 0 {
+			t.Errorf("stepper %d not driven to completion (%d turns left)", i, st.turnsLeft)
+		}
+		if st.calls != cap(st.windows) && st.calls != len(st.windows) {
+			t.Errorf("stepper %d bookkeeping inconsistent", i)
+		}
+		for _, w := range st.windows {
+			if w != 16 {
+				t.Errorf("stepper %d got chunk %d, want 16", i, w)
+			}
+		}
+	}
+	// Fairness: a finished run drops out, survivors get exactly one
+	// turn per round — so the longest run's call count equals its turn
+	// count, not a multiple of it.
+	if steppers[1].calls != 5 || steppers[0].calls != 1 || steppers[2].calls != 3 {
+		t.Errorf("round-robin call counts: %d/%d/%d, want 1/5/3",
+			steppers[0].calls, steppers[1].calls, steppers[2].calls)
+	}
+	if br.Len() != 0 {
+		t.Fatalf("queue not cleared after Run: %d", br.Len())
+	}
+}
+
+func TestBatchRunnerDefaultWindows(t *testing.T) {
+	var br BatchRunner // zero value usable
+	st := &fakeStepper{turnsLeft: 2}
+	br.Add(st)
+	br.Run()
+	for _, w := range st.windows {
+		if w != DefaultBatchWindows {
+			t.Fatalf("chunk %d, want DefaultBatchWindows (%d)", w, DefaultBatchWindows)
+		}
+	}
+}
+
+func TestBatchRunnerEmptyRun(t *testing.T) {
+	var br BatchRunner
+	br.Run() // must not hang or panic
+	if br.Len() != 0 {
+		t.Fatal("phantom steppers")
+	}
+}

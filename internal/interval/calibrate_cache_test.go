@@ -1,0 +1,92 @@
+package interval
+
+import (
+	"fmt"
+	"testing"
+
+	"ampsched/internal/cpu"
+	"ampsched/internal/telemetry"
+	"ampsched/internal/workload"
+)
+
+// resetCalCacheForTest empties the process-global calibration cache
+// and restores the default budget; the returned function undoes the
+// telemetry hookup.
+func resetCalCacheForTest(t *testing.T, tel *telemetry.Telemetry) {
+	t.Helper()
+	calMu.Lock()
+	calCache = map[calKey]*calEntry{}
+	calBytes = 0
+	calBudget = DefaultCalCacheBytes
+	calMu.Unlock()
+	SetTelemetry(tel)
+	t.Cleanup(func() {
+		SetTelemetry(nil)
+		calMu.Lock()
+		calCache = map[calKey]*calEntry{}
+		calBytes = 0
+		calBudget = DefaultCalCacheBytes
+		calMu.Unlock()
+	})
+}
+
+// TestCalCacheBoundedLRU pins the cache's contract: hits and misses
+// are counted, the byte budget evicts approximately-LRU, and a touched
+// entry survives eviction of a staler one.
+func TestCalCacheBoundedLRU(t *testing.T) {
+	tel := telemetry.New()
+	resetCalCacheForTest(t, tel)
+
+	base := cpu.IntCoreConfig()
+	bench := workload.MustByName("gcc")
+	cfgN := func(i int) *cpu.Config {
+		c := *base
+		c.Name = fmt.Sprintf("%s-calcache-%d", base.Name, i)
+		return &c
+	}
+
+	// Two entries fit the budget; a third must evict the stalest.
+	one := calibrationFor(cfgN(0), base.Units, bench)
+	SetCalibrationCacheBudget(2*calSize(one) + calSize(one)/2)
+	calibrationFor(cfgN(1), base.Units, bench)
+	if got := tel.Counter("interval.calibrations").Value(); got != 2 {
+		t.Fatalf("calibrations = %d, want 2", got)
+	}
+	if got := tel.Counter("interval.cal_cache_hits").Value(); got != 0 {
+		t.Fatalf("premature hits: %d", got)
+	}
+
+	// Touch entry 0 so entry 1 is the LRU victim.
+	calibrationFor(cfgN(0), base.Units, bench)
+	if got := tel.Counter("interval.cal_cache_hits").Value(); got != 1 {
+		t.Fatalf("cal_cache_hits = %d, want 1", got)
+	}
+
+	calibrationFor(cfgN(2), base.Units, bench) // evicts entry 1
+	calMu.RLock()
+	n, bytes, budget := len(calCache), calBytes, calBudget
+	_, has0 := calCache[calKey{cfg: *cfgN(0), units: base.Units, bench: bench.Name}]
+	_, has1 := calCache[calKey{cfg: *cfgN(1), units: base.Units, bench: bench.Name}]
+	calMu.RUnlock()
+	if bytes > budget {
+		t.Fatalf("cache over budget: %d > %d", bytes, budget)
+	}
+	if n != 2 || !has0 || has1 {
+		t.Fatalf("eviction picked the wrong victim: n=%d has0=%v has1=%v", n, has0, has1)
+	}
+
+	// The evicted key recalibrates (a miss, not a hit).
+	calibrationFor(cfgN(1), base.Units, bench)
+	if got := tel.Counter("interval.calibrations").Value(); got != 4 {
+		t.Fatalf("calibrations = %d, want 4", got)
+	}
+
+	// A budget smaller than any entry still keeps the newest.
+	SetCalibrationCacheBudget(1)
+	calMu.RLock()
+	n = len(calCache)
+	calMu.RUnlock()
+	if n != 1 {
+		t.Fatalf("tiny budget kept %d entries, want 1", n)
+	}
+}

@@ -51,6 +51,25 @@ type Engine struct {
 	committed    uint64 //ampvet:unit instructions
 	sinceBind    uint64 //ampvet:unit cycles
 
+	// Mirror of the generator's phase position, so the hot path never
+	// has to call back into the generator: phase/phaseRem track what
+	// gen.PhasePos() would return, and pendingSkip is the generator
+	// advance deferred until the next phase boundary (or Unbind) —
+	// nothing outside the engine reads the generator while it is bound.
+	phase       int
+	phaseRem    uint64 //ampvet:unit instructions
+	pendingSkip uint64 //ampvet:unit instructions
+
+	// Per-class attribution is deferred the same way: phaseN counts
+	// instructions committed in the current phase segment that have not
+	// yet been attributed to CommittedByClass; syncClasses materializes
+	// them at phase boundaries, Unbind, Stats, and on demand through
+	// the arch's SyncClasses hook (installed at Bind) when a scheduler
+	// or monitor reads the class counters mid-phase.
+	phaseN uint64 //ampvet:unit instructions
+	curIPC float64
+	syncFn func()
+
 	fracCommit float64
 	classFrac  [isa.NumClasses]float64
 
@@ -69,7 +88,9 @@ func New(cfg *cpu.Config) *Engine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Engine{cfg: cfg, units: cfg.Units}
+	e := &Engine{cfg: cfg, units: cfg.Units}
+	e.syncFn = e.syncClasses
+	return e
 }
 
 // Factory returns the cpu.EngineFactory for the interval engine.
@@ -131,6 +152,11 @@ func (e *Engine) Bind(src cpu.InstrSource, arch *cpu.ThreadArch) {
 	e.sinceBind = 0
 	e.fracCommit = 0
 	e.classFrac = [isa.NumClasses]float64{}
+	e.phase, e.phaseRem = gen.PhasePos()
+	e.pendingSkip = 0
+	e.phaseN = 0
+	e.curIPC = e.cal.PhaseIPC[e.phase]
+	arch.SyncClasses = e.syncFn
 }
 
 // Unbind detaches the thread, folding the bind's event-rate share
@@ -139,6 +165,12 @@ func (e *Engine) Bind(src cpu.InstrSource, arch *cpu.ThreadArch) {
 func (e *Engine) Unbind() uint64 {
 	if e.arch == nil {
 		return 0
+	}
+	e.syncClasses()
+	e.arch.SyncClasses = nil
+	if e.pendingSkip > 0 {
+		e.gen.Skip(e.pendingSkip)
+		e.pendingSkip = 0
 	}
 	sb := float64(e.sinceBind)
 	for i := 0; i < nRates; i++ {
@@ -149,6 +181,20 @@ func (e *Engine) Unbind() uint64 {
 	e.arch = nil
 	e.cal = nil
 	return 0
+}
+
+// ResetState implements cpu.StateResetter: it clears the accumulated
+// cycle, commit and event-rate ledgers, so a pooled engine's next run
+// is bit-identical to one on a freshly constructed engine (everything
+// else is re-derived at Bind). The engine must be unbound.
+func (e *Engine) ResetState() {
+	if e.arch != nil {
+		panic(fmt.Sprintf("interval: %s: ResetState with a bound thread", e.cfg.Name))
+	}
+	e.activeCycles = 0
+	e.stallCycles = 0
+	e.committed = 0
+	e.acc = rateVec{}
 }
 
 // StallCycles implements cpu.Engine.
@@ -167,44 +213,83 @@ func (e *Engine) Run(now, cycles uint64) {
 		return
 	}
 	e.activeCycles += cycles
-	phase, _ := e.gen.PhasePos()
-	ipc := e.cal.PhaseIPC[phase] * coldFactor(e.sinceBind)
+	ipc := e.curIPC
+	if e.sinceBind < rampInstr {
+		ipc *= coldFactor(e.sinceBind)
+	}
 	e.fracCommit += ipc * float64(cycles)
 	k := uint64(e.fracCommit)
 	if k == 0 {
 		return
 	}
 	e.fracCommit -= float64(k)
+	if k < e.phaseRem {
+		// Common case: the whole batch lands inside the current phase.
+		// Class attribution and the generator advance are deferred
+		// (phaseN / pendingSkip); only the counters the AMP loop and
+		// the window monitors poll every stride are updated eagerly.
+		e.arch.Committed += k
+		e.arch.NextSeq += k
+		e.committed += k
+		e.sinceBind += k
+		e.phaseN += k
+		e.pendingSkip += k
+		e.phaseRem -= k
+		return
+	}
 	e.commitBatch(k)
 }
 
-// commitBatch retires k instructions, attributing them to phases by
-// walking the generator (Skip crosses phase boundaries exactly as Next
-// would) and to classes by each phase's mix with fractional
-// accumulators (per-class drift is bounded by one instruction each).
+// commitBatch retires k instructions across one or more phase
+// boundaries, materializing the deferred class attribution under each
+// phase's mix before advancing (syncClasses), and batching the
+// generator advance into pendingSkip — Skip crosses into the next
+// phase exactly as per-chunk calls would.
 //
 //ampvet:hotpath
 func (e *Engine) commitBatch(k uint64) {
+	arch := e.arch
 	for k > 0 {
-		phase, rem := e.gen.PhasePos()
 		m := k
-		if m > rem {
-			m = rem
+		if m > e.phaseRem {
+			m = e.phaseRem
 		}
-		mf := float64(m)
-		mix := &e.gen.Benchmark().Phases[phase].Mix
-		for c := 0; c < int(isa.NumClasses); c++ {
-			e.classFrac[c] += mix[c] * mf
-			whole := uint64(e.classFrac[c])
-			e.classFrac[c] -= float64(whole)
-			e.arch.CommittedByClass[c] += whole
-		}
-		e.gen.Skip(m)
-		e.arch.Committed += m
-		e.arch.NextSeq += m
+		arch.Committed += m
+		arch.NextSeq += m
 		e.committed += m
 		e.sinceBind += m
+		e.phaseN += m
+		e.pendingSkip += m
+		e.phaseRem -= m
+		if e.phaseRem == 0 {
+			e.syncClasses()
+			e.gen.Skip(e.pendingSkip)
+			e.pendingSkip = 0
+			e.phase, e.phaseRem = e.gen.PhasePos()
+			e.curIPC = e.cal.PhaseIPC[e.phase]
+		}
 		k -= m
+	}
+}
+
+// syncClasses materializes the deferred per-class attribution of the
+// current phase segment: phaseN instructions are split by the phase's
+// nonzero mix entries with fractional accumulators (per-class drift is
+// bounded by one instruction each). Called at phase boundaries and
+// Unbind, and through ThreadArch.Sync whenever a scheduler or monitor
+// reads CommittedByClass mid-phase.
+func (e *Engine) syncClasses() {
+	if e.phaseN == 0 {
+		return
+	}
+	mf := float64(e.phaseN)
+	e.phaseN = 0
+	arch := e.arch
+	for _, cs := range e.cal.classes[e.phase] {
+		f := e.classFrac[cs.cls] + cs.frac*mf
+		whole := uint64(f)
+		e.classFrac[cs.cls] = f - float64(whole)
+		arch.CommittedByClass[cs.cls] += whole
 	}
 }
 

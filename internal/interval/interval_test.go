@@ -78,6 +78,7 @@ func TestEngineClassSumMatchesCommitted(t *testing.T) {
 		eng.Run(now, eng.Stride())
 		now += eng.Stride()
 	}
+	arch.Sync() // the engine attributes classes lazily; readers sync first
 	var classSum uint64
 	for c := 0; c < int(isa.NumClasses); c++ {
 		classSum += arch.CommittedByClass[c]

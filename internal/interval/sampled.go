@@ -9,18 +9,24 @@ import (
 // FidelitySampled labels the two-tier engine.
 const FidelitySampled = "sampled"
 
-// Sampled-engine schedule: each period opens with a detailed warm-up
-// window (real caches, predictor and pipeline back in play) and
-// fast-forwards the rest with the interval model. The defaults detail
-// 20k of every 8M cycles (0.25%): one warm-up per two paper-scale
-// coarse scheduling intervals (the HPE/RR context switch is 4M
-// cycles), on top of the warm-up every Bind already forces after a
-// swap — so a swapping run re-anchors at least as often as it swaps.
-// The duty cycle is the fig7full wall-clock knob — at 0.25% the
-// 80-pair x 500M sweep fits the paper-scale budget on one CPU.
+// Sampled-engine schedule: each period opens with a detailed window
+// (real caches, predictor and pipeline back in play) and fast-forwards
+// the rest with the interval model. Two window lengths exist: the
+// full warm-up (DefaultDetailCycles) runs the first time a thread
+// lands on a core, when the detailed core's caches hold nothing of the
+// thread; the shorter re-anchor (DefaultReanchorCycles) runs at every
+// scheduled period wrap, where the caches still hold the thread's aged
+// state from the previous window and the job is only to re-measure IPC
+// drift, not to rebuild locality. The period keeps one re-anchor per
+// two paper-scale coarse scheduling intervals (the HPE/RR context
+// switch is 4M cycles). The detailed duty cycle is the fig7full
+// wall-clock knob: re-anchors dominate low-IPC pairs (a 500M-
+// instruction run can span billions of cycles), so the re-anchor
+// length, not the warm-up length, sets the sweep's wall time.
 const (
-	DefaultDetailCycles = 20_000
-	DefaultPeriodCycles = 8_000_000
+	DefaultDetailCycles   = 20_000
+	DefaultReanchorCycles = 5_000
+	DefaultPeriodCycles   = 8_000_000
 )
 
 // Sampled is the two-tier cpu.Engine: a detailed core and an interval
@@ -37,9 +43,21 @@ type Sampled struct {
 	src  cpu.InstrSource
 	arch *cpu.ThreadArch
 
-	detailCycles uint64
-	periodCycles uint64
-	pos          uint64 // position within the current period
+	detailCycles   uint64
+	reanchorCycles uint64
+	periodCycles   uint64
+	pos            uint64 // position within the current period
+	warmLen        uint64 // this period's detailed span: detailCycles on a cold bind, reanchorCycles after a scheduled wrap
+
+	// warmed memoizes, per thread (ledger identity), that a full
+	// detailed warm-up window has completed on this core during this
+	// run: a later re-bind of the same thread — the swap ping-pong
+	// case — resumes in the interval tier instead of re-running the
+	// warm-up, because the detailed core's caches and predictor
+	// already hold that thread's aged state from the previous bind.
+	// Scheduled period-wrap warm-ups are unaffected, and Reconfigure
+	// invalidates the memo (a morphed core is a different machine).
+	warmed []*cpu.ThreadArch
 }
 
 var _ cpu.Engine = (*Sampled)(nil)
@@ -52,18 +70,32 @@ func NewSampled(cfg *cpu.Config, detailCycles, periodCycles uint64) *Sampled {
 			detailCycles, periodCycles))
 	}
 	return &Sampled{
-		det:          cpu.NewCore(cfg),
-		ivl:          New(cfg),
-		detailCycles: detailCycles,
-		periodCycles: periodCycles,
+		det:            cpu.NewCore(cfg),
+		ivl:            New(cfg),
+		detailCycles:   detailCycles,
+		reanchorCycles: detailCycles,
+		periodCycles:   periodCycles,
 	}
+}
+
+// SetReanchorCycles shortens the detailed window run at scheduled
+// period wraps (the first window of a cold thread always runs the full
+// detailCycles). NewSampled defaults the re-anchor to the full warm-up
+// length.
+func (s *Sampled) SetReanchorCycles(n uint64) {
+	if n == 0 || n > s.detailCycles {
+		panic(fmt.Sprintf("interval: re-anchor window %d outside (0, detail %d]", n, s.detailCycles))
+	}
+	s.reanchorCycles = n
 }
 
 // SampledFactory returns the cpu.EngineFactory for the sampled engine
 // with the default schedule.
 func SampledFactory() cpu.EngineFactory {
 	return func(cfg *cpu.Config) (cpu.Engine, error) {
-		return NewSampled(cfg, DefaultDetailCycles, DefaultPeriodCycles), nil
+		s := NewSampled(cfg, DefaultDetailCycles, DefaultPeriodCycles)
+		s.SetReanchorCycles(DefaultReanchorCycles)
+		return s, nil
 	}
 }
 
@@ -87,16 +119,44 @@ func (s *Sampled) Arch() *cpu.ThreadArch { return s.arch }
 // InFlight implements cpu.Engine.
 func (s *Sampled) InFlight() int { return s.det.InFlight() + s.ivl.InFlight() }
 
-// Bind implements cpu.Engine: the thread starts in a detailed warm-up
-// window.
+// Bind implements cpu.Engine: a thread not yet warmed on this core
+// starts in a detailed warm-up window; a re-bound thread that already
+// completed one resumes in the interval tier at the top of its
+// fast-forward span.
 func (s *Sampled) Bind(src cpu.InstrSource, arch *cpu.ThreadArch) {
 	if s.arch != nil {
 		panic(fmt.Sprintf("interval: %s: Bind with thread already bound", s.Config().Name))
 	}
 	s.src = src
 	s.arch = arch
+	if s.isWarmed(arch) {
+		// Resume at the top of the fast-forward span: the period wrap
+		// arrives exactly when it would have had the warm-up run.
+		s.pos = s.detailCycles
+		s.warmLen = s.detailCycles
+		s.ivl.Bind(src, arch)
+		return
+	}
 	s.pos = 0
+	s.warmLen = s.detailCycles
 	s.det.Bind(src, arch)
+}
+
+// isWarmed reports whether arch completed a full warm-up this run.
+func (s *Sampled) isWarmed(arch *cpu.ThreadArch) bool {
+	for _, w := range s.warmed {
+		if w == arch {
+			return true
+		}
+	}
+	return false
+}
+
+// markWarmed records a completed warm-up window for the bound thread.
+func (s *Sampled) markWarmed(arch *cpu.ThreadArch) {
+	if !s.isWarmed(arch) {
+		s.warmed = append(s.warmed, arch)
+	}
 }
 
 // Unbind implements cpu.Engine.
@@ -116,7 +176,7 @@ func (s *Sampled) Unbind() uint64 {
 //
 //ampvet:hotpath
 func (s *Sampled) StallCycles(n uint64) {
-	if s.pos < s.detailCycles {
+	if s.pos < s.warmLen {
 		s.det.StallCycles(n)
 	} else {
 		s.ivl.StallCycles(n)
@@ -135,16 +195,19 @@ func (s *Sampled) Run(now, cycles uint64) {
 	}
 	for cycles > 0 {
 		var step uint64
-		if s.pos < s.detailCycles {
+		if s.pos < s.warmLen {
 			if !s.det.Bound() {
 				s.ivl.Unbind()
 				s.det.Bind(s.src, s.arch)
 			}
-			step = s.detailCycles - s.pos
+			step = s.warmLen - s.pos
 			if step > cycles {
 				step = cycles
 			}
 			s.det.Run(now, step)
+			if s.pos+step == s.warmLen {
+				s.markWarmed(s.arch)
+			}
 		} else {
 			if !s.ivl.Bound() {
 				s.det.Unbind()
@@ -160,7 +223,11 @@ func (s *Sampled) Run(now, cycles uint64) {
 		cycles -= step
 		s.pos += step
 		if s.pos == s.periodCycles {
+			// Scheduled re-anchor: the detailed core's caches still hold
+			// this thread's aged state, so the wrap's detailed span is
+			// the shorter re-anchor window.
 			s.pos = 0
+			s.warmLen = s.reanchorCycles
 		}
 	}
 }
@@ -178,5 +245,8 @@ func (s *Sampled) Reconfigure(units [cpu.NumUnitKinds]cpu.UnitSpec) error {
 	if err := s.det.Reconfigure(units); err != nil {
 		return err
 	}
+	// A reconfigured core is a different machine: every memoized
+	// warm-up is stale.
+	s.warmed = s.warmed[:0]
 	return s.ivl.Reconfigure(units)
 }

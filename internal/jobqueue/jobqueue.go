@@ -214,6 +214,7 @@ type Queue struct {
 	runningG     *telemetry.Gauge
 	pendingCostG *telemetry.Gauge
 	submitted    *telemetry.Counter
+	batches      *telemetry.Counter
 	rejected     *telemetry.Counter
 	completed    *telemetry.Counter
 	failed       *telemetry.Counter
@@ -245,6 +246,7 @@ func New(cfg Config) (*Queue, error) {
 		runningG:     tel.Gauge("jobqueue.running"),
 		pendingCostG: tel.Gauge("jobqueue.pending_cost"),
 		submitted:    tel.Counter("jobqueue.submitted"),
+		batches:      tel.Counter("jobqueue.batches"),
 		rejected:     tel.Counter("jobqueue.rejected"),
 		completed:    tel.Counter("jobqueue.completed"),
 		failed:       tel.Counter("jobqueue.failed"),
@@ -273,6 +275,73 @@ func (q *Queue) TrySubmit(task Task, opts SubmitOptions) (*Job, error) {
 // frees, the queue closes, or ctx ends.
 func (q *Queue) Submit(ctx context.Context, task Task, opts SubmitOptions) (*Job, error) {
 	return q.submit(ctx, task, opts)
+}
+
+// BatchTask pairs one batch member with its submit options.
+type BatchTask struct {
+	Task Task
+	Opts SubmitOptions
+}
+
+// TrySubmitBatch enqueues the group atomically: either every task is
+// accepted — under one lock acquisition, with contiguous sequence
+// numbers so equal-priority members stay adjacent in the priority heap
+// and one worker wake-up — or none is (ErrQueueFull when the whole
+// group does not fit below the high-water mark, ErrClosed after
+// Drain/Close). Accepted groups count once on "jobqueue.batches" and
+// per job on "jobqueue.submitted".
+func (q *Queue) TrySubmitBatch(tasks []BatchTask) ([]*Job, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("jobqueue: empty batch")
+	}
+	for _, bt := range tasks {
+		if bt.Task == nil {
+			return nil, fmt.Errorf("jobqueue: nil task in batch")
+		}
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.rejected.Add(uint64(len(tasks)))
+		return nil, ErrClosed
+	}
+	if len(q.pending)+len(tasks) > q.cfg.Capacity {
+		q.mu.Unlock()
+		q.rejected.Add(uint64(len(tasks)))
+		return nil, ErrQueueFull
+	}
+	now := time.Now() //ampvet:allow determinism queue wait-latency measurement is inherently wall-clock
+	jobs := make([]*Job, len(tasks))
+	for i, bt := range tasks {
+		q.nextID++
+		q.nextSeq++
+		//ampvet:allow ctxcheck jobs deliberately outlive the submitter's ctx; cancellation flows through Job.Cancel and queue shutdown instead
+		jctx, cancel := context.WithCancel(context.Background())
+		j := &Job{
+			id:        q.nextID,
+			priority:  bt.Opts.Priority,
+			seq:       q.nextSeq,
+			task:      bt.Task,
+			deadline:  bt.Opts.Deadline,
+			cost:      bt.Opts.Cost,
+			q:         q,
+			ctx:       jctx,
+			cancel:    cancel,
+			state:     StatePending,
+			done:      make(chan struct{}),
+			submitted: now,
+		}
+		heap.Push(&q.pending, j)
+		q.pendingCost += j.cost
+		jobs[i] = j
+	}
+	q.depth.Set(float64(len(q.pending)))
+	q.pendingCostG.Set(q.pendingCost)
+	q.submitted.Add(uint64(len(tasks)))
+	q.batches.Inc()
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	return jobs, nil
 }
 
 func (q *Queue) submit(ctx context.Context, task Task, opts SubmitOptions) (*Job, error) {

@@ -494,3 +494,99 @@ func TestCostAccounting(t *testing.T) {
 		t.Fatalf("Stats after drain = %+v, want zero costs", st)
 	}
 }
+
+// TestTrySubmitBatchAtomic pins the batch contract: a group that fits
+// is accepted whole with contiguous IDs and runs adjacently (one
+// "jobqueue.batches" tick, one "jobqueue.submitted" tick per job),
+// and a group that does not fit is rejected whole — no partial
+// enqueue.
+func TestTrySubmitBatchAtomic(t *testing.T) {
+	tel := telemetry.New()
+	q := newTestQueue(t, Config{Workers: 1, Capacity: 4, Telemetry: tel})
+
+	// Block the worker so pending occupancy is under test control;
+	// wait for pickup so the blocker itself is out of the heap.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocker, err := q.TrySubmit(func(ctx context.Context) error {
+		close(started)
+		<-release
+		return nil
+	}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	var ran atomic.Int64
+	task := func(ctx context.Context) error { ran.Add(1); return nil }
+
+	jobs, err := q.TrySubmitBatch([]BatchTask{{Task: task, Opts: SubmitOptions{Priority: 3}}, {Task: task, Opts: SubmitOptions{Priority: 3}}, {Task: task, Opts: SubmitOptions{Priority: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("accepted %d jobs, want 3", len(jobs))
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].ID() != jobs[i-1].ID()+1 {
+			t.Fatalf("batch IDs not contiguous: %d after %d", jobs[i].ID(), jobs[i-1].ID())
+		}
+	}
+
+	// 3 pending + 1 more would cross Capacity=4: the whole group
+	// bounces and nothing of it lands in the heap.
+	if _, err := q.TrySubmitBatch([]BatchTask{{Task: task}, {Task: task}}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull batch: err = %v, want ErrQueueFull", err)
+	}
+	if got := q.Stats().Pending; got != 3 {
+		t.Fatalf("pending after rejected batch = %d, want 3 (partial enqueue?)", got)
+	}
+
+	// A single-slot batch still fits exactly at the high-water mark.
+	one, err := q.TrySubmitBatch([]BatchTask{{Task: task}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	close(release)
+	for _, j := range append(jobs, one...) {
+		if err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := blocker.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("ran %d batch tasks, want 4", got)
+	}
+	if got := tel.Counter("jobqueue.batches").Value(); got != 2 {
+		t.Fatalf("jobqueue.batches = %d, want 2", got)
+	}
+	if got := tel.Counter("jobqueue.submitted").Value(); got != 5 {
+		t.Fatalf("jobqueue.submitted = %d, want 5 (blocker + 4 batch jobs)", got)
+	}
+
+	// Closed queue refuses batches outright.
+	q.Close()
+	if _, err := q.TrySubmitBatch([]BatchTask{{Task: task}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed queue: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestTrySubmitBatchValidation rejects empty groups and nil members
+// before touching the queue.
+func TestTrySubmitBatchValidation(t *testing.T) {
+	q := newTestQueue(t, Config{Workers: 1, Capacity: 4})
+	if _, err := q.TrySubmitBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	task := func(ctx context.Context) error { return nil }
+	if _, err := q.TrySubmitBatch([]BatchTask{{Task: task}, {}}); err == nil {
+		t.Fatal("batch with nil task accepted")
+	}
+	if got := q.Stats().Pending; got != 0 {
+		t.Fatalf("pending = %d after rejected batches, want 0", got)
+	}
+}

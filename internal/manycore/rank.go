@@ -185,6 +185,7 @@ func (r *Rank) Reset(v amp.View) {
 	}
 	for t := 0; t < m; t++ {
 		arch := v.Arch(t)
+		arch.Sync()
 		r.lastCommit[t] = arch.Committed
 		r.lastClass[t] = arch.CommittedByClass
 		r.ringOf[t] = -1
@@ -258,6 +259,7 @@ func (r *Rank) observe(v amp.View, t int) {
 	if committed < rankMinWindow {
 		return // carry the window over
 	}
+	arch.Sync()
 	var intN, fpN uint64
 	for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
 		d := arch.CommittedByClass[cl] - r.lastClass[t][cl]

@@ -170,6 +170,7 @@ func (p *TwoPhase) Reset(v amp.View) {
 	}
 	for t := 0; t < m; t++ {
 		arch := v.Arch(t)
+		arch.Sync()
 		p.lastCommit[t] = arch.Committed
 		p.lastClass[t] = arch.CommittedByClass
 		p.lastEnergy[t] = v.ThreadEnergyNJ(t)
@@ -248,6 +249,7 @@ func (p *TwoPhase) observe(v amp.View, epochCycles uint64) {
 		if committed == 0 || energy <= 0 {
 			continue
 		}
+		arch.Sync()
 		var intN, fpN uint64
 		for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
 			d := arch.CommittedByClass[cl] - p.lastClass[t][cl]

@@ -55,10 +55,19 @@ type WindowTracker struct {
 // NewWindowTracker returns a tracker with the given window size in
 // committed instructions (paper default: 1000).
 func NewWindowTracker(window uint64) *WindowTracker {
+	w := &WindowTracker{}
+	w.Init(window)
+	return w
+}
+
+// Init re-arms the tracker in place with the given window size,
+// exactly as NewWindowTracker would: schedulers embed trackers by
+// value so a per-run Reset allocates nothing.
+func (w *WindowTracker) Init(window uint64) {
 	if window == 0 {
 		panic("monitor: zero window size")
 	}
-	return &WindowTracker{window: window, nextEdge: window}
+	*w = WindowTracker{window: window, nextEdge: window}
 }
 
 // Window returns the configured window size.
@@ -68,6 +77,7 @@ var _ Observer = (*WindowTracker)(nil)
 
 // Reset re-arms the tracker against a thread's current counters.
 func (w *WindowTracker) Reset(arch *cpu.ThreadArch) {
+	arch.Sync()
 	w.lastTotal = arch.Committed
 	w.lastClass = arch.CommittedByClass
 	w.nextEdge = arch.Committed + w.window
@@ -86,6 +96,7 @@ func (w *WindowTracker) Observe(arch *cpu.ThreadArch) (Sample, bool) {
 	if arch.Committed < w.nextEdge {
 		return Sample{}, false
 	}
+	arch.Sync()
 	committed := arch.Committed - w.lastTotal
 	var intN, fpN uint64
 	for c := isa.Class(0); c < isa.NumClasses; c++ {
@@ -122,15 +133,39 @@ type Voter struct {
 	ring  []bool
 	n     int
 	head  int
+
+	// ringArr backs ring for the common shallow depths (the paper
+	// sweeps 5 and 10), so value-embedded voters re-Init without
+	// allocating.
+	ringArr [16]bool
 }
 
 // NewVoter returns a voter over the last depth tentative decisions
 // (paper default: 5).
 func NewVoter(depth int) *Voter {
+	v := &Voter{}
+	v.Init(depth)
+	return v
+}
+
+// Init re-arms the voter in place with the given history depth,
+// exactly as NewVoter would; the vote ring is reused (or taken from
+// the inline array) when it is large enough.
+func (v *Voter) Init(depth int) {
 	if depth <= 0 {
 		panic(fmt.Sprintf("monitor: invalid history depth %d", depth))
 	}
-	return &Voter{depth: depth, ring: make([]bool, depth)}
+	v.depth = depth
+	v.n = 0
+	v.head = 0
+	switch {
+	case depth <= len(v.ringArr):
+		v.ring = v.ringArr[:depth]
+	case cap(v.ring) >= depth:
+		v.ring = v.ring[:depth]
+	default:
+		v.ring = make([]bool, depth)
+	}
 }
 
 // Depth returns the configured history depth.

@@ -8,6 +8,8 @@ package profilegen
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"ampsched/internal/amp"
 	"ampsched/internal/cpu"
@@ -80,21 +82,60 @@ type Profile struct {
 
 // Collect runs each benchmark solo on both core configurations,
 // sampling composition and IPC/Watt every SampleCycles (§V step 2).
+// The solo runs are independent detailed simulations, so they fan out
+// across GOMAXPROCS workers; observations are assembled in benchmark
+// order, so the profile is identical to a serial pass.
 func Collect(intCfg, fpCfg *cpu.Config, benches []*workload.Benchmark, cfg ProfileConfig) *Profile {
+	type soloObs struct {
+		intObs, fpObs []Observation
+	}
+	perBench := make([]soloObs, len(benches))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(benches) {
+		workers = len(benches)
+	}
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		i := int(next)
+		next++
+		return i
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i >= len(benches) {
+					return
+				}
+				b := benches[i]
+				ri := amp.SoloRun(intCfg, b, cfg.Seed, cfg.InstrLimit, cfg.SampleCycles)
+				rf := amp.SoloRun(fpCfg, b, cfg.Seed, cfg.InstrLimit, cfg.SampleCycles)
+				for _, s := range ri.Samples {
+					if s.Committed > 0 && s.IPCPerWatt > 0 {
+						perBench[i].intObs = append(perBench[i].intObs,
+							Observation{b.Name, s.IntPct, s.FPPct, s.IPCPerWatt})
+					}
+				}
+				for _, s := range rf.Samples {
+					if s.Committed > 0 && s.IPCPerWatt > 0 {
+						perBench[i].fpObs = append(perBench[i].fpObs,
+							Observation{b.Name, s.IntPct, s.FPPct, s.IPCPerWatt})
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	p := &Profile{}
-	for _, b := range benches {
-		ri := amp.SoloRun(intCfg, b, cfg.Seed, cfg.InstrLimit, cfg.SampleCycles)
-		rf := amp.SoloRun(fpCfg, b, cfg.Seed, cfg.InstrLimit, cfg.SampleCycles)
-		for _, s := range ri.Samples {
-			if s.Committed > 0 && s.IPCPerWatt > 0 {
-				p.IntObs = append(p.IntObs, Observation{b.Name, s.IntPct, s.FPPct, s.IPCPerWatt})
-			}
-		}
-		for _, s := range rf.Samples {
-			if s.Committed > 0 && s.IPCPerWatt > 0 {
-				p.FPObs = append(p.FPObs, Observation{b.Name, s.IntPct, s.FPPct, s.IPCPerWatt})
-			}
-		}
+	for i := range perBench {
+		p.IntObs = append(p.IntObs, perBench[i].intObs...)
+		p.FPObs = append(p.FPObs, perBench[i].fpObs...)
 	}
 	return p
 }
@@ -299,12 +340,23 @@ func DeriveRules(intCfg, fpCfg *cpu.Config, benches []*workload.Benchmark,
 	if len(benches) < 2 {
 		return DerivedRules{}, fmt.Errorf("profilegen: need at least two benchmarks")
 	}
+	// Window profiles are independent solo runs; fan them out like
+	// Collect does (profiles is indexed, so order never depends on
+	// completion order).
 	profiles := make([]windowProfile, len(benches))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i, b := range benches {
-		ri := amp.SoloRunWindows(intCfg, b, seed, instrLimit, windowInstr)
-		rf := amp.SoloRunWindows(fpCfg, b, seed, instrLimit, windowInstr)
-		profiles[i] = windowProfile{name: b.Name, intC: ri.Samples, fpC: rf.Samples}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, b *workload.Benchmark) {
+			defer func() { <-sem; wg.Done() }()
+			ri := amp.SoloRunWindows(intCfg, b, seed, instrLimit, windowInstr)
+			rf := amp.SoloRunWindows(fpCfg, b, seed, instrLimit, windowInstr)
+			profiles[i] = windowProfile{name: b.Name, intC: ri.Samples, fpC: rf.Samples}
+		}(i, b)
 	}
+	wg.Wait()
 
 	r := rng.New(seed ^ 0x5eed)
 	var intHigh, intLow, fpHigh, fpLow []float64

@@ -46,8 +46,9 @@ func (c *HPEConfig) Validate() error {
 // scheduler, extended per §V to flavor-asymmetric cores and the
 // performance/watt objective.
 type HPE struct {
-	cfg HPEConfig
-	est Estimator
+	cfg  HPEConfig
+	est  Estimator
+	name string // "hpe-<estimator>", concatenated once at construction
 
 	nextCheck uint64
 	intCore   int
@@ -74,11 +75,12 @@ func NewHPE(cfg HPEConfig, est Estimator, opts ...Option) *HPE {
 		panic("sched: hpe: nil estimator")
 	}
 	o := buildOptions(opts)
-	return &HPE{cfg: cfg, est: est, tel: newPolTel(o.tel, "hpe-"+est.Name())}
+	name := "hpe-" + est.Name()
+	return &HPE{cfg: cfg, est: est, name: name, tel: newPolTel(o.tel, name)}
 }
 
 // Name implements amp.MoveScheduler.
-func (h *HPE) Name() string { return "hpe-" + h.est.Name() }
+func (h *HPE) Name() string { return h.name }
 
 // Estimator returns the ratio estimator in use.
 func (h *HPE) Estimator() Estimator { return h.est }
@@ -90,6 +92,7 @@ func (h *HPE) Reset(v amp.View) {
 	h.lastCycle = v.Cycle()
 	for t := 0; t < 2; t++ {
 		arch := v.Arch(t)
+		arch.Sync()
 		h.lastCommitted[t] = arch.Committed
 		h.lastClass[t] = arch.CommittedByClass
 		h.lastEnergy[t] = v.ThreadEnergyNJ(t)
@@ -111,6 +114,7 @@ type intervalObservation struct {
 
 func (h *HPE) observe(v amp.View, t int, cycles uint64) intervalObservation {
 	arch := v.Arch(t)
+	arch.Sync()
 	committed := arch.Committed - h.lastCommitted[t]
 	energy := v.ThreadEnergyNJ(t) - h.lastEnergy[t]
 
@@ -141,6 +145,7 @@ func (h *HPE) observe(v amp.View, t int, cycles uint64) intervalObservation {
 func (h *HPE) snapshot(v amp.View) {
 	for t := 0; t < 2; t++ {
 		arch := v.Arch(t)
+		arch.Sync()
 		h.lastCommitted[t] = arch.Committed
 		h.lastClass[t] = arch.CommittedByClass
 		h.lastEnergy[t] = v.ThreadEnergyNJ(t)

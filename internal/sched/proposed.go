@@ -76,13 +76,17 @@ type Proposed struct {
 	cfg        ProposedConfig
 	obsFactory func(window uint64) monitor.Observer
 	trackers   [2]monitor.Observer // indexed by thread
-	voter      *monitor.Voter
-	stats      amp.SchedulerStats
-	retry      retryState
-	tel        polTel
-	em         swapEmitter
-	intCore    int
-	fpCore     int
+	// winTrk backs trackers when no observer factory replaces the
+	// hardware monitors: value storage, re-Init'd per run, so a reset
+	// allocates nothing.
+	winTrk  [2]monitor.WindowTracker
+	voter   monitor.Voter
+	stats   amp.SchedulerStats
+	retry   retryState
+	tel     polTel
+	em      swapEmitter
+	intCore int
+	fpCore  int
 }
 
 // NewProposed builds the scheduler; cfg is validated. Options attach
@@ -114,11 +118,12 @@ func (p *Proposed) Reset(v amp.View) {
 		if p.obsFactory != nil {
 			p.trackers[t] = p.obsFactory(p.cfg.WindowSize)
 		} else {
-			p.trackers[t] = monitor.NewWindowTracker(p.cfg.WindowSize)
+			p.winTrk[t].Init(p.cfg.WindowSize)
+			p.trackers[t] = &p.winTrk[t]
 		}
 		p.trackers[t].Reset(v.Arch(t))
 	}
-	p.voter = monitor.NewVoter(p.cfg.HistoryDepth)
+	p.voter.Init(p.cfg.HistoryDepth)
 	p.stats = amp.SchedulerStats{}
 	p.retry.reset(p.cfg.RetryBackoffCycles, p.cfg.ForceInterval, v)
 	p.retry.retries = p.tel.retries

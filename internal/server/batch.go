@@ -1,0 +1,196 @@
+// Pair batching: the server-side feeder of the interleaved batch
+// engine. Queue workers running jobs against the same Runner — the
+// grouping that guarantees identical core digest, options and
+// fidelity, since runners are deduplicated on exactly those — hand
+// their pair computations to a shared pairBatcher instead of running
+// them one at a time. The batcher coalesces requests across jobs (and
+// across one job's own in-flight window) and executes each group as a
+// single experiments.RunPairsBatch interleaved pass, which shares
+// calibration tables and pooled systems across every run in the
+// group. Results are byte-identical to the pair-at-a-time path — the
+// batch engine's cross-path identity suite pins that — so batching is
+// invisible to the cache and the API.
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ampsched/internal/amp"
+	"ampsched/internal/experiments"
+	"ampsched/internal/telemetry"
+)
+
+// defaultBatchPairs is the flush high-water mark in pairs (three
+// scheduler runs each), matching the sweep's own chunk size.
+const defaultBatchPairs = 8
+
+// defaultBatchLinger is how long the first request in an empty batch
+// waits for companions before flushing anyway. Two milliseconds is
+// invisible next to a simulation run but long enough for a job's
+// in-flight window (launched together) to land in one group.
+const defaultBatchLinger = 2 * time.Millisecond
+
+// pairResp is one request's share of a finished batch.
+type pairResp struct {
+	proposed, hpe, rr amp.Result
+	err               error
+}
+
+// pairReq is one queued pair-compute request.
+type pairReq struct {
+	idx  int
+	pair experiments.Pair
+	resp chan pairResp // buffered; the flusher never blocks on delivery
+}
+
+// pairBatcher coalesces pair-compute requests against one shared
+// Runner. Requests accumulate until the group reaches maxPairs or the
+// linger timer fires, then flush as one interleaved pass.
+type pairBatcher struct {
+	runner   *experiments.Runner
+	ctx      context.Context // server lifetime, NOT any one job's: a shared batch must not die with one requester
+	maxPairs int
+	linger   time.Duration
+
+	batches *telemetry.Counter
+	pairs   *telemetry.Counter
+
+	mu    sync.Mutex
+	reqs  []*pairReq
+	timer *time.Timer
+}
+
+func newPairBatcher(ctx context.Context, runner *experiments.Runner, linger time.Duration, tel *telemetry.Telemetry) *pairBatcher {
+	if linger <= 0 {
+		linger = defaultBatchLinger
+	}
+	return &pairBatcher{
+		runner:   runner,
+		ctx:      ctx,
+		maxPairs: defaultBatchPairs,
+		linger:   linger,
+		batches:  tel.Counter("server.pair_batches"),
+		pairs:    tel.Counter("server.batched_pairs"),
+	}
+}
+
+// run submits one pair's three-scheduler comparison and blocks until
+// its batch completes or ctx ends. An abandoned request (ctx canceled
+// while waiting) still computes with its batch; only the caller stops
+// listening.
+func (b *pairBatcher) run(ctx context.Context, i int, p experiments.Pair) (proposed, hpe, rr amp.Result, err error) {
+	req := &pairReq{idx: i, pair: p, resp: make(chan pairResp, 1)}
+	b.mu.Lock()
+	b.reqs = append(b.reqs, req)
+	var full []*pairReq
+	if len(b.reqs) >= b.maxPairs {
+		full = b.take()
+	} else if len(b.reqs) == 1 {
+		// The linger timer bounds how long a lone request waits for
+		// batchmates; it schedules RPC-level work and never touches
+		// simulation state.
+		b.timer = time.AfterFunc(b.linger, b.flushLinger) //ampvet:allow determinism batching latency only; results are byte-identical on every path
+	}
+	b.mu.Unlock()
+	if full != nil {
+		b.flush(full)
+	}
+	select {
+	case r := <-req.resp:
+		return r.proposed, r.hpe, r.rr, r.err
+	case <-ctx.Done():
+		return amp.Result{}, amp.Result{}, amp.Result{}, ctx.Err()
+	}
+}
+
+// take claims the pending group and disarms the linger timer; callers
+// hold b.mu.
+func (b *pairBatcher) take() []*pairReq {
+	reqs := b.reqs
+	b.reqs = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return reqs
+}
+
+// flushLinger is the timer path; a group already flushed at the
+// high-water mark leaves nothing to take.
+func (b *pairBatcher) flushLinger() {
+	b.mu.Lock()
+	reqs := b.take()
+	b.mu.Unlock()
+	b.flush(reqs)
+}
+
+// flush executes one group as a single interleaved pass and delivers
+// each request's three results. Runs fail independently inside the
+// pass, so one wedged pair degrades only its own request.
+func (b *pairBatcher) flush(reqs []*pairReq) {
+	if len(reqs) == 0 {
+		return
+	}
+	m, merr := b.runner.Matrix()
+	if merr != nil {
+		for _, rq := range reqs {
+			rq.resp <- pairResp{err: merr}
+		}
+		return
+	}
+	runs := make([]experiments.PairRun, 0, 3*len(reqs))
+	for _, rq := range reqs {
+		runs = append(runs,
+			experiments.PairRun{Index: rq.idx, Pair: rq.pair, Factory: b.runner.ProposedFactory()},
+			experiments.PairRun{Index: rq.idx, Pair: rq.pair, Factory: b.runner.HPEFactory(m)},
+			experiments.PairRun{Index: rq.idx, Pair: rq.pair, Factory: b.runner.RRFactory(1)},
+		)
+	}
+	results, errs := b.runner.RunPairsBatch(b.ctx, runs)
+	b.batches.Inc()
+	b.pairs.Add(uint64(len(reqs)))
+	for k, rq := range reqs {
+		resp := pairResp{
+			proposed: results[3*k],
+			hpe:      results[3*k+1],
+			rr:       results[3*k+2],
+		}
+		for _, e := range errs[3*k : 3*k+3] {
+			if e != nil {
+				resp.err = e
+				break
+			}
+		}
+		rq.resp <- resp
+	}
+}
+
+// batcherFor returns the shared batcher for runner, or nil when
+// batching does not apply (disabled by config, or the runner's options
+// are not batchable — wrong fidelity, fault injection on).
+func (s *Server) batcherFor(runner *experiments.Runner) *pairBatcher {
+	if s.cfg.BatchLinger < 0 || !runner.Batchable() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batchers[runner]
+	if !ok {
+		b = newPairBatcher(s.batchCtx, runner, s.cfg.BatchLinger, s.tel)
+		s.batchers[runner] = b
+	}
+	return b
+}
+
+// computePairBatched is computePair routed through the shared batcher:
+// same three runs, same comparison record, produced by the interleaved
+// pass instead of three solo calls.
+func (s *Server) computePairBatched(ctx context.Context, b *pairBatcher, i int, p experiments.Pair, key string) ([]byte, error) {
+	proposed, hpe, rr, err := b.run(ctx, i, p)
+	if err != nil {
+		return nil, err
+	}
+	return marshalPairResult(i, p, key, proposed, hpe, rr)
+}

@@ -31,6 +31,13 @@ type JobSpec struct {
 	// Fidelity selects the engine: detailed | interval | sampled
 	// ("" = inherit).
 	Fidelity string `json:"fidelity,omitempty"`
+	// FaultRate overrides the fault-injection rate (nil = inherit; an
+	// explicit 0 turns injection off for this job).
+	FaultRate *float64 `json:"fault_rate,omitempty"`
+	// FaultSeed overrides the fault-plan seed (0 = inherit). At zero
+	// fault rate the seed is dead configuration — jobs differing only
+	// in it are served from the cache's near-hit tier.
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
 	// NXM switches the job from a pair sweep to the nxm manycore
 	// scaling sweep: one result per core count, each comparing every
 	// N×M policy. Pairs/PairNames are ignored when set.

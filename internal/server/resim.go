@@ -1,0 +1,107 @@
+// Differential re-simulation: the content-addressed cache's near-hit
+// tier. A full hit needs a byte-identical KeySpec; the near-hit tier
+// also serves misses whose spec differs from a cached result by
+// exactly one independent knob, when the simulation's structure proves
+// the knob cannot have changed the bytes:
+//
+//   - fault seed, at zero fault rate: the fault plan is only built
+//     when FaultRate > 0, so FaultSeed is dead configuration and any
+//     two values produce identical runs;
+//   - swap overhead, when the cached neighbor executed zero swaps
+//     under all three schedulers: the overhead is charged per executed
+//     swap and the schedulers never read it, so a zero-swap run is
+//     identical under any overhead.
+//
+// The adapted result reuses everything — profile matrix, phase
+// ledgers, the runs themselves — and recomputes only the dependent
+// stage, which for these knobs is just the result's own cache key.
+// Knobs that invalidate deeper stages reuse shallower artifacts
+// instead: a swap-overhead or fault-rate delta re-runs the pairs on a
+// Runner derived from the neighbor's (shared §V profile, counted on
+// "server.profile_shares"), and any delta reuses the process-global
+// interval calibration ledgers ("interval.cal_cache_hits"). A workload
+// seed delta has no near tier at all: profiling consumes the seed, so
+// every downstream stage is dependent.
+//
+// Near hits count on "server.cache_near_hits" and insert the adapted
+// bytes under the new key, so the family's next miss is a full hit.
+package server
+
+import (
+	"encoding/json"
+)
+
+// nearKnob names the one KeySpec field a near neighbor differs in.
+type nearKnob string
+
+const (
+	knobFaultSeed    nearKnob = "fault_seed"
+	knobSwapOverhead nearKnob = "swap_overhead"
+)
+
+// nearFamily digests spec with knob normalized out: two specs in the
+// same family differ at most in that knob.
+func nearFamily(spec KeySpec, knob nearKnob) string {
+	switch knob {
+	case knobFaultSeed:
+		spec.FaultSeed = 0
+	case knobSwapOverhead:
+		spec.SwapOverhead = 0
+	}
+	return string(knob) + ":" + CacheKey(spec)
+}
+
+// registerNear indexes a served pair result under its near-hit
+// families so later single-knob neighbors can find it.
+func (s *Server) registerNear(spec KeySpec, key string) {
+	if spec.Topology != "" {
+		return // nxm units have no near tier
+	}
+	s.nearMu.Lock()
+	if spec.FaultRate == 0 {
+		s.nearIndex[nearFamily(spec, knobFaultSeed)] = key
+	}
+	s.nearIndex[nearFamily(spec, knobSwapOverhead)] = key
+	s.nearMu.Unlock()
+}
+
+// tryNearHit serves a cache miss from a single-knob neighbor when the
+// reuse is provably byte-safe (see the package comment above). The
+// returned bytes are the neighbor's result re-keyed to the missing
+// spec; the caller's cache fill makes the adaptation durable.
+func (s *Server) tryNearHit(spec KeySpec, key string) ([]byte, bool) {
+	if spec.Topology != "" {
+		return nil, false
+	}
+	for _, knob := range []nearKnob{knobFaultSeed, knobSwapOverhead} {
+		if knob == knobFaultSeed && spec.FaultRate != 0 {
+			continue // FaultSeed is live configuration under fault injection
+		}
+		s.nearMu.Lock()
+		neighbor, ok := s.nearIndex[nearFamily(spec, knob)]
+		s.nearMu.Unlock()
+		if !ok || neighbor == key {
+			continue
+		}
+		data, ok := s.cache.Get(neighbor)
+		if !ok {
+			continue // evicted since indexed; fall through to compute
+		}
+		var r PairResult
+		if err := json.Unmarshal(data, &r); err != nil || r.Failed {
+			continue // never adapt corrupt or degraded neighbors
+		}
+		if knob == knobSwapOverhead &&
+			(r.Proposed.Swaps != 0 || r.HPE.Swaps != 0 || r.RR.Swaps != 0) {
+			continue // executed swaps were charged the neighbor's overhead
+		}
+		r.Key = key
+		adapted, err := json.Marshal(r)
+		if err != nil {
+			continue
+		}
+		s.cacheNearHits.Inc()
+		return adapted, true
+	}
+	return nil, false
+}

@@ -205,17 +205,32 @@ type Generator struct {
 // stream derived from seed. addrBase should differ between the two
 // simulated threads (e.g. 0 and 1<<40).
 func NewGenerator(bench *Benchmark, seed uint64, addrBase uint64) *Generator {
+	g := &Generator{}
+	g.Reset(bench, seed, addrBase)
+	return g
+}
+
+// Reset re-initializes the generator in place to the exact state
+// NewGenerator(bench, seed, addrBase) produces, reusing the random
+// source. The pooled pair sweep relies on a reset generator being
+// bit-identical to a fresh one.
+func (g *Generator) Reset(bench *Benchmark, seed uint64, addrBase uint64) {
 	if err := bench.Validate(); err != nil {
 		panic(err)
 	}
-	g := &Generator{
+	r := g.rand
+	if r == nil {
+		r = rng.New(seed)
+	} else {
+		r.Seed(seed)
+	}
+	*g = Generator{
 		bench:    bench,
-		rand:     rng.New(seed),
+		rand:     r,
 		addrBase: addrBase,
 		phaseIdx: -1,
 	}
 	g.nextPhase()
-	return g
 }
 
 // Benchmark returns the benchmark this generator streams.
