@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet ampvet analyze lint lint-bench test test-short test-race bench bench-snapshot bench-core bench-check bench-core-check bench-server bench-server-check bench-manycore bench-manycore-check serve-smoke chaos-smoke nxm-smoke experiments experiments-paper paperscale fuzz fuzz-fault fuzz-wal clean
+.PHONY: all build vet ampvet analyze lint lint-bench test test-short test-race bench bench-snapshot bench-core bench-check bench-core-check bench-server bench-server-check bench-manycore bench-manycore-check bench-fleet bench-fleet-check serve-smoke chaos-smoke fleet-smoke nxm-smoke experiments experiments-paper paperscale fuzz fuzz-fault fuzz-wal clean
 
 all: build lint test test-race
 
@@ -109,6 +109,19 @@ bench-manycore-check:
 	$(GO) test -run NONE -bench 'BenchmarkManycore' -benchmem ./internal/manycore \
 		| $(GO) run ./cmd/benchsnap -compare BENCH_manycore.json -threshold 25
 
+# Snapshot the cluster hot-path benchmarks (ring lookup, job routing
+# key, two-node forward round trip) into BENCH_fleet.json.
+bench-fleet:
+	$(GO) test -run NONE -bench 'BenchmarkCluster' -benchmem ./internal/cluster \
+		| $(GO) run ./cmd/benchsnap -o BENCH_fleet.json
+
+# Regression gate for the cluster hot paths against the committed
+# baseline. The peer result fetch goes through real loopback HTTP, so
+# the ns gate is widened to 25%; allocs/op still hard-fails.
+bench-fleet-check:
+	$(GO) test -run NONE -bench 'BenchmarkCluster' -benchmem ./internal/cluster \
+		| $(GO) run ./cmd/benchsnap -compare BENCH_fleet.json -threshold 25
+
 # End-to-end service smoke: boot ampserve on an ephemeral port, drive
 # it with amploadgen (4 concurrent sweep jobs exercising the cache),
 # then SIGTERM it and require a clean drain (exit 0).
@@ -136,6 +149,16 @@ chaos-smoke:
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o "$$tmp/" ./cmd/ampserve ./cmd/ampchaos; \
 	"$$tmp/ampchaos" -ampserve "$$tmp/ampserve" -workdir "$$tmp/work"
+
+# Distributed-mode gate: ampfleet boots a 3-node fleet, sprays skewed
+# load across it (forwarding + cross-node singleflight must fire),
+# SIGKILLs one node mid-run, and requires the survivors to re-route,
+# drain cleanly, and match a single-node oracle byte-for-byte (see
+# cmd/ampfleet).
+fleet-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/" ./cmd/ampserve ./cmd/ampfleet; \
+	"$$tmp/ampfleet" -ampserve "$$tmp/ampserve" -workdir "$$tmp/work"
 
 # N×M scaling smoke: the nxm sweep at 64x512 and 256x2048 under the
 # sampled engine must complete (~30s) — guards the incremental decision

@@ -16,6 +16,15 @@
 // Retry-After hint. -report-shed appends a summary of how often the
 // server pushed back and how long the loop honored its hints — the
 // observable half of the admission-control contract.
+//
+// Fleet mode: -fleet takes a comma-separated node list and sprays
+// submissions round-robin across it, so every node sees every spec
+// and the cluster layer's forwarding/singleflight does the
+// deduplication. -skew pins a fraction of jobs to the hottest spec to
+// provoke imbalance (and therefore work stealing). The report gains a
+// per-node balance table — jobs completed, pairs simulated locally,
+// forwards, steals granted/run — plus the fleet-wide cross-node
+// cache-hit rate, all scraped from each node's /metrics endpoint.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +70,8 @@ func (s *shedStats) rejections() int64 { return s.shed.Load() + s.breaker.Load()
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8080", "ampserve address (host:port)")
+		fleetFlag   = flag.String("fleet", "", "fleet mode: comma-separated node list to spray round-robin (overrides -addr)")
+		skew        = flag.Float64("skew", 0, "fleet mode: fraction of jobs pinned to the first seed (hot key, 0..1)")
 		jobs        = flag.Int("jobs", 16, "total jobs to run (0 = until -duration elapses)")
 		duration    = flag.Duration("duration", 0, "run for this long instead of a fixed job count")
 		concurrency = flag.Int("concurrency", 4, "closed-loop workers (jobs in flight)")
@@ -78,8 +90,15 @@ func main() {
 	if *concurrency <= 0 || *pairs <= 0 || *distinct <= 0 {
 		fatal(fmt.Errorf("-concurrency, -pairs and -distinct must be positive"))
 	}
+	if *skew < 0 || *skew > 1 {
+		fatal(fmt.Errorf("-skew must be in [0, 1]"))
+	}
 
-	base := "http://" + *addr
+	nodes := fleetNodes(*fleetFlag, *addr)
+	bases := make([]string, len(nodes))
+	for i, n := range nodes {
+		bases[i] = "http://" + n
+	}
 	var (
 		submitted atomic.Int64
 		completed atomic.Int64
@@ -94,15 +113,27 @@ func main() {
 	deadline := time.Now().Add(*duration)
 	start := time.Now()
 
-	next := func() (uint64, bool) {
+	// next picks the i-th job's spec seed and target node. Seeds cycle
+	// over the distinct pool; -skew pins that fraction of jobs to the
+	// first (hottest) seed instead. Targets rotate round-robin through
+	// the fleet, so in fleet mode every node receives every hot key
+	// and cross-node routing has to deduplicate the work.
+	next := func() (uint64, string, bool) {
 		n := submitted.Add(1)
 		if *jobs > 0 && n > int64(*jobs) {
-			return 0, false
+			return 0, "", false
 		}
 		if *jobs <= 0 && !time.Now().Before(deadline) {
-			return 0, false
+			return 0, "", false
 		}
-		return *seed + uint64((n-1)%int64(*distinct)), true
+		jobSeed := *seed + uint64((n-1)%int64(*distinct))
+		// Stride the hot jobs through the sequence (7919 is coprime to
+		// 100, so the residues cycle uniformly) instead of front-loading
+		// them: a skewed run should interleave hot and cold submissions.
+		if ((n-1)*7919)%100 < int64(*skew*100) {
+			jobSeed = *seed
+		}
+		return jobSeed, bases[(n-1)%int64(len(bases))], true
 	}
 
 	var wg sync.WaitGroup
@@ -111,7 +142,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for {
-				jobSeed, ok := next()
+				jobSeed, base, ok := next()
 				if !ok {
 					return
 				}
@@ -162,9 +193,83 @@ func main() {
 			shed.shed.Load(), shed.breaker.Load(),
 			time.Duration(shed.waitNano.Load()).Round(time.Millisecond))
 	}
+	if len(nodes) > 1 {
+		fleetReport(nodes, bases)
+	}
 	if done == 0 {
 		fatal(fmt.Errorf("no job completed"))
 	}
+}
+
+// fleetNodes resolves the target node list: the -fleet spray list
+// when given, else the single -addr.
+func fleetNodes(fleet, addr string) []string {
+	if fleet == "" {
+		return []string{addr}
+	}
+	var out []string
+	for _, n := range strings.Split(fleet, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		fatal(fmt.Errorf("-fleet has no usable addresses"))
+	}
+	return out
+}
+
+// fleetReport scrapes each node's /metrics and prints the per-node
+// balance table: how work landed (jobs completed, pairs simulated
+// locally = cache misses), how it moved (forwards, steals), and the
+// fleet-wide cross-node cache-hit rate — remote lookups that found
+// the pair already computed elsewhere.
+func fleetReport(nodes, bases []string) {
+	fmt.Printf("fleet:      %-21s %8s %8s %8s %8s %8s %8s\n",
+		"node", "jobs", "simmed", "fwd", "stolen", "granted", "rebuilds")
+	var remoteHits, remoteMisses float64
+	for i, base := range bases {
+		m, err := scrapeMetrics(base)
+		if err != nil {
+			fmt.Printf("fleet:      %-21s unreachable: %v\n", nodes[i], err)
+			continue
+		}
+		fmt.Printf("fleet:      %-21s %8.0f %8.0f %8.0f %8.0f %8.0f %8.0f\n",
+			nodes[i], m["server.jobs_completed"], m["server.cache_misses"],
+			m["cluster.forwards"], m["cluster.steals"],
+			m["cluster.steals_granted"], m["cluster.ring_rebuilds"])
+		remoteHits += m["cluster.remote_hits"]
+		remoteMisses += m["cluster.remote_misses"]
+	}
+	fmt.Printf("fleet:      cross-node cache-hit rate %.0f%% (%.0f/%.0f remote lookups)\n",
+		100*ratio(int64(remoteHits), int64(remoteHits+remoteMisses)),
+		remoteHits, remoteHits+remoteMisses)
+}
+
+// scrapeMetrics reads one node's /metrics snapshot into name → value.
+func scrapeMetrics(base string) (map[string]float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(snap.Metrics))
+	for _, m := range snap.Metrics {
+		out[m.Name] = m.Value
+	}
+	return out, nil
 }
 
 // retryAfter extracts the server's backoff hint, clamped to keep a

@@ -22,6 +22,14 @@
 // no work already persisted). -maxcost and the -breaker* flags bound
 // the backlog under overload, and -faultservice turns the daemon into
 // its own chaos subject for `make chaos-smoke`.
+//
+// Fleet mode: -peers (or -peersfile) lists the static membership of
+// an ampserve fleet. Submissions route to their canonical owner on a
+// consistent-hash ring (so concurrent identical jobs collapse into
+// one simulation fleet-wide), cached results are shared node-to-node,
+// idle nodes steal pending pair jobs from overloaded peers, and a
+// heartbeat marks unreachable peers dead and re-routes around them
+// (internal/cluster).
 package main
 
 import (
@@ -33,9 +41,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"ampsched/internal/cluster"
 	"ampsched/internal/experiments"
 	"ampsched/internal/fault"
 	"ampsched/internal/jobqueue"
@@ -69,6 +79,14 @@ func main() {
 		telemetryOut = flag.String("telemetry", "", "write a JSONL event stream plus a final metrics summary to this file")
 		drainTimeout = flag.Duration("draintimeout", 30*time.Second, "graceful drain budget after SIGTERM")
 		verbose      = flag.Bool("v", false, "log requests-in-progress details to stderr")
+
+		peers         = flag.String("peers", "", "fleet mode: comma-separated peer addresses (host:port), including this node")
+		peersFile     = flag.String("peersfile", "", "fleet mode: file with one peer address per line (alternative to -peers)")
+		advertise     = flag.String("advertise", "", "fleet mode: this node's address as peers spell it (default: the bound address)")
+		vnodes        = flag.Int("vnodes", 0, "fleet mode: virtual nodes per peer on the hash ring (0 = 64)")
+		heartbeat     = flag.Duration("heartbeat", 0, "fleet mode: peer liveness probe cadence (0 = 500ms)")
+		stealInterval = flag.Duration("stealinterval", 0, "fleet mode: idle work-stealing poll cadence (0 = 250ms, negative disables)")
+		claimTTL      = flag.Duration("claimttl", 0, "fleet mode: stolen-work claim TTL before local re-dispatch (0 = 20s)")
 	)
 	flag.Parse()
 
@@ -113,50 +131,11 @@ func main() {
 			*faultRate, *faultSeed)
 	}
 
-	srv, err := server.New(server.Config{
-		BaseOptions:    opt,
-		MaxPairsPerJob: *maxPairs,
-		Queue:          jobqueue.Config{Workers: *workers, Capacity: *queueCap},
-		Cache:          server.CacheConfig{ByteBudget: *cacheBytes, Dir: *cacheDir},
-		JournalDir:     *journalDir,
-		FlushEvery:     *flushEvery,
-		Admission: server.AdmissionConfig{
-			MaxPendingCost:  *maxCost,
-			BreakerWindow:   *breakerWin,
-			BreakerTripRate: *breakerTrip,
-			BreakerCooldown: *breakerCool,
-		},
-		Chaos:     chaos,
-		Telemetry: tel,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	if *cacheDir != "" {
-		if err := srv.Cache().Load(); err != nil {
-			fatal(err)
-		}
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "ampserve: cache warm with %d entries (%d bytes)\n",
-				srv.Cache().Len(), srv.Cache().Bytes())
-		}
-	}
-	if *journalDir != "" {
-		// Recovery runs after the cache load so re-run jobs hit it, and
-		// before the listener binds so clients never observe a
-		// half-recovered job table.
-		rs, err := srv.Recover()
-		if err != nil {
-			fatal(err)
-		}
-		if rs.Jobs > 0 || rs.Replay.Degraded() {
-			fmt.Fprintf(os.Stderr,
-				"ampserve: journal replay: %d jobs (%d requeued, %d already terminal); %d records, %d dropped, %d segments quarantined\n",
-				rs.Jobs, rs.Requeued, rs.Terminal,
-				rs.Replay.Records, rs.Replay.RecordsDropped, rs.Replay.SegmentsQuarantined)
-		}
-	}
-
+	// The listener binds before the server is built: in fleet mode the
+	// bound address is this node's default identity, and the job-id
+	// namespace derived from it must be fixed before journal recovery
+	// mints or replays any id. Nothing is served until hs.Serve below,
+	// so clients still never observe a half-recovered job table.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
@@ -174,7 +153,96 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "ampserve: listening on http://%s/\n", bound)
 
-	hs := &http.Server{Handler: srv.Handler()}
+	peerList, err := resolvePeers(*peers, *peersFile)
+	if err != nil {
+		fatal(err)
+	}
+	self := *advertise
+	if self == "" {
+		self = bound
+	}
+	idSpace := ""
+	if len(peerList) > 0 {
+		// Fleet mode: namespace job ids by node identity so ids minted
+		// concurrently across the fleet never collide (status polls for
+		// forwarded jobs route by id).
+		idSpace = self
+	}
+
+	srv, err := server.New(server.Config{
+		BaseOptions:    opt,
+		MaxPairsPerJob: *maxPairs,
+		Queue:          jobqueue.Config{Workers: *workers, Capacity: *queueCap},
+		Cache:          server.CacheConfig{ByteBudget: *cacheBytes, Dir: *cacheDir},
+		JournalDir:     *journalDir,
+		FlushEvery:     *flushEvery,
+		Admission: server.AdmissionConfig{
+			MaxPendingCost:  *maxCost,
+			BreakerWindow:   *breakerWin,
+			BreakerTripRate: *breakerTrip,
+			BreakerCooldown: *breakerCool,
+		},
+		Chaos:      chaos,
+		Telemetry:  tel,
+		JobIDSpace: idSpace,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *cacheDir != "" {
+		if err := srv.Cache().Load(); err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "ampserve: cache warm with %d entries (%d bytes)\n",
+				srv.Cache().Len(), srv.Cache().Bytes())
+		}
+	}
+	if *journalDir != "" {
+		// Recovery runs after the cache load so re-run jobs hit it, and
+		// before hs.Serve starts accepting so clients never observe a
+		// half-recovered job table (the listener is bound but idle).
+		rs, err := srv.Recover()
+		if err != nil {
+			fatal(err)
+		}
+		if rs.Jobs > 0 || rs.Replay.Degraded() {
+			fmt.Fprintf(os.Stderr,
+				"ampserve: journal replay: %d jobs (%d requeued, %d already terminal); %d records, %d dropped, %d segments quarantined\n",
+				rs.Jobs, rs.Requeued, rs.Terminal,
+				rs.Replay.Records, rs.Replay.RecordsDropped, rs.Replay.SegmentsQuarantined)
+		}
+	}
+
+	// Fleet mode: wrap the server in a cluster node. The node's
+	// handler layers consistent-hash routing, peer endpoints and
+	// forwarding over the plain API; its background loops (heartbeat,
+	// work stealing) run until the drain path closes them.
+	handler := srv.Handler()
+	var node *cluster.Node
+	if len(peerList) > 0 {
+		node, err = cluster.New(srv, cluster.Config{
+			Self:          self,
+			Peers:         peerList,
+			VNodes:        *vnodes,
+			Heartbeat:     *heartbeat,
+			StealInterval: *stealInterval,
+			ClaimTTL:      *claimTTL,
+			Telemetry:     tel,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		nodeCtx, nodeCancel := context.WithCancel(context.Background())
+		defer nodeCancel()
+		if err := node.Start(nodeCtx); err != nil {
+			fatal(err)
+		}
+		handler = node.Handler()
+		fmt.Fprintf(os.Stderr, "ampserve: fleet mode: self %s, peers %v\n", self, peerList)
+	}
+
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -197,6 +265,15 @@ func main() {
 	defer cancel()
 
 	exit := 0
+	if node != nil {
+		// Stop forwarding/stealing before the queue drains: a claim
+		// voided here re-dispatches on its owner, and peers' heartbeats
+		// re-route new work away once the listener is gone.
+		if err := node.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ampserve: cluster:", err)
+			exit = 1
+		}
+	}
 	if err := srv.Drain(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "ampserve: drain:", err)
 		exit = 1
@@ -210,6 +287,32 @@ func main() {
 		exit = 1
 	}
 	os.Exit(exit)
+}
+
+// resolvePeers merges the -peers list and -peersfile contents into
+// the fleet membership (nil = single-node mode). The file form takes
+// one address per line; blank lines and #-comments are skipped.
+func resolvePeers(flat, file string) ([]string, error) {
+	var peers []string
+	for _, p := range strings.Split(flat, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("reading peers file: %w", err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			peers = append(peers, line)
+		}
+	}
+	return peers, nil
 }
 
 func fatal(err error) {

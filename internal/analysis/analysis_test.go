@@ -24,6 +24,10 @@ func TestDeterminismWALScope(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "determinism/internal/wal")
 }
 
+func TestDeterminismFleetScope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "determinism/internal/cluster")
+}
+
 func TestDeterminismOutOfScope(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.DeterminismAnalyzer, "determinism/outofscope")
 }

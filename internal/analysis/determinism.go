@@ -21,6 +21,11 @@ var simCoreSuffixes = []string{
 	"internal/jobqueue",
 	"internal/server",
 	"internal/wal",
+	// The fleet layer routes by content address: placement and claim
+	// bookkeeping must be pure functions of membership and spec bytes,
+	// so the wall-clock pieces (heartbeats, leases) carry audited
+	// allows instead of exempting the package.
+	"internal/cluster",
 }
 
 // bannedTimeFuncs are the wall-clock entry points of package time.

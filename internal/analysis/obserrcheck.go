@@ -74,6 +74,12 @@ var checkedAPIs = []checkedAPI{
 	{"internal/wal", "Log", "Close"},
 	{"internal/experiments", "DirCheckpointer", "Save"},
 	{"internal/experiments", "DirCheckpointer", "Load"},
+	// Fleet layer: a dropped error here boots a node that silently
+	// never joined the ring (New/Start) or leaks heartbeat and steal
+	// goroutines past shutdown (Close).
+	{"internal/cluster", "", "New"},
+	{"internal/cluster", "Node", "Start"},
+	{"internal/cluster", "Node", "Close"},
 }
 
 func runObsErrCheck(pass *Pass) error {

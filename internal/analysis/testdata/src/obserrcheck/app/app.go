@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"obserrcheck/internal/amp"
+	"obserrcheck/internal/cluster"
 	"obserrcheck/internal/experiments"
 	"obserrcheck/internal/jobqueue"
 	"obserrcheck/internal/server"
@@ -76,6 +77,27 @@ func HandledService(ctx context.Context, q *jobqueue.Queue, c *server.Cache, hs 
 		return err
 	}
 	return hs.Shutdown(ctx)
+}
+
+// LeakFleet drops errors across the fleet layer.
+func LeakFleet(ctx context.Context, n *cluster.Node) {
+	cluster.New(cluster.Config{})         // want `error from cluster\.New discarded`
+	m, _ := cluster.New(cluster.Config{}) // want `error from cluster\.New assigned to blank identifier`
+	_ = m
+	n.Start(ctx)    // want `error from Node\.Start discarded`
+	defer n.Close() // want `deferred Node\.Close discards its error`
+}
+
+// HandledFleet checks every fleet-layer error: nothing to flag.
+func HandledFleet(ctx context.Context) error {
+	n, err := cluster.New(cluster.Config{})
+	if err != nil {
+		return err
+	}
+	if err := n.Start(ctx); err != nil {
+		return err
+	}
+	return n.Close()
 }
 
 // Handled checks every error: nothing to flag.

@@ -1,0 +1,381 @@
+// Work stealing. An idle node (empty queue) polls its peers' health,
+// picks the one with the costliest pending backlog, and claims jobs
+// from the back of that queue via POST /v1/peer/claims. A claimed job
+// stays in the owner's queue — the claim is a shield, not a move: the
+// stealer re-runs the spec through its own server (so the existing
+// retry/wedge classification applies on the stealer too) and PUTs
+// each pair record back under its content address, fulfilling the
+// claim. When the owner's own worker reaches a claimed key first it
+// waits for the returned bytes, bounded by the claim TTL; past the
+// TTL (a wedged or dead stealer) it speculatively re-dispatches the
+// pair locally — first writer wins, and byte-identity means it cannot
+// matter which. A stealer that fails outright releases its claims so
+// the owner re-dispatches immediately instead of burning the TTL.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"ampsched/internal/server"
+)
+
+// claim is one pair key shielded by an outstanding steal (owner
+// side). done closes on fulfillment (data set) or void (data nil).
+type claim struct {
+	stealer string
+	expires time.Time
+	data    []byte
+	done    chan struct{}
+}
+
+// claimRequest is the POST /v1/peer/claims body.
+type claimRequest struct {
+	Stealer string `json:"stealer"`
+	Max     int    `json:"max"`
+}
+
+// claimGrant is one stolen job: the spec to re-run and the content
+// addresses its records must return under.
+type claimGrant struct {
+	JobID string         `json:"job_id"`
+	Spec  server.JobSpec `json:"spec"`
+	Keys  []string       `json:"keys"`
+	Cost  float64        `json:"cost"`
+}
+
+// claimResponse is the POST /v1/peer/claims reply.
+type claimResponse struct {
+	Grants []claimGrant `json:"grants"`
+}
+
+// releaseRequest is the POST /v1/peer/claims/release body: a stealer
+// giving up on granted keys.
+type releaseRequest struct {
+	JobID string   `json:"job_id,omitempty"`
+	Keys  []string `json:"keys"`
+}
+
+// handlePeerClaims grants pending pair jobs to a stealer. Grants come
+// from the back of the priority queue (least-urgent first), only when
+// there is a real backlog (≥2 pending — the owner always keeps work
+// it will reach next), and never twice for one job while a prior
+// claim is live.
+func (n *Node) handlePeerClaims(w http.ResponseWriter, r *http.Request) {
+	var req claimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		apiError(w, http.StatusBadRequest, fmt.Errorf("decoding claim request: %w", err))
+		return
+	}
+	if req.Max <= 0 {
+		req.Max = 1
+	}
+	var grants []claimGrant
+	st := n.srv.Queue().Stats()
+	if st.Pending >= 2 && !n.srv.Draining() {
+		budget := req.Max
+		if st.Pending-1 < budget {
+			budget = st.Pending - 1
+		}
+		cands := n.srv.StealableJobs(budget * 2)
+		now := time.Now() //ampvet:allow determinism claim leases are inherently wall-clock
+		n.mu.Lock()
+		for _, c := range cands {
+			if len(grants) >= budget {
+				break
+			}
+			if exp, taken := n.jobClaims[c.ID]; taken && now.Before(exp) {
+				continue
+			}
+			exp := now.Add(n.cfg.ClaimTTL)
+			n.jobClaims[c.ID] = exp
+			for _, k := range c.Keys {
+				if _, busy := n.claims[k]; !busy {
+					n.claims[k] = &claim{stealer: req.Stealer, expires: exp, done: make(chan struct{})}
+				}
+			}
+			grants = append(grants, claimGrant{JobID: c.ID, Spec: c.Spec, Keys: c.Keys, Cost: c.Cost})
+		}
+		n.mu.Unlock()
+	}
+	n.stealsGranted.Add(uint64(len(grants)))
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(claimResponse{Grants: grants})
+}
+
+// handlePeerRelease voids the named claims: the stealer could not
+// deliver, so waiters re-dispatch locally right away.
+func (n *Node) handlePeerRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		apiError(w, http.StatusBadRequest, fmt.Errorf("decoding release request: %w", err))
+		return
+	}
+	n.mu.Lock()
+	voided := make([]*claim, 0, len(req.Keys))
+	for _, k := range req.Keys {
+		if c, ok := n.claims[k]; ok {
+			delete(n.claims, k)
+			voided = append(voided, c)
+		}
+	}
+	if req.JobID != "" {
+		delete(n.jobClaims, req.JobID)
+	}
+	n.mu.Unlock()
+	for _, c := range voided {
+		close(c.done)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// fulfillClaim delivers returned bytes to the claim's waiters.
+func (n *Node) fulfillClaim(key string, data []byte) {
+	n.mu.Lock()
+	c, ok := n.claims[key]
+	if ok {
+		delete(n.claims, key)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	c.data = data // write happens-before close(done)
+	close(c.done)
+	n.stealReturns.Inc()
+}
+
+// waitClaim blocks a local compute on an outstanding claim for key:
+// if a stealer is working this pair, its returned bytes beat a
+// duplicate simulation. The wait is bounded by the claim's TTL — past
+// it the claim is dropped and the caller re-dispatches locally
+// (counted on cluster.redispatches). A voided claim re-dispatches
+// immediately.
+func (n *Node) waitClaim(ctx context.Context, key string) ([]byte, bool) {
+	n.mu.Lock()
+	c, ok := n.claims[key]
+	n.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	t := time.NewTimer(time.Until(c.expires)) //ampvet:allow determinism claim leases are inherently wall-clock
+	defer t.Stop()
+	select {
+	case <-c.done:
+		if c.data != nil {
+			return c.data, true
+		}
+		n.redispatches.Inc() // voided: stealer gave up
+		return nil, false
+	case <-t.C:
+		n.mu.Lock()
+		if n.claims[key] == c {
+			delete(n.claims, key)
+		}
+		n.mu.Unlock()
+		n.redispatches.Inc()
+		return nil, false
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// voidClaimsFrom wakes every waiter on a dead stealer's claims — a
+// peer the heartbeat declared dead will not return its stolen work,
+// so local re-dispatch starts now, not at the TTL.
+func (n *Node) voidClaimsFrom(peer string) {
+	n.mu.Lock()
+	var voided []*claim
+	for k, c := range n.claims { //ampvet:allow determinism claim-void fan-out order is unobservable
+		if c.stealer == peer {
+			delete(n.claims, k)
+			voided = append(voided, c)
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range voided {
+		close(c.done)
+	}
+}
+
+// voidAllClaims wakes every waiter (Close).
+func (n *Node) voidAllClaims() {
+	n.mu.Lock()
+	var voided []*claim
+	for k, c := range n.claims { //ampvet:allow determinism claim-void fan-out order is unobservable
+		delete(n.claims, k)
+		voided = append(voided, c)
+	}
+	n.mu.Unlock()
+	for _, c := range voided {
+		close(c.done)
+	}
+}
+
+// stealLoop polls while this node's queue is empty: pick the live
+// peer with the costliest pending backlog, claim up to StealMax jobs,
+// and run them here. Stolen jobs execute synchronously in the loop —
+// a node busy computing stolen work does not pile up further claims.
+func (n *Node) stealLoop(ctx context.Context) {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.StealInterval) //ampvet:allow determinism steal polling is inherently wall-clock
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if n.srv.Queue().Stats().Pending > 0 || n.srv.Draining() {
+				continue
+			}
+			victim := n.pickVictim(ctx)
+			if victim == "" {
+				continue
+			}
+			for _, g := range n.requestClaims(ctx, victim) {
+				n.steals.Inc()
+				n.runStolen(ctx, victim, g)
+			}
+		}
+	}
+}
+
+// pickVictim probes live peers' health and returns the one with the
+// largest pending backlog cost above the steal bar ("" = none).
+func (n *Node) pickVictim(ctx context.Context) string {
+	peers := n.mem.livePeers()
+	sort.Strings(peers)
+	var victim string
+	var best float64
+	for _, p := range peers {
+		h, err := n.peerHealth(ctx, p)
+		if err != nil || h.State != "ready" || h.Pending < 2 {
+			continue
+		}
+		if h.PendingCost > best && h.PendingCost >= n.cfg.StealMinCost {
+			best = h.PendingCost
+			victim = p
+		}
+	}
+	return victim
+}
+
+// peerHealth fetches one peer's health census.
+func (n *Node) peerHealth(ctx context.Context, peer string) (PeerHealth, error) {
+	rctx, cancel := context.WithTimeout(ctx, n.cfg.RemoteTimeout)
+	defer cancel()
+	var h PeerHealth
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, peerURL(peer, "/v1/peer/health"), nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return h, fmt.Errorf("cluster: peer %s health: %s", peer, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// requestClaims asks victim for up to StealMax jobs.
+func (n *Node) requestClaims(ctx context.Context, victim string) []claimGrant {
+	body, err := json.Marshal(claimRequest{Stealer: n.cfg.Self, Max: n.cfg.StealMax})
+	if err != nil {
+		return nil
+	}
+	rctx, cancel := context.WithTimeout(ctx, n.cfg.RemoteTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, peerURL(victim, "/v1/peer/claims"), bytes.NewReader(body))
+	if err != nil {
+		return nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.mem.observe(victim, false)
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var cr claimResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return nil
+	}
+	return cr.Grants
+}
+
+// runStolen executes one claimed job through this node's own server —
+// queue, admission, retry/wedge classification and cache all apply —
+// and returns each pair record to the victim under its content
+// address. Any failure to produce or deliver results releases the
+// claims so the victim re-dispatches without waiting out the TTL.
+func (n *Node) runStolen(ctx context.Context, victim string, g claimGrant) {
+	id, err := n.srv.SubmitSpec(g.Spec)
+	if err != nil {
+		n.releaseClaims(ctx, victim, g)
+		return
+	}
+	st, err := n.srv.WaitJob(ctx, id)
+	if err != nil || st.State != "done" {
+		n.releaseClaims(ctx, victim, g)
+		return
+	}
+	returned := 0
+	for _, r := range st.Results {
+		if r.Failed || r.Key == "" {
+			continue
+		}
+		data, ok := n.srv.Cache().Peek(r.Key)
+		if !ok {
+			continue
+		}
+		rctx, cancel := context.WithTimeout(ctx, n.cfg.RemoteTimeout)
+		err := n.putPeerResult(rctx, victim, r.Key, data)
+		cancel()
+		if err == nil {
+			returned++
+		}
+	}
+	if returned < len(g.Keys) {
+		n.releaseClaims(ctx, victim, g)
+	}
+}
+
+// releaseClaims tells the victim to void this grant's claims.
+func (n *Node) releaseClaims(ctx context.Context, victim string, g claimGrant) {
+	body, err := json.Marshal(releaseRequest{JobID: g.JobID, Keys: g.Keys})
+	if err != nil {
+		return
+	}
+	rctx, cancel := context.WithTimeout(ctx, n.cfg.RemoteTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, peerURL(victim, "/v1/peer/claims/release"), bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

@@ -590,3 +590,158 @@ func TestTrySubmitBatchValidation(t *testing.T) {
 		t.Fatalf("pending = %d after rejected batches, want 0", got)
 	}
 }
+
+// TestTrySubmitBatchOversized pins the degenerate rejection: a batch
+// larger than Capacity bounces even against an empty queue (it can
+// never fit, so blocking or partial admission would both be wrong),
+// counts every member on "jobqueue.rejected", and leaves the queue
+// usable for a batch that exactly fills it.
+func TestTrySubmitBatchOversized(t *testing.T) {
+	tel := telemetry.New()
+	const capacity = 4
+	q := newTestQueue(t, Config{Workers: 1, Capacity: capacity, Telemetry: tel})
+
+	// Park the worker so admitted jobs stay pending and countable.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocker, err := q.TrySubmit(func(ctx context.Context) error {
+		close(started)
+		<-release
+		return nil
+	}, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	task := func(ctx context.Context) error { return nil }
+	over := make([]BatchTask, capacity+1)
+	for i := range over {
+		over[i] = BatchTask{Task: task}
+	}
+	if _, err := q.TrySubmitBatch(over); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("oversized batch on empty queue: err = %v, want ErrQueueFull", err)
+	}
+	if got := q.Stats().Pending; got != 0 {
+		t.Fatalf("pending after oversized bounce = %d, want 0 (partial enqueue?)", got)
+	}
+	if got := tel.Counter("jobqueue.rejected").Value(); got != capacity+1 {
+		t.Fatalf("jobqueue.rejected = %d, want %d (every member of the bounced batch)", got, capacity+1)
+	}
+
+	// Exactly Capacity still fits: the bounce above must not have
+	// consumed slots, ids, or wedged the lock.
+	full, err := q.TrySubmitBatch(over[:capacity])
+	if err != nil {
+		t.Fatalf("capacity-sized batch after bounce: %v", err)
+	}
+	close(release)
+	for _, j := range append(full, blocker) {
+		if err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTrySubmitBatchConcurrentWithSingles hammers TrySubmitBatch and
+// TrySubmit from racing submitters while workers drain, and checks the
+// invariants that make the batch path safe to interleave: pending
+// occupancy never exceeds Capacity, accepted batches keep contiguous
+// ids (the lock is held across the whole group), and every accepted
+// job runs exactly once. Run under -race this also exercises the
+// submit/reject counter paths for data races.
+func TestTrySubmitBatchConcurrentWithSingles(t *testing.T) {
+	tel := telemetry.New()
+	const capacity = 8
+	q := newTestQueue(t, Config{Workers: 2, Capacity: capacity, Telemetry: tel})
+
+	var ran atomic.Int64
+	task := func(ctx context.Context) error { ran.Add(1); return nil }
+
+	// Occupancy sampler: Stats() is the public view, so a transient
+	// overshoot would be observable by admission control and clients.
+	stopSample := make(chan struct{})
+	sampleDone := make(chan struct{})
+	var overCap atomic.Int64
+	go func() {
+		defer close(sampleDone)
+		for {
+			select {
+			case <-stopSample:
+				return
+			default:
+				if got := q.Stats().Pending; got > capacity {
+					overCap.Store(int64(got))
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+
+	const submitters, rounds, batchLen = 4, 60, 3
+	var wg sync.WaitGroup
+	var accepted atomic.Int64
+	jobsCh := make(chan *Job, submitters*rounds*batchLen)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if g%2 == 0 {
+					batch := make([]BatchTask, batchLen)
+					for k := range batch {
+						batch[k] = BatchTask{Task: task}
+					}
+					jobs, err := q.TrySubmitBatch(batch)
+					if err != nil {
+						if !errors.Is(err, ErrQueueFull) {
+							t.Errorf("batch submit: %v", err)
+						}
+						continue
+					}
+					for k := 1; k < len(jobs); k++ {
+						if jobs[k].ID() != jobs[k-1].ID()+1 {
+							t.Errorf("batch ids not contiguous under contention: %d after %d", jobs[k].ID(), jobs[k-1].ID())
+						}
+					}
+					accepted.Add(batchLen)
+					for _, j := range jobs {
+						jobsCh <- j
+					}
+				} else {
+					j, err := q.TrySubmit(task, SubmitOptions{})
+					if err != nil {
+						if !errors.Is(err, ErrQueueFull) {
+							t.Errorf("single submit: %v", err)
+						}
+						continue
+					}
+					accepted.Add(1)
+					jobsCh <- j
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(jobsCh)
+	for j := range jobsCh {
+		if err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stopSample)
+	<-sampleDone
+
+	if oc := overCap.Load(); oc != 0 {
+		t.Errorf("observed %d pending jobs, capacity is %d", oc, capacity)
+	}
+	if got := ran.Load(); got != accepted.Load() {
+		t.Errorf("ran %d tasks, accepted %d — accepted work was lost or duplicated", got, accepted.Load())
+	}
+	if got := tel.Counter("jobqueue.submitted").Value(); got != uint64(accepted.Load()) {
+		t.Errorf("jobqueue.submitted = %d, want %d", got, accepted.Load())
+	}
+	if st := q.Stats(); st.Pending != 0 || st.Running != 0 {
+		t.Errorf("Stats after drain = %+v, want idle", st)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
+	"strings"
 
 	"ampsched/internal/jobqueue"
 	"ampsched/internal/wal"
@@ -194,10 +195,17 @@ func (s *Server) Recover() (RecoveryStats, error) {
 	stats.Jobs = len(jobs)
 
 	// Resume the id sequence past everything journaled, so new jobs
-	// never collide with recovered ones.
+	// never collide with recovered ones. Fleet-mode ids carry this
+	// node's namespace prefix; ids from another namespace (a journal
+	// dir reused across identities) cannot collide with minted ids
+	// anyway, so they are skipped.
 	var maxID uint64
 	for id := range jobs { //ampvet:allow determinism max over ids is order-independent
-		if n, perr := strconv.ParseUint(id, 10, 64); perr == nil && n > maxID {
+		if s.idPrefix != "" && !strings.HasPrefix(id, s.idPrefix) {
+			continue
+		}
+		seq := strings.TrimPrefix(id, s.idPrefix)
+		if n, perr := strconv.ParseUint(seq, 10, 64); perr == nil && n > maxID {
 			maxID = n
 		}
 	}

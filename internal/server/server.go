@@ -84,6 +84,11 @@ type Config struct {
 	// disables them (the /metrics endpoint then serves an empty
 	// registry).
 	Telemetry *telemetry.Telemetry
+	// JobIDSpace namespaces minted job ids (fleet mode): when set, ids
+	// become "<8 hex of sha256(space)>-<n>" instead of bare "<n>", so
+	// nodes minting ids concurrently never collide and a status poll
+	// for a forwarded job can never be confused with a local one.
+	JobIDSpace string
 }
 
 // Server is the simulation service. Create with New, expose Handler,
@@ -105,6 +110,13 @@ type Server struct {
 	runners  map[string]*experiments.Runner
 	batchers map[*experiments.Runner]*pairBatcher
 
+	// remote / publish are the fleet hooks (SetCluster, fleet.go):
+	// consulted on pair cache misses and fed locally computed records.
+	// Guarded by mu — journal recovery can start jobs before the
+	// cluster layer is wired.
+	remote  RemoteLookup
+	publish ResultPublish
+
 	// batchCtx bounds shared batch execution to the server's lifetime
 	// (a batch serves requests from many jobs, so no single job's
 	// context may cancel it); Close cancels it.
@@ -116,6 +128,7 @@ type Server struct {
 	nearMu    sync.Mutex
 	nearIndex map[string]string
 
+	idPrefix string // from Config.JobIDSpace; "" in single-node mode
 	nextID   atomic.Uint64
 	draining atomic.Bool
 
@@ -223,6 +236,7 @@ func New(cfg Config) (*Server, error) {
 		batchers:   make(map[*experiments.Runner]*pairBatcher),
 		nearIndex:  make(map[string]string),
 		coreDigest: CoreDigest(cpu.IntCoreConfig(), cpu.FPCoreConfig()),
+		idPrefix:   jobIDPrefix(cfg.JobIDSpace),
 
 		jobsSubmitted:     tel.Counter("server.jobs_submitted"),
 		jobsCompleted:     tel.Counter("server.jobs_completed"),
@@ -433,7 +447,7 @@ func (s *Server) submit(sp JobSpec, id string, recovered bool) (*jobEntry, error
 	}
 
 	if id == "" {
-		id = strconv.FormatUint(s.nextID.Add(1), 10)
+		id = s.idPrefix + strconv.FormatUint(s.nextID.Add(1), 10)
 	}
 	j := newJobEntry(id, sp)
 	j.recovered = recovered
@@ -556,7 +570,7 @@ func (s *Server) SubmitMany(specs []JobSpec) ([]*jobEntry, error) {
 	tasks := make([]jobqueue.BatchTask, len(specs))
 	for k, pr := range preps {
 		pr := pr
-		id := strconv.FormatUint(s.nextID.Add(1), 10)
+		id := s.idPrefix + strconv.FormatUint(s.nextID.Add(1), 10)
 		j := newJobEntry(id, pr.sp)
 		entries[k] = j
 		task := func(ctx context.Context) error {
@@ -666,10 +680,27 @@ func (s *Server) runJob(ctx context.Context, j *jobEntry, runner *experiments.Ru
 					if adapted, ok := s.tryNearHit(spec, key); ok {
 						return adapted, nil
 					}
-					if b := s.batcherFor(runner); b != nil {
-						return s.computePairBatched(ctx, b, i, p, key)
+					// Remote lookup before local compute: a fleet peer
+					// may already hold (or be computing, via a steal
+					// claim) this record. Byte-identity across nodes
+					// makes the source indistinguishable.
+					remote, publish := s.clusterHooks()
+					if remote != nil {
+						if rdata, ok := remote(ctx, key); ok {
+							return rdata, nil
+						}
 					}
-					return s.computePair(ctx, runner, i, p, key)
+					var cdata []byte
+					var cerr error
+					if b := s.batcherFor(runner); b != nil {
+						cdata, cerr = s.computePairBatched(ctx, b, i, p, key)
+					} else {
+						cdata, cerr = s.computePair(ctx, runner, i, p, key)
+					}
+					if cerr == nil && publish != nil {
+						publish(key, cdata)
+					}
+					return cdata, cerr
 				})
 				if err == nil {
 					s.registerNear(spec, key)
